@@ -1,0 +1,77 @@
+// Reproduces Figure 4 of the paper: thread scaling of the six sweep
+// schemes with CUBIC (order 3) finite elements. The paper runs 16^3
+// elements / 36 angles / 64 groups on a 192 GB node; the default here is
+// scaled down to fit small machines while keeping buckets >> threads at
+// low counts and ~threads at high counts, which is what shapes the curves.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace unsnap;
+  using namespace unsnap::bench;
+
+  Cli cli("bench_fig4",
+          "Figure 4: thread scaling of the sweep schemes, cubic elements");
+  cli.option("nx", "5", "elements per dimension");
+  cli.option("nang", "6", "angles per octant");
+  cli.option("ng", "8", "energy groups");
+  cli.option("inners", "5", "inner iterations");
+  cli.option("threads", "", "comma-separated thread counts (default: 1,2,4,...)");
+  cli.option("csv", "", "also write results to this CSV file");
+  cli.flag("paper", "run the paper-size problem (16^3, 36 angles, 64 groups; needs ~40 GB)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  snap::Input input;
+  const bool paper = cli.get_flag("paper");
+  const int nx = paper ? 16 : cli.get_int("nx");
+  input.dims = {nx, nx, nx};
+  input.nang = paper ? 36 : cli.get_int("nang");
+  input.ng = paper ? 64 : cli.get_int("ng");
+  input.order = 3;
+  input.twist = 0.001;
+  input.shuffle_seed = 1;
+  input.mat_opt = 1;
+  input.src_opt = 1;
+  input.iitm = cli.get_int("inners");
+  input.oitm = 1;
+  input.fixed_iterations = true;
+
+  const std::vector<int> threads = cli.get("threads").empty()
+                                       ? default_thread_list()
+                                       : parse_thread_list(cli.get("threads"));
+
+  print_problem(input, "Figure 4: parallel sweep schemes, cubic elements");
+  const auto disc = std::make_shared<const core::Discretization>(input);
+
+  std::vector<std::string> columns{"threads"};
+  for (const auto& scheme : figure_schemes()) columns.push_back(scheme.label);
+  Table table(columns);
+
+  for (const int t : threads) {
+    std::vector<Table::Cell> row{static_cast<long>(t)};
+    for (const auto& scheme : figure_schemes()) {
+      snap::Input config = input;
+      config.num_threads = t;
+      config.layout = scheme.layout;
+      config.scheme = scheme.scheme;
+      const double seconds = run_assemble_solve(disc, config);
+      std::printf("  threads=%-3d %-26s %.3f s\n", t, scheme.label, seconds);
+      std::fflush(stdout);
+      row.push_back(seconds);
+    }
+    table.add_row(std::move(row));
+  }
+  table.print("Figure 4: assemble/solve time (s) vs threads");
+  if (!cli.get("csv").empty()) table.write_csv(cli.get("csv"));
+
+  std::printf(
+      "\nExpected shape (paper Fig. 4): same ordering as Fig. 3 but with\n"
+      "the angle/group/element layout closer to the matched layout —\n"
+      "cubic elements put a 32 kB stride between adjacent elements, so the\n"
+      "unstructured access pattern hurts less than the 64 B stride of\n"
+      "linear elements.\n");
+  return 0;
+}

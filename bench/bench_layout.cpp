@@ -1,0 +1,72 @@
+// Data-layout stride microbenchmark backing the paper's §IV-A analysis:
+// when threads walk the elements of a schedule bucket, the memory gap
+// between consecutive element accesses is the node-block size times
+// whatever sits between elements in the array extents. The
+// angle/element/group layout separates adjacent elements by ng * nodes
+// (4 kB steps at 64 groups), the angle/group/element layout by just the
+// node block (64 B for linear elements) — and indirect element order then
+// defeats the prefetcher. This bench isolates exactly that effect.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "util/aligned.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace unsnap;
+
+// Touch `elements` node blocks of `node_doubles` doubles each, separated
+// by `stride_doubles`, in either sequential or shuffled element order.
+void stride_walk(benchmark::State& state, bool shuffled) {
+  const std::size_t elements = 4096;
+  const auto node_doubles = static_cast<std::size_t>(state.range(0));
+  const auto stride_doubles = static_cast<std::size_t>(state.range(1));
+
+  AlignedVector<double> data(elements * stride_doubles, 1.0);
+  std::vector<std::size_t> order(elements);
+  std::iota(order.begin(), order.end(), 0);
+  if (shuffled) {
+    Rng rng(42);
+    for (std::size_t i = elements; i > 1; --i)
+      std::swap(order[i - 1], order[rng.below(i)]);
+  }
+
+  double acc = 0.0;
+  for (auto _ : state) {
+    for (const std::size_t e : order) {
+      const double* block = data.data() + e * stride_doubles;
+      double local = 0.0;
+#pragma omp simd reduction(+ : local)
+      for (std::size_t i = 0; i < node_doubles; ++i) local += block[i];
+      acc += local;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          elements * node_doubles * sizeof(double));
+}
+
+void BM_SequentialElements(benchmark::State& state) {
+  stride_walk(state, false);
+}
+void BM_ShuffledElements(benchmark::State& state) { stride_walk(state, true); }
+
+// Args: {node block doubles, stride doubles}.
+//  - {8, 8}: linear elements, group-fastest layout (64 B dense stride)
+//  - {8, 512}: linear elements, 64-group element-fastest layout (4 kB)
+//  - {64, 64}: cubic elements dense
+//  - {64, 4096}: cubic elements with 64 groups between elements (32 kB)
+void layout_args(benchmark::internal::Benchmark* b) {
+  b->Args({8, 8})->Args({8, 512})->Args({64, 64})->Args({64, 4096});
+}
+
+BENCHMARK(BM_SequentialElements)->Apply(layout_args);
+BENCHMARK(BM_ShuffledElements)->Apply(layout_args);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Ablation: cost of anisotropic scattering orders. Each extra Legendre
+// order adds (2l+1) spherical-harmonic moments to accumulate per solve and
+// to expand into the source, growing the kernel's non-solve work — the
+// "additional problem dimensions" flavour of the paper's concurrency
+// discussion, measured end to end.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace unsnap;
+  using namespace unsnap::bench;
+
+  Cli cli("bench_moments", "sweep cost vs scattering order (nmom)");
+  cli.option("nx", "8", "elements per dimension");
+  cli.option("nang", "6", "angles per octant");
+  cli.option("ng", "8", "energy groups");
+  cli.option("inners", "3", "inner iterations");
+  cli.option("max-nmom", "4", "largest scattering order");
+  cli.option("csv", "", "also write results to this CSV file");
+  if (!cli.parse(argc, argv)) return 0;
+
+  snap::Input base;
+  const int nx = cli.get_int("nx");
+  base.dims = {nx, nx, nx};
+  base.nang = cli.get_int("nang");
+  base.ng = cli.get_int("ng");
+  base.order = 1;
+  base.quadrature = angular::QuadratureKind::Product;
+  base.twist = 0.001;
+  base.shuffle_seed = 1;
+  base.iitm = cli.get_int("inners");
+  base.oitm = 1;
+  base.fixed_iterations = true;
+
+  print_problem(base, "Anisotropic scattering order ablation");
+  const auto disc = std::make_shared<const core::Discretization>(base);
+
+  (void)run_assemble_solve(disc, base);  // warmup: touch pages, spin cores
+
+  Table table({"nmom", "moments", "assemble/solve (s)", "vs isotropic"});
+  double iso = 0.0;
+  for (int nmom = 1; nmom <= cli.get_int("max-nmom"); ++nmom) {
+    snap::Input config = base;
+    config.nmom = nmom;
+    const double seconds = run_assemble_solve(disc, config);
+    if (nmom == 1) iso = seconds;
+    std::printf("  nmom=%d (%2d moments): %.3f s\n", nmom, nmom * nmom,
+                seconds);
+    std::fflush(stdout);
+    table.add_row({static_cast<long>(nmom),
+                   static_cast<long>(nmom * nmom), seconds, seconds / iso});
+  }
+  table.print("Sweep cost vs scattering order");
+  if (!cli.get("csv").empty()) table.write_csv(cli.get("csv"));
+
+  std::printf(
+      "\nReading: the moment work is O(nmom^2) per solve but streams the\n"
+      "same element data; for linear elements it grows the kernel cost\n"
+      "noticeably, while at high element orders the O(N^3) solve hides it.\n");
+  return 0;
+}

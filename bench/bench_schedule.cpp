@@ -1,0 +1,63 @@
+// Schedule-construction study (paper §III-A-2): cost of building the
+// per-angle bucketed wavefront schedules, the bucket-occupancy profile
+// that determines the available element parallelism, and how the
+// signature deduplication collapses identical angles (all angles of an
+// octant share a schedule on an untwisted brick).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "mesh/mesh_builder.hpp"
+#include "sweep/schedule.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace unsnap;
+  using namespace unsnap::bench;
+
+  Cli cli("bench_schedule", "sweep schedule construction and occupancy");
+  cli.option("nang", "8", "angles per octant");
+  cli.option("csv", "", "also write results to this CSV file");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const angular::QuadratureSet quad(angular::QuadratureKind::SnapLike,
+                                    cli.get_int("nang"));
+  Table table({"mesh", "twist", "unique schedules", "build (s)", "buckets",
+               "min bucket", "mean bucket", "max bucket"});
+
+  for (const int nx : {8, 12, 16}) {
+    for (const double twist : {0.0, 0.001, 0.05, 0.5}) {
+      mesh::MeshOptions opt;
+      opt.dims = {nx, nx, nx};
+      opt.twist = twist;
+      opt.shuffle_seed = 1;
+      const mesh::HexMesh mesh = mesh::build_brick_mesh(opt);
+
+      Stopwatch watch;
+      watch.start();
+      const sweep::ScheduleSet set(mesh, quad, /*break_cycles=*/true);
+      const double build = watch.stop();
+
+      const sweep::ScheduleStats stats =
+          sweep::schedule_stats(set.get(0, 0));
+      std::printf("  %2d^3 twist %-6g: %3d unique, %.3f s\n", nx, twist,
+                  set.unique_count(), build);
+      std::fflush(stdout);
+      table.add_row({std::to_string(nx) + "^3", twist,
+                     static_cast<long>(set.unique_count()), build,
+                     static_cast<long>(stats.buckets),
+                     static_cast<long>(stats.min_bucket), stats.mean_bucket,
+                     static_cast<long>(stats.max_bucket)});
+    }
+  }
+  table.print("Schedule construction across mesh size and twist");
+  if (!cli.get("csv").empty()) table.write_csv(cli.get("csv"));
+
+  std::printf(
+      "\nReading: untwisted meshes collapse to 8 unique schedules (one per\n"
+      "octant, the structured-mesh property in §III-A); twists grow the\n"
+      "count toward one per angle. Bucket sizes bound the paper's\n"
+      "element-level parallelism: mean bucket >> cores means the\n"
+      "[element]-threaded schemes can scale.\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Microbenchmark of the local dense solvers across the Table I matrix
+// sizes (8..216): the paper's §II-C cost discussion and the Table II
+// crossover, isolated from the transport sweep. Also measures the
+// pre-inverted apply (one matvec) that the pre-assembly mode (§IV-B-1)
+// substitutes for the solve.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/gauss_elim.hpp"
+#include "linalg/invert.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace unsnap;
+
+linalg::Matrix random_system(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  linalg::Matrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < n; ++j) {
+      a(i, j) = rng.uniform(-1.0, 1.0);
+      row += std::fabs(a(i, j));
+    }
+    a(i, i) += 2.0 * row;  // transport-like dominance
+  }
+  return a;
+}
+
+std::vector<double> random_rhs(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& x : b) x = rng.uniform(-1.0, 1.0);
+  return b;
+}
+
+void BM_GaussSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const linalg::Matrix a0 = random_system(n, 1);
+  const std::vector<double> b0 = random_rhs(n, 2);
+  linalg::Matrix a = a0;
+  std::vector<double> b = b0;
+  for (auto _ : state) {
+    // Copy-in is part of the workload: the sweep re-assembles A each time.
+    std::copy(a0.data(), a0.data() + static_cast<std::size_t>(n) * n,
+              a.data());
+    std::copy(b0.begin(), b0.end(), b.begin());
+    linalg::gauss_solve(a.view(), b);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["flops"] = linalg::flops_lu_solve(n);
+}
+
+void BM_GaussSolveNoPivot(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const linalg::Matrix a0 = random_system(n, 3);
+  const std::vector<double> b0 = random_rhs(n, 4);
+  linalg::Matrix a = a0;
+  std::vector<double> b = b0;
+  for (auto _ : state) {
+    std::copy(a0.data(), a0.data() + static_cast<std::size_t>(n) * n,
+              a.data());
+    std::copy(b0.begin(), b0.end(), b.begin());
+    linalg::gauss_solve_nopivot(a.view(), b);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_LapackStyleLu(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const linalg::Matrix a0 = random_system(n, 5);
+  const std::vector<double> b0 = random_rhs(n, 6);
+  linalg::Matrix a = a0;
+  std::vector<double> b = b0;
+  std::vector<int> pivots(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    std::copy(a0.data(), a0.data() + static_cast<std::size_t>(n) * n,
+              a.data());
+    std::copy(b0.begin(), b0.end(), b.begin());
+    linalg::lapack_style_solve(a.view(), b, pivots);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_PreInvertedApply(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  linalg::Matrix a = random_system(n, 7);
+  linalg::Matrix inv(n, n);
+  std::vector<int> pivots(static_cast<std::size_t>(n));
+  linalg::invert(a.view(), inv.view(), pivots);
+  const std::vector<double> b = random_rhs(n, 8);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    linalg::matvec(inv.view(), b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["flops"] = linalg::flops_matvec(n);
+}
+
+void BM_FactoredSolveApply(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  linalg::Matrix lu = random_system(n, 9);
+  std::vector<int> pivots(static_cast<std::size_t>(n));
+  linalg::lu_factor(lu.view(), pivots);
+  const std::vector<double> b0 = random_rhs(n, 10);
+  std::vector<double> b = b0;
+  for (auto _ : state) {
+    std::copy(b0.begin(), b0.end(), b.begin());
+    linalg::lu_solve_factored(lu.view(), pivots, b);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// The Table I sizes: (p+1)^3 for p = 1..5.
+constexpr std::int64_t kSizes[] = {8, 27, 64, 125, 216};
+
+void table_sizes(benchmark::internal::Benchmark* b) {
+  for (const auto n : kSizes) b->Arg(n);
+}
+
+BENCHMARK(BM_GaussSolve)->Apply(table_sizes);
+BENCHMARK(BM_GaussSolveNoPivot)->Apply(table_sizes);
+BENCHMARK(BM_LapackStyleLu)->Apply(table_sizes);
+BENCHMARK(BM_FactoredSolveApply)->Apply(table_sizes);
+BENCHMARK(BM_PreInvertedApply)->Apply(table_sizes);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Spatial convergence study with a manufactured solution (method of
+// manufactured solutions): solves a smooth trigonometric exact solution
+// on successively refined twisted meshes for several element orders and
+// reports the observed L2 convergence order. Demonstrates the paper's
+// §II-C claim that higher-order elements buy accuracy per element —
+// the reason the FEM's extra FLOPs can pay for themselves.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/manufactured.hpp"
+#include "core/transport_solver.hpp"
+#include "util/cli.hpp"
+
+using namespace unsnap;
+
+int main(int argc, char** argv) {
+  Cli cli("convergence_order", "MMS h-convergence across element orders");
+  cli.option("max-order", "3", "largest finite element order");
+  cli.option("levels", "3", "number of mesh refinements");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto ms = core::ManufacturedSolution::trigonometric();
+  std::printf("MMS convergence, exact solution 2 + sin/cos products, "
+              "twisted meshes\n");
+
+  for (int order = 1; order <= cli.get_int("max-order"); ++order) {
+    std::printf("\norder %d (expected L2 order ~%d):\n", order, order + 1);
+    std::printf("  mesh      L2 error      observed order\n");
+    double previous = 0.0;
+    for (int level = 0; level < cli.get_int("levels"); ++level) {
+      const int cells = 2 << level;  // 2, 4, 8
+      snap::Input input;
+      input.dims = {cells, cells, cells};
+      input.order = order;
+      input.nang = 4;
+      input.ng = 1;
+      input.twist = 0.01;
+      input.shuffle_seed = 5;
+      // Homogeneous pure absorber: material 2 always scatters (its ratio
+      // is c + 0.1), which would need source iterations; with mat_opt 0
+      // and c = 0 a single sweep solves the problem exactly in angle.
+      input.mat_opt = 0;
+      input.scattering_ratio = 0.0;
+      input.iitm = 1;
+      input.oitm = 1;
+
+      core::TransportSolver solver(input);
+      core::apply_manufactured(solver, ms);
+      solver.run();
+      const double error = core::l2_error(solver, ms);
+      if (previous > 0.0)
+        std::printf("  %d^3      %.6e   %.2f\n", cells, error,
+                    std::log2(previous / error));
+      else
+        std::printf("  %d^3      %.6e   --\n", cells, error);
+      previous = error;
+    }
+  }
+
+  std::printf(
+      "\nReading: each extra order buys roughly one extra power of h —\n"
+      "coarser meshes for the same error, which is the memory trade the\n"
+      "paper's §II-C discusses.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Distributed-memory example: the same fixed-source problem solved on one
+// domain and on a KBA-partitioned grid of simulated-MPI ranks with the
+// paper's parallel block Jacobi schedule (§III-A-1). Shows the
+// convergence-rate price of the decomposition and verifies the gathered
+// flux against the single-domain answer.
+
+#include <cmath>
+#include <cstdio>
+
+#include "comm/block_jacobi.hpp"
+#include "core/transport_solver.hpp"
+#include "util/cli.hpp"
+
+using namespace unsnap;
+
+int main(int argc, char** argv) {
+  Cli cli("domain_decomposition",
+          "block Jacobi over simulated-MPI ranks vs single domain");
+  cli.option("nx", "10", "elements per dimension");
+  cli.option("px", "2", "rank grid x");
+  cli.option("py", "2", "rank grid y");
+  cli.option("ng", "2", "energy groups");
+  cli.option("nang", "4", "angles per octant");
+  cli.option("epsi", "1e-7", "convergence tolerance");
+  if (!cli.parse(argc, argv)) return 0;
+
+  snap::Input input;
+  const int nx = cli.get_int("nx");
+  input.dims = {nx, nx, nx};
+  input.ng = cli.get_int("ng");
+  input.nang = cli.get_int("nang");
+  input.twist = 0.001;
+  input.shuffle_seed = 17;
+  input.mat_opt = 1;
+  input.src_opt = 1;
+  input.scattering_ratio = 0.6;
+  input.fixed_iterations = false;
+  input.epsi = cli.get_double("epsi");
+  input.iitm = 500;
+  input.oitm = 10;
+  input.scheme = snap::ConcurrencyScheme::Serial;
+  input.num_threads = 1;
+
+  const int px = cli.get_int("px"), py = cli.get_int("py");
+  std::printf("Domain decomposition: %d^3 elements, %dx%d KBA ranks\n", nx,
+              px, py);
+
+  // Reference: one domain, plain sweeps.
+  core::TransportSolver reference(input);
+  const core::IterationResult ref_result = reference.run();
+  std::printf("\nsingle domain : %3d inners, %.3f s (serial sweeps)\n",
+              ref_result.inners, ref_result.total_seconds);
+
+  // Block Jacobi over px x py ranks (each rank is a thread).
+  comm::BlockJacobiSolver bj(input, px, py);
+  const comm::BlockJacobiResult bj_result = bj.run();
+  std::printf("%dx%d ranks     : %3d inners, %.3f s (ranks sweep "
+              "concurrently)\n",
+              px, py, bj_result.inners, bj_result.total_seconds);
+
+  // Compare the gathered flux with the reference.
+  const std::vector<double> global = bj.gather_scalar_flux();
+  const auto& disc = reference.discretization();
+  const int n = disc.num_nodes();
+  double worst = 0.0;
+  for (int e = 0; e < disc.num_elements(); ++e)
+    for (int g = 0; g < input.ng; ++g) {
+      const double* ref = reference.scalar_flux().at(e, g);
+      const double* mine =
+          global.data() + (static_cast<std::size_t>(e) * input.ng + g) * n;
+      for (int i = 0; i < n; ++i)
+        worst = std::max(worst, std::fabs(ref[i] - mine[i]));
+    }
+  std::printf("\nmax |phi_single - phi_blockjacobi| = %.3e "
+              "(both converged to epsi = %g)\n",
+              worst, input.epsi);
+  std::printf("convergence history (global max flux change per inner):\n");
+  const auto& history = bj_result.inner_history;
+  for (std::size_t i = 0; i < history.size();
+       i += std::max<std::size_t>(1, history.size() / 10))
+    std::printf("  inner %3zu: %.3e\n", i + 1, history[i]);
+  std::printf(
+      "\nReading: the block Jacobi runs more inner iterations than the\n"
+      "single domain (boundary data lags one iteration) but every rank\n"
+      "sweeps concurrently from the start — the trade the paper's global\n"
+      "schedule makes for on-node parallelism.\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Streaming-duct example: a strongly absorbing block penetrated by a
+// near-void duct along x, with a source at the duct mouth. Particles
+// stream down the duct essentially unattenuated while the surrounding
+// absorber kills them within a mean free path — the configuration where
+// discrete ordinates shows its characteristic behaviour (and, with few
+// angles, its ray effects). Prints the flux profile down the duct axis
+// and through the absorber for comparison.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/transport_solver.hpp"
+#include "io/vtk_writer.hpp"
+#include "util/cli.hpp"
+
+using namespace unsnap;
+
+namespace {
+
+snap::CrossSections duct_xs(int ng) {
+  snap::CrossSections xs;
+  xs.num_materials = 2;
+  xs.ng = ng;
+  const auto g_count = static_cast<std::size_t>(ng);
+  xs.sigt.resize({2, g_count});
+  xs.sigs.resize({2, g_count});
+  xs.siga.resize({2, g_count});
+  xs.slgg.resize({2, g_count, g_count}, 0.0);
+  const double sigt[2] = {0.02, 5.0};   // duct void, absorber
+  const double ratio[2] = {0.0, 0.05};  // nearly pure absorber
+  for (int m = 0; m < 2; ++m)
+    for (int g = 0; g < ng; ++g) {
+      xs.sigt(m, g) = sigt[m];
+      xs.sigs(m, g) = ratio[m] * sigt[m];
+      xs.siga(m, g) = xs.sigt(m, g) - xs.sigs(m, g);
+      xs.slgg(m, g, g) = xs.sigs(m, g);
+    }
+  return xs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("duct_streaming", "void duct through an absorber block");
+  cli.option("n", "16", "elements along the duct (x)");
+  cli.option("nang", "16", "angles per octant");
+  cli.option("order", "1", "finite element order");
+  cli.option("vtk", "duct.vtk", "VTK output file ('' to disable)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  snap::Input input;
+  const int n = cli.get_int("n");
+  input.dims = {n, n / 2, n / 2};
+  input.extent = {2.0, 1.0, 1.0};
+  input.order = cli.get_int("order");
+  input.nang = cli.get_int("nang");
+  input.quadrature = angular::QuadratureKind::Product;
+  input.ng = 1;
+  input.twist = 0.0005;
+  input.shuffle_seed = 3;
+  input.fixed_iterations = false;
+  input.epsi = 1e-6;
+  input.iitm = 100;
+  input.oitm = 2;
+
+  const auto disc = std::make_shared<const core::Discretization>(input);
+
+  // Duct: |y-0.5|,|z-0.5| < 0.125 for the full x range. Source: the first
+  // 12.5% of the duct length.
+  std::vector<int> material(static_cast<std::size_t>(disc->num_elements()));
+  NDArray<double, 2> qext(
+      {static_cast<std::size_t>(disc->num_elements()), 1}, 0.0);
+  for (int e = 0; e < disc->num_elements(); ++e) {
+    const auto c = disc->mesh().centroid(e);
+    const bool in_duct =
+        std::fabs(c[1] - 0.5) < 0.125 && std::fabs(c[2] - 0.5) < 0.125;
+    material[e] = in_duct ? 0 : 1;
+    if (in_duct && c[0] < 0.25) qext(e, 0) = 1.0;
+  }
+
+  core::TransportSolver solver(disc, input,
+                               core::ProblemData(*disc, duct_xs(1),
+                                                 material, qext));
+  const core::IterationResult result = solver.run();
+  std::printf("Duct streaming: %dx%dx%d elements, %d angles/octant, "
+              "converged=%s in %d inners\n",
+              input.dims[0], input.dims[1], input.dims[2], input.nang,
+              result.converged ? "yes" : "no", result.inners);
+
+  // Flux profile vs x, on the duct axis and inside the absorber.
+  const int bins = input.dims[0];
+  std::vector<double> duct(bins, 0.0), duct_vol(bins, 0.0);
+  std::vector<double> wall(bins, 0.0), wall_vol(bins, 0.0);
+  for (int e = 0; e < disc->num_elements(); ++e) {
+    const auto c = disc->mesh().centroid(e);
+    const int bin = std::min(bins - 1, static_cast<int>(c[0] / 2.0 * bins));
+    const bool in_duct =
+        std::fabs(c[1] - 0.5) < 0.125 && std::fabs(c[2] - 0.5) < 0.125;
+    const bool deep_wall = std::fabs(c[1] - 0.5) > 0.3;
+    if (!in_duct && !deep_wall) continue;
+    const double* w = disc->integrals().node_weights(e);
+    const double* ph = solver.scalar_flux().at(e, 0);
+    double integral = 0.0;
+    for (int i = 0; i < disc->num_nodes(); ++i) integral += w[i] * ph[i];
+    if (in_duct) {
+      duct[bin] += integral;
+      duct_vol[bin] += disc->integrals().volume(e);
+    } else {
+      wall[bin] += integral;
+      wall_vol[bin] += disc->integrals().volume(e);
+    }
+  }
+
+  std::printf("\n   x      phi(duct axis)   phi(absorber)    ratio\n");
+  for (int b = 0; b < bins; b += 2) {
+    const double x = (b + 0.5) * 2.0 / bins;
+    const double fd = duct[b] / duct_vol[b];
+    const double fw = wall[b] / wall_vol[b];
+    std::printf("  %.3f   %.6e    %.6e   %8.1fx\n", x, fd, fw, fd / fw);
+  }
+  std::printf("\nReading: flux persists down the void duct but collapses "
+              "inside the absorber\n(5 mfp per 1.0 of depth).\n");
+
+  if (!cli.get("vtk").empty()) {
+    std::vector<double> mat_field(material.begin(), material.end());
+    io::write_vtk(cli.get("vtk"), disc->mesh(),
+                  {{"flux",
+                    io::cell_average_flux(*disc, solver.scalar_flux(), 0)},
+                   {"material", mat_field}});
+    std::printf("wrote %s\n", cli.get("vtk").c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Time-dependent example: an initial particle pulse in a scattering box
+// with vacuum boundaries decays by absorption and leakage. Demonstrates
+// the backward-Euler time integrator (SNAP's optional time dimension) and
+// prints the population history together with the per-step iteration
+// counts — late steps converge faster because the previous step
+// warm-starts the source iteration.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "core/time_dependent.hpp"
+#include "util/cli.hpp"
+
+using namespace unsnap;
+
+int main(int argc, char** argv) {
+  Cli cli("pulse_decay", "decay of an initial pulse (time-dependent mode)");
+  cli.option("nx", "6", "elements per dimension");
+  cli.option("ng", "2", "energy groups");
+  cli.option("nang", "4", "angles per octant");
+  cli.option("dt", "0.25", "time step");
+  cli.option("steps", "16", "number of steps");
+  cli.option("c", "0.6", "scattering ratio");
+  if (!cli.parse(argc, argv)) return 0;
+
+  snap::Input input;
+  const int nx = cli.get_int("nx");
+  input.dims = {nx, nx, nx};
+  input.ng = cli.get_int("ng");
+  input.nang = cli.get_int("nang");
+  input.twist = 0.001;
+  input.shuffle_seed = 21;
+  input.mat_opt = 0;
+  input.src_opt = 0;
+  input.scattering_ratio = cli.get_double("c");
+  input.fixed_iterations = false;
+  input.epsi = 1e-7;
+  input.iitm = 200;
+  input.oitm = 10;
+
+  const auto disc = std::make_shared<const core::Discretization>(input);
+  core::TimeDependentSolver td(
+      disc, input, core::TimeDependentSolver::snap_velocities(input.ng),
+      cli.get_double("dt"));
+  td.solver().problem().qext.fill(0.0);  // pure decay, no driving source
+  td.set_initial_condition(1.0);
+
+  const double d0 = td.total_density();
+  std::printf("Pulse decay: %d^3 box, %d groups, c = %.2f, dt = %.3g\n",
+              nx, input.ng, cli.get_double("c"), td.dt());
+  std::printf("\n  time    density     fraction   inners\n");
+  std::printf("  %5.2f   %.4e   %7.4f\n", 0.0, d0, 1.0);
+  double previous = d0;
+  for (int n = 0; n < cli.get_int("steps"); ++n) {
+    const auto result = td.step();
+    std::printf("  %5.2f   %.4e   %7.4f   %d\n", result.time,
+                result.total_density, result.total_density / d0,
+                result.iteration.inners);
+    if (result.total_density > previous)
+      std::printf("  WARNING: density grew without a source!\n");
+    previous = result.total_density;
+  }
+  std::printf(
+      "\nReading: the population decays monotonically; the decay rate is\n"
+      "bounded by absorption (sigma_a v) plus boundary leakage, and the\n"
+      "iteration count per step falls as the solution relaxes.\n");
+  return 0;
+}

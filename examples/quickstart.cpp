@@ -1,0 +1,85 @@
+// Quickstart: solve a small SNAP-style fixed-source transport problem on
+// a twisted unstructured hex mesh and print the iteration history,
+// per-group flux summary and the particle balance.
+//
+//   ./quickstart [--nx 8] [--order 1] [--ng 4] [--nang 6] ...
+//
+// This is the minimal end-to-end use of the public API: fill a
+// snap::Input, construct a core::TransportSolver, run, inspect.
+
+#include <cstdio>
+
+#include "core/transport_solver.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace unsnap;
+
+  Cli cli("quickstart", "minimal UnSNAP transport solve");
+  cli.option("nx", "8", "elements per dimension");
+  cli.option("order", "1", "finite element order (1..5)");
+  cli.option("ng", "4", "energy groups");
+  cli.option("nang", "6", "angles per octant");
+  cli.option("twist", "0.001", "mesh twist in radians");
+  cli.option("epsi", "1e-5", "convergence tolerance");
+  cli.option("threads", "0", "OpenMP threads (0 = default)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  snap::Input input;
+  const int nx = cli.get_int("nx");
+  input.dims = {nx, nx, nx};
+  input.order = cli.get_int("order");
+  input.ng = cli.get_int("ng");
+  input.nang = cli.get_int("nang");
+  input.twist = cli.get_double("twist");
+  input.shuffle_seed = 42;       // store the brick as a shuffled soup
+  input.mat_opt = 1;             // denser material in the centre box
+  input.src_opt = 1;             // source in the centre box
+  input.scattering_ratio = 0.5;
+  input.epsi = cli.get_double("epsi");
+  input.fixed_iterations = false;
+  input.iitm = 100;
+  input.oitm = 20;
+  input.num_threads = cli.get_int("threads");
+
+  std::printf("UnSNAP quickstart: %d^3 twisted hex mesh, order %d, "
+              "%d groups, %d angles/octant\n",
+              nx, input.order, input.ng, input.nang);
+
+  core::TransportSolver solver(input);
+  const core::Discretization& disc = solver.discretization();
+  std::printf("  %d elements, %d nodes each; %d unique sweep schedules for "
+              "%d directions\n",
+              disc.num_elements(), disc.num_nodes(),
+              disc.schedules().unique_count(),
+              angular::kOctants * input.nang);
+
+  const core::IterationResult result = solver.run();
+  std::printf("\n%s after %d inners / %d outers "
+              "(last inner change %.2e)\n",
+              result.converged ? "Converged" : "NOT converged",
+              result.inners, result.outers, result.final_inner_change);
+  std::printf("  total %.3f s, %.3f s in assemble/solve sweeps\n",
+              result.total_seconds, result.assemble_solve_seconds);
+
+  // Per-group volume-average flux.
+  std::printf("\ngroup   <phi> (volume average)\n");
+  for (int g = 0; g < input.ng; ++g) {
+    double integral = 0.0, volume = 0.0;
+    for (int e = 0; e < disc.num_elements(); ++e) {
+      const double* w = disc.integrals().node_weights(e);
+      const double* ph = solver.scalar_flux().at(e, g);
+      for (int i = 0; i < disc.num_nodes(); ++i) integral += w[i] * ph[i];
+      volume += disc.integrals().volume(e);
+    }
+    std::printf("  %2d    %.6f\n", g, integral / volume);
+  }
+
+  const core::BalanceReport balance = solver.balance();
+  std::printf("\nparticle balance:\n"
+              "  source      %.6f\n  absorption  %.6f\n  leakage     %.6f\n"
+              "  residual    %.2e (relative %.2e)\n",
+              balance.source, balance.absorption, balance.leakage,
+              balance.residual(), balance.relative());
+  return 0;
+}

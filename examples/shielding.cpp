@@ -1,0 +1,143 @@
+// Shielding study: a slab source, a dense shield of varying total cross
+// section, and a detector region behind it — the classic deep-penetration
+// configuration that motivates deterministic transport. Demonstrates
+// building fully custom problem data (materials, cross sections, source
+// placement) on top of the UnSNAP discretisation, and writes a VTK file of
+// the attenuated flux.
+//
+// Geometry (z axis):  [ source | shield | detector ]
+//                     0       1.0      1.8         3.0
+// The detector band sits directly behind the shield so the measured
+// attenuation tracks the shield optical depth instead of distance decay.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "core/transport_solver.hpp"
+#include "io/vtk_writer.hpp"
+#include "util/cli.hpp"
+
+using namespace unsnap;
+
+namespace {
+
+// Three "materials": near-void filler, source medium and shield.
+snap::CrossSections shield_xs(int ng, double shield_sigt) {
+  snap::CrossSections xs;
+  xs.num_materials = 3;
+  xs.ng = ng;
+  const auto nm = static_cast<std::size_t>(xs.num_materials);
+  const auto g_count = static_cast<std::size_t>(ng);
+  xs.sigt.resize({nm, g_count});
+  xs.sigs.resize({nm, g_count});
+  xs.siga.resize({nm, g_count});
+  xs.slgg.resize({nm, g_count, g_count}, 0.0);
+  const double sigt[3] = {0.05, 1.0, shield_sigt};
+  const double ratio[3] = {0.1, 0.5, 0.2};  // shields absorb, not scatter
+  for (int m = 0; m < 3; ++m)
+    for (int g = 0; g < ng; ++g) {
+      xs.sigt(m, g) = sigt[m];
+      xs.sigs(m, g) = ratio[m] * sigt[m];
+      xs.siga(m, g) = xs.sigt(m, g) - xs.sigs(m, g);
+      xs.slgg(m, g, g) = xs.sigs(m, g);  // isotropic in-group only
+    }
+  return xs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("shielding", "slab source / shield / detector attenuation study");
+  cli.option("nx", "6", "elements across x and y");
+  cli.option("nz", "18", "elements along the shield axis");
+  cli.option("order", "1", "finite element order");
+  cli.option("nang", "8", "angles per octant");
+  cli.option("vtk", "shielding.vtk", "VTK output file ('' to disable)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  snap::Input input;
+  input.dims = {cli.get_int("nx"), cli.get_int("nx"), cli.get_int("nz")};
+  input.extent = {1.0, 1.0, 3.0};
+  input.order = cli.get_int("order");
+  input.nang = cli.get_int("nang");
+  input.quadrature = angular::QuadratureKind::Product;
+  input.ng = 2;
+  input.twist = 0.001;
+  input.shuffle_seed = 7;
+  input.fixed_iterations = false;
+  input.epsi = 1e-6;
+  input.iitm = 200;
+  input.oitm = 5;
+
+  std::printf("Shielding study: %dx%dx%d elements, order %d\n",
+              input.dims[0], input.dims[1], input.dims[2], input.order);
+  std::printf("\nshield sigt   detector <phi>   attenuation vs no shield\n");
+
+  const auto disc = std::make_shared<const core::Discretization>(input);
+
+  // Region assignment by centroid.
+  std::vector<int> material(static_cast<std::size_t>(disc->num_elements()));
+  NDArray<double, 2> qext(
+      {static_cast<std::size_t>(disc->num_elements()),
+       static_cast<std::size_t>(input.ng)},
+      0.0);
+  for (int e = 0; e < disc->num_elements(); ++e) {
+    const double z = disc->mesh().centroid(e)[2];
+    if (z < 1.0) {
+      material[e] = 1;  // source medium
+      for (int g = 0; g < input.ng; ++g) qext(e, g) = 1.0;
+    } else if (z < 1.8) {
+      material[e] = 2;  // shield
+    } else {
+      material[e] = 0;  // filler / detector
+    }
+  }
+
+  double unshielded = -1.0;
+  std::vector<double> detector_flux;
+  for (const double shield_sigt : {0.05, 1.0, 2.0, 4.0}) {
+    core::ProblemData problem(*disc, shield_xs(input.ng, shield_sigt),
+                              material, qext);
+    core::TransportSolver solver(disc, input, std::move(problem));
+    solver.run();
+
+    // Volume-average group-0 flux in the band directly behind the shield.
+    double integral = 0.0, volume = 0.0;
+    for (int e = 0; e < disc->num_elements(); ++e) {
+      const double z = disc->mesh().centroid(e)[2];
+      if (z < 1.8 || z > 2.3) continue;
+      const double* w = disc->integrals().node_weights(e);
+      const double* ph = solver.scalar_flux().at(e, 0);
+      for (int i = 0; i < disc->num_nodes(); ++i) integral += w[i] * ph[i];
+      volume += disc->integrals().volume(e);
+    }
+    const double detector = integral / volume;
+    if (unshielded < 0.0) unshielded = detector;
+    std::printf("  %6.2f      %.6e     %8.2fx\n", shield_sigt, detector,
+                unshielded / detector);
+    detector_flux.push_back(detector);
+
+    if (shield_sigt == 4.0 && !cli.get("vtk").empty()) {
+      std::vector<double> mat_field(material.begin(), material.end());
+      io::write_vtk(cli.get("vtk"), disc->mesh(),
+                    {{"flux_g0",
+                      io::cell_average_flux(*disc, solver.scalar_flux(), 0)},
+                     {"material", mat_field}});
+      std::printf("  wrote %s\n", cli.get("vtk").c_str());
+    }
+  }
+
+  // Rough sanity: a 0.8 mfp-thick shield at sigt=4 (3.2 mfp) should cut
+  // the detector flux by orders of magnitude relative to near-void.
+  std::printf("\nnormal-incidence beam estimate across the 0.8-thick "
+              "shield:\n");
+  for (const double s : {1.0, 2.0, 4.0})
+    std::printf("  sigt %.1f: exp(-sigt * 0.8) = %.3e\n", s,
+                std::exp(-s * 0.8));
+  std::printf(
+      "(oblique ordinates see longer chords through the slab, so the\n"
+      "measured attenuation is somewhat stronger than this estimate;\n"
+      "scattering build-up pushes the other way)\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// The UnSNAP mini-app driver: exposes the full snap::Input deck on the
+// command line, runs the solve and prints a SNAP-style summary. This is
+// the binary a performance engineer scripts against; every experiment in
+// the paper is a particular set of these flags.
+
+#include <cstdio>
+
+#include "core/transport_solver.hpp"
+#include "util/cli.hpp"
+
+using namespace unsnap;
+
+int main(int argc, char** argv) {
+  Cli cli("unsnap_mini", "UnSNAP mini-app: DG discrete ordinates transport "
+                         "on an unstructured hex mesh");
+  cli.option("nx", "8", "elements in x");
+  cli.option("ny", "0", "elements in y (0 = nx)");
+  cli.option("nz", "0", "elements in z (0 = nx)");
+  cli.option("lx", "1.0", "domain extent x (y, z scale with cells)");
+  cli.option("order", "1", "finite element order (Table I: 1..5)");
+  cli.option("nang", "8", "angles per octant");
+  cli.option("ng", "4", "energy groups");
+  cli.option("nmom", "1", "scattering Legendre orders (1 = isotropic)");
+  cli.option("quad", "snap", "angular quadrature: snap | product");
+  cli.option("mat", "1", "material layout option 0|1|2");
+  cli.option("src", "1", "source layout option 0|1|2");
+  cli.option("c", "0.5", "scattering ratio of material 1");
+  cli.option("twist", "0.001", "mesh twist (radians)");
+  cli.option("seed", "1", "element shuffle seed (0 = structured order)");
+  cli.option("epsi", "1e-4", "convergence tolerance");
+  cli.option("iitm", "5", "max inner iterations per outer");
+  cli.option("oitm", "1", "max outer iterations");
+  cli.flag("converge", "iterate to epsi instead of fixed iitm x oitm");
+  cli.option("layout", "aeg", "flux layout: aeg | age");
+  cli.option("scheme", "elements-groups",
+             "concurrency: serial | elements | groups | elements-groups | "
+             "angles-atomic");
+  cli.option("solver", "ge", "local solver: ge | ge-nopivot | lu");
+  cli.option("threads", "0", "OpenMP threads (0 = default)");
+  cli.flag("time-solve", "record % of time in the dense solve");
+  cli.flag("break-cycles", "lag faces to break cyclic sweep dependencies");
+  cli.flag("reflect", "reflective (instead of vacuum) on all six sides");
+  cli.flag("validate", "run full mesh validation before solving");
+  if (!cli.parse(argc, argv)) return 0;
+
+  snap::Input input;
+  const int nx = cli.get_int("nx");
+  input.dims = {nx, cli.get_int("ny") > 0 ? cli.get_int("ny") : nx,
+                cli.get_int("nz") > 0 ? cli.get_int("nz") : nx};
+  const double lx = cli.get_double("lx");
+  input.extent = {lx, lx * input.dims[1] / input.dims[0],
+                  lx * input.dims[2] / input.dims[0]};
+  input.order = cli.get_int("order");
+  input.nang = cli.get_int("nang");
+  input.ng = cli.get_int("ng");
+  input.nmom = cli.get_int("nmom");
+  input.quadrature = angular::quadrature_from_string(cli.get("quad"));
+  input.mat_opt = cli.get_int("mat");
+  input.src_opt = cli.get_int("src");
+  input.scattering_ratio = cli.get_double("c");
+  input.twist = cli.get_double("twist");
+  input.shuffle_seed = static_cast<std::uint64_t>(cli.get_long("seed"));
+  input.epsi = cli.get_double("epsi");
+  input.iitm = cli.get_int("iitm");
+  input.oitm = cli.get_int("oitm");
+  input.fixed_iterations = !cli.get_flag("converge");
+  input.layout = snap::layout_from_string(cli.get("layout"));
+  input.scheme = snap::scheme_from_string(cli.get("scheme"));
+  input.solver = linalg::solver_from_string(cli.get("solver"));
+  input.num_threads = cli.get_int("threads");
+  input.time_solve = cli.get_flag("time-solve");
+  input.break_cycles = cli.get_flag("break-cycles");
+  input.validate_mesh = cli.get_flag("validate");
+  if (cli.get_flag("reflect"))
+    for (auto& b : input.boundary) b = snap::Input::Bc::Reflective;
+
+  std::printf("UnSNAP  %dx%dx%d hexes, order %d (%d nodes/elem), "
+              "%d angles/octant x 8, %d groups, nmom %d\n",
+              input.dims[0], input.dims[1], input.dims[2], input.order,
+              (input.order + 1) * (input.order + 1) * (input.order + 1),
+              input.nang, input.ng, input.nmom);
+  std::printf("        layout %s, scheme %s, solver %s, twist %.4g, "
+              "shuffle %llu\n",
+              snap::to_string(input.layout).c_str(),
+              snap::to_string(input.scheme).c_str(),
+              linalg::to_string(input.solver).c_str(), input.twist,
+              static_cast<unsigned long long>(input.shuffle_seed));
+
+  core::TransportSolver solver(input);
+  const auto& disc = solver.discretization();
+  std::printf("        %d unique sweep schedules for %d directions; "
+              "integrals %.1f MB; psi %.1f MB\n",
+              disc.schedules().unique_count(),
+              angular::kOctants * input.nang,
+              static_cast<double>(disc.integrals().bytes()) / (1 << 20),
+              static_cast<double>(solver.angular_flux().size() *
+                                  sizeof(double)) /
+                  (1 << 20));
+
+  const core::IterationResult result = solver.run();
+
+  std::printf("\n  outers %d   inners %d   %s (inner df %.3e)\n",
+              result.outers, result.inners,
+              result.converged ? "converged" : "not converged",
+              result.final_inner_change);
+  std::printf("  total %.4f s   assemble/solve %.4f s", result.total_seconds,
+              result.assemble_solve_seconds);
+  if (input.time_solve)
+    std::printf("   (%.0f%% in solve)",
+                100.0 * result.solve_seconds /
+                    result.assemble_solve_seconds);
+  std::printf("\n");
+
+  const core::BalanceReport balance = solver.balance();
+  std::printf("  balance: source %.6e  absorption %.6e  leakage %.6e\n"
+              "           inflow %.6e  residual %.3e\n",
+              balance.source, balance.absorption, balance.leakage,
+              balance.inflow, balance.residual());
+  return 0;
+}

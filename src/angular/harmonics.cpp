@@ -1,0 +1,67 @@
+#include "angular/harmonics.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace unsnap::angular {
+
+SphericalHarmonics::SphericalHarmonics(int order) : order_(order) {
+  require(order >= 0 && order <= 10,
+          "SphericalHarmonics: order must be in 0..10");
+  l_of_.resize(static_cast<std::size_t>(count()));
+  for (int l = 0; l <= order_; ++l)
+    for (int m = -l; m <= l; ++m) l_of_[index(l, m)] = l;
+}
+
+void SphericalHarmonics::evaluate(const Vec3& omega, double* out) const {
+  const int lmax = order_;
+  const double z = omega[2];  // cos(theta)
+  const double s2 = std::max(0.0, 1.0 - z * z);
+  const double sin_theta = std::sqrt(s2);
+
+  // Associated Legendre P_l^m(z) without the Condon-Shortley phase,
+  // stored compactly: plm[l][m] for m >= 0.
+  std::vector<std::vector<double>> plm(static_cast<std::size_t>(lmax + 1));
+  for (int l = 0; l <= lmax; ++l)
+    plm[l].assign(static_cast<std::size_t>(l + 1), 0.0);
+  plm[0][0] = 1.0;
+  for (int m = 1; m <= lmax; ++m)
+    plm[m][m] = plm[m - 1][m - 1] * (2 * m - 1) * sin_theta;
+  for (int m = 0; m < lmax; ++m)
+    plm[m + 1][m] = z * (2 * m + 1) * plm[m][m];
+  for (int m = 0; m <= lmax; ++m)
+    for (int l = m + 2; l <= lmax; ++l)
+      plm[l][m] = ((2 * l - 1) * z * plm[l - 1][m] -
+                   (l + m - 1) * plm[l - 2][m]) /
+                  (l - m);
+
+  // Azimuthal factors cos(m phi), sin(m phi) built by recurrence from the
+  // in-plane direction; at the poles sin_theta = 0 and every m > 0 term
+  // carries a P_l^m factor of 0, so the arbitrary azimuth is harmless.
+  const double inv_sin = sin_theta > 1e-300 ? 1.0 / sin_theta : 0.0;
+  const double cphi = omega[0] * inv_sin;
+  const double sphi = omega[1] * inv_sin;
+  std::vector<double> cm(static_cast<std::size_t>(lmax + 1));
+  std::vector<double> sm(static_cast<std::size_t>(lmax + 1));
+  cm[0] = 1.0;
+  sm[0] = 0.0;
+  for (int m = 1; m <= lmax; ++m) {
+    cm[m] = cm[m - 1] * cphi - sm[m - 1] * sphi;
+    sm[m] = sm[m - 1] * cphi + cm[m - 1] * sphi;
+  }
+
+  // Schmidt semi-normalisation factors sqrt(2 (l-m)!/(l+m)!) for m > 0.
+  for (int l = 0; l <= lmax; ++l) {
+    out[index(l, 0)] = plm[l][0];
+    for (int m = 1; m <= l; ++m) {
+      double ratio = 1.0;  // (l-m)! / (l+m)!
+      for (int k = l - m + 1; k <= l + m; ++k) ratio /= k;
+      const double norm = std::sqrt(2.0 * ratio);
+      out[index(l, m)] = norm * plm[l][m] * cm[m];
+      out[index(l, -m)] = norm * plm[l][m] * sm[m];
+    }
+  }
+}
+
+}  // namespace unsnap::angular

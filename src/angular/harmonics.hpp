@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "angular/quadrature.hpp"
+
+namespace unsnap::angular {
+
+/// Real spherical harmonics up to order L in Racah (Schmidt
+/// semi-normalised) convention: Y_00 = 1 and the average of Y_lm^2 over
+/// the unit sphere is 1/(2l+1). With the quadrature weights summing to 1
+/// this makes the moment algebra of anisotropic scattering particularly
+/// clean (SNAP's nmom feature):
+///
+///   flux moments    phi_lm = sum_a w_a Y_lm(Omega_a) psi_a
+///   source          q(Omega) = sum_l sigma_l sum_m (2l+1) Y_lm(Omega) phi_lm
+///
+/// so the l = 0 terms reduce exactly to the isotropic code path.
+class SphericalHarmonics {
+ public:
+  /// `order` is the largest l (SNAP's nmom - 1). count() = (order+1)^2.
+  explicit SphericalHarmonics(int order);
+
+  [[nodiscard]] int order() const { return order_; }
+  [[nodiscard]] int count() const { return (order_ + 1) * (order_ + 1); }
+
+  /// Flat index of (l, m), m in [-l, l]: l^2 + l + m.
+  [[nodiscard]] static constexpr int index(int l, int m) {
+    return l * l + l + m;
+  }
+  /// Degree l of a flat index.
+  [[nodiscard]] int l_of(int idx) const { return l_of_[idx]; }
+  /// Degree l of a flat index without an instance.
+  [[nodiscard]] static constexpr int degree_of(int idx) {
+    int l = 0;
+    while ((l + 1) * (l + 1) <= idx) ++l;
+    return l;
+  }
+
+  /// Evaluate every moment function at the unit direction omega;
+  /// `out` must hold count() values.
+  void evaluate(const Vec3& omega, double* out) const;
+
+ private:
+  int order_;
+  std::vector<int> l_of_;
+};
+
+}  // namespace unsnap::angular

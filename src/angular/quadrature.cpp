@@ -1,0 +1,82 @@
+#include "angular/quadrature.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "fem/quadrature1d.hpp"
+#include "util/assert.hpp"
+
+namespace unsnap::angular {
+
+std::string to_string(QuadratureKind kind) {
+  return kind == QuadratureKind::SnapLike ? "snap" : "product";
+}
+
+QuadratureKind quadrature_from_string(const std::string& name) {
+  if (name == "snap") return QuadratureKind::SnapLike;
+  if (name == "product") return QuadratureKind::Product;
+  throw InvalidInput("unknown quadrature '" + name +
+                     "' (expected snap or product)");
+}
+
+namespace {
+
+constexpr double kHalfPi = std::numbers::pi / 2.0;
+
+// SNAP-style artificial set: polar cosines equally spaced in (0,1) exactly
+// as SNAP computes mu, azimuths spread with the golden-ratio sequence so
+// each ordinate gets a distinct direction (and hence potentially a distinct
+// sweep schedule on a twisted mesh). Equal weights, 1/(8*n) each.
+void make_snap_like(int n, std::vector<Vec3>& dirs,
+                    std::vector<double>& weights) {
+  constexpr double kGolden = 0.6180339887498949;
+  const double dm = 1.0 / n;
+  for (int a = 0; a < n; ++a) {
+    const double mu = dm * (0.5 + a);  // SNAP: mu(1) = dm/2, step dm
+    const double sin_theta = std::sqrt(1.0 - mu * mu);
+    const double frac = std::fmod((a + 0.5) * kGolden, 1.0);
+    const double phi = kHalfPi * frac;
+    dirs.push_back({mu, sin_theta * std::cos(phi), sin_theta * std::sin(phi)});
+    weights.push_back(0.125 / n);
+  }
+}
+
+// Product rule: Gauss-Legendre in the z-cosine on (0,1), equally weighted
+// Chebyshev-style azimuths. n must factor as npolar * nazim with npolar the
+// largest divisor <= sqrt(n).
+void make_product(int n, std::vector<Vec3>& dirs,
+                  std::vector<double>& weights) {
+  int npolar = static_cast<int>(std::sqrt(static_cast<double>(n)));
+  while (npolar > 1 && n % npolar != 0) --npolar;
+  require(npolar >= 1, "product quadrature: invalid angle count");
+  const int nazim = n / npolar;
+
+  const fem::Quadrature1D polar = fem::gauss_legendre(npolar);
+  for (int i = 0; i < npolar; ++i) {
+    const double xi = 0.5 * (polar.points[i] + 1.0);   // cos(theta) in (0,1)
+    const double wp = 0.5 * polar.weights[i];           // sums to 1
+    const double sin_theta = std::sqrt(1.0 - xi * xi);
+    for (int j = 0; j < nazim; ++j) {
+      const double phi = kHalfPi * (j + 0.5) / nazim;
+      dirs.push_back({sin_theta * std::cos(phi), sin_theta * std::sin(phi),
+                      xi});
+      weights.push_back(0.125 * wp / nazim);
+    }
+  }
+}
+
+}  // namespace
+
+QuadratureSet::QuadratureSet(QuadratureKind kind, int per_octant)
+    : kind_(kind) {
+  require(per_octant >= 1, "quadrature: need at least one angle per octant");
+  base_.reserve(per_octant);
+  weights_.reserve(per_octant);
+  if (kind == QuadratureKind::SnapLike)
+    make_snap_like(per_octant, base_, weights_);
+  else
+    make_product(per_octant, base_, weights_);
+  UNSNAP_ASSERT(static_cast<int>(base_.size()) == per_octant);
+}
+
+}  // namespace unsnap::angular

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "fem/geometry.hpp"
+
+namespace unsnap::angular {
+
+using fem::Vec3;
+
+inline constexpr int kOctants = 8;
+
+/// Sign pattern of octant o (bit 0 -> x, bit 1 -> y, bit 2 -> z; set bit
+/// means the component is negative). Octant 0 is (+,+,+).
+[[nodiscard]] constexpr std::array<double, 3> octant_signs(int octant) {
+  return {(octant & 1) ? -1.0 : 1.0, (octant & 2) ? -1.0 : 1.0,
+          (octant & 4) ? -1.0 : 1.0};
+}
+
+/// Which artificial quadrature generates the ordinates. SnapLike mirrors
+/// SNAP's auto-generated set (equally spaced polar cosines, equal weights;
+/// azimuths spread deterministically so every ordinate is distinct — the
+/// mini-app never needs quadrature accuracy, only realistic data shapes).
+/// Product is a real Gauss-Legendre x Chebyshev product rule for the
+/// accuracy-sensitive tests and examples.
+enum class QuadratureKind { SnapLike, Product };
+
+[[nodiscard]] std::string to_string(QuadratureKind kind);
+[[nodiscard]] QuadratureKind quadrature_from_string(const std::string& name);
+
+/// Discrete ordinates set. Directions are stored for octant 0 (all
+/// components positive) and reflected per octant; weights are identical
+/// across octants and sum to 1 over the full sphere (SNAP's convention,
+/// so an isotropic angular flux of value c has scalar flux c).
+class QuadratureSet {
+ public:
+  QuadratureSet(QuadratureKind kind, int per_octant);
+
+  [[nodiscard]] int per_octant() const {
+    return static_cast<int>(base_.size());
+  }
+  [[nodiscard]] int total_angles() const { return kOctants * per_octant(); }
+
+  /// Unit direction of (octant, angle).
+  [[nodiscard]] Vec3 direction(int octant, int angle) const {
+    const auto s = octant_signs(octant);
+    const Vec3& b = base_[angle];
+    return {s[0] * b[0], s[1] * b[1], s[2] * b[2]};
+  }
+
+  [[nodiscard]] double weight(int angle) const { return weights_[angle]; }
+  [[nodiscard]] const std::vector<Vec3>& base_directions() const {
+    return base_;
+  }
+  [[nodiscard]] QuadratureKind kind() const { return kind_; }
+
+ private:
+  QuadratureKind kind_;
+  std::vector<Vec3> base_;
+  std::vector<double> weights_;
+};
+
+}  // namespace unsnap::angular

@@ -1,0 +1,210 @@
+#include "comm/block_jacobi.hpp"
+
+#include <algorithm>
+
+#include "core/source.hpp"
+#include "mesh/mesh_builder.hpp"
+#include "mesh/mesh_checks.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace unsnap::comm {
+
+namespace {
+
+mesh::HexMesh build_global_mesh(const snap::Input& input) {
+  input.validate();
+  mesh::MeshOptions options;
+  options.dims = input.dims;
+  options.extent = {input.extent[0], input.extent[1], input.extent[2]};
+  options.twist = input.twist;
+  options.shuffle_seed = input.shuffle_seed;
+  return mesh::build_brick_mesh(options);
+}
+
+}  // namespace
+
+BlockJacobiSolver::BlockJacobiSolver(const snap::Input& input, int px, int py)
+    : input_(input),
+      global_mesh_(build_global_mesh(input)),
+      partition_(mesh::make_kba_partition(global_mesh_, px, py)) {
+  // Flat-MPI style per rank: serial sweeps, one OpenMP thread each (ranks
+  // are already threads).
+  input_.scheme = snap::ConcurrencyScheme::Serial;
+  input_.num_threads = 1;
+
+  submeshes_.reserve(static_cast<std::size_t>(num_ranks()));
+  for (int r = 0; r < num_ranks(); ++r)
+    submeshes_.push_back(mesh::extract_submesh(global_mesh_, partition_, r));
+  solvers_.resize(static_cast<std::size_t>(num_ranks()));
+  build_halo_plans();
+}
+
+void BlockJacobiSolver::build_halo_plans() {
+  const fem::HexReferenceElement ref(input_.order);
+  plans_.resize(static_cast<std::size_t>(num_ranks()));
+
+  for (int r = 0; r < num_ranks(); ++r) {
+    const mesh::SubMesh& sub = submeshes_[r];
+    HaloPlan& plan = plans_[r];
+
+    // Sends: my shared faces keyed by my (global element, face).
+    for (const auto& rf : sub.remote_faces) {
+      plan.send_faces[rf.nbr_rank].emplace_back(rf.local_elem,
+                                                rf.local_face);
+    }
+    for (auto& [dst, faces] : plan.send_faces) {
+      std::sort(faces.begin(), faces.end(),
+                [&](const auto& a, const auto& b) {
+                  return std::make_pair(sub.global_elem[a.first], a.second) <
+                         std::make_pair(sub.global_elem[b.first], b.second);
+                });
+    }
+
+    // Receives: the same faces viewed from the other side, ordered by the
+    // *sender's* (global element, face) so both sides stream in lockstep.
+    std::map<int, std::vector<const mesh::SubMesh::RemoteFace*>> by_src;
+    for (const auto& rf : sub.remote_faces)
+      by_src[rf.nbr_rank].push_back(&rf);
+    for (auto& [src, faces] : by_src) {
+      std::sort(faces.begin(), faces.end(), [](const auto* a, const auto* b) {
+        return std::make_pair(a->nbr_global_elem, a->nbr_face) <
+               std::make_pair(b->nbr_global_elem, b->nbr_face);
+      });
+      auto& recvs = plan.recv_faces[src];
+      recvs.reserve(faces.size());
+      for (const auto* rf : faces) {
+        // Node correspondence computed on the global mesh: my face-local
+        // node j coincides with the sender's face-local node perm[j].
+        const int my_global = sub.global_elem[rf->local_elem];
+        RecvFace recv;
+        recv.bface_id = rf->boundary_face_id;
+        recv.perm = mesh::match_face_nodes_local(
+            ref, global_mesh_.geometry(my_global), rf->local_face,
+            global_mesh_.geometry(rf->nbr_global_elem), rf->nbr_face);
+        recvs.push_back(std::move(recv));
+      }
+    }
+  }
+}
+
+void BlockJacobiSolver::exchange(Network& net, int rank,
+                                 core::TransportSolver& solver,
+                                 int tag) const {
+  const HaloPlan& plan = plans_[rank];
+  const core::Discretization& disc = solver.discretization();
+  const core::AngularFlux& psi = solver.angular_flux();
+  const int nang = disc.nang();
+  const int ng = input_.ng;
+  const int nf = disc.nodes_per_face();
+
+  for (const auto& [dst, faces] : plan.send_faces) {
+    std::vector<double> msg;
+    msg.reserve(faces.size() * angular::kOctants *
+                static_cast<std::size_t>(nang) * ng * nf);
+    for (const auto& [e, f] : faces) {
+      const int* fn = disc.integrals().face_nodes(f);
+      for (int oct = 0; oct < angular::kOctants; ++oct)
+        for (int a = 0; a < nang; ++a)
+          for (int g = 0; g < ng; ++g) {
+            const double* ps = psi.at(oct, a, e, g);
+            for (int j = 0; j < nf; ++j) msg.push_back(ps[fn[j]]);
+          }
+    }
+    net.send(rank, dst, tag, std::move(msg));
+  }
+
+  core::BoundaryAngularFlux& bc = solver.boundary_values();
+  for (const auto& [src, faces] : plan.recv_faces) {
+    const std::vector<double> msg = net.recv(rank, src, tag);
+    std::size_t offset = 0;
+    for (const auto& rf : faces) {
+      for (int oct = 0; oct < angular::kOctants; ++oct)
+        for (int a = 0; a < nang; ++a)
+          for (int g = 0; g < ng; ++g) {
+            double* target = bc.at(rf.bface_id, oct, a, g);
+            for (int j = 0; j < nf; ++j)
+              target[j] = msg[offset + rf.perm[j]];
+            offset += static_cast<std::size_t>(nf);
+          }
+    }
+    UNSNAP_ASSERT(offset == msg.size());
+  }
+}
+
+BlockJacobiResult BlockJacobiSolver::run() {
+  Network net(num_ranks());
+  BlockJacobiResult result;
+  Stopwatch total;
+  total.start();
+
+  net.run([&](int rank) {
+    auto solver = std::make_unique<core::TransportSolver>(
+        submeshes_[rank].mesh, input_);
+    solver->boundary_values();  // activate halo storage (zero-initialised)
+
+    int tag = 0;
+    double final_inner = 0.0, final_outer = 0.0;
+    int outers = 0, inners = 0;
+    bool converged = false;
+    core::NodalField phi_outer = solver->scalar_flux();
+
+    for (int outer = 0; outer < input_.oitm; ++outer) {
+      solver->update_outer_source();
+      phi_outer = solver->scalar_flux();
+      for (int inner = 0; inner < input_.iitm; ++inner) {
+        solver->update_inner_source();
+        solver->sweep();
+        exchange(net, rank, *solver, tag++);
+        final_inner = net.allreduce_max(solver->inner_change());
+        ++inners;
+        if (rank == 0) result.inner_history.push_back(final_inner);
+        if (!input_.fixed_iterations && final_inner < input_.epsi) break;
+      }
+      ++outers;
+      final_outer = net.allreduce_max(
+          core::max_relative_change(solver->scalar_flux(), phi_outer));
+      converged =
+          final_outer < 100.0 * input_.epsi && final_inner < input_.epsi;
+      if (!input_.fixed_iterations && converged) break;
+    }
+
+    if (rank == 0) {
+      result.converged = converged;
+      result.outers = outers;
+      result.inners = inners;
+      result.final_inner_change = final_inner;
+      result.final_outer_change = final_outer;
+    }
+    solvers_[rank] = std::move(solver);
+  });
+
+  result.total_seconds = total.stop();
+  return result;
+}
+
+std::vector<double> BlockJacobiSolver::gather_scalar_flux() const {
+  const int ng = input_.ng;
+  const fem::HexReferenceElement ref(input_.order);
+  const int n = ref.num_nodes();
+  std::vector<double> global(static_cast<std::size_t>(
+                                 global_mesh_.num_elements()) *
+                                 ng * n,
+                             0.0);
+  for (int r = 0; r < num_ranks(); ++r) {
+    UNSNAP_ASSERT(solvers_[r] != nullptr);
+    const mesh::SubMesh& sub = submeshes_[r];
+    const core::NodalField& phi = solvers_[r]->scalar_flux();
+    for (std::size_t l = 0; l < sub.global_elem.size(); ++l) {
+      const auto ge = static_cast<std::size_t>(sub.global_elem[l]);
+      for (int g = 0; g < ng; ++g) {
+        const double* src = phi.at(static_cast<int>(l), g);
+        double* dst = global.data() + (ge * ng + g) * n;
+        for (int i = 0; i < n; ++i) dst[i] = src[i];
+      }
+    }
+  }
+  return global;
+}
+
+}  // namespace unsnap::comm

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace unsnap::comm {
+
+/// In-process message-passing fabric standing in for MPI (no MPI library is
+/// available offline; see DESIGN.md §3). Ranks are threads; messages are
+/// tagged payload vectors moved through per-destination mailboxes with
+/// MPI-like matching on (source, tag). Only the semantics the block Jacobi
+/// schedule needs are implemented: blocking send/recv, barrier and max/sum
+/// allreduce.
+class Network {
+ public:
+  explicit Network(int num_ranks);
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] int num_ranks() const { return num_ranks_; }
+
+  /// Deliver payload to dst's mailbox (never blocks: buffered send).
+  void send(int src, int dst, int tag, std::vector<double> payload);
+
+  /// Block until a message from (src, tag) arrives at dst; FIFO per key.
+  /// Throws NumericalError if the network was aborted while waiting.
+  std::vector<double> recv(int dst, int src, int tag);
+
+  /// Collective barrier over all ranks.
+  void barrier();
+
+  /// Collective reductions; every rank receives the result.
+  double allreduce_max(double value);
+  double allreduce_sum(double value);
+
+  /// Wake every blocked rank with an error (a failing rank calls this so
+  /// its peers do not deadlock in recv/allreduce).
+  void abort_all();
+
+  /// Spawn num_ranks() threads running body(rank) and join them. If a rank
+  /// throws, the network is aborted so the others unblock; the first
+  /// exception is rethrown in the caller.
+  void run(const std::function<void(int)>& body);
+
+ private:
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::map<std::pair<int, int>, std::deque<std::vector<double>>> queues;
+  };
+
+  int num_ranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<bool> aborted_{false};
+
+  std::mutex coll_mutex_;
+  std::condition_variable coll_ready_;
+  int coll_count_ = 0;
+  long coll_generation_ = 0;
+  double coll_acc_ = 0.0;
+  double coll_result_ = 0.0;
+
+  template <typename Op>
+  double allreduce(double value, Op op, double init);
+  void check_aborted() const;
+};
+
+}  // namespace unsnap::comm

@@ -1,0 +1,189 @@
+#include "core/assembler.hpp"
+
+#include "core/preassembly.hpp"
+
+namespace unsnap::core {
+
+void AssemblyContext::resize(int n, int nf) {
+  a = linalg::Matrix(n, n);
+  rhs.assign(static_cast<std::size_t>(n), 0.0);
+  upwind.assign(static_cast<std::size_t>(nf), 0.0);
+  qtmp.assign(static_cast<std::size_t>(n), 0.0);
+  workspace.reserve(n);
+}
+
+void Assembler::assemble_matrix(double* a, int e, int g,
+                                const Vec3& omega) const {
+  const ElementIntegrals& ints = disc_->integrals();
+  const int n = ints.num_nodes();
+  const int nf = ints.nodes_per_face();
+  const double wx = omega[0], wy = omega[1], wz = omega[2];
+  const double st = problem_->sigt_eg(e, g);
+
+  const double* m = ints.mass(e);
+  const double* gx = ints.grad(e, 0);
+  const double* gy = ints.grad(e, 1);
+  const double* gz = ints.grad(e, 2);
+  const int nn = n * n;
+#pragma omp simd
+  for (int idx = 0; idx < nn; ++idx)
+    a[idx] = st * m[idx] - (wx * gx[idx] + wy * gy[idx] + wz * gz[idx]);
+
+  // Outflow faces contribute Omega . F to the matrix; inflow faces go to
+  // the right-hand side (the paper's data-dependent branch).
+  for (int f = 0; f < fem::kFacesPerHex; ++f) {
+    const Vec3 nrm = ints.face_normal(e, f);
+    if (nrm[0] * wx + nrm[1] * wy + nrm[2] * wz < 0.0) continue;
+    const double* fx = ints.face(e, f, 0);
+    const double* fy = ints.face(e, f, 1);
+    const double* fz = ints.face(e, f, 2);
+    const int* fn = ints.face_nodes(f);
+    for (int i = 0; i < nf; ++i) {
+      double* arow = a + static_cast<std::size_t>(fn[i]) * n;
+      const double* fxi = fx + static_cast<std::size_t>(i) * nf;
+      const double* fyi = fy + static_cast<std::size_t>(i) * nf;
+      const double* fzi = fz + static_cast<std::size_t>(i) * nf;
+      for (int j = 0; j < nf; ++j)
+        arow[fn[j]] += wx * fxi[j] + wy * fyi[j] + wz * fzi[j];
+    }
+  }
+}
+
+void Assembler::assemble_rhs(AssemblyContext& ctx, const SweepState& state,
+                             int oct, int a, int e, int g,
+                             const Vec3& omega) const {
+  const ElementIntegrals& ints = disc_->integrals();
+  const mesh::HexMesh& mesh = disc_->mesh();
+  const int n = ints.num_nodes();
+  const int nf = ints.nodes_per_face();
+  const double wx = omega[0], wy = omega[1], wz = omega[2];
+
+  // b = M * (q_in + q_ang + anisotropic moment expansion).
+  const double* q = state.qin->at(e, g);
+  if (state.qang != nullptr || state.qmom_hi != nullptr) {
+    double* qt = ctx.qtmp.data();
+#pragma omp simd
+    for (int j = 0; j < n; ++j) qt[j] = q[j];
+    if (state.qang != nullptr) {
+      const double* qa = state.qang->at(oct, a, e, g);
+#pragma omp simd
+      for (int j = 0; j < n; ++j) qt[j] += qa[j];
+    }
+    if (state.qmom_hi != nullptr) {
+      for (int m = 1; m < state.moment_count; ++m) {
+        const double c = state.ylm_src[m];
+        const double* qm = (*state.qmom_hi)[m - 1].at(e, g);
+#pragma omp simd
+        for (int j = 0; j < n; ++j) qt[j] += c * qm[j];
+      }
+    }
+    q = qt;
+  }
+  const double* m = ints.mass(e);
+  double* rhs = ctx.rhs.data();
+  for (int i = 0; i < n; ++i) {
+    const double* mrow = m + static_cast<std::size_t>(i) * n;
+    double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+    for (int j = 0; j < n; ++j) acc += mrow[j] * q[j];
+    rhs[i] = acc;
+  }
+
+  // Inflow faces: subtract Omega . F times the upwind trace. The upwind
+  // values come from the neighbour's current flux (already updated this
+  // sweep for faces the schedule respects, previous-iterate for lagged
+  // cycle-broken faces) or from prescribed boundary data; vacuum
+  // boundaries contribute nothing.
+  for (int f = 0; f < fem::kFacesPerHex; ++f) {
+    const Vec3 nrm = ints.face_normal(e, f);
+    if (nrm[0] * wx + nrm[1] * wy + nrm[2] * wz >= 0.0) continue;
+
+    const double* vals = nullptr;
+    const int nbr = mesh.neighbor(e, f);
+    if (nbr != mesh::kNoNeighbor) {
+      const double* pn = state.psi->at(oct, a, nbr, g);
+      const int* perm = ints.neighbor_perm(e, f);
+      double* uv = ctx.upwind.data();
+      for (int j = 0; j < nf; ++j) uv[j] = pn[perm[j]];
+      vals = uv;
+    } else if (state.bc != nullptr && state.bc->active()) {
+      vals = state.bc->at(mesh.boundary_face_id(e, f), oct, a, g);
+    } else {
+      continue;  // vacuum
+    }
+
+    const double* fx = ints.face(e, f, 0);
+    const double* fy = ints.face(e, f, 1);
+    const double* fz = ints.face(e, f, 2);
+    const int* fn = ints.face_nodes(f);
+    for (int i = 0; i < nf; ++i) {
+      const double* fxi = fx + static_cast<std::size_t>(i) * nf;
+      const double* fyi = fy + static_cast<std::size_t>(i) * nf;
+      const double* fzi = fz + static_cast<std::size_t>(i) * nf;
+      double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+      for (int j = 0; j < nf; ++j)
+        acc += (wx * fxi[j] + wy * fyi[j] + wz * fzi[j]) * vals[j];
+      rhs[fn[i]] -= acc;
+    }
+  }
+}
+
+void Assembler::process(AssemblyContext& ctx, const SweepState& state,
+                        int oct, int a, int e, int g, const Vec3& omega,
+                        double weight, linalg::SolverKind solver,
+                        bool atomic_phi, bool time_solve) const {
+  const int n = disc_->num_nodes();
+  assemble_rhs(ctx, state, oct, a, e, g, omega);
+  double* rhs = ctx.rhs.data();
+
+  if (state.pre != nullptr) {
+    state.pre->apply(ctx, oct, a, e, g);
+  } else {
+    assemble_matrix(ctx.a.data(), e, g, omega);
+    if (time_solve) {
+      ctx.solve_watch.start();
+      linalg::solve_in_place(solver, ctx.a.view(), {rhs, ctx.rhs.size()},
+                             ctx.workspace);
+      ctx.solve_seconds += ctx.solve_watch.peek();
+    } else {
+      linalg::solve_in_place(solver, ctx.a.view(), {rhs, ctx.rhs.size()},
+                             ctx.workspace);
+    }
+  }
+
+  double* out = state.psi->at(oct, a, e, g);
+#pragma omp simd
+  for (int i = 0; i < n; ++i) out[i] = rhs[i];
+
+  double* ph = state.phi->at(e, g);
+  if (atomic_phi) {
+    for (int i = 0; i < n; ++i) {
+#pragma omp atomic
+      ph[i] += weight * rhs[i];
+    }
+    if (state.phi_hi != nullptr) {
+      for (int m = 1; m < state.moment_count; ++m) {
+        const double c = weight * state.ylm_acc[m];
+        double* pm = (*state.phi_hi)[m - 1].at(e, g);
+        for (int i = 0; i < n; ++i) {
+#pragma omp atomic
+          pm[i] += c * rhs[i];
+        }
+      }
+    }
+  } else {
+#pragma omp simd
+    for (int i = 0; i < n; ++i) ph[i] += weight * rhs[i];
+    if (state.phi_hi != nullptr) {
+      for (int m = 1; m < state.moment_count; ++m) {
+        const double c = weight * state.ylm_acc[m];
+        double* pm = (*state.phi_hi)[m - 1].at(e, g);
+#pragma omp simd
+        for (int i = 0; i < n; ++i) pm[i] += c * rhs[i];
+      }
+    }
+  }
+}
+
+}  // namespace unsnap::core

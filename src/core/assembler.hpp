@@ -1,0 +1,87 @@
+#pragma once
+
+#include <vector>
+
+#include "core/discretization.hpp"
+#include "core/flux_storage.hpp"
+#include "core/problem_data.hpp"
+#include "linalg/solver.hpp"
+#include "util/timer.hpp"
+
+namespace unsnap::core {
+
+class PreassembledOperator;
+
+/// Per-thread scratch for the assemble/solve kernel; allocated once per
+/// sweep thread so the hot loop never touches the allocator.
+struct AssemblyContext {
+  linalg::Matrix a;                  // n x n system matrix
+  AlignedVector<double> rhs;         // n
+  AlignedVector<double> upwind;      // nf gathered neighbour trace
+  AlignedVector<double> qtmp;        // n source staging (angular source)
+  linalg::SolveWorkspace workspace;
+  double solve_seconds = 0.0;        // accumulated when timing is enabled
+  Stopwatch solve_watch;
+
+  void resize(int n, int nf);
+};
+
+/// References to the solution state one sweep works on. qang (per-angle
+/// source) and bc (prescribed boundary flux) are optional; pre switches the
+/// kernel to the pre-assembled operator path (no matrix assembly/solve).
+///
+/// Anisotropic scattering (nmom > 1) adds the higher flux/source moment
+/// fields and per-ordinate spherical-harmonic coefficient tables; the
+/// sweeper points ylm_acc/ylm_src at the current angle's row before each
+/// bucket. Moment index m here is the flat (l, m) index minus one (the
+/// l = 0 moment is phi/qin themselves).
+struct SweepState {
+  AngularFlux* psi = nullptr;
+  NodalField* phi = nullptr;
+  const NodalField* qin = nullptr;
+  const AngularFlux* qang = nullptr;
+  const BoundaryAngularFlux* bc = nullptr;
+  const PreassembledOperator* pre = nullptr;
+  std::vector<NodalField>* phi_hi = nullptr;        // count-1 fields
+  const std::vector<NodalField>* qmom_hi = nullptr; // count-1 fields
+  const double* ylm_acc = nullptr;  // Y_lm(omega), count entries
+  const double* ylm_src = nullptr;  // (2l+1) Y_lm(omega), count entries
+  int moment_count = 1;
+};
+
+/// The central computation of the paper (Fig. 2): for one
+/// (octant, angle, element, group), build the small dense system
+///   A = sigma_t M - Omega . G + sum_{outflow f} Omega . F_f
+///   b = M (q_in + q_ang) - sum_{inflow f} Omega . F_f psi_upwind
+/// solve A psi = b, store psi and accumulate the scalar flux.
+class Assembler {
+ public:
+  Assembler(const Discretization& disc, const ProblemData& problem)
+      : disc_(&disc), problem_(&problem) {}
+
+  /// Assemble the matrix only (shared with the pre-assembly engine and the
+  /// assembly-cost benchmarks). `a` must hold n*n doubles.
+  void assemble_matrix(double* a, int e, int g, const Vec3& omega) const;
+
+  /// Assemble the right-hand side only into ctx.rhs.
+  void assemble_rhs(AssemblyContext& ctx, const SweepState& state, int oct,
+                    int a, int e, int g, const Vec3& omega) const;
+
+  /// Full kernel: assemble, solve (or apply the pre-assembled inverse),
+  /// scatter psi, accumulate phi with quadrature weight `weight`.
+  /// atomic_phi selects atomic accumulation (angle-threaded scheme);
+  /// time_solve accumulates pure solve time into ctx.solve_seconds.
+  void process(AssemblyContext& ctx, const SweepState& state, int oct, int a,
+               int e, int g, const Vec3& omega, double weight,
+               linalg::SolverKind solver, bool atomic_phi,
+               bool time_solve) const;
+
+  [[nodiscard]] const Discretization& discretization() const { return *disc_; }
+  [[nodiscard]] const ProblemData& problem() const { return *problem_; }
+
+ private:
+  const Discretization* disc_;
+  const ProblemData* problem_;
+};
+
+}  // namespace unsnap::core

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "core/discretization.hpp"
+#include "core/flux_storage.hpp"
+#include "core/problem_data.hpp"
+
+namespace unsnap::core {
+
+/// Global neutron balance at the current iterate. At convergence of the
+/// source iterations, production must equal removal:
+///   external source + boundary inflow = absorption + boundary leakage,
+/// because the within-group and group-transfer scattering cancel exactly
+/// (the transfer rows sum to sigs). The residual is the standard
+/// end-to-end correctness diagnostic for transport codes.
+struct BalanceReport {
+  double source = 0.0;       // Int q_ext dV (+ angular MMS source if any)
+  double inflow = 0.0;       // gain through prescribed boundary flux
+  double absorption = 0.0;   // Int sigma_a phi dV
+  double leakage = 0.0;      // outflow through the domain boundary
+
+  [[nodiscard]] double residual() const {
+    return source + inflow - absorption - leakage;
+  }
+  [[nodiscard]] double relative() const {
+    const double scale = source + inflow;
+    return scale > 0.0 ? residual() / scale : residual();
+  }
+};
+
+[[nodiscard]] BalanceReport compute_balance(const Discretization& disc,
+                                            const ProblemData& problem,
+                                            const AngularFlux& psi,
+                                            const NodalField& phi,
+                                            const BoundaryAngularFlux* bc,
+                                            const AngularFlux* qang);
+
+}  // namespace unsnap::core

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <memory>
+
+#include "angular/quadrature.hpp"
+#include "core/element_integrals.hpp"
+#include "fem/hex_element.hpp"
+#include "mesh/hex_mesh.hpp"
+#include "snap/input.hpp"
+#include "sweep/schedule.hpp"
+
+namespace unsnap::core {
+
+/// Everything about the discretised problem that is independent of the
+/// solution state: mesh, reference element, per-element integrals, the
+/// angular quadrature and the per-angle sweep schedules. Immutable after
+/// construction; shared by the sweeper, sources, balance diagnostics and
+/// the pre-assembly engine.
+class Discretization {
+ public:
+  /// Build from an existing mesh (used by the block Jacobi subdomains).
+  Discretization(mesh::HexMesh mesh, int order,
+                 angular::QuadratureKind quadrature_kind, int nang,
+                 bool break_cycles);
+
+  /// Build the mesh described by the input, then discretise it.
+  explicit Discretization(const snap::Input& input);
+
+  [[nodiscard]] const mesh::HexMesh& mesh() const { return mesh_; }
+  [[nodiscard]] const fem::HexReferenceElement& ref() const { return ref_; }
+  [[nodiscard]] const angular::QuadratureSet& quadrature() const {
+    return quadrature_;
+  }
+  [[nodiscard]] const ElementIntegrals& integrals() const {
+    return *integrals_;
+  }
+  [[nodiscard]] const sweep::ScheduleSet& schedules() const {
+    return *schedules_;
+  }
+
+  [[nodiscard]] int num_elements() const { return mesh_.num_elements(); }
+  [[nodiscard]] int num_nodes() const { return ref_.num_nodes(); }
+  [[nodiscard]] int nodes_per_face() const { return ref_.nodes_per_face(); }
+  [[nodiscard]] int nang() const { return quadrature_.per_octant(); }
+
+ private:
+  mesh::HexMesh mesh_;
+  fem::HexReferenceElement ref_;
+  angular::QuadratureSet quadrature_;
+  std::unique_ptr<ElementIntegrals> integrals_;
+  std::unique_ptr<sweep::ScheduleSet> schedules_;
+};
+
+}  // namespace unsnap::core

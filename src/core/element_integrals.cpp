@@ -1,0 +1,71 @@
+#include "core/element_integrals.hpp"
+
+#include "mesh/mesh_checks.hpp"
+
+namespace unsnap::core {
+
+ElementIntegrals::ElementIntegrals(const mesh::HexMesh& mesh,
+                                   const fem::HexReferenceElement& ref)
+    : ne_(mesh.num_elements()),
+      n_(ref.num_nodes()),
+      nf_(ref.nodes_per_face()) {
+  const auto ne = static_cast<std::size_t>(ne_);
+  const auto nn = static_cast<std::size_t>(n_) * n_;
+  const auto nfnf = static_cast<std::size_t>(nf_) * nf_;
+  constexpr auto kF = static_cast<std::size_t>(fem::kFacesPerHex);
+
+  mass_.resize({ne, nn});
+  grad_.resize({3, ne, nn});
+  face_.resize({ne, kF, 3, nfnf});
+  fnormal_.resize({ne, kF, 3});
+  perm_.resize({ne, kF, static_cast<std::size_t>(nf_)}, -1);
+  node_weight_.resize({ne, static_cast<std::size_t>(n_)});
+  face_colsum_.resize({ne, kF, 3, static_cast<std::size_t>(nf_)});
+  volume_.resize(ne);
+  for (int f = 0; f < fem::kFacesPerHex; ++f) face_nodes_[f] = ref.face_nodes(f);
+
+#pragma omp parallel for schedule(dynamic, 8)
+  for (int e = 0; e < ne_; ++e) {
+    const fem::LocalMatrices local =
+        fem::compute_local_matrices(ref, mesh.geometry(e));
+    volume_[e] = local.volume;
+    for (int i = 0; i < n_; ++i)
+      for (int j = 0; j < n_; ++j) {
+        mass_(e, i * n_ + j) = local.mass(i, j);
+        for (int d = 0; d < 3; ++d)
+          grad_(d, e, i * n_ + j) = local.grad[d](i, j);
+      }
+    // Nodal weights: w_j = sum_i M_ij (partition of unity in the test slot).
+    for (int j = 0; j < n_; ++j) {
+      double w = 0.0;
+      for (int i = 0; i < n_; ++i) w += local.mass(i, j);
+      node_weight_(e, j) = w;
+    }
+    for (int f = 0; f < fem::kFacesPerHex; ++f) {
+      for (int d = 0; d < 3; ++d) {
+        for (int i = 0; i < nf_; ++i)
+          for (int j = 0; j < nf_; ++j)
+            face_(e, f, d, i * nf_ + j) = local.face[f][d](i, j);
+        for (int j = 0; j < nf_; ++j) {
+          double s = 0.0;
+          for (int i = 0; i < nf_; ++i) s += local.face[f][d](i, j);
+          face_colsum_(e, f, d, j) = s;
+        }
+        fnormal_(e, f, d) = local.face_area_normal[f][d];
+      }
+      if (mesh.neighbor(e, f) != mesh::kNoNeighbor) {
+        const std::vector<int> p = mesh::match_face_nodes(mesh, ref, e, f);
+        for (int j = 0; j < nf_; ++j) perm_(e, f, j) = p[j];
+      }
+    }
+  }
+}
+
+std::size_t ElementIntegrals::bytes() const {
+  return sizeof(double) * (mass_.size() + grad_.size() + face_.size() +
+                           fnormal_.size() + node_weight_.size() +
+                           face_colsum_.size() + volume_.size()) +
+         sizeof(int) * perm_.size();
+}
+
+}  // namespace unsnap::core

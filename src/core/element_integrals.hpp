@@ -1,0 +1,76 @@
+#pragma once
+
+#include "fem/element_matrices.hpp"
+#include "fem/hex_element.hpp"
+#include "mesh/hex_mesh.hpp"
+#include "util/ndarray.hpp"
+
+namespace unsnap::core {
+
+using fem::Vec3;
+
+/// Mesh-level store of every element's precomputed basis-pair integrals in
+/// flat, streamable arrays — the 13-odd arrays the paper's assembly kernel
+/// reads (§III-C). Built in parallel over elements. Also resolves the
+/// neighbour face-node correspondences once so the hot loop's upwind
+/// gather is a plain permuted load.
+class ElementIntegrals {
+ public:
+  ElementIntegrals(const mesh::HexMesh& mesh,
+                   const fem::HexReferenceElement& ref);
+
+  [[nodiscard]] int num_elements() const { return ne_; }
+  [[nodiscard]] int num_nodes() const { return n_; }
+  [[nodiscard]] int nodes_per_face() const { return nf_; }
+
+  /// n x n row-major blocks.
+  [[nodiscard]] const double* mass(int e) const { return &mass_(e, 0); }
+  [[nodiscard]] const double* grad(int e, int d) const {
+    return &grad_(d, e, 0);
+  }
+  /// nf x nf row-major face-local blocks for direction component d.
+  [[nodiscard]] const double* face(int e, int f, int d) const {
+    return &face_(e, f, d, 0);
+  }
+  /// Area-weighted outward normal of face f (matches mesh value; also
+  /// recomputed here with the full-order rule as a consistency check).
+  [[nodiscard]] Vec3 face_normal(int e, int f) const {
+    return {fnormal_(e, f, 0), fnormal_(e, f, 1), fnormal_(e, f, 2)};
+  }
+  /// Upwind gather map: entry j is the *neighbour's volume node index*
+  /// coincident with my face-local node j (only valid for interior faces).
+  [[nodiscard]] const int* neighbor_perm(int e, int f) const {
+    return &perm_(e, f, 0);
+  }
+  /// Volume node ids of my face-local nodes (shared across elements).
+  [[nodiscard]] const int* face_nodes(int f) const {
+    return face_nodes_[f].data();
+  }
+  [[nodiscard]] double volume(int e) const { return volume_[e]; }
+  /// Nodal integration weights: w_j = Int phi_j dV (column sums of the
+  /// mass matrix); balance diagnostics contract fields against these.
+  [[nodiscard]] const double* node_weights(int e) const {
+    return &node_weight_(e, 0);
+  }
+  /// Column sums of the directional face matrices: l_{d,j} = Int_f n_d
+  /// phi_j dS in face-local indexing, used for leakage accounting.
+  [[nodiscard]] const double* face_col_sums(int e, int f, int d) const {
+    return &face_colsum_(e, f, d, 0);
+  }
+
+  [[nodiscard]] std::size_t bytes() const;
+
+ private:
+  int ne_, n_, nf_;
+  NDArray<double, 2> mass_;      // [e][n*n]
+  NDArray<double, 3> grad_;      // [d][e][n*n]
+  NDArray<double, 4> face_;      // [e][f][d][nf*nf]
+  NDArray<double, 3> fnormal_;   // [e][f][3]
+  NDArray<int, 3> perm_;         // [e][f][nf]
+  NDArray<double, 2> node_weight_;   // [e][n]
+  NDArray<double, 4> face_colsum_;   // [e][f][d][nf]
+  std::vector<double> volume_;
+  std::array<std::vector<int>, fem::kFacesPerHex> face_nodes_;
+};
+
+}  // namespace unsnap::core

@@ -1,0 +1,130 @@
+#pragma once
+
+#include "angular/quadrature.hpp"
+#include "snap/input.hpp"
+#include "util/aligned.hpp"
+#include "util/assert.hpp"
+
+namespace unsnap::core {
+
+using snap::FluxLayout;
+
+/// The big angular flux array (paper §III-C: "streaming access of a very
+/// large array"). Node blocks are always contiguous and SIMD-aligned; the
+/// relative order of the element and group extents follows the configured
+/// layout, which is exactly the data-layout axis of Figures 3/4.
+class AngularFlux {
+ public:
+  AngularFlux() = default;
+  AngularFlux(FluxLayout layout, int nang, int ne, int ng, int n)
+      : layout_(layout), nang_(nang), ne_(ne), ng_(ng), n_(n) {
+    data_.assign(static_cast<std::size_t>(angular::kOctants) * nang * ne *
+                     ng * n,
+                 0.0);
+  }
+
+  [[nodiscard]] double* at(int oct, int a, int e, int g) {
+    return data_.data() + offset(oct, a, e, g);
+  }
+  [[nodiscard]] const double* at(int oct, int a, int e, int g) const {
+    return data_.data() + offset(oct, a, e, g);
+  }
+
+  [[nodiscard]] std::size_t offset(int oct, int a, int e, int g) const {
+    const auto angle =
+        static_cast<std::size_t>(oct) * nang_ + static_cast<std::size_t>(a);
+    if (layout_ == FluxLayout::AngleElementGroup)
+      return (((angle * ne_) + e) * ng_ + g) * n_;
+    return (((angle * ng_) + g) * ne_ + e) * n_;
+  }
+
+  [[nodiscard]] FluxLayout layout() const { return layout_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] int node_count() const { return n_; }
+  void fill(double v) { data_.assign(data_.size(), v); }
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+
+ private:
+  FluxLayout layout_ = FluxLayout::AngleElementGroup;
+  std::size_t nang_ = 0, ne_ = 0, ng_ = 0, n_ = 0;
+  AlignedVector<double> data_;
+};
+
+/// Angle-independent nodal field over (element, group): scalar flux and
+/// the source arrays. Extent order matches the flux layout so the sweep
+/// touches it with the same stride pattern the paper tuned.
+class NodalField {
+ public:
+  NodalField() = default;
+  NodalField(FluxLayout layout, int ne, int ng, int n)
+      : layout_(layout), ne_(ne), ng_(ng), n_(n) {
+    data_.assign(static_cast<std::size_t>(ne) * ng * n, 0.0);
+  }
+
+  [[nodiscard]] double* at(int e, int g) {
+    return data_.data() + offset(e, g);
+  }
+  [[nodiscard]] const double* at(int e, int g) const {
+    return data_.data() + offset(e, g);
+  }
+  [[nodiscard]] std::size_t offset(int e, int g) const {
+    if (layout_ == FluxLayout::AngleElementGroup)
+      return (static_cast<std::size_t>(e) * ng_ + g) * n_;
+    return (static_cast<std::size_t>(g) * ne_ + e) * n_;
+  }
+
+  [[nodiscard]] int num_elements() const { return static_cast<int>(ne_); }
+  [[nodiscard]] int num_groups() const { return static_cast<int>(ng_); }
+  [[nodiscard]] int node_count() const { return static_cast<int>(n_); }
+  [[nodiscard]] FluxLayout layout() const { return layout_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+  void fill(double v) { data_.assign(data_.size(), v); }
+
+ private:
+  FluxLayout layout_ = FluxLayout::AngleElementGroup;
+  std::size_t ne_ = 0, ng_ = 0, n_ = 0;
+  AlignedVector<double> data_;
+};
+
+/// Prescribed angular flux on boundary faces, keyed by the mesh's dense
+/// boundary-face index: Dirichlet inflow data for manufactured solutions
+/// and the halo buffers of the block Jacobi decomposition. Face-node
+/// values are stored in the owner's face-local ordering. Inactive (empty)
+/// means vacuum.
+class BoundaryAngularFlux {
+ public:
+  BoundaryAngularFlux() = default;
+  BoundaryAngularFlux(int num_boundary_faces, int nang, int ng, int nf)
+      : nang_(nang), ng_(ng), nf_(nf) {
+    data_.assign(static_cast<std::size_t>(num_boundary_faces) *
+                     angular::kOctants * nang * ng * nf,
+                 0.0);
+  }
+
+  [[nodiscard]] bool active() const { return !data_.empty(); }
+  [[nodiscard]] double* at(int bface, int oct, int a, int g) {
+    return data_.data() + offset(bface, oct, a, g);
+  }
+  [[nodiscard]] const double* at(int bface, int oct, int a, int g) const {
+    return data_.data() + offset(bface, oct, a, g);
+  }
+  [[nodiscard]] std::size_t offset(int bface, int oct, int a, int g) const {
+    return (((static_cast<std::size_t>(bface) * angular::kOctants + oct) *
+                 nang_ +
+             a) *
+                ng_ +
+            g) *
+           nf_;
+  }
+  void fill(double v) { data_.assign(data_.size(), v); }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+ private:
+  std::size_t nang_ = 0, ng_ = 0, nf_ = 0;
+  AlignedVector<double> data_;
+};
+
+}  // namespace unsnap::core

@@ -1,0 +1,79 @@
+#include "core/preassembly.hpp"
+
+#include "angular/quadrature.hpp"
+#include "linalg/invert.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+
+namespace unsnap::core {
+
+PreassembledOperator::PreassembledOperator(const Assembler& assembler,
+                                           Mode mode)
+    : mode_(mode) {
+  const Discretization& disc = assembler.discretization();
+  nang_ = disc.nang();
+  ne_ = disc.num_elements();
+  ng_ = assembler.problem().xs.ng;
+  n_ = disc.num_nodes();
+
+  const auto systems = static_cast<std::size_t>(angular::kOctants) * nang_ *
+                       ne_ * ng_;
+  const auto nn = static_cast<std::size_t>(n_) * n_;
+  mats_.resize({systems, nn});
+  if (mode_ == Mode::FactoredLu)
+    pivots_.resize({systems, static_cast<std::size_t>(n_)});
+
+#pragma omp parallel
+  {
+    linalg::Matrix scratch(n_, n_);
+    std::vector<int> piv(static_cast<std::size_t>(n_));
+#pragma omp for collapse(2) schedule(dynamic, 8)
+    for (int oct = 0; oct < angular::kOctants; ++oct) {
+      for (int a = 0; a < nang_; ++a) {
+        const Vec3 omega = disc.quadrature().direction(oct, a);
+        for (int e = 0; e < ne_; ++e) {
+          for (int g = 0; g < ng_; ++g) {
+            const std::size_t idx = index(oct, a, e, g);
+            double* stored = &mats_(idx, 0);
+            if (mode_ == Mode::FactoredLu) {
+              assembler.assemble_matrix(stored, e, g, omega);
+              linalg::lu_factor(linalg::MatrixView(stored, n_, n_),
+                                {&pivots_(idx, 0),
+                                 static_cast<std::size_t>(n_)});
+            } else {
+              assembler.assemble_matrix(scratch.data(), e, g, omega);
+              linalg::invert(scratch.view(),
+                             linalg::MatrixView(stored, n_, n_), piv);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void PreassembledOperator::apply(AssemblyContext& ctx, int oct, int a, int e,
+                                 int g) const {
+  const std::size_t idx = index(oct, a, e, g);
+  const double* stored = &mats_(idx, 0);
+  double* rhs = ctx.rhs.data();
+  if (mode_ == Mode::FactoredLu) {
+    linalg::lu_solve_factored(
+        linalg::ConstMatrixView(stored, n_, n_),
+        {&pivots_(idx, 0), static_cast<std::size_t>(n_)},
+        {rhs, static_cast<std::size_t>(n_)});
+  } else {
+    double* tmp = ctx.qtmp.data();  // reuse staging scratch for the matvec
+    linalg::matvec(linalg::ConstMatrixView(stored, n_, n_),
+                   {rhs, static_cast<std::size_t>(n_)},
+                   {tmp, static_cast<std::size_t>(n_)});
+#pragma omp simd
+    for (int i = 0; i < n_; ++i) rhs[i] = tmp[i];
+  }
+}
+
+std::size_t PreassembledOperator::bytes() const {
+  return sizeof(double) * mats_.size() + sizeof(int) * pivots_.size();
+}
+
+}  // namespace unsnap::core

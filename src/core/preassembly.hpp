@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+
+#include "core/assembler.hpp"
+
+namespace unsnap::core {
+
+/// Pre-assembled matrix mode (paper §IV-B-1, listed as future work): since
+/// A depends only on (angle, group, element) — not on the iteration — it
+/// can be factored or explicitly inverted once and reused every inner/outer
+/// iteration, trading a factor-(p+1)^3-squared memory blow-up for solves
+/// that become triangular applies or plain matvecs.
+class PreassembledOperator {
+ public:
+  enum class Mode {
+    FactoredLu,       // store LU factors + pivots, apply = two triangular solves
+    ExplicitInverse,  // store A^{-1}, apply = one matvec
+  };
+
+  PreassembledOperator(const Assembler& assembler, Mode mode);
+
+  /// Solve in place: ctx.rhs holds b on entry and psi on return.
+  void apply(AssemblyContext& ctx, int oct, int a, int e, int g) const;
+
+  [[nodiscard]] Mode mode() const { return mode_; }
+  /// Total storage, the memory-footprint cost the paper warns about.
+  [[nodiscard]] std::size_t bytes() const;
+
+  [[nodiscard]] static std::string to_string(Mode mode) {
+    return mode == Mode::FactoredLu ? "factored-lu" : "explicit-inverse";
+  }
+
+ private:
+  Mode mode_;
+  int nang_, ne_, ng_, n_;
+  NDArray<double, 2> mats_;   // [system][n*n]
+  NDArray<int, 2> pivots_;    // [system][n], FactoredLu only
+
+  [[nodiscard]] std::size_t index(int oct, int a, int e, int g) const {
+    return ((static_cast<std::size_t>(oct) * nang_ + a) * ne_ + e) * ng_ + g;
+  }
+};
+
+}  // namespace unsnap::core

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "core/discretization.hpp"
+#include "snap/data.hpp"
+
+namespace unsnap::core {
+
+/// Material data mapped onto the mesh: per-(element, group) cross sections
+/// flattened for the assembly kernel plus the external source. Built from
+/// the SNAP-style generators; the kernel never chases the material
+/// indirection at solve time.
+struct ProblemData {
+  ProblemData(const Discretization& disc, const snap::Input& input);
+  /// Directly from components (tests build bespoke problems this way).
+  ProblemData(const Discretization& disc, snap::CrossSections xs,
+              std::vector<int> material, NDArray<double, 2> qext);
+
+  snap::CrossSections xs;
+  std::vector<int> material;     // per element
+  NDArray<double, 2> sigt_eg;    // [e][g]
+  NDArray<double, 2> siga_eg;    // [e][g]
+  NDArray<double, 2> qext;       // [e][g] isotropic, constant per element
+
+ private:
+  void flatten(const Discretization& disc);
+};
+
+}  // namespace unsnap::core

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+#include "core/assembler.hpp"
+
+namespace unsnap::core {
+
+using snap::ConcurrencyScheme;
+
+/// Execution configuration of one sweep (the experiment axes of
+/// Figures 3/4 and Table II).
+struct SweepConfig {
+  ConcurrencyScheme scheme = ConcurrencyScheme::ElementsGroups;
+  linalg::SolverKind solver = linalg::SolverKind::GaussianElimination;
+  /// Loop-collapse decode order; must match the flux layout for the
+  /// paper's matched loop-order/data-layout schemes.
+  FluxLayout loop_order = FluxLayout::AngleElementGroup;
+  bool time_solve = false;
+  int ng = 1;
+  /// Legendre scattering orders; > 1 enables the moment machinery.
+  int nmom = 1;
+};
+
+/// Executes full transport sweeps: all octants, all angles following each
+/// angle's bucketed schedule, threading the configured loops. Owns the
+/// per-thread assembly scratch.
+class Sweeper {
+ public:
+  Sweeper(const Assembler& assembler, SweepConfig config);
+
+  /// One full sweep: zeroes phi, solves every (octant, angle, element,
+  /// group), leaves psi and the accumulated phi in `state`.
+  void sweep(SweepState& state);
+
+  /// Wall time of the last sweep's assemble/solve region.
+  [[nodiscard]] double last_sweep_seconds() const { return sweep_seconds_; }
+  /// Sum of per-thread pure-solve time in the last sweep (valid when
+  /// config.time_solve). Reported as thread-summed CPU seconds, matching
+  /// the paper's "% of runtime in the solve" accounting.
+  [[nodiscard]] double last_solve_seconds() const { return solve_seconds_; }
+
+  [[nodiscard]] const SweepConfig& config() const { return config_; }
+
+ private:
+  const Assembler* assembler_;
+  SweepConfig config_;
+  std::vector<AssemblyContext> contexts_;  // one per OpenMP thread
+  double sweep_seconds_ = 0.0;
+  double solve_seconds_ = 0.0;
+  /// Spherical-harmonic coefficient tables per (octant, angle):
+  /// accumulation row Y_lm(omega) and source row (2l+1) Y_lm(omega).
+  NDArray<double, 3> ylm_acc_;
+  NDArray<double, 3> ylm_src_;
+
+  void sweep_angle(SweepState state, int oct, int a);
+  void sweep_octant_angles_atomic(const SweepState& state, int oct);
+};
+
+}  // namespace unsnap::core

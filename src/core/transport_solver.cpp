@@ -1,0 +1,234 @@
+#include "core/transport_solver.hpp"
+
+#include <omp.h>
+
+#include "mesh/mesh_builder.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace unsnap::core {
+
+namespace {
+
+mesh::HexMesh build_mesh(const snap::Input& input) {
+  input.validate();
+  mesh::MeshOptions options;
+  options.dims = input.dims;
+  options.extent = {input.extent[0], input.extent[1], input.extent[2]};
+  options.twist = input.twist;
+  options.shuffle_seed = input.shuffle_seed;
+  return mesh::build_brick_mesh(options);
+}
+
+// Thread count must be pinned before the Sweeper sizes its per-thread
+// scratch; returns the input unchanged so this can run in the initialiser
+// list ahead of the discretisation.
+const snap::Input& pin_threads(const snap::Input& input) {
+  if (input.num_threads > 0) omp_set_num_threads(input.num_threads);
+  return input;
+}
+
+SweepConfig make_sweep_config(const snap::Input& input) {
+  SweepConfig config;
+  config.scheme = input.scheme;
+  config.solver = input.solver;
+  config.loop_order = input.layout;
+  config.ng = input.ng;
+  config.time_solve = input.time_solve;
+  config.nmom = input.nmom;
+  return config;
+}
+
+}  // namespace
+
+TransportSolver::TransportSolver(const snap::Input& input)
+    : TransportSolver(build_mesh(input), input) {}
+
+TransportSolver::TransportSolver(mesh::HexMesh mesh, const snap::Input& input)
+    : TransportSolver(
+          (pin_threads(input),
+           std::make_shared<const Discretization>(
+               std::move(mesh), input.order, input.quadrature, input.nang,
+               input.break_cycles)),
+          input) {}
+
+TransportSolver::TransportSolver(std::shared_ptr<const Discretization> disc,
+                                 const snap::Input& input)
+    : TransportSolver(disc, input, ProblemData(*disc, input)) {}
+
+TransportSolver::TransportSolver(std::shared_ptr<const Discretization> disc,
+                                 const snap::Input& input,
+                                 ProblemData problem)
+    : input_(pin_threads(input)),
+      disc_(std::move(disc)),
+      problem_(std::move(problem)),
+      assembler_(*disc_, problem_),
+      sweeper_(assembler_, make_sweep_config(input)),
+      sources_(*disc_, problem_),
+      psi_(input.layout, disc_->nang(), disc_->num_elements(), input.ng,
+           disc_->num_nodes()),
+      phi_(input.layout, disc_->num_elements(), input.ng,
+           disc_->num_nodes()),
+      phi_old_(input.layout, disc_->num_elements(), input.ng,
+               disc_->num_nodes()),
+      qout_(input.layout, disc_->num_elements(), input.ng,
+            disc_->num_nodes()),
+      qin_(input.layout, disc_->num_elements(), input.ng,
+           disc_->num_nodes()) {
+  require(disc_->ref().order() == input_.order,
+          "TransportSolver: input order does not match discretisation");
+  require(disc_->nang() == input_.nang,
+          "TransportSolver: input nang does not match discretisation");
+  require(problem_.xs.ng == input_.ng,
+          "TransportSolver: problem data group count does not match input");
+  require(problem_.xs.nmom >= input_.nmom,
+          "TransportSolver: cross sections carry fewer scattering orders "
+          "than input.nmom");
+  if (input_.any_reflective()) boundary_values();  // activate the storage
+  if (input_.nmom > 1) {
+    const int extra = input_.nmom * input_.nmom - 1;
+    const NodalField proto(input_.layout, disc_->num_elements(), input_.ng,
+                           disc_->num_nodes());
+    phi_mom_.assign(static_cast<std::size_t>(extra), proto);
+    qout_mom_.assign(static_cast<std::size_t>(extra), proto);
+    qin_mom_.assign(static_cast<std::size_t>(extra), proto);
+  }
+}
+
+SweepState TransportSolver::make_state() {
+  SweepState state;
+  state.psi = &psi_;
+  state.phi = &phi_;
+  state.qin = &qin_;
+  state.qang = qang_.get();
+  state.bc = bc_.active() ? &bc_ : nullptr;
+  state.pre = pre_.get();
+  if (input_.nmom > 1) {
+    state.phi_hi = &phi_mom_;
+    state.qmom_hi = &qin_mom_;
+    state.moment_count = input_.nmom * input_.nmom;
+  }
+  return state;
+}
+
+void TransportSolver::update_outer_source() {
+  sources_.update_outer(phi_, qout_);
+  if (input_.nmom > 1) sources_.update_outer_moments(phi_mom_, qout_mom_);
+}
+
+void TransportSolver::update_inner_source() {
+  sources_.update_inner(phi_, qout_, qin_);
+  if (input_.nmom > 1)
+    sources_.update_inner_moments(phi_mom_, qout_mom_, qin_mom_);
+}
+
+void TransportSolver::sweep() {
+  phi_old_ = phi_;
+  SweepState state = make_state();
+  sweeper_.sweep(state);
+  assemble_solve_seconds_ += sweeper_.last_sweep_seconds();
+  solve_seconds_ += sweeper_.last_solve_seconds();
+  if (input_.any_reflective()) apply_reflective_boundaries();
+}
+
+void TransportSolver::apply_reflective_boundaries() {
+  // Specular reflection off the (untwisted) domain planes: the outgoing
+  // trace of direction Omega feeds the incoming slot of the direction with
+  // the face-normal component flipped, which is the same angle index in
+  // the axis-mirrored octant. One sweep of lag — the reflected inflow
+  // converges with the source iteration, like the scattering source.
+  const mesh::HexMesh& mesh = disc_->mesh();
+  const int nang = disc_->nang();
+  const int nf = disc_->nodes_per_face();
+  for (const auto& [e, f] : mesh.boundary_faces()) {
+    const int side = mesh.boundary_kind(e, f);
+    if (side < 0 || side >= 6) continue;  // remote faces keep halo data
+    if (input_.boundary[side] != snap::Input::Bc::Reflective) continue;
+    const int axis = side / 2;
+    const int bface = mesh.boundary_face_id(e, f);
+    const int* fn = disc_->integrals().face_nodes(f);
+    for (int oct = 0; oct < angular::kOctants; ++oct) {
+      // Octant bit set means negative component; the outgoing side of a
+      // +axis boundary is the positive (bit clear) octant and vice versa.
+      const bool outgoing = ((oct >> axis) & 1) == (side % 2 == 0 ? 1 : 0);
+      if (!outgoing) continue;
+      const int mirror = oct ^ (1 << axis);
+      for (int a = 0; a < nang; ++a)
+        for (int g = 0; g < input_.ng; ++g) {
+          const double* ps = psi_.at(oct, a, e, g);
+          double* target = bc_.at(bface, mirror, a, g);
+          for (int j = 0; j < nf; ++j) target[j] = ps[fn[j]];
+        }
+    }
+  }
+}
+
+double TransportSolver::inner_change() const {
+  return max_relative_change(phi_, phi_old_);
+}
+
+IterationResult TransportSolver::run() {
+  IterationResult result;
+  Stopwatch total;
+  total.start();
+
+  NodalField phi_outer = phi_;
+  for (int outer = 0; outer < input_.oitm; ++outer) {
+    update_outer_source();
+    phi_outer = phi_;
+    for (int inner = 0; inner < input_.iitm; ++inner) {
+      update_inner_source();
+      sweep();
+      ++result.inners;
+      result.final_inner_change = inner_change();
+      if (!input_.fixed_iterations &&
+          result.final_inner_change < input_.epsi)
+        break;
+    }
+    ++result.outers;
+    result.final_outer_change = max_relative_change(phi_, phi_outer);
+    // SNAP's outer test is a factor 100 looser than the inner epsi.
+    if (result.final_outer_change < 100.0 * input_.epsi &&
+        result.final_inner_change < input_.epsi) {
+      result.converged = true;
+      if (!input_.fixed_iterations) break;
+    } else {
+      result.converged = false;
+    }
+  }
+
+  result.total_seconds = total.stop();
+  result.assemble_solve_seconds = assemble_solve_seconds_;
+  result.solve_seconds = solve_seconds_;
+  return result;
+}
+
+BoundaryAngularFlux& TransportSolver::boundary_values() {
+  if (!bc_.active()) {
+    bc_ = BoundaryAngularFlux(disc_->mesh().num_boundary_faces(), disc_->nang(),
+                              input_.ng, disc_->nodes_per_face());
+  }
+  return bc_;
+}
+
+AngularFlux& TransportSolver::angular_source() {
+  if (!qang_) {
+    qang_ = std::make_unique<AngularFlux>(input_.layout, disc_->nang(),
+                                          disc_->num_elements(), input_.ng,
+                                          disc_->num_nodes());
+  }
+  return *qang_;
+}
+
+void TransportSolver::enable_preassembly(PreassembledOperator::Mode mode) {
+  pre_ = std::make_unique<PreassembledOperator>(assembler_, mode);
+}
+
+void TransportSolver::disable_preassembly() { pre_.reset(); }
+
+BalanceReport TransportSolver::balance() const {
+  return compute_balance(*disc_, problem_, psi_, phi_,
+                         bc_.active() ? &bc_ : nullptr, qang_.get());
+}
+
+}  // namespace unsnap::core

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <memory>
+
+#include "core/balance.hpp"
+#include "core/preassembly.hpp"
+#include "core/source.hpp"
+#include "core/sweeper.hpp"
+
+namespace unsnap::core {
+
+/// Outcome of a TransportSolver::run().
+struct IterationResult {
+  bool converged = false;
+  int outers = 0;
+  int inners = 0;                    // total inner iterations (all outers)
+  double final_inner_change = 0.0;   // last inner dfmxi
+  double final_outer_change = 0.0;   // last outer dfmxo
+  double total_seconds = 0.0;
+  double assemble_solve_seconds = 0.0;  // wall time inside the sweeps
+  double solve_seconds = 0.0;  // thread-summed pure-solve time (if timed)
+};
+
+/// The UnSNAP mini-app: owns the discretisation, problem data and solution
+/// state and drives SNAP's outer/inner source iteration around the
+/// wavefront sweeps. The fine-grained methods (update_*_source, sweep,
+/// inner_change) are public so the block Jacobi driver and the tests can
+/// interleave halo exchanges and inspect single iterations.
+class TransportSolver {
+ public:
+  explicit TransportSolver(const snap::Input& input);
+  /// Use a caller-supplied mesh (block Jacobi subdomains, bespoke tests).
+  TransportSolver(mesh::HexMesh mesh, const snap::Input& input);
+  /// Share an existing discretisation across solvers — the benchmark
+  /// harness sweeps schemes/threads/solvers without rebuilding the mesh,
+  /// element integrals and schedules for every configuration. The input's
+  /// order/nang/quadrature must match the discretisation.
+  TransportSolver(std::shared_ptr<const Discretization> disc,
+                  const snap::Input& input);
+  /// Fully custom problem data (bespoke materials/sources beyond the SNAP
+  /// options — see the shielding and duct examples).
+  TransportSolver(std::shared_ptr<const Discretization> disc,
+                  const snap::Input& input, ProblemData problem);
+
+  /// Full solve: oitm outers of up to iitm inners; with
+  /// input.fixed_iterations the loop ignores the convergence tests and
+  /// always runs oitm x iitm sweeps (the paper's timing setup).
+  IterationResult run();
+
+  // --- single-iteration control ---------------------------------------
+  void update_outer_source();  // group-to-group scattering (Jacobi)
+  void update_inner_source();  // within-group scattering
+  /// One full sweep; updates psi and phi, snapshots phi for inner_change()
+  /// and refreshes reflective boundary data for the next sweep.
+  void sweep();
+  [[nodiscard]] double inner_change() const;
+
+  // --- state access -----------------------------------------------------
+  [[nodiscard]] const Discretization& discretization() const {
+    return *disc_;
+  }
+  [[nodiscard]] const ProblemData& problem() const { return problem_; }
+  /// Mutable problem data (manufactured solutions rewrite the source).
+  [[nodiscard]] ProblemData& problem() { return problem_; }
+  [[nodiscard]] const NodalField& scalar_flux() const { return phi_; }
+  [[nodiscard]] NodalField& scalar_flux() { return phi_; }
+  [[nodiscard]] const AngularFlux& angular_flux() const { return psi_; }
+  [[nodiscard]] AngularFlux& angular_flux() { return psi_; }
+  /// Flux moments above l = 0 (empty unless input.nmom > 1); entry m is
+  /// the flat spherical-harmonic index m+1.
+  [[nodiscard]] const std::vector<NodalField>& flux_moments() const {
+    return phi_mom_;
+  }
+
+  /// Prescribed boundary flux (Dirichlet inflow / halo target). Allocated
+  /// on first access; inactive means vacuum.
+  BoundaryAngularFlux& boundary_values();
+  [[nodiscard]] bool has_boundary_values() const { return bc_.active(); }
+
+  /// Per-angle (manufactured) source; allocated on first access.
+  AngularFlux& angular_source();
+
+  /// Switch the sweep kernel to pre-assembled operators (paper §IV-B-1).
+  void enable_preassembly(PreassembledOperator::Mode mode);
+  void disable_preassembly();
+  [[nodiscard]] const PreassembledOperator* preassembly() const {
+    return pre_.get();
+  }
+
+  [[nodiscard]] BalanceReport balance() const;
+  [[nodiscard]] const snap::Input& input() const { return input_; }
+
+  /// Cumulative sweep timings since construction.
+  [[nodiscard]] double assemble_solve_seconds() const {
+    return assemble_solve_seconds_;
+  }
+  [[nodiscard]] double solve_seconds() const { return solve_seconds_; }
+
+ private:
+  snap::Input input_;
+  std::shared_ptr<const Discretization> disc_;
+  ProblemData problem_;
+  Assembler assembler_;
+  Sweeper sweeper_;
+  SourceUpdater sources_;
+  AngularFlux psi_;
+  NodalField phi_, phi_old_, qout_, qin_;
+  std::vector<NodalField> phi_mom_, qout_mom_, qin_mom_;  // nmom > 1 only
+  BoundaryAngularFlux bc_;
+  std::unique_ptr<AngularFlux> qang_;
+  std::unique_ptr<PreassembledOperator> pre_;
+  double assemble_solve_seconds_ = 0.0;
+  double solve_seconds_ = 0.0;
+
+  [[nodiscard]] SweepState make_state();
+  /// Mirror outgoing boundary traces into the sign-flipped octants of the
+  /// boundary storage (reflective sides only).
+  void apply_reflective_boundaries();
+};
+
+}  // namespace unsnap::core

@@ -1,0 +1,81 @@
+#include "fem/element_matrices.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace unsnap::fem {
+
+LocalMatrices compute_local_matrices(const HexReferenceElement& ref,
+                                     const HexGeometry& geom) {
+  const int n = ref.num_nodes();
+  const int nf = ref.nodes_per_face();
+  LocalMatrices out;
+  out.mass = linalg::Matrix(n, n);
+  for (auto& g : out.grad) g = linalg::Matrix(n, n);
+
+  // Volume integrals: loop quadrature points once, accumulating mass and
+  // the three directional gradient matrices. Physical gradients are
+  // J^{-T} * reference gradients.
+  std::vector<double> gphys(static_cast<std::size_t>(n) * 3);
+  for (int q = 0; q < ref.num_qp(); ++q) {
+    const Jacobian jac = geom.jacobian(ref.qp_coord(q));
+    const double w = ref.qp_weight(q) * jac.det;
+    out.volume += w;
+    for (int i = 0; i < n; ++i) {
+      for (int d = 0; d < 3; ++d) {
+        double g = 0.0;
+        for (int c = 0; c < 3; ++c)
+          g += jac.inv_t[d][c] * ref.basis_grad(q, i, c);
+        gphys[static_cast<std::size_t>(i) * 3 + d] = g;
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      const double vi = ref.basis_value(q, i);
+      const double* gi = &gphys[static_cast<std::size_t>(i) * 3];
+      for (int j = 0; j < n; ++j) {
+        const double vj = ref.basis_value(q, j);
+        out.mass(i, j) += w * vi * vj;
+        out.grad[0](i, j) += w * gi[0] * vj;
+        out.grad[1](i, j) += w * gi[1] * vj;
+        out.grad[2](i, j) += w * gi[2] * vj;
+      }
+    }
+  }
+
+  // Face integrals in face-local indexing (row = my test node on the face,
+  // column = trial node on the face). The trace bases are tabulated once
+  // for all faces; geometry enters through the area-weighted normal.
+  for (int f = 0; f < kFacesPerHex; ++f) {
+    for (auto& m : out.face[f]) m = linalg::Matrix(nf, nf);
+    Vec3 area_normal{0, 0, 0};
+    double area = 0.0;
+    for (int fq = 0; fq < ref.num_face_qp(); ++fq) {
+      const auto [u, v] = ref.face_qp_uv(fq);
+      const Vec3 nds = geom.face_normal_ds(f, u, v);
+      const double w = ref.face_qp_weight(fq);
+      area += w * std::sqrt(dot(nds, nds));
+      for (int d = 0; d < 3; ++d) area_normal[d] += w * nds[d];
+      for (int i = 0; i < nf; ++i) {
+        const double vi = ref.face_basis_value(fq, i);
+        if (vi == 0.0) continue;
+        for (int j = 0; j < nf; ++j) {
+          const double vij = w * vi * ref.face_basis_value(fq, j);
+          out.face[f][0](i, j) += vij * nds[0];
+          out.face[f][1](i, j) += vij * nds[1];
+          out.face[f][2](i, j) += vij * nds[2];
+        }
+      }
+    }
+    out.face_area_normal[f] = area_normal;
+    out.face_area[f] = area;
+  }
+  return out;
+}
+
+std::size_t local_matrices_doubles(const HexReferenceElement& ref) {
+  const auto n = static_cast<std::size_t>(ref.num_nodes());
+  const auto nf = static_cast<std::size_t>(ref.nodes_per_face());
+  return 4 * n * n + kFacesPerHex * 3 * nf * nf;
+}
+
+}  // namespace unsnap::fem

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <array>
+
+#include "fem/geometry.hpp"
+#include "fem/hex_element.hpp"
+#include "linalg/matrix.hpp"
+
+namespace unsnap::fem {
+
+/// The "precomputed integration of basis function pairs" the paper's kernel
+/// streams from memory (§III-C): everything about one element that is
+/// independent of angle and energy group. The directional split keeps the
+/// face and gradient integrals angle-free; the assembly kernel contracts
+/// them with the ordinate on the fly.
+struct LocalMatrices {
+  /// M_ij = Int phi_i phi_j dV (n x n).
+  linalg::Matrix mass;
+  /// G_d[i][j] = Int (d phi_i / d x_d) phi_j dV (3 matrices, n x n).
+  std::array<linalg::Matrix, 3> grad;
+  /// F_{f,d}[i][j] = Int_f n_d phi_i phi_j dS in face-local indexing
+  /// (6 faces x 3 directions, nf x nf).
+  std::array<std::array<linalg::Matrix, 3>, kFacesPerHex> face;
+  /// Directed area of each face: Int_f n dS. Classifies faces as
+  /// inflow/outflow per ordinate and drives the sweep dependency graph.
+  std::array<Vec3, kFacesPerHex> face_area_normal;
+  /// Int_f dS (scalar area), for diagnostics.
+  std::array<double, kFacesPerHex> face_area;
+  double volume = 0.0;
+};
+
+/// Integrate all basis-pair products over one (possibly twisted) element.
+[[nodiscard]] LocalMatrices compute_local_matrices(
+    const HexReferenceElement& ref, const HexGeometry& geom);
+
+/// Number of FP64 values LocalMatrices stores per element; the benchmark
+/// harness uses this for footprint reporting.
+[[nodiscard]] std::size_t local_matrices_doubles(const HexReferenceElement& ref);
+
+}  // namespace unsnap::fem

@@ -1,0 +1,101 @@
+#include "fem/geometry.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace unsnap::fem {
+
+void HexGeometry::shape(const Vec3& xi, std::array<double, 8>& n) {
+  for (int c = 0; c < 8; ++c) {
+    const double sx = (c & 1) ? 1.0 : -1.0;
+    const double sy = (c & 2) ? 1.0 : -1.0;
+    const double sz = (c & 4) ? 1.0 : -1.0;
+    n[c] = 0.125 * (1.0 + sx * xi[0]) * (1.0 + sy * xi[1]) *
+           (1.0 + sz * xi[2]);
+  }
+}
+
+void HexGeometry::shape_grad(const Vec3& xi,
+                             std::array<std::array<double, 3>, 8>& dn) {
+  for (int c = 0; c < 8; ++c) {
+    const double sx = (c & 1) ? 1.0 : -1.0;
+    const double sy = (c & 2) ? 1.0 : -1.0;
+    const double sz = (c & 4) ? 1.0 : -1.0;
+    dn[c][0] = 0.125 * sx * (1.0 + sy * xi[1]) * (1.0 + sz * xi[2]);
+    dn[c][1] = 0.125 * (1.0 + sx * xi[0]) * sy * (1.0 + sz * xi[2]);
+    dn[c][2] = 0.125 * (1.0 + sx * xi[0]) * (1.0 + sy * xi[1]) * sz;
+  }
+}
+
+Vec3 HexGeometry::map(const Vec3& xi) const {
+  std::array<double, 8> n;
+  shape(xi, n);
+  Vec3 x{0.0, 0.0, 0.0};
+  for (int c = 0; c < 8; ++c)
+    for (int d = 0; d < 3; ++d) x[d] += n[c] * corners_[c][d];
+  return x;
+}
+
+Jacobian HexGeometry::jacobian(const Vec3& xi) const {
+  std::array<std::array<double, 3>, 8> dn;
+  shape_grad(xi, dn);
+  Jacobian out{};
+  for (int c = 0; c < 8; ++c)
+    for (int r = 0; r < 3; ++r)
+      for (int d = 0; d < 3; ++d) out.j[r][d] += corners_[c][r] * dn[c][d];
+
+  const auto& j = out.j;
+  const double det = j[0][0] * (j[1][1] * j[2][2] - j[1][2] * j[2][1]) -
+                     j[0][1] * (j[1][0] * j[2][2] - j[1][2] * j[2][0]) +
+                     j[0][2] * (j[1][0] * j[2][1] - j[1][1] * j[2][0]);
+  if (!(det > 0.0))
+    throw NumericalError("HexGeometry: non-positive Jacobian determinant " +
+                         std::to_string(det));
+  out.det = det;
+
+  // Cofactor / det gives the inverse; transpose of the inverse stored
+  // directly as inv_t[r][c] = (J^{-1})[c][r].
+  const double inv = 1.0 / det;
+  std::array<std::array<double, 3>, 3> adj;
+  adj[0][0] = j[1][1] * j[2][2] - j[1][2] * j[2][1];
+  adj[0][1] = j[0][2] * j[2][1] - j[0][1] * j[2][2];
+  adj[0][2] = j[0][1] * j[1][2] - j[0][2] * j[1][1];
+  adj[1][0] = j[1][2] * j[2][0] - j[1][0] * j[2][2];
+  adj[1][1] = j[0][0] * j[2][2] - j[0][2] * j[2][0];
+  adj[1][2] = j[0][2] * j[1][0] - j[0][0] * j[1][2];
+  adj[2][0] = j[1][0] * j[2][1] - j[1][1] * j[2][0];
+  adj[2][1] = j[0][1] * j[2][0] - j[0][0] * j[2][1];
+  adj[2][2] = j[0][0] * j[1][1] - j[0][1] * j[1][0];
+  // adj is the inverse*det with adj[r][c] = (J^{-1})[r][c]*det; inv_t is its
+  // transpose scaled by 1/det.
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) out.inv_t[r][c] = adj[c][r] * inv;
+  return out;
+}
+
+Vec3 HexGeometry::face_normal_ds(int f, double u, double v) const {
+  const auto [ua, va] = face_axes(f);
+  Vec3 xi{};
+  xi[face_axis(f)] = face_side(f) == 0 ? -1.0 : 1.0;
+  xi[ua] = u;
+  xi[va] = v;
+
+  std::array<std::array<double, 3>, 8> dn;
+  shape_grad(xi, dn);
+  Vec3 tu{0, 0, 0}, tv{0, 0, 0};
+  for (int c = 0; c < 8; ++c)
+    for (int d = 0; d < 3; ++d) {
+      tu[d] += corners_[c][d] * dn[c][ua];
+      tv[d] += corners_[c][d] * dn[c][va];
+    }
+  Vec3 n = cross(tu, tv);
+  // Orientation so n points outward; derived from the identity mapping
+  // (see the face-axis table in hex_element.cpp).
+  static constexpr double kSign[kFacesPerHex] = {-1.0, 1.0, 1.0,
+                                                 -1.0, -1.0, 1.0};
+  for (double& c : n) c *= kSign[f];
+  return n;
+}
+
+}  // namespace unsnap::fem

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <array>
+
+#include "fem/hex_element.hpp"
+
+namespace unsnap::fem {
+
+using Vec3 = std::array<double, 3>;
+
+[[nodiscard]] inline Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2],
+          a[0] * b[1] - a[1] * b[0]};
+}
+[[nodiscard]] inline double dot(const Vec3& a, const Vec3& b) {
+  return a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+}
+
+/// 3x3 Jacobian data at a point of the trilinear hex mapping.
+struct Jacobian {
+  std::array<std::array<double, 3>, 3> j;     // j[r][c] = dX_r / dxi_c
+  std::array<std::array<double, 3>, 3> inv_t;  // inverse transpose
+  double det;
+};
+
+/// Trilinear geometry of one hex element, defined by its 8 corner vertices
+/// (corner c = i + 2j + 4k over the +-1 reference corners). The mesh
+/// twist deforms elements, so Jacobians and face normals genuinely vary
+/// over each element and are evaluated per quadrature point.
+class HexGeometry {
+ public:
+  explicit HexGeometry(const std::array<Vec3, 8>& corners)
+      : corners_(corners) {}
+
+  /// Geometric (trilinear) shape function values at xi, corner-ordered.
+  static void shape(const Vec3& xi, std::array<double, 8>& n);
+  /// Reference-space gradients of the geometric shape functions.
+  static void shape_grad(const Vec3& xi, std::array<std::array<double, 3>, 8>& dn);
+
+  /// Physical position of reference point xi.
+  [[nodiscard]] Vec3 map(const Vec3& xi) const;
+
+  /// Jacobian, determinant and inverse transpose at xi. Throws
+  /// NumericalError if the element is inverted (det <= 0).
+  [[nodiscard]] Jacobian jacobian(const Vec3& xi) const;
+
+  /// Area-weighted outward normal (n * dS per unit reference face area) of
+  /// face f at in-face coordinates (u, v). Integrating this over the
+  /// reference face with the 2-D quadrature weights yields the exact
+  /// directed area of the (possibly curved) face.
+  [[nodiscard]] Vec3 face_normal_ds(int f, double u, double v) const;
+
+  [[nodiscard]] const std::array<Vec3, 8>& corners() const { return corners_; }
+
+  /// Physical centroid (image of the reference origin).
+  [[nodiscard]] Vec3 centroid() const { return map({0.0, 0.0, 0.0}); }
+
+ private:
+  std::array<Vec3, 8> corners_;
+};
+
+}  // namespace unsnap::fem

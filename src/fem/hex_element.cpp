@@ -1,0 +1,178 @@
+#include "fem/hex_element.hpp"
+
+#include "util/assert.hpp"
+
+namespace unsnap::fem {
+
+std::array<int, 2> face_axes(int f) {
+  switch (face_axis(f)) {
+    case 0: return {1, 2};  // +-x faces: (u,v) = (y,z)
+    case 1: return {0, 2};  // +-y faces: (u,v) = (x,z)
+    default: return {0, 1};  // +-z faces: (u,v) = (x,y)
+  }
+}
+
+HexReferenceElement::HexReferenceElement(int order, int quad_points_per_dim)
+    : order_(order),
+      num_nodes_((order + 1) * (order + 1) * (order + 1)),
+      nodes_per_face_((order + 1) * (order + 1)),
+      basis1d_(order),
+      rule1d_(gauss_legendre(quad_points_per_dim > 0 ? quad_points_per_dim
+                                                     : order + 2)) {
+  const int n1 = order_ + 1;
+  const int nq1 = rule1d_.size();
+  num_qp_ = nq1 * nq1 * nq1;
+  num_face_qp_ = nq1 * nq1;
+
+  // Corner node ids, c = i + 2j + 4k over {0, p}.
+  for (int k = 0; k < 2; ++k)
+    for (int j = 0; j < 2; ++j)
+      for (int i = 0; i < 2; ++i)
+        corner_nodes_[i + 2 * j + 4 * k] =
+            node_id(i * order_, j * order_, k * order_);
+
+  // Face node lists, u fastest within the face.
+  for (int f = 0; f < kFacesPerHex; ++f) {
+    const auto [ua, va] = face_axes(f);
+    const int fixed_axis = face_axis(f);
+    const int fixed_idx = face_side(f) == 0 ? 0 : order_;
+    auto& nodes = face_nodes_[f];
+    nodes.resize(static_cast<std::size_t>(nodes_per_face_));
+    for (int v = 0; v < n1; ++v) {
+      for (int u = 0; u < n1; ++u) {
+        std::array<int, 3> ijk{};
+        ijk[fixed_axis] = fixed_idx;
+        ijk[ua] = u;
+        ijk[va] = v;
+        nodes[static_cast<std::size_t>(u + n1 * v)] =
+            node_id(ijk[0], ijk[1], ijk[2]);
+      }
+    }
+  }
+
+  // Volume quadrature tensor product, x fastest: q = qx + nq*(qy + nq*qz).
+  qp_weight_.resize(static_cast<std::size_t>(num_qp_));
+  basis_val_.resize({static_cast<std::size_t>(num_qp_),
+                     static_cast<std::size_t>(num_nodes_)});
+  basis_grad_.resize({static_cast<std::size_t>(num_qp_),
+                      static_cast<std::size_t>(num_nodes_), 3});
+
+  std::vector<double> vx(n1), vy(n1), vz(n1), dx(n1), dy(n1), dz(n1);
+  for (int qz = 0; qz < nq1; ++qz) {
+    basis1d_.eval(rule1d_.points[qz], vz.data());
+    basis1d_.eval_deriv(rule1d_.points[qz], dz.data());
+    for (int qy = 0; qy < nq1; ++qy) {
+      basis1d_.eval(rule1d_.points[qy], vy.data());
+      basis1d_.eval_deriv(rule1d_.points[qy], dy.data());
+      for (int qx = 0; qx < nq1; ++qx) {
+        basis1d_.eval(rule1d_.points[qx], vx.data());
+        basis1d_.eval_deriv(rule1d_.points[qx], dx.data());
+        const int q = qx + nq1 * (qy + nq1 * qz);
+        qp_weight_[q] = rule1d_.weights[qx] * rule1d_.weights[qy] *
+                        rule1d_.weights[qz];
+        for (int k = 0; k < n1; ++k)
+          for (int j = 0; j < n1; ++j)
+            for (int i = 0; i < n1; ++i) {
+              const int node = node_id(i, j, k);
+              basis_val_(q, node) = vx[i] * vy[j] * vz[k];
+              basis_grad_(q, node, 0) = dx[i] * vy[j] * vz[k];
+              basis_grad_(q, node, 1) = vx[i] * dy[j] * vz[k];
+              basis_grad_(q, node, 2) = vx[i] * vy[j] * dz[k];
+            }
+      }
+    }
+  }
+
+  // Face quadrature (2-D tensor, u fastest) and trace basis table. The
+  // trace of the face-local node (iu, iv) at face point (u, v) is the
+  // product of the two 1-D bases — identical for every face because the
+  // face node lists follow the same (u, v) ordering.
+  face_qp_weight_.resize(static_cast<std::size_t>(num_face_qp_));
+  face_basis_val_.resize({static_cast<std::size_t>(num_face_qp_),
+                          static_cast<std::size_t>(nodes_per_face_)});
+  std::vector<double> vu(n1), vv(n1);
+  for (int qv = 0; qv < nq1; ++qv) {
+    basis1d_.eval(rule1d_.points[qv], vv.data());
+    for (int qu = 0; qu < nq1; ++qu) {
+      basis1d_.eval(rule1d_.points[qu], vu.data());
+      const int fq = qu + nq1 * qv;
+      face_qp_weight_[fq] = rule1d_.weights[qu] * rule1d_.weights[qv];
+      for (int iv = 0; iv < n1; ++iv)
+        for (int iu = 0; iu < n1; ++iu)
+          face_basis_val_(fq, iu + n1 * iv) = vu[iu] * vv[iv];
+    }
+  }
+}
+
+int HexReferenceElement::node_id(int i, int j, int k) const {
+  const int n1 = order_ + 1;
+  UNSNAP_ASSERT(i >= 0 && i < n1 && j >= 0 && j < n1 && k >= 0 && k < n1);
+  return i + n1 * (j + n1 * k);
+}
+
+std::array<int, 3> HexReferenceElement::node_ijk(int node) const {
+  const int n1 = order_ + 1;
+  return {node % n1, (node / n1) % n1, node / (n1 * n1)};
+}
+
+std::array<double, 3> HexReferenceElement::node_coord(int node) const {
+  const auto [i, j, k] = node_ijk(node);
+  const auto& x = basis1d_.nodes();
+  return {x[i], x[j], x[k]};
+}
+
+std::array<double, 3> HexReferenceElement::qp_coord(int q) const {
+  const int nq1 = rule1d_.size();
+  const int qx = q % nq1, qy = (q / nq1) % nq1, qz = q / (nq1 * nq1);
+  return {rule1d_.points[qx], rule1d_.points[qy], rule1d_.points[qz]};
+}
+
+std::array<double, 2> HexReferenceElement::face_qp_uv(int fq) const {
+  const int nq1 = rule1d_.size();
+  return {rule1d_.points[fq % nq1], rule1d_.points[fq / nq1]};
+}
+
+std::array<double, 3> HexReferenceElement::face_qp_coord(int f, int fq) const {
+  const auto [u, v] = face_qp_uv(fq);
+  const auto [ua, va] = face_axes(f);
+  std::array<double, 3> xi{};
+  xi[face_axis(f)] = face_side(f) == 0 ? -1.0 : 1.0;
+  xi[ua] = u;
+  xi[va] = v;
+  return xi;
+}
+
+void HexReferenceElement::eval_basis(const std::array<double, 3>& xi,
+                                     double* out) const {
+  const int n1 = order_ + 1;
+  std::vector<double> vx(n1), vy(n1), vz(n1);
+  basis1d_.eval(xi[0], vx.data());
+  basis1d_.eval(xi[1], vy.data());
+  basis1d_.eval(xi[2], vz.data());
+  for (int k = 0; k < n1; ++k)
+    for (int j = 0; j < n1; ++j)
+      for (int i = 0; i < n1; ++i)
+        out[node_id(i, j, k)] = vx[i] * vy[j] * vz[k];
+}
+
+void HexReferenceElement::eval_basis_grad(const std::array<double, 3>& xi,
+                                          double* out) const {
+  const int n1 = order_ + 1;
+  std::vector<double> vx(n1), vy(n1), vz(n1), dx(n1), dy(n1), dz(n1);
+  basis1d_.eval(xi[0], vx.data());
+  basis1d_.eval(xi[1], vy.data());
+  basis1d_.eval(xi[2], vz.data());
+  basis1d_.eval_deriv(xi[0], dx.data());
+  basis1d_.eval_deriv(xi[1], dy.data());
+  basis1d_.eval_deriv(xi[2], dz.data());
+  for (int k = 0; k < n1; ++k)
+    for (int j = 0; j < n1; ++j)
+      for (int i = 0; i < n1; ++i) {
+        double* g = out + 3 * node_id(i, j, k);
+        g[0] = dx[i] * vy[j] * vz[k];
+        g[1] = vx[i] * dy[j] * vz[k];
+        g[2] = vx[i] * vy[j] * dz[k];
+      }
+}
+
+}  // namespace unsnap::fem

@@ -1,0 +1,62 @@
+#include "fem/lagrange.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace unsnap::fem {
+
+LagrangeBasis1D::LagrangeBasis1D(int order) : order_(order) {
+  require(order >= 1, "LagrangeBasis1D: order must be >= 1");
+  require(order <= 16, "LagrangeBasis1D: order > 16 is numerically fragile");
+  const int n = order + 1;
+  nodes_.resize(n);
+  bary_.resize(n);
+  for (int i = 0; i < n; ++i)
+    nodes_[i] = -1.0 + 2.0 * static_cast<double>(i) / order;
+
+  for (int i = 0; i < n; ++i) {
+    double w = 1.0;
+    for (int j = 0; j < n; ++j)
+      if (j != i) w *= nodes_[i] - nodes_[j];
+    bary_[i] = 1.0 / w;
+  }
+}
+
+void LagrangeBasis1D::eval(double x, double* out) const {
+  const int n = num_nodes();
+  // If x coincides with a node the barycentric form degenerates; handle
+  // exactly (this happens for every tabulated node-at-node evaluation).
+  for (int i = 0; i < n; ++i) {
+    if (x == nodes_[i]) {
+      for (int j = 0; j < n; ++j) out[j] = (i == j) ? 1.0 : 0.0;
+      return;
+    }
+  }
+  // l(x) * w_i / (x - x_i) with l(x) = prod (x - x_j).
+  double l = 1.0;
+  for (int j = 0; j < n; ++j) l *= x - nodes_[j];
+  for (int i = 0; i < n; ++i) out[i] = l * bary_[i] / (x - nodes_[i]);
+}
+
+void LagrangeBasis1D::eval_deriv(double x, double* out) const {
+  const int n = num_nodes();
+  // Differentiate the product form directly: phi_i(x) = w_i prod_{j!=i}(x-x_j)
+  // => phi_i'(x) = w_i sum_{k!=i} prod_{j!=i,k}(x - x_j).
+  // O(n^2) per evaluation, used only when building the reference tables.
+  for (int i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (int k = 0; k < n; ++k) {
+      if (k == i) continue;
+      double prod = 1.0;
+      for (int j = 0; j < n; ++j) {
+        if (j == i || j == k) continue;
+        prod *= x - nodes_[j];
+      }
+      sum += prod;
+    }
+    out[i] = sum * bary_[i];
+  }
+}
+
+}  // namespace unsnap::fem

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+namespace unsnap::fem {
+
+/// One-dimensional Lagrange basis of arbitrary order p on [-1, 1] with
+/// equispaced nodes (the classical Lagrange finite elements the paper uses;
+/// order-p tensor products of these give the (p+1)^3-node hex elements of
+/// Table I). Evaluation uses the barycentric form for numerical stability
+/// at higher orders.
+class LagrangeBasis1D {
+ public:
+  explicit LagrangeBasis1D(int order);
+
+  [[nodiscard]] int order() const { return order_; }
+  [[nodiscard]] int num_nodes() const { return order_ + 1; }
+  [[nodiscard]] const std::vector<double>& nodes() const { return nodes_; }
+
+  /// Value of every basis function at x; out must hold num_nodes() values.
+  void eval(double x, double* out) const;
+
+  /// Derivative of every basis function at x.
+  void eval_deriv(double x, double* out) const;
+
+ private:
+  int order_;
+  std::vector<double> nodes_;
+  std::vector<double> bary_;  // barycentric weights
+};
+
+}  // namespace unsnap::fem

@@ -1,0 +1,45 @@
+#include "fem/quadrature1d.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.hpp"
+
+namespace unsnap::fem {
+
+Quadrature1D gauss_legendre(int n) {
+  require(n >= 1, "gauss_legendre: need at least one point");
+  Quadrature1D rule;
+  rule.points.resize(n);
+  rule.weights.resize(n);
+
+  // Symmetric rule: compute the non-negative half and mirror.
+  const int half = (n + 1) / 2;
+  for (int i = 0; i < half; ++i) {
+    // Chebyshev-like initial guess for the i-th root (descending order).
+    double x = std::cos(std::numbers::pi * (i + 0.75) / (n + 0.5));
+    double dp = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      // Evaluate P_n(x) and P'_n(x) by the three-term recurrence.
+      double p0 = 1.0, p1 = x;
+      for (int k = 2; k <= n; ++k) {
+        const double p2 = ((2.0 * k - 1.0) * x * p1 - (k - 1.0) * p0) / k;
+        p0 = p1;
+        p1 = p2;
+      }
+      dp = n * (x * p1 - p0) / (x * x - 1.0);
+      const double dx = p1 / dp;
+      x -= dx;
+      if (std::fabs(dx) < 1e-15) break;
+    }
+    const double w = 2.0 / ((1.0 - x * x) * dp * dp);
+    rule.points[i] = -x;  // ascending order from the left endpoint
+    rule.weights[i] = w;
+    rule.points[n - 1 - i] = x;
+    rule.weights[n - 1 - i] = w;
+  }
+  if (n % 2 == 1) rule.points[n / 2] = 0.0;  // exact centre for odd rules
+  return rule;
+}
+
+}  // namespace unsnap::fem

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <vector>
+
+namespace unsnap::fem {
+
+/// One-dimensional quadrature rule on [-1, 1].
+struct Quadrature1D {
+  std::vector<double> points;
+  std::vector<double> weights;
+
+  [[nodiscard]] int size() const { return static_cast<int>(points.size()); }
+};
+
+/// Gauss-Legendre rule with n points, exact for polynomials of degree
+/// 2n - 1. Nodes are found by Newton iteration on the Legendre polynomial
+/// from Chebyshev initial guesses; accurate to machine precision for the
+/// orders used here (n <= ~64).
+[[nodiscard]] Quadrature1D gauss_legendre(int n);
+
+}  // namespace unsnap::fem

@@ -1,0 +1,63 @@
+#include "io/vtk_writer.hpp"
+
+#include <fstream>
+
+#include "util/assert.hpp"
+
+namespace unsnap::io {
+
+void write_vtk(const std::string& path, const mesh::HexMesh& mesh,
+               const std::vector<CellField>& cell_fields) {
+  std::ofstream out(path);
+  require(out.good(), "write_vtk: cannot open " + path);
+  for (const auto& [name, values] : cell_fields)
+    require(static_cast<int>(values.size()) == mesh.num_elements(),
+            "write_vtk: field '" + name + "' has wrong size");
+
+  out << "# vtk DataFile Version 3.0\n"
+      << "UnSNAP mesh\nASCII\nDATASET UNSTRUCTURED_GRID\n";
+
+  out << "POINTS " << mesh.num_vertices() << " double\n";
+  for (int v = 0; v < mesh.num_vertices(); ++v) {
+    const auto& p = mesh.vertex(v);
+    out << p[0] << ' ' << p[1] << ' ' << p[2] << '\n';
+  }
+
+  // VTK_HEXAHEDRON wants the bottom quad counter-clockwise then the top;
+  // our corner c = i + 2j + 4k maps via {0,1,3,2, 4,5,7,6}.
+  static constexpr int kVtkOrder[8] = {0, 1, 3, 2, 4, 5, 7, 6};
+  out << "CELLS " << mesh.num_elements() << ' ' << 9 * mesh.num_elements()
+      << '\n';
+  for (int e = 0; e < mesh.num_elements(); ++e) {
+    out << 8;
+    for (const int c : kVtkOrder) out << ' ' << mesh.corner(e, c);
+    out << '\n';
+  }
+  out << "CELL_TYPES " << mesh.num_elements() << '\n';
+  for (int e = 0; e < mesh.num_elements(); ++e) out << "12\n";
+
+  if (!cell_fields.empty()) {
+    out << "CELL_DATA " << mesh.num_elements() << '\n';
+    for (const auto& [name, values] : cell_fields) {
+      out << "SCALARS " << name << " double 1\nLOOKUP_TABLE default\n";
+      for (const double v : values) out << v << '\n';
+    }
+  }
+}
+
+std::vector<double> cell_average_flux(const core::Discretization& disc,
+                                      const core::NodalField& phi, int g) {
+  const core::ElementIntegrals& ints = disc.integrals();
+  const int n = disc.num_nodes();
+  std::vector<double> avg(static_cast<std::size_t>(disc.num_elements()));
+  for (int e = 0; e < disc.num_elements(); ++e) {
+    const double* w = ints.node_weights(e);
+    const double* ph = phi.at(e, g);
+    double acc = 0.0;
+    for (int i = 0; i < n; ++i) acc += w[i] * ph[i];
+    avg[e] = acc / ints.volume(e);
+  }
+  return avg;
+}
+
+}  // namespace unsnap::io

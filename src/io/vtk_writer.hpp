@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/discretization.hpp"
+#include "core/flux_storage.hpp"
+#include "mesh/hex_mesh.hpp"
+
+namespace unsnap::io {
+
+/// Named per-element scalar field for visualisation output.
+using CellField = std::pair<std::string, std::vector<double>>;
+
+/// Write the mesh and any number of per-element scalar fields as a legacy
+/// ASCII VTK unstructured grid (loadable in ParaView/VisIt). Used by the
+/// sweep-explorer and shielding examples.
+void write_vtk(const std::string& path, const mesh::HexMesh& mesh,
+               const std::vector<CellField>& cell_fields);
+
+/// Element-averaged scalar flux of group g (volume-weighted nodal mean).
+[[nodiscard]] std::vector<double> cell_average_flux(
+    const core::Discretization& disc, const core::NodalField& phi, int g);
+
+}  // namespace unsnap::io

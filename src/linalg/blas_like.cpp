@@ -1,0 +1,59 @@
+#include "linalg/blas_like.hpp"
+
+#include <algorithm>
+
+namespace unsnap::linalg {
+
+void gemm_subtract(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  UNSNAP_ASSERT(a.cols() == b.rows());
+  UNSNAP_ASSERT(c.rows() == a.rows() && c.cols() == b.cols());
+  const int m = a.rows(), kk = a.cols(), n = b.cols();
+  // Cache tiles sized so one A tile + one B tile + one C tile fit in L1.
+  constexpr int kTileM = 32, kTileK = 64, kTileN = 64;
+  for (int i0 = 0; i0 < m; i0 += kTileM) {
+    const int im = std::min(i0 + kTileM, m);
+    for (int k0 = 0; k0 < kk; k0 += kTileK) {
+      const int km = std::min(k0 + kTileK, kk);
+      for (int j0 = 0; j0 < n; j0 += kTileN) {
+        const int jm = std::min(j0 + kTileN, n);
+        for (int i = i0; i < im; ++i) {
+          double* crow = c.row(i);
+          for (int k = k0; k < km; ++k) {
+            const double aik = a(i, k);
+            const double* brow = b.row(k);
+#pragma omp simd
+            for (int j = j0; j < jm; ++j) crow[j] -= aik * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+void trsm_lower_unit(ConstMatrixView l, MatrixView b) {
+  UNSNAP_ASSERT(l.rows() == l.cols() && l.rows() == b.rows());
+  const int m = l.rows(), n = b.cols();
+  for (int i = 1; i < m; ++i) {
+    double* bi = b.row(i);
+    for (int k = 0; k < i; ++k) {
+      const double lik = l(i, k);
+      if (lik == 0.0) continue;
+      const double* bk = b.row(k);
+#pragma omp simd
+      for (int j = 0; j < n; ++j) bi[j] -= lik * bk[j];
+    }
+  }
+}
+
+void ger_subtract(const double* col, int col_stride, const double* row, int m,
+                  int n, MatrixView a) {
+  for (int i = 0; i < m; ++i) {
+    const double ci = col[static_cast<std::size_t>(i) * col_stride];
+    if (ci == 0.0) continue;
+    double* arow = a.row(i);
+#pragma omp simd
+    for (int j = 0; j < n; ++j) arow[j] -= ci * row[j];
+  }
+}
+
+}  // namespace unsnap::linalg

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace unsnap::linalg {
+
+/// BLAS-like micro-kernels backing the blocked (LAPACK-style) LU. They are
+/// deliberately written in the register-tiled style linear algebra
+/// libraries use, because the point of the Table II comparison is
+/// "library-grade blocked code vs fused hand-written elimination".
+
+/// C -= A * B, row-major, cache-tiled. Shapes: A (m x k), B (k x n),
+/// C (m x n).
+void gemm_subtract(ConstMatrixView a, ConstMatrixView b, MatrixView c);
+
+/// Solve L * X = B in place where L is the unit-lower-triangular factor
+/// stored in the given square matrix (diagonal implicitly 1). B is
+/// overwritten with X. Shapes: L (m x m), B (m x n).
+void trsm_lower_unit(ConstMatrixView l, MatrixView b);
+
+/// Rank-1 update used by the unblocked panel factorisation:
+/// A22 -= col * row where col is (m x 1) and row is (1 x n).
+void ger_subtract(const double* col, int col_stride, const double* row, int m,
+                  int n, MatrixView a);
+
+}  // namespace unsnap::linalg

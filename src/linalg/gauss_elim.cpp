@@ -1,0 +1,71 @@
+#include "linalg/gauss_elim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace unsnap::linalg {
+
+namespace {
+
+// Shared elimination core; Pivot selects the pivot row for column k.
+template <bool kPivot>
+void eliminate(MatrixView a, std::span<double> b) {
+  const int n = a.rows();
+  UNSNAP_ASSERT(a.cols() == n && static_cast<int>(b.size()) == n);
+
+  for (int k = 0; k < n; ++k) {
+    if constexpr (kPivot) {
+      int piv = k;
+      double best = std::fabs(a(k, k));
+      for (int i = k + 1; i < n; ++i) {
+        const double v = std::fabs(a(i, k));
+        if (v > best) best = v, piv = i;
+      }
+      if (piv != k) {
+        double* rk = a.row(k);
+        double* rp = a.row(piv);
+        std::swap_ranges(rk + k, rk + n, rp + k);
+        std::swap(b[k], b[piv]);
+      }
+    }
+    const double diag = a(k, k);
+    if (diag == 0.0 || !std::isfinite(diag))
+      throw NumericalError("gauss_solve: zero pivot at column " +
+                           std::to_string(k));
+    const double inv = 1.0 / diag;
+    const double* rk = a.row(k);
+    const double bk = b[k];
+    for (int i = k + 1; i < n; ++i) {
+      double* ri = a.row(i);
+      const double factor = ri[k] * inv;
+      if (factor == 0.0) continue;
+#pragma omp simd
+      for (int j = k + 1; j < n; ++j) ri[j] -= factor * rk[j];
+      b[i] -= factor * bk;
+    }
+  }
+
+  // Back substitution; b becomes x.
+  for (int i = n - 1; i >= 0; --i) {
+    const double* ri = a.row(i);
+    double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+    for (int j = i + 1; j < n; ++j) acc += ri[j] * b[j];
+    b[i] = (b[i] - acc) / ri[i];
+  }
+}
+
+}  // namespace
+
+void gauss_solve(MatrixView a, std::span<double> b) {
+  eliminate<true>(a, b);
+}
+
+void gauss_solve_nopivot(MatrixView a, std::span<double> b) {
+  eliminate<false>(a, b);
+}
+
+}  // namespace unsnap::linalg

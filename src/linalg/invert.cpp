@@ -1,0 +1,23 @@
+#include "linalg/invert.hpp"
+
+#include "linalg/lu.hpp"
+#include "util/assert.hpp"
+
+namespace unsnap::linalg {
+
+void invert(MatrixView a, MatrixView inv, std::span<int> pivots) {
+  const int n = a.rows();
+  UNSNAP_ASSERT(a.cols() == n && inv.rows() == n && inv.cols() == n);
+  lu_factor(a, pivots);
+
+  // Solve A x = e_k column by column. Columns of the row-major inverse are
+  // strided, so stage each solve in a contiguous scratch column.
+  AlignedVector<double> col(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) col[i] = (i == k) ? 1.0 : 0.0;
+    lu_solve_factored(a, pivots, col);
+    for (int i = 0; i < n; ++i) inv(i, k) = col[i];
+  }
+}
+
+}  // namespace unsnap::linalg

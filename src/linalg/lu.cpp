@@ -1,0 +1,137 @@
+#include "linalg/lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "linalg/blas_like.hpp"
+#include "util/assert.hpp"
+
+namespace unsnap::linalg {
+
+namespace {
+
+// Swap full rows i and j of the matrix (used when applying panel pivots to
+// the columns outside the panel).
+void swap_row_range(MatrixView a, int i, int j, int c0, int c1) {
+  if (i == j) return;
+  double* ri = a.row(i);
+  double* rj = a.row(j);
+  std::swap_ranges(ri + c0, ri + c1, rj + c0);
+}
+
+[[noreturn]] void zero_pivot(int k) {
+  throw NumericalError("lu_factor: zero pivot at column " + std::to_string(k));
+}
+
+// Right-looking unblocked LU over the rectangular panel rows x cols.
+// Pivot search runs over the full row range; pivots are recorded relative to
+// the panel's first row.
+void factor_panel(MatrixView panel, std::span<int> pivots) {
+  const int m = panel.rows();
+  const int n = panel.cols();
+  const int steps = std::min(m, n);
+  for (int k = 0; k < steps; ++k) {
+    int piv = k;
+    double best = std::fabs(panel(k, k));
+    for (int i = k + 1; i < m; ++i) {
+      const double v = std::fabs(panel(i, k));
+      if (v > best) best = v, piv = i;
+    }
+    pivots[k] = piv;
+    if (piv != k) swap_row_range(panel, k, piv, 0, n);
+    const double diag = panel(k, k);
+    if (diag == 0.0 || !std::isfinite(diag)) zero_pivot(k);
+    const double inv = 1.0 / diag;
+    for (int i = k + 1; i < m; ++i) panel(i, k) *= inv;
+    if (k + 1 < n) {
+      // A22 -= l21 * u12 (rank-1 update).
+      ger_subtract(&panel(k + 1, k), panel.row_stride(), &panel(k, k + 1),
+                   m - k - 1, n - k - 1,
+                   panel.block(k + 1, k + 1, m - k - 1, n - k - 1));
+    }
+  }
+}
+
+}  // namespace
+
+void lu_factor_unblocked(MatrixView a, std::span<int> pivots) {
+  UNSNAP_ASSERT(a.rows() == a.cols());
+  UNSNAP_ASSERT(static_cast<int>(pivots.size()) >= a.rows());
+  factor_panel(a, pivots);
+}
+
+void lu_factor(MatrixView a, std::span<int> pivots) {
+  const int n = a.rows();
+  UNSNAP_ASSERT(a.cols() == n);
+  UNSNAP_ASSERT(static_cast<int>(pivots.size()) >= n);
+
+  if (n < kBlockedThreshold) {
+    factor_panel(a, pivots);
+    return;
+  }
+
+  for (int k0 = 0; k0 < n; k0 += kPanel) {
+    const int nb = std::min(kPanel, n - k0);
+    // Factor the current panel (all rows below and including the diagonal
+    // block, nb columns wide).
+    factor_panel(a.block(k0, k0, n - k0, nb),
+                 pivots.subspan(k0, static_cast<std::size_t>(nb)));
+    // Panel pivots are relative to row k0; rebase and apply the swaps to
+    // the columns left and right of the panel.
+    for (int k = k0; k < k0 + nb; ++k) {
+      pivots[k] += k0;
+      if (pivots[k] != k) {
+        swap_row_range(a, k, pivots[k], 0, k0);
+        swap_row_range(a, k, pivots[k], k0 + nb, n);
+      }
+    }
+    const int rest = n - k0 - nb;
+    if (rest > 0) {
+      // U12 = L11^{-1} A12, then trailing update A22 -= L21 U12.
+      trsm_lower_unit(a.block(k0, k0, nb, nb), a.block(k0, k0 + nb, nb, rest));
+      gemm_subtract(a.block(k0 + nb, k0, rest, nb),
+                    a.block(k0, k0 + nb, nb, rest),
+                    a.block(k0 + nb, k0 + nb, rest, rest));
+    }
+  }
+}
+
+void lu_solve_factored(ConstMatrixView lu, std::span<const int> pivots,
+                       std::span<double> b) {
+  const int n = lu.rows();
+  UNSNAP_ASSERT(lu.cols() == n && static_cast<int>(b.size()) == n);
+
+  // Apply row interchanges to b.
+  for (int k = 0; k < n; ++k)
+    if (pivots[k] != k) std::swap(b[k], b[pivots[k]]);
+
+  // Forward substitution with unit-lower L.
+  for (int i = 1; i < n; ++i) {
+    const double* ri = lu.row(i);
+    double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+    for (int j = 0; j < i; ++j) acc += ri[j] * b[j];
+    b[i] -= acc;
+  }
+
+  // Back substitution with U.
+  for (int i = n - 1; i >= 0; --i) {
+    const double* ri = lu.row(i);
+    double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+    for (int j = i + 1; j < n; ++j) acc += ri[j] * b[j];
+    const double diag = ri[i];
+    if (diag == 0.0) zero_pivot(i);
+    b[i] = (b[i] - acc) / diag;
+  }
+}
+
+void lapack_style_solve(MatrixView a, std::span<double> b,
+                        std::span<int> pivots) {
+  lu_factor(a, pivots);
+  lu_solve_factored(a, pivots, b);
+}
+
+}  // namespace unsnap::linalg

@@ -1,0 +1,43 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+namespace unsnap::linalg {
+
+double max_abs_diff(ConstMatrixView a, ConstMatrixView b) {
+  UNSNAP_ASSERT(a.rows() == b.rows() && a.cols() == b.cols());
+  double m = 0.0;
+  for (int i = 0; i < a.rows(); ++i)
+    for (int j = 0; j < a.cols(); ++j)
+      m = std::max(m, std::fabs(a(i, j) - b(i, j)));
+  return m;
+}
+
+void matvec(ConstMatrixView a, std::span<const double> x,
+            std::span<double> y) {
+  UNSNAP_ASSERT(static_cast<int>(x.size()) == a.cols());
+  UNSNAP_ASSERT(static_cast<int>(y.size()) == a.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* row = a.row(i);
+    double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+    for (int j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+}
+
+void matmul_accumulate(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  UNSNAP_ASSERT(a.cols() == b.rows());
+  UNSNAP_ASSERT(c.rows() == a.rows() && c.cols() == b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    double* crow = c.row(i);
+    for (int k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      const double* brow = b.row(k);
+#pragma omp simd
+      for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+}  // namespace unsnap::linalg

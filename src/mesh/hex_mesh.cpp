@@ -1,0 +1,63 @@
+#include "mesh/hex_mesh.hpp"
+
+#include "fem/quadrature1d.hpp"
+#include "util/assert.hpp"
+
+namespace unsnap::mesh {
+
+HexMesh::HexMesh(Data data)
+    : vertices_(std::move(data.vertices)),
+      elem_corners_(std::move(data.elem_corners)),
+      neighbor_(std::move(data.neighbor)),
+      neighbor_face_(std::move(data.neighbor_face)),
+      boundary_kind_(std::move(data.boundary_kind)),
+      elem_ijk_(std::move(data.elem_ijk)),
+      grid_dims_(data.grid_dims),
+      domain_lo_(data.domain_lo),
+      domain_hi_(data.domain_hi) {
+  const auto ne = elem_corners_.extent(0);
+  UNSNAP_ASSERT(neighbor_.extent(0) == ne && boundary_kind_.extent(0) == ne);
+
+  // Dense boundary-face numbering (inflow/Dirichlet/halo storage key).
+  boundary_id_.resize({ne, static_cast<std::size_t>(fem::kFacesPerHex)}, -1);
+  for (std::size_t e = 0; e < ne; ++e) {
+    for (int f = 0; f < fem::kFacesPerHex; ++f) {
+      const bool has_neighbor = neighbor_(e, f) != kNoNeighbor;
+      const bool is_boundary =
+          boundary_kind_(e, f) != BoundaryInfo::kInterior;
+      UNSNAP_ASSERT(has_neighbor != is_boundary);
+      if (is_boundary) {
+        boundary_id_(e, f) = static_cast<int>(boundary_faces_.size());
+        boundary_faces_.emplace_back(static_cast<int>(e), f);
+      }
+    }
+  }
+
+  // Face area normals with a 2x2 Gauss rule (exact: the integrand of a
+  // trilinear face is bi-quadratic at most).
+  face_normal_.resize({ne, static_cast<std::size_t>(fem::kFacesPerHex), 3},
+                      0.0);
+  const fem::Quadrature1D rule = fem::gauss_legendre(2);
+  for (std::size_t e = 0; e < ne; ++e) {
+    const fem::HexGeometry geom = geometry(static_cast<int>(e));
+    for (int f = 0; f < fem::kFacesPerHex; ++f) {
+      Vec3 total{0, 0, 0};
+      for (int qv = 0; qv < 2; ++qv)
+        for (int qu = 0; qu < 2; ++qu) {
+          const Vec3 nds =
+              geom.face_normal_ds(f, rule.points[qu], rule.points[qv]);
+          const double w = rule.weights[qu] * rule.weights[qv];
+          for (int d = 0; d < 3; ++d) total[d] += w * nds[d];
+        }
+      for (int d = 0; d < 3; ++d) face_normal_(e, f, d) = total[d];
+    }
+  }
+}
+
+std::array<Vec3, 8> HexMesh::element_corners(int e) const {
+  std::array<Vec3, 8> corners;
+  for (int c = 0; c < 8; ++c) corners[c] = vertices_[elem_corners_(e, c)];
+  return corners;
+}
+
+}  // namespace unsnap::mesh

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "fem/geometry.hpp"
+#include "fem/hex_element.hpp"
+#include "util/ndarray.hpp"
+
+namespace unsnap::mesh {
+
+using fem::Vec3;
+
+/// Marks a face with no neighbouring element.
+inline constexpr int kNoNeighbor = -1;
+
+/// Boundary kinds carried per boundary face. Domain faces get the side of
+/// the original brick they lie on (0..5, same numbering as local faces);
+/// Remote marks a subdomain interface created by the KBA partition whose
+/// inflow comes from the halo exchange (block Jacobi coupling).
+struct BoundaryInfo {
+  static constexpr int kInterior = -1;
+  static constexpr int kRemote = 6;
+};
+
+/// Unstructured conforming hexahedral mesh with trilinear (8-corner)
+/// geometry. Built from the structured SNAP brick but stored fully
+/// unstructured — neighbours are explicit lists, element numbering is
+/// (optionally) shuffled, and all downstream algorithms resolve adjacency
+/// only through these tables, which is the paper's key structural point.
+class HexMesh {
+ public:
+  HexMesh() = default;
+
+  // --- topology/geometry access -----------------------------------------
+  [[nodiscard]] int num_elements() const {
+    return static_cast<int>(elem_corners_.extent(0));
+  }
+  [[nodiscard]] int num_vertices() const {
+    return static_cast<int>(vertices_.size());
+  }
+
+  [[nodiscard]] const Vec3& vertex(int v) const { return vertices_[v]; }
+  [[nodiscard]] int corner(int e, int c) const { return elem_corners_(e, c); }
+
+  /// Neighbouring element across local face f, or kNoNeighbor.
+  [[nodiscard]] int neighbor(int e, int f) const { return neighbor_(e, f); }
+  /// The neighbour's local face index matching (e, f).
+  [[nodiscard]] int neighbor_face(int e, int f) const {
+    return neighbor_face_(e, f);
+  }
+  /// Boundary kind of face (e, f): BoundaryInfo::kInterior when the face
+  /// has a neighbour, 0..5 for domain sides, kRemote for partition cuts.
+  [[nodiscard]] int boundary_kind(int e, int f) const {
+    return boundary_kind_(e, f);
+  }
+  /// Dense index of boundary face (e, f) in [0, num_boundary_faces()), or
+  /// -1 for interior faces. Boundary-value storage (Dirichlet data, halo
+  /// buffers) is keyed by this index.
+  [[nodiscard]] int boundary_face_id(int e, int f) const {
+    return boundary_id_(e, f);
+  }
+  [[nodiscard]] int num_boundary_faces() const {
+    return static_cast<int>(boundary_faces_.size());
+  }
+  [[nodiscard]] const std::vector<std::pair<int, int>>& boundary_faces()
+      const {
+    return boundary_faces_;
+  }
+
+  [[nodiscard]] std::array<Vec3, 8> element_corners(int e) const;
+  [[nodiscard]] fem::HexGeometry geometry(int e) const {
+    return fem::HexGeometry(element_corners(e));
+  }
+  [[nodiscard]] Vec3 centroid(int e) const { return geometry(e).centroid(); }
+
+  /// Area-weighted outward face normal Int_f n dS (2x2 Gauss, exact for
+  /// trilinear faces). Shared by the sweep dependency graph and assembly.
+  [[nodiscard]] Vec3 face_area_normal(int e, int f) const {
+    return {face_normal_(e, f, 0), face_normal_(e, f, 1),
+            face_normal_(e, f, 2)};
+  }
+
+  /// Structured provenance tag (brick (i,j,k) of the element before
+  /// shuffling). Used ONLY by the KBA partitioner and tests; transport
+  /// algorithms must not touch it.
+  [[nodiscard]] const std::array<int, 3>& provenance_ijk(int e) const {
+    return elem_ijk_[e];
+  }
+  [[nodiscard]] const std::array<int, 3>& grid_dims() const {
+    return grid_dims_;
+  }
+  [[nodiscard]] const Vec3& domain_lo() const { return domain_lo_; }
+  [[nodiscard]] const Vec3& domain_hi() const { return domain_hi_; }
+
+  // --- construction (used by MeshBuilder and the submesh extractor) ------
+  struct Data {
+    std::vector<Vec3> vertices;
+    NDArray<int, 2> elem_corners;    // [ne][8]
+    NDArray<int, 2> neighbor;        // [ne][6]
+    NDArray<int, 2> neighbor_face;   // [ne][6]
+    NDArray<int, 2> boundary_kind;   // [ne][6]
+    std::vector<std::array<int, 3>> elem_ijk;
+    std::array<int, 3> grid_dims{0, 0, 0};
+    Vec3 domain_lo{0, 0, 0};
+    Vec3 domain_hi{0, 0, 0};
+  };
+  explicit HexMesh(Data data);
+
+ private:
+  std::vector<Vec3> vertices_;
+  NDArray<int, 2> elem_corners_;
+  NDArray<int, 2> neighbor_;
+  NDArray<int, 2> neighbor_face_;
+  NDArray<int, 2> boundary_kind_;
+  NDArray<int, 2> boundary_id_;
+  NDArray<double, 3> face_normal_;  // [ne][6][3]
+  std::vector<std::pair<int, int>> boundary_faces_;
+  std::vector<std::array<int, 3>> elem_ijk_;
+  std::array<int, 3> grid_dims_{0, 0, 0};
+  Vec3 domain_lo_{0, 0, 0};
+  Vec3 domain_hi_{0, 0, 0};
+};
+
+}  // namespace unsnap::mesh

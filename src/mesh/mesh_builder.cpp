@@ -1,0 +1,163 @@
+#include "mesh/mesh_builder.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace unsnap::mesh {
+
+HexMesh build_brick_mesh(const MeshOptions& options) {
+  const auto [nx, ny, nz] = options.dims;
+  require(nx >= 1 && ny >= 1 && nz >= 1, "mesh dims must be positive");
+  require(options.extent[0] > 0 && options.extent[1] > 0 &&
+              options.extent[2] > 0,
+          "mesh extent must be positive");
+
+  HexMesh::Data data;
+  data.grid_dims = options.dims;
+  data.domain_lo = {0.0, 0.0, 0.0};
+  data.domain_hi = options.extent;
+
+  // Vertices of the structured brick, twisted about the vertical axis
+  // through the domain centre by an angle growing linearly with z.
+  const int nvx = nx + 1, nvy = ny + 1, nvz = nz + 1;
+  data.vertices.reserve(static_cast<std::size_t>(nvx) * nvy * nvz);
+  const double cx = 0.5 * options.extent[0];
+  const double cy = 0.5 * options.extent[1];
+  for (int k = 0; k < nvz; ++k) {
+    const double z = options.extent[2] * k / nz;
+    const double angle = options.twist * (z / options.extent[2]);
+    const double ca = std::cos(angle), sa = std::sin(angle);
+    for (int j = 0; j < nvy; ++j) {
+      const double y = options.extent[1] * j / ny;
+      for (int i = 0; i < nvx; ++i) {
+        const double x = options.extent[0] * i / nx;
+        const double rx = x - cx, ry = y - cy;
+        data.vertices.push_back(
+            {cx + ca * rx - sa * ry, cy + sa * rx + ca * ry, z});
+      }
+    }
+  }
+  auto vid = [&](int i, int j, int k) { return i + nvx * (j + nvy * k); };
+  auto eid = [&](int i, int j, int k) { return i + nx * (j + ny * k); };
+
+  // Carving: decide survival per structured cell from the *untwisted*
+  // centroid, then number only the survivors.
+  const auto cells = static_cast<std::size_t>(nx) * ny * nz;
+  std::vector<char> kept(cells, 1);
+  if (options.keep) {
+    for (int k = 0; k < nz; ++k)
+      for (int j = 0; j < ny; ++j)
+        for (int i = 0; i < nx; ++i) {
+          const Vec3 centroid{options.extent[0] * (i + 0.5) / nx,
+                              options.extent[1] * (j + 0.5) / ny,
+                              options.extent[2] * (k + 0.5) / nz};
+          kept[static_cast<std::size_t>(eid(i, j, k))] =
+              options.keep(centroid) ? 1 : 0;
+        }
+  }
+  std::vector<int> compact(cells, -1);
+  std::size_t ne = 0;
+  for (std::size_t c = 0; c < cells; ++c)
+    if (kept[c]) compact[c] = static_cast<int>(ne++);
+  require(ne > 0, "mesh carving removed every element");
+
+  data.elem_corners.resize({ne, 8});
+  data.neighbor.resize({ne, static_cast<std::size_t>(fem::kFacesPerHex)},
+                       kNoNeighbor);
+  data.neighbor_face.resize(
+      {ne, static_cast<std::size_t>(fem::kFacesPerHex)}, kNoNeighbor);
+  data.boundary_kind.resize(
+      {ne, static_cast<std::size_t>(fem::kFacesPerHex)},
+      BoundaryInfo::kInterior);
+  data.elem_ijk.resize(ne);
+
+  // Optional shuffle of the element numbering (new_id[compact] = final id).
+  std::vector<int> new_id(ne);
+  std::iota(new_id.begin(), new_id.end(), 0);
+  if (options.shuffle_seed != 0) {
+    Rng rng(options.shuffle_seed);
+    for (std::size_t i = ne; i > 1; --i)
+      std::swap(new_id[i - 1], new_id[rng.below(i)]);
+  }
+
+  for (int k = 0; k < nz; ++k)
+    for (int j = 0; j < ny; ++j)
+      for (int i = 0; i < nx; ++i) {
+        const int cid = compact[static_cast<std::size_t>(eid(i, j, k))];
+        if (cid < 0) continue;
+        const int e = new_id[static_cast<std::size_t>(cid)];
+        data.elem_ijk[e] = {i, j, k};
+        for (int c = 0; c < 8; ++c)
+          data.elem_corners(e, c) =
+              vid(i + (c & 1), j + ((c >> 1) & 1), k + ((c >> 2) & 1));
+
+        // Face f = 2*axis + side; neighbour is the adjacent surviving
+        // brick cell, otherwise a domain boundary tagged with the face id.
+        const std::array<int, 3> ijk{i, j, k};
+        const std::array<int, 3> dims{nx, ny, nz};
+        for (int axis = 0; axis < 3; ++axis) {
+          for (int side = 0; side < 2; ++side) {
+            const int f = 2 * axis + side;
+            std::array<int, 3> nb = ijk;
+            nb[axis] += side == 0 ? -1 : 1;
+            int nb_compact = -1;
+            if (nb[axis] >= 0 && nb[axis] < dims[axis])
+              nb_compact = compact[static_cast<std::size_t>(
+                  eid(nb[0], nb[1], nb[2]))];
+            if (nb_compact < 0) {
+              data.boundary_kind(e, f) = f;  // brick side or carved face
+            } else {
+              data.neighbor(e, f) =
+                  new_id[static_cast<std::size_t>(nb_compact)];
+              data.neighbor_face(e, f) = fem::opposite_face(f);
+            }
+          }
+        }
+      }
+
+  // Drop unreferenced vertices so carved meshes stay compact.
+  if (options.keep) {
+    std::vector<int> vmap(data.vertices.size(), -1);
+    std::vector<Vec3> vertices;
+    for (std::size_t e = 0; e < ne; ++e)
+      for (int c = 0; c < 8; ++c) {
+        int& v = data.elem_corners(e, c);
+        if (vmap[v] < 0) {
+          vmap[v] = static_cast<int>(vertices.size());
+          vertices.push_back(data.vertices[v]);
+        }
+        v = vmap[v];
+      }
+    data.vertices = std::move(vertices);
+  }
+
+  return HexMesh(std::move(data));
+}
+
+namespace carve {
+
+std::function<bool(const Vec3&)> lshape(const Vec3& extent, double fraction) {
+  const double x_cut = extent[0] * (1.0 - fraction);
+  const double y_cut = extent[1] * (1.0 - fraction);
+  return [x_cut, y_cut](const Vec3& c) {
+    return !(c[0] > x_cut && c[1] > y_cut);
+  };
+}
+
+std::function<bool(const Vec3&)> hollow(const Vec3& extent, double fraction) {
+  return [extent, fraction](const Vec3& c) {
+    for (int d = 0; d < 3; ++d) {
+      const double half = 0.5 * fraction * extent[d];
+      const double mid = 0.5 * extent[d];
+      if (c[d] < mid - half || c[d] > mid + half) return true;
+    }
+    return false;  // inside the cavity
+  };
+}
+
+}  // namespace carve
+
+}  // namespace unsnap::mesh

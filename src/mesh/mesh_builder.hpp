@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "mesh/hex_mesh.hpp"
+
+namespace unsnap::mesh {
+
+/// Parameters of the UnSNAP mesh construction (paper §III): generate the
+/// structured SNAP brick, store it unstructured, twist it about the z axis
+/// so no element is a perfect cube, and shuffle the element numbering so
+/// downstream code cannot recover the structure implicitly.
+struct MeshOptions {
+  std::array<int, 3> dims{8, 8, 8};
+  Vec3 extent{1.0, 1.0, 1.0};
+  /// Total rotation (radians) of the top of the domain relative to the
+  /// bottom, applied about the vertical axis through the domain centre and
+  /// varying linearly with z. The paper twists by "up to 0.001 radians";
+  /// larger values stress-test the per-angle schedules (and can create
+  /// sweep cycles).
+  double twist = 0.0;
+  /// 0 keeps the structured numbering; any other value seeds the
+  /// Fisher-Yates shuffle of element ids.
+  std::uint64_t shuffle_seed = 0;
+  /// Optional carving predicate over the untwisted element centroid:
+  /// elements where it returns false are removed and the exposed faces
+  /// become domain boundary. Enables genuinely non-brick topologies
+  /// (L-shapes, cavities) on which nothing structured survives.
+  std::function<bool(const Vec3&)> keep;
+};
+
+/// Build the (possibly twisted, shuffled, carved) brick mesh.
+[[nodiscard]] HexMesh build_brick_mesh(const MeshOptions& options);
+
+/// Convenience carving predicates.
+namespace carve {
+/// L-shaped domain: removes the quadrant with x and y both in the upper
+/// given fraction of the extent.
+[[nodiscard]] std::function<bool(const Vec3&)> lshape(const Vec3& extent,
+                                                      double fraction = 0.5);
+/// Hollow block: removes the centred box covering `fraction` of each
+/// dimension (a cavity; the sweep must go around it).
+[[nodiscard]] std::function<bool(const Vec3&)> hollow(const Vec3& extent,
+                                                      double fraction = 0.4);
+}  // namespace carve
+
+}  // namespace unsnap::mesh

@@ -1,0 +1,157 @@
+#include "mesh/mesh_checks.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "fem/geometry.hpp"
+#include "util/assert.hpp"
+
+namespace unsnap::mesh {
+
+namespace {
+
+double distance2(const Vec3& a, const Vec3& b) {
+  const double dx = a[0] - b[0], dy = a[1] - b[1], dz = a[2] - b[2];
+  return dx * dx + dy * dy + dz * dz;
+}
+
+// Characteristic length scale of an element (corner bounding-box diagonal).
+double length_scale(const fem::HexGeometry& geom) {
+  Vec3 lo = geom.corners()[0], hi = geom.corners()[0];
+  for (const auto& c : geom.corners())
+    for (int d = 0; d < 3; ++d) {
+      lo[d] = std::min(lo[d], c[d]);
+      hi[d] = std::max(hi[d], c[d]);
+    }
+  return std::sqrt(distance2(lo, hi));
+}
+
+}  // namespace
+
+std::string MeshCheckReport::summary() const {
+  if (ok()) return "mesh OK";
+  std::ostringstream out;
+  out << problems.size() << " problem(s):";
+  for (const auto& p : problems) out << "\n  - " << p;
+  return out.str();
+}
+
+std::vector<int> match_face_nodes_local(const fem::HexReferenceElement& ref,
+                                        const fem::HexGeometry& mine,
+                                        int my_face,
+                                        const fem::HexGeometry& theirs,
+                                        int their_face) {
+  const int nf = ref.nodes_per_face();
+  const auto& my_nodes = ref.face_nodes(my_face);
+  const auto& their_nodes = ref.face_nodes(their_face);
+  const double tol2 = std::pow(1e-8 * length_scale(mine), 2);
+
+  std::vector<Vec3> their_pos(static_cast<std::size_t>(nf));
+  for (int j = 0; j < nf; ++j)
+    their_pos[j] = theirs.map(ref.node_coord(their_nodes[j]));
+
+  std::vector<int> perm(static_cast<std::size_t>(nf), -1);
+  std::vector<bool> used(static_cast<std::size_t>(nf), false);
+  for (int i = 0; i < nf; ++i) {
+    const Vec3 mine_pos = mine.map(ref.node_coord(my_nodes[i]));
+    int best = -1;
+    double best_d = tol2;
+    for (int j = 0; j < nf; ++j) {
+      if (used[j]) continue;
+      const double d = distance2(mine_pos, their_pos[j]);
+      if (d <= best_d) {
+        best_d = d;
+        best = j;
+      }
+    }
+    if (best < 0)
+      throw NumericalError(
+          "match_face_nodes: faces do not conform (no geometric match for a "
+          "face node)");
+    used[best] = true;
+    perm[i] = best;
+  }
+  return perm;
+}
+
+std::vector<int> match_face_nodes(const HexMesh& mesh,
+                                  const fem::HexReferenceElement& ref, int e,
+                                  int f) {
+  const int nbr = mesh.neighbor(e, f);
+  require(nbr != kNoNeighbor, "match_face_nodes: face has no neighbour");
+  const int nf_face = mesh.neighbor_face(e, f);
+  const auto local = match_face_nodes_local(ref, mesh.geometry(e), f,
+                                            mesh.geometry(nbr), nf_face);
+  const auto& their_nodes = ref.face_nodes(nf_face);
+  std::vector<int> volume_perm(local.size());
+  for (std::size_t j = 0; j < local.size(); ++j)
+    volume_perm[j] = their_nodes[local[j]];
+  return volume_perm;
+}
+
+MeshCheckReport check_mesh(const HexMesh& mesh,
+                           const fem::HexReferenceElement& ref) {
+  MeshCheckReport report;
+  auto fail = [&report](const std::string& msg) {
+    if (report.problems.size() < 32) report.problems.push_back(msg);
+  };
+
+  for (int e = 0; e < mesh.num_elements(); ++e) {
+    const fem::HexGeometry geom = mesh.geometry(e);
+
+    // Positive Jacobians everywhere we ever evaluate them.
+    for (int q = 0; q < ref.num_qp(); ++q) {
+      try {
+        (void)geom.jacobian(ref.qp_coord(q));
+      } catch (const NumericalError&) {
+        fail("element " + std::to_string(e) +
+             ": non-positive Jacobian at a quadrature point");
+        break;
+      }
+    }
+
+    for (int f = 0; f < fem::kFacesPerHex; ++f) {
+      const int nbr = mesh.neighbor(e, f);
+      const bool tagged_boundary =
+          mesh.boundary_kind(e, f) != BoundaryInfo::kInterior;
+      if ((nbr == kNoNeighbor) != tagged_boundary) {
+        fail("element " + std::to_string(e) + " face " + std::to_string(f) +
+             ": inconsistent neighbour/boundary tagging");
+        continue;
+      }
+      if (nbr == kNoNeighbor) continue;
+
+      // Symmetry through the stored reciprocal face.
+      const int nf_face = mesh.neighbor_face(e, f);
+      if (mesh.neighbor(nbr, nf_face) != e ||
+          mesh.neighbor_face(nbr, nf_face) != f) {
+        fail("element " + std::to_string(e) + " face " + std::to_string(f) +
+             ": neighbour does not point back");
+        continue;
+      }
+
+      // Geometric conformity (throws if nodes cannot be matched).
+      try {
+        (void)match_face_nodes(mesh, ref, e, f);
+      } catch (const NumericalError&) {
+        fail("element " + std::to_string(e) + " face " + std::to_string(f) +
+             ": shared face nodes do not coincide");
+      }
+
+      // Opposite outward normals across the pair.
+      const Vec3 mine = mesh.face_area_normal(e, f);
+      const Vec3 theirs = mesh.face_area_normal(nbr, nf_face);
+      const double scale = std::sqrt(fem::dot(mine, mine)) + 1e-300;
+      for (int d = 0; d < 3; ++d) {
+        if (std::fabs(mine[d] + theirs[d]) > 1e-9 * scale) {
+          fail("element " + std::to_string(e) + " face " + std::to_string(f) +
+               ": paired face normals are not opposite");
+          break;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace unsnap::mesh

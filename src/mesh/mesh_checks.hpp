@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fem/hex_element.hpp"
+#include "mesh/hex_mesh.hpp"
+
+namespace unsnap::mesh {
+
+/// Mesh validation report; empty `problems` means the mesh passed.
+struct MeshCheckReport {
+  std::vector<std::string> problems;
+  [[nodiscard]] bool ok() const { return problems.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Full consistency sweep over the mesh:
+///  - neighbour symmetry (nbr(nbr(e,f)) == e through the stored faces),
+///  - every face either interior or tagged boundary (watertight),
+///  - positive Jacobian determinant at every quadrature point,
+///  - shared faces geometrically coincide node-by-node,
+///  - outward normals of paired faces are opposite.
+[[nodiscard]] MeshCheckReport check_mesh(const HexMesh& mesh,
+                                         const fem::HexReferenceElement& ref);
+
+/// Face-node correspondence across one interior face: entry j gives the
+/// neighbour's *volume* node index geometrically coincident with my
+/// face-local node j. Throws NumericalError if the faces do not conform.
+[[nodiscard]] std::vector<int> match_face_nodes(
+    const HexMesh& mesh, const fem::HexReferenceElement& ref, int e, int f);
+
+/// As match_face_nodes but for a face pair described globally (used for
+/// halo setup where the two elements live in different submeshes): returns
+/// for each of my face-local nodes the *face-local* index on the neighbour
+/// side.
+[[nodiscard]] std::vector<int> match_face_nodes_local(
+    const fem::HexReferenceElement& ref, const fem::HexGeometry& mine,
+    int my_face, const fem::HexGeometry& theirs, int their_face);
+
+}  // namespace unsnap::mesh

@@ -1,0 +1,115 @@
+#include "mesh/partition.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace unsnap::mesh {
+
+Partition make_kba_partition(const HexMesh& mesh, int px, int py) {
+  const auto& dims = mesh.grid_dims();
+  require(px >= 1 && py >= 1, "partition: px and py must be positive");
+  require(px <= dims[0] && py <= dims[1],
+          "partition: more blocks than cells in x/y");
+
+  Partition part;
+  part.px = px;
+  part.py = py;
+  part.owner.resize(static_cast<std::size_t>(mesh.num_elements()));
+  part.ranks.resize(static_cast<std::size_t>(px) * py);
+
+  auto block = [](int i, int n, int p) {
+    // Largest b with b*n/p <= i  <=>  b = floor(((i+1)*p - 1) / n).
+    return static_cast<int>((static_cast<long>(i + 1) * p - 1) / n);
+  };
+
+  for (int e = 0; e < mesh.num_elements(); ++e) {
+    const auto& ijk = mesh.provenance_ijk(e);
+    const int rx = block(ijk[0], dims[0], px);
+    const int ry = block(ijk[1], dims[1], py);
+    const int rank = rx + px * ry;
+    part.owner[e] = rank;
+    part.ranks[rank].push_back(e);
+  }
+  for (auto& elems : part.ranks) std::sort(elems.begin(), elems.end());
+  return part;
+}
+
+SubMesh extract_submesh(const HexMesh& mesh, const Partition& partition,
+                        int rank) {
+  require(rank >= 0 && rank < partition.num_ranks(),
+          "extract_submesh: rank out of range");
+  SubMesh sub;
+  sub.rank = rank;
+  sub.global_elem = partition.ranks[rank];
+  const auto ne = sub.global_elem.size();
+  require(ne > 0, "extract_submesh: rank owns no elements");
+
+  std::vector<int> local_of(static_cast<std::size_t>(mesh.num_elements()),
+                            -1);
+  for (std::size_t l = 0; l < ne; ++l) local_of[sub.global_elem[l]] = static_cast<int>(l);
+
+  // Compact the vertex set.
+  std::vector<int> vmap(static_cast<std::size_t>(mesh.num_vertices()), -1);
+  HexMesh::Data data;
+  data.grid_dims = mesh.grid_dims();
+  data.domain_lo = mesh.domain_lo();
+  data.domain_hi = mesh.domain_hi();
+  data.elem_corners.resize({ne, 8});
+  data.neighbor.resize({ne, static_cast<std::size_t>(fem::kFacesPerHex)},
+                       kNoNeighbor);
+  data.neighbor_face.resize(
+      {ne, static_cast<std::size_t>(fem::kFacesPerHex)}, kNoNeighbor);
+  data.boundary_kind.resize(
+      {ne, static_cast<std::size_t>(fem::kFacesPerHex)},
+      BoundaryInfo::kInterior);
+  data.elem_ijk.resize(ne);
+
+  struct PendingRemote {
+    int local_elem;
+    int local_face;
+    int nbr_rank;
+    int nbr_global_elem;
+    int nbr_face;
+  };
+  std::vector<PendingRemote> pending;
+
+  for (std::size_t l = 0; l < ne; ++l) {
+    const int g = sub.global_elem[l];
+    data.elem_ijk[l] = mesh.provenance_ijk(g);
+    for (int c = 0; c < 8; ++c) {
+      const int gv = mesh.corner(g, c);
+      if (vmap[gv] < 0) {
+        vmap[gv] = static_cast<int>(data.vertices.size());
+        data.vertices.push_back(mesh.vertex(gv));
+      }
+      data.elem_corners(l, c) = vmap[gv];
+    }
+    for (int f = 0; f < fem::kFacesPerHex; ++f) {
+      const int gn = mesh.neighbor(g, f);
+      if (gn == kNoNeighbor) {
+        data.boundary_kind(l, f) = mesh.boundary_kind(g, f);
+      } else if (partition.owner[gn] == rank) {
+        data.neighbor(l, f) = local_of[gn];
+        data.neighbor_face(l, f) = mesh.neighbor_face(g, f);
+      } else {
+        data.boundary_kind(l, f) = BoundaryInfo::kRemote;
+        pending.push_back({static_cast<int>(l), f, partition.owner[gn], gn,
+                           mesh.neighbor_face(g, f)});
+      }
+    }
+  }
+
+  sub.mesh = HexMesh(std::move(data));
+
+  sub.remote_faces.reserve(pending.size());
+  for (const auto& p : pending) {
+    sub.remote_faces.push_back(
+        {p.local_elem, p.local_face,
+         sub.mesh.boundary_face_id(p.local_elem, p.local_face), p.nbr_rank,
+         p.nbr_global_elem, p.nbr_face});
+  }
+  return sub;
+}
+
+}  // namespace unsnap::mesh

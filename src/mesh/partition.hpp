@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "mesh/hex_mesh.hpp"
+
+namespace unsnap::mesh {
+
+/// KBA-style 2-D decomposition of the 3-D domain (paper §III): the x-y
+/// plane is split into px * py blocks and every rank owns full z columns,
+/// which Pautz/Bailey found near-optimal for sweeping unstructured meshes.
+/// Built from the structured provenance of the brick, exactly as UnSNAP
+/// derives its decomposition during mesh construction.
+struct Partition {
+  int px = 1;
+  int py = 1;
+  std::vector<int> owner;                 // element -> rank
+  std::vector<std::vector<int>> ranks;    // rank -> owned global elements
+
+  [[nodiscard]] int num_ranks() const { return px * py; }
+};
+
+[[nodiscard]] Partition make_kba_partition(const HexMesh& mesh, int px,
+                                           int py);
+
+/// One rank's view of the global mesh: a self-contained HexMesh whose
+/// cross-rank faces are boundaries of kind BoundaryInfo::kRemote, plus the
+/// correspondence needed for halo exchange.
+struct SubMesh {
+  HexMesh mesh;
+  int rank = 0;
+  std::vector<int> global_elem;  // local element -> global element
+
+  /// One entry per cross-rank face of this rank, in the order of the local
+  /// mesh's boundary-face numbering restricted to remote faces.
+  struct RemoteFace {
+    int local_elem;
+    int local_face;
+    int boundary_face_id;  // into the local mesh's boundary numbering
+    int nbr_rank;
+    int nbr_global_elem;
+    int nbr_face;  // local face index on the neighbour element
+  };
+  std::vector<RemoteFace> remote_faces;
+};
+
+[[nodiscard]] SubMesh extract_submesh(const HexMesh& mesh,
+                                      const Partition& partition, int rank);
+
+}  // namespace unsnap::mesh

@@ -1,0 +1,135 @@
+#include "snap/data.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace unsnap::snap {
+
+CrossSections make_cross_sections(int ng, double scattering_ratio,
+                                  int nmom) {
+  require(ng >= 1, "cross sections: ng must be positive");
+  require(scattering_ratio >= 0.0 && scattering_ratio < 1.0,
+          "cross sections: scattering ratio must be in [0, 1)");
+  require(nmom >= 1 && nmom <= 6, "cross sections: nmom must be in 1..6");
+  CrossSections xs;
+  xs.num_materials = 2;
+  xs.ng = ng;
+  xs.nmom = nmom;
+  const auto nm = static_cast<std::size_t>(xs.num_materials);
+  const auto g_count = static_cast<std::size_t>(ng);
+  xs.sigt.resize({nm, g_count});
+  xs.sigs.resize({nm, g_count});
+  xs.siga.resize({nm, g_count});
+  xs.slgg.resize({nm, g_count, g_count}, 0.0);
+
+  // Material base data in the SNAP style: material 0 has sigt 1.0 with the
+  // requested scattering ratio; material 1 is denser and slightly more
+  // scattering (SNAP: sigt 2.0, c 0.6 when material 0 has c 0.5).
+  const double base_sigt[2] = {1.0, 2.0};
+  const double ratio[2] = {scattering_ratio,
+                           std::min(0.95, scattering_ratio + 0.1)};
+
+  for (int m = 0; m < xs.num_materials; ++m) {
+    for (int g = 0; g < ng; ++g) {
+      // SNAP increments the totals by 0.01 per group.
+      xs.sigt(m, g) = base_sigt[m] + 0.01 * g;
+      xs.sigs(m, g) = ratio[m] * xs.sigt(m, g);
+      xs.siga(m, g) = xs.sigt(m, g) - xs.sigs(m, g);
+    }
+
+    // Transfer profile per source group: 70% in-group, 20% downscatter
+    // spread geometrically over lower-energy groups (higher index), 10%
+    // upscatter to the next higher-energy group. Edge groups fold the
+    // missing components back in-group so rows always sum to sigs.
+    for (int g = 0; g < ng; ++g) {
+      double w_in = 0.7, w_down = 0.2, w_up = 0.1;
+      if (g == 0) {
+        w_in += w_up;
+        w_up = 0.0;
+      }
+      if (g == ng - 1) {
+        w_in += w_down;
+        w_down = 0.0;
+      }
+      const double total = xs.sigs(m, g);
+      xs.slgg(m, g, g) += w_in * total;
+      if (w_up > 0.0) xs.slgg(m, g, g - 1) += w_up * total;
+      if (w_down > 0.0) {
+        // Geometric decay with ratio 1/2 over groups g+1..ng-1, normalised.
+        double norm = 0.0;
+        for (int gp = g + 1; gp < ng; ++gp)
+          norm += std::pow(0.5, gp - g);
+        for (int gp = g + 1; gp < ng; ++gp)
+          xs.slgg(m, g, gp) += w_down * total * std::pow(0.5, gp - g) / norm;
+      }
+    }
+  }
+
+  if (nmom > 1) {
+    xs.slgg_hi.resize({nm, static_cast<std::size_t>(nmom - 1), g_count,
+                       g_count});
+    for (int m = 0; m < xs.num_materials; ++m)
+      for (int l = 1; l < nmom; ++l)
+        for (int g = 0; g < ng; ++g)
+          for (int gp = 0; gp < ng; ++gp)
+            xs.slgg_hi(m, l - 1, g, gp) =
+                std::pow(0.4, l) * xs.slgg(m, g, gp);
+  }
+  return xs;
+}
+
+namespace {
+
+// True if the centroid lies in the centred box covering `fraction` of the
+// domain width in every dimension.
+bool in_central_box(const mesh::HexMesh& mesh, const mesh::Vec3& centroid,
+                    double fraction) {
+  for (int d = 0; d < 3; ++d) {
+    const double lo = mesh.domain_lo()[d];
+    const double hi = mesh.domain_hi()[d];
+    const double half = 0.5 * fraction * (hi - lo);
+    const double mid = 0.5 * (lo + hi);
+    if (centroid[d] < mid - half || centroid[d] > mid + half) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<int> assign_materials(const mesh::HexMesh& mesh, int mat_opt) {
+  require(mat_opt >= 0 && mat_opt <= 2, "mat_opt must be 0, 1 or 2");
+  std::vector<int> mat(static_cast<std::size_t>(mesh.num_elements()), 0);
+  if (mat_opt == 0) return mat;
+  for (int e = 0; e < mesh.num_elements(); ++e) {
+    const mesh::Vec3 c = mesh.centroid(e);
+    if (mat_opt == 1) {
+      if (in_central_box(mesh, c, 0.5)) mat[e] = 1;
+    } else {
+      const double mid =
+          0.5 * (mesh.domain_lo()[2] + mesh.domain_hi()[2]);
+      if (c[2] > mid) mat[e] = 1;
+    }
+  }
+  return mat;
+}
+
+NDArray<double, 2> make_external_source(const mesh::HexMesh& mesh,
+                                        int src_opt, int ng) {
+  require(src_opt >= 0 && src_opt <= 2, "src_opt must be 0, 1 or 2");
+  NDArray<double, 2> q({static_cast<std::size_t>(mesh.num_elements()),
+                        static_cast<std::size_t>(ng)},
+                       0.0);
+  for (int e = 0; e < mesh.num_elements(); ++e) {
+    bool inside = true;
+    if (src_opt == 1)
+      inside = in_central_box(mesh, mesh.centroid(e), 0.5);
+    else if (src_opt == 2)
+      inside = in_central_box(mesh, mesh.centroid(e), 0.25);
+    if (!inside) continue;
+    for (int g = 0; g < ng; ++g) q(e, g) = 1.0;
+  }
+  return q;
+}
+
+}  // namespace unsnap::snap

@@ -1,0 +1,58 @@
+#include "snap/input.hpp"
+
+#include "util/assert.hpp"
+
+namespace unsnap::snap {
+
+std::string to_string(FluxLayout layout) {
+  return layout == FluxLayout::AngleElementGroup ? "aeg" : "age";
+}
+
+std::string to_string(ConcurrencyScheme scheme) {
+  switch (scheme) {
+    case ConcurrencyScheme::Serial: return "serial";
+    case ConcurrencyScheme::Elements: return "elements";
+    case ConcurrencyScheme::ElementsGroups: return "elements-groups";
+    case ConcurrencyScheme::Groups: return "groups";
+    case ConcurrencyScheme::AnglesAtomic: return "angles-atomic";
+  }
+  UNSNAP_ASSERT(false);
+  return {};
+}
+
+FluxLayout layout_from_string(const std::string& name) {
+  if (name == "aeg") return FluxLayout::AngleElementGroup;
+  if (name == "age") return FluxLayout::AngleGroupElement;
+  throw InvalidInput("unknown layout '" + name + "' (expected aeg or age)");
+}
+
+ConcurrencyScheme scheme_from_string(const std::string& name) {
+  if (name == "serial") return ConcurrencyScheme::Serial;
+  if (name == "elements") return ConcurrencyScheme::Elements;
+  if (name == "elements-groups") return ConcurrencyScheme::ElementsGroups;
+  if (name == "groups") return ConcurrencyScheme::Groups;
+  if (name == "angles-atomic") return ConcurrencyScheme::AnglesAtomic;
+  throw InvalidInput("unknown scheme '" + name +
+                     "' (expected serial, elements, elements-groups, groups "
+                     "or angles-atomic)");
+}
+
+void Input::validate() const {
+  require(dims[0] >= 1 && dims[1] >= 1 && dims[2] >= 1,
+          "input: mesh dims must be positive");
+  require(extent[0] > 0 && extent[1] > 0 && extent[2] > 0,
+          "input: extent must be positive");
+  require(order >= 1 && order <= 8, "input: element order must be in 1..8");
+  require(nang >= 1, "input: nang must be positive");
+  require(ng >= 1, "input: ng must be positive");
+  require(nmom >= 1 && nmom <= 6, "input: nmom must be in 1..6");
+  require(mat_opt >= 0 && mat_opt <= 2, "input: mat_opt must be 0, 1 or 2");
+  require(src_opt >= 0 && src_opt <= 2, "input: src_opt must be 0, 1 or 2");
+  require(scattering_ratio >= 0.0 && scattering_ratio < 1.0,
+          "input: scattering ratio must be in [0, 1)");
+  require(epsi > 0.0, "input: epsi must be positive");
+  require(iitm >= 1 && oitm >= 1, "input: iteration limits must be >= 1");
+  require(num_threads >= 0, "input: num_threads must be >= 0");
+}
+
+}  // namespace unsnap::snap

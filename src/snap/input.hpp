@@ -1,0 +1,100 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "angular/quadrature.hpp"
+#include "linalg/solver.hpp"
+
+namespace unsnap::snap {
+
+/// Storage layout of the big solution arrays (paper §IV-A): the order of
+/// the array extents follows the loop order name, element nodes always
+/// innermost/contiguous.
+enum class FluxLayout {
+  AngleElementGroup,  // psi[octant][angle][element][group][node]
+  AngleGroupElement,  // psi[octant][angle][group][element][node]
+};
+
+/// On-node concurrency scheme for following the sweep schedule — the six
+/// legend entries of Figures 3/4 are {layout} x {which loops are threaded},
+/// plus the angle-threaded scheme discussed (and dismissed) in §IV-A-3 and
+/// a serial reference.
+enum class ConcurrencyScheme {
+  Serial,
+  Elements,          // thread elements within the bucket
+  ElementsGroups,    // collapse elements x groups (the paper's best)
+  Groups,            // thread energy groups, elements serial
+  AnglesAtomic,      // thread angles in the octant; scalar flux via atomics
+};
+
+[[nodiscard]] std::string to_string(FluxLayout layout);
+[[nodiscard]] std::string to_string(ConcurrencyScheme scheme);
+[[nodiscard]] FluxLayout layout_from_string(const std::string& name);
+[[nodiscard]] ConcurrencyScheme scheme_from_string(const std::string& name);
+
+/// Problem definition mirroring SNAP's input deck, extended with the
+/// UnSNAP-specific controls (element order, twist, layout/scheme/solver).
+struct Input {
+  // Spatial mesh.
+  std::array<int, 3> dims{8, 8, 8};
+  std::array<double, 3> extent{1.0, 1.0, 1.0};
+  double twist = 0.001;          // radians, paper's default stress
+  std::uint64_t shuffle_seed = 1; // 0 keeps structured numbering
+  int order = 1;                  // finite element order (1..5 in Table I)
+
+  // Angle and energy.
+  int nang = 8;   // angles per octant
+  int ng = 4;     // energy groups
+  /// Legendre scattering orders (SNAP's nmom, 1..4 typical): 1 = isotropic;
+  /// higher values carry (nmom)^2 spherical-harmonic flux moments and an
+  /// anisotropic scattering source.
+  int nmom = 1;
+  angular::QuadratureKind quadrature = angular::QuadratureKind::SnapLike;
+
+  // Materials and source (SNAP-style options; see data.hpp).
+  int mat_opt = 1;
+  int src_opt = 1;
+  double scattering_ratio = 0.5;  // c = sigs/sigt of material 1
+
+  /// Boundary condition per domain side (indexed like local faces:
+  /// 0:-x 1:+x 2:-y 3:+y 4:-z 5:+z). Vacuum is SNAP's default; reflective
+  /// sides mirror the outgoing angular flux into the sign-flipped octant
+  /// with a one-iteration lag (specular w.r.t. the untwisted planes, so
+  /// only meaningful for small twists).
+  enum class Bc { Vacuum, Reflective };
+  std::array<Bc, 6> boundary{Bc::Vacuum, Bc::Vacuum, Bc::Vacuum,
+                             Bc::Vacuum, Bc::Vacuum, Bc::Vacuum};
+  [[nodiscard]] bool any_reflective() const {
+    for (const Bc b : boundary)
+      if (b == Bc::Reflective) return true;
+    return false;
+  }
+
+  // Iteration control (SNAP: epsi, iitm inners per outer, oitm outers).
+  double epsi = 1e-4;
+  int iitm = 5;
+  int oitm = 1;
+  /// true reproduces the paper's timing setup: run exactly iitm x oitm
+  /// iterations regardless of convergence, so every configuration does
+  /// identical work.
+  bool fixed_iterations = true;
+
+  // Execution configuration.
+  FluxLayout layout = FluxLayout::AngleElementGroup;
+  ConcurrencyScheme scheme = ConcurrencyScheme::ElementsGroups;
+  linalg::SolverKind solver = linalg::SolverKind::GaussianElimination;
+  int num_threads = 0;       // 0 = OpenMP default
+  bool break_cycles = false; // sweep cycle handling (future-work feature)
+  bool validate_mesh = false;
+  /// Record pure-solve time inside the kernel (Table II's "% in solve").
+  /// Off by default: the per-solve timer calls perturb the measurement,
+  /// as the paper notes in §IV-B-1.
+  bool time_solve = false;
+
+  /// Throws InvalidInput if any field is out of range.
+  void validate() const;
+};
+
+}  // namespace unsnap::snap

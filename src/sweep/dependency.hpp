@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fem/geometry.hpp"
+#include "mesh/hex_mesh.hpp"
+
+namespace unsnap::sweep {
+
+using fem::Vec3;
+
+/// Upwind structure of one ordinate on the mesh: for every element, which
+/// local faces receive particles (incoming) under direction omega. A face
+/// is incoming when the area-averaged outward normal satisfies
+/// n . omega < 0 — the same face-level classification the assembly kernel
+/// branches on, so the schedule and the kernel can never disagree.
+struct AngleDependency {
+  /// Bit f set => local face f is incoming.
+  std::vector<std::uint8_t> incoming_mask;
+  /// Number of incoming faces with an *interior* neighbour (boundary and
+  /// remote faces are satisfied before the sweep starts).
+  std::vector<std::uint8_t> interior_incoming_count;
+
+  [[nodiscard]] bool is_incoming(int e, int f) const {
+    return (incoming_mask[e] >> f) & 1u;
+  }
+  [[nodiscard]] int num_elements() const {
+    return static_cast<int>(incoming_mask.size());
+  }
+};
+
+[[nodiscard]] AngleDependency build_dependency(const mesh::HexMesh& mesh,
+                                               const Vec3& omega);
+
+}  // namespace unsnap::sweep

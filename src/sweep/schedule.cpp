@@ -1,0 +1,141 @@
+#include "sweep/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace unsnap::sweep {
+
+int SweepSchedule::max_bucket_size() const {
+  int best = 0;
+  for (int b = 0; b < num_buckets(); ++b)
+    best = std::max(best, static_cast<int>(bucket(b).size()));
+  return best;
+}
+
+SweepSchedule build_schedule(const mesh::HexMesh& mesh,
+                             const AngleDependency& dep, bool break_cycles) {
+  const int ne = mesh.num_elements();
+  SweepSchedule schedule;
+  schedule.order_.reserve(static_cast<std::size_t>(ne));
+  schedule.bucket_start_.push_back(0);
+
+  std::vector<std::uint8_t> unsatisfied(dep.interior_incoming_count);
+  std::vector<char> scheduled(static_cast<std::size_t>(ne), 0);
+  int remaining = ne;
+
+  // Seed bucket: everything fed entirely by boundary/remote faces.
+  std::vector<int> current;
+  for (int e = 0; e < ne; ++e)
+    if (unsatisfied[e] == 0) current.push_back(e);
+
+  std::vector<int> next;
+  while (remaining > 0) {
+    if (current.empty()) {
+      // Cycle: no element is fully satisfied.
+      if (!break_cycles)
+        throw NumericalError(
+            "sweep schedule: cyclic dependency detected (twist too large?); "
+            "enable cycle breaking to lag the offending faces");
+      // Lag the incoming interior face with the smallest upwind flow
+      // magnitude among all stuck elements, then retry. Lagged faces read
+      // previous-iterate flux, so the sweep stays well defined.
+      int best_e = -1, best_f = -1;
+      double best_flow = 0.0;
+      for (int e = 0; e < ne; ++e) {
+        if (scheduled[e] || unsatisfied[e] == 0) continue;
+        for (int f = 0; f < fem::kFacesPerHex; ++f) {
+          if (!dep.is_incoming(e, f)) continue;
+          const int nbr = mesh.neighbor(e, f);
+          if (nbr == mesh::kNoNeighbor || scheduled[nbr]) continue;
+          if (schedule.face_is_lagged(e, f)) continue;
+          const Vec3 n = mesh.face_area_normal(e, f);
+          const double flow = std::sqrt(fem::dot(n, n));
+          if (best_e < 0 || flow < best_flow) {
+            best_e = e;
+            best_f = f;
+            best_flow = flow;
+          }
+        }
+      }
+      UNSNAP_ASSERT(best_e >= 0);
+      if (schedule.lagged_mask_.empty())
+        schedule.lagged_mask_.assign(static_cast<std::size_t>(ne), 0);
+      schedule.lagged_mask_[best_e] |=
+          static_cast<std::uint8_t>(1u << best_f);
+      schedule.lagged_faces_.emplace_back(best_e, best_f);
+      --unsatisfied[best_e];
+      if (unsatisfied[best_e] == 0) current.push_back(best_e);
+      continue;
+    }
+
+    // Emit the bucket and relax downwind counters.
+    next.clear();
+    for (const int e : current) {
+      scheduled[e] = 1;
+      schedule.order_.push_back(e);
+    }
+    remaining -= static_cast<int>(current.size());
+    schedule.bucket_start_.push_back(
+        static_cast<int>(schedule.order_.size()));
+    for (const int e : current) {
+      for (int f = 0; f < fem::kFacesPerHex; ++f) {
+        if (dep.is_incoming(e, f)) continue;  // outgoing faces only
+        const int nbr = mesh.neighbor(e, f);
+        if (nbr == mesh::kNoNeighbor || scheduled[nbr]) continue;
+        // My outgoing face feeds the neighbour only if the neighbour sees
+        // the shared face as incoming (grazing faces can be outgoing on
+        // both sides of a twisted interface).
+        const int nbr_face = mesh.neighbor_face(e, f);
+        if (!dep.is_incoming(nbr, nbr_face)) continue;
+        if (schedule.face_is_lagged(nbr, nbr_face)) continue;
+        UNSNAP_ASSERT(unsatisfied[nbr] > 0);
+        if (--unsatisfied[nbr] == 0) next.push_back(nbr);
+      }
+    }
+    current.swap(next);
+  }
+  return schedule;
+}
+
+ScheduleSet::ScheduleSet(const mesh::HexMesh& mesh,
+                         const angular::QuadratureSet& quadrature,
+                         bool break_cycles)
+    : per_octant_(quadrature.per_octant()) {
+  const int total = quadrature.total_angles();
+  index_.resize(static_cast<std::size_t>(total));
+
+  // Dedup by the incoming-mask signature: identical masks => identical
+  // dependency graph => identical schedule.
+  std::map<std::vector<std::uint8_t>, int> seen;
+  for (int oct = 0; oct < angular::kOctants; ++oct) {
+    for (int a = 0; a < per_octant_; ++a) {
+      const AngleDependency dep =
+          build_dependency(mesh, quadrature.direction(oct, a));
+      const auto [it, inserted] = seen.try_emplace(
+          dep.incoming_mask, static_cast<int>(schedules_.size()));
+      if (inserted)
+        schedules_.push_back(build_schedule(mesh, dep, break_cycles));
+      index_[static_cast<std::size_t>(oct) * per_octant_ + a] = it->second;
+    }
+  }
+}
+
+ScheduleStats schedule_stats(const SweepSchedule& schedule) {
+  ScheduleStats stats;
+  stats.buckets = schedule.num_buckets();
+  if (stats.buckets == 0) return stats;
+  stats.min_bucket = static_cast<int>(schedule.bucket(0).size());
+  for (int b = 0; b < stats.buckets; ++b) {
+    const int size = static_cast<int>(schedule.bucket(b).size());
+    stats.min_bucket = std::min(stats.min_bucket, size);
+    stats.max_bucket = std::max(stats.max_bucket, size);
+    stats.mean_bucket += size;
+  }
+  stats.mean_bucket /= stats.buckets;
+  return stats;
+}
+
+}  // namespace unsnap::sweep

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "angular/quadrature.hpp"
+#include "sweep/dependency.hpp"
+
+namespace unsnap::sweep {
+
+/// Bucketed wavefront schedule for one ordinate (paper §III-A-2): bucket b
+/// holds every element whose "tlevel" (longest upwind chain from a
+/// boundary-fed element) equals b. Elements within a bucket have no mutual
+/// dependencies and may be solved concurrently; buckets execute in order.
+class SweepSchedule {
+ public:
+  [[nodiscard]] int num_buckets() const {
+    return static_cast<int>(bucket_start_.size()) - 1;
+  }
+  [[nodiscard]] std::span<const int> bucket(int b) const {
+    return {order_.data() + bucket_start_[b],
+            static_cast<std::size_t>(bucket_start_[b + 1] - bucket_start_[b])};
+  }
+  [[nodiscard]] std::span<const int> order() const { return order_; }
+  [[nodiscard]] int num_elements() const {
+    return static_cast<int>(order_.size());
+  }
+  /// Faces whose upwind dependency was broken to resolve a cycle; the
+  /// assembly kernel reads previous-iterate flux through them (empty unless
+  /// cycles were present and breaking was enabled).
+  [[nodiscard]] const std::vector<std::pair<int, int>>& lagged_faces() const {
+    return lagged_faces_;
+  }
+  [[nodiscard]] bool face_is_lagged(int e, int f) const {
+    return !lagged_mask_.empty() && ((lagged_mask_[e] >> f) & 1u);
+  }
+  /// Largest bucket population — the available element-level parallelism.
+  [[nodiscard]] int max_bucket_size() const;
+
+ private:
+  friend SweepSchedule build_schedule(const mesh::HexMesh&,
+                                      const AngleDependency&, bool);
+  std::vector<int> order_;          // concatenated buckets
+  std::vector<int> bucket_start_;   // size num_buckets + 1
+  std::vector<std::pair<int, int>> lagged_faces_;
+  std::vector<std::uint8_t> lagged_mask_;  // per element, empty if no cycles
+};
+
+/// Kahn-counter bucket construction as described in the paper: elements
+/// whose interior incoming faces are all satisfied enter the first bucket;
+/// solving an element increments the counters of its downwind neighbours,
+/// which join the next bucket when fully satisfied.
+///
+/// Cyclic dependencies (possible on strongly twisted meshes) abort with
+/// NumericalError unless `break_cycles` is set, in which case the incoming
+/// face with the smallest upwind flow among the stuck elements is lagged
+/// (reads previous-iterate flux) until the graph unblocks — the mechanism
+/// the paper defers to future work.
+[[nodiscard]] SweepSchedule build_schedule(const mesh::HexMesh& mesh,
+                                           const AngleDependency& dep,
+                                           bool break_cycles = false);
+
+/// Per-quadrature schedule container with signature deduplication: angles
+/// whose dependency structure is identical (always true for all angles of
+/// an octant on an untwisted mesh, often true for small twists) share one
+/// schedule, mirroring the structured-mesh observation in the paper.
+class ScheduleSet {
+ public:
+  ScheduleSet(const mesh::HexMesh& mesh,
+              const angular::QuadratureSet& quadrature,
+              bool break_cycles = false);
+
+  [[nodiscard]] const SweepSchedule& get(int octant, int angle) const {
+    return schedules_[index_[static_cast<std::size_t>(octant) * per_octant_ +
+                             angle]];
+  }
+  [[nodiscard]] int unique_count() const {
+    return static_cast<int>(schedules_.size());
+  }
+  [[nodiscard]] int per_octant() const { return per_octant_; }
+
+ private:
+  int per_octant_;
+  std::vector<SweepSchedule> schedules_;
+  std::vector<int> index_;  // (octant, angle) -> schedule
+};
+
+/// Bucket-occupancy statistics used by the schedule benchmarks.
+struct ScheduleStats {
+  int buckets = 0;
+  int min_bucket = 0;
+  int max_bucket = 0;
+  double mean_bucket = 0.0;
+};
+[[nodiscard]] ScheduleStats schedule_stats(const SweepSchedule& schedule);
+
+}  // namespace unsnap::sweep

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace unsnap {
+
+/// Allocator returning cache-line (or wider) aligned storage. The sweep
+/// kernels vectorise over element nodes; aligned node blocks keep those
+/// loads/stores on full vector lanes.
+template <typename T, std::size_t Alignment = 64>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static constexpr std::align_val_t alignment{Alignment};
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T))
+      throw std::bad_alloc();
+    return static_cast<T*>(::operator new(n * sizeof(T), alignment));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, alignment);
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// Vector of doubles aligned for SIMD access.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace unsnap

@@ -1,0 +1,14 @@
+#include "util/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace unsnap::detail {
+
+void assert_fail(const char* expr, std::source_location loc) {
+  std::fprintf(stderr, "UNSNAP_ASSERT failed: %s\n  at %s:%u in %s\n", expr,
+               loc.file_name(), loc.line(), loc.function_name());
+  std::abort();
+}
+
+}  // namespace unsnap::detail

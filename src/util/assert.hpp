@@ -1,0 +1,41 @@
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace unsnap {
+
+/// Thrown when user-supplied input (problem definition, CLI arguments,
+/// mesh files, ...) is invalid. Internal invariant violations use
+/// UNSNAP_ASSERT instead and abort in debug builds.
+class InvalidInput : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a numerical operation cannot proceed (singular matrix,
+/// cyclic sweep dependency without cycle breaking enabled, ...).
+class NumericalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, std::source_location loc);
+}  // namespace detail
+
+/// Validate user input; throws InvalidInput with the given message on failure.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw InvalidInput(message);
+}
+
+}  // namespace unsnap
+
+/// Internal invariant check. Active in all build types: transport bugs are
+/// silent data corruption otherwise, and the checks live outside hot loops.
+#define UNSNAP_ASSERT(expr)                                                  \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::unsnap::detail::assert_fail(#expr, std::source_location::current()); \
+  } while (false)

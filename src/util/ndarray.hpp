@@ -1,0 +1,78 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <numeric>
+#include <span>
+
+#include "util/aligned.hpp"
+#include "util/assert.hpp"
+
+namespace unsnap {
+
+/// Dense N-dimensional array with row-major layout over the extents as
+/// given at construction. Layout experiments (the paper's
+/// angle/element/group vs angle/group/element storage) are expressed by
+/// choosing the extent order at allocation time, exactly as UnSNAP reordered
+/// its Fortran-style arrays.
+template <typename T, std::size_t Rank>
+class NDArray {
+  static_assert(Rank >= 1);
+
+ public:
+  NDArray() { extents_.fill(0), strides_.fill(0); }
+
+  explicit NDArray(const std::array<std::size_t, Rank>& extents, T fill = T{}) {
+    resize(extents, fill);
+  }
+
+  void resize(const std::array<std::size_t, Rank>& extents, T fill = T{}) {
+    extents_ = extents;
+    strides_[Rank - 1] = 1;
+    for (std::size_t d = Rank - 1; d > 0; --d)
+      strides_[d - 1] = strides_[d] * extents_[d];
+    data_.assign(strides_[0] * extents_[0], fill);
+  }
+
+  template <typename... Idx>
+  [[nodiscard]] T& operator()(Idx... idx) {
+    static_assert(sizeof...(Idx) == Rank);
+    return data_[offset(idx...)];
+  }
+
+  template <typename... Idx>
+  [[nodiscard]] const T& operator()(Idx... idx) const {
+    static_assert(sizeof...(Idx) == Rank);
+    return data_[offset(idx...)];
+  }
+
+  template <typename... Idx>
+  [[nodiscard]] std::size_t offset(Idx... idx) const {
+    const std::array<std::size_t, Rank> ix{static_cast<std::size_t>(idx)...};
+    std::size_t off = 0;
+    for (std::size_t d = 0; d < Rank; ++d) {
+      UNSNAP_ASSERT(ix[d] < extents_[d]);
+      off += ix[d] * strides_[d];
+    }
+    return off;
+  }
+
+  [[nodiscard]] std::size_t extent(std::size_t d) const { return extents_[d]; }
+  [[nodiscard]] std::size_t stride(std::size_t d) const { return strides_[d]; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+  [[nodiscard]] std::span<T> flat() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const T> flat() const {
+    return {data_.data(), data_.size()};
+  }
+
+  void fill(T value) { data_.assign(data_.size(), value); }
+
+ private:
+  AlignedVector<T> data_;
+  std::array<std::size_t, Rank> extents_;
+  std::array<std::size_t, Rank> strides_;
+};
+
+}  // namespace unsnap

@@ -1,0 +1,72 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "util/assert.hpp"
+
+namespace unsnap {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  require(!columns_.empty(), "Table needs at least one column");
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  require(row.size() == columns_.size(),
+          "Table row width does not match column count");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::format(const Cell& cell) {
+  if (std::holds_alternative<long>(cell))
+    return std::to_string(std::get<long>(cell));
+  if (std::holds_alternative<double>(cell)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.4g", std::get<double>(cell));
+    return buf;
+  }
+  return std::get<std::string>(cell);
+}
+
+void Table::print(const std::string& title) const {
+  if (!title.empty()) std::printf("\n== %s ==\n", title.c_str());
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    widths[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> formatted;
+  formatted.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(format(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    formatted.push_back(std::move(cells));
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      std::printf("%-*s%s", static_cast<int>(widths[c]), cells[c].c_str(),
+                  c + 1 == cells.size() ? "\n" : "  ");
+  };
+  print_row(columns_);
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    std::printf("%s%s", std::string(widths[c], '-').c_str(),
+                c + 1 == columns_.size() ? "\n" : "  ");
+  for (const auto& cells : formatted) print_row(cells);
+  std::fflush(stdout);
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  require(out.good(), "cannot open CSV output file: " + path);
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    out << columns_[c] << (c + 1 == columns_.size() ? "\n" : ",");
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      out << format(row[c]) << (c + 1 == row.size() ? "\n" : ",");
+  }
+}
+
+}  // namespace unsnap

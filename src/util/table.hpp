@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace unsnap {
+
+/// Result-table builder used by the benchmark harness: collects rows,
+/// prints an aligned human-readable table to stdout and can emit CSV so
+/// experiment sweeps are plottable without parsing log text.
+class Table {
+ public:
+  using Cell = std::variant<long, double, std::string>;
+
+  explicit Table(std::vector<std::string> columns);
+
+  void add_row(std::vector<Cell> row);
+
+  /// Aligned fixed-width table for terminals.
+  void print(const std::string& title = "") const;
+
+  /// Comma-separated output, one header row then data rows.
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+
+  static std::string format(const Cell& cell);
+};
+
+}  // namespace unsnap

@@ -1,0 +1,37 @@
+#include "util/timer.hpp"
+
+namespace unsnap {
+
+void TimerRegistry::add(const std::string& name, double seconds) {
+  const std::lock_guard lock(mutex_);
+  auto& entry = entries_[name];
+  entry.total += seconds;
+  ++entry.count;
+}
+
+double TimerRegistry::total(const std::string& name) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? 0.0 : it->second.total;
+}
+
+long TimerRegistry::count(const std::string& name) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.count;
+}
+
+std::vector<std::pair<std::string, double>> TimerRegistry::totals() const {
+  const std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.emplace_back(name, entry.total);
+  return out;
+}
+
+void TimerRegistry::reset() {
+  const std::lock_guard lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace unsnap

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace unsnap {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  void start() { begin_ = Clock::now(); }
+
+  /// Stops and returns the elapsed seconds since start().
+  double stop() {
+    const auto end = Clock::now();
+    last_ = std::chrono::duration<double>(end - begin_).count();
+    total_ += last_;
+    ++count_;
+    return last_;
+  }
+
+  [[nodiscard]] double last() const { return last_; }
+  [[nodiscard]] double total() const { return total_; }
+  [[nodiscard]] long count() const { return count_; }
+  void reset() { total_ = last_ = 0.0, count_ = 0; }
+
+  /// Seconds elapsed since start() without stopping.
+  [[nodiscard]] double peek() const {
+    return std::chrono::duration<double>(Clock::now() - begin_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point begin_{};
+  double total_ = 0.0;
+  double last_ = 0.0;
+  long count_ = 0;
+};
+
+/// Named accumulating timers for a solver run. Thread-safe on add();
+/// the hot path accumulates locally and adds once per sweep, mirroring the
+/// paper's observation that per-solve timer calls perturb the measurement.
+class TimerRegistry {
+ public:
+  void add(const std::string& name, double seconds);
+  [[nodiscard]] double total(const std::string& name) const;
+  [[nodiscard]] long count(const std::string& name) const;
+  [[nodiscard]] std::vector<std::pair<std::string, double>> totals() const;
+  void reset();
+
+ private:
+  struct Entry {
+    double total = 0.0;
+    long count = 0;
+  };
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// RAII timer adding its lifetime to a registry entry on destruction.
+class ScopedTimer {
+ public:
+  ScopedTimer(TimerRegistry& registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {
+    watch_.start();
+  }
+  ~ScopedTimer() { registry_.add(name_, watch_.peek()); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerRegistry& registry_;
+  std::string name_;
+  Stopwatch watch_;
+};
+
+}  // namespace unsnap

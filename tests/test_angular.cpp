@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "angular/quadrature.hpp"
+#include "util/assert.hpp"
+
+namespace unsnap::angular {
+namespace {
+
+struct Case {
+  QuadratureKind kind;
+  int per_octant;
+};
+
+class QuadCase : public ::testing::TestWithParam<Case> {};
+
+TEST_P(QuadCase, WeightsSumToOneOverSphere) {
+  const QuadratureSet quad(GetParam().kind, GetParam().per_octant);
+  double total = 0.0;
+  for (int oct = 0; oct < kOctants; ++oct)
+    for (int a = 0; a < quad.per_octant(); ++a) total += quad.weight(a);
+  EXPECT_NEAR(total, 1.0, 1e-13);
+}
+
+TEST_P(QuadCase, DirectionsAreUnitVectors) {
+  const QuadratureSet quad(GetParam().kind, GetParam().per_octant);
+  for (int oct = 0; oct < kOctants; ++oct)
+    for (int a = 0; a < quad.per_octant(); ++a) {
+      const Vec3 d = quad.direction(oct, a);
+      EXPECT_NEAR(fem::dot(d, d), 1.0, 1e-12);
+    }
+}
+
+TEST_P(QuadCase, OctantSignsRespected) {
+  const QuadratureSet quad(GetParam().kind, GetParam().per_octant);
+  for (int oct = 0; oct < kOctants; ++oct) {
+    const auto signs = octant_signs(oct);
+    for (int a = 0; a < quad.per_octant(); ++a) {
+      const Vec3 d = quad.direction(oct, a);
+      for (int axis = 0; axis < 3; ++axis)
+        EXPECT_GT(d[axis] * signs[axis], 0.0);
+    }
+  }
+}
+
+TEST_P(QuadCase, FirstMomentVanishesBySymmetry) {
+  // Int Omega dOmega = 0: octant reflection makes this exact.
+  const QuadratureSet quad(GetParam().kind, GetParam().per_octant);
+  Vec3 moment{0, 0, 0};
+  for (int oct = 0; oct < kOctants; ++oct)
+    for (int a = 0; a < quad.per_octant(); ++a) {
+      const Vec3 d = quad.direction(oct, a);
+      for (int axis = 0; axis < 3; ++axis)
+        moment[axis] += quad.weight(a) * d[axis];
+    }
+  for (int axis = 0; axis < 3; ++axis) EXPECT_NEAR(moment[axis], 0.0, 1e-13);
+}
+
+TEST_P(QuadCase, DistinctDirections) {
+  const QuadratureSet quad(GetParam().kind, GetParam().per_octant);
+  for (int a = 0; a < quad.per_octant(); ++a)
+    for (int b = a + 1; b < quad.per_octant(); ++b) {
+      const Vec3 da = quad.direction(0, a), db = quad.direction(0, b);
+      const double d2 = std::pow(da[0] - db[0], 2) +
+                        std::pow(da[1] - db[1], 2) +
+                        std::pow(da[2] - db[2], 2);
+      EXPECT_GT(d2, 1e-8) << "angles " << a << " and " << b << " coincide";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sets, QuadCase,
+    ::testing::Values(Case{QuadratureKind::SnapLike, 1},
+                      Case{QuadratureKind::SnapLike, 10},
+                      Case{QuadratureKind::SnapLike, 36},
+                      Case{QuadratureKind::Product, 4},
+                      Case{QuadratureKind::Product, 10},
+                      Case{QuadratureKind::Product, 36}));
+
+TEST(ProductQuadrature, SecondMomentsNearOneThird) {
+  // Int Omega_d^2 dOmega / Int dOmega = 1/3; the product rule integrates
+  // the z-cosine part exactly with Gauss, azimuths by symmetry.
+  const QuadratureSet quad(QuadratureKind::Product, 36);
+  for (int axis = 0; axis < 3; ++axis) {
+    double m2 = 0.0;
+    for (int oct = 0; oct < kOctants; ++oct)
+      for (int a = 0; a < quad.per_octant(); ++a) {
+        const Vec3 d = quad.direction(oct, a);
+        m2 += quad.weight(a) * d[axis] * d[axis];
+      }
+    EXPECT_NEAR(m2, 1.0 / 3.0, 1e-10) << "axis " << axis;
+  }
+}
+
+TEST(SnapQuadrature, PolarCosinesFollowSnapFormula) {
+  const int n = 8;
+  const QuadratureSet quad(QuadratureKind::SnapLike, n);
+  for (int a = 0; a < n; ++a)
+    EXPECT_NEAR(quad.base_directions()[a][0], (a + 0.5) / n, 1e-13);
+}
+
+TEST(QuadratureEdge, RejectsNonPositiveCount) {
+  EXPECT_THROW(QuadratureSet(QuadratureKind::SnapLike, 0), InvalidInput);
+}
+
+TEST(QuadratureEdge, NamesRoundTrip) {
+  EXPECT_EQ(quadrature_from_string("snap"), QuadratureKind::SnapLike);
+  EXPECT_EQ(quadrature_from_string("product"), QuadratureKind::Product);
+  EXPECT_THROW((void)quadrature_from_string("lebedev"), InvalidInput);
+}
+
+TEST(OctantSigns, AllDistinct) {
+  for (int o = 0; o < kOctants; ++o)
+    for (int p = o + 1; p < kOctants; ++p)
+      EXPECT_NE(octant_signs(o), octant_signs(p));
+}
+
+}  // namespace
+}  // namespace unsnap::angular

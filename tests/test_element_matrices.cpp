@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fem/element_matrices.hpp"
+#include "util/rng.hpp"
+
+namespace unsnap::fem {
+namespace {
+
+std::array<Vec3, 8> cube_corners(double h) {
+  std::array<Vec3, 8> corners;
+  for (int c = 0; c < 8; ++c)
+    corners[c] = {h * ((c & 1) ? 1.0 : 0.0), h * ((c & 2) ? 1.0 : 0.0),
+                  h * ((c & 4) ? 1.0 : 0.0)};
+  return corners;
+}
+
+std::array<Vec3, 8> twisted_corners(std::uint64_t seed, double amplitude) {
+  Rng rng(seed);
+  auto corners = cube_corners(1.0);
+  for (auto& c : corners)
+    for (int d = 0; d < 3; ++d) c[d] += rng.uniform(-amplitude, amplitude);
+  return corners;
+}
+
+class MatricesOrder : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatricesOrder, MassRowColSumsGiveVolume) {
+  const HexReferenceElement ref(GetParam());
+  const HexGeometry geom(twisted_corners(5, 0.1));
+  const LocalMatrices local = compute_local_matrices(ref, geom);
+  // sum_ij M_ij = Int (sum_i phi_i)(sum_j phi_j) = Int 1 dV = volume.
+  double total = 0.0;
+  for (int i = 0; i < ref.num_nodes(); ++i)
+    for (int j = 0; j < ref.num_nodes(); ++j) total += local.mass(i, j);
+  EXPECT_NEAR(total, local.volume, 1e-12 * std::fabs(local.volume));
+}
+
+TEST_P(MatricesOrder, MassIsSymmetricPositiveDiagonal) {
+  const HexReferenceElement ref(GetParam());
+  const HexGeometry geom(twisted_corners(7, 0.1));
+  const LocalMatrices local = compute_local_matrices(ref, geom);
+  for (int i = 0; i < ref.num_nodes(); ++i) {
+    EXPECT_GT(local.mass(i, i), 0.0);
+    for (int j = 0; j < i; ++j)
+      EXPECT_NEAR(local.mass(i, j), local.mass(j, i),
+                  1e-13 * std::fabs(local.mass(i, i)));
+  }
+}
+
+TEST_P(MatricesOrder, UnitCubeVolumeAndFaceAreas) {
+  const HexReferenceElement ref(GetParam());
+  const double h = 0.5;
+  const HexGeometry geom(cube_corners(h));
+  const LocalMatrices local = compute_local_matrices(ref, geom);
+  EXPECT_NEAR(local.volume, h * h * h, 1e-13);
+  for (int f = 0; f < kFacesPerHex; ++f) {
+    EXPECT_NEAR(local.face_area[f], h * h, 1e-13);
+    // Area-weighted normal is +-h^2 along the face axis.
+    const double expected = (face_side(f) == 0 ? -1.0 : 1.0) * h * h;
+    EXPECT_NEAR(local.face_area_normal[f][face_axis(f)], expected, 1e-13);
+  }
+}
+
+TEST_P(MatricesOrder, GradientAnnihilatesConstants) {
+  // sum_i G_d[i][j] = Int (d/dx_d sum_i phi_i) phi_j = 0.
+  const HexReferenceElement ref(GetParam());
+  const HexGeometry geom(twisted_corners(11, 0.12));
+  const LocalMatrices local = compute_local_matrices(ref, geom);
+  for (int d = 0; d < 3; ++d)
+    for (int j = 0; j < ref.num_nodes(); ++j) {
+      double colsum = 0.0;
+      for (int i = 0; i < ref.num_nodes(); ++i) colsum += local.grad[d](i, j);
+      EXPECT_NEAR(colsum, 0.0, 1e-11);
+    }
+}
+
+TEST_P(MatricesOrder, DiscreteIntegrationByParts) {
+  // G_d + G_d^T = sum_f F_{f,d} scattered to volume indices: the exact
+  // integration-by-parts identity Int (di u) v + Int u (di v) =
+  // Int_boundary n_i u v, which the upwind DG scheme relies on.
+  const int p = GetParam();
+  const HexReferenceElement ref(p);
+  const HexGeometry geom(twisted_corners(13, 0.1));
+  const LocalMatrices local = compute_local_matrices(ref, geom);
+  const int n = ref.num_nodes();
+  for (int d = 0; d < 3; ++d) {
+    linalg::Matrix surface(n, n);
+    for (int f = 0; f < kFacesPerHex; ++f) {
+      const auto& fnodes = ref.face_nodes(f);
+      for (int i = 0; i < ref.nodes_per_face(); ++i)
+        for (int j = 0; j < ref.nodes_per_face(); ++j)
+          surface(fnodes[i], fnodes[j]) += local.face[f][d](i, j);
+    }
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j)
+        EXPECT_NEAR(local.grad[d](i, j) + local.grad[d](j, i),
+                    surface(i, j), 1e-11)
+            << "d=" << d << " i=" << i << " j=" << j;
+  }
+}
+
+TEST_P(MatricesOrder, FaceMatricesConsistentWithAreaNormal) {
+  // sum_ij F_{f,d}[i][j] = Int_f n_d dS = area-weighted normal component.
+  const HexReferenceElement ref(GetParam());
+  const HexGeometry geom(twisted_corners(17, 0.15));
+  const LocalMatrices local = compute_local_matrices(ref, geom);
+  for (int f = 0; f < kFacesPerHex; ++f)
+    for (int d = 0; d < 3; ++d) {
+      double total = 0.0;
+      for (int i = 0; i < ref.nodes_per_face(); ++i)
+        for (int j = 0; j < ref.nodes_per_face(); ++j)
+          total += local.face[f][d](i, j);
+      EXPECT_NEAR(total, local.face_area_normal[f][d], 1e-12);
+    }
+}
+
+TEST_P(MatricesOrder, MassIntegratesLinearFieldExactly) {
+  // 1^T M q = Int q dV for nodal q sampled from a linear field.
+  const HexReferenceElement ref(GetParam());
+  const double h = 1.0;
+  const HexGeometry geom(cube_corners(h));
+  const LocalMatrices local = compute_local_matrices(ref, geom);
+  // q(x) = 2 + 3x - y + 0.5z integrated over the unit cube = 2 + 1.5 - 0.5
+  // + 0.25 = 3.25.
+  double integral = 0.0;
+  for (int i = 0; i < ref.num_nodes(); ++i)
+    for (int j = 0; j < ref.num_nodes(); ++j) {
+      const Vec3 x = geom.map(ref.node_coord(j));
+      integral += local.mass(i, j) * (2.0 + 3.0 * x[0] - x[1] + 0.5 * x[2]);
+    }
+  EXPECT_NEAR(integral, 3.25, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, MatricesOrder, ::testing::Values(1, 2, 3, 4));
+
+TEST(LocalMatricesFootprint, MatchesFormula) {
+  const HexReferenceElement ref(2);
+  // 4 volume matrices of 27^2 plus 18 face matrices of 9^2.
+  EXPECT_EQ(local_matrices_doubles(ref), 4u * 729 + 18u * 81);
+}
+
+}  // namespace
+}  // namespace unsnap::fem

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "core/flux_storage.hpp"
+
+namespace unsnap::core {
+namespace {
+
+using snap::FluxLayout;
+
+TEST(AngularFluxLayout, NodeBlocksContiguousInBothLayouts) {
+  for (const auto layout :
+       {FluxLayout::AngleElementGroup, FluxLayout::AngleGroupElement}) {
+    AngularFlux psi(layout, 3, 10, 4, 8);
+    EXPECT_EQ(psi.offset(0, 0, 0, 0), 0u);
+    // Node index is always the fastest dimension.
+    EXPECT_EQ(psi.offset(1, 2, 5, 3) % 8, 0u);
+  }
+}
+
+TEST(AngularFluxLayout, ElementStrideMatchesPaperAnalysis) {
+  // §IV-A: in the angle/element/group layout adjacent elements are
+  // ng * nodes apart (4 kB at 64 groups x 8 nodes); in angle/group/element
+  // they are just one node block apart (64 B for linear elements).
+  const int nang = 2, ne = 10, ng = 64, n = 8;
+  AngularFlux aeg(FluxLayout::AngleElementGroup, nang, ne, ng, n);
+  AngularFlux age(FluxLayout::AngleGroupElement, nang, ne, ng, n);
+  EXPECT_EQ(aeg.offset(0, 0, 1, 0) - aeg.offset(0, 0, 0, 0),
+            static_cast<std::size_t>(ng) * n);  // 512 doubles = 4 kB
+  EXPECT_EQ(age.offset(0, 0, 1, 0) - age.offset(0, 0, 0, 0),
+            static_cast<std::size_t>(n));  // 8 doubles = 64 B
+}
+
+TEST(AngularFluxLayout, GroupStrideMirrorsElementStride) {
+  const int nang = 2, ne = 10, ng = 4, n = 8;
+  AngularFlux aeg(FluxLayout::AngleElementGroup, nang, ne, ng, n);
+  AngularFlux age(FluxLayout::AngleGroupElement, nang, ne, ng, n);
+  EXPECT_EQ(aeg.offset(0, 0, 0, 1) - aeg.offset(0, 0, 0, 0),
+            static_cast<std::size_t>(n));
+  EXPECT_EQ(age.offset(0, 0, 0, 1) - age.offset(0, 0, 0, 0),
+            static_cast<std::size_t>(ne) * n);
+}
+
+TEST(AngularFluxLayout, AllOffsetsDistinctAndInRange) {
+  for (const auto layout :
+       {FluxLayout::AngleElementGroup, FluxLayout::AngleGroupElement}) {
+    const int nang = 2, ne = 3, ng = 2, n = 4;
+    AngularFlux psi(layout, nang, ne, ng, n);
+    std::set<std::size_t> seen;
+    for (int oct = 0; oct < angular::kOctants; ++oct)
+      for (int a = 0; a < nang; ++a)
+        for (int e = 0; e < ne; ++e)
+          for (int g = 0; g < ng; ++g) {
+            const std::size_t off = psi.offset(oct, a, e, g);
+            EXPECT_LT(off + n, psi.size() + 1);
+            EXPECT_TRUE(seen.insert(off).second);
+          }
+    EXPECT_EQ(seen.size() * n, psi.size());
+  }
+}
+
+TEST(NodalFieldLayout, MatchesAngularFluxInnerLayout) {
+  const int ne = 5, ng = 3, n = 8;
+  NodalField aeg(FluxLayout::AngleElementGroup, ne, ng, n);
+  NodalField age(FluxLayout::AngleGroupElement, ne, ng, n);
+  EXPECT_EQ(aeg.offset(1, 0) - aeg.offset(0, 0),
+            static_cast<std::size_t>(ng) * n);
+  EXPECT_EQ(age.offset(1, 0) - age.offset(0, 0), static_cast<std::size_t>(n));
+  EXPECT_EQ(aeg.size(), age.size());
+}
+
+TEST(NodalFieldLayout, WriteReadRoundTrip) {
+  for (const auto layout :
+       {FluxLayout::AngleElementGroup, FluxLayout::AngleGroupElement}) {
+    NodalField field(layout, 4, 3, 2);
+    for (int e = 0; e < 4; ++e)
+      for (int g = 0; g < 3; ++g)
+        for (int i = 0; i < 2; ++i)
+          field.at(e, g)[i] = 100.0 * e + 10.0 * g + i;
+    for (int e = 0; e < 4; ++e)
+      for (int g = 0; g < 3; ++g)
+        for (int i = 0; i < 2; ++i)
+          EXPECT_DOUBLE_EQ(field.at(e, g)[i], 100.0 * e + 10.0 * g + i);
+  }
+}
+
+TEST(BoundaryAngularFluxStorage, InactiveByDefault) {
+  BoundaryAngularFlux bc;
+  EXPECT_FALSE(bc.active());
+  BoundaryAngularFlux sized(6, 2, 3, 4);
+  EXPECT_TRUE(sized.active());
+  EXPECT_EQ(sized.size(), 6u * angular::kOctants * 2 * 3 * 4);
+}
+
+TEST(BoundaryAngularFluxStorage, SlotsDisjoint) {
+  BoundaryAngularFlux bc(3, 2, 2, 4);
+  bc.at(2, 7, 1, 1)[3] = 42.0;
+  EXPECT_DOUBLE_EQ(bc.at(2, 7, 1, 1)[3], 42.0);
+  EXPECT_DOUBLE_EQ(bc.at(2, 7, 1, 0)[3], 0.0);
+  EXPECT_DOUBLE_EQ(bc.at(1, 7, 1, 1)[3], 0.0);
+}
+
+}  // namespace
+}  // namespace unsnap::core

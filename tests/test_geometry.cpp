@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fem/geometry.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace unsnap::fem {
+namespace {
+
+std::array<Vec3, 8> unit_cube_corners(double scale = 1.0,
+                                      const Vec3& shift = {0, 0, 0}) {
+  std::array<Vec3, 8> corners;
+  for (int c = 0; c < 8; ++c)
+    corners[c] = {shift[0] + scale * ((c & 1) ? 1.0 : 0.0),
+                  shift[1] + scale * ((c & 2) ? 1.0 : 0.0),
+                  shift[2] + scale * ((c & 4) ? 1.0 : 0.0)};
+  return corners;
+}
+
+// Perturb every corner randomly but gently (keeps the element valid).
+std::array<Vec3, 8> wonky_corners(std::uint64_t seed, double amplitude) {
+  Rng rng(seed);
+  auto corners = unit_cube_corners();
+  for (auto& c : corners)
+    for (int d = 0; d < 3; ++d) c[d] += rng.uniform(-amplitude, amplitude);
+  return corners;
+}
+
+TEST(HexGeometry, MapsCornersToCorners) {
+  const auto corners = wonky_corners(3, 0.15);
+  const HexGeometry geom(corners);
+  for (int c = 0; c < 8; ++c) {
+    const Vec3 xi{(c & 1) ? 1.0 : -1.0, (c & 2) ? 1.0 : -1.0,
+                  (c & 4) ? 1.0 : -1.0};
+    const Vec3 x = geom.map(xi);
+    for (int d = 0; d < 3; ++d) EXPECT_NEAR(x[d], corners[c][d], 1e-14);
+  }
+}
+
+TEST(HexGeometry, UnitCubeJacobian) {
+  const HexGeometry geom(unit_cube_corners());
+  const Jacobian jac = geom.jacobian({0.3, -0.2, 0.8});
+  EXPECT_NEAR(jac.det, 0.125, 1e-14);  // (1/2)^3
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_NEAR(jac.j[r][c], r == c ? 0.5 : 0.0, 1e-14);
+      EXPECT_NEAR(jac.inv_t[r][c], r == c ? 2.0 : 0.0, 1e-14);
+    }
+}
+
+TEST(HexGeometry, InverseTransposeIsInverse) {
+  const HexGeometry geom(wonky_corners(11, 0.2));
+  const Jacobian jac = geom.jacobian({0.1, 0.5, -0.7});
+  // J^T * inv_t = I.
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) {
+      double acc = 0.0;
+      for (int k = 0; k < 3; ++k) acc += jac.j[k][r] * jac.inv_t[k][c];
+      EXPECT_NEAR(acc, r == c ? 1.0 : 0.0, 1e-12);
+    }
+}
+
+TEST(HexGeometry, JacobianMatchesFiniteDifference) {
+  const HexGeometry geom(wonky_corners(13, 0.2));
+  const Vec3 xi{0.2, -0.3, 0.4};
+  const Jacobian jac = geom.jacobian(xi);
+  const double h = 1e-6;
+  for (int d = 0; d < 3; ++d) {
+    Vec3 xp = xi, xm = xi;
+    xp[d] += h;
+    xm[d] -= h;
+    const Vec3 fp = geom.map(xp), fm = geom.map(xm);
+    for (int r = 0; r < 3; ++r)
+      EXPECT_NEAR(jac.j[r][d], (fp[r] - fm[r]) / (2 * h), 1e-7);
+  }
+}
+
+TEST(HexGeometry, InvertedElementThrows) {
+  // Mirror the element through the x = 0 plane without renumbering the
+  // corners: the mapping orientation flips and det J < 0 everywhere.
+  auto corners = unit_cube_corners();
+  for (auto& c : corners) c[0] = -c[0];
+  const HexGeometry geom(corners);
+  EXPECT_THROW((void)geom.jacobian({0.0, 0.0, 0.0}), NumericalError);
+}
+
+TEST(HexGeometry, FaceNormalsOutwardOnUnitCube) {
+  const HexGeometry geom(unit_cube_corners());
+  // Expected outward unit directions per face.
+  const Vec3 expected[6] = {{-1, 0, 0}, {1, 0, 0},  {0, -1, 0},
+                            {0, 1, 0},  {0, 0, -1}, {0, 0, 1}};
+  for (int f = 0; f < kFacesPerHex; ++f) {
+    const Vec3 n = geom.face_normal_ds(f, 0.1, -0.4);
+    const double mag = std::sqrt(dot(n, n));
+    for (int d = 0; d < 3; ++d)
+      EXPECT_NEAR(n[d] / mag, expected[f][d], 1e-13) << "face " << f;
+    // Unit cube face: nds integrates to area 1 over the [-1,1]^2 reference
+    // square of total weight 4, so |nds| = 1/4.
+    EXPECT_NEAR(mag, 0.25, 1e-13);
+  }
+}
+
+TEST(HexGeometry, FaceNormalsOutwardOnDistortedElement) {
+  const HexGeometry geom(wonky_corners(17, 0.15));
+  const Vec3 centroid = geom.centroid();
+  for (int f = 0; f < kFacesPerHex; ++f) {
+    // The outward normal at the face centre must point away from the
+    // element centroid for a modestly distorted element.
+    Vec3 xi{};
+    xi[face_axis(f)] = face_side(f) == 0 ? -1.0 : 1.0;
+    const Vec3 face_centre = geom.map(xi);
+    const Vec3 n = geom.face_normal_ds(f, 0.0, 0.0);
+    const Vec3 outward{face_centre[0] - centroid[0],
+                       face_centre[1] - centroid[1],
+                       face_centre[2] - centroid[2]};
+    EXPECT_GT(dot(n, outward), 0.0) << "face " << f;
+  }
+}
+
+TEST(HexGeometry, DivergenceTheoremOnClosedSurface) {
+  // Integral of n dS over the closed surface of any element is zero.
+  const HexGeometry geom(wonky_corners(23, 0.2));
+  // 3-point Gauss per direction is enough for the bi-quadratic integrand.
+  const double gp[3] = {-std::sqrt(0.6), 0.0, std::sqrt(0.6)};
+  const double gw[3] = {5.0 / 9.0, 8.0 / 9.0, 5.0 / 9.0};
+  Vec3 total{0, 0, 0};
+  for (int f = 0; f < kFacesPerHex; ++f)
+    for (int iu = 0; iu < 3; ++iu)
+      for (int iv = 0; iv < 3; ++iv) {
+        const Vec3 n = geom.face_normal_ds(f, gp[iu], gp[iv]);
+        for (int d = 0; d < 3; ++d) total[d] += gw[iu] * gw[iv] * n[d];
+      }
+  for (int d = 0; d < 3; ++d) EXPECT_NEAR(total[d], 0.0, 1e-12);
+}
+
+TEST(HexGeometry, CentroidOfUnitCube) {
+  const HexGeometry geom(unit_cube_corners(2.0, {1.0, 2.0, 3.0}));
+  const Vec3 c = geom.centroid();
+  EXPECT_NEAR(c[0], 2.0, 1e-14);
+  EXPECT_NEAR(c[1], 3.0, 1e-14);
+  EXPECT_NEAR(c[2], 4.0, 1e-14);
+}
+
+TEST(Vec3Ops, CrossAndDot) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0};
+  const Vec3 z = cross(x, y);
+  EXPECT_DOUBLE_EQ(z[2], 1.0);
+  EXPECT_DOUBLE_EQ(dot(z, z), 1.0);
+  EXPECT_DOUBLE_EQ(dot(x, y), 0.0);
+}
+
+}  // namespace
+}  // namespace unsnap::fem

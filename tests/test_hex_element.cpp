@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "fem/hex_element.hpp"
+
+namespace unsnap::fem {
+namespace {
+
+class HexOrder : public ::testing::TestWithParam<int> {};
+
+TEST_P(HexOrder, NodeCountsMatchTableOne) {
+  const HexReferenceElement ref(GetParam());
+  const int n1 = GetParam() + 1;
+  EXPECT_EQ(ref.num_nodes(), n1 * n1 * n1);
+  EXPECT_EQ(ref.nodes_per_face(), n1 * n1);
+}
+
+TEST_P(HexOrder, NodeIdRoundTrip) {
+  const HexReferenceElement ref(GetParam());
+  for (int node = 0; node < ref.num_nodes(); ++node) {
+    const auto [i, j, k] = ref.node_ijk(node);
+    EXPECT_EQ(ref.node_id(i, j, k), node);
+  }
+}
+
+TEST_P(HexOrder, CornerNodesAtCorners) {
+  const HexReferenceElement ref(GetParam());
+  for (int c = 0; c < 8; ++c) {
+    const auto coord = ref.node_coord(ref.corner_nodes()[c]);
+    EXPECT_DOUBLE_EQ(coord[0], (c & 1) ? 1.0 : -1.0);
+    EXPECT_DOUBLE_EQ(coord[1], (c & 2) ? 1.0 : -1.0);
+    EXPECT_DOUBLE_EQ(coord[2], (c & 4) ? 1.0 : -1.0);
+  }
+}
+
+TEST_P(HexOrder, FaceNodesLieOnFace) {
+  const HexReferenceElement ref(GetParam());
+  for (int f = 0; f < kFacesPerHex; ++f) {
+    const double expected = face_side(f) == 0 ? -1.0 : 1.0;
+    for (const int node : ref.face_nodes(f))
+      EXPECT_DOUBLE_EQ(ref.node_coord(node)[face_axis(f)], expected);
+  }
+}
+
+TEST_P(HexOrder, FaceNodeSetsCoverBoundary) {
+  const HexReferenceElement ref(GetParam());
+  std::set<int> on_boundary;
+  for (int f = 0; f < kFacesPerHex; ++f)
+    for (const int node : ref.face_nodes(f)) on_boundary.insert(node);
+  // Interior nodes are exactly those with all indices strictly inside.
+  const int n1 = GetParam() + 1;
+  const int interior = (n1 - 2) * (n1 - 2) * (n1 - 2);
+  EXPECT_EQ(static_cast<int>(on_boundary.size()),
+            ref.num_nodes() - std::max(interior, 0));
+}
+
+TEST_P(HexOrder, BasisKroneckerAtNodes) {
+  const HexReferenceElement ref(GetParam());
+  std::vector<double> values(static_cast<std::size_t>(ref.num_nodes()));
+  for (int node = 0; node < ref.num_nodes(); ++node) {
+    ref.eval_basis(ref.node_coord(node), values.data());
+    for (int j = 0; j < ref.num_nodes(); ++j)
+      EXPECT_NEAR(values[j], node == j ? 1.0 : 0.0, 1e-11);
+  }
+}
+
+TEST_P(HexOrder, TabulatedValuesMatchDirectEvaluation) {
+  const HexReferenceElement ref(GetParam());
+  std::vector<double> values(static_cast<std::size_t>(ref.num_nodes()));
+  std::vector<double> grads(static_cast<std::size_t>(ref.num_nodes()) * 3);
+  for (int q = 0; q < ref.num_qp(); q += 3) {
+    ref.eval_basis(ref.qp_coord(q), values.data());
+    ref.eval_basis_grad(ref.qp_coord(q), grads.data());
+    for (int i = 0; i < ref.num_nodes(); ++i) {
+      EXPECT_NEAR(ref.basis_value(q, i), values[i], 1e-12);
+      for (int d = 0; d < 3; ++d)
+        EXPECT_NEAR(ref.basis_grad(q, i, d),
+                    grads[static_cast<std::size_t>(i) * 3 + d], 1e-11);
+    }
+  }
+}
+
+TEST_P(HexOrder, VolumeQuadratureIntegratesReferenceVolume) {
+  const HexReferenceElement ref(GetParam());
+  double volume = 0.0;
+  for (int q = 0; q < ref.num_qp(); ++q) volume += ref.qp_weight(q);
+  EXPECT_NEAR(volume, 8.0, 1e-12);  // [-1,1]^3
+}
+
+TEST_P(HexOrder, FaceQuadratureIntegratesReferenceArea) {
+  const HexReferenceElement ref(GetParam());
+  double area = 0.0;
+  for (int fq = 0; fq < ref.num_face_qp(); ++fq)
+    area += ref.face_qp_weight(fq);
+  EXPECT_NEAR(area, 4.0, 1e-12);  // [-1,1]^2
+}
+
+TEST_P(HexOrder, FaceQpCoordinatesOnFace) {
+  const HexReferenceElement ref(GetParam());
+  for (int f = 0; f < kFacesPerHex; ++f)
+    for (int fq = 0; fq < ref.num_face_qp(); ++fq) {
+      const auto xi = ref.face_qp_coord(f, fq);
+      EXPECT_DOUBLE_EQ(xi[face_axis(f)], face_side(f) == 0 ? -1.0 : 1.0);
+    }
+}
+
+TEST_P(HexOrder, TraceBasisMatchesVolumeBasisOnFace) {
+  // The tabulated trace basis must agree with the full volume basis
+  // evaluated at face quadrature points, restricted to the face nodes.
+  const HexReferenceElement ref(GetParam());
+  std::vector<double> values(static_cast<std::size_t>(ref.num_nodes()));
+  for (int f = 0; f < kFacesPerHex; ++f) {
+    const auto& fnodes = ref.face_nodes(f);
+    for (int fq = 0; fq < ref.num_face_qp(); ++fq) {
+      ref.eval_basis(ref.face_qp_coord(f, fq), values.data());
+      for (int j = 0; j < ref.nodes_per_face(); ++j)
+        EXPECT_NEAR(ref.face_basis_value(fq, j), values[fnodes[j]], 1e-11);
+      // All non-face nodes vanish on the face (endpoint-node property).
+      double off_face = 0.0;
+      std::set<int> face_set(fnodes.begin(), fnodes.end());
+      for (int i = 0; i < ref.num_nodes(); ++i)
+        if (!face_set.count(i)) off_face += std::fabs(values[i]);
+      EXPECT_NEAR(off_face, 0.0, 1e-11);
+    }
+  }
+}
+
+TEST_P(HexOrder, OppositeFaceFlipsLastBit) {
+  EXPECT_EQ(opposite_face(0), 1);
+  EXPECT_EQ(opposite_face(3), 2);
+  EXPECT_EQ(opposite_face(4), 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, HexOrder, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(HexElementEdge, CustomQuadratureCount) {
+  const HexReferenceElement ref(2, 5);
+  EXPECT_EQ(ref.num_qp(), 125);
+  EXPECT_EQ(ref.num_face_qp(), 25);
+}
+
+}  // namespace
+}  // namespace unsnap::fem

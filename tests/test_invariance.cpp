@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/transport_solver.hpp"
+
+namespace unsnap::core {
+namespace {
+
+snap::Input base_input() {
+  snap::Input input;
+  input.dims = {4, 4, 4};
+  input.extent = {1.0, 1.0, 1.0};
+  input.order = 2;
+  input.nang = 3;
+  input.ng = 3;
+  input.twist = 0.001;
+  input.shuffle_seed = 31;
+  input.mat_opt = 1;
+  input.src_opt = 1;
+  input.scattering_ratio = 0.5;
+  input.iitm = 3;
+  input.oitm = 1;
+  input.num_threads = 4;
+  return input;
+}
+
+// Extract phi into a canonical (element, group, node) ordering regardless
+// of the storage layout.
+std::vector<double> canonical_phi(const TransportSolver& solver) {
+  const Discretization& disc = solver.discretization();
+  const int ng = solver.problem().xs.ng;
+  const int n = disc.num_nodes();
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(disc.num_elements()) * ng * n);
+  for (int e = 0; e < disc.num_elements(); ++e)
+    for (int g = 0; g < ng; ++g) {
+      const double* ph = solver.scalar_flux().at(e, g);
+      out.insert(out.end(), ph, ph + n);
+    }
+  return out;
+}
+
+std::vector<double> solve_with(const snap::Input& input) {
+  TransportSolver solver(input);
+  solver.run();
+  return canonical_phi(solver);
+}
+
+double max_diff(const std::vector<double>& a, const std::vector<double>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::fabs(a[i] - b[i]));
+  return worst;
+}
+
+struct SchemeCase {
+  snap::ConcurrencyScheme scheme;
+  snap::FluxLayout layout;
+};
+
+class SchemeInvariance : public ::testing::TestWithParam<SchemeCase> {};
+
+// The paper's whole Figure 3/4 sweep varies loop order, threading and data
+// layout; none of it may change the numbers. Every scheme/layout pairing
+// must reproduce the serial reference solution essentially bitwise (the
+// sum order inside one (element, group) solve is identical; only the
+// atomic-angle scheme reorders the scalar-flux reduction).
+TEST_P(SchemeInvariance, MatchesSerialReference) {
+  snap::Input reference = base_input();
+  reference.scheme = snap::ConcurrencyScheme::Serial;
+  reference.layout = snap::FluxLayout::AngleElementGroup;
+  const std::vector<double> phi_ref = solve_with(reference);
+
+  snap::Input candidate = base_input();
+  candidate.scheme = GetParam().scheme;
+  candidate.layout = GetParam().layout;
+  const std::vector<double> phi = solve_with(candidate);
+
+  const double tolerance =
+      GetParam().scheme == snap::ConcurrencyScheme::AnglesAtomic ? 1e-11
+                                                                 : 1e-13;
+  EXPECT_LT(max_diff(phi_ref, phi), tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeInvariance,
+    ::testing::Values(
+        SchemeCase{snap::ConcurrencyScheme::Serial,
+                   snap::FluxLayout::AngleGroupElement},
+        SchemeCase{snap::ConcurrencyScheme::Elements,
+                   snap::FluxLayout::AngleElementGroup},
+        SchemeCase{snap::ConcurrencyScheme::Elements,
+                   snap::FluxLayout::AngleGroupElement},
+        SchemeCase{snap::ConcurrencyScheme::Groups,
+                   snap::FluxLayout::AngleElementGroup},
+        SchemeCase{snap::ConcurrencyScheme::Groups,
+                   snap::FluxLayout::AngleGroupElement},
+        SchemeCase{snap::ConcurrencyScheme::ElementsGroups,
+                   snap::FluxLayout::AngleElementGroup},
+        SchemeCase{snap::ConcurrencyScheme::ElementsGroups,
+                   snap::FluxLayout::AngleGroupElement},
+        SchemeCase{snap::ConcurrencyScheme::AnglesAtomic,
+                   snap::FluxLayout::AngleElementGroup}));
+
+class SolverInvariance
+    : public ::testing::TestWithParam<linalg::SolverKind> {};
+
+TEST_P(SolverInvariance, MatchesGaussianElimination) {
+  snap::Input reference = base_input();
+  reference.solver = linalg::SolverKind::GaussianElimination;
+  const std::vector<double> phi_ref = solve_with(reference);
+
+  snap::Input candidate = base_input();
+  candidate.solver = GetParam();
+  const std::vector<double> phi = solve_with(candidate);
+  // Different elimination orders differ only by rounding.
+  EXPECT_LT(max_diff(phi_ref, phi), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Solvers, SolverInvariance,
+    ::testing::Values(linalg::SolverKind::GaussianEliminationNoPivot,
+                      linalg::SolverKind::LapackLu));
+
+TEST(ThreadInvariance, ThreadCountDoesNotChangeResults) {
+  std::vector<double> reference;
+  for (const int threads : {1, 2, 8}) {
+    snap::Input input = base_input();
+    input.num_threads = threads;
+    const std::vector<double> phi = solve_with(input);
+    if (reference.empty())
+      reference = phi;
+    else
+      EXPECT_LT(max_diff(reference, phi), 1e-13) << threads << " threads";
+  }
+}
+
+TEST(QuadratureInvariance, ProductQuadratureAlsoConsistent) {
+  // Not equality across quadratures (different ordinates), but each
+  // quadrature must itself be scheme-invariant.
+  snap::Input a = base_input();
+  a.quadrature = angular::QuadratureKind::Product;
+  a.nang = 4;
+  a.scheme = snap::ConcurrencyScheme::Serial;
+  snap::Input b = a;
+  b.scheme = snap::ConcurrencyScheme::ElementsGroups;
+  b.layout = snap::FluxLayout::AngleGroupElement;
+  EXPECT_LT(max_diff(solve_with(a), solve_with(b)), 1e-13);
+}
+
+}  // namespace
+}  // namespace unsnap::core

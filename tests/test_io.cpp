@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/transport_solver.hpp"
+#include "io/vtk_writer.hpp"
+#include "mesh/mesh_builder.hpp"
+#include "util/assert.hpp"
+
+namespace unsnap::io {
+namespace {
+
+mesh::HexMesh small_mesh() {
+  mesh::MeshOptions opt;
+  opt.dims = {2, 2, 2};
+  opt.twist = 0.001;
+  return mesh::build_brick_mesh(opt);
+}
+
+TEST(VtkWriter, HeaderAndCounts) {
+  const mesh::HexMesh mesh = small_mesh();
+  const std::string path = "/tmp/unsnap_test_mesh.vtk";
+  std::vector<double> field(static_cast<std::size_t>(mesh.num_elements()),
+                            1.5);
+  write_vtk(path, mesh, {{"flux", field}});
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "# vtk DataFile Version 3.0");
+  int points = -1, cells = -1, cell_data = -1;
+  while (std::getline(in, line)) {
+    std::istringstream ss(line);
+    std::string word;
+    ss >> word;
+    if (word == "POINTS") ss >> points;
+    if (word == "CELLS") ss >> cells;
+    if (word == "CELL_DATA") ss >> cell_data;
+  }
+  EXPECT_EQ(points, mesh.num_vertices());
+  EXPECT_EQ(cells, mesh.num_elements());
+  EXPECT_EQ(cell_data, mesh.num_elements());
+  std::remove(path.c_str());
+}
+
+TEST(VtkWriter, RejectsWrongFieldSize) {
+  const mesh::HexMesh mesh = small_mesh();
+  std::vector<double> bad(3, 0.0);
+  EXPECT_THROW(write_vtk("/tmp/unsnap_bad.vtk", mesh, {{"x", bad}}),
+               InvalidInput);
+}
+
+TEST(VtkWriter, CellTypesAreHexahedra) {
+  const mesh::HexMesh mesh = small_mesh();
+  const std::string path = "/tmp/unsnap_test_types.vtk";
+  write_vtk(path, mesh, {});
+  std::ifstream in(path);
+  std::string line;
+  bool in_types = false;
+  int count = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("CELL_TYPES", 0) == 0) {
+      in_types = true;
+      continue;
+    }
+    if (in_types && !line.empty()) {
+      EXPECT_EQ(line, "12");
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, mesh.num_elements());
+  std::remove(path.c_str());
+}
+
+TEST(CellAverage, ConstantFieldAveragesToConstant) {
+  snap::Input input;
+  input.dims = {3, 3, 3};
+  input.order = 2;
+  input.nang = 2;
+  input.ng = 1;
+  input.twist = 0.01;
+  core::TransportSolver solver(input);
+  core::NodalField phi(input.layout, solver.discretization().num_elements(),
+                       1, solver.discretization().num_nodes());
+  phi.fill(4.25);
+  const auto avg = cell_average_flux(solver.discretization(), phi, 0);
+  for (const double v : avg) EXPECT_NEAR(v, 4.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace unsnap::io

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fem/lagrange.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace unsnap::fem {
+namespace {
+
+class LagrangeOrder : public ::testing::TestWithParam<int> {};
+
+TEST_P(LagrangeOrder, KroneckerAtNodes) {
+  const LagrangeBasis1D basis(GetParam());
+  std::vector<double> values(static_cast<std::size_t>(basis.num_nodes()));
+  for (int i = 0; i < basis.num_nodes(); ++i) {
+    basis.eval(basis.nodes()[i], values.data());
+    for (int j = 0; j < basis.num_nodes(); ++j)
+      EXPECT_NEAR(values[j], i == j ? 1.0 : 0.0, 1e-12);
+  }
+}
+
+TEST_P(LagrangeOrder, PartitionOfUnity) {
+  const LagrangeBasis1D basis(GetParam());
+  std::vector<double> values(static_cast<std::size_t>(basis.num_nodes()));
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double x = rng.uniform(-1.0, 1.0);
+    basis.eval(x, values.data());
+    double sum = 0.0;
+    for (const double v : values) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-11);
+  }
+}
+
+TEST_P(LagrangeOrder, DerivativesSumToZero) {
+  // d/dx of the partition of unity.
+  const LagrangeBasis1D basis(GetParam());
+  std::vector<double> deriv(static_cast<std::size_t>(basis.num_nodes()));
+  Rng rng(23);
+  for (int trial = 0; trial < 20; ++trial) {
+    basis.eval_deriv(rng.uniform(-1.0, 1.0), deriv.data());
+    double sum = 0.0;
+    for (const double d : deriv) sum += d;
+    EXPECT_NEAR(sum, 0.0, 1e-10);
+  }
+}
+
+TEST_P(LagrangeOrder, ReproducesPolynomialsUpToOrder) {
+  const int p = GetParam();
+  const LagrangeBasis1D basis(p);
+  std::vector<double> values(static_cast<std::size_t>(basis.num_nodes()));
+  Rng rng(31);
+  for (int degree = 0; degree <= p; ++degree) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const double x = rng.uniform(-1.0, 1.0);
+      basis.eval(x, values.data());
+      double interpolated = 0.0;
+      for (int i = 0; i < basis.num_nodes(); ++i)
+        interpolated += std::pow(basis.nodes()[i], degree) * values[i];
+      EXPECT_NEAR(interpolated, std::pow(x, degree), 1e-10)
+          << "degree " << degree;
+    }
+  }
+}
+
+TEST_P(LagrangeOrder, DerivativeReproducesPolynomialDerivative) {
+  const int p = GetParam();
+  const LagrangeBasis1D basis(p);
+  std::vector<double> deriv(static_cast<std::size_t>(basis.num_nodes()));
+  Rng rng(37);
+  for (int degree = 1; degree <= p; ++degree) {
+    const double x = rng.uniform(-0.9, 0.9);
+    basis.eval_deriv(x, deriv.data());
+    double interpolated = 0.0;
+    for (int i = 0; i < basis.num_nodes(); ++i)
+      interpolated += std::pow(basis.nodes()[i], degree) * deriv[i];
+    EXPECT_NEAR(interpolated, degree * std::pow(x, degree - 1), 1e-9);
+  }
+}
+
+TEST_P(LagrangeOrder, EndpointsAreNodes) {
+  const LagrangeBasis1D basis(GetParam());
+  EXPECT_DOUBLE_EQ(basis.nodes().front(), -1.0);
+  EXPECT_DOUBLE_EQ(basis.nodes().back(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, LagrangeOrder,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8));
+
+TEST(LagrangeEdge, RejectsBadOrders) {
+  EXPECT_THROW(LagrangeBasis1D(0), InvalidInput);
+  EXPECT_THROW(LagrangeBasis1D(17), InvalidInput);
+}
+
+TEST(LagrangeEdge, LinearBasisClosedForm) {
+  const LagrangeBasis1D basis(1);
+  double v[2];
+  basis.eval(0.5, v);
+  EXPECT_NEAR(v[0], 0.25, 1e-15);
+  EXPECT_NEAR(v[1], 0.75, 1e-15);
+  basis.eval_deriv(0.0, v);
+  EXPECT_NEAR(v[0], -0.5, 1e-15);
+  EXPECT_NEAR(v[1], 0.5, 1e-15);
+}
+
+}  // namespace
+}  // namespace unsnap::fem

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/gauss_elim.hpp"
+#include "linalg/invert.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/solver.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace unsnap::linalg {
+namespace {
+
+// Diagonally dominated random system: well conditioned at every size used
+// by the element orders (8..216), mimicking the transport matrices.
+Matrix random_system(int n, Rng& rng, double dominance = 2.0) {
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (int j = 0; j < n; ++j) {
+      a(i, j) = rng.uniform(-1.0, 1.0);
+      row_sum += std::fabs(a(i, j));
+    }
+    a(i, i) += dominance * row_sum;
+  }
+  return a;
+}
+
+std::vector<double> random_vector(int n, Rng& rng) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = rng.uniform(-2.0, 2.0);
+  return v;
+}
+
+double residual_norm(const Matrix& a, const std::vector<double>& x,
+                     const std::vector<double>& b) {
+  std::vector<double> ax(b.size());
+  matvec(a.view(), x, ax);
+  double r = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i)
+    r = std::max(r, std::fabs(ax[i] - b[i]));
+  return r;
+}
+
+TEST(Matvec, IdentityIsNoop) {
+  Matrix eye(3, 3);
+  for (int i = 0; i < 3; ++i) eye(i, i) = 1.0;
+  std::vector<double> x{1.0, -2.0, 3.0}, y(3);
+  matvec(eye.view(), x, y);
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(Matmul, AccumulatesProduct) {
+  Matrix a(2, 3), b(3, 2), c(2, 2);
+  int v = 1;
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 3; ++j) a(i, j) = v++;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 2; ++j) b(i, j) = v++;
+  c(0, 0) = 100.0;  // must accumulate, not overwrite
+  matmul_accumulate(a.view(), b.view(), c.view());
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12].
+  EXPECT_DOUBLE_EQ(c(0, 0), 100.0 + 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(MatrixView, BlockSharesStorage) {
+  Matrix a(4, 4);
+  MatrixView blk = a.view().block(1, 2, 2, 2);
+  blk(0, 0) = 5.0;
+  EXPECT_DOUBLE_EQ(a(1, 2), 5.0);
+  EXPECT_EQ(blk.row_stride(), 4);
+}
+
+// ---- solver property sweeps over system sizes --------------------------
+
+class SolverSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverSizes, GaussSolveSmallResidual) {
+  const int n = GetParam();
+  Rng rng(100 + n);
+  const Matrix a0 = random_system(n, rng);
+  const std::vector<double> b0 = random_vector(n, rng);
+  Matrix a = a0;
+  std::vector<double> x = b0;
+  gauss_solve(a.view(), x);
+  EXPECT_LT(residual_norm(a0, x, b0), 1e-9 * n);
+}
+
+TEST_P(SolverSizes, GaussNoPivotMatchesPivoted) {
+  const int n = GetParam();
+  Rng rng(200 + n);
+  const Matrix a0 = random_system(n, rng, 4.0);  // strongly dominant
+  const std::vector<double> b0 = random_vector(n, rng);
+  Matrix a1 = a0, a2 = a0;
+  std::vector<double> x1 = b0, x2 = b0;
+  gauss_solve(a1.view(), x1);
+  gauss_solve_nopivot(a2.view(), x2);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-8);
+}
+
+TEST_P(SolverSizes, LapackLuMatchesGauss) {
+  const int n = GetParam();
+  Rng rng(300 + n);
+  const Matrix a0 = random_system(n, rng);
+  const std::vector<double> b0 = random_vector(n, rng);
+  Matrix a1 = a0, a2 = a0;
+  std::vector<double> x1 = b0, x2 = b0;
+  std::vector<int> piv(static_cast<std::size_t>(n));
+  gauss_solve(a1.view(), x1);
+  lapack_style_solve(a2.view(), x2, piv);
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(x1[i], x2[i], 1e-9 * (1.0 + std::fabs(x1[i])));
+}
+
+TEST_P(SolverSizes, BlockedMatchesUnblockedFactor) {
+  const int n = GetParam();
+  Rng rng(400 + n);
+  Matrix a1 = random_system(n, rng);
+  Matrix a2 = a1;
+  std::vector<int> p1(static_cast<std::size_t>(n)),
+      p2(static_cast<std::size_t>(n));
+  lu_factor(a1.view(), p1);            // blocked path for n >= threshold
+  lu_factor_unblocked(a2.view(), p2);  // reference
+  EXPECT_EQ(p1, p2);  // identical pivot choices
+  EXPECT_LT(max_abs_diff(a1.view(), a2.view()), 1e-10);
+}
+
+TEST_P(SolverSizes, InverseTimesMatrixIsIdentity) {
+  const int n = GetParam();
+  Rng rng(500 + n);
+  const Matrix a0 = random_system(n, rng);
+  Matrix scratch = a0;
+  Matrix inv(n, n);
+  std::vector<int> piv(static_cast<std::size_t>(n));
+  invert(scratch.view(), inv.view(), piv);
+  Matrix prod(n, n);
+  matmul_accumulate(inv.view(), a0.view(), prod.view());
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-8);
+}
+
+// Sizes matching the element orders of Table I (8, 27, 64, 125, 216) plus
+// awkward ones around the blocked-LU panel boundary.
+INSTANTIATE_TEST_SUITE_P(TableOneSizes, SolverSizes,
+                         ::testing::Values(1, 2, 3, 5, 8, 23, 24, 25, 27, 47,
+                                           48, 49, 64, 125, 216));
+
+// ---- pivoting and failure handling -------------------------------------
+
+TEST(GaussSolve, RequiresPivotingOnZeroDiagonal) {
+  // [[0, 1], [1, 0]] x = [2, 3] has solution [3, 2] but a zero leading
+  // diagonal: the pivoted solver succeeds, the unpivoted one must throw.
+  Matrix a(2, 2);
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  Matrix a2 = a;
+  std::vector<double> b{2.0, 3.0};
+  std::vector<double> b2 = b;
+  gauss_solve(a.view(), b);
+  EXPECT_DOUBLE_EQ(b[0], 3.0);
+  EXPECT_DOUBLE_EQ(b[1], 2.0);
+  EXPECT_THROW(gauss_solve_nopivot(a2.view(), b2), NumericalError);
+}
+
+TEST(GaussSolve, SingularMatrixThrows) {
+  Matrix a(3, 3);
+  for (int j = 0; j < 3; ++j) {
+    a(0, j) = 1.0;
+    a(1, j) = 2.0;  // row 1 = 2 * row 0 -> singular
+    a(2, j) = j;
+  }
+  std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_THROW(gauss_solve(a.view(), b), NumericalError);
+}
+
+TEST(LapackLu, SingularMatrixThrows) {
+  Matrix a(4, 4);  // all zeros
+  std::vector<double> b(4, 1.0);
+  std::vector<int> piv(4);
+  EXPECT_THROW(lapack_style_solve(a.view(), b, piv), NumericalError);
+}
+
+TEST(LapackLu, PermutationMatrixSolvedExactly) {
+  // Pure permutation exercises the pivot bookkeeping with no arithmetic.
+  const int n = 5;
+  Matrix a(n, n);
+  const int perm[n] = {3, 0, 4, 1, 2};
+  for (int i = 0; i < n; ++i) a(i, perm[i]) = 1.0;
+  std::vector<double> b{10, 20, 30, 40, 50};
+  std::vector<int> piv(n);
+  lapack_style_solve(a.view(), b, piv);
+  for (int i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(b[perm[i]], 10.0 * (i + 1));
+}
+
+TEST(LuFactorSolve, ReusableFactorisation) {
+  const int n = 20;
+  Rng rng(99);
+  const Matrix a0 = random_system(n, rng);
+  Matrix lu = a0;
+  std::vector<int> piv(static_cast<std::size_t>(n));
+  lu_factor(lu.view(), piv);
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::vector<double> b0 = random_vector(n, rng);
+    std::vector<double> x = b0;
+    lu_solve_factored(lu.view(), piv, x);
+    EXPECT_LT(residual_norm(a0, x, b0), 1e-10 * n);
+  }
+}
+
+TEST(SolverDispatch, AllKindsAgree) {
+  const int n = 27;
+  Rng rng(7);
+  const Matrix a0 = random_system(n, rng, 4.0);
+  const std::vector<double> b0 = random_vector(n, rng);
+  SolveWorkspace ws;
+  std::vector<std::vector<double>> solutions;
+  for (const auto kind :
+       {SolverKind::GaussianElimination, SolverKind::GaussianEliminationNoPivot,
+        SolverKind::LapackLu}) {
+    Matrix a = a0;
+    std::vector<double> x = b0;
+    solve_in_place(kind, a.view(), x, ws);
+    solutions.push_back(std::move(x));
+  }
+  for (std::size_t k = 1; k < solutions.size(); ++k)
+    for (int i = 0; i < n; ++i)
+      EXPECT_NEAR(solutions[0][i], solutions[k][i], 1e-9);
+}
+
+TEST(SolverDispatch, NamesRoundTrip) {
+  for (const auto kind :
+       {SolverKind::GaussianElimination, SolverKind::GaussianEliminationNoPivot,
+        SolverKind::LapackLu})
+    EXPECT_EQ(solver_from_string(to_string(kind)), kind);
+  EXPECT_EQ(solver_from_string("mkl"), SolverKind::LapackLu);
+  EXPECT_THROW((void)solver_from_string("cholesky"), InvalidInput);
+}
+
+TEST(Flops, PaperSolveCostFormula) {
+  // Paper §II-C: dgesv costs 0.67 N^3, over 300 FLOPs at N = 8.
+  EXPECT_GT(flops_lu_solve(8), 300.0);
+  EXPECT_NEAR(flops_lu_solve(100) / 1e6, 0.6867, 0.01);
+}
+
+}  // namespace
+}  // namespace unsnap::linalg

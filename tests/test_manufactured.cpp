@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/manufactured.hpp"
+#include "core/transport_solver.hpp"
+
+namespace unsnap::core {
+namespace {
+
+snap::Input mms_input(int order, std::array<int, 3> dims = {3, 3, 3},
+                      double twist = 0.02) {
+  snap::Input input;
+  input.dims = dims;
+  input.extent = {1.0, 1.0, 1.0};
+  input.order = order;
+  input.nang = 4;
+  input.ng = 2;
+  input.twist = twist;
+  input.shuffle_seed = 21;
+  input.mat_opt = 0;
+  input.src_opt = 0;
+  input.scattering_ratio = 0.0;  // pure absorber: one sweep is exact
+  input.iitm = 1;
+  input.oitm = 1;
+  input.num_threads = 2;
+  return input;
+}
+
+struct ExactCase {
+  int order;
+  int degree;
+};
+class PolynomialExactness : public ::testing::TestWithParam<ExactCase> {};
+
+// The backbone verification: order-p DG on a twisted, shuffled hex mesh
+// reproduces degree <= p polynomial solutions to machine precision in a
+// single sweep (no scattering). This exercises basis tables, geometry,
+// element integrals, upwind coupling, boundary data and the local solver
+// end to end.
+TEST_P(PolynomialExactness, SingleSweepReproducesPolynomial) {
+  const auto [order, degree] = GetParam();
+  TransportSolver solver(mms_input(order));
+  const auto ms = ManufacturedSolution::polynomial(degree, 1000 + degree);
+  apply_manufactured(solver, ms);
+  solver.run();
+  EXPECT_LT(max_nodal_error(solver, ms), 5e-10)
+      << "order " << order << ", degree " << degree;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrderDegree, PolynomialExactness,
+    ::testing::Values(ExactCase{1, 0}, ExactCase{1, 1}, ExactCase{2, 0},
+                      ExactCase{2, 1}, ExactCase{2, 2}, ExactCase{3, 1},
+                      ExactCase{3, 3}, ExactCase{4, 4}));
+
+TEST(PolynomialExactnessNegative, DegreeAboveOrderIsNotExact) {
+  // Sharpness: a quadratic cannot be represented by linear elements.
+  TransportSolver solver(mms_input(1));
+  const auto ms = ManufacturedSolution::polynomial(2, 77);
+  apply_manufactured(solver, ms);
+  solver.run();
+  EXPECT_GT(max_nodal_error(solver, ms), 1e-4);
+}
+
+TEST(PolynomialExactness, HoldsOnUntwistedShuffledMesh) {
+  snap::Input input = mms_input(2);
+  input.twist = 0.0;
+  input.shuffle_seed = 99;
+  TransportSolver solver(input);
+  const auto ms = ManufacturedSolution::polynomial(2, 5);
+  apply_manufactured(solver, ms);
+  solver.run();
+  EXPECT_LT(max_nodal_error(solver, ms), 5e-10);
+}
+
+TEST(PolynomialExactness, HoldsWithLapackSolver) {
+  snap::Input input = mms_input(2);
+  input.solver = linalg::SolverKind::LapackLu;
+  TransportSolver solver(input);
+  const auto ms = ManufacturedSolution::polynomial(2, 6);
+  apply_manufactured(solver, ms);
+  solver.run();
+  EXPECT_LT(max_nodal_error(solver, ms), 5e-10);
+}
+
+TEST(PolynomialExactness, HoldsWithScatteringAfterIteration) {
+  // With scattering the manufactured fixed point is reached iteratively;
+  // the Jacobi source iteration must converge to the polynomial exactly
+  // (up to the iteration tolerance).
+  snap::Input input = mms_input(2);
+  input.scattering_ratio = 0.5;
+  input.fixed_iterations = false;
+  input.epsi = 1e-12;
+  input.iitm = 200;
+  input.oitm = 60;
+  TransportSolver solver(input);
+  const auto ms = ManufacturedSolution::polynomial(1, 8);
+  apply_manufactured(solver, ms);
+  const IterationResult result = solver.run();
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(max_nodal_error(solver, ms), 1e-8);
+}
+
+TEST(MmsConvergence, TrigSolutionErrorDropsWithRefinement) {
+  // Smooth non-polynomial solution: L2 error must fall at ~O(h^{p+1});
+  // between a 2^3 and 4^3 mesh that is a factor ~2^{p+1}. Accept a
+  // conservative factor to stay robust to pre-asymptotic effects.
+  const auto ms = ManufacturedSolution::trigonometric();
+  for (const int order : {1, 2}) {
+    double previous = 0.0;
+    for (const int cells : {2, 4}) {
+      TransportSolver solver(
+          mms_input(order, {cells, cells, cells}, 0.01));
+      apply_manufactured(solver, ms);
+      solver.run();
+      const double error = l2_error(solver, ms);
+      if (previous > 0.0) {
+        const double expected_drop = std::pow(2.0, order + 1);
+        EXPECT_LT(error, previous / (0.5 * expected_drop))
+            << "order " << order;
+      }
+      previous = error;
+    }
+  }
+}
+
+TEST(MmsInfrastructure, PolynomialGradientConsistent) {
+  const auto ms = ManufacturedSolution::polynomial(3, 31);
+  const Vec3 x{0.3, 0.6, 0.2};
+  const double h = 1e-6;
+  const Vec3 g = ms.gradient(x);
+  for (int d = 0; d < 3; ++d) {
+    Vec3 xp = x, xm = x;
+    xp[d] += h;
+    xm[d] -= h;
+    EXPECT_NEAR(g[d], (ms.value(xp) - ms.value(xm)) / (2 * h), 1e-5);
+  }
+}
+
+TEST(MmsInfrastructure, TrigGradientConsistent) {
+  const auto ms = ManufacturedSolution::trigonometric();
+  const Vec3 x{0.45, 0.8, 0.15};
+  const double h = 1e-6;
+  const Vec3 g = ms.gradient(x);
+  for (int d = 0; d < 3; ++d) {
+    Vec3 xp = x, xm = x;
+    xp[d] += h;
+    xm[d] -= h;
+    EXPECT_NEAR(g[d], (ms.value(xp) - ms.value(xm)) / (2 * h), 1e-5);
+  }
+}
+
+TEST(MmsInfrastructure, NodePositionsMatchCorners) {
+  TransportSolver solver(mms_input(1));
+  const Discretization& disc = solver.discretization();
+  for (int e = 0; e < disc.num_elements(); e += 5) {
+    const auto pos = element_node_positions(disc, e);
+    const auto corners = disc.mesh().element_corners(e);
+    // Order-1 nodes are exactly the corners (node c maps to corner c).
+    for (int c = 0; c < 8; ++c)
+      for (int d = 0; d < 3; ++d)
+        EXPECT_NEAR(pos[disc.ref().corner_nodes()[c]][d], corners[c][d],
+                    1e-14);
+  }
+}
+
+}  // namespace
+}  // namespace unsnap::core

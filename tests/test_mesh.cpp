@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "fem/hex_element.hpp"
+#include "mesh/mesh_builder.hpp"
+#include "mesh/mesh_checks.hpp"
+
+namespace unsnap::mesh {
+namespace {
+
+MeshOptions small_options(double twist = 0.0, std::uint64_t shuffle = 0) {
+  MeshOptions opt;
+  opt.dims = {3, 4, 5};
+  opt.extent = {1.0, 1.3, 2.0};
+  opt.twist = twist;
+  opt.shuffle_seed = shuffle;
+  return opt;
+}
+
+TEST(MeshBuilder, ElementAndVertexCounts) {
+  const HexMesh mesh = build_brick_mesh(small_options());
+  EXPECT_EQ(mesh.num_elements(), 3 * 4 * 5);
+  EXPECT_EQ(mesh.num_vertices(), 4 * 5 * 6);
+}
+
+TEST(MeshBuilder, BoundaryFaceCount) {
+  const HexMesh mesh = build_brick_mesh(small_options());
+  // 2*(ny*nz + nx*nz + nx*ny) faces on the brick boundary.
+  EXPECT_EQ(mesh.num_boundary_faces(), 2 * (4 * 5 + 3 * 5 + 3 * 4));
+}
+
+TEST(MeshBuilder, InteriorFacesPairUp) {
+  const HexMesh mesh = build_brick_mesh(small_options());
+  int interior = 0;
+  for (int e = 0; e < mesh.num_elements(); ++e)
+    for (int f = 0; f < fem::kFacesPerHex; ++f)
+      if (mesh.neighbor(e, f) != kNoNeighbor) ++interior;
+  // Every interior face counted once from each side.
+  const int expected = 2 * (2 * 4 * 5 + 3 * 3 * 5 + 3 * 4 * 4);
+  EXPECT_EQ(interior, expected);
+}
+
+class MeshVariant
+    : public ::testing::TestWithParam<std::pair<double, std::uint64_t>> {};
+
+TEST_P(MeshVariant, PassesFullValidation) {
+  const auto [twist, shuffle] = GetParam();
+  const HexMesh mesh = build_brick_mesh(small_options(twist, shuffle));
+  const fem::HexReferenceElement ref(2);
+  const MeshCheckReport report = check_mesh(mesh, ref);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TwistShuffle, MeshVariant,
+    ::testing::Values(std::make_pair(0.0, 0ull),
+                      std::make_pair(0.001, 0ull),
+                      std::make_pair(0.0, 1234ull),
+                      std::make_pair(0.001, 1234ull),
+                      std::make_pair(0.3, 99ull)));
+
+TEST(MeshTwist, ZeroTwistGivesAxisAlignedCubes) {
+  const HexMesh mesh = build_brick_mesh(small_options());
+  for (int e = 0; e < mesh.num_elements(); ++e)
+    for (int f = 0; f < fem::kFacesPerHex; ++f) {
+      const fem::Vec3 n = mesh.face_area_normal(e, f);
+      int nonzero = 0;
+      for (int d = 0; d < 3; ++d) nonzero += std::fabs(n[d]) > 1e-12;
+      EXPECT_EQ(nonzero, 1);
+    }
+}
+
+TEST(MeshTwist, TwistDeformsElements) {
+  const HexMesh twisted = build_brick_mesh(small_options(0.2));
+  // Some x/y face must acquire an off-axis normal component.
+  bool deformed = false;
+  for (int e = 0; e < twisted.num_elements() && !deformed; ++e)
+    for (int f = 0; f < 4; ++f) {
+      const fem::Vec3 n = twisted.face_area_normal(e, f);
+      int nonzero = 0;
+      for (int d = 0; d < 3; ++d) nonzero += std::fabs(n[d]) > 1e-9;
+      if (nonzero > 1) deformed = true;
+    }
+  EXPECT_TRUE(deformed);
+}
+
+TEST(MeshTwist, BottomLayerUntouched) {
+  // Twist grows with z; the z=0 plane must be identical.
+  const HexMesh plain = build_brick_mesh(small_options());
+  const HexMesh twisted = build_brick_mesh(small_options(0.5));
+  for (int v = 0; v < plain.num_vertices(); ++v) {
+    if (std::fabs(plain.vertex(v)[2]) > 1e-12) continue;
+    for (int d = 0; d < 3; ++d)
+      EXPECT_NEAR(plain.vertex(v)[d], twisted.vertex(v)[d], 1e-14);
+  }
+}
+
+TEST(MeshTwist, PreservesTotalVolume) {
+  // A pure rotation of each z-plane cannot change element volumes much
+  // (exact for rigid rotation of planes).
+  const HexMesh plain = build_brick_mesh(small_options());
+  const HexMesh twisted = build_brick_mesh(small_options(0.1));
+  const fem::HexReferenceElement ref(1);
+  auto total_volume = [&ref](const HexMesh& mesh) {
+    double vol = 0.0;
+    for (int e = 0; e < mesh.num_elements(); ++e) {
+      const fem::HexGeometry geom = mesh.geometry(e);
+      for (int q = 0; q < ref.num_qp(); ++q)
+        vol += ref.qp_weight(q) * geom.jacobian(ref.qp_coord(q)).det;
+    }
+    return vol;
+  };
+  EXPECT_NEAR(total_volume(plain), 1.0 * 1.3 * 2.0, 1e-10);
+  // The continuous twist is volume preserving; the trilinear interpolation
+  // of the twisted vertices deviates at O(twist^2 h^2).
+  EXPECT_NEAR(total_volume(twisted), total_volume(plain), 1e-3);
+}
+
+TEST(MeshShuffle, PermutesNumberingOnly) {
+  const HexMesh plain = build_brick_mesh(small_options(0.0, 0));
+  const HexMesh shuffled = build_brick_mesh(small_options(0.0, 42));
+  // Same vertex cloud.
+  EXPECT_EQ(plain.num_vertices(), shuffled.num_vertices());
+  // Element with provenance (i,j,k) must have the same centroid.
+  std::map<std::array<int, 3>, fem::Vec3> plain_centroids;
+  for (int e = 0; e < plain.num_elements(); ++e)
+    plain_centroids[plain.provenance_ijk(e)] = plain.centroid(e);
+  bool renumbered = false;
+  for (int e = 0; e < shuffled.num_elements(); ++e) {
+    const auto& ijk = shuffled.provenance_ijk(e);
+    const fem::Vec3 c = shuffled.centroid(e);
+    const fem::Vec3 expected = plain_centroids.at(ijk);
+    for (int d = 0; d < 3; ++d) EXPECT_NEAR(c[d], expected[d], 1e-12);
+    if (plain.provenance_ijk(e) != ijk) renumbered = true;
+  }
+  EXPECT_TRUE(renumbered);  // the shuffle actually moved things
+}
+
+TEST(MeshShuffle, DeterministicForFixedSeed) {
+  const HexMesh a = build_brick_mesh(small_options(0.0, 7));
+  const HexMesh b = build_brick_mesh(small_options(0.0, 7));
+  for (int e = 0; e < a.num_elements(); ++e)
+    EXPECT_EQ(a.provenance_ijk(e), b.provenance_ijk(e));
+}
+
+TEST(MeshFaceMatch, PermutationIsBijective) {
+  const HexMesh mesh = build_brick_mesh(small_options(0.05, 11));
+  const fem::HexReferenceElement ref(3);
+  for (int e = 0; e < mesh.num_elements(); e += 7) {
+    for (int f = 0; f < fem::kFacesPerHex; ++f) {
+      if (mesh.neighbor(e, f) == kNoNeighbor) continue;
+      const std::vector<int> perm = match_face_nodes(mesh, ref, e, f);
+      const std::set<int> unique(perm.begin(), perm.end());
+      EXPECT_EQ(unique.size(), perm.size());
+      // All targets are nodes of the neighbour's matching face.
+      const auto& nbr_face_nodes =
+          ref.face_nodes(mesh.neighbor_face(e, f));
+      const std::set<int> allowed(nbr_face_nodes.begin(),
+                                  nbr_face_nodes.end());
+      for (const int p : perm) EXPECT_TRUE(allowed.count(p));
+    }
+  }
+}
+
+TEST(MeshChecks, DetectBrokenNeighborSymmetry) {
+  HexMesh mesh = build_brick_mesh(small_options());
+  // Rebuild with corrupted neighbour table via the Data constructor.
+  HexMesh::Data data;
+  data.grid_dims = mesh.grid_dims();
+  data.domain_lo = mesh.domain_lo();
+  data.domain_hi = mesh.domain_hi();
+  const auto ne = static_cast<std::size_t>(mesh.num_elements());
+  data.elem_corners.resize({ne, 8});
+  data.neighbor.resize({ne, 6}, kNoNeighbor);
+  data.neighbor_face.resize({ne, 6}, kNoNeighbor);
+  data.boundary_kind.resize({ne, 6}, BoundaryInfo::kInterior);
+  data.elem_ijk.resize(ne);
+  for (int v = 0; v < mesh.num_vertices(); ++v)
+    data.vertices.push_back(mesh.vertex(v));
+  for (std::size_t e = 0; e < ne; ++e) {
+    data.elem_ijk[e] = mesh.provenance_ijk(static_cast<int>(e));
+    for (int c = 0; c < 8; ++c)
+      data.elem_corners(e, c) = mesh.corner(static_cast<int>(e), c);
+    for (int f = 0; f < 6; ++f) {
+      data.neighbor(e, f) = mesh.neighbor(static_cast<int>(e), f);
+      data.neighbor_face(e, f) = mesh.neighbor_face(static_cast<int>(e), f);
+      data.boundary_kind(e, f) = mesh.boundary_kind(static_cast<int>(e), f);
+    }
+  }
+  // Corrupt one interior adjacency: point it at the wrong reciprocal face.
+  for (std::size_t e = 0; e < ne; ++e) {
+    if (data.neighbor(e, 1) != kNoNeighbor) {
+      data.neighbor_face(e, 1) = 3;
+      break;
+    }
+  }
+  const HexMesh corrupted(std::move(data));
+  const fem::HexReferenceElement ref(1);
+  EXPECT_FALSE(check_mesh(corrupted, ref).ok());
+}
+
+TEST(MeshBuilder, RejectsBadOptions) {
+  MeshOptions opt;
+  opt.dims = {0, 1, 1};
+  EXPECT_THROW(build_brick_mesh(opt), InvalidInput);
+  opt = MeshOptions{};
+  opt.extent = {1.0, -1.0, 1.0};
+  EXPECT_THROW(build_brick_mesh(opt), InvalidInput);
+}
+
+TEST(MeshBuilder, SingleElementMesh) {
+  MeshOptions opt;
+  opt.dims = {1, 1, 1};
+  const HexMesh mesh = build_brick_mesh(opt);
+  EXPECT_EQ(mesh.num_elements(), 1);
+  EXPECT_EQ(mesh.num_boundary_faces(), 6);
+  for (int f = 0; f < 6; ++f) {
+    EXPECT_EQ(mesh.neighbor(0, f), kNoNeighbor);
+    EXPECT_EQ(mesh.boundary_kind(0, f), f);
+  }
+}
+
+}  // namespace
+}  // namespace unsnap::mesh

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "mesh/mesh_builder.hpp"
+#include "mesh/mesh_checks.hpp"
+#include "mesh/partition.hpp"
+
+namespace unsnap::mesh {
+namespace {
+
+HexMesh make_mesh(std::array<int, 3> dims, double twist = 0.001,
+                  std::uint64_t shuffle = 5) {
+  MeshOptions opt;
+  opt.dims = dims;
+  opt.extent = {1.0, 1.0, 1.0};
+  opt.twist = twist;
+  opt.shuffle_seed = shuffle;
+  return build_brick_mesh(opt);
+}
+
+struct Grid {
+  int px, py;
+};
+class PartitionGrid : public ::testing::TestWithParam<Grid> {};
+
+TEST_P(PartitionGrid, EveryElementOwnedExactlyOnce) {
+  const HexMesh mesh = make_mesh({6, 6, 4});
+  const auto [px, py] = GetParam();
+  const Partition part = make_kba_partition(mesh, px, py);
+  EXPECT_EQ(part.num_ranks(), px * py);
+  std::set<int> seen;
+  for (int r = 0; r < part.num_ranks(); ++r)
+    for (const int e : part.ranks[r]) {
+      EXPECT_TRUE(seen.insert(e).second) << "element owned twice";
+      EXPECT_EQ(part.owner[e], r);
+    }
+  EXPECT_EQ(static_cast<int>(seen.size()), mesh.num_elements());
+}
+
+TEST_P(PartitionGrid, ColumnsSpanFullZ) {
+  // KBA style: if a rank owns (i, j, k) it owns (i, j, k') for all k'.
+  const HexMesh mesh = make_mesh({6, 6, 4});
+  const auto [px, py] = GetParam();
+  const Partition part = make_kba_partition(mesh, px, py);
+  std::map<std::pair<int, int>, int> column_owner;
+  for (int e = 0; e < mesh.num_elements(); ++e) {
+    const auto& ijk = mesh.provenance_ijk(e);
+    const auto key = std::make_pair(ijk[0], ijk[1]);
+    const auto [it, inserted] = column_owner.emplace(key, part.owner[e]);
+    if (!inserted) {
+      EXPECT_EQ(it->second, part.owner[e]);
+    }
+  }
+}
+
+TEST_P(PartitionGrid, BalancedWithinOneColumn) {
+  const HexMesh mesh = make_mesh({6, 6, 4});
+  const auto [px, py] = GetParam();
+  const Partition part = make_kba_partition(mesh, px, py);
+  const int nz = 4;
+  std::size_t lo = mesh.num_elements(), hi = 0;
+  for (const auto& owned : part.ranks) {
+    lo = std::min(lo, owned.size());
+    hi = std::max(hi, owned.size());
+  }
+  // Columns differ by at most one cell per direction.
+  EXPECT_LE(hi - lo, static_cast<std::size_t>(
+                         nz * (6 / px + 1) * (6 / py + 1) -
+                         nz * (6 / px) * (6 / py)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, PartitionGrid,
+                         ::testing::Values(Grid{1, 1}, Grid{2, 1}, Grid{2, 2},
+                                           Grid{3, 2}, Grid{6, 6}));
+
+TEST(PartitionEdge, RejectsTooManyBlocks) {
+  const HexMesh mesh = make_mesh({2, 2, 2});
+  EXPECT_THROW(make_kba_partition(mesh, 3, 1), InvalidInput);
+  EXPECT_THROW(make_kba_partition(mesh, 0, 1), InvalidInput);
+}
+
+class SubmeshGrid : public ::testing::TestWithParam<Grid> {};
+
+TEST_P(SubmeshGrid, SubmeshesAreValidMeshes) {
+  const HexMesh mesh = make_mesh({6, 6, 4});
+  const auto [px, py] = GetParam();
+  const Partition part = make_kba_partition(mesh, px, py);
+  const fem::HexReferenceElement ref(1);
+  for (int r = 0; r < part.num_ranks(); ++r) {
+    const SubMesh sub = extract_submesh(mesh, part, r);
+    EXPECT_EQ(sub.mesh.num_elements(),
+              static_cast<int>(part.ranks[r].size()));
+    const MeshCheckReport report = check_mesh(sub.mesh, ref);
+    EXPECT_TRUE(report.ok()) << "rank " << r << ": " << report.summary();
+  }
+}
+
+TEST_P(SubmeshGrid, RemoteFacesAreMirrored) {
+  const HexMesh mesh = make_mesh({6, 6, 4});
+  const auto [px, py] = GetParam();
+  const Partition part = make_kba_partition(mesh, px, py);
+  std::vector<SubMesh> subs;
+  for (int r = 0; r < part.num_ranks(); ++r)
+    subs.push_back(extract_submesh(mesh, part, r));
+
+  // Collect (my global elem, my face) -> (nbr rank) from each side and
+  // check the peer lists agree pairwise.
+  std::set<std::tuple<int, int, int, int>> edges;  // gel, f, rank, nbr_rank
+  std::size_t total = 0;
+  for (int r = 0; r < part.num_ranks(); ++r) {
+    for (const auto& rf : subs[r].remote_faces) {
+      const int my_global = subs[r].global_elem[rf.local_elem];
+      edges.insert({my_global, rf.local_face, r, rf.nbr_rank});
+      ++total;
+    }
+  }
+  EXPECT_EQ(edges.size(), total);  // no duplicates
+  // Each remote face must appear from the other side too.
+  for (int r = 0; r < part.num_ranks(); ++r) {
+    for (const auto& rf : subs[r].remote_faces) {
+      bool found = false;
+      for (const auto& other : subs[rf.nbr_rank].remote_faces) {
+        if (subs[rf.nbr_rank].global_elem[other.local_elem] ==
+                rf.nbr_global_elem &&
+            other.local_face == rf.nbr_face) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST_P(SubmeshGrid, RemoteFacesTaggedRemote) {
+  const HexMesh mesh = make_mesh({6, 6, 4});
+  const auto [px, py] = GetParam();
+  const Partition part = make_kba_partition(mesh, px, py);
+  for (int r = 0; r < part.num_ranks(); ++r) {
+    const SubMesh sub = extract_submesh(mesh, part, r);
+    for (const auto& rf : sub.remote_faces) {
+      EXPECT_EQ(sub.mesh.boundary_kind(rf.local_elem, rf.local_face),
+                BoundaryInfo::kRemote);
+      EXPECT_EQ(sub.mesh.boundary_face_id(rf.local_elem, rf.local_face),
+                rf.boundary_face_id);
+      EXPECT_NE(rf.nbr_rank, r);
+    }
+  }
+}
+
+TEST_P(SubmeshGrid, DomainBoundariesKeepTheirTags)
+{
+  const HexMesh mesh = make_mesh({6, 6, 4});
+  const auto [px, py] = GetParam();
+  const Partition part = make_kba_partition(mesh, px, py);
+  for (int r = 0; r < part.num_ranks(); ++r) {
+    const SubMesh sub = extract_submesh(mesh, part, r);
+    for (std::size_t l = 0; l < sub.global_elem.size(); ++l) {
+      const int g = sub.global_elem[l];
+      for (int f = 0; f < fem::kFacesPerHex; ++f) {
+        const int global_kind = mesh.boundary_kind(g, f);
+        if (global_kind != BoundaryInfo::kInterior) {
+          EXPECT_EQ(sub.mesh.boundary_kind(static_cast<int>(l), f),
+                    global_kind);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, SubmeshGrid,
+                         ::testing::Values(Grid{1, 1}, Grid{2, 2},
+                                           Grid{3, 2}));
+
+TEST(SubmeshSingleRank, IdenticalTopology) {
+  const HexMesh mesh = make_mesh({4, 4, 4});
+  const Partition part = make_kba_partition(mesh, 1, 1);
+  const SubMesh sub = extract_submesh(mesh, part, 1 - 1);
+  EXPECT_EQ(sub.mesh.num_elements(), mesh.num_elements());
+  EXPECT_TRUE(sub.remote_faces.empty());
+  EXPECT_EQ(sub.mesh.num_boundary_faces(), mesh.num_boundary_faces());
+}
+
+}  // namespace
+}  // namespace unsnap::mesh

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/preassembly.hpp"
+#include "core/transport_solver.hpp"
+
+namespace unsnap::core {
+namespace {
+
+snap::Input pre_input(int order = 1) {
+  snap::Input input;
+  input.dims = {3, 3, 3};
+  input.order = order;
+  input.nang = 3;
+  input.ng = 2;
+  input.twist = 0.001;
+  input.shuffle_seed = 13;
+  input.mat_opt = 1;
+  input.src_opt = 0;
+  input.scattering_ratio = 0.4;
+  input.iitm = 4;
+  input.oitm = 1;
+  input.num_threads = 2;
+  return input;
+}
+
+std::vector<double> canonical_phi(const TransportSolver& solver) {
+  const Discretization& disc = solver.discretization();
+  const int ng = solver.problem().xs.ng;
+  std::vector<double> out;
+  for (int e = 0; e < disc.num_elements(); ++e)
+    for (int g = 0; g < ng; ++g) {
+      const double* ph = solver.scalar_flux().at(e, g);
+      out.insert(out.end(), ph, ph + disc.num_nodes());
+    }
+  return out;
+}
+
+class PreassemblyMode
+    : public ::testing::TestWithParam<PreassembledOperator::Mode> {};
+
+TEST_P(PreassemblyMode, MatchesOnTheFlyAssembly) {
+  TransportSolver reference(pre_input());
+  reference.run();
+  const std::vector<double> phi_ref = canonical_phi(reference);
+
+  TransportSolver pre(pre_input());
+  pre.enable_preassembly(GetParam());
+  pre.run();
+  const std::vector<double> phi_pre = canonical_phi(pre);
+
+  ASSERT_EQ(phi_ref.size(), phi_pre.size());
+  for (std::size_t i = 0; i < phi_ref.size(); ++i)
+    EXPECT_NEAR(phi_ref[i], phi_pre[i],
+                1e-10 * (1.0 + std::fabs(phi_ref[i])));
+}
+
+TEST_P(PreassemblyMode, WorksForQuadraticElements) {
+  TransportSolver reference(pre_input(2));
+  reference.run();
+  TransportSolver pre(pre_input(2));
+  pre.enable_preassembly(GetParam());
+  pre.run();
+  const auto a = canonical_phi(reference), b = canonical_phi(pre);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(a[i], b[i], 1e-9 * (1.0 + std::fabs(a[i])));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, PreassemblyMode,
+    ::testing::Values(PreassembledOperator::Mode::FactoredLu,
+                      PreassembledOperator::Mode::ExplicitInverse));
+
+TEST(PreassemblyFootprint, MatchesPaperFactorEight) {
+  // Paper §IV-B-1: for linear elements the pre-assembled matrices cost a
+  // factor (p+1)^3 = 8 more than the angular flux array.
+  TransportSolver solver(pre_input(1));
+  solver.enable_preassembly(PreassembledOperator::Mode::ExplicitInverse);
+  const auto* pre = solver.preassembly();
+  ASSERT_NE(pre, nullptr);
+  const std::size_t psi_bytes =
+      solver.angular_flux().size() * sizeof(double);
+  EXPECT_EQ(pre->bytes(), psi_bytes * 8);
+}
+
+TEST(PreassemblyFootprint, FactoredStoresPivotsToo) {
+  TransportSolver inv(pre_input(1));
+  inv.enable_preassembly(PreassembledOperator::Mode::ExplicitInverse);
+  TransportSolver lu(pre_input(1));
+  lu.enable_preassembly(PreassembledOperator::Mode::FactoredLu);
+  EXPECT_GT(lu.preassembly()->bytes(), inv.preassembly()->bytes());
+}
+
+TEST(Preassembly, DisableRestoresAssembledPath) {
+  TransportSolver solver(pre_input());
+  solver.enable_preassembly(PreassembledOperator::Mode::FactoredLu);
+  EXPECT_NE(solver.preassembly(), nullptr);
+  solver.disable_preassembly();
+  EXPECT_EQ(solver.preassembly(), nullptr);
+  EXPECT_NO_THROW(solver.run());
+}
+
+}  // namespace
+}  // namespace unsnap::core

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fem/quadrature1d.hpp"
+#include "util/assert.hpp"
+
+namespace unsnap::fem {
+namespace {
+
+double integrate_power(const Quadrature1D& rule, int power) {
+  double acc = 0.0;
+  for (int q = 0; q < rule.size(); ++q)
+    acc += rule.weights[q] * std::pow(rule.points[q], power);
+  return acc;
+}
+
+// Exact integral of x^p over [-1, 1].
+double exact_power(int power) {
+  return power % 2 == 1 ? 0.0 : 2.0 / (power + 1);
+}
+
+class GaussRule : public ::testing::TestWithParam<int> {};
+
+TEST_P(GaussRule, WeightsSumToTwo) {
+  const Quadrature1D rule = gauss_legendre(GetParam());
+  double sum = 0.0;
+  for (const double w : rule.weights) sum += w;
+  EXPECT_NEAR(sum, 2.0, 1e-14);
+}
+
+TEST_P(GaussRule, ExactUpToDegree2nMinus1) {
+  const int n = GetParam();
+  const Quadrature1D rule = gauss_legendre(n);
+  for (int p = 0; p <= 2 * n - 1; ++p)
+    EXPECT_NEAR(integrate_power(rule, p), exact_power(p), 1e-12)
+        << "degree " << p;
+}
+
+TEST_P(GaussRule, NotExactAtDegree2n) {
+  const int n = GetParam();
+  // The analytic quadrature error for x^{2n} decays super-exponentially
+  // with n; beyond n ~ 10 it drops under the double-precision noise floor
+  // and sharpness is no longer observable.
+  if (n > 10) GTEST_SKIP() << "degree-2n error below rounding for n > 10";
+  const Quadrature1D rule = gauss_legendre(n);
+  EXPECT_GT(std::fabs(integrate_power(rule, 2 * n) - exact_power(2 * n)),
+            1e-10);
+}
+
+TEST_P(GaussRule, PointsSymmetricAndSorted) {
+  const Quadrature1D rule = gauss_legendre(GetParam());
+  for (int q = 0; q < rule.size(); ++q) {
+    EXPECT_NEAR(rule.points[q], -rule.points[rule.size() - 1 - q], 1e-14);
+    EXPECT_NEAR(rule.weights[q], rule.weights[rule.size() - 1 - q], 1e-14);
+    if (q > 0) {
+      EXPECT_GT(rule.points[q], rule.points[q - 1]);
+    }
+  }
+}
+
+TEST_P(GaussRule, PointsInsideOpenInterval) {
+  const Quadrature1D rule = gauss_legendre(GetParam());
+  for (const double x : rule.points) {
+    EXPECT_GT(x, -1.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GaussRule,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 10, 16, 32));
+
+TEST(GaussRuleEdge, SinglePointIsMidpoint) {
+  const Quadrature1D rule = gauss_legendre(1);
+  ASSERT_EQ(rule.size(), 1);
+  EXPECT_NEAR(rule.points[0], 0.0, 1e-15);
+  EXPECT_NEAR(rule.weights[0], 2.0, 1e-15);
+}
+
+TEST(GaussRuleEdge, RejectsZeroPoints) {
+  EXPECT_THROW(gauss_legendre(0), InvalidInput);
+}
+
+TEST(GaussRuleEdge, KnownTwoPointRule) {
+  const Quadrature1D rule = gauss_legendre(2);
+  EXPECT_NEAR(rule.points[1], 1.0 / std::sqrt(3.0), 1e-14);
+  EXPECT_NEAR(rule.weights[0], 1.0, 1e-14);
+}
+
+}  // namespace
+}  // namespace unsnap::fem
