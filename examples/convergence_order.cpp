@@ -1,4 +1,4 @@
-// Spatial convergence study with a manufactured solution (method of
+// Spatial convergence scenario with a manufactured solution (method of
 // manufactured solutions): solves a smooth trigonometric exact solution
 // on successively refined twisted meshes for several element orders and
 // reports the observed L2 convergence order. Demonstrates the paper's
@@ -7,20 +7,21 @@
 
 #include <cmath>
 #include <cstdio>
-#include <vector>
 
+#include "api/problem_builder.hpp"
+#include "api/scenario.hpp"
 #include "core/manufactured.hpp"
-#include "core/transport_solver.hpp"
-#include "util/cli.hpp"
+
+namespace {
 
 using namespace unsnap;
 
-int main(int argc, char** argv) {
-  Cli cli("convergence_order", "MMS h-convergence across element orders");
+void declare_options(Cli& cli) {
   cli.option("max-order", "3", "largest finite element order");
   cli.option("levels", "3", "number of mesh refinements");
-  if (!cli.parse(argc, argv)) return 0;
+}
 
+int run(const Cli& cli) {
   const auto ms = core::ManufacturedSolution::trigonometric();
   std::printf("MMS convergence, exact solution 2 + sin/cos products, "
               "twisted meshes\n");
@@ -31,25 +32,26 @@ int main(int argc, char** argv) {
     double previous = 0.0;
     for (int level = 0; level < cli.get_int("levels"); ++level) {
       const int cells = 2 << level;  // 2, 4, 8
-      snap::Input input;
-      input.dims = {cells, cells, cells};
-      input.order = order;
-      input.nang = 4;
-      input.ng = 1;
-      input.twist = 0.01;
-      input.shuffle_seed = 5;
       // Homogeneous pure absorber: material 2 always scatters (its ratio
       // is c + 0.1), which would need source iterations; with mat_opt 0
       // and c = 0 a single sweep solves the problem exactly in angle.
-      input.mat_opt = 0;
-      input.scattering_ratio = 0.0;
-      input.iitm = 1;
-      input.oitm = 1;
+      const api::Problem problem =
+          api::ProblemBuilder()
+              .mesh({.dims = {cells, cells, cells},
+                     .twist = 0.01,
+                     .shuffle_seed = 5,
+                     .order = order})
+              .angular({.nang = 4})
+              .materials({.num_groups = 1,
+                          .mat_opt = 0,
+                          .scattering_ratio = 0.0})
+              .iteration({.iitm = 1, .oitm = 1})
+              .build();
 
-      core::TransportSolver solver(input);
-      core::apply_manufactured(solver, ms);
-      solver.run();
-      const double error = core::l2_error(solver, ms);
+      const auto solver = problem.make_solver();
+      core::apply_manufactured(*solver, ms);
+      solver->run();
+      const double error = core::l2_error(*solver, ms);
       if (previous > 0.0)
         std::printf("  %d^3      %.6e   %.2f\n", cells, error,
                     std::log2(previous / error));
@@ -65,3 +67,12 @@ int main(int argc, char** argv) {
       "paper's §II-C discusses.\n");
   return 0;
 }
+
+const api::ScenarioRegistrar registrar{{
+    .name = "convergence_order",
+    .summary = "MMS h-convergence across element orders",
+    .declare_options = declare_options,
+    .run = run,
+}};
+
+}  // namespace

@@ -1,53 +1,57 @@
-// Distributed-memory example: the same fixed-source problem solved on one
+// Distributed-memory scenario: the same fixed-source problem solved on one
 // domain and on a KBA-partitioned grid of simulated-MPI ranks with the
 // paper's parallel block Jacobi schedule (§III-A-1). Shows the
 // convergence-rate price of the decomposition and verifies the gathered
-// flux against the single-domain answer.
+// flux against the single-domain answer. The block Jacobi driver consumes
+// the legacy snap::Input deck, so this scenario also demonstrates the
+// builder's to_input() adapter.
 
 #include <cmath>
 #include <cstdio>
 
+#include "api/problem_builder.hpp"
+#include "api/scenario.hpp"
 #include "comm/block_jacobi.hpp"
-#include "core/transport_solver.hpp"
-#include "util/cli.hpp"
+
+namespace {
 
 using namespace unsnap;
 
-int main(int argc, char** argv) {
-  Cli cli("domain_decomposition",
-          "block Jacobi over simulated-MPI ranks vs single domain");
+void declare_options(Cli& cli) {
   cli.option("nx", "10", "elements per dimension");
   cli.option("px", "2", "rank grid x");
   cli.option("py", "2", "rank grid y");
   cli.option("ng", "2", "energy groups");
   cli.option("nang", "4", "angles per octant");
   cli.option("epsi", "1e-7", "convergence tolerance");
-  if (!cli.parse(argc, argv)) return 0;
+}
 
-  snap::Input input;
+int run(const Cli& cli) {
   const int nx = cli.get_int("nx");
-  input.dims = {nx, nx, nx};
-  input.ng = cli.get_int("ng");
-  input.nang = cli.get_int("nang");
-  input.twist = 0.001;
-  input.shuffle_seed = 17;
-  input.mat_opt = 1;
-  input.src_opt = 1;
-  input.scattering_ratio = 0.6;
-  input.fixed_iterations = false;
-  input.epsi = cli.get_double("epsi");
-  input.iitm = 500;
-  input.oitm = 10;
-  input.scheme = snap::ConcurrencyScheme::Serial;
-  input.num_threads = 1;
+  const api::ProblemBuilder builder =
+      api::ProblemBuilder()
+          .mesh({.dims = {nx, nx, nx}, .twist = 0.001, .shuffle_seed = 17})
+          .angular({.nang = cli.get_int("nang")})
+          .materials({.num_groups = cli.get_int("ng"),
+                      .mat_opt = 1,
+                      .scattering_ratio = 0.6})
+          .source({.src_opt = 1})
+          .iteration({.epsi = cli.get_double("epsi"),
+                      .iitm = 500,
+                      .oitm = 10,
+                      .fixed_iterations = false})
+          .execution({.scheme = snap::ConcurrencyScheme::Serial,
+                      .num_threads = 1});
+  const snap::Input input = builder.to_input();
 
   const int px = cli.get_int("px"), py = cli.get_int("py");
   std::printf("Domain decomposition: %d^3 elements, %dx%d KBA ranks\n", nx,
               px, py);
 
-  // Reference: one domain, plain sweeps.
-  core::TransportSolver reference(input);
-  const core::IterationResult ref_result = reference.run();
+  // Reference: one domain, plain sweeps, through the declarative API.
+  const api::Problem problem = builder.build();
+  const auto reference = problem.make_solver();
+  const core::IterationResult ref_result = reference->run();
   std::printf("\nsingle domain : %3d inners, %.3f s (serial sweeps)\n",
               ref_result.inners, ref_result.total_seconds);
 
@@ -60,12 +64,12 @@ int main(int argc, char** argv) {
 
   // Compare the gathered flux with the reference.
   const std::vector<double> global = bj.gather_scalar_flux();
-  const auto& disc = reference.discretization();
+  const auto& disc = reference->discretization();
   const int n = disc.num_nodes();
   double worst = 0.0;
   for (int e = 0; e < disc.num_elements(); ++e)
     for (int g = 0; g < input.ng; ++g) {
-      const double* ref = reference.scalar_flux().at(e, g);
+      const double* ref = reference->scalar_flux().at(e, g);
       const double* mine =
           global.data() + (static_cast<std::size_t>(e) * input.ng + g) * n;
       for (int i = 0; i < n; ++i)
@@ -86,3 +90,12 @@ int main(int argc, char** argv) {
       "schedule makes for on-node parallelism.\n");
   return 0;
 }
+
+const api::ScenarioRegistrar registrar{{
+    .name = "domain_decomposition",
+    .summary = "block Jacobi over simulated-MPI ranks vs single domain",
+    .declare_options = declare_options,
+    .run = run,
+}};
+
+}  // namespace

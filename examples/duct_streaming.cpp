@@ -1,4 +1,4 @@
-// Streaming-duct example: a strongly absorbing block penetrated by a
+// Streaming-duct scenario: a strongly absorbing block penetrated by a
 // near-void duct along x, with a source at the duct mouth. Particles
 // stream down the duct essentially unattenuated while the surrounding
 // absorber kills them within a mean free path — the configuration where
@@ -8,16 +8,15 @@
 
 #include <cmath>
 #include <cstdio>
-#include <memory>
 #include <vector>
 
-#include "core/transport_solver.hpp"
+#include "api/problem_builder.hpp"
+#include "api/scenario.hpp"
 #include "io/vtk_writer.hpp"
-#include "util/cli.hpp"
-
-using namespace unsnap;
 
 namespace {
+
+using namespace unsnap;
 
 snap::CrossSections duct_xs(int ng) {
   snap::CrossSections xs;
@@ -40,50 +39,47 @@ snap::CrossSections duct_xs(int ng) {
   return xs;
 }
 
-}  // namespace
+bool in_duct(const fem::Vec3& c) {
+  return std::fabs(c[1] - 0.5) < 0.125 && std::fabs(c[2] - 0.5) < 0.125;
+}
 
-int main(int argc, char** argv) {
-  Cli cli("duct_streaming", "void duct through an absorber block");
+void declare_options(Cli& cli) {
   cli.option("n", "16", "elements along the duct (x)");
   cli.option("nang", "16", "angles per octant");
   cli.option("order", "1", "finite element order");
   cli.option("vtk", "duct.vtk", "VTK output file ('' to disable)");
-  if (!cli.parse(argc, argv)) return 0;
+}
 
-  snap::Input input;
+int run(const Cli& cli) {
   const int n = cli.get_int("n");
-  input.dims = {n, n / 2, n / 2};
-  input.extent = {2.0, 1.0, 1.0};
-  input.order = cli.get_int("order");
-  input.nang = cli.get_int("nang");
-  input.quadrature = angular::QuadratureKind::Product;
-  input.ng = 1;
-  input.twist = 0.0005;
-  input.shuffle_seed = 3;
-  input.fixed_iterations = false;
-  input.epsi = 1e-6;
-  input.iitm = 100;
-  input.oitm = 2;
-
-  const auto disc = std::make_shared<const core::Discretization>(input);
-
   // Duct: |y-0.5|,|z-0.5| < 0.125 for the full x range. Source: the first
   // 12.5% of the duct length.
-  std::vector<int> material(static_cast<std::size_t>(disc->num_elements()));
-  NDArray<double, 2> qext(
-      {static_cast<std::size_t>(disc->num_elements()), 1}, 0.0);
-  for (int e = 0; e < disc->num_elements(); ++e) {
-    const auto c = disc->mesh().centroid(e);
-    const bool in_duct =
-        std::fabs(c[1] - 0.5) < 0.125 && std::fabs(c[2] - 0.5) < 0.125;
-    material[e] = in_duct ? 0 : 1;
-    if (in_duct && c[0] < 0.25) qext(e, 0) = 1.0;
-  }
+  const api::Problem problem =
+      api::ProblemBuilder()
+          .mesh({.dims = {n, n / 2, n / 2},
+                 .extent = {2.0, 1.0, 1.0},
+                 .twist = 0.0005,
+                 .shuffle_seed = 3,
+                 .order = cli.get_int("order")})
+          .angular({.nang = cli.get_int("nang"),
+                    .quadrature = angular::QuadratureKind::Product})
+          .materials({.cross_sections = duct_xs(1),
+                      .material_map =
+                          [](const fem::Vec3& c) { return in_duct(c) ? 0 : 1; }})
+          .source({.profile =
+                       [](const fem::Vec3& c, int) {
+                         return in_duct(c) && c[0] < 0.25 ? 1.0 : 0.0;
+                       }})
+          .iteration({.epsi = 1e-6,
+                      .iitm = 100,
+                      .oitm = 2,
+                      .fixed_iterations = false})
+          .build();
 
-  core::TransportSolver solver(disc, input,
-                               core::ProblemData(*disc, duct_xs(1),
-                                                 material, qext));
-  const core::IterationResult result = solver.run();
+  const core::Discretization& disc = problem.discretization();
+  const auto solver = problem.make_solver();
+  const core::IterationResult result = solver->run();
+  const snap::Input& input = problem.input();
   std::printf("Duct streaming: %dx%dx%d elements, %d angles/octant, "
               "converged=%s in %d inners\n",
               input.dims[0], input.dims[1], input.dims[2], input.nang,
@@ -93,23 +89,21 @@ int main(int argc, char** argv) {
   const int bins = input.dims[0];
   std::vector<double> duct(bins, 0.0), duct_vol(bins, 0.0);
   std::vector<double> wall(bins, 0.0), wall_vol(bins, 0.0);
-  for (int e = 0; e < disc->num_elements(); ++e) {
-    const auto c = disc->mesh().centroid(e);
+  for (int e = 0; e < disc.num_elements(); ++e) {
+    const auto c = disc.mesh().centroid(e);
     const int bin = std::min(bins - 1, static_cast<int>(c[0] / 2.0 * bins));
-    const bool in_duct =
-        std::fabs(c[1] - 0.5) < 0.125 && std::fabs(c[2] - 0.5) < 0.125;
     const bool deep_wall = std::fabs(c[1] - 0.5) > 0.3;
-    if (!in_duct && !deep_wall) continue;
-    const double* w = disc->integrals().node_weights(e);
-    const double* ph = solver.scalar_flux().at(e, 0);
+    if (!in_duct(c) && !deep_wall) continue;
+    const double* w = disc.integrals().node_weights(e);
+    const double* ph = solver->scalar_flux().at(e, 0);
     double integral = 0.0;
-    for (int i = 0; i < disc->num_nodes(); ++i) integral += w[i] * ph[i];
-    if (in_duct) {
+    for (int i = 0; i < disc.num_nodes(); ++i) integral += w[i] * ph[i];
+    if (in_duct(c)) {
       duct[bin] += integral;
-      duct_vol[bin] += disc->integrals().volume(e);
+      duct_vol[bin] += disc.integrals().volume(e);
     } else {
       wall[bin] += integral;
-      wall_vol[bin] += disc->integrals().volume(e);
+      wall_vol[bin] += disc.integrals().volume(e);
     }
   }
 
@@ -124,12 +118,22 @@ int main(int argc, char** argv) {
               "inside the absorber\n(5 mfp per 1.0 of depth).\n");
 
   if (!cli.get("vtk").empty()) {
-    std::vector<double> mat_field(material.begin(), material.end());
-    io::write_vtk(cli.get("vtk"), disc->mesh(),
+    std::vector<double> mat_field(problem.data().material.begin(),
+                                  problem.data().material.end());
+    io::write_vtk(cli.get("vtk"), disc.mesh(),
                   {{"flux",
-                    io::cell_average_flux(*disc, solver.scalar_flux(), 0)},
+                    io::cell_average_flux(disc, solver->scalar_flux(), 0)},
                    {"material", mat_field}});
     std::printf("wrote %s\n", cli.get("vtk").c_str());
   }
   return 0;
 }
+
+const api::ScenarioRegistrar registrar{{
+    .name = "duct_streaming",
+    .summary = "void duct through an absorber block (streaming/ray effects)",
+    .declare_options = declare_options,
+    .run = run,
+}};
+
+}  // namespace

@@ -1,43 +1,48 @@
-// Time-dependent example: an initial particle pulse in a scattering box
+// Time-dependent scenario: an initial particle pulse in a scattering box
 // with vacuum boundaries decays by absorption and leakage. Demonstrates
 // the backward-Euler time integrator (SNAP's optional time dimension) and
 // prints the population history together with the per-step iteration
 // counts — late steps converge faster because the previous step
 // warm-starts the source iteration.
 
-#include <cmath>
 #include <cstdio>
 #include <memory>
 
+#include "api/problem_builder.hpp"
+#include "api/scenario.hpp"
 #include "core/time_dependent.hpp"
-#include "util/cli.hpp"
+
+namespace {
 
 using namespace unsnap;
 
-int main(int argc, char** argv) {
-  Cli cli("pulse_decay", "decay of an initial pulse (time-dependent mode)");
+void declare_options(Cli& cli) {
   cli.option("nx", "6", "elements per dimension");
   cli.option("ng", "2", "energy groups");
   cli.option("nang", "4", "angles per octant");
   cli.option("dt", "0.25", "time step");
   cli.option("steps", "16", "number of steps");
   cli.option("c", "0.6", "scattering ratio");
-  if (!cli.parse(argc, argv)) return 0;
+}
 
-  snap::Input input;
+int run(const Cli& cli) {
   const int nx = cli.get_int("nx");
-  input.dims = {nx, nx, nx};
-  input.ng = cli.get_int("ng");
-  input.nang = cli.get_int("nang");
-  input.twist = 0.001;
-  input.shuffle_seed = 21;
-  input.mat_opt = 0;
-  input.src_opt = 0;
-  input.scattering_ratio = cli.get_double("c");
-  input.fixed_iterations = false;
-  input.epsi = 1e-7;
-  input.iitm = 200;
-  input.oitm = 10;
+  // The time integrator consumes the lowered deck and builds its own
+  // problem data, so lower via to_input() instead of materialising a
+  // Problem whose data would go unused.
+  const snap::Input input =
+      api::ProblemBuilder()
+          .mesh({.dims = {nx, nx, nx}, .twist = 0.001, .shuffle_seed = 21})
+          .angular({.nang = cli.get_int("nang")})
+          .materials({.num_groups = cli.get_int("ng"),
+                      .mat_opt = 0,
+                      .scattering_ratio = cli.get_double("c")})
+          .source({.src_opt = 0})
+          .iteration({.epsi = 1e-7,
+                      .iitm = 200,
+                      .oitm = 10,
+                      .fixed_iterations = false})
+          .to_input();
 
   const auto disc = std::make_shared<const core::Discretization>(input);
   core::TimeDependentSolver td(
@@ -67,3 +72,12 @@ int main(int argc, char** argv) {
       "iteration count per step falls as the solution relaxes.\n");
   return 0;
 }
+
+const api::ScenarioRegistrar registrar{{
+    .name = "pulse_decay",
+    .summary = "decay of an initial pulse (time-dependent mode)",
+    .declare_options = declare_options,
+    .run = run,
+}};
+
+}  // namespace

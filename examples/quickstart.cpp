@@ -1,21 +1,23 @@
-// Quickstart: solve a small SNAP-style fixed-source transport problem on
-// a twisted unstructured hex mesh and print the iteration history,
-// per-group flux summary and the particle balance.
+// Quickstart scenario: solve a small SNAP-style fixed-source transport
+// problem on a twisted unstructured hex mesh and print the iteration
+// history, per-group flux summary and the particle balance.
 //
-//   ./quickstart [--nx 8] [--order 1] [--ng 4] [--nang 6] ...
+//   ./unsnap --scenario quickstart [--nx 8] [--order 1] [--ng 4] ...
 //
-// This is the minimal end-to-end use of the public API: fill a
-// snap::Input, construct a core::TransportSolver, run, inspect.
+// This is the minimal end-to-end use of the declarative API: compose the
+// option structs on an api::ProblemBuilder, build, solve, inspect.
 
 #include <cstdio>
 
-#include "core/transport_solver.hpp"
-#include "util/cli.hpp"
+#include "api/problem_builder.hpp"
+#include "api/report.hpp"
+#include "api/scenario.hpp"
 
-int main(int argc, char** argv) {
-  using namespace unsnap;
+namespace {
 
-  Cli cli("quickstart", "minimal UnSNAP transport solve");
+using namespace unsnap;
+
+void declare_options(Cli& cli) {
   cli.option("nx", "8", "elements per dimension");
   cli.option("order", "1", "finite element order (1..5)");
   cli.option("ng", "4", "energy groups");
@@ -23,38 +25,41 @@ int main(int argc, char** argv) {
   cli.option("twist", "0.001", "mesh twist in radians");
   cli.option("epsi", "1e-5", "convergence tolerance");
   cli.option("threads", "0", "OpenMP threads (0 = default)");
-  if (!cli.parse(argc, argv)) return 0;
+}
 
-  snap::Input input;
+int run(const Cli& cli) {
   const int nx = cli.get_int("nx");
-  input.dims = {nx, nx, nx};
-  input.order = cli.get_int("order");
-  input.ng = cli.get_int("ng");
-  input.nang = cli.get_int("nang");
-  input.twist = cli.get_double("twist");
-  input.shuffle_seed = 42;       // store the brick as a shuffled soup
-  input.mat_opt = 1;             // denser material in the centre box
-  input.src_opt = 1;             // source in the centre box
-  input.scattering_ratio = 0.5;
-  input.epsi = cli.get_double("epsi");
-  input.fixed_iterations = false;
-  input.iitm = 100;
-  input.oitm = 20;
-  input.num_threads = cli.get_int("threads");
+  const api::Problem problem =
+      api::ProblemBuilder()
+          .mesh({.dims = {nx, nx, nx},
+                 .twist = cli.get_double("twist"),
+                 .shuffle_seed = 42,  // store the brick as a shuffled soup
+                 .order = cli.get_int("order")})
+          .angular({.nang = cli.get_int("nang")})
+          .materials({.num_groups = cli.get_int("ng"),
+                      .mat_opt = 1,  // denser material in the centre box
+                      .scattering_ratio = 0.5})
+          .source({.src_opt = 1})  // source in the centre box
+          .iteration({.epsi = cli.get_double("epsi"),
+                      .iitm = 100,
+                      .oitm = 20,
+                      .fixed_iterations = false})
+          .execution({.num_threads = cli.get_int("threads")})
+          .build();
 
+  const snap::Input& input = problem.input();
+  const core::Discretization& disc = problem.discretization();
   std::printf("UnSNAP quickstart: %d^3 twisted hex mesh, order %d, "
               "%d groups, %d angles/octant\n",
               nx, input.order, input.ng, input.nang);
-
-  core::TransportSolver solver(input);
-  const core::Discretization& disc = solver.discretization();
   std::printf("  %d elements, %d nodes each; %d unique sweep schedules for "
               "%d directions\n",
               disc.num_elements(), disc.num_nodes(),
               disc.schedules().unique_count(),
               angular::kOctants * input.nang);
 
-  const core::IterationResult result = solver.run();
+  const auto solver = problem.make_solver();
+  const core::IterationResult result = solver->run();
   std::printf("\n%s after %d inners / %d outers "
               "(last inner change %.2e)\n",
               result.converged ? "Converged" : "NOT converged",
@@ -64,18 +69,12 @@ int main(int argc, char** argv) {
 
   // Per-group volume-average flux.
   std::printf("\ngroup   <phi> (volume average)\n");
-  for (int g = 0; g < input.ng; ++g) {
-    double integral = 0.0, volume = 0.0;
-    for (int e = 0; e < disc.num_elements(); ++e) {
-      const double* w = disc.integrals().node_weights(e);
-      const double* ph = solver.scalar_flux().at(e, g);
-      for (int i = 0; i < disc.num_nodes(); ++i) integral += w[i] * ph[i];
-      volume += disc.integrals().volume(e);
-    }
-    std::printf("  %2d    %.6f\n", g, integral / volume);
-  }
+  const std::vector<double> averages =
+      api::group_volume_averages(disc, solver->scalar_flux());
+  for (int g = 0; g < input.ng; ++g)
+    std::printf("  %2d    %.6f\n", g, averages[static_cast<std::size_t>(g)]);
 
-  const core::BalanceReport balance = solver.balance();
+  const core::BalanceReport balance = solver->balance();
   std::printf("\nparticle balance:\n"
               "  source      %.6f\n  absorption  %.6f\n  leakage     %.6f\n"
               "  residual    %.2e (relative %.2e)\n",
@@ -83,3 +82,12 @@ int main(int argc, char** argv) {
               balance.residual(), balance.relative());
   return 0;
 }
+
+const api::ScenarioRegistrar registrar{{
+    .name = "quickstart",
+    .summary = "minimal UnSNAP transport solve on a twisted hex mesh",
+    .declare_options = declare_options,
+    .run = run,
+}};
+
+}  // namespace

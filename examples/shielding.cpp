@@ -1,9 +1,9 @@
-// Shielding study: a slab source, a dense shield of varying total cross
+// Shielding scenario: a slab source, a dense shield of varying total cross
 // section, and a detector region behind it — the classic deep-penetration
-// configuration that motivates deterministic transport. Demonstrates
-// building fully custom problem data (materials, cross sections, source
-// placement) on top of the UnSNAP discretisation, and writes a VTK file of
-// the attenuated flux.
+// configuration that motivates deterministic transport. Demonstrates the
+// declarative API's custom-material route (explicit cross sections plus
+// centroid material/source maps) and the shared-discretisation build for
+// parameter sweeps, and writes a VTK file of the attenuated flux.
 //
 // Geometry (z axis):  [ source | shield | detector ]
 //                     0       1.0      1.8         3.0
@@ -12,15 +12,16 @@
 
 #include <cmath>
 #include <cstdio>
-#include <memory>
+#include <vector>
 
-#include "core/transport_solver.hpp"
+#include "api/problem_builder.hpp"
+#include "api/report.hpp"
+#include "api/scenario.hpp"
 #include "io/vtk_writer.hpp"
-#include "util/cli.hpp"
-
-using namespace unsnap;
 
 namespace {
+
+using namespace unsnap;
 
 // Three "materials": near-void filler, source medium and shield.
 snap::CrossSections shield_xs(int ng, double shield_sigt) {
@@ -45,84 +46,71 @@ snap::CrossSections shield_xs(int ng, double shield_sigt) {
   return xs;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Cli cli("shielding", "slab source / shield / detector attenuation study");
+void declare_options(Cli& cli) {
   cli.option("nx", "6", "elements across x and y");
   cli.option("nz", "18", "elements along the shield axis");
   cli.option("order", "1", "finite element order");
   cli.option("nang", "8", "angles per octant");
   cli.option("vtk", "shielding.vtk", "VTK output file ('' to disable)");
-  if (!cli.parse(argc, argv)) return 0;
+}
 
-  snap::Input input;
-  input.dims = {cli.get_int("nx"), cli.get_int("nx"), cli.get_int("nz")};
-  input.extent = {1.0, 1.0, 3.0};
-  input.order = cli.get_int("order");
-  input.nang = cli.get_int("nang");
-  input.quadrature = angular::QuadratureKind::Product;
-  input.ng = 2;
-  input.twist = 0.001;
-  input.shuffle_seed = 7;
-  input.fixed_iterations = false;
-  input.epsi = 1e-6;
-  input.iitm = 200;
-  input.oitm = 5;
+int run(const Cli& cli) {
+  const int ng = 2;
+  api::ProblemBuilder builder;
+  builder
+      .mesh({.dims = {cli.get_int("nx"), cli.get_int("nx"),
+                      cli.get_int("nz")},
+             .extent = {1.0, 1.0, 3.0},
+             .twist = 0.001,
+             .shuffle_seed = 7,
+             .order = cli.get_int("order")})
+      .angular({.nang = cli.get_int("nang"),
+                .quadrature = angular::QuadratureKind::Product})
+      .source({.profile = [](const fem::Vec3& c, int) {
+        return c[2] < 1.0 ? 1.0 : 0.0;  // source medium only
+      }})
+      .iteration({.epsi = 1e-6,
+                  .iitm = 200,
+                  .oitm = 5,
+                  .fixed_iterations = false});
+  const auto material_map = [](const fem::Vec3& c) {
+    if (c[2] < 1.0) return 1;  // source medium
+    if (c[2] < 1.8) return 2;  // shield
+    return 0;                  // filler / detector
+  };
 
   std::printf("Shielding study: %dx%dx%d elements, order %d\n",
-              input.dims[0], input.dims[1], input.dims[2], input.order);
+              cli.get_int("nx"), cli.get_int("nx"), cli.get_int("nz"),
+              cli.get_int("order"));
   std::printf("\nshield sigt   detector <phi>   attenuation vs no shield\n");
 
-  const auto disc = std::make_shared<const core::Discretization>(input);
-
-  // Region assignment by centroid.
-  std::vector<int> material(static_cast<std::size_t>(disc->num_elements()));
-  NDArray<double, 2> qext(
-      {static_cast<std::size_t>(disc->num_elements()),
-       static_cast<std::size_t>(input.ng)},
-      0.0);
-  for (int e = 0; e < disc->num_elements(); ++e) {
-    const double z = disc->mesh().centroid(e)[2];
-    if (z < 1.0) {
-      material[e] = 1;  // source medium
-      for (int g = 0; g < input.ng; ++g) qext(e, g) = 1.0;
-    } else if (z < 1.8) {
-      material[e] = 2;  // shield
-    } else {
-      material[e] = 0;  // filler / detector
-    }
-  }
-
+  // The mesh/schedules are shared across the sigt sweep: the first build
+  // creates the discretisation, the rest reuse it.
+  std::shared_ptr<const core::Discretization> disc;
   double unshielded = -1.0;
-  std::vector<double> detector_flux;
   for (const double shield_sigt : {0.05, 1.0, 2.0, 4.0}) {
-    core::ProblemData problem(*disc, shield_xs(input.ng, shield_sigt),
-                              material, qext);
-    core::TransportSolver solver(disc, input, std::move(problem));
-    solver.run();
+    builder.materials({.cross_sections = shield_xs(ng, shield_sigt),
+                       .material_map = material_map});
+    const api::Problem problem = disc ? builder.build(disc) : builder.build();
+    if (!disc) disc = problem.discretization_ptr();
+
+    const auto solver = problem.make_solver();
+    solver->run();
 
     // Volume-average group-0 flux in the band directly behind the shield.
-    double integral = 0.0, volume = 0.0;
-    for (int e = 0; e < disc->num_elements(); ++e) {
-      const double z = disc->mesh().centroid(e)[2];
-      if (z < 1.8 || z > 2.3) continue;
-      const double* w = disc->integrals().node_weights(e);
-      const double* ph = solver.scalar_flux().at(e, 0);
-      for (int i = 0; i < disc->num_nodes(); ++i) integral += w[i] * ph[i];
-      volume += disc->integrals().volume(e);
-    }
-    const double detector = integral / volume;
+    const double detector = api::region_average_flux(
+        *disc, solver->scalar_flux(), 0,
+        [](const fem::Vec3& c) { return c[2] >= 1.8 && c[2] <= 2.3; });
     if (unshielded < 0.0) unshielded = detector;
     std::printf("  %6.2f      %.6e     %8.2fx\n", shield_sigt, detector,
                 unshielded / detector);
-    detector_flux.push_back(detector);
 
     if (shield_sigt == 4.0 && !cli.get("vtk").empty()) {
-      std::vector<double> mat_field(material.begin(), material.end());
+      std::vector<double> mat_field(
+          problem.data().material.begin(), problem.data().material.end());
       io::write_vtk(cli.get("vtk"), disc->mesh(),
                     {{"flux_g0",
-                      io::cell_average_flux(*disc, solver.scalar_flux(), 0)},
+                      io::cell_average_flux(*disc, solver->scalar_flux(), 0)},
                      {"material", mat_field}});
       std::printf("  wrote %s\n", cli.get("vtk").c_str());
     }
@@ -141,3 +129,12 @@ int main(int argc, char** argv) {
       "scattering build-up pushes the other way)\n");
   return 0;
 }
+
+const api::ScenarioRegistrar registrar{{
+    .name = "shielding",
+    .summary = "slab source / shield / detector attenuation study",
+    .declare_options = declare_options,
+    .run = run,
+}};
+
+}  // namespace

@@ -1,24 +1,31 @@
-// Sweep-schedule explorer: builds a twisted unstructured mesh, constructs
-// the bucketed wavefront schedule for a chosen ordinate and writes the
-// bucket index ("tlevel") of every element to VTK — load it in ParaView
-// and the wavefronts are directly visible as bands marching through the
-// mesh. Also prints the bucket-occupancy profile (the paper's available
-// element parallelism) and the schedule-dedup statistics.
+// Sweep-schedule explorer scenario: builds a twisted unstructured mesh,
+// constructs the bucketed wavefront schedule for a chosen ordinate and
+// writes the bucket index ("tlevel") of every element to VTK — load it in
+// ParaView and the wavefronts are directly visible as bands marching
+// through the mesh. Also prints the bucket-occupancy profile (the paper's
+// available element parallelism) and the schedule-dedup statistics.
+//
+// This scenario deliberately stays below the Problem layer: it only needs
+// mesh + quadrature + schedules, so it skips the element-integrals and
+// problem-data construction a full api::Problem would pay for.
 
-#include <cmath>
+#include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
-#include "angular/quadrature.hpp"
+#include "api/scenario.hpp"
 #include "io/vtk_writer.hpp"
 #include "mesh/mesh_builder.hpp"
 #include "sweep/schedule.hpp"
-#include "util/cli.hpp"
+#include "util/assert.hpp"
+
+namespace {
 
 using namespace unsnap;
 
-int main(int argc, char** argv) {
-  Cli cli("sweep_explorer", "visualise wavefront buckets of a sweep");
+void declare_options(Cli& cli) {
   cli.option("nx", "12", "elements per dimension");
   cli.option("twist", "0.3", "mesh twist in radians");
   cli.option("nang", "8", "angles per octant");
@@ -26,8 +33,9 @@ int main(int argc, char** argv) {
   cli.option("angle", "0", "angle index of the visualised ordinate");
   cli.option("vtk", "sweep_buckets.vtk", "VTK output ('' to disable)");
   cli.flag("break-cycles", "lag faces to break cyclic dependencies");
-  if (!cli.parse(argc, argv)) return 0;
+}
 
+int run(const Cli& cli) {
   mesh::MeshOptions options;
   const int nx = cli.get_int("nx");
   options.dims = {nx, nx, nx};
@@ -86,3 +94,12 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+const api::ScenarioRegistrar registrar{{
+    .name = "sweep_explorer",
+    .summary = "visualise wavefront buckets of a sweep",
+    .declare_options = declare_options,
+    .run = run,
+}};
+
+}  // namespace

@@ -1,18 +1,20 @@
-// The UnSNAP mini-app driver: exposes the full snap::Input deck on the
-// command line, runs the solve and prints a SNAP-style summary. This is
-// the binary a performance engineer scripts against; every experiment in
-// the paper is a particular set of these flags.
+// The full-deck scenario (the legacy `unsnap_mini` driver): exposes every
+// knob of the problem definition on the command line, runs the solve and
+// prints a SNAP-style summary. This is the scenario a performance
+// engineer scripts against; every experiment in the paper is a particular
+// set of these flags.
 
 #include <cstdio>
 
-#include "core/transport_solver.hpp"
-#include "util/cli.hpp"
+#include "api/problem_builder.hpp"
+#include "api/report.hpp"
+#include "api/scenario.hpp"
+
+namespace {
 
 using namespace unsnap;
 
-int main(int argc, char** argv) {
-  Cli cli("unsnap_mini", "UnSNAP mini-app: DG discrete ordinates transport "
-                         "on an unstructured hex mesh");
+void declare_options(Cli& cli) {
   cli.option("nx", "8", "elements in x");
   cli.option("ny", "0", "elements in y (0 = nx)");
   cli.option("nz", "0", "elements in z (0 = nx)");
@@ -41,39 +43,45 @@ int main(int argc, char** argv) {
   cli.flag("break-cycles", "lag faces to break cyclic sweep dependencies");
   cli.flag("reflect", "reflective (instead of vacuum) on all six sides");
   cli.flag("validate", "run full mesh validation before solving");
-  if (!cli.parse(argc, argv)) return 0;
+}
 
-  snap::Input input;
+int run(const Cli& cli) {
   const int nx = cli.get_int("nx");
-  input.dims = {nx, cli.get_int("ny") > 0 ? cli.get_int("ny") : nx,
-                cli.get_int("nz") > 0 ? cli.get_int("nz") : nx};
+  const std::array<int, 3> dims{
+      nx, cli.get_int("ny") > 0 ? cli.get_int("ny") : nx,
+      cli.get_int("nz") > 0 ? cli.get_int("nz") : nx};
   const double lx = cli.get_double("lx");
-  input.extent = {lx, lx * input.dims[1] / input.dims[0],
-                  lx * input.dims[2] / input.dims[0]};
-  input.order = cli.get_int("order");
-  input.nang = cli.get_int("nang");
-  input.ng = cli.get_int("ng");
-  input.nmom = cli.get_int("nmom");
-  input.quadrature = angular::quadrature_from_string(cli.get("quad"));
-  input.mat_opt = cli.get_int("mat");
-  input.src_opt = cli.get_int("src");
-  input.scattering_ratio = cli.get_double("c");
-  input.twist = cli.get_double("twist");
-  input.shuffle_seed = static_cast<std::uint64_t>(cli.get_long("seed"));
-  input.epsi = cli.get_double("epsi");
-  input.iitm = cli.get_int("iitm");
-  input.oitm = cli.get_int("oitm");
-  input.fixed_iterations = !cli.get_flag("converge");
-  input.layout = snap::layout_from_string(cli.get("layout"));
-  input.scheme = snap::scheme_from_string(cli.get("scheme"));
-  input.solver = linalg::solver_from_string(cli.get("solver"));
-  input.num_threads = cli.get_int("threads");
-  input.time_solve = cli.get_flag("time-solve");
-  input.break_cycles = cli.get_flag("break-cycles");
-  input.validate_mesh = cli.get_flag("validate");
-  if (cli.get_flag("reflect"))
-    for (auto& b : input.boundary) b = snap::Input::Bc::Reflective;
 
+  api::ProblemBuilder builder;
+  builder
+      .mesh({.dims = dims,
+             .extent = {lx, lx * dims[1] / dims[0], lx * dims[2] / dims[0]},
+             .twist = cli.get_double("twist"),
+             .shuffle_seed = static_cast<std::uint64_t>(cli.get_long("seed")),
+             .order = cli.get_int("order"),
+             .validate = cli.get_flag("validate"),
+             .break_cycles = cli.get_flag("break-cycles")})
+      .angular({.nang = cli.get_int("nang"),
+                .quadrature = angular::quadrature_from_string(cli.get("quad")),
+                .nmom = cli.get_int("nmom")})
+      .materials({.num_groups = cli.get_int("ng"),
+                  .mat_opt = cli.get_int("mat"),
+                  .scattering_ratio = cli.get_double("c")})
+      .source({.src_opt = cli.get_int("src")})
+      .iteration({.epsi = cli.get_double("epsi"),
+                  .iitm = cli.get_int("iitm"),
+                  .oitm = cli.get_int("oitm"),
+                  .fixed_iterations = !cli.get_flag("converge")})
+      .execution({.layout = snap::layout_from_string(cli.get("layout")),
+                  .scheme = snap::scheme_from_string(cli.get("scheme")),
+                  .solver = linalg::solver_from_string(cli.get("solver")),
+                  .num_threads = cli.get_int("threads"),
+                  .time_solve = cli.get_flag("time-solve")});
+  if (cli.get_flag("reflect"))
+    builder.all_boundaries(snap::Input::Bc::Reflective);
+
+  const api::Problem problem = builder.build();
+  const snap::Input& input = problem.input();
   std::printf("UnSNAP  %dx%dx%d hexes, order %d (%d nodes/elem), "
               "%d angles/octant x 8, %d groups, nmom %d\n",
               input.dims[0], input.dims[1], input.dims[2], input.order,
@@ -86,35 +94,32 @@ int main(int argc, char** argv) {
               linalg::to_string(input.solver).c_str(), input.twist,
               static_cast<unsigned long long>(input.shuffle_seed));
 
-  core::TransportSolver solver(input);
-  const auto& disc = solver.discretization();
+  const auto solver = problem.make_solver();
+  const auto& disc = solver->discretization();
   std::printf("        %d unique sweep schedules for %d directions; "
               "integrals %.1f MB; psi %.1f MB\n",
               disc.schedules().unique_count(),
               angular::kOctants * input.nang,
               static_cast<double>(disc.integrals().bytes()) / (1 << 20),
-              static_cast<double>(solver.angular_flux().size() *
+              static_cast<double>(solver->angular_flux().size() *
                                   sizeof(double)) /
                   (1 << 20));
 
-  const core::IterationResult result = solver.run();
+  const core::IterationResult result = solver->run();
 
-  std::printf("\n  outers %d   inners %d   %s (inner df %.3e)\n",
-              result.outers, result.inners,
-              result.converged ? "converged" : "not converged",
-              result.final_inner_change);
-  std::printf("  total %.4f s   assemble/solve %.4f s", result.total_seconds,
-              result.assemble_solve_seconds);
-  if (input.time_solve)
-    std::printf("   (%.0f%% in solve)",
-                100.0 * result.solve_seconds /
-                    result.assemble_solve_seconds);
   std::printf("\n");
-
-  const core::BalanceReport balance = solver.balance();
-  std::printf("  balance: source %.6e  absorption %.6e  leakage %.6e\n"
-              "           inflow %.6e  residual %.3e\n",
-              balance.source, balance.absorption, balance.leakage,
-              balance.inflow, balance.residual());
+  api::print_iteration_report(result, input.time_solve);
+  std::printf("\n");
+  api::print_balance_report(solver->balance());
   return 0;
 }
+
+const api::ScenarioRegistrar registrar{{
+    .name = "mini",
+    .summary = "full SNAP-style deck on the command line (legacy "
+               "unsnap_mini)",
+    .declare_options = declare_options,
+    .run = run,
+}};
+
+}  // namespace

@@ -1,0 +1,87 @@
+#include "api/driver.hpp"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/scenario.hpp"
+#include "util/assert.hpp"
+
+namespace unsnap::api {
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "unsnap — declarative scenario driver for the UnSNAP mini-app\n\n"
+      "usage:\n"
+      "  unsnap --list-scenarios            list registered scenarios\n"
+      "  unsnap --scenario <name> [opts]    run one scenario\n"
+      "  unsnap --scenario <name> --help    show a scenario's options\n");
+}
+
+void list_scenarios() {
+  const auto scenarios = ScenarioRegistry::instance().list();
+  std::printf("registered scenarios (%zu):\n", scenarios.size());
+  for (const Scenario* s : scenarios)
+    std::printf("  %-22s %s\n", s->name.c_str(), s->summary.c_str());
+  std::printf("\nrun one with: unsnap --scenario <name> [--help]\n");
+}
+
+int run_scenario(const std::string& name,
+                 const std::vector<const char*>& args) {
+  const Scenario& scenario = ScenarioRegistry::instance().get(name);
+  Cli cli("unsnap --scenario " + name, scenario.summary);
+  if (scenario.declare_options) scenario.declare_options(cli);
+  if (!cli.parse(static_cast<int>(args.size()), args.data())) return 0;
+  return scenario.run(cli);
+}
+
+}  // namespace
+
+int run_driver(int argc, const char* const* argv) {
+  try {
+    std::string scenario_name;
+    // Scenario args are forwarded verbatim; args[0] stands in for argv[0].
+    std::vector<const char*> forwarded{"unsnap"};
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--list-scenarios") {
+        list_scenarios();
+        return 0;
+      }
+      if (arg == "--scenario" || arg.rfind("--scenario=", 0) == 0) {
+        if (arg == "--scenario") {
+          require(i + 1 < argc, "--scenario requires a name");
+          scenario_name = argv[++i];
+        } else {
+          scenario_name = arg.substr(std::string("--scenario=").size());
+          require(!scenario_name.empty(), "--scenario requires a name");
+        }
+        for (int j = i + 1; j < argc; ++j) forwarded.push_back(argv[j]);
+        break;
+      }
+      if (arg == "--help" || arg == "-h") {
+        print_usage();
+        return 0;
+      }
+      throw InvalidInput("unexpected argument: " + arg +
+                         " (expected --list-scenarios or --scenario)");
+    }
+    if (scenario_name.empty()) {
+      print_usage();
+      std::printf("\n");
+      list_scenarios();
+      return 0;
+    }
+    return run_scenario(scenario_name, forwarded);
+  } catch (const InvalidInput& err) {
+    std::fprintf(stderr, "unsnap: %s\n", err.what());
+    return 2;
+  } catch (const NumericalError& err) {
+    std::fprintf(stderr, "unsnap: numerical failure: %s\n", err.what());
+    return 3;
+  }
+}
+
+}  // namespace unsnap::api

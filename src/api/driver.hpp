@@ -1,0 +1,17 @@
+#pragma once
+
+namespace unsnap::api {
+
+/// The unified `unsnap` CLI: lists, configures and runs any registered
+/// scenario.
+///
+///   unsnap --list-scenarios
+///   unsnap --scenario quickstart --nx 8 --order 2
+///   unsnap --scenario shielding --help
+///
+/// Everything after `--scenario <name>` is parsed by the scenario's own
+/// option set. Returns a process exit code (0 success, 2 usage/input
+/// error, 3 numerical failure).
+int run_driver(int argc, const char* const* argv);
+
+}  // namespace unsnap::api

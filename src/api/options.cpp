@@ -1,0 +1,36 @@
+#include "api/options.hpp"
+
+#include "util/assert.hpp"
+
+namespace unsnap::api {
+
+namespace {
+// Same numbering as snap::Input::boundary: 0:-x 1:+x 2:-y 3:+y 4:-z 5:+z.
+constexpr std::array<const char*, 6> kSideNames{"-x", "+x", "-y",
+                                                "+y", "-z", "+z"};
+}  // namespace
+
+int side_from_string(const std::string& name) {
+  for (int s = 0; s < 6; ++s)
+    if (name == kSideNames[static_cast<std::size_t>(s)]) return s;
+  throw InvalidInput("unknown domain side '" + name +
+                     "' (expected -x, +x, -y, +y, -z or +z)");
+}
+
+std::string side_to_string(int side) {
+  UNSNAP_ASSERT(side >= 0 && side < 6);
+  return kSideNames[static_cast<std::size_t>(side)];
+}
+
+snap::Input::Bc bc_from_string(const std::string& name) {
+  if (name == "vacuum") return snap::Input::Bc::Vacuum;
+  if (name == "reflective") return snap::Input::Bc::Reflective;
+  throw InvalidInput("unknown boundary condition '" + name +
+                     "' (expected vacuum or reflective)");
+}
+
+std::string to_string(snap::Input::Bc bc) {
+  return bc == snap::Input::Bc::Vacuum ? "vacuum" : "reflective";
+}
+
+}  // namespace unsnap::api

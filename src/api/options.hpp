@@ -1,0 +1,101 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "angular/quadrature.hpp"
+#include "fem/geometry.hpp"
+#include "linalg/solver.hpp"
+#include "snap/data.hpp"
+#include "snap/input.hpp"
+
+namespace unsnap::api {
+
+/// The declarative problem-definition vocabulary: one small struct per
+/// concern, composed by ProblemBuilder instead of filled into the flat
+/// snap::Input deck. Every struct is a plain aggregate with the same
+/// defaults as the corresponding Input fields, so
+/// `builder.mesh({.dims = {16, 16, 16}})` perturbs exactly one knob.
+
+/// Spatial mesh: the twisted, shuffled brick of the paper plus the
+/// schedule-construction controls that depend on the mesh alone.
+struct MeshSpec {
+  std::array<int, 3> dims{8, 8, 8};
+  std::array<double, 3> extent{1.0, 1.0, 1.0};
+  double twist = 0.001;            // radians
+  std::uint64_t shuffle_seed = 1;  // 0 keeps structured numbering
+  int order = 1;                   // finite element order
+  bool validate = false;           // full mesh validation before solving
+  bool break_cycles = false;       // lag faces on cyclic sweep dependencies
+};
+
+/// Angular discretisation. nmom rides here because the flux-moment count
+/// is a property of the angular treatment, not of the materials.
+struct AngularSpec {
+  int nang = 8;  // angles per octant
+  angular::QuadratureKind quadrature = angular::QuadratureKind::SnapLike;
+  int nmom = 1;  // Legendre scattering orders carried (1 = isotropic)
+};
+
+/// Materials and cross sections. Two routes:
+///  - generated: SNAP's mat_opt/scattering_ratio artificial data (default);
+///  - custom: explicit CrossSections plus a material id per element
+///    centroid, for bespoke geometries (shields, ducts, ...).
+/// Setting `cross_sections` switches to the custom route; `material_map`
+/// then assigns a material id to every element by centroid (defaults to
+/// material 0 everywhere).
+struct MaterialSpec {
+  int num_groups = 4;  // SNAP's ng (ignored when cross_sections is set)
+  int mat_opt = 1;
+  double scattering_ratio = 0.5;
+  std::optional<snap::CrossSections> cross_sections;
+  std::function<int(const fem::Vec3& centroid)> material_map;
+};
+
+/// Volumetric external source. Either SNAP's src_opt placement or a custom
+/// per-centroid, per-group strength profile (constant within the element).
+struct SourceSpec {
+  int src_opt = 1;
+  std::function<double(const fem::Vec3& centroid, int group)> profile;
+};
+
+/// Boundary conditions per domain side, addressed by name ("-x", "+x",
+/// "-y", "+y", "-z", "+z") through the builder.
+struct BoundarySpec {
+  using Bc = snap::Input::Bc;
+  std::array<Bc, 6> sides{Bc::Vacuum, Bc::Vacuum, Bc::Vacuum,
+                          Bc::Vacuum, Bc::Vacuum, Bc::Vacuum};
+};
+
+/// Iteration control (SNAP's epsi / iitm / oitm).
+struct IterationSpec {
+  double epsi = 1e-4;
+  int iitm = 5;  // inners per outer
+  int oitm = 1;  // outers
+  /// true = the paper's timing setup: exactly iitm x oitm sweeps.
+  bool fixed_iterations = true;
+};
+
+/// Execution configuration: the performance-study axes of the paper.
+struct ExecutionSpec {
+  snap::FluxLayout layout = snap::FluxLayout::AngleElementGroup;
+  snap::ConcurrencyScheme scheme = snap::ConcurrencyScheme::ElementsGroups;
+  linalg::SolverKind solver = linalg::SolverKind::GaussianElimination;
+  int num_threads = 0;  // 0 = OpenMP default
+  bool time_solve = false;
+};
+
+/// Domain side index for the boundary array (same numbering as
+/// snap::Input::boundary: 0:-x 1:+x 2:-y 3:+y 4:-z 5:+z). Throws
+/// InvalidInput for anything but the six names above.
+[[nodiscard]] int side_from_string(const std::string& name);
+[[nodiscard]] std::string side_to_string(int side);
+
+/// Boundary-condition names: "vacuum" | "reflective".
+[[nodiscard]] snap::Input::Bc bc_from_string(const std::string& name);
+[[nodiscard]] std::string to_string(snap::Input::Bc bc);
+
+}  // namespace unsnap::api

@@ -1,0 +1,24 @@
+#include "api/problem.hpp"
+
+namespace unsnap::api {
+
+Problem::Problem(snap::Input input,
+                 std::shared_ptr<const core::Discretization> disc,
+                 core::ProblemData data)
+    : input_(std::move(input)),
+      disc_(std::move(disc)),
+      data_(std::move(data)) {}
+
+std::unique_ptr<core::TransportSolver> Problem::make_solver() const {
+  return std::make_unique<core::TransportSolver>(disc_, input_, data_);
+}
+
+Problem::RunResult Problem::solve() const {
+  const std::unique_ptr<core::TransportSolver> solver = make_solver();
+  RunResult result;
+  result.iteration = solver->run();
+  result.balance = solver->balance();
+  return result;
+}
+
+}  // namespace unsnap::api

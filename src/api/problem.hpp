@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+
+#include "core/transport_solver.hpp"
+
+namespace unsnap::api {
+
+/// An immutable, fully-validated transport problem: the discretisation
+/// (mesh, element integrals, quadrature, sweep schedules), the problem
+/// data (cross sections, materials, sources) and the execution
+/// configuration, lowered to the snap::Input the core solver understands.
+/// Built by ProblemBuilder; the sweep kernels underneath are untouched.
+///
+/// A Problem is a factory for solvers: make_solver() hands out a fresh
+/// core::TransportSolver sharing this problem's discretisation, so many
+/// solves (parameter sweeps, repeated runs under different execution
+/// configs) amortise the mesh/schedule construction exactly like the
+/// benchmark harnesses do by hand.
+class Problem {
+ public:
+  /// Iteration outcome plus the closing particle-balance audit.
+  struct RunResult {
+    core::IterationResult iteration;
+    core::BalanceReport balance;
+  };
+
+  /// Fresh solver over this problem's shared discretisation and a copy of
+  /// the problem data (solvers own mutable solution state).
+  [[nodiscard]] std::unique_ptr<core::TransportSolver> make_solver() const;
+
+  /// One-shot convenience: make a solver, run it, audit the balance.
+  [[nodiscard]] RunResult solve() const;
+
+  [[nodiscard]] const snap::Input& input() const { return input_; }
+  [[nodiscard]] const core::Discretization& discretization() const {
+    return *disc_;
+  }
+  [[nodiscard]] std::shared_ptr<const core::Discretization>
+  discretization_ptr() const {
+    return disc_;
+  }
+  [[nodiscard]] const core::ProblemData& data() const { return data_; }
+
+ private:
+  friend class ProblemBuilder;
+  Problem(snap::Input input,
+          std::shared_ptr<const core::Discretization> disc,
+          core::ProblemData data);
+
+  snap::Input input_;
+  std::shared_ptr<const core::Discretization> disc_;
+  core::ProblemData data_;
+};
+
+}  // namespace unsnap::api

@@ -1,0 +1,239 @@
+#include "api/problem_builder.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace unsnap::api {
+
+ProblemBuilder& ProblemBuilder::mesh(MeshSpec spec) {
+  require(spec.dims[0] >= 1 && spec.dims[1] >= 1 && spec.dims[2] >= 1,
+          "mesh: dims must be positive");
+  require(spec.extent[0] > 0 && spec.extent[1] > 0 && spec.extent[2] > 0,
+          "mesh: extent must be positive");
+  require(spec.order >= 1 && spec.order <= 8,
+          "mesh: element order must be in 1..8");
+  mesh_ = std::move(spec);
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::angular(AngularSpec spec) {
+  require(spec.nang >= 1, "angular: nang must be positive");
+  require(spec.nmom >= 1 && spec.nmom <= 6,
+          "angular: nmom must be in 1..6");
+  angular_ = spec;
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::materials(MaterialSpec spec) {
+  require(spec.mat_opt >= 0 && spec.mat_opt <= 2,
+          "materials: mat_opt must be 0, 1 or 2");
+  require(spec.scattering_ratio >= 0.0 && spec.scattering_ratio < 1.0,
+          "materials: scattering ratio must be in [0, 1)");
+  if (spec.cross_sections) {
+    require(spec.cross_sections->ng >= 1,
+            "materials: custom cross sections need at least one group");
+    require(spec.cross_sections->num_materials >= 1,
+            "materials: custom cross sections need at least one material");
+  } else {
+    require(spec.num_groups >= 1, "materials: num_groups must be positive");
+  }
+  materials_ = std::move(spec);
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::source(SourceSpec spec) {
+  require(spec.src_opt >= 0 && spec.src_opt <= 2,
+          "source: src_opt must be 0, 1 or 2");
+  source_ = std::move(spec);
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::boundaries(BoundarySpec spec) {
+  boundary_ = spec;
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::boundary(const std::string& side,
+                                         snap::Input::Bc bc) {
+  boundary_.sides[static_cast<std::size_t>(side_from_string(side))] = bc;
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::all_boundaries(snap::Input::Bc bc) {
+  boundary_.sides.fill(bc);
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::iteration(IterationSpec spec) {
+  require(spec.epsi > 0.0, "iteration: epsi must be positive");
+  require(spec.iitm >= 1 && spec.oitm >= 1,
+          "iteration: iteration limits must be >= 1");
+  iteration_ = spec;
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::execution(ExecutionSpec spec) {
+  require(spec.num_threads >= 0, "execution: num_threads must be >= 0");
+  execution_ = spec;
+  return *this;
+}
+
+ProblemBuilder ProblemBuilder::from_input(const snap::Input& input) {
+  input.validate();
+  ProblemBuilder b;
+  b.mesh_ = {input.dims,         input.extent, input.twist,
+             input.shuffle_seed, input.order,  input.validate_mesh,
+             input.break_cycles};
+  b.angular_ = {input.nang, input.quadrature, input.nmom};
+  b.materials_.num_groups = input.ng;
+  b.materials_.mat_opt = input.mat_opt;
+  b.materials_.scattering_ratio = input.scattering_ratio;
+  b.source_.src_opt = input.src_opt;
+  b.boundary_.sides = input.boundary;
+  b.iteration_ = {input.epsi, input.iitm, input.oitm,
+                  input.fixed_iterations};
+  b.execution_ = {input.layout, input.scheme, input.solver,
+                  input.num_threads, input.time_solve};
+  return b;
+}
+
+snap::Input ProblemBuilder::to_input() const {
+  require(!has_custom_data(),
+          "to_input: custom cross sections / material maps / source "
+          "profiles have no snap::Input representation");
+  validate();  // cross-spec rules fail here, not when the deck is consumed
+  return lower();
+}
+
+bool ProblemBuilder::has_custom_data() const {
+  return materials_.cross_sections.has_value() ||
+         static_cast<bool>(materials_.material_map) ||
+         static_cast<bool>(source_.profile);
+}
+
+int ProblemBuilder::num_groups() const {
+  return materials_.cross_sections ? materials_.cross_sections->ng
+                                   : materials_.num_groups;
+}
+
+snap::Input ProblemBuilder::lower() const {
+  snap::Input input;
+  input.dims = mesh_.dims;
+  input.extent = mesh_.extent;
+  input.twist = mesh_.twist;
+  input.shuffle_seed = mesh_.shuffle_seed;
+  input.order = mesh_.order;
+  input.validate_mesh = mesh_.validate;
+  input.break_cycles = mesh_.break_cycles;
+  input.nang = angular_.nang;
+  input.quadrature = angular_.quadrature;
+  input.nmom = angular_.nmom;
+  input.ng = num_groups();
+  input.mat_opt = materials_.mat_opt;
+  input.scattering_ratio = materials_.scattering_ratio;
+  input.src_opt = source_.src_opt;
+  input.boundary = boundary_.sides;
+  input.epsi = iteration_.epsi;
+  input.iitm = iteration_.iitm;
+  input.oitm = iteration_.oitm;
+  input.fixed_iterations = iteration_.fixed_iterations;
+  input.layout = execution_.layout;
+  input.scheme = execution_.scheme;
+  input.solver = execution_.solver;
+  input.num_threads = execution_.num_threads;
+  input.time_solve = execution_.time_solve;
+  return input;
+}
+
+void ProblemBuilder::validate() const {
+  lower().validate();
+  if (materials_.cross_sections) {
+    require(materials_.cross_sections->nmom == angular_.nmom,
+            "materials: custom cross sections carry " +
+                std::to_string(materials_.cross_sections->nmom) +
+                " scattering orders but the angular spec asks for " +
+                std::to_string(angular_.nmom));
+  }
+}
+
+core::ProblemData ProblemBuilder::make_data(const core::Discretization& disc,
+                                            const snap::Input& input) const {
+  if (!has_custom_data()) return core::ProblemData(disc, input);
+
+  const mesh::HexMesh& m = disc.mesh();
+  const int ng = input.ng;
+  snap::CrossSections xs =
+      materials_.cross_sections
+          ? *materials_.cross_sections
+          : snap::make_cross_sections(ng, materials_.scattering_ratio,
+                                      angular_.nmom);
+
+  std::vector<int> material;
+  if (materials_.material_map) {
+    material.resize(static_cast<std::size_t>(m.num_elements()));
+    for (int e = 0; e < m.num_elements(); ++e) {
+      const int mat = materials_.material_map(m.centroid(e));
+      require(mat >= 0 && mat < xs.num_materials,
+              "materials: material_map returned id " + std::to_string(mat) +
+                  " outside 0.." + std::to_string(xs.num_materials - 1));
+      material[static_cast<std::size_t>(e)] = mat;
+    }
+  } else {
+    material = snap::assign_materials(m, materials_.mat_opt);
+    for (const int mat : material)
+      require(mat < xs.num_materials,
+              "materials: mat_opt " + std::to_string(materials_.mat_opt) +
+                  " assigns material " + std::to_string(mat) +
+                  " but the custom cross sections define only " +
+                  std::to_string(xs.num_materials));
+  }
+
+  NDArray<double, 2> qext;
+  if (source_.profile) {
+    qext.resize({static_cast<std::size_t>(m.num_elements()),
+                 static_cast<std::size_t>(ng)});
+    for (int e = 0; e < m.num_elements(); ++e) {
+      const fem::Vec3 centroid = m.centroid(e);
+      for (int g = 0; g < ng; ++g)
+        qext(e, g) = source_.profile(centroid, g);
+    }
+  } else {
+    qext = snap::make_external_source(m, source_.src_opt, ng);
+  }
+
+  return core::ProblemData(disc, std::move(xs), std::move(material),
+                           std::move(qext));
+}
+
+Problem ProblemBuilder::build() const {
+  validate();
+  snap::Input input = lower();
+  auto disc = std::make_shared<const core::Discretization>(input);
+  core::ProblemData data = make_data(*disc, input);
+  return Problem(std::move(input), std::move(disc), std::move(data));
+}
+
+Problem ProblemBuilder::build(
+    std::shared_ptr<const core::Discretization> disc) const {
+  validate();
+  snap::Input input = lower();
+  require(disc != nullptr, "build: discretization must not be null");
+  require(disc->ref().order() == input.order,
+          "build: shared discretization order does not match the mesh spec");
+  // Extent/twist/shuffle are not recoverable from the built mesh, but the
+  // grid dims are — catch the common sweep mistake of resizing the mesh
+  // spec without rebuilding the discretisation.
+  require(disc->mesh().grid_dims() == input.dims,
+          "build: shared discretization grid dims do not match the mesh "
+          "spec");
+  require(disc->nang() == input.nang &&
+              disc->quadrature().kind() == input.quadrature,
+          "build: shared discretization quadrature does not match the "
+          "angular spec");
+  core::ProblemData data = make_data(*disc, input);
+  return Problem(std::move(input), std::move(disc), std::move(data));
+}
+
+}  // namespace unsnap::api

@@ -1,0 +1,84 @@
+#include "api/report.hpp"
+
+#include <cstdio>
+
+namespace unsnap::api {
+
+void print_configuration(const core::TransportSolver& solver) {
+  const snap::Input& input = solver.input();
+  const core::Discretization& disc = solver.discretization();
+  std::printf("config: %dx%dx%d hexes, order %d (%d nodes/elem), "
+              "%d angles/octant x 8, %d groups, nmom %d\n",
+              input.dims[0], input.dims[1], input.dims[2], input.order,
+              disc.num_nodes(), input.nang, input.ng, input.nmom);
+  std::printf("        layout %s, scheme %s, solver %s, twist %.4g, "
+              "%d unique sweep schedules\n",
+              snap::to_string(input.layout).c_str(),
+              snap::to_string(input.scheme).c_str(),
+              linalg::to_string(input.solver).c_str(), input.twist,
+              disc.schedules().unique_count());
+}
+
+void print_iteration_report(const core::IterationResult& result,
+                            bool time_solve) {
+  std::printf("%s after %d inners / %d outers (last inner change %.3e)\n",
+              result.converged ? "converged" : "NOT converged",
+              result.inners, result.outers, result.final_inner_change);
+  std::printf("total %.4f s, %.4f s in assemble/solve sweeps",
+              result.total_seconds, result.assemble_solve_seconds);
+  if (time_solve && result.assemble_solve_seconds > 0.0)
+    std::printf(" (%.0f%% in solve)",
+                100.0 * result.solve_seconds / result.assemble_solve_seconds);
+  std::printf("\n");
+}
+
+void print_balance_report(const core::BalanceReport& balance) {
+  std::printf("particle balance:\n"
+              "  source      %.6e\n  inflow      %.6e\n"
+              "  absorption  %.6e\n  leakage     %.6e\n"
+              "  residual    %.3e (relative %.3e)\n",
+              balance.source, balance.inflow, balance.absorption,
+              balance.leakage, balance.residual(), balance.relative());
+}
+
+void print_standard_report(const core::TransportSolver& solver,
+                           const core::IterationResult& result) {
+  print_configuration(solver);
+  std::printf("\n");
+  print_iteration_report(result, solver.input().time_solve);
+  std::printf("\n");
+  print_balance_report(solver.balance());
+}
+
+std::vector<double> group_volume_averages(const core::Discretization& disc,
+                                          const core::NodalField& phi) {
+  std::vector<double> averages(
+      static_cast<std::size_t>(phi.num_groups()), 0.0);
+  for (int g = 0; g < phi.num_groups(); ++g) {
+    double integral = 0.0, volume = 0.0;
+    for (int e = 0; e < disc.num_elements(); ++e) {
+      const double* w = disc.integrals().node_weights(e);
+      const double* ph = phi.at(e, g);
+      for (int i = 0; i < disc.num_nodes(); ++i) integral += w[i] * ph[i];
+      volume += disc.integrals().volume(e);
+    }
+    averages[static_cast<std::size_t>(g)] = integral / volume;
+  }
+  return averages;
+}
+
+double region_average_flux(
+    const core::Discretization& disc, const core::NodalField& phi, int group,
+    const std::function<bool(const fem::Vec3& centroid)>& inside) {
+  double integral = 0.0, volume = 0.0;
+  for (int e = 0; e < disc.num_elements(); ++e) {
+    if (!inside(disc.mesh().centroid(e))) continue;
+    const double* w = disc.integrals().node_weights(e);
+    const double* ph = phi.at(e, group);
+    for (int i = 0; i < disc.num_nodes(); ++i) integral += w[i] * ph[i];
+    volume += disc.integrals().volume(e);
+  }
+  return volume > 0.0 ? integral / volume : 0.0;
+}
+
+}  // namespace unsnap::api

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/transport_solver.hpp"
+
+namespace unsnap::api {
+
+/// Shared post-solve reporting: configuration, iteration outcome, timing
+/// and the particle-balance audit in one format, plus the flux-summary
+/// diagnostics the scenarios share. Scenarios with a legacy output
+/// contract (quickstart's byte-for-byte comparison with the pre-API
+/// example) keep their own printf blocks; everything else should use
+/// these so the numbers stay comparable across scenarios.
+
+/// One line summarising mesh/order/angles/groups and the execution config.
+void print_configuration(const core::TransportSolver& solver);
+
+/// Convergence state, iteration counts and wall/sweep timings.
+void print_iteration_report(const core::IterationResult& result,
+                            bool time_solve = false);
+
+/// Source / absorption / leakage / residual block.
+void print_balance_report(const core::BalanceReport& balance);
+
+/// All three in order (the default scenario epilogue).
+void print_standard_report(const core::TransportSolver& solver,
+                           const core::IterationResult& result);
+
+/// Volume-average scalar flux per group — the quickstart's summary table.
+[[nodiscard]] std::vector<double> group_volume_averages(
+    const core::Discretization& disc, const core::NodalField& phi);
+
+/// Volume-average flux of group g restricted to elements whose centroid
+/// satisfies `inside` — the shielding/duct detector-band diagnostic.
+[[nodiscard]] double region_average_flux(
+    const core::Discretization& disc, const core::NodalField& phi, int group,
+    const std::function<bool(const fem::Vec3& centroid)>& inside);
+
+}  // namespace unsnap::api

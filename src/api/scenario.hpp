@@ -1,0 +1,50 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+
+namespace unsnap::api {
+
+/// A named, self-describing workload: the declarative replacement for a
+/// standalone example binary. Scenarios declare their command-line knobs
+/// on a Cli and run against the parsed values; the unified `unsnap`
+/// driver lists, configures and executes them by name.
+struct Scenario {
+  std::string name;     // CLI handle: `unsnap --scenario <name>`
+  std::string summary;  // one line for --list-scenarios
+  std::function<void(Cli&)> declare_options;
+  std::function<int(const Cli&)> run;
+};
+
+/// Process-wide registry of scenarios. Scenario translation units
+/// self-register through a file-scope ScenarioRegistrar, so linking a
+/// scenario file into a binary is all it takes to make it runnable.
+class ScenarioRegistry {
+ public:
+  [[nodiscard]] static ScenarioRegistry& instance();
+
+  /// Throws InvalidInput on an unnamed or duplicate scenario.
+  void add(Scenario scenario);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  /// Throws InvalidInput naming the known scenarios when `name` is unknown.
+  [[nodiscard]] const Scenario& get(const std::string& name) const;
+  /// All scenarios, sorted by name.
+  [[nodiscard]] std::vector<const Scenario*> list() const;
+  [[nodiscard]] std::size_t size() const { return scenarios_.size(); }
+
+ private:
+  std::map<std::string, Scenario> scenarios_;
+};
+
+/// File-scope self-registration hook:
+///   static api::ScenarioRegistrar reg{{.name = "quickstart", ...}};
+struct ScenarioRegistrar {
+  explicit ScenarioRegistrar(Scenario scenario);
+};
+
+}  // namespace unsnap::api

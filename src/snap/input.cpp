@@ -1,5 +1,7 @@
 #include "snap/input.hpp"
 
+#include <cmath>
+
 #include "util/assert.hpp"
 
 namespace unsnap::snap {
@@ -46,6 +48,9 @@ void Input::validate() const {
   require(nang >= 1, "input: nang must be positive");
   require(ng >= 1, "input: ng must be positive");
   require(nmom >= 1 && nmom <= 6, "input: nmom must be in 1..6");
+  require(nmom <= nang,
+          "input: nmom scattering orders need at least nmom angles per "
+          "octant to resolve the flux moments");
   require(mat_opt >= 0 && mat_opt <= 2, "input: mat_opt must be 0, 1 or 2");
   require(src_opt >= 0 && src_opt <= 2, "input: src_opt must be 0, 1 or 2");
   require(scattering_ratio >= 0.0 && scattering_ratio < 1.0,
@@ -53,6 +58,13 @@ void Input::validate() const {
   require(epsi > 0.0, "input: epsi must be positive");
   require(iitm >= 1 && oitm >= 1, "input: iteration limits must be >= 1");
   require(num_threads >= 0, "input: num_threads must be >= 0");
+  // Reflective sides mirror the flux as if the boundary planes were the
+  // untwisted ones; beyond a small twist that approximation is wrong, not
+  // merely inaccurate (see the boundary field's doc comment).
+  if (any_reflective())
+    require(std::fabs(twist) <= 0.01,
+            "input: reflective boundaries require |twist| <= 0.01 "
+            "(reflection is specular w.r.t. the untwisted planes)");
 }
 
 }  // namespace unsnap::snap

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "snap/input.hpp"
+#include "util/assert.hpp"
+
+namespace unsnap::snap {
+namespace {
+
+// ---- name round-trips ---------------------------------------------------
+
+TEST(InputStrings, LayoutRoundTrips) {
+  for (const FluxLayout layout :
+       {FluxLayout::AngleElementGroup, FluxLayout::AngleGroupElement})
+    EXPECT_EQ(layout_from_string(to_string(layout)), layout);
+}
+
+TEST(InputStrings, LayoutNamesAreStable) {
+  EXPECT_EQ(to_string(FluxLayout::AngleElementGroup), "aeg");
+  EXPECT_EQ(to_string(FluxLayout::AngleGroupElement), "age");
+}
+
+TEST(InputStrings, SchemeRoundTrips) {
+  for (const ConcurrencyScheme scheme :
+       {ConcurrencyScheme::Serial, ConcurrencyScheme::Elements,
+        ConcurrencyScheme::ElementsGroups, ConcurrencyScheme::Groups,
+        ConcurrencyScheme::AnglesAtomic})
+    EXPECT_EQ(scheme_from_string(to_string(scheme)), scheme);
+}
+
+TEST(InputStrings, SchemeNamesAreStable) {
+  EXPECT_EQ(to_string(ConcurrencyScheme::ElementsGroups), "elements-groups");
+  EXPECT_EQ(to_string(ConcurrencyScheme::AnglesAtomic), "angles-atomic");
+}
+
+TEST(InputStrings, UnknownLayoutThrows) {
+  EXPECT_THROW(layout_from_string("gae"), InvalidInput);
+  EXPECT_THROW(layout_from_string(""), InvalidInput);
+  EXPECT_THROW(layout_from_string("AEG"), InvalidInput);  // case sensitive
+}
+
+TEST(InputStrings, UnknownSchemeThrows) {
+  EXPECT_THROW(scheme_from_string("elements_groups"), InvalidInput);
+  EXPECT_THROW(scheme_from_string("parallel"), InvalidInput);
+  EXPECT_THROW(scheme_from_string(""), InvalidInput);
+}
+
+TEST(InputStrings, UnknownNameErrorNamesTheOffender) {
+  try {
+    layout_from_string("bogus");
+    FAIL() << "expected InvalidInput";
+  } catch (const InvalidInput& err) {
+    EXPECT_NE(std::string(err.what()).find("bogus"), std::string::npos);
+  }
+}
+
+// ---- validation ---------------------------------------------------------
+
+Input valid_input() {
+  Input input;
+  input.dims = {4, 4, 4};
+  input.nang = 4;
+  input.ng = 2;
+  return input;
+}
+
+TEST(InputValidate, AcceptsTheDefaults) {
+  EXPECT_NO_THROW(Input{}.validate());
+  EXPECT_NO_THROW(valid_input().validate());
+}
+
+TEST(InputValidate, RejectsOutOfRangeOrder) {
+  Input input = valid_input();
+  input.order = 0;
+  EXPECT_THROW(input.validate(), InvalidInput);
+  input.order = 9;
+  EXPECT_THROW(input.validate(), InvalidInput);
+  input.order = -1;
+  EXPECT_THROW(input.validate(), InvalidInput);
+}
+
+TEST(InputValidate, RejectsOutOfRangeNmom) {
+  Input input = valid_input();
+  input.nmom = 0;
+  EXPECT_THROW(input.validate(), InvalidInput);
+  input.nmom = 7;
+  EXPECT_THROW(input.validate(), InvalidInput);
+}
+
+TEST(InputValidate, RejectsNmomBeyondAngleCount) {
+  Input input = valid_input();
+  input.nang = 2;
+  input.nmom = 3;  // in 1..6 but unresolvable by two angles per octant
+  EXPECT_THROW(input.validate(), InvalidInput);
+  input.nmom = 2;
+  EXPECT_NO_THROW(input.validate());
+}
+
+TEST(InputValidate, RejectsReflectiveWithLargeTwist) {
+  Input input = valid_input();
+  input.boundary[0] = Input::Bc::Reflective;
+  input.twist = 0.2;
+  EXPECT_THROW(input.validate(), InvalidInput);
+  input.twist = -0.2;  // magnitude matters, not sign
+  EXPECT_THROW(input.validate(), InvalidInput);
+}
+
+TEST(InputValidate, AcceptsReflectiveWithSmallTwist) {
+  Input input = valid_input();
+  for (auto& b : input.boundary) b = Input::Bc::Reflective;
+  input.twist = 0.001;  // the paper's default stress twist
+  EXPECT_NO_THROW(input.validate());
+  input.twist = 0.0;
+  EXPECT_NO_THROW(input.validate());
+}
+
+TEST(InputValidate, LargeTwistFineWithoutReflectiveSides) {
+  Input input = valid_input();
+  input.twist = 0.3;  // sweep_explorer territory
+  EXPECT_NO_THROW(input.validate());
+}
+
+}  // namespace
+}  // namespace unsnap::snap
