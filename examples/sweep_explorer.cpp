@@ -32,7 +32,8 @@ void declare_options(Cli& cli) {
   cli.option("octant", "0", "octant of the visualised ordinate");
   cli.option("angle", "0", "angle index of the visualised ordinate");
   cli.option("vtk", "sweep_buckets.vtk", "VTK output ('' to disable)");
-  cli.flag("break-cycles", "lag faces to break cyclic dependencies");
+  cli.option("cycles", "abort",
+             "cycle strategy: abort | lag-greedy | lag-scc");
 }
 
 int run(const Cli& cli) {
@@ -46,22 +47,24 @@ int run(const Cli& cli) {
   const angular::QuadratureSet quad(angular::QuadratureKind::SnapLike,
                                     cli.get_int("nang"));
   // Strong twists can make the dependency graph cyclic; retry with the
-  // cycle-breaking (face-lagging) schedule so exploration never dead-ends.
-  bool break_cycles = cli.get_flag("break-cycles");
+  // SCC cycle-breaking schedule so exploration never dead-ends.
+  sweep::CycleStrategy strategy =
+      sweep::cycle_strategy_from_string(cli.get("cycles"));
   std::unique_ptr<sweep::ScheduleSet> schedules;
   try {
-    schedules = std::make_unique<sweep::ScheduleSet>(mesh, quad, break_cycles);
+    schedules = std::make_unique<sweep::ScheduleSet>(mesh, quad, strategy);
   } catch (const NumericalError& err) {
-    std::printf("note: %s\n      retrying with --break-cycles\n", err.what());
-    break_cycles = true;
-    schedules = std::make_unique<sweep::ScheduleSet>(mesh, quad, true);
+    std::printf("note: %s\n      retrying with --cycles lag-scc\n",
+                err.what());
+    strategy = sweep::CycleStrategy::LagScc;
+    schedules = std::make_unique<sweep::ScheduleSet>(mesh, quad, strategy);
   }
   const sweep::ScheduleSet& set = *schedules;
   std::printf("mesh %d^3 twisted %.3g rad: %d unique schedules for %d "
-              "directions%s\n",
+              "directions (cycles: %s)\n",
               nx, options.twist, set.unique_count(),
               angular::kOctants * quad.per_octant(),
-              break_cycles ? " (cycle breaking on)" : "");
+              sweep::to_string(strategy).c_str());
 
   const int oct = cli.get_int("octant");
   const int angle = cli.get_int("angle");

@@ -36,11 +36,12 @@ void declare_options(Cli& cli) {
   cli.option("layout", "aeg", "flux layout: aeg | age");
   cli.option("scheme", "elements-groups",
              "concurrency: serial | elements | groups | elements-groups | "
-             "angles-atomic");
+             "angles-atomic | angle-batch");
   cli.option("solver", "ge", "local solver: ge | ge-nopivot | lu");
   cli.option("threads", "0", "OpenMP threads (0 = default)");
   cli.flag("time-solve", "record % of time in the dense solve");
-  cli.flag("break-cycles", "lag faces to break cyclic sweep dependencies");
+  cli.option("cycles", "abort",
+             "sweep cycle strategy: abort | lag-greedy | lag-scc");
   cli.flag("reflect", "reflective (instead of vacuum) on all six sides");
   cli.flag("validate", "run full mesh validation before solving");
 }
@@ -60,7 +61,8 @@ int run(const Cli& cli) {
              .shuffle_seed = static_cast<std::uint64_t>(cli.get_long("seed")),
              .order = cli.get_int("order"),
              .validate = cli.get_flag("validate"),
-             .break_cycles = cli.get_flag("break-cycles")})
+             .cycle_strategy =
+                 sweep::cycle_strategy_from_string(cli.get("cycles"))})
       .angular({.nang = cli.get_int("nang"),
                 .quadrature = angular::quadrature_from_string(cli.get("quad")),
                 .nmom = cli.get_int("nmom")})

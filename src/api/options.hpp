@@ -11,6 +11,7 @@
 #include "linalg/solver.hpp"
 #include "snap/data.hpp"
 #include "snap/input.hpp"
+#include "sweep/scc.hpp"
 
 namespace unsnap::api {
 
@@ -29,7 +30,9 @@ struct MeshSpec {
   std::uint64_t shuffle_seed = 1;  // 0 keeps structured numbering
   int order = 1;                   // finite element order
   bool validate = false;           // full mesh validation before solving
-  bool break_cycles = false;       // lag faces on cyclic sweep dependencies
+  /// Sweep cycle handling on strongly twisted meshes (see sweep::
+  /// CycleStrategy): abort, lag-greedy or lag-scc.
+  sweep::CycleStrategy cycle_strategy = sweep::CycleStrategy::Abort;
 };
 
 /// Angular discretisation. nmom rides here because the flux-moment count

@@ -85,7 +85,7 @@ ProblemBuilder ProblemBuilder::from_input(const snap::Input& input) {
   ProblemBuilder b;
   b.mesh_ = {input.dims,         input.extent, input.twist,
              input.shuffle_seed, input.order,  input.validate_mesh,
-             input.break_cycles};
+             input.cycle_strategy};
   b.angular_ = {input.nang, input.quadrature, input.nmom};
   b.materials_.num_groups = input.ng;
   b.materials_.mat_opt = input.mat_opt;
@@ -126,7 +126,7 @@ snap::Input ProblemBuilder::lower() const {
   input.shuffle_seed = mesh_.shuffle_seed;
   input.order = mesh_.order;
   input.validate_mesh = mesh_.validate;
-  input.break_cycles = mesh_.break_cycles;
+  input.cycle_strategy = mesh_.cycle_strategy;
   input.nang = angular_.nang;
   input.quadrature = angular_.quadrature;
   input.nmom = angular_.nmom;

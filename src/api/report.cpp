@@ -1,5 +1,7 @@
 #include "api/report.hpp"
 
+#include <omp.h>
+
 #include <cstdio>
 
 namespace unsnap::api {
@@ -41,11 +43,33 @@ void print_balance_report(const core::BalanceReport& balance) {
               balance.leakage, balance.residual(), balance.relative());
 }
 
+void print_schedule_report(const core::TransportSolver& solver) {
+  const snap::Input& input = solver.input();
+  const sweep::ScheduleSet& set = solver.discretization().schedules();
+  const int threads =
+      input.num_threads > 0 ? input.num_threads : omp_get_max_threads();
+  const sweep::ScheduleSetStats stats =
+      sweep::schedule_set_stats(set, threads);
+  std::printf("sweep schedules (%s):\n"
+              "  unique        %d (of %d directions)\n"
+              "  buckets       %d..%d per schedule\n"
+              "  occupancy     mean %.1f, largest bucket %d\n",
+              sweep::to_string(set.strategy()).c_str(), stats.unique,
+              angular::kOctants * input.nang, stats.min_buckets,
+              stats.max_buckets, stats.mean_bucket, stats.max_bucket);
+  std::printf("  lagged faces  %d cycle-broken (over unique schedules)\n",
+              stats.total_lagged);
+  std::printf("  parallelism   %.0f%% modelled efficiency at %d threads\n",
+              100.0 * stats.parallel_efficiency, threads);
+}
+
 void print_standard_report(const core::TransportSolver& solver,
                            const core::IterationResult& result) {
   print_configuration(solver);
   std::printf("\n");
   print_iteration_report(result, solver.input().time_solve);
+  std::printf("\n");
+  print_schedule_report(solver);
   std::printf("\n");
   print_balance_report(solver.balance());
 }

@@ -24,7 +24,14 @@ void print_iteration_report(const core::IterationResult& result,
 /// Source / absorption / leakage / residual block.
 void print_balance_report(const core::BalanceReport& balance);
 
-/// All three in order (the default scenario epilogue).
+/// Sweep-schedule block: unique schedules, wavefront/bucket occupancy,
+/// cycle-broken (lagged) faces and the modelled parallel efficiency of
+/// element threading at the configured thread count. This is how a
+/// scenario reads whether its mesh/twist exposes enough bucket
+/// parallelism for the threaded schemes to pay off.
+void print_schedule_report(const core::TransportSolver& solver);
+
+/// All four in order (the default scenario epilogue).
 void print_standard_report(const core::TransportSolver& solver,
                            const core::IterationResult& result);
 

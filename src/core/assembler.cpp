@@ -4,6 +4,21 @@
 
 namespace unsnap::core {
 
+LagSnapshot::LagSnapshot(const sweep::ScheduleSet& schedules, int ng,
+                         int nf)
+    : nang_(static_cast<std::size_t>(schedules.per_octant())),
+      ng_(static_cast<std::size_t>(ng)),
+      nf_(static_cast<std::size_t>(nf)) {
+  base_.reserve(static_cast<std::size_t>(angular::kOctants) * nang_);
+  std::size_t total = 0;
+  for (int oct = 0; oct < angular::kOctants; ++oct)
+    for (int a = 0; a < schedules.per_octant(); ++a) {
+      base_.push_back(total);
+      total += schedules.get(oct, a).lagged_faces().size() * ng_ * nf_;
+    }
+  data_.assign(total, 0.0);
+}
+
 void AssemblyContext::resize(int n, int nf) {
   a = linalg::Matrix(n, n);
   rhs.assign(static_cast<std::size_t>(n), 0.0);
@@ -101,11 +116,25 @@ void Assembler::assemble_rhs(AssemblyContext& ctx, const SweepState& state,
     const double* vals = nullptr;
     const int nbr = mesh.neighbor(e, f);
     if (nbr != mesh::kNoNeighbor) {
-      const double* pn = state.psi->at(oct, a, nbr, g);
-      const int* perm = ints.neighbor_perm(e, f);
-      double* uv = ctx.upwind.data();
-      for (int j = 0; j < nf; ++j) uv[j] = pn[perm[j]];
-      vals = uv;
+      // Grazing faces incoming on both sides are outside the dependency
+      // graph (~zero flow): read vacuum rather than racing on a
+      // neighbour that may share this bucket.
+      if (state.schedule != nullptr && state.schedule->face_is_phantom(e, f))
+        continue;
+      if (state.lag != nullptr && state.schedule != nullptr &&
+          state.schedule->face_is_lagged(e, f)) {
+        // Lagged (cycle-broken) faces read the pre-gathered
+        // previous-iterate trace captured at sweep start.
+        vals = state.lag->row(oct, a, state.schedule->lag_slot(e, f), g);
+      } else {
+        // Every other interior face reads the neighbour's flux as updated
+        // this sweep.
+        const double* pn = state.psi->at(oct, a, nbr, g);
+        const int* perm = ints.neighbor_perm(e, f);
+        double* uv = ctx.upwind.data();
+        for (int j = 0; j < nf; ++j) uv[j] = pn[perm[j]];
+        vals = uv;
+      }
     } else if (state.bc != nullptr && state.bc->active()) {
       vals = state.bc->at(mesh.boundary_face_id(e, f), oct, a, g);
     } else {

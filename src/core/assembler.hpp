@@ -26,6 +26,38 @@ struct AssemblyContext {
   void resize(int n, int nf);
 };
 
+/// Compact previous-iterate storage for cycle-broken (lagged) faces: one
+/// face trace (nodes-per-face values, pre-gathered into the downstream
+/// element's face-node order) per lagged face of each angle's schedule,
+/// per group. The transport solver captures it at sweep start and the
+/// assembly kernel reads it instead of the neighbour's live psi, so
+/// lagged faces have deterministic previous-iterate semantics at the
+/// cost of a few hundred doubles instead of a full psi copy.
+class LagSnapshot {
+ public:
+  LagSnapshot() = default;
+  /// Size from the schedule set's lagged faces; empty (inactive) when no
+  /// schedule broke a cycle.
+  LagSnapshot(const sweep::ScheduleSet& schedules, int ng, int nf);
+
+  [[nodiscard]] bool active() const { return !data_.empty(); }
+  [[nodiscard]] double* row(int oct, int a, int slot, int g) {
+    return data_.data() + offset(oct, a, slot, g);
+  }
+  [[nodiscard]] const double* row(int oct, int a, int slot, int g) const {
+    return data_.data() + offset(oct, a, slot, g);
+  }
+
+ private:
+  [[nodiscard]] std::size_t offset(int oct, int a, int slot, int g) const {
+    return base_[static_cast<std::size_t>(oct) * nang_ + a] +
+           (static_cast<std::size_t>(slot) * ng_ + g) * nf_;
+  }
+  std::size_t nang_ = 0, ng_ = 0, nf_ = 0;
+  std::vector<std::size_t> base_;  // per (octant, angle)
+  std::vector<double> data_;
+};
+
 /// References to the solution state one sweep works on. qang (per-angle
 /// source) and bc (prescribed boundary flux) are optional; pre switches the
 /// kernel to the pre-assembled operator path (no matrix assembly/solve).
@@ -38,6 +70,16 @@ struct AssemblyContext {
 struct SweepState {
   AngularFlux* psi = nullptr;
   NodalField* phi = nullptr;
+  /// Schedule of the ordinate currently being swept (set per angle by the
+  /// sweeper). Together with lag it gives cycle-broken (lagged) faces
+  /// well-defined previous-iterate semantics: without the snapshot a
+  /// lagged read would return whatever the neighbour holds right now —
+  /// racy under element threading when both ends share a bucket, and
+  /// schedule-order dependent even serially.
+  const sweep::SweepSchedule* schedule = nullptr;
+  /// Previous-iterate traces for lagged-face reads (null when the
+  /// schedule set broke no cycles; lagged faces then never occur).
+  const LagSnapshot* lag = nullptr;
   const NodalField* qin = nullptr;
   const AngularFlux* qang = nullptr;
   const BoundaryAngularFlux* bc = nullptr;

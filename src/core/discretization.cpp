@@ -8,13 +8,13 @@ namespace unsnap::core {
 
 Discretization::Discretization(mesh::HexMesh mesh, int order,
                                angular::QuadratureKind quadrature_kind,
-                               int nang, bool break_cycles)
+                               int nang, sweep::CycleStrategy cycle_strategy)
     : mesh_(std::move(mesh)),
       ref_(order),
       quadrature_(quadrature_kind, nang),
       integrals_(std::make_unique<ElementIntegrals>(mesh_, ref_)),
-      schedules_(
-          std::make_unique<sweep::ScheduleSet>(mesh_, quadrature_, break_cycles)) {}
+      schedules_(std::make_unique<sweep::ScheduleSet>(mesh_, quadrature_,
+                                                      cycle_strategy)) {}
 
 namespace {
 
@@ -38,6 +38,6 @@ mesh::HexMesh mesh_from_input(const snap::Input& input) {
 
 Discretization::Discretization(const snap::Input& input)
     : Discretization(mesh_from_input(input), input.order, input.quadrature,
-                     input.nang, input.break_cycles) {}
+                     input.nang, input.cycle_strategy) {}
 
 }  // namespace unsnap::core

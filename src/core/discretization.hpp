@@ -21,7 +21,7 @@ class Discretization {
   /// Build from an existing mesh (used by the block Jacobi subdomains).
   Discretization(mesh::HexMesh mesh, int order,
                  angular::QuadratureKind quadrature_kind, int nang,
-                 bool break_cycles);
+                 sweep::CycleStrategy cycle_strategy);
 
   /// Build the mesh described by the input, then discretise it.
   explicit Discretization(const snap::Input& input);

@@ -44,6 +44,7 @@ void Sweeper::sweep_angle(SweepState state, int oct, int a) {
   const auto solver = config_.solver;
   const bool time_solve = config_.time_solve;
   const Assembler& assembler = *assembler_;
+  state.schedule = &schedule;
   if (config_.nmom > 1) {
     state.moment_count = config_.nmom * config_.nmom;
     state.ylm_acc = &ylm_acc_(oct, a, 0);
@@ -114,8 +115,54 @@ void Sweeper::sweep_angle(SweepState state, int oct, int a) {
       }
 
       case ConcurrencyScheme::AnglesAtomic:
+      case ConcurrencyScheme::AngleBatch:
         UNSNAP_ASSERT(false);  // handled at octant level
         break;
+    }
+  }
+}
+
+void Sweeper::sweep_octant_batched(const SweepState& state, int oct) {
+  // Angle batching over same-signature schedules: angles sharing a
+  // dependency signature share a bucket list, so one walk of that list
+  // serves the whole batch. Threads own elements — each thread solves its
+  // element for every batched angle and group, so the scalar-flux row of
+  // an element is only ever touched by one thread (no atomics) and every
+  // bucket exposes |bucket| x |batch| x ng work units behind a single
+  // barrier instead of |bucket| x ng behind |batch| barriers.
+  const Discretization& disc = assembler_->discretization();
+  const sweep::ScheduleSet& schedules = disc.schedules();
+  const int ng = config_.ng;
+  const auto solver = config_.solver;
+  const bool time_solve = config_.time_solve;
+  const Assembler& assembler = *assembler_;
+
+  for (const std::vector<int>& batch : schedules.batches(oct)) {
+    const sweep::SweepSchedule& schedule = schedules.get(oct, batch[0]);
+    const int na = static_cast<int>(batch.size());
+    for (int b = 0; b < schedule.num_buckets(); ++b) {
+      const std::span<const int> bucket = schedule.bucket(b);
+      const int nb = static_cast<int>(bucket.size());
+#pragma omp parallel for schedule(static)
+      for (int i = 0; i < nb; ++i) {
+        AssemblyContext& ctx = contexts_[omp_get_thread_num()];
+        const int e = bucket[i];
+        for (int k = 0; k < na; ++k) {
+          const int a = batch[k];
+          SweepState local = state;  // per-angle coefficient rows
+          local.schedule = &schedule;
+          if (config_.nmom > 1) {
+            local.moment_count = config_.nmom * config_.nmom;
+            local.ylm_acc = &ylm_acc_(oct, a, 0);
+            local.ylm_src = &ylm_src_(oct, a, 0);
+          }
+          const Vec3 omega = disc.quadrature().direction(oct, a);
+          const double weight = disc.quadrature().weight(a);
+          for (int g = 0; g < ng; ++g)
+            assembler.process(ctx, local, oct, a, e, g, omega, weight,
+                              solver, false, time_solve);
+        }
+      }
     }
   }
 }
@@ -139,6 +186,7 @@ void Sweeper::sweep_octant_angles_atomic(const SweepState& state, int oct) {
       local.ylm_src = &ylm_src_(oct, a, 0);
     }
     const sweep::SweepSchedule& schedule = disc.schedules().get(oct, a);
+    local.schedule = &schedule;
     const Vec3 omega = disc.quadrature().direction(oct, a);
     const double weight = disc.quadrature().weight(a);
     for (int b = 0; b < schedule.num_buckets(); ++b) {
@@ -165,6 +213,8 @@ void Sweeper::sweep(SweepState& state) {
   for (int oct = 0; oct < angular::kOctants; ++oct) {
     if (config_.scheme == ConcurrencyScheme::AnglesAtomic) {
       sweep_octant_angles_atomic(state, oct);
+    } else if (config_.scheme == ConcurrencyScheme::AngleBatch) {
+      sweep_octant_batched(state, oct);
     } else {
       for (int a = 0; a < nang; ++a) sweep_angle(state, oct, a);
     }

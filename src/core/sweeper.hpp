@@ -55,6 +55,7 @@ class Sweeper {
 
   void sweep_angle(SweepState state, int oct, int a);
   void sweep_octant_angles_atomic(const SweepState& state, int oct);
+  void sweep_octant_batched(const SweepState& state, int oct);
 };
 
 }  // namespace unsnap::core

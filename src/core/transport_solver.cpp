@@ -49,7 +49,7 @@ TransportSolver::TransportSolver(mesh::HexMesh mesh, const snap::Input& input)
           (pin_threads(input),
            std::make_shared<const Discretization>(
                std::move(mesh), input.order, input.quadrature, input.nang,
-               input.break_cycles)),
+               input.cycle_strategy)),
           input) {}
 
 TransportSolver::TransportSolver(std::shared_ptr<const Discretization> disc,
@@ -85,6 +85,12 @@ TransportSolver::TransportSolver(std::shared_ptr<const Discretization> disc,
           "TransportSolver: cross sections carry fewer scattering orders "
           "than input.nmom");
   if (input_.any_reflective()) boundary_values();  // activate the storage
+  for (int s = 0; s < disc_->schedules().unique_count(); ++s)
+    if (!disc_->schedules().unique_schedule(s).lagged_faces().empty()) {
+      lag_ = LagSnapshot(disc_->schedules(), input_.ng,
+                         disc_->nodes_per_face());
+      break;
+    }
   if (input_.nmom > 1) {
     const int extra = input_.nmom * input_.nmom - 1;
     const NodalField proto(input_.layout, disc_->num_elements(), input_.ng,
@@ -98,6 +104,7 @@ TransportSolver::TransportSolver(std::shared_ptr<const Discretization> disc,
 SweepState TransportSolver::make_state() {
   SweepState state;
   state.psi = &psi_;
+  state.lag = lag_.active() ? &lag_ : nullptr;
   state.phi = &phi_;
   state.qin = &qin_;
   state.qang = qang_.get();
@@ -122,8 +129,30 @@ void TransportSolver::update_inner_source() {
     sources_.update_inner_moments(phi_mom_, qout_mom_, qin_mom_);
 }
 
+void TransportSolver::capture_lag_snapshot() {
+  const sweep::ScheduleSet& schedules = disc_->schedules();
+  const mesh::HexMesh& mesh = disc_->mesh();
+  const ElementIntegrals& ints = disc_->integrals();
+  const int nf = disc_->nodes_per_face();
+  for (int oct = 0; oct < angular::kOctants; ++oct)
+    for (int a = 0; a < disc_->nang(); ++a) {
+      const auto& lagged = schedules.get(oct, a).lagged_faces();
+      for (std::size_t slot = 0; slot < lagged.size(); ++slot) {
+        const auto& [e, f] = lagged[slot];
+        const int nbr = mesh.neighbor(e, f);
+        const int* perm = ints.neighbor_perm(e, f);
+        for (int g = 0; g < input_.ng; ++g) {
+          const double* pn = psi_.at(oct, a, nbr, g);
+          double* out = lag_.row(oct, a, static_cast<int>(slot), g);
+          for (int j = 0; j < nf; ++j) out[j] = pn[perm[j]];
+        }
+      }
+    }
+}
+
 void TransportSolver::sweep() {
   phi_old_ = phi_;
+  if (lag_.active()) capture_lag_snapshot();
   SweepState state = make_state();
   sweeper_.sweep(state);
   assemble_solve_seconds_ += sweeper_.last_sweep_seconds();

@@ -107,12 +107,20 @@ class TransportSolver {
   NodalField phi_, phi_old_, qout_, qin_;
   std::vector<NodalField> phi_mom_, qout_mom_, qin_mom_;  // nmom > 1 only
   BoundaryAngularFlux bc_;
+  /// Previous-iterate lagged-face traces, sized (and captured per sweep)
+  /// only when the schedule set broke sweep cycles: lagged faces read
+  /// from here so their semantics are deterministic across concurrency
+  /// schemes and thread counts.
+  LagSnapshot lag_;
   std::unique_ptr<AngularFlux> qang_;
   std::unique_ptr<PreassembledOperator> pre_;
   double assemble_solve_seconds_ = 0.0;
   double solve_seconds_ = 0.0;
 
   [[nodiscard]] SweepState make_state();
+  /// Gather the current psi traces behind every lagged face into lag_
+  /// (called at sweep start; lagged faces then read last-sweep data).
+  void capture_lag_snapshot();
   /// Mirror outgoing boundary traces into the sign-flipped octants of the
   /// boundary storage (reflective sides only).
   void apply_reflective_boundaries();

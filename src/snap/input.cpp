@@ -17,6 +17,7 @@ std::string to_string(ConcurrencyScheme scheme) {
     case ConcurrencyScheme::ElementsGroups: return "elements-groups";
     case ConcurrencyScheme::Groups: return "groups";
     case ConcurrencyScheme::AnglesAtomic: return "angles-atomic";
+    case ConcurrencyScheme::AngleBatch: return "angle-batch";
   }
   UNSNAP_ASSERT(false);
   return {};
@@ -34,9 +35,10 @@ ConcurrencyScheme scheme_from_string(const std::string& name) {
   if (name == "elements-groups") return ConcurrencyScheme::ElementsGroups;
   if (name == "groups") return ConcurrencyScheme::Groups;
   if (name == "angles-atomic") return ConcurrencyScheme::AnglesAtomic;
+  if (name == "angle-batch") return ConcurrencyScheme::AngleBatch;
   throw InvalidInput("unknown scheme '" + name +
-                     "' (expected serial, elements, elements-groups, groups "
-                     "or angles-atomic)");
+                     "' (expected serial, elements, elements-groups, groups, "
+                     "angles-atomic or angle-batch)");
 }
 
 void Input::validate() const {

@@ -6,6 +6,7 @@
 
 #include "angular/quadrature.hpp"
 #include "linalg/solver.hpp"
+#include "sweep/scc.hpp"
 
 namespace unsnap::snap {
 
@@ -27,6 +28,12 @@ enum class ConcurrencyScheme {
   ElementsGroups,    // collapse elements x groups (the paper's best)
   Groups,            // thread energy groups, elements serial
   AnglesAtomic,      // thread angles in the octant; scalar flux via atomics
+  /// Batch the angles that share a schedule (ScheduleSet signature dedup)
+  /// and walk the shared bucket list once: threads own elements, angles
+  /// and groups run serially inside the owning thread. Fewer bucket
+  /// barriers and (batch x groups) work per element — the wide-bucket
+  /// remedy for thread starvation on small buckets.
+  AngleBatch,
 };
 
 [[nodiscard]] std::string to_string(FluxLayout layout);
@@ -86,7 +93,10 @@ struct Input {
   ConcurrencyScheme scheme = ConcurrencyScheme::ElementsGroups;
   linalg::SolverKind solver = linalg::SolverKind::GaussianElimination;
   int num_threads = 0;       // 0 = OpenMP default
-  bool break_cycles = false; // sweep cycle handling (future-work feature)
+  /// Sweep cycle handling on strongly twisted meshes: abort (the paper's
+  /// behaviour), lag-greedy (legacy stall-time heuristic) or lag-scc
+  /// (Tarjan SCC condensation with per-component feedback-arc breaking).
+  sweep::CycleStrategy cycle_strategy = sweep::CycleStrategy::Abort;
   bool validate_mesh = false;
   /// Record pure-solve time inside the kernel (Table II's "% in solve").
   /// Off by default: the per-solve timer calls perturb the measurement,

@@ -6,20 +6,26 @@ AngleDependency build_dependency(const mesh::HexMesh& mesh,
                                  const Vec3& omega) {
   const int ne = mesh.num_elements();
   AngleDependency dep;
+  dep.omega = omega;
   dep.incoming_mask.assign(static_cast<std::size_t>(ne), 0);
   dep.interior_incoming_count.assign(static_cast<std::size_t>(ne), 0);
 
   for (int e = 0; e < ne; ++e) {
     std::uint8_t mask = 0;
-    std::uint8_t interior = 0;
     for (int f = 0; f < fem::kFacesPerHex; ++f) {
       const double s = fem::dot(mesh.face_area_normal(e, f), omega);
-      if (s < 0.0) {
-        mask |= static_cast<std::uint8_t>(1u << f);
-        if (mesh.neighbor(e, f) != mesh::kNoNeighbor) ++interior;
-      }
+      if (s < 0.0) mask |= static_cast<std::uint8_t>(1u << f);
     }
     dep.incoming_mask[e] = mask;
+  }
+
+  // Count interior dependencies under the shared edge rule (see
+  // is_dependency_edge): counting a face the relaxation can never satisfy
+  // would wedge the schedule construction.
+  for (int e = 0; e < ne; ++e) {
+    std::uint8_t interior = 0;
+    for (int f = 0; f < fem::kFacesPerHex; ++f)
+      if (is_dependency_edge(mesh, dep, e, f)) ++interior;
     dep.interior_incoming_count[e] = interior;
   }
   return dep;

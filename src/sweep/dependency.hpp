@@ -14,8 +14,18 @@ using fem::Vec3;
 /// local faces receive particles (incoming) under direction omega. A face
 /// is incoming when the area-averaged outward normal satisfies
 /// n . omega < 0 — the same face-level classification the assembly kernel
-/// branches on, so the schedule and the kernel can never disagree.
+/// branches on. (The kernel recomputes the normal with the element's
+/// full-order quadrature while the mesh uses the exact 2x2 rule; the two
+/// are bitwise equal at order 1 and agree to rounding above, so a
+/// disagreement needs n . omega within an ulp of zero — a face whose flow
+/// contribution is itself ~zero. The both-incoming grazing case, the one
+/// such corner that can wedge scheduling, is excluded from the dependency
+/// graph by is_dependency_edge and masked to vacuum by the schedule's
+/// phantom-face mask.)
 struct AngleDependency {
+  /// The ordinate this dependency structure was built for (the SCC cycle
+  /// breaker ranks candidate faces by upwind flow |n . omega|).
+  Vec3 omega{0.0, 0.0, 0.0};
   /// Bit f set => local face f is incoming.
   std::vector<std::uint8_t> incoming_mask;
   /// Number of incoming faces with an *interior* neighbour (boundary and
@@ -32,5 +42,21 @@ struct AngleDependency {
 
 [[nodiscard]] AngleDependency build_dependency(const mesh::HexMesh& mesh,
                                                const Vec3& omega);
+
+/// THE dependency-edge rule, downstream view: interior face (e, f) carries
+/// a sweep dependency iff it is incoming on e and outgoing on the upstream
+/// side. Grazing faces can classify as incoming on both sides within
+/// rounding — those are NOT edges (they carry ~zero flow and nothing ever
+/// satisfies them). Single source of truth for the dependency counters,
+/// the Kahn relaxation, the SCC successor graph and both cycle breakers;
+/// divergent copies of this rule wedge the schedule construction.
+[[nodiscard]] inline bool is_dependency_edge(const mesh::HexMesh& mesh,
+                                             const AngleDependency& dep,
+                                             int e, int f) {
+  if (!dep.is_incoming(e, f)) return false;
+  const int nbr = mesh.neighbor(e, f);
+  if (nbr == mesh::kNoNeighbor) return false;
+  return !dep.is_incoming(nbr, mesh.neighbor_face(e, f));
+}
 
 }  // namespace unsnap::sweep

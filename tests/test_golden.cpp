@@ -1,0 +1,344 @@
+// Golden regression battery: one small fixed deck per registered
+// scenario, with stored digests of the physically meaningful outputs
+// (balance terms, flux averages, schedule structure). Runs as its own
+// binary labelled `golden` (ctest -L golden), so scheduler/sweeper
+// refactors can be checked against frozen answers in one command.
+//
+// The digests were produced by this code at the PR that introduced it;
+// they are compared with a relative tolerance wide enough for
+// platform/compiler rounding differences (5e-7) but far tighter than any
+// physical change a refactor could silently introduce. Every solving deck
+// runs a FIXED iteration count (fixed_iterations = true): a
+// converge-to-epsi deck would make the digest depend on the exact
+// iteration count, which a last-ulp rounding difference in the stopping
+// test could flip, shifting the digest by O(epsi). To regenerate after an
+// *intentional* answer change: UNSNAP_GOLDEN_PRINT=1
+// ./unsnap_golden_tests and paste the printed arrays.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "api/problem_builder.hpp"
+#include "api/report.hpp"
+#include "comm/block_jacobi.hpp"
+#include "core/manufactured.hpp"
+#include "core/time_dependent.hpp"
+#include "core/transport_solver.hpp"
+#include "mesh/mesh_builder.hpp"
+#include "sweep/schedule.hpp"
+
+namespace unsnap {
+namespace {
+
+constexpr double kRelTol = 5e-7;
+
+void check_digest(const char* name, const std::vector<double>& actual,
+                  const std::vector<double>& expected) {
+  if (std::getenv("UNSNAP_GOLDEN_PRINT") != nullptr) {
+    std::printf("golden digest %s = {", name);
+    for (std::size_t i = 0; i < actual.size(); ++i)
+      std::printf("%s%.12e", i == 0 ? "" : ", ", actual[i]);
+    std::printf("}\n");
+    return;
+  }
+  ASSERT_EQ(actual.size(), expected.size()) << name;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double scale = std::max(std::fabs(expected[i]), 1e-30);
+    EXPECT_LT(std::fabs(actual[i] - expected[i]) / scale, kRelTol)
+        << name << " entry " << i << ": " << actual[i] << " vs "
+        << expected[i];
+  }
+}
+
+std::vector<double> solve_digest(const api::Problem& problem) {
+  const auto solver = problem.make_solver();
+  solver->run();
+  const core::BalanceReport balance = solver->balance();
+  std::vector<double> digest{balance.source, balance.absorption,
+                             balance.leakage};
+  const std::vector<double> averages = api::group_volume_averages(
+      problem.discretization(), solver->scalar_flux());
+  digest.insert(digest.end(), averages.begin(), averages.end());
+  return digest;
+}
+
+// ---- quickstart ----------------------------------------------------------
+
+TEST(Golden, Quickstart) {
+  const api::Problem problem =
+      api::ProblemBuilder()
+          .mesh({.dims = {4, 4, 4}, .twist = 0.001, .shuffle_seed = 42})
+          .angular({.nang = 4})
+          .materials(
+              {.num_groups = 2, .mat_opt = 1, .scattering_ratio = 0.5})
+          .source({.src_opt = 1})
+          .iteration({.iitm = 20, .oitm = 4, .fixed_iterations = true})
+          .build();
+  check_digest("quickstart", solve_digest(problem),
+               {2.499999973958e-01, 8.038235669206e-02, 1.696163177132e-01, 6.189049784585e-02, 6.619177270897e-02});
+}
+
+// ---- unsnap_mini (full deck: high order, anisotropic scattering) ---------
+
+TEST(Golden, UnsnapMini) {
+  const api::Problem problem =
+      api::ProblemBuilder()
+          .mesh({.dims = {4, 3, 3},
+                 .extent = {1.0, 0.75, 0.75},
+                 .twist = 0.001,
+                 .shuffle_seed = 1,
+                 .order = 2})
+          .angular({.nang = 4, .nmom = 2})
+          .materials(
+              {.num_groups = 3, .mat_opt = 2, .scattering_ratio = 0.7})
+          .source({.src_opt = 2})
+          .iteration({.iitm = 3, .oitm = 2, .fixed_iterations = true})
+          .build();
+  check_digest("unsnap_mini", solve_digest(problem),
+               {9.374999826389e-02, 1.452594027320e-02, 7.861852935613e-02, 2.578226640787e-02, 2.599790424144e-02, 2.766821587587e-02});
+}
+
+// ---- shielding (custom cross sections + centroid maps) -------------------
+
+snap::CrossSections shield_xs(int ng, double shield_sigt) {
+  snap::CrossSections xs;
+  xs.num_materials = 3;
+  xs.ng = ng;
+  const auto nm = static_cast<std::size_t>(xs.num_materials);
+  const auto g_count = static_cast<std::size_t>(ng);
+  xs.sigt.resize({nm, g_count});
+  xs.sigs.resize({nm, g_count});
+  xs.siga.resize({nm, g_count});
+  xs.slgg.resize({nm, g_count, g_count}, 0.0);
+  const double sigt[3] = {0.05, 1.0, shield_sigt};
+  const double ratio[3] = {0.1, 0.5, 0.2};
+  for (int m = 0; m < 3; ++m)
+    for (int g = 0; g < ng; ++g) {
+      xs.sigt(m, g) = sigt[m];
+      xs.sigs(m, g) = ratio[m] * sigt[m];
+      xs.siga(m, g) = xs.sigt(m, g) - xs.sigs(m, g);
+      xs.slgg(m, g, g) = xs.sigs(m, g);
+    }
+  return xs;
+}
+
+TEST(Golden, Shielding) {
+  const api::Problem problem =
+      api::ProblemBuilder()
+          .mesh({.dims = {4, 4, 9},
+                 .extent = {1.0, 1.0, 3.0},
+                 .twist = 0.001,
+                 .shuffle_seed = 7})
+          .angular({.nang = 4,
+                    .quadrature = angular::QuadratureKind::Product})
+          .materials({.cross_sections = shield_xs(2, 4.0),
+                      .material_map =
+                          [](const fem::Vec3& c) {
+                            if (c[2] < 1.0) return 1;  // source medium
+                            if (c[2] < 1.8) return 2;  // shield
+                            return 0;                  // near-void
+                          }})
+          .source({.profile = [](const fem::Vec3& c,
+                                 int) { return c[2] < 1.0 ? 1.0 : 0.0; }})
+          .iteration({.iitm = 25, .oitm = 5, .fixed_iterations = true})
+          .build();
+  const auto solver = problem.make_solver();
+  solver->run();
+  const core::BalanceReport balance = solver->balance();
+  const double detector = api::region_average_flux(
+      problem.discretization(), solver->scalar_flux(), 0,
+      [](const fem::Vec3& c) { return c[2] > 1.8; });
+  check_digest(
+      "shielding",
+      {balance.source, balance.absorption, balance.leakage, detector},
+      {1.999999995885e+00, 5.774294218769e-01, 1.422570574008e+00, 1.326737888820e-04});
+}
+
+// ---- duct_streaming (near-void channel through an absorber) --------------
+
+snap::CrossSections duct_xs(int ng) {
+  snap::CrossSections xs;
+  xs.num_materials = 2;
+  xs.ng = ng;
+  const auto g_count = static_cast<std::size_t>(ng);
+  xs.sigt.resize({2, g_count});
+  xs.sigs.resize({2, g_count});
+  xs.siga.resize({2, g_count});
+  xs.slgg.resize({2, g_count, g_count}, 0.0);
+  const double sigt[2] = {0.02, 5.0};
+  const double ratio[2] = {0.0, 0.05};
+  for (int m = 0; m < 2; ++m)
+    for (int g = 0; g < ng; ++g) {
+      xs.sigt(m, g) = sigt[m];
+      xs.sigs(m, g) = ratio[m] * sigt[m];
+      xs.siga(m, g) = xs.sigt(m, g) - xs.sigs(m, g);
+      xs.slgg(m, g, g) = xs.sigs(m, g);
+    }
+  return xs;
+}
+
+// The example's duct scaled to the coarse golden mesh (4 elements across:
+// the central 2x2 column of elements is the duct).
+bool in_duct(const fem::Vec3& c) {
+  return std::fabs(c[1] - 0.5) < 0.26 && std::fabs(c[2] - 0.5) < 0.26;
+}
+
+TEST(Golden, DuctStreaming) {
+  const api::Problem problem =
+      api::ProblemBuilder()
+          .mesh({.dims = {8, 4, 4},
+                 .extent = {2.0, 1.0, 1.0},
+                 .twist = 0.001,
+                 .shuffle_seed = 3})
+          .angular({.nang = 6})
+          .materials({.cross_sections = duct_xs(1),
+                      .material_map =
+                          [](const fem::Vec3& c) {
+                            return in_duct(c) ? 0 : 1;
+                          }})
+          .source({.profile =
+                       [](const fem::Vec3& c, int) {
+                         return (c[0] < 0.25 && in_duct(c)) ? 1.0 : 0.0;
+                       }})
+          .iteration({.iitm = 25, .oitm = 5, .fixed_iterations = true})
+          .build();
+  const auto solver = problem.make_solver();
+  solver->run();
+  const double duct_exit = api::region_average_flux(
+      problem.discretization(), solver->scalar_flux(), 0,
+      [](const fem::Vec3& c) { return c[0] > 1.75 && in_duct(c); });
+  const double absorber = api::region_average_flux(
+      problem.discretization(), solver->scalar_flux(), 0,
+      [](const fem::Vec3& c) { return !in_duct(c); });
+  const core::BalanceReport balance = solver->balance();
+  check_digest("duct_streaming",
+               {balance.source, balance.absorption, balance.leakage,
+                duct_exit, absorber},
+               {6.249999934896e-02, 3.704301024310e-02, 2.545698910586e-02, 4.146819252934e-05, 5.155401185224e-03});
+}
+
+// ---- convergence_order (MMS infrastructure) ------------------------------
+
+TEST(Golden, ConvergenceOrder) {
+  const api::Problem problem =
+      api::ProblemBuilder()
+          .mesh({.dims = {3, 3, 3},
+                 .twist = 0.01,
+                 .shuffle_seed = 5,
+                 .order = 2})
+          .angular({.nang = 4})
+          .materials(
+              {.num_groups = 1, .mat_opt = 0, .scattering_ratio = 0.0})
+          .iteration({.iitm = 1, .oitm = 1})
+          .build();
+  const auto solver = problem.make_solver();
+  const auto ms = core::ManufacturedSolution::trigonometric();
+  core::apply_manufactured(*solver, ms);
+  solver->run();
+  check_digest("convergence_order", {core::l2_error(*solver, ms)},
+               {1.707221212791e-03});
+}
+
+// ---- pulse_decay (time-dependent mode) -----------------------------------
+
+TEST(Golden, PulseDecay) {
+  const snap::Input input =
+      api::ProblemBuilder()
+          .mesh({.dims = {3, 3, 3}, .twist = 0.001, .shuffle_seed = 21})
+          .angular({.nang = 4})
+          .materials(
+              {.num_groups = 2, .mat_opt = 0, .scattering_ratio = 0.6})
+          .source({.src_opt = 0})
+          .iteration({.iitm = 15, .oitm = 3, .fixed_iterations = true})
+          .to_input();
+  const auto disc = std::make_shared<const core::Discretization>(input);
+  core::TimeDependentSolver td(
+      disc, input, core::TimeDependentSolver::snap_velocities(input.ng),
+      0.1);
+  td.solver().problem().qext.fill(0.0);  // pure decay
+  td.set_initial_condition(1.0);
+  std::vector<double> digest{td.total_density()};
+  for (int n = 0; n < 3; ++n) digest.push_back(td.step().total_density);
+  check_digest("pulse_decay", digest,
+               {2.499999953704e+00, 2.159140992263e+00, 1.857687069687e+00, 1.592031024932e+00});
+}
+
+// ---- domain_decomposition (block Jacobi) ---------------------------------
+
+TEST(Golden, DomainDecomposition) {
+  const snap::Input input =
+      api::ProblemBuilder()
+          .mesh({.dims = {6, 6, 6}, .twist = 0.001, .shuffle_seed = 17})
+          .angular({.nang = 4})
+          .materials(
+              {.num_groups = 1, .mat_opt = 1, .scattering_ratio = 0.6})
+          .source({.src_opt = 1})
+          .iteration({.iitm = 30, .oitm = 3, .fixed_iterations = true})
+          .execution({.scheme = snap::ConcurrencyScheme::Serial,
+                      .num_threads = 1})
+          .to_input();
+  comm::BlockJacobiSolver bj(input, 2, 2);
+  bj.run();
+  const std::vector<double> flux = bj.gather_scalar_flux();
+  const double total = std::accumulate(flux.begin(), flux.end(), 0.0);
+  check_digest("domain_decomposition", {total},
+               {1.035049522300e+02});
+}
+
+// ---- sweep_explorer (schedule structure, no solve) -----------------------
+
+TEST(Golden, SweepExplorer) {
+  mesh::MeshOptions options;
+  options.dims = {6, 6, 6};
+  options.twist = 0.3;
+  options.shuffle_seed = 9;
+  const mesh::HexMesh mesh = mesh::build_brick_mesh(options);
+  const angular::QuadratureSet quad(angular::QuadratureKind::SnapLike, 8);
+  const sweep::ScheduleSet set(mesh, quad);
+  const sweep::ScheduleStats stats = sweep::schedule_stats(set.get(0, 0));
+
+  // Second structure: the SCC breaker's lag count on a cyclic mesh must
+  // stay frozen too (it feeds the twisted scenario space).
+  mesh::MeshOptions cyclic = options;
+  cyclic.twist = 2.5;
+  const sweep::ScheduleSet broken(mesh::build_brick_mesh(cyclic), quad,
+                                  sweep::CycleStrategy::LagScc);
+  const sweep::ScheduleSetStats bstats =
+      sweep::schedule_set_stats(broken, 1);
+  check_digest("sweep_explorer",
+               {static_cast<double>(set.unique_count()),
+                static_cast<double>(stats.buckets),
+                static_cast<double>(stats.min_bucket),
+                static_cast<double>(stats.max_bucket),
+                static_cast<double>(broken.unique_count()),
+                static_cast<double>(bstats.total_lagged)},
+               {2.400000000000e+01, 1.600000000000e+01, 1.000000000000e+00, 2.700000000000e+01, 6.400000000000e+01, 2.135000000000e+03});
+}
+
+// ---- twisted (the SCC cycle-breaking scenario) ---------------------------
+
+TEST(Golden, Twisted) {
+  const api::Problem problem =
+      api::ProblemBuilder()
+          .mesh({.dims = {6, 6, 3},
+                 .twist = 2.5,
+                 .shuffle_seed = 0,
+                 .cycle_strategy = sweep::CycleStrategy::LagScc})
+          .angular({.nang = 9,
+                    .quadrature = angular::QuadratureKind::Product})
+          .materials(
+              {.num_groups = 2, .mat_opt = 0, .scattering_ratio = 0.3})
+          .source({.src_opt = 1})
+          .iteration({.iitm = 12, .oitm = 3, .fixed_iterations = true})
+          .build();
+  check_digest("twisted", solve_digest(problem),
+               {1.979564625247e-01, 6.541542890052e-02, 1.325398553462e-01, 5.161305255374e-02, 5.276520531246e-02});
+}
+
+}  // namespace
+}  // namespace unsnap

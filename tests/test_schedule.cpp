@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 #include <vector>
@@ -42,11 +43,9 @@ void expect_valid_schedule(const mesh::HexMesh& mesh,
   for (int e = 0; e < mesh.num_elements(); ++e) {
     EXPECT_NE(position[e], -1) << "element missing from schedule";
     for (int f = 0; f < fem::kFacesPerHex; ++f) {
-      if (!dep.is_incoming(e, f)) continue;
-      const int nbr = mesh.neighbor(e, f);
-      if (nbr == mesh::kNoNeighbor) continue;
+      if (!is_dependency_edge(mesh, dep, e, f)) continue;
       if (schedule.face_is_lagged(e, f)) continue;
-      EXPECT_LT(bucket_of[nbr], bucket_of[e])
+      EXPECT_LT(bucket_of[mesh.neighbor(e, f)], bucket_of[e])
           << "upwind dependency violated across face " << f;
     }
   }
@@ -169,13 +168,16 @@ TEST(ScheduleCycles, ArtificialCycleDetected) {
     const fem::Vec3 unit{omega[0] / norm, omega[1] / norm, omega[2] / norm};
     const AngleDependency dep = build_dependency(mesh, unit);
     try {
-      (void)build_schedule(mesh, dep, /*break_cycles=*/false);
+      (void)build_schedule(mesh, dep, CycleStrategy::Abort);
     } catch (const NumericalError&) {
       found_cycle = true;
-      const SweepSchedule broken =
-          build_schedule(mesh, dep, /*break_cycles=*/true);
-      EXPECT_FALSE(broken.lagged_faces().empty());
-      expect_valid_schedule(mesh, dep, broken);
+      for (const CycleStrategy strategy :
+           {CycleStrategy::LagGreedy, CycleStrategy::LagScc}) {
+        const SweepSchedule broken = build_schedule(mesh, dep, strategy);
+        EXPECT_FALSE(broken.lagged_faces().empty())
+            << to_string(strategy);
+        expect_valid_schedule(mesh, dep, broken);
+      }
       break;
     }
   }
@@ -187,10 +189,70 @@ TEST(ScheduleCycles, ArtificialCycleDetected) {
 TEST(ScheduleCycles, UntwistedNeverLags) {
   const mesh::HexMesh mesh = make_mesh({4, 4, 4}, 0.0, 17);
   const angular::QuadratureSet quad(angular::QuadratureKind::Product, 9);
-  const ScheduleSet set(mesh, quad, /*break_cycles=*/true);
-  for (int oct = 0; oct < angular::kOctants; ++oct)
-    for (int a = 0; a < quad.per_octant(); ++a)
-      EXPECT_TRUE(set.get(oct, a).lagged_faces().empty());
+  for (const CycleStrategy strategy :
+       {CycleStrategy::LagGreedy, CycleStrategy::LagScc}) {
+    const ScheduleSet set(mesh, quad, strategy);
+    for (int oct = 0; oct < angular::kOctants; ++oct)
+      for (int a = 0; a < quad.per_octant(); ++a)
+        EXPECT_TRUE(set.get(oct, a).lagged_faces().empty());
+  }
+}
+
+// Satellite regression: the lagged-face pick breaks flow ties on the
+// lowest (element, face) pair, so rebuilding the same schedule — in any
+// process, any number of times — yields a bit-identical bucket order and
+// lag set. A twisted brick has many exactly-tied face areas (the twist
+// map is z-invariant within a layer), making this the tie-heavy case.
+TEST(ScheduleDeterminism, RebuildIsBitIdentical) {
+  const mesh::HexMesh mesh = make_mesh({6, 6, 3}, 2.5, 7);
+  const angular::QuadratureSet quad(angular::QuadratureKind::Product, 9);
+  for (const CycleStrategy strategy :
+       {CycleStrategy::LagGreedy, CycleStrategy::LagScc}) {
+    bool lagged_somewhere = false;
+    for (int oct = 0; oct < angular::kOctants; ++oct)
+      for (int a = 0; a < quad.per_octant(); ++a) {
+        const AngleDependency dep =
+            build_dependency(mesh, quad.direction(oct, a));
+        const SweepSchedule first = build_schedule(mesh, dep, strategy);
+        const SweepSchedule second = build_schedule(mesh, dep, strategy);
+        ASSERT_TRUE(std::equal(first.order().begin(), first.order().end(),
+                               second.order().begin(), second.order().end()))
+            << to_string(strategy) << " oct " << oct << " angle " << a;
+        ASSERT_EQ(first.lagged_faces(), second.lagged_faces())
+            << to_string(strategy) << " oct " << oct << " angle " << a;
+        lagged_somewhere |= !first.lagged_faces().empty();
+      }
+    EXPECT_TRUE(lagged_somewhere)
+        << "case too tame: no cycles to break under " << to_string(strategy);
+  }
+}
+
+TEST(ScheduleScc, SccLagSetIsConfinedToCyclicComponents) {
+  // Every face the SCC strategy lags must join two elements of one
+  // non-trivial strongly connected component of the unlagged graph.
+  const mesh::HexMesh mesh = make_mesh({6, 6, 3}, 2.5, 0);
+  const angular::QuadratureSet quad(angular::QuadratureKind::Product, 9);
+  bool checked = false;
+  for (int oct = 0; oct < angular::kOctants && !checked; ++oct)
+    for (int a = 0; a < quad.per_octant(); ++a) {
+      const AngleDependency dep =
+          build_dependency(mesh, quad.direction(oct, a));
+      const SweepSchedule schedule =
+          build_schedule(mesh, dep, CycleStrategy::LagScc);
+      if (schedule.lagged_faces().empty()) continue;
+      const SccResult scc = strongly_connected_components(
+          dependency_successors(mesh, dep, {}));
+      const std::vector<int> sizes = scc.component_sizes();
+      for (const auto& [e, f] : schedule.lagged_faces()) {
+        const int nbr = mesh.neighbor(e, f);
+        ASSERT_NE(nbr, mesh::kNoNeighbor);
+        EXPECT_EQ(scc.component[e], scc.component[nbr]);
+        EXPECT_GT(sizes[static_cast<std::size_t>(scc.component[e])], 1);
+      }
+      checked = true;
+      break;
+    }
+  EXPECT_TRUE(checked) << "no cyclic ordinate found on this mesh";
 }
 
 }  // namespace

@@ -23,13 +23,33 @@ TEST(InputStrings, SchemeRoundTrips) {
   for (const ConcurrencyScheme scheme :
        {ConcurrencyScheme::Serial, ConcurrencyScheme::Elements,
         ConcurrencyScheme::ElementsGroups, ConcurrencyScheme::Groups,
-        ConcurrencyScheme::AnglesAtomic})
+        ConcurrencyScheme::AnglesAtomic, ConcurrencyScheme::AngleBatch})
     EXPECT_EQ(scheme_from_string(to_string(scheme)), scheme);
 }
 
 TEST(InputStrings, SchemeNamesAreStable) {
   EXPECT_EQ(to_string(ConcurrencyScheme::ElementsGroups), "elements-groups");
   EXPECT_EQ(to_string(ConcurrencyScheme::AnglesAtomic), "angles-atomic");
+  EXPECT_EQ(to_string(ConcurrencyScheme::AngleBatch), "angle-batch");
+}
+
+TEST(InputStrings, CycleStrategyRoundTrips) {
+  for (const sweep::CycleStrategy strategy :
+       {sweep::CycleStrategy::Abort, sweep::CycleStrategy::LagGreedy,
+        sweep::CycleStrategy::LagScc})
+    EXPECT_EQ(sweep::cycle_strategy_from_string(sweep::to_string(strategy)),
+              strategy);
+}
+
+TEST(InputStrings, CycleStrategyNamesAreStable) {
+  EXPECT_EQ(sweep::to_string(sweep::CycleStrategy::Abort), "abort");
+  EXPECT_EQ(sweep::to_string(sweep::CycleStrategy::LagGreedy), "lag-greedy");
+  EXPECT_EQ(sweep::to_string(sweep::CycleStrategy::LagScc), "lag-scc");
+}
+
+TEST(InputStrings, UnknownCycleStrategyThrows) {
+  EXPECT_THROW(sweep::cycle_strategy_from_string("lag_scc"), InvalidInput);
+  EXPECT_THROW(sweep::cycle_strategy_from_string(""), InvalidInput);
 }
 
 TEST(InputStrings, UnknownLayoutThrows) {

@@ -143,7 +143,7 @@ TEST(TransportSolver, StrongTwistWithoutCycleBreakingThrows) {
   input.twist = 2.5;
   input.quadrature = angular::QuadratureKind::Product;
   input.nang = 9;
-  input.break_cycles = false;
+  input.cycle_strategy = sweep::CycleStrategy::Abort;
   bool cycle_seen = false;
   try {
     TransportSolver solver(input);
@@ -153,7 +153,7 @@ TEST(TransportSolver, StrongTwistWithoutCycleBreakingThrows) {
   if (!cycle_seen)
     GTEST_SKIP() << "this twist produced no cycle; covered in test_schedule";
   // With cycle breaking the same problem must construct and run.
-  input.break_cycles = true;
+  input.cycle_strategy = sweep::CycleStrategy::LagScc;
   TransportSolver solver(input);
   input.fixed_iterations = false;
   EXPECT_NO_THROW(solver.run());
