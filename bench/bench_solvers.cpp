@@ -2,18 +2,26 @@
 // sizes (8..216): the paper's §II-C cost discussion and the Table II
 // crossover, isolated from the transport sweep. Also measures the
 // pre-inverted apply (one matvec) that the pre-assembly mode (§IV-B-1)
-// substitutes for the solve.
+// substitutes for the solve. After the microbenchmarks, the harness runs
+// the iterative-scheme study: source iteration vs sweep-preconditioned
+// GMRES sweeps-to-convergence and wall time across scattering ratios on
+// an optically thick homogeneous deck.
 
 #include <benchmark/benchmark.h>
 
+#include <cctype>
 #include <cmath>
+#include <cstdio>
+#include <string>
 #include <vector>
 
+#include "api/problem_builder.hpp"
 #include "linalg/gauss_elim.hpp"
 #include "linalg/invert.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
 #include "util/rng.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -135,6 +143,85 @@ BENCHMARK(BM_LapackStyleLu)->Apply(table_sizes);
 BENCHMARK(BM_FactoredSolveApply)->Apply(table_sizes);
 BENCHMARK(BM_PreInvertedApply)->Apply(table_sizes);
 
+// ---- SI vs GMRES across scattering ratios --------------------------------
+
+// A 20 mfp homogeneous scattering cube: source iteration's sweep count
+// grows like 1/(1 - c) here, GMRES's stays O(10). One shared
+// discretisation; each run gets a fresh solver.
+void run_iteration_scheme_study() {
+  api::ProblemBuilder builder;
+  builder
+      .mesh({.dims = {6, 6, 6}, .extent = {20.0, 20.0, 20.0},
+             .twist = 0.001, .shuffle_seed = 1})
+      .angular({.nang = 4})
+      .source({.src_opt = 0});
+
+  unsnap::Table table({"c", "si sweeps", "si s", "gmres sweeps", "krylov",
+                       "gmres s", "sweep ratio", "speedup"});
+  std::shared_ptr<const core::Discretization> disc;
+  for (const double c : {0.5, 0.9, 0.99, 0.999}) {
+    core::IterationResult results[2];
+    for (const snap::IterationScheme scheme :
+         {snap::IterationScheme::SourceIteration,
+          snap::IterationScheme::Gmres}) {
+      builder
+          .materials(
+              {.num_groups = 1, .mat_opt = 0, .scattering_ratio = c})
+          .iteration({.epsi = 1e-6,
+                      .iitm = 3000,
+                      .oitm = 4,
+                      .fixed_iterations = false,
+                      .scheme = scheme});
+      const api::Problem problem =
+          disc ? builder.build(disc) : builder.build();
+      if (!disc) disc = problem.discretization_ptr();
+      results[scheme == snap::IterationScheme::Gmres ? 1 : 0] =
+          problem.make_solver()->run();
+    }
+    const core::IterationResult& si = results[0];
+    const core::IterationResult& gm = results[1];
+    table.add_row(
+        {c,
+         std::string(std::to_string(si.sweeps) +
+                     (si.converged ? "" : " (cap)")),
+         si.total_seconds, static_cast<long>(gm.sweeps),
+         static_cast<long>(gm.krylov_iters), gm.total_seconds,
+         static_cast<double>(gm.sweeps) / si.sweeps,
+         si.total_seconds / gm.total_seconds});
+  }
+  std::printf("\n");
+  table.print("iteration schemes: SI vs sweep-preconditioned GMRES "
+              "(20 mfp cube, epsi 1e-6)");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The study's printf table is for humans on the default invocation:
+  // listing mode and machine-readable output requests (--benchmark_format
+  // / --benchmark_out*) must not be corrupted by it or pay its seconds of
+  // transport solves. Google Benchmark accepts several falsy spellings
+  // for the list flag's value.
+  bool skip_study = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--benchmark_format", 0) == 0 ||
+        arg.rfind("--benchmark_out", 0) == 0) {
+      skip_study = true;
+      continue;
+    }
+    if (arg.rfind("--benchmark_list_tests", 0) != 0) continue;
+    std::string value = arg.substr(std::string("--benchmark_list_tests").size());
+    if (!value.empty() && value[0] == '=') value = value.substr(1);
+    for (char& ch : value) ch = static_cast<char>(std::tolower(ch));
+    if (value.empty() || value == "true" || value == "t" || value == "yes" ||
+        value == "1")
+      skip_study = true;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!skip_study) run_iteration_scheme_study();
+  return 0;
+}

@@ -33,6 +33,11 @@ void declare_options(Cli& cli) {
   cli.option("iitm", "5", "max inner iterations per outer");
   cli.option("oitm", "1", "max outer iterations");
   cli.flag("converge", "iterate to epsi instead of fixed iitm x oitm");
+  cli.option("inners", "si",
+             "inner iteration scheme: si (source iteration) | gmres");
+  cli.option("gmres-restart", "20", "GMRES restart length");
+  cli.option("gmres-iters", "100", "max Krylov iterations per inner solve");
+  cli.flag("verbose", "print the per-inner change/residual histories");
   cli.option("layout", "aeg", "flux layout: aeg | age");
   cli.option("scheme", "elements-groups",
              "concurrency: serial | elements | groups | elements-groups | "
@@ -73,7 +78,11 @@ int run(const Cli& cli) {
       .iteration({.epsi = cli.get_double("epsi"),
                   .iitm = cli.get_int("iitm"),
                   .oitm = cli.get_int("oitm"),
-                  .fixed_iterations = !cli.get_flag("converge")})
+                  .fixed_iterations = !cli.get_flag("converge"),
+                  .scheme =
+                      snap::iteration_scheme_from_string(cli.get("inners")),
+                  .gmres_restart = cli.get_int("gmres-restart"),
+                  .gmres_max_iters = cli.get_int("gmres-iters")})
       .execution({.layout = snap::layout_from_string(cli.get("layout")),
                   .scheme = snap::scheme_from_string(cli.get("scheme")),
                   .solver = linalg::solver_from_string(cli.get("solver")),
@@ -110,7 +119,8 @@ int run(const Cli& cli) {
   const core::IterationResult result = solver->run();
 
   std::printf("\n");
-  api::print_iteration_report(result, input.time_solve);
+  api::print_iteration_report(result, input.time_solve,
+                              cli.get_flag("verbose"));
   std::printf("\n");
   api::print_balance_report(solver->balance());
   return 0;

@@ -73,13 +73,18 @@ struct BoundarySpec {
                           Bc::Vacuum, Bc::Vacuum, Bc::Vacuum};
 };
 
-/// Iteration control (SNAP's epsi / iitm / oitm).
+/// Iteration control (SNAP's epsi / iitm / oitm) and the inner scheme.
 struct IterationSpec {
   double epsi = 1e-4;
-  int iitm = 5;  // inners per outer
+  int iitm = 5;  // inners per outer (gmres: sweep budget per outer)
   int oitm = 1;  // outers
   /// true = the paper's timing setup: exactly iitm x oitm sweeps.
   bool fixed_iterations = true;
+  /// Within-group solver: source iteration, or sweep-preconditioned
+  /// matrix-free GMRES (src/accel/) for diffusive problems (c -> 1).
+  snap::IterationScheme scheme = snap::IterationScheme::SourceIteration;
+  int gmres_restart = 20;     // Arnoldi vectors per GMRES cycle
+  int gmres_max_iters = 100;  // Krylov iterations per inner solve
 };
 
 /// Execution configuration: the performance-study axes of the paper.

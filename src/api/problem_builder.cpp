@@ -70,6 +70,10 @@ ProblemBuilder& ProblemBuilder::iteration(IterationSpec spec) {
   require(spec.epsi > 0.0, "iteration: epsi must be positive");
   require(spec.iitm >= 1 && spec.oitm >= 1,
           "iteration: iteration limits must be >= 1");
+  require(spec.gmres_restart >= 1,
+          "iteration: gmres_restart must be >= 1");
+  require(spec.gmres_max_iters >= 1,
+          "iteration: gmres_max_iters must be >= 1");
   iteration_ = spec;
   return *this;
 }
@@ -92,8 +96,10 @@ ProblemBuilder ProblemBuilder::from_input(const snap::Input& input) {
   b.materials_.scattering_ratio = input.scattering_ratio;
   b.source_.src_opt = input.src_opt;
   b.boundary_.sides = input.boundary;
-  b.iteration_ = {input.epsi, input.iitm, input.oitm,
-                  input.fixed_iterations};
+  b.iteration_ = {input.epsi,          input.iitm,
+                  input.oitm,          input.fixed_iterations,
+                  input.iteration_scheme, input.gmres_restart,
+                  input.gmres_max_iters};
   b.execution_ = {input.layout, input.scheme, input.solver,
                   input.num_threads, input.time_solve};
   return b;
@@ -139,6 +145,9 @@ snap::Input ProblemBuilder::lower() const {
   input.iitm = iteration_.iitm;
   input.oitm = iteration_.oitm;
   input.fixed_iterations = iteration_.fixed_iterations;
+  input.iteration_scheme = iteration_.scheme;
+  input.gmres_restart = iteration_.gmres_restart;
+  input.gmres_max_iters = iteration_.gmres_max_iters;
   input.layout = execution_.layout;
   input.scheme = execution_.scheme;
   input.solver = execution_.solver;

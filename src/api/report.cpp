@@ -2,6 +2,7 @@
 
 #include <omp.h>
 
+#include <cmath>
 #include <cstdio>
 
 namespace unsnap::api {
@@ -13,25 +14,64 @@ void print_configuration(const core::TransportSolver& solver) {
               "%d angles/octant x 8, %d groups, nmom %d\n",
               input.dims[0], input.dims[1], input.dims[2], input.order,
               disc.num_nodes(), input.nang, input.ng, input.nmom);
-  std::printf("        layout %s, scheme %s, solver %s, twist %.4g, "
-              "%d unique sweep schedules\n",
+  std::printf("        layout %s, scheme %s, solver %s, inners %s, "
+              "twist %.4g, %d unique sweep schedules\n",
               snap::to_string(input.layout).c_str(),
               snap::to_string(input.scheme).c_str(),
-              linalg::to_string(input.solver).c_str(), input.twist,
+              linalg::to_string(input.solver).c_str(),
+              snap::to_string(input.iteration_scheme).c_str(), input.twist,
               disc.schedules().unique_count());
 }
 
+double sweeps_per_digit(const core::IterationResult& result) {
+  // Measured on the inner change history for both schemes: it is the one
+  // quantity with a single normalization across the whole run (the Krylov
+  // residual history is rescaled by each outer's own right-hand side, so
+  // digits computed across outers from it would mix norms).
+  const std::vector<double>& history = result.inner_history;
+  if (history.size() < 2 || result.sweeps <= 0) return 0.0;
+  const double first = history.front(), last = history.back();
+  if (!(first > 0.0) || !(last > 0.0) || last >= first) return 0.0;
+  return result.sweeps / std::log10(first / last);
+}
+
 void print_iteration_report(const core::IterationResult& result,
-                            bool time_solve) {
+                            bool time_solve, bool verbose) {
   std::printf("%s after %d inners / %d outers (last inner change %.3e)\n",
               result.converged ? "converged" : "NOT converged",
               result.inners, result.outers, result.final_inner_change);
+  const double spd = sweeps_per_digit(result);
+  if (result.krylov_iters > 0) {
+    std::printf("gmres: %d Krylov iters over %d sweeps, final rel residual "
+                "%.3e",
+                result.krylov_iters, result.sweeps,
+                result.residual_history.empty()
+                    ? 0.0
+                    : result.residual_history.back());
+    if (spd > 0.0) std::printf(", %.1f sweeps/digit", spd);
+    std::printf("\n");
+  } else if (spd > 0.0) {
+    std::printf("source iteration: %d sweeps, %.1f sweeps/digit\n",
+                result.sweeps, spd);
+  }
   std::printf("total %.4f s, %.4f s in assemble/solve sweeps",
               result.total_seconds, result.assemble_solve_seconds);
   if (time_solve && result.assemble_solve_seconds > 0.0)
     std::printf(" (%.0f%% in solve)",
                 100.0 * result.solve_seconds / result.assemble_solve_seconds);
   std::printf("\n");
+  if (verbose) {
+    std::printf("inner change history (%zu inners):\n",
+                result.inner_history.size());
+    for (std::size_t i = 0; i < result.inner_history.size(); ++i)
+      std::printf("  %4zu  %.6e\n", i, result.inner_history[i]);
+    if (!result.residual_history.empty()) {
+      std::printf("krylov residual history (%zu entries, relative):\n",
+                  result.residual_history.size());
+      for (std::size_t i = 0; i < result.residual_history.size(); ++i)
+        std::printf("  %4zu  %.6e\n", i, result.residual_history[i]);
+    }
+  }
 }
 
 void print_balance_report(const core::BalanceReport& balance) {

@@ -17,9 +17,20 @@ namespace unsnap::api {
 /// One line summarising mesh/order/angles/groups and the execution config.
 void print_configuration(const core::TransportSolver& solver);
 
-/// Convergence state, iteration counts and wall/sweep timings.
+/// Convergence state, iteration counts and wall/sweep timings; under the
+/// gmres scheme also the Krylov iteration count, final relative residual
+/// and the measured sweeps-per-digit (printed for SI too, from the inner
+/// change history, so the two schemes compare directly). With `verbose`
+/// the full per-inner change history — and, for gmres, the per-Krylov-
+/// iteration residual history — is dumped.
 void print_iteration_report(const core::IterationResult& result,
-                            bool time_solve = false);
+                            bool time_solve = false, bool verbose = false);
+
+/// Sweeps per decimal digit of error reduction, measured from the
+/// per-inner change history (the one consistently-normalised series both
+/// schemes record). Returns 0 when the history is too short or did not
+/// decrease.
+[[nodiscard]] double sweeps_per_digit(const core::IterationResult& result);
 
 /// Source / absorption / leakage / residual block.
 void print_balance_report(const core::BalanceReport& balance);

@@ -32,6 +32,12 @@ BlockJacobiSolver::BlockJacobiSolver(const snap::Input& input, int px, int py)
   // are already threads).
   input_.scheme = snap::ConcurrencyScheme::Serial;
   input_.num_threads = 1;
+  // This driver interleaves halo exchanges with its own source-iteration
+  // loop (the rank solvers never call run()), so a gmres request would be
+  // silently ignored — reject it instead.
+  require(input_.iteration_scheme == snap::IterationScheme::SourceIteration,
+          "block Jacobi drives its own source-iteration loop; "
+          "iteration_scheme = gmres is not supported here");
 
   submeshes_.reserve(static_cast<std::size_t>(num_ranks()));
   for (int r = 0; r < num_ranks(); ++r)

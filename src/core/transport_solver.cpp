@@ -2,6 +2,7 @@
 
 #include <omp.h>
 
+#include "accel/inner.hpp"
 #include "mesh/mesh_builder.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
@@ -160,6 +161,18 @@ void TransportSolver::sweep() {
   if (input_.any_reflective()) apply_reflective_boundaries();
 }
 
+void TransportSolver::sweep_frozen_coupling() {
+  SweepState state = make_state();
+  sweeper_.sweep(state);
+  assemble_solve_seconds_ += sweeper_.last_sweep_seconds();
+  solve_seconds_ += sweeper_.last_solve_seconds();
+}
+
+void TransportSolver::refresh_lagged_couplings() {
+  if (input_.any_reflective()) apply_reflective_boundaries();
+  if (lag_.active()) capture_lag_snapshot();
+}
+
 void TransportSolver::apply_reflective_boundaries() {
   // Specular reflection off the (untwisted) domain planes: the outgoing
   // trace of direction Omega feeds the incoming slot of the direction with
@@ -197,6 +210,9 @@ double TransportSolver::inner_change() const {
 }
 
 IterationResult TransportSolver::run() {
+  if (input_.iteration_scheme == snap::IterationScheme::Gmres)
+    return accel::run_gmres(*this);
+
   IterationResult result;
   Stopwatch total;
   total.start();
@@ -209,7 +225,9 @@ IterationResult TransportSolver::run() {
       update_inner_source();
       sweep();
       ++result.inners;
+      ++result.sweeps;
       result.final_inner_change = inner_change();
+      result.inner_history.push_back(result.final_inner_change);
       if (!input_.fixed_iterations &&
           result.final_inner_change < input_.epsi)
         break;

@@ -14,11 +14,20 @@ struct IterationResult {
   bool converged = false;
   int outers = 0;
   int inners = 0;                    // total inner iterations (all outers)
+  int sweeps = 0;    // total transport sweeps (== inners under SI)
+  int krylov_iters = 0;  // Arnoldi steps (gmres scheme only)
   double final_inner_change = 0.0;   // last inner dfmxi
   double final_outer_change = 0.0;   // last outer dfmxo
   double total_seconds = 0.0;
   double assemble_solve_seconds = 0.0;  // wall time inside the sweeps
   double solve_seconds = 0.0;  // thread-summed pure-solve time (if timed)
+  /// Max flux change per inner (SI: one entry per sweep; gmres: one entry
+  /// per restart cycle) — the same quantity comm::BlockJacobiResult
+  /// records globally.
+  std::vector<double> inner_history;
+  /// gmres only: relative 2-norm residual per Krylov iteration (entry 0 is
+  /// the initial residual of the first outer's inner solve).
+  std::vector<double> residual_history;
 };
 
 /// The UnSNAP mini-app: owns the discretisation, problem data and solution
@@ -44,7 +53,10 @@ class TransportSolver {
 
   /// Full solve: oitm outers of up to iitm inners; with
   /// input.fixed_iterations the loop ignores the convergence tests and
-  /// always runs oitm x iitm sweeps (the paper's timing setup).
+  /// always runs oitm x iitm sweeps (the paper's timing setup). With
+  /// input.iteration_scheme == Gmres the within-group solve is delegated
+  /// to the sweep-preconditioned Krylov driver (accel::run_gmres), with
+  /// the same outer loop and convergence vocabulary.
   IterationResult run();
 
   // --- single-iteration control ---------------------------------------
@@ -53,6 +65,19 @@ class TransportSolver {
   /// One full sweep; updates psi and phi, snapshots phi for inner_change()
   /// and refreshes reflective boundary data for the next sweep.
   void sweep();
+  /// One sweep with the iteration-lagged couplings frozen: the cycle-lag
+  /// snapshot is not recaptured and the reflective boundary mirror is not
+  /// refreshed, so the sweep is an affine map of the flux moments alone.
+  /// This is the operator application of the matrix-free Krylov inners
+  /// (accel/) — Krylov basis vectors are not physical fluxes, and folding
+  /// them into the lagged couplings would destroy the linearity GMRES
+  /// needs. Updates psi and phi only (no phi_old_ snapshot).
+  void sweep_frozen_coupling();
+  /// Re-anchor the lagged couplings on the current (physical) psi: mirror
+  /// the reflective boundaries and recapture the cycle-lag snapshot.
+  /// Called by the Krylov inner driver after its closing physical sweep,
+  /// matching what sweep() does around each source iteration.
+  void refresh_lagged_couplings();
   [[nodiscard]] double inner_change() const;
 
   // --- state access -----------------------------------------------------
@@ -71,6 +96,8 @@ class TransportSolver {
   [[nodiscard]] const std::vector<NodalField>& flux_moments() const {
     return phi_mom_;
   }
+  /// Mutable moments (the Krylov inner driver scatters iterates into them).
+  [[nodiscard]] std::vector<NodalField>& flux_moments() { return phi_mom_; }
 
   /// Prescribed boundary flux (Dirichlet inflow / halo target). Allocated
   /// on first access; inactive means vacuum.

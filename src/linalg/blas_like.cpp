@@ -1,6 +1,7 @@
 #include "linalg/blas_like.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace unsnap::linalg {
 
@@ -54,6 +55,32 @@ void ger_subtract(const double* col, int col_stride, const double* row, int m,
 #pragma omp simd
     for (int j = 0; j < n; ++j) arow[j] -= ci * row[j];
   }
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  UNSNAP_ASSERT(x.size() == y.size());
+  double sum = 0.0;
+#pragma omp simd reduction(+ : sum)
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+double norm2(std::span<const double> x) {
+  double sum = 0.0;
+#pragma omp simd reduction(+ : sum)
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * x[i];
+  return std::sqrt(sum);
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  UNSNAP_ASSERT(x.size() == y.size());
+#pragma omp simd
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scal(double alpha, std::span<double> x) {
+#pragma omp simd
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] *= alpha;
 }
 
 }  // namespace unsnap::linalg

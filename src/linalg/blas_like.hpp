@@ -1,5 +1,7 @@
 #pragma once
 
+#include <span>
+
 #include "linalg/matrix.hpp"
 
 namespace unsnap::linalg {
@@ -22,5 +24,24 @@ void trsm_lower_unit(ConstMatrixView l, MatrixView b);
 /// A22 -= col * row where col is (m x 1) and row is (1 x n).
 void ger_subtract(const double* col, int col_stride, const double* row, int m,
                   int n, MatrixView a);
+
+/// Flat-vector (level-1) kernels backing the matrix-free Krylov solvers in
+/// accel/: the vectors are NodalField storage viewed as one long array.
+/// The reductions are deliberately serial (SIMD only): their summation
+/// order must not depend on the OpenMP thread count, or the GMRES
+/// iterates — and every golden digest downstream of them — would stop
+/// being thread-bitwise-invariant.
+
+/// <x, y>; spans must have equal length. Empty spans dot to 0.
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+
+/// ||x||_2 (0 for an empty span).
+[[nodiscard]] double norm2(std::span<const double> x);
+
+/// y += alpha * x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void scal(double alpha, std::span<double> x);
 
 }  // namespace unsnap::linalg

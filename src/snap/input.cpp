@@ -23,6 +23,15 @@ std::string to_string(ConcurrencyScheme scheme) {
   return {};
 }
 
+std::string to_string(IterationScheme scheme) {
+  switch (scheme) {
+    case IterationScheme::SourceIteration: return "source-iteration";
+    case IterationScheme::Gmres: return "gmres";
+  }
+  UNSNAP_ASSERT(false);
+  return {};
+}
+
 FluxLayout layout_from_string(const std::string& name) {
   if (name == "aeg") return FluxLayout::AngleElementGroup;
   if (name == "age") return FluxLayout::AngleGroupElement;
@@ -39,6 +48,14 @@ ConcurrencyScheme scheme_from_string(const std::string& name) {
   throw InvalidInput("unknown scheme '" + name +
                      "' (expected serial, elements, elements-groups, groups, "
                      "angles-atomic or angle-batch)");
+}
+
+IterationScheme iteration_scheme_from_string(const std::string& name) {
+  if (name == "source-iteration" || name == "si")
+    return IterationScheme::SourceIteration;
+  if (name == "gmres") return IterationScheme::Gmres;
+  throw InvalidInput("unknown iteration scheme '" + name +
+                     "' (expected source-iteration, si or gmres)");
 }
 
 void Input::validate() const {
@@ -59,6 +76,8 @@ void Input::validate() const {
           "input: scattering ratio must be in [0, 1)");
   require(epsi > 0.0, "input: epsi must be positive");
   require(iitm >= 1 && oitm >= 1, "input: iteration limits must be >= 1");
+  require(gmres_restart >= 1, "input: gmres_restart must be >= 1");
+  require(gmres_max_iters >= 1, "input: gmres_max_iters must be >= 1");
   require(num_threads >= 0, "input: num_threads must be >= 0");
   // Reflective sides mirror the flux as if the boundary planes were the
   // untwisted ones; beyond a small twist that approximation is wrong, not

@@ -36,10 +36,24 @@ enum class ConcurrencyScheme {
   AngleBatch,
 };
 
+/// Within-group (inner) iteration scheme. Source iteration is SNAP's
+/// plain fixed-point sweep loop; its error contracts by the scattering
+/// ratio c per sweep, so it stalls on diffusive problems (c -> 1). Gmres
+/// wraps the very same sweep as a matrix-free operator inside restarted
+/// GMRES (src/accel/), which stays fast as c -> 1.
+enum class IterationScheme {
+  SourceIteration,
+  Gmres,
+};
+
 [[nodiscard]] std::string to_string(FluxLayout layout);
 [[nodiscard]] std::string to_string(ConcurrencyScheme scheme);
+[[nodiscard]] std::string to_string(IterationScheme scheme);
 [[nodiscard]] FluxLayout layout_from_string(const std::string& name);
 [[nodiscard]] ConcurrencyScheme scheme_from_string(const std::string& name);
+/// Accepts "source-iteration" (alias "si") and "gmres".
+[[nodiscard]] IterationScheme iteration_scheme_from_string(
+    const std::string& name);
 
 /// Problem definition mirroring SNAP's input deck, extended with the
 /// UnSNAP-specific controls (element order, twist, layout/scheme/solver).
@@ -87,6 +101,19 @@ struct Input {
   /// iterations regardless of convergence, so every configuration does
   /// identical work.
   bool fixed_iterations = true;
+  /// Inner iteration scheme: plain source iteration (SNAP's loop) or
+  /// sweep-preconditioned matrix-free GMRES (src/accel/). Under gmres,
+  /// iitm caps the *sweeps* per outer so the two schemes share one work
+  /// budget (floored so every inner solve gets the seed, two Krylov
+  /// applies and the closing sweep — up to 4 sweeps even when iitm < 4);
+  /// with fixed_iterations the Krylov loop ignores the convergence tests
+  /// and runs the budget out deterministically.
+  IterationScheme iteration_scheme = IterationScheme::SourceIteration;
+  /// GMRES restart length (Arnoldi vectors kept per cycle).
+  int gmres_restart = 20;
+  /// Max Krylov iterations (operator applies inside Arnoldi) per inner
+  /// solve, across restarts.
+  int gmres_max_iters = 100;
 
   // Execution configuration.
   FluxLayout layout = FluxLayout::AngleElementGroup;

@@ -1,0 +1,66 @@
+#pragma once
+
+// Shared test-side copy of the diffusive scenario's deck
+// (examples/diffusive.cpp): the golden battery and the SI-vs-GMRES
+// acceptance test must exercise the same materials/geometry, so they
+// include this one definition instead of keeping two more copies in
+// lockstep by hand. (Like shield_xs/duct_xs in the golden file, it is a
+// deliberate frozen copy of the example: editing the scenario does not
+// silently reshape the regression decks.)
+
+#include <cstddef>
+
+#include "api/problem_builder.hpp"
+
+namespace unsnap::testing {
+
+// Thin filler/detector, scattering source medium, thick diffusive shield;
+// `c` is the scattering ratio of the source medium and shield.
+inline snap::CrossSections diffusive_xs(int ng, double c) {
+  snap::CrossSections xs;
+  xs.num_materials = 3;
+  xs.ng = ng;
+  const auto nm = static_cast<std::size_t>(xs.num_materials);
+  const auto g_count = static_cast<std::size_t>(ng);
+  xs.sigt.resize({nm, g_count});
+  xs.sigs.resize({nm, g_count});
+  xs.siga.resize({nm, g_count});
+  xs.slgg.resize({nm, g_count, g_count}, 0.0);
+  const double sigt[3] = {0.1, 5.0, 20.0};
+  const double ratio[3] = {0.5, c, c};
+  for (int m = 0; m < 3; ++m)
+    for (int g = 0; g < ng; ++g) {
+      xs.sigt(m, g) = sigt[m];
+      xs.sigs(m, g) = ratio[m] * sigt[m];
+      xs.siga(m, g) = xs.sigt(m, g) - xs.sigs(m, g);
+      xs.slgg(m, g, g) = xs.sigs(m, g);  // in-group only
+    }
+  return xs;
+}
+
+inline int diffusive_material(const fem::Vec3& c) {
+  if (c[2] < 1.0) return 1;  // source medium
+  if (c[2] < 1.8) return 2;  // diffusive shield (16 mfp thick)
+  return 0;                  // filler / detector
+}
+
+/// The deck on a coarse (nz-element) mesh with the materials/source set;
+/// callers add their own iteration spec.
+inline api::ProblemBuilder diffusive_builder(double c, int nx, int nz) {
+  api::ProblemBuilder builder;
+  builder
+      .mesh({.dims = {nx, nx, nz},
+             .extent = {1.0, 1.0, 3.0},
+             .twist = 0.001,
+             .shuffle_seed = 7})
+      .angular({.nang = 4,
+                .quadrature = angular::QuadratureKind::Product})
+      .materials({.cross_sections = diffusive_xs(2, c),
+                  .material_map = diffusive_material})
+      .source({.profile = [](const fem::Vec3& pos, int) {
+        return pos[2] < 1.0 ? 1.0 : 0.0;
+      }});
+  return builder;
+}
+
+}  // namespace unsnap::testing

@@ -1,0 +1,467 @@
+// The matrix-free Krylov acceleration subsystem (src/accel/): GMRES and
+// Richardson against dense references, Arnoldi basis quality, and the
+// transport binding — SI-vs-GMRES flux agreement across boundary
+// conditions, scattering orders, cycle strategies and threading schemes,
+// plus the diffusive-deck acceptance bound (GMRES in a small fraction of
+// SI's sweeps as c -> 1).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "accel/inner.hpp"
+#include "accel/krylov.hpp"
+#include "api/problem_builder.hpp"
+#include "diffusive_deck.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace unsnap {
+namespace {
+
+// ---- dense references ----------------------------------------------------
+
+linalg::Matrix diag_dominant(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  linalg::Matrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < n; ++j) {
+      a(i, j) = rng.uniform(-1.0, 1.0);
+      row += std::fabs(a(i, j));
+    }
+    a(i, i) += 2.0 * row;
+  }
+  return a;
+}
+
+// A contraction-shaped system I - C with ||C|| < 1: the regime where
+// Richardson (= source iteration) converges at all.
+linalg::Matrix near_identity(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  linalg::Matrix a(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      a(i, j) = (i == j ? 1.0 : 0.0) + rng.uniform(-0.4, 0.4) / n;
+  return a;
+}
+
+std::vector<double> random_rhs(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& x : b) x = rng.uniform(-2.0, 2.0);
+  return b;
+}
+
+accel::LinearOperator matvec_op(const linalg::Matrix& a) {
+  return [&a](std::span<const double> x, std::span<double> y) {
+    linalg::matvec(a.view(), x, y);
+  };
+}
+
+std::vector<double> lu_reference(const linalg::Matrix& a,
+                                 const std::vector<double>& b) {
+  linalg::Matrix lu = a;
+  std::vector<double> x = b;
+  std::vector<int> pivots(b.size());
+  linalg::lu_factor(lu.view(), pivots);
+  linalg::lu_solve_factored(lu.view(), pivots, x);
+  return x;
+}
+
+// ---- GMRES on dense systems ----------------------------------------------
+
+TEST(Gmres, FullCycleSolvesDenseSystemExactly) {
+  const int n = 12;
+  const linalg::Matrix a = diag_dominant(n, 1);
+  const std::vector<double> b = random_rhs(n, 2);
+  const std::vector<double> reference = lu_reference(a, b);
+
+  accel::Gmres gmres(static_cast<std::size_t>(n), n);
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  accel::KrylovOptions options;
+  options.max_iters = 3 * n;
+  options.rel_tol = 1e-13;
+  const accel::KrylovResult result =
+      gmres.solve(matvec_op(a), b, x, options);
+
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, n);  // full GMRES finishes within n steps
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], reference[i], 1e-9);
+}
+
+TEST(Gmres, RestartedSolveMatchesLu) {
+  const int n = 24;
+  const linalg::Matrix a = diag_dominant(n, 3);
+  const std::vector<double> b = random_rhs(n, 4);
+  const std::vector<double> reference = lu_reference(a, b);
+
+  accel::Gmres gmres(static_cast<std::size_t>(n), 5);  // force restarts
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  accel::KrylovOptions options;
+  options.max_iters = 500;
+  options.rel_tol = 1e-12;
+  const accel::KrylovResult result =
+      gmres.solve(matvec_op(a), b, x, options);
+
+  EXPECT_TRUE(result.converged);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], reference[i], 1e-8);
+}
+
+TEST(Gmres, WarmStartIsRespected) {
+  const int n = 10;
+  const linalg::Matrix a = diag_dominant(n, 5);
+  const std::vector<double> b = random_rhs(n, 6);
+  std::vector<double> x = lu_reference(a, b);  // start at the solution
+
+  accel::Gmres gmres(static_cast<std::size_t>(n), n);
+  accel::KrylovOptions options;
+  options.rel_tol = 1e-10;
+  const accel::KrylovResult result =
+      gmres.solve(matvec_op(a), b, x, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0);  // first true residual already passes
+  EXPECT_EQ(result.applies, 1);
+}
+
+TEST(Gmres, ArnoldiBasisIsOrthonormal) {
+  const int n = 30, m = 6;
+  const linalg::Matrix a = diag_dominant(n, 7);
+  const std::vector<double> b = random_rhs(n, 8);
+
+  accel::Gmres gmres(static_cast<std::size_t>(n), m);
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  accel::KrylovOptions options;
+  options.max_iters = m;  // exactly one cycle
+  const accel::KrylovResult result =
+      gmres.solve(matvec_op(a), b, x, options);
+  ASSERT_EQ(result.iterations, m);
+  ASSERT_EQ(gmres.basis_size(), m + 1);
+  for (int i = 0; i < gmres.basis_size(); ++i)
+    for (int j = 0; j <= i; ++j) {
+      double dot = 0.0;
+      for (int k = 0; k < n; ++k)
+        dot += gmres.basis_vector(i)[static_cast<std::size_t>(k)] *
+               gmres.basis_vector(j)[static_cast<std::size_t>(k)];
+      // Single-pass MGS keeps orthogonality to ~sqrt(eps) at worst; this
+      // system loses ~1e-11.
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-9)
+          << "basis entry (" << i << ", " << j << ")";
+    }
+}
+
+TEST(Gmres, ResidualHistoryDecreasesAndIsRecorded) {
+  const int n = 16;
+  const linalg::Matrix a = diag_dominant(n, 9);
+  const std::vector<double> b = random_rhs(n, 10);
+
+  accel::Gmres gmres(static_cast<std::size_t>(n), n);
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  accel::KrylovOptions options;
+  options.rel_tol = 1e-12;
+  const accel::KrylovResult result =
+      gmres.solve(matvec_op(a), b, x, options);
+  ASSERT_GE(result.residual_history.size(), 2u);
+  // GMRES minimises over a growing subspace: in-cycle estimates never
+  // grow. At a cycle boundary the recomputed true residual may exceed the
+  // last estimate by rounding noise, so allow slack relative to the
+  // initial residual.
+  const double slack = 1e-12 * result.residual_history.front();
+  for (std::size_t k = 1; k < result.residual_history.size(); ++k)
+    EXPECT_LE(result.residual_history[k],
+              result.residual_history[k - 1] + slack);
+  EXPECT_LT(result.final_residual(),
+            result.residual_history.front() * 1e-10);
+}
+
+TEST(Gmres, ZeroRhsConvergesImmediately) {
+  const int n = 8;
+  const linalg::Matrix a = diag_dominant(n, 11);
+  const std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  accel::Gmres gmres(static_cast<std::size_t>(n), n);
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  const accel::KrylovResult result =
+      gmres.solve(matvec_op(a), b, x, {});
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.applies, 1);
+  for (const double xi : x) EXPECT_EQ(xi, 0.0);
+}
+
+TEST(Gmres, RespectsApplyBudget) {
+  const int n = 40;
+  const linalg::Matrix a = diag_dominant(n, 12);
+  const std::vector<double> b = random_rhs(n, 13);
+  accel::Gmres gmres(static_cast<std::size_t>(n), 4);
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  accel::KrylovOptions options;
+  options.max_applies = 7;
+  options.max_iters = 1000;  // the apply budget must bind first
+  const accel::KrylovResult result =
+      gmres.solve(matvec_op(a), b, x, options);
+  EXPECT_LE(result.applies, 7);
+  EXPECT_FALSE(result.converged);  // tol 0, budget-bound
+}
+
+TEST(Richardson, MatchesLuOnContraction) {
+  const int n = 20;
+  const linalg::Matrix a = near_identity(n, 14);
+  const std::vector<double> b = random_rhs(n, 15);
+  const std::vector<double> reference = lu_reference(a, b);
+
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  accel::KrylovOptions options;
+  options.max_iters = 500;
+  options.rel_tol = 1e-12;
+  const accel::KrylovResult result =
+      accel::richardson(matvec_op(a), b, x, options);
+  EXPECT_TRUE(result.converged);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], reference[i], 1e-8);
+}
+
+TEST(Richardson, GmresNeedsNoMoreIterationsThanRichardson) {
+  const int n = 20;
+  const linalg::Matrix a = near_identity(n, 16);
+  const std::vector<double> b = random_rhs(n, 17);
+  accel::KrylovOptions options;
+  options.max_iters = 500;
+  options.rel_tol = 1e-10;
+
+  std::vector<double> xr(static_cast<std::size_t>(n), 0.0);
+  const accel::KrylovResult rich =
+      accel::richardson(matvec_op(a), b, xr, options);
+
+  accel::Gmres workspace(static_cast<std::size_t>(n), 20);
+  std::vector<double> xg(static_cast<std::size_t>(n), 0.0);
+  const accel::KrylovResult gm =
+      workspace.solve(matvec_op(a), b, xg, options);
+
+  EXPECT_TRUE(rich.converged);
+  EXPECT_TRUE(gm.converged);
+  EXPECT_LE(gm.iterations, rich.iterations);
+}
+
+// ---- the transport binding -----------------------------------------------
+
+api::ProblemBuilder base_deck() {
+  api::ProblemBuilder builder;
+  builder.mesh({.dims = {4, 4, 4}, .twist = 0.001, .shuffle_seed = 42})
+      .angular({.nang = 4})
+      .materials({.num_groups = 2, .mat_opt = 1, .scattering_ratio = 0.5})
+      .source({.src_opt = 1});
+  return builder;
+}
+
+api::IterationSpec converge_spec(snap::IterationScheme scheme,
+                                 double epsi = 1e-6) {
+  return {.epsi = epsi,
+          .iitm = 200,
+          .oitm = 40,
+          .fixed_iterations = false,
+          .scheme = scheme};
+}
+
+std::vector<double> solve_flux(const api::ProblemBuilder& builder,
+                               core::IterationResult* result = nullptr) {
+  const api::Problem problem = builder.build();
+  const auto solver = problem.make_solver();
+  const core::IterationResult run = solver->run();
+  EXPECT_TRUE(run.converged);
+  if (result != nullptr) *result = run;
+  const core::NodalField& phi = solver->scalar_flux();
+  return {phi.data(), phi.data() + phi.size()};
+}
+
+double max_rel_diff(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  std::vector<double> delta(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) delta[i] = b[i] - a[i];
+  return accel::max_pointwise_change(delta, a);
+}
+
+TEST(TransportGmres, AgreesWithSourceIteration) {
+  api::ProblemBuilder builder = base_deck();
+  builder.iteration(
+      converge_spec(snap::IterationScheme::SourceIteration));
+  core::IterationResult si;
+  const std::vector<double> phi_si = solve_flux(builder, &si);
+
+  builder.iteration(converge_spec(snap::IterationScheme::Gmres));
+  core::IterationResult gm;
+  const std::vector<double> phi_gm = solve_flux(builder, &gm);
+
+  EXPECT_LT(max_rel_diff(phi_si, phi_gm), 1e-4);
+  EXPECT_GT(gm.krylov_iters, 0);
+  EXPECT_EQ(si.krylov_iters, 0);
+}
+
+TEST(TransportGmres, HistoriesAreRecordedForBothSchemes) {
+  api::ProblemBuilder builder = base_deck();
+  builder.iteration(
+      converge_spec(snap::IterationScheme::SourceIteration));
+  core::IterationResult si;
+  solve_flux(builder, &si);
+  EXPECT_EQ(static_cast<int>(si.inner_history.size()), si.inners);
+  EXPECT_EQ(si.sweeps, si.inners);
+  EXPECT_TRUE(si.residual_history.empty());
+  EXPECT_EQ(si.inner_history.back(), si.final_inner_change);
+
+  builder.iteration(converge_spec(snap::IterationScheme::Gmres));
+  core::IterationResult gm;
+  solve_flux(builder, &gm);
+  EXPECT_FALSE(gm.inner_history.empty());
+  EXPECT_FALSE(gm.residual_history.empty());
+  EXPECT_GT(gm.sweeps, gm.krylov_iters);  // seed + closing sweeps on top
+  EXPECT_EQ(gm.sweeps, gm.inners);
+  EXPECT_EQ(gm.inner_history.back(), gm.final_inner_change);
+}
+
+TEST(TransportGmres, ReflectiveBoundariesAgreeWithSi) {
+  api::ProblemBuilder builder = base_deck();
+  builder.all_boundaries(snap::Input::Bc::Reflective);
+  builder.iteration(
+      converge_spec(snap::IterationScheme::SourceIteration));
+  const std::vector<double> phi_si = solve_flux(builder);
+
+  builder.iteration(converge_spec(snap::IterationScheme::Gmres));
+  const std::vector<double> phi_gm = solve_flux(builder);
+  EXPECT_LT(max_rel_diff(phi_si, phi_gm), 1e-3);
+}
+
+TEST(TransportGmres, AnisotropicMomentsAgreeWithSi) {
+  api::ProblemBuilder builder = base_deck();
+  builder.angular({.nang = 4, .nmom = 2});
+  builder.iteration(
+      converge_spec(snap::IterationScheme::SourceIteration));
+  const std::vector<double> phi_si = solve_flux(builder);
+
+  builder.iteration(converge_spec(snap::IterationScheme::Gmres));
+  const std::vector<double> phi_gm = solve_flux(builder);
+  EXPECT_LT(max_rel_diff(phi_si, phi_gm), 1e-4);
+}
+
+TEST(TransportGmres, CycleLaggedSweepsAgreeWithSi) {
+  // Strong twist forces sweep cycles; lag-scc breaks them with lagged
+  // faces whose frozen-coupling treatment the gmres inners must respect.
+  api::ProblemBuilder builder;
+  builder
+      .mesh({.dims = {6, 6, 3},
+             .twist = 2.5,
+             .shuffle_seed = 0,
+             .cycle_strategy = sweep::CycleStrategy::LagScc})
+      .angular({.nang = 4,
+                .quadrature = angular::QuadratureKind::Product})
+      .materials({.num_groups = 1, .mat_opt = 0, .scattering_ratio = 0.5})
+      .source({.src_opt = 1});
+  builder.iteration(
+      converge_spec(snap::IterationScheme::SourceIteration));
+  const std::vector<double> phi_si = solve_flux(builder);
+
+  builder.iteration(converge_spec(snap::IterationScheme::Gmres));
+  const std::vector<double> phi_gm = solve_flux(builder);
+  EXPECT_LT(max_rel_diff(phi_si, phi_gm), 1e-3);
+}
+
+TEST(TransportGmres, BitwiseInvariantAcrossConcurrencySchemes) {
+  // The Krylov reductions are serial by design, and the sweeps are
+  // thread-bitwise-invariant (PR 2's battery), so the whole gmres solve
+  // must produce bit-identical fluxes across concurrency schemes.
+  api::ProblemBuilder builder = base_deck();
+  builder.iteration(converge_spec(snap::IterationScheme::Gmres));
+  builder.execution({.scheme = snap::ConcurrencyScheme::Serial,
+                     .num_threads = 1});
+  const std::vector<double> serial = solve_flux(builder);
+
+  builder.execution({.scheme = snap::ConcurrencyScheme::ElementsGroups,
+                     .num_threads = 3});
+  const std::vector<double> threaded = solve_flux(builder);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    ASSERT_EQ(serial[i], threaded[i]) << "flux entry " << i;
+}
+
+TEST(TransportGmres, TinyInnerBudgetStillProgresses) {
+  api::ProblemBuilder builder = base_deck();
+  builder.iteration({.epsi = 1e-6,
+                     .iitm = 1,  // below the gmres floor of 4 sweeps
+                     .oitm = 60,
+                     .fixed_iterations = false,
+                     .scheme = snap::IterationScheme::Gmres});
+  core::IterationResult gm;
+  const std::vector<double> phi_gm = solve_flux(builder, &gm);
+
+  builder.iteration(
+      converge_spec(snap::IterationScheme::SourceIteration));
+  const std::vector<double> phi_si = solve_flux(builder);
+  EXPECT_LT(max_rel_diff(phi_si, phi_gm), 1e-4);
+}
+
+TEST(TransportGmres, FixedIterationRunsAreDeterministic) {
+  api::ProblemBuilder builder = base_deck();
+  builder.iteration({.epsi = 1e-6,
+                     .iitm = 12,
+                     .oitm = 2,
+                     .fixed_iterations = true,
+                     .scheme = snap::IterationScheme::Gmres});
+  const api::Problem problem = builder.build();
+  std::vector<double> runs[2];
+  int sweeps[2] = {0, 0};
+  for (int k = 0; k < 2; ++k) {
+    const auto solver = problem.make_solver();
+    const core::IterationResult result = solver->run();
+    sweeps[k] = result.sweeps;
+    const core::NodalField& phi = solver->scalar_flux();
+    runs[k].assign(phi.data(), phi.data() + phi.size());
+  }
+  EXPECT_EQ(sweeps[0], sweeps[1]);
+  EXPECT_LE(sweeps[0], 2 * 12);  // the shared iitm sweep budget binds
+  ASSERT_EQ(runs[0].size(), runs[1].size());
+  for (std::size_t i = 0; i < runs[0].size(); ++i)
+    ASSERT_EQ(runs[0][i], runs[1][i]);
+}
+
+// ---- the diffusive acceptance bound --------------------------------------
+
+TEST(TransportGmres, DiffusiveDeckAcceptance) {
+  // The diffusive scenario's deck (tests/diffusive_deck.hpp) at c = 0.99:
+  // a 16 mfp scattering shield.
+  api::ProblemBuilder builder = testing::diffusive_builder(0.99, 4, 12);
+
+  core::IterationResult results[2];
+  std::vector<double> fluxes[2];
+  for (const snap::IterationScheme scheme :
+       {snap::IterationScheme::SourceIteration,
+        snap::IterationScheme::Gmres}) {
+    builder.iteration({.epsi = 1e-6,
+                       .iitm = 600,
+                       .oitm = 5,
+                       .fixed_iterations = false,
+                       .scheme = scheme,
+                       .gmres_restart = 40});
+    const api::Problem problem = builder.build();
+    const auto solver = problem.make_solver();
+    const std::size_t which =
+        scheme == snap::IterationScheme::Gmres ? 1 : 0;
+    results[which] = solver->run();
+    const core::NodalField& phi = solver->scalar_flux();
+    fluxes[which].assign(phi.data(), phi.data() + phi.size());
+  }
+  const core::IterationResult& si = results[0];
+  const core::IterationResult& gm = results[1];
+
+  ASSERT_TRUE(gm.converged);
+  // The acceptance bound: GMRES in <= 15% of SI's sweeps — or SI failed
+  // to converge inside its budget at all.
+  if (si.converged) {
+    EXPECT_LE(gm.sweeps, static_cast<int>(0.15 * si.sweeps))
+        << "si " << si.sweeps << " sweeps vs gmres " << gm.sweeps;
+    EXPECT_LT(max_rel_diff(fluxes[0], fluxes[1]), 1e-3);
+  }
+  // Regardless, GMRES must be squarely in the O(10)-sweeps regime.
+  EXPECT_LE(gm.sweeps, 60);
+}
+
+}  // namespace
+}  // namespace unsnap

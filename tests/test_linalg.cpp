@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/blas_like.hpp"
 #include "linalg/gauss_elim.hpp"
 #include "linalg/invert.hpp"
 #include "linalg/lu.hpp"
@@ -246,6 +247,43 @@ TEST(Flops, PaperSolveCostFormula) {
   // Paper §II-C: dgesv costs 0.67 N^3, over 300 FLOPs at N = 8.
   EXPECT_GT(flops_lu_solve(8), 300.0);
   EXPECT_NEAR(flops_lu_solve(100) / 1e6, 0.6867, 0.01);
+}
+
+// ---- level-1 kernels behind the matrix-free Krylov solvers ---------------
+
+TEST(BlasLike, DotAndNormOnEmptyVectors) {
+  EXPECT_EQ(dot({}, {}), 0.0);
+  EXPECT_EQ(norm2({}), 0.0);
+}
+
+TEST(BlasLike, AxpyAndScalOnEmptyVectorsAreNoops) {
+  std::vector<double> empty;
+  EXPECT_NO_THROW(axpy(2.0, empty, empty));
+  EXPECT_NO_THROW(scal(2.0, empty));
+}
+
+TEST(BlasLike, LengthOneVectors) {
+  const std::vector<double> x{3.0};
+  std::vector<double> y{-2.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), -6.0);
+  EXPECT_DOUBLE_EQ(norm2(x), 3.0);
+  axpy(2.0, x, y);  // y = -2 + 2 * 3
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  scal(-0.5, y);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+}
+
+TEST(BlasLike, KnownValues) {
+  const std::vector<double> x{1.0, -2.0, 3.0, -4.0};
+  std::vector<double> y{0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(dot(x, x), 30.0);
+  EXPECT_DOUBLE_EQ(norm2(x), std::sqrt(30.0));
+  EXPECT_DOUBLE_EQ(dot(x, y), -1.0);
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.5);
+  EXPECT_DOUBLE_EQ(y[3], -7.5);
+  scal(2.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
 }
 
 }  // namespace

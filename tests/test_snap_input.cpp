@@ -52,6 +52,26 @@ TEST(InputStrings, UnknownCycleStrategyThrows) {
   EXPECT_THROW(sweep::cycle_strategy_from_string(""), InvalidInput);
 }
 
+TEST(InputStrings, IterationSchemeRoundTrips) {
+  for (const IterationScheme scheme :
+       {IterationScheme::SourceIteration, IterationScheme::Gmres})
+    EXPECT_EQ(iteration_scheme_from_string(to_string(scheme)), scheme);
+}
+
+TEST(InputStrings, IterationSchemeNamesAreStable) {
+  EXPECT_EQ(to_string(IterationScheme::SourceIteration),
+            "source-iteration");
+  EXPECT_EQ(to_string(IterationScheme::Gmres), "gmres");
+  EXPECT_EQ(iteration_scheme_from_string("si"),
+            IterationScheme::SourceIteration);
+}
+
+TEST(InputStrings, UnknownIterationSchemeThrows) {
+  EXPECT_THROW((void)iteration_scheme_from_string("GMRES"), InvalidInput);
+  EXPECT_THROW((void)iteration_scheme_from_string("krylov"), InvalidInput);
+  EXPECT_THROW((void)iteration_scheme_from_string(""), InvalidInput);
+}
+
 TEST(InputStrings, UnknownLayoutThrows) {
   EXPECT_THROW(layout_from_string("gae"), InvalidInput);
   EXPECT_THROW(layout_from_string(""), InvalidInput);
@@ -112,6 +132,51 @@ TEST(InputValidate, RejectsNmomBeyondAngleCount) {
   input.nmom = 3;  // in 1..6 but unresolvable by two angles per octant
   EXPECT_THROW(input.validate(), InvalidInput);
   input.nmom = 2;
+  EXPECT_NO_THROW(input.validate());
+}
+
+TEST(InputValidate, RejectsNonPositiveEpsi) {
+  Input input = valid_input();
+  input.epsi = 0.0;
+  EXPECT_THROW(input.validate(), InvalidInput);
+  input.epsi = -1e-6;
+  EXPECT_THROW(input.validate(), InvalidInput);
+}
+
+TEST(InputValidate, RejectsNonPositiveIterationCounts) {
+  Input input = valid_input();
+  input.iitm = 0;
+  EXPECT_THROW(input.validate(), InvalidInput);
+  input = valid_input();
+  input.oitm = -1;
+  EXPECT_THROW(input.validate(), InvalidInput);
+}
+
+TEST(InputValidate, RejectsNonPositiveGmresControls) {
+  Input input = valid_input();
+  input.gmres_restart = 0;
+  EXPECT_THROW(input.validate(), InvalidInput);
+  input = valid_input();
+  input.gmres_restart = -3;
+  EXPECT_THROW(input.validate(), InvalidInput);
+  input = valid_input();
+  input.gmres_max_iters = 0;
+  EXPECT_THROW(input.validate(), InvalidInput);
+  input = valid_input();
+  input.gmres_max_iters = -1;
+  EXPECT_THROW(input.validate(), InvalidInput);
+  // The controls are validated regardless of the selected scheme.
+  input = valid_input();
+  input.iteration_scheme = IterationScheme::SourceIteration;
+  input.gmres_restart = 0;
+  EXPECT_THROW(input.validate(), InvalidInput);
+}
+
+TEST(InputValidate, AcceptsGmresScheme) {
+  Input input = valid_input();
+  input.iteration_scheme = IterationScheme::Gmres;
+  input.gmres_restart = 5;
+  input.gmres_max_iters = 50;
   EXPECT_NO_THROW(input.validate());
 }
 
