@@ -48,11 +48,29 @@ double max_pointwise_change(std::span<const double> delta,
   return worst;
 }
 
-core::IterationResult run_gmres(core::TransportSolver& solver) {
+core::IterationResult run_gmres(core::TransportSolver& solver,
+                                const DistributedHooks* hooks) {
   const snap::Input& input = solver.input();
   core::IterationResult result;
   Stopwatch total;
   total.start();
+
+  // Serial defaults for the distributable seams (see DistributedHooks).
+  const auto sweep_frozen = [&] {
+    if (hooks != nullptr && hooks->sweep_frozen) hooks->sweep_frozen();
+    else solver.sweep_frozen_coupling();
+  };
+  const auto refresh = [&] {
+    if (hooks != nullptr && hooks->refresh) hooks->refresh();
+    else solver.refresh_lagged_couplings();
+  };
+  const auto rmax = [&](double v) {
+    return hooks != nullptr && hooks->reduce_max ? hooks->reduce_max(v) : v;
+  };
+  const auto nrm = [&](std::span<const double> v) {
+    return hooks != nullptr && hooks->norm2 ? hooks->norm2(v)
+                                            : linalg::norm2(v);
+  };
 
   const std::size_t n = flux_vector_size(solver);
   // SNAP's convergence measures watch the scalar flux only (the l > 0
@@ -80,7 +98,7 @@ core::IterationResult run_gmres(core::TransportSolver& solver) {
     std::fill(b.begin(), b.end(), 0.0);
     scatter_flux(solver, b);
     solver.update_inner_source();
-    solver.sweep_frozen_coupling();
+    sweep_frozen();
     ++sweeps;
     gather_flux(solver, b);
 
@@ -88,13 +106,17 @@ core::IterationResult run_gmres(core::TransportSolver& solver) {
     options.max_iters = input.gmres_max_iters;
     options.max_applies = krylov_applies;
     if (!input.fixed_iterations) options.rel_tol = 0.1 * input.epsi;
+    if (hooks != nullptr) {
+      options.dot = hooks->dot;
+      options.norm2 = hooks->norm2;
+    }
     // The true residual r = F(x) - x is exactly the next source-iteration
     // step, so SNAP's pointwise inner test applies verbatim. Record it per
     // restart cycle; under fixed iterations record but never stop early.
     options.converged_test = [&](std::span<const double> xk,
                                  std::span<const double> r) {
       const double change =
-          max_pointwise_change(r.first(nphi), xk.first(nphi));
+          rmax(max_pointwise_change(r.first(nphi), xk.first(nphi)));
       result.inner_history.push_back(change);
       return !input.fixed_iterations && change < input.epsi;
     };
@@ -103,7 +125,7 @@ core::IterationResult run_gmres(core::TransportSolver& solver) {
                                   std::span<double> y) {
       scatter_flux(solver, v);
       solver.update_inner_source();
-      solver.sweep_frozen_coupling();
+      sweep_frozen();
       ++sweeps;
       gather_flux(solver, y);  // y = F(v)
       for (std::size_t i = 0; i < y.size(); ++i) y[i] = v[i] - y[i] + b[i];
@@ -111,7 +133,7 @@ core::IterationResult run_gmres(core::TransportSolver& solver) {
 
     const KrylovResult inner = workspace.solve(op, b, x, options);
     result.krylov_iters += inner.iterations;
-    const double bnorm = linalg::norm2(b);
+    const double bnorm = nrm(b);
     for (const double r : inner.residual_history)
       result.residual_history.push_back(bnorm > 0.0 ? r / bnorm : r);
 
@@ -120,24 +142,24 @@ core::IterationResult run_gmres(core::TransportSolver& solver) {
     // per-iteration bookkeeping.
     scatter_flux(solver, x);
     solver.update_inner_source();
-    solver.sweep_frozen_coupling();
+    sweep_frozen();
     ++sweeps;
-    solver.refresh_lagged_couplings();
+    refresh();
     gather_flux(solver, fx);
 
     for (std::size_t i = 0; i < nphi; ++i) diff[i] = fx[i] - x[i];
-    result.final_inner_change = max_pointwise_change(
+    result.final_inner_change = rmax(max_pointwise_change(
         std::span<const double>(diff).first(nphi),
-        std::span<const double>(x).first(nphi));
+        std::span<const double>(x).first(nphi)));
     result.inner_history.push_back(result.final_inner_change);
     result.inners += sweeps;
     result.sweeps += sweeps;
     ++result.outers;
 
     for (std::size_t i = 0; i < nphi; ++i) diff[i] = fx[i] - phi_outer[i];
-    result.final_outer_change = max_pointwise_change(
+    result.final_outer_change = rmax(max_pointwise_change(
         std::span<const double>(diff).first(nphi),
-        std::span<const double>(phi_outer).first(nphi));
+        std::span<const double>(phi_outer).first(nphi)));
     // Same tests as the SI loop: SNAP's outer test is 100x looser.
     if (result.final_outer_change < 100.0 * input.epsi &&
         result.final_inner_change < input.epsi) {

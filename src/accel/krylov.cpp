@@ -54,9 +54,15 @@ KrylovResult Gmres::solve(const LinearOperator& op, std::span<const double> b,
                           const KrylovOptions& options) {
   require(b.size() == n_ && x.size() == n_,
           "gmres: vector length does not match the workspace");
+  const auto nrm = [&](std::span<const double> v) {
+    return options.norm2 ? options.norm2(v) : linalg::norm2(v);
+  };
+  const auto dotf = [&](std::span<const double> a,
+                        std::span<const double> v) {
+    return options.dot ? options.dot(a, v) : linalg::dot(a, v);
+  };
   KrylovResult result;
-  double target =
-      std::max(options.abs_tol, options.rel_tol * linalg::norm2(b));
+  double target = std::max(options.abs_tol, options.rel_tol * nrm(b));
   last_cycle_size_ = 0;
 
   while (true) {
@@ -65,7 +71,7 @@ KrylovResult Gmres::solve(const LinearOperator& op, std::span<const double> b,
     op(x, w_);
     ++result.applies;
     for (std::size_t i = 0; i < n_; ++i) r_[i] = b[i] - w_[i];
-    const double beta = linalg::norm2(r_);
+    const double beta = nrm(r_);
     result.residual_history.push_back(beta);
     if (residual_converged(options, x, r_, beta, target)) {
       result.converged = true;
@@ -88,12 +94,12 @@ KrylovResult Gmres::solve(const LinearOperator& op, std::span<const double> b,
       op({vec(j), n_}, w_);
       ++result.applies;
       ++result.iterations;
-      const double wnorm = linalg::norm2(w_);
+      const double wnorm = nrm(w_);
       for (int i = 0; i <= j; ++i) {
-        h(i, j) = linalg::dot(w_, {vec(i), n_});
+        h(i, j) = dotf(w_, {vec(i), n_});
         linalg::axpy(-h(i, j), {vec(i), n_}, w_);
       }
-      const double hsub = linalg::norm2(w_);
+      const double hsub = nrm(w_);
       h(j + 1, j) = hsub;
       happy = hsub <= 1e-14 * wnorm;  // Krylov space is invariant: exact solve
       if (!happy) {
@@ -140,16 +146,18 @@ KrylovResult richardson(const LinearOperator& op, std::span<const double> b,
                         std::span<double> x, const KrylovOptions& options) {
   require(b.size() == x.size(),
           "richardson: b and x lengths do not match");
+  const auto nrm = [&](std::span<const double> v) {
+    return options.norm2 ? options.norm2(v) : linalg::norm2(v);
+  };
   KrylovResult result;
   const std::size_t n = b.size();
   std::vector<double> w(n), r(n);
-  double target =
-      std::max(options.abs_tol, options.rel_tol * linalg::norm2(b));
+  double target = std::max(options.abs_tol, options.rel_tol * nrm(b));
   while (result.applies < options.max_applies) {
     op(x, w);
     ++result.applies;
     for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - w[i];
-    const double beta = linalg::norm2(r);
+    const double beta = nrm(r);
     result.residual_history.push_back(beta);
     if (residual_converged(options, x, r, beta, target)) {
       result.converged = true;

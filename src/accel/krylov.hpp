@@ -35,6 +35,14 @@ struct KrylovOptions {
   /// which the 2-norm tests cannot express.
   std::function<bool(std::span<const double> x, std::span<const double> r)>
       converged_test;
+  /// Replacement inner product / norm (default: the serial linalg
+  /// kernels). A distributed caller supplies globally-reduced versions so
+  /// each rank can run the same recurrence over its slice of a partitioned
+  /// vector: every rank then sees identical scalars and the per-rank
+  /// iterates stay in lockstep (see comm::DistributedSweepSolver).
+  std::function<double(std::span<const double>, std::span<const double>)>
+      dot;
+  std::function<double(std::span<const double>)> norm2;
 };
 
 struct KrylovResult {

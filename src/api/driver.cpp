@@ -15,9 +15,10 @@ void print_usage() {
   std::printf(
       "unsnap — declarative scenario driver for the UnSNAP mini-app\n\n"
       "usage:\n"
-      "  unsnap --list-scenarios            list registered scenarios\n"
+      "  unsnap --list                      list registered scenarios\n"
       "  unsnap --scenario <name> [opts]    run one scenario\n"
-      "  unsnap --scenario <name> --help    show a scenario's options\n");
+      "  unsnap --scenario <name> --help    show a scenario's options\n"
+      "\nthe catalog with decks and expected output: docs/SCENARIOS.md\n");
 }
 
 void list_scenarios() {
@@ -46,7 +47,7 @@ int run_driver(int argc, const char* const* argv) {
     std::vector<const char*> forwarded{"unsnap"};
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
-      if (arg == "--list-scenarios") {
+      if (arg == "--list" || arg == "--list-scenarios") {
         list_scenarios();
         return 0;
       }
@@ -66,7 +67,7 @@ int run_driver(int argc, const char* const* argv) {
         return 0;
       }
       throw InvalidInput("unexpected argument: " + arg +
-                         " (expected --list-scenarios or --scenario)");
+                         " (expected --list or --scenario)");
     }
     if (scenario_name.empty()) {
       print_usage();

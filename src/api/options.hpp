@@ -87,6 +87,18 @@ struct IterationSpec {
   int gmres_max_iters = 100;  // Krylov iterations per inner solve
 };
 
+/// KBA rank decomposition for the distributed (simulated-MPI) drivers in
+/// src/comm/: px * py rank columns over the x-y plane, plus the
+/// halo-exchange discipline (the paper's stale-halo block Jacobi schedule
+/// or the pipelined exchange with single-domain iteration counts).
+/// Single-domain scenarios ignore px/py; the exchange choice is lowered
+/// onto snap::Input::sweep_exchange either way.
+struct DecompositionSpec {
+  int px = 1;
+  int py = 1;
+  snap::SweepExchange exchange = snap::SweepExchange::BlockJacobi;
+};
+
 /// Execution configuration: the performance-study axes of the paper.
 struct ExecutionSpec {
   snap::FluxLayout layout = snap::FluxLayout::AngleElementGroup;

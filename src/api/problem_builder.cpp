@@ -84,6 +84,13 @@ ProblemBuilder& ProblemBuilder::execution(ExecutionSpec spec) {
   return *this;
 }
 
+ProblemBuilder& ProblemBuilder::decomposition(DecompositionSpec spec) {
+  require(spec.px >= 1 && spec.py >= 1,
+          "decomposition: px and py must be positive");
+  decomposition_ = spec;
+  return *this;
+}
+
 ProblemBuilder ProblemBuilder::from_input(const snap::Input& input) {
   input.validate();
   ProblemBuilder b;
@@ -102,6 +109,7 @@ ProblemBuilder ProblemBuilder::from_input(const snap::Input& input) {
                   input.gmres_max_iters};
   b.execution_ = {input.layout, input.scheme, input.solver,
                   input.num_threads, input.time_solve};
+  b.decomposition_.exchange = input.sweep_exchange;
   return b;
 }
 
@@ -153,6 +161,7 @@ snap::Input ProblemBuilder::lower() const {
   input.solver = execution_.solver;
   input.num_threads = execution_.num_threads;
   input.time_solve = execution_.time_solve;
+  input.sweep_exchange = decomposition_.exchange;
   return input;
 }
 

@@ -36,6 +36,7 @@ class ProblemBuilder {
   ProblemBuilder& all_boundaries(snap::Input::Bc bc);
   ProblemBuilder& iteration(IterationSpec spec);
   ProblemBuilder& execution(ExecutionSpec spec);
+  ProblemBuilder& decomposition(DecompositionSpec spec);
 
   [[nodiscard]] const MeshSpec& mesh() const { return mesh_; }
   [[nodiscard]] const AngularSpec& angular() const { return angular_; }
@@ -44,6 +45,9 @@ class ProblemBuilder {
   [[nodiscard]] const BoundarySpec& boundaries() const { return boundary_; }
   [[nodiscard]] const IterationSpec& iteration() const { return iteration_; }
   [[nodiscard]] const ExecutionSpec& execution() const { return execution_; }
+  [[nodiscard]] const DecompositionSpec& decomposition() const {
+    return decomposition_;
+  }
 
   /// Adapter from the legacy flat deck: every Input is expressible.
   [[nodiscard]] static ProblemBuilder from_input(const snap::Input& input);
@@ -74,6 +78,7 @@ class ProblemBuilder {
   BoundarySpec boundary_;
   IterationSpec iteration_;
   ExecutionSpec execution_;
+  DecompositionSpec decomposition_;
 
   /// True when any custom-route field (explicit cross sections, material
   /// map, source profile) is set.

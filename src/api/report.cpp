@@ -2,6 +2,7 @@
 
 #include <omp.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -101,6 +102,46 @@ void print_schedule_report(const core::TransportSolver& solver) {
               stats.total_lagged);
   std::printf("  parallelism   %.0f%% modelled efficiency at %d threads\n",
               100.0 * stats.parallel_efficiency, threads);
+}
+
+void print_decomposition_report(const comm::DistributedSweepSolver& solver,
+                                const comm::DistributedSweepResult& result) {
+  const mesh::Partition& part = solver.partition();
+  std::printf("distributed sweep: %dx%d KBA ranks, %s exchange\n",
+              part.px, part.py,
+              snap::to_string(solver.exchange()).c_str());
+  std::printf("  %s after %d inners / %d outers "
+              "(last inner change %.3e), %.4f s\n",
+              result.converged ? "converged" : "NOT converged",
+              result.inners, result.outers, result.final_inner_change,
+              result.total_seconds);
+  if (result.krylov_iters > 0)
+    std::printf("  gmres: %d Krylov iters over %d sweeps per rank\n",
+                result.krylov_iters, result.sweeps);
+  if (solver.exchange() != snap::SweepExchange::Pipelined) return;
+
+  std::printf("  pipeline      %d stage%s deep (worst octant), "
+              "%d lagged rank edge%s\n",
+              result.pipeline_stages, result.pipeline_stages == 1 ? "" : "s",
+              result.lagged_rank_edges,
+              result.lagged_rank_edges == 1 ? "" : "s");
+  std::printf("  modelled      %.0f%% pipeline efficiency "
+              "(unit-time rank sweeps)\n",
+              100.0 * result.modelled_pipeline_efficiency);
+  double worst = 0.0, sum_idle = 0.0, sum_busy = 0.0;
+  for (std::size_t r = 0; r < result.rank_idle_seconds.size(); ++r) {
+    const double idle = result.rank_idle_seconds[r];
+    const double busy = result.rank_sweep_seconds[r];
+    sum_idle += idle;
+    sum_busy += busy;
+    if (idle + busy > 0.0) worst = std::max(worst, idle / (idle + busy));
+  }
+  const double mean = sum_idle + sum_busy > 0.0
+                          ? sum_idle / (sum_idle + sum_busy)
+                          : 0.0;
+  std::printf("  measured idle mean %.0f%%, worst rank %.0f%% "
+              "(halo waits / (waits + sweep))\n",
+              100.0 * mean, 100.0 * worst);
 }
 
 void print_standard_report(const core::TransportSolver& solver,

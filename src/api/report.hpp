@@ -3,6 +3,7 @@
 #include <functional>
 #include <vector>
 
+#include "comm/distributed.hpp"
 #include "core/transport_solver.hpp"
 
 namespace unsnap::api {
@@ -45,6 +46,15 @@ void print_schedule_report(const core::TransportSolver& solver);
 /// All four in order (the default scenario epilogue).
 void print_standard_report(const core::TransportSolver& solver,
                            const core::IterationResult& result);
+
+/// Distributed-sweep block: rank grid and exchange discipline, iteration
+/// outcome, and — for the pipelined exchange — the per-octant pipeline
+/// depth, cycle-broken rank edges, modelled pipeline efficiency and the
+/// measured per-rank idle fractions (time blocked at the halo boundary /
+/// total). This is how a decomposition study reads whether its sweep time
+/// went into fill/drain idling or useful work.
+void print_decomposition_report(const comm::DistributedSweepSolver& solver,
+                                const comm::DistributedSweepResult& result);
 
 /// Volume-average scalar flux per group — the quickstart's summary table.
 [[nodiscard]] std::vector<double> group_volume_averages(

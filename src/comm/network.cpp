@@ -51,15 +51,68 @@ std::vector<double> Network::recv(int dst, int src, int tag) {
   return payload;
 }
 
+bool Network::probe(int dst, int src, int tag) {
+  UNSNAP_ASSERT(dst >= 0 && dst < num_ranks_);
+  check_aborted();
+  Mailbox& box = *mailboxes_[dst];
+  const std::lock_guard lock(box.mutex);
+  const auto it = box.queues.find(std::make_pair(src, tag));
+  return it != box.queues.end() && !it->second.empty();
+}
+
+std::optional<std::vector<double>> Network::try_recv(int dst, int src,
+                                                     int tag) {
+  UNSNAP_ASSERT(dst >= 0 && dst < num_ranks_);
+  check_aborted();
+  Mailbox& box = *mailboxes_[dst];
+  const std::lock_guard lock(box.mutex);
+  const auto it = box.queues.find(std::make_pair(src, tag));
+  if (it == box.queues.end() || it->second.empty()) return std::nullopt;
+  std::vector<double> payload = std::move(it->second.front());
+  it->second.pop_front();
+  return payload;
+}
+
+std::pair<std::pair<int, int>, std::vector<double>> Network::recv_any(
+    int dst, const std::vector<std::pair<int, int>>& keys) {
+  UNSNAP_ASSERT(dst >= 0 && dst < num_ranks_);
+  UNSNAP_ASSERT(!keys.empty());
+  Mailbox& box = *mailboxes_[dst];
+  std::unique_lock lock(box.mutex);
+  std::pair<int, int> ready{};
+  box.ready.wait(lock, [&] {
+    if (aborted_.load(std::memory_order_acquire)) return true;
+    for (const auto& key : keys) {
+      const auto it = box.queues.find(key);
+      if (it != box.queues.end() && !it->second.empty()) {
+        ready = key;
+        return true;
+      }
+    }
+    return false;
+  });
+  check_aborted();
+  auto& queue = box.queues[ready];
+  std::vector<double> payload = std::move(queue.front());
+  queue.pop_front();
+  return {ready, std::move(payload)};
+}
+
 template <typename Op>
 double Network::allreduce(double value, Op op, double init) {
   std::unique_lock lock(coll_mutex_);
   check_aborted();
-  if (coll_count_ == 0) coll_acc_ = init;
-  coll_acc_ = op(coll_acc_, value);
+  if (coll_count_ == 0) coll_values_.clear();
+  coll_values_.push_back(value);
   ++coll_count_;
   if (coll_count_ == num_ranks_) {
-    coll_result_ = coll_acc_;
+    // Fold in ascending value order: arrival order is scheduler-dependent,
+    // and the float sum is not associative — sorting first makes every
+    // reduction bit-deterministic run-to-run.
+    std::sort(coll_values_.begin(), coll_values_.end());
+    double acc = init;
+    for (const double v : coll_values_) acc = op(acc, v);
+    coll_result_ = acc;
     coll_count_ = 0;
     ++coll_generation_;
     coll_ready_.notify_all();

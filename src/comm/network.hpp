@@ -7,6 +7,8 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <utility>
 #include <vector>
 
 namespace unsnap::comm {
@@ -14,9 +16,10 @@ namespace unsnap::comm {
 /// In-process message-passing fabric standing in for MPI (no MPI library is
 /// available offline; see DESIGN.md §3). Ranks are threads; messages are
 /// tagged payload vectors moved through per-destination mailboxes with
-/// MPI-like matching on (source, tag). Only the semantics the block Jacobi
-/// schedule needs are implemented: blocking send/recv, barrier and max/sum
-/// allreduce.
+/// MPI-like matching on (source, tag). Implemented semantics are what the
+/// distributed sweep drivers need: blocking send/recv, the nonblocking
+/// probe/try_recv pair the pipelined schedule polls with, barrier and
+/// max/sum allreduce.
 class Network {
  public:
   explicit Network(int num_ranks);
@@ -33,10 +36,33 @@ class Network {
   /// Throws NumericalError if the network was aborted while waiting.
   std::vector<double> recv(int dst, int src, int tag);
 
+  /// Nonblocking MPI_Iprobe analogue: true iff recv(dst, src, tag) would
+  /// return without blocking. Throws NumericalError once the network has
+  /// been aborted, so a rank polling in a probe loop unblocks like one
+  /// parked in recv.
+  [[nodiscard]] bool probe(int dst, int src, int tag);
+
+  /// Nonblocking receive: pop the front message of (src, tag) if one is
+  /// queued (FIFO per key, same ordering as recv), nullopt otherwise.
+  /// Throws NumericalError once the network has been aborted.
+  std::optional<std::vector<double>> try_recv(int dst, int src, int tag);
+
+  /// Block until any of the (src, tag) keys has a message queued at dst,
+  /// then pop and return it with its key. Waits on the mailbox condition
+  /// variable (no busy polling, so oversubscribed rank threads do not
+  /// steal CPU from ranks still sweeping); per wake the first ready key
+  /// in list order wins. Throws NumericalError if aborted while waiting.
+  std::pair<std::pair<int, int>, std::vector<double>> recv_any(
+      int dst, const std::vector<std::pair<int, int>>& keys);
+
   /// Collective barrier over all ranks.
   void barrier();
 
-  /// Collective reductions; every rank receives the result.
+  /// Collective reductions; every rank receives the result. The fold runs
+  /// over the contributed values in ascending value order, not arrival
+  /// order, so the result is deterministic run-to-run even for the
+  /// non-associative float sum (the distributed GMRES dot products depend
+  /// on this for bit-reproducibility).
   double allreduce_max(double value);
   double allreduce_sum(double value);
 
@@ -64,7 +90,7 @@ class Network {
   std::condition_variable coll_ready_;
   int coll_count_ = 0;
   long coll_generation_ = 0;
-  double coll_acc_ = 0.0;
+  std::vector<double> coll_values_;
   double coll_result_ = 0.0;
 
   template <typename Op>

@@ -1,0 +1,201 @@
+#include "comm/rank_dag.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "fem/geometry.hpp"
+#include "sweep/scc.hpp"
+#include "util/assert.hpp"
+
+namespace unsnap::comm {
+
+namespace {
+
+/// Total upwind flow per directed rank pair for one octant: edge (u, v)
+/// accumulates |n . omega| over every cross-rank (face, angle) whose flux
+/// crosses from u's element into v's. The face-level rule is the sweep's
+/// is_dependency_edge viewed from the receiving side: incoming on the
+/// owner of e AND outgoing on the neighbour, so grazing both-incoming
+/// faces contribute no edge (they carry ~zero flow and the kernel masks
+/// them to vacuum).
+std::map<std::pair<int, int>, double> edge_flow(
+    const mesh::HexMesh& mesh, const mesh::Partition& partition,
+    const angular::QuadratureSet& quadrature, int oct) {
+  std::map<std::pair<int, int>, double> flow;
+  for (int e = 0; e < mesh.num_elements(); ++e) {
+    const int v = partition.owner[e];
+    for (int f = 0; f < fem::kFacesPerHex; ++f) {
+      const int nbr = mesh.neighbor(e, f);
+      if (nbr == mesh::kNoNeighbor) continue;
+      const int u = partition.owner[nbr];
+      if (u == v) continue;
+      const fem::Vec3 n_mine = mesh.face_area_normal(e, f);
+      const fem::Vec3 n_theirs =
+          mesh.face_area_normal(nbr, mesh.neighbor_face(e, f));
+      for (int a = 0; a < quadrature.per_octant(); ++a) {
+        const fem::Vec3 omega = quadrature.direction(oct, a);
+        const double s_mine = fem::dot(n_mine, omega);
+        if (s_mine < 0.0 && !(fem::dot(n_theirs, omega) < 0.0))
+          flow[{u, v}] += -s_mine;
+      }
+    }
+  }
+  return flow;
+}
+
+std::vector<std::vector<int>> successors(
+    const std::map<std::pair<int, int>, double>& flow,
+    const std::vector<std::pair<int, int>>& lagged, int num_ranks) {
+  std::vector<std::vector<int>> succ(static_cast<std::size_t>(num_ranks));
+  for (const auto& [edge, weight] : flow) {
+    (void)weight;
+    if (std::find(lagged.begin(), lagged.end(), edge) != lagged.end())
+      continue;
+    succ[static_cast<std::size_t>(edge.first)].push_back(edge.second);
+  }
+  return succ;
+}
+
+}  // namespace
+
+RankDag build_rank_dag(const mesh::HexMesh& mesh,
+                       const mesh::Partition& partition,
+                       const angular::QuadratureSet& quadrature) {
+  RankDag dag;
+  dag.num_ranks = partition.num_ranks();
+  const auto nr = static_cast<std::size_t>(dag.num_ranks);
+
+  for (int oct = 0; oct < angular::kOctants; ++oct) {
+    RankDag::OctantGraph& graph = dag.octants[static_cast<std::size_t>(oct)];
+    const auto flow = edge_flow(mesh, partition, quadrature, oct);
+
+    // Rank-granularity feedback-arc breaking, mirroring the element-level
+    // break_cycles_scc: while a non-trivial strongly connected component
+    // survives, lag the internal edge with the smallest total upwind flow
+    // (lowest (src, dst) on ties), then recompute the condensation.
+    std::vector<std::vector<int>> succ =
+        successors(flow, graph.lagged_edges, dag.num_ranks);
+    while (true) {
+      const sweep::SccResult scc =
+          sweep::strongly_connected_components(succ);
+      if (scc.num_nontrivial() == 0) break;
+      bool found = false;
+      std::pair<int, int> best_edge{};
+      double best_flow = 0.0;
+      for (const auto& [edge, weight] : flow) {
+        if (scc.component[static_cast<std::size_t>(edge.first)] !=
+            scc.component[static_cast<std::size_t>(edge.second)])
+          continue;
+        if (std::find(graph.lagged_edges.begin(), graph.lagged_edges.end(),
+                      edge) != graph.lagged_edges.end())
+          continue;
+        if (!found || weight < best_flow ||
+            (weight == best_flow && edge < best_edge)) {
+          found = true;
+          best_edge = edge;
+          best_flow = weight;
+        }
+      }
+      UNSNAP_ASSERT(found);  // a cyclic component always has internal edges
+      graph.lagged_edges.push_back(best_edge);
+      succ = successors(flow, graph.lagged_edges, dag.num_ranks);
+    }
+
+    graph.upstream.assign(nr, {});
+    graph.downstream.assign(nr, {});
+    graph.lagged_upstream.assign(nr, {});
+    graph.lagged_downstream.assign(nr, {});
+    for (const auto& [edge, weight] : flow) {
+      (void)weight;
+      const auto u = static_cast<std::size_t>(edge.first);
+      const auto v = static_cast<std::size_t>(edge.second);
+      if (std::find(graph.lagged_edges.begin(), graph.lagged_edges.end(),
+                    edge) != graph.lagged_edges.end()) {
+        graph.lagged_downstream[u].push_back(edge.second);
+        graph.lagged_upstream[v].push_back(edge.first);
+      } else {
+        graph.downstream[u].push_back(edge.second);
+        graph.upstream[v].push_back(edge.first);
+      }
+    }
+    // std::map iteration already yields sorted edges, so the per-rank lists
+    // come out ascending; keep that as an invariant regardless.
+    for (auto* lists : {&graph.upstream, &graph.downstream,
+                        &graph.lagged_upstream, &graph.lagged_downstream})
+      for (auto& list : *lists) std::sort(list.begin(), list.end());
+
+    // Longest-upstream-chain stages over the (acyclic) pipelined edges.
+    graph.stage.assign(nr, 0);
+    std::vector<int> indegree(nr, 0);
+    for (std::size_t r = 0; r < nr; ++r)
+      indegree[r] = static_cast<int>(graph.upstream[r].size());
+    std::vector<int> ready;
+    for (std::size_t r = 0; r < nr; ++r)
+      if (indegree[r] == 0) ready.push_back(static_cast<int>(r));
+    std::size_t processed = 0;
+    while (!ready.empty()) {
+      std::vector<int> next;
+      for (const int r : ready) {
+        ++processed;
+        for (const int d : graph.downstream[static_cast<std::size_t>(r)]) {
+          auto& stage = graph.stage[static_cast<std::size_t>(d)];
+          stage = std::max(stage, graph.stage[static_cast<std::size_t>(r)] + 1);
+          if (--indegree[static_cast<std::size_t>(d)] == 0)
+            next.push_back(d);
+        }
+      }
+      ready = std::move(next);
+    }
+    UNSNAP_ASSERT(processed == nr);  // the broken graph is acyclic
+    graph.num_stages =
+        1 + *std::max_element(graph.stage.begin(), graph.stage.end());
+  }
+  return dag;
+}
+
+int RankDag::total_lagged_edges() const {
+  int total = 0;
+  for (const OctantGraph& graph : octants)
+    total += static_cast<int>(graph.lagged_edges.size());
+  return total;
+}
+
+int RankDag::max_stages() const {
+  int most = 1;
+  for (const OctantGraph& graph : octants)
+    most = std::max(most, graph.num_stages);
+  return most;
+}
+
+double RankDag::modelled_efficiency() const {
+  if (num_ranks <= 0) return 1.0;
+  const auto nr = static_cast<std::size_t>(num_ranks);
+  // Unit-time event simulation: rank r starts octant o when its own octant
+  // o-1 and the same-octant pipelined upstream sweeps have finished.
+  std::vector<int> prev(nr, 0);
+  int makespan = 0;
+  for (const OctantGraph& graph : octants) {
+    // Stage order is a topological order of the octant DAG.
+    std::vector<int> order(nr);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const int sa = graph.stage[static_cast<std::size_t>(a)];
+      const int sb = graph.stage[static_cast<std::size_t>(b)];
+      return sa != sb ? sa < sb : a < b;
+    });
+    std::vector<int> finish(nr, 0);
+    for (const int r : order) {
+      int start = prev[static_cast<std::size_t>(r)];
+      for (const int u : graph.upstream[static_cast<std::size_t>(r)])
+        start = std::max(start, finish[static_cast<std::size_t>(u)]);
+      finish[static_cast<std::size_t>(r)] = start + 1;
+      makespan = std::max(makespan, finish[static_cast<std::size_t>(r)]);
+    }
+    prev = std::move(finish);
+  }
+  return static_cast<double>(angular::kOctants) /
+         static_cast<double>(makespan);
+}
+
+}  // namespace unsnap::comm

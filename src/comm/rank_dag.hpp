@@ -1,0 +1,65 @@
+#pragma once
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "angular/quadrature.hpp"
+#include "mesh/partition.hpp"
+
+namespace unsnap::comm {
+
+/// Rank-level dependency DAG of the distributed sweep: one directed graph
+/// per octant over the KBA ranks, derived from the cross-rank faces of a
+/// mesh::Partition. An edge u -> v means some (face, angle) of the octant
+/// carries upwind flux from u's elements into v's, so a pipelined exchange
+/// must deliver u's octant traces before v sweeps that octant.
+///
+/// On brick decks every octant graph is the acyclic diagonal wavefront of
+/// the rank grid. On strongly twisted decks faces can rotate far enough
+/// that the two directions of a rank pair both carry flow under one octant
+/// — a rank-granularity cycle, the same pathology the element-level SCC
+/// machinery (sweep::scc) handles inside a domain. Those cycles are broken
+/// the same way: Tarjan condensation over the rank graph, then lag the
+/// internal edge with the smallest total upwind flow (ties on the lowest
+/// (src, dst) pair, so the construction is deterministic) until acyclic.
+/// Lagged edges fall back to block-Jacobi semantics — their halo traffic is
+/// consumed one iteration late.
+struct RankDag {
+  struct OctantGraph {
+    // Pipelined edges (the DAG): per rank, who must be waited for / fed
+    // within the same iteration. Sorted ascending.
+    std::vector<std::vector<int>> upstream;
+    std::vector<std::vector<int>> downstream;
+    // Cycle-broken edges: halo data crosses them one iteration stale.
+    std::vector<std::vector<int>> lagged_upstream;
+    std::vector<std::vector<int>> lagged_downstream;
+    /// The broken (src, dst) edges in the order the SCC breaker removed
+    /// them (empty on acyclic decks).
+    std::vector<std::pair<int, int>> lagged_edges;
+    /// Pipeline stage of each rank: longest pipelined upstream chain.
+    /// Stage-0 ranks start sweeping the octant immediately.
+    std::vector<int> stage;
+    int num_stages = 1;
+  };
+
+  int num_ranks = 0;
+  std::array<OctantGraph, angular::kOctants> octants;
+
+  [[nodiscard]] int total_lagged_edges() const;
+  /// Deepest pipeline over the octants (fill + drain cost of the worst
+  /// octant).
+  [[nodiscard]] int max_stages() const;
+  /// Modelled pipeline efficiency with unit-time rank sweeps: each rank
+  /// starts octant o once its own octant o-1 and its same-octant pipelined
+  /// upstream ranks have finished; efficiency = useful rank-sweeps /
+  /// (num_ranks x makespan). 1.0 = no rank ever idles (1x1 grids);
+  /// fill/drain of the octant pipelines pulls it down.
+  [[nodiscard]] double modelled_efficiency() const;
+};
+
+[[nodiscard]] RankDag build_rank_dag(const mesh::HexMesh& mesh,
+                                     const mesh::Partition& partition,
+                                     const angular::QuadratureSet& quadrature);
+
+}  // namespace unsnap::comm

@@ -199,29 +199,40 @@ void Sweeper::sweep_octant_angles_atomic(const SweepState& state, int oct) {
   }
 }
 
-void Sweeper::sweep(SweepState& state) {
+void Sweeper::sweep_begin(SweepState& state) {
   UNSNAP_ASSERT(state.psi != nullptr && state.phi != nullptr &&
                 state.qin != nullptr);
   state.phi->fill(0.0);
   if (state.phi_hi != nullptr)
     for (auto& field : *state.phi_hi) field.fill(0.0);
   for (auto& ctx : contexts_) ctx.solve_seconds = 0.0;
+  sweep_seconds_ = 0.0;
+}
 
+void Sweeper::sweep_octant(SweepState& state, int oct) {
   Stopwatch watch;
   watch.start();
   const int nang = assembler_->discretization().nang();
-  for (int oct = 0; oct < angular::kOctants; ++oct) {
-    if (config_.scheme == ConcurrencyScheme::AnglesAtomic) {
-      sweep_octant_angles_atomic(state, oct);
-    } else if (config_.scheme == ConcurrencyScheme::AngleBatch) {
-      sweep_octant_batched(state, oct);
-    } else {
-      for (int a = 0; a < nang; ++a) sweep_angle(state, oct, a);
-    }
+  if (config_.scheme == ConcurrencyScheme::AnglesAtomic) {
+    sweep_octant_angles_atomic(state, oct);
+  } else if (config_.scheme == ConcurrencyScheme::AngleBatch) {
+    sweep_octant_batched(state, oct);
+  } else {
+    for (int a = 0; a < nang; ++a) sweep_angle(state, oct, a);
   }
-  sweep_seconds_ = watch.stop();
+  sweep_seconds_ += watch.stop();
+}
+
+void Sweeper::sweep_end() {
   solve_seconds_ = 0.0;
   for (const auto& ctx : contexts_) solve_seconds_ += ctx.solve_seconds;
+}
+
+void Sweeper::sweep(SweepState& state) {
+  sweep_begin(state);
+  for (int oct = 0; oct < angular::kOctants; ++oct)
+    sweep_octant(state, oct);
+  sweep_end();
 }
 
 }  // namespace unsnap::core

@@ -33,6 +33,15 @@ class Sweeper {
   /// group), leaves psi and the accumulated phi in `state`.
   void sweep(SweepState& state);
 
+  /// Split sweep for drivers that interleave work between octants (the
+  /// pipelined halo exchange): begin zeroes the accumulators, each
+  /// sweep_octant solves one octant's angles, end folds up the timers.
+  /// sweep() is exactly begin + the eight octants in order + end, so the
+  /// split path is bitwise-identical to the monolithic one.
+  void sweep_begin(SweepState& state);
+  void sweep_octant(SweepState& state, int oct);
+  void sweep_end();
+
   /// Wall time of the last sweep's assemble/solve region.
   [[nodiscard]] double last_sweep_seconds() const { return sweep_seconds_; }
   /// Sum of per-thread pure-solve time in the last sweep (valid when

@@ -168,6 +168,28 @@ void TransportSolver::sweep_frozen_coupling() {
   solve_seconds_ += sweeper_.last_solve_seconds();
 }
 
+void TransportSolver::sweep_begin(bool frozen_coupling) {
+  if (!frozen_coupling) {
+    phi_old_ = phi_;
+    if (lag_.active()) capture_lag_snapshot();
+  }
+  SweepState state = make_state();
+  sweeper_.sweep_begin(state);
+}
+
+void TransportSolver::sweep_octant(int oct) {
+  SweepState state = make_state();
+  sweeper_.sweep_octant(state, oct);
+}
+
+void TransportSolver::sweep_end(bool frozen_coupling) {
+  sweeper_.sweep_end();
+  assemble_solve_seconds_ += sweeper_.last_sweep_seconds();
+  solve_seconds_ += sweeper_.last_solve_seconds();
+  if (!frozen_coupling && input_.any_reflective())
+    apply_reflective_boundaries();
+}
+
 void TransportSolver::refresh_lagged_couplings() {
   if (input_.any_reflective()) apply_reflective_boundaries();
   if (lag_.active()) capture_lag_snapshot();

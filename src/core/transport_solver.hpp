@@ -78,6 +78,18 @@ class TransportSolver {
   /// Called by the Krylov inner driver after its closing physical sweep,
   /// matching what sweep() does around each source iteration.
   void refresh_lagged_couplings();
+
+  /// Split sweep for drivers that interleave halo traffic between octants
+  /// (comm::DistributedSweepSolver's pipelined exchange). sweep() is
+  /// exactly sweep_begin() + the eight sweep_octant() calls in order +
+  /// sweep_end(), and sweep_frozen_coupling() the same with
+  /// frozen_coupling = true, so the split path stays bitwise-identical to
+  /// the monolithic sweeps. Between the calls the caller may rewrite the
+  /// halo slots of boundary_values(); nothing else may be touched.
+  void sweep_begin(bool frozen_coupling = false);
+  void sweep_octant(int oct);
+  void sweep_end(bool frozen_coupling = false);
+
   [[nodiscard]] double inner_change() const;
 
   // --- state access -----------------------------------------------------

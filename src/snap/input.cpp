@@ -32,6 +32,15 @@ std::string to_string(IterationScheme scheme) {
   return {};
 }
 
+std::string to_string(SweepExchange exchange) {
+  switch (exchange) {
+    case SweepExchange::BlockJacobi: return "jacobi";
+    case SweepExchange::Pipelined: return "pipelined";
+  }
+  UNSNAP_ASSERT(false);
+  return {};
+}
+
 FluxLayout layout_from_string(const std::string& name) {
   if (name == "aeg") return FluxLayout::AngleElementGroup;
   if (name == "age") return FluxLayout::AngleGroupElement;
@@ -56,6 +65,14 @@ IterationScheme iteration_scheme_from_string(const std::string& name) {
   if (name == "gmres") return IterationScheme::Gmres;
   throw InvalidInput("unknown iteration scheme '" + name +
                      "' (expected source-iteration, si or gmres)");
+}
+
+SweepExchange sweep_exchange_from_string(const std::string& name) {
+  if (name == "jacobi" || name == "block-jacobi")
+    return SweepExchange::BlockJacobi;
+  if (name == "pipelined") return SweepExchange::Pipelined;
+  throw InvalidInput("unknown sweep exchange '" + name +
+                     "' (expected jacobi, block-jacobi or pipelined)");
 }
 
 void Input::validate() const {

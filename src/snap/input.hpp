@@ -36,6 +36,19 @@ enum class ConcurrencyScheme {
   AngleBatch,
 };
 
+/// Halo-exchange discipline of the distributed (simulated-MPI) sweep
+/// drivers in src/comm/. BlockJacobi is the paper's global schedule: every
+/// rank sweeps immediately on previous-iteration boundary data, so
+/// convergence degrades with the rank count (the Garrett observation).
+/// Pipelined stages each octant through the rank-level dependency DAG —
+/// ranks consume same-iteration upstream traces, making the distributed
+/// sweep an exact global transport sweep with single-domain iteration
+/// counts (Vermaak et al.) at the price of pipeline fill/drain idling.
+enum class SweepExchange {
+  BlockJacobi,
+  Pipelined,
+};
+
 /// Within-group (inner) iteration scheme. Source iteration is SNAP's
 /// plain fixed-point sweep loop; its error contracts by the scattering
 /// ratio c per sweep, so it stalls on diffusive problems (c -> 1). Gmres
@@ -49,10 +62,14 @@ enum class IterationScheme {
 [[nodiscard]] std::string to_string(FluxLayout layout);
 [[nodiscard]] std::string to_string(ConcurrencyScheme scheme);
 [[nodiscard]] std::string to_string(IterationScheme scheme);
+[[nodiscard]] std::string to_string(SweepExchange exchange);
 [[nodiscard]] FluxLayout layout_from_string(const std::string& name);
 [[nodiscard]] ConcurrencyScheme scheme_from_string(const std::string& name);
 /// Accepts "source-iteration" (alias "si") and "gmres".
 [[nodiscard]] IterationScheme iteration_scheme_from_string(
+    const std::string& name);
+/// Accepts "jacobi" (alias "block-jacobi") and "pipelined".
+[[nodiscard]] SweepExchange sweep_exchange_from_string(
     const std::string& name);
 
 /// Problem definition mirroring SNAP's input deck, extended with the
@@ -109,6 +126,11 @@ struct Input {
   /// with fixed_iterations the Krylov loop ignores the convergence tests
   /// and runs the budget out deterministically.
   IterationScheme iteration_scheme = IterationScheme::SourceIteration;
+  /// Halo-exchange discipline when the deck is run through the distributed
+  /// drivers in src/comm/ (ignored by the single-domain solver): the
+  /// paper's stale-halo block Jacobi schedule, or the pipelined exchange
+  /// that reproduces single-domain iteration counts.
+  SweepExchange sweep_exchange = SweepExchange::BlockJacobi;
   /// GMRES restart length (Arnoldi vectors kept per cycle).
   int gmres_restart = 20;
   /// Max Krylov iterations (operator applies inside Arnoldi) per inner

@@ -74,6 +74,7 @@ void expect_inputs_equal(const snap::Input& a, const snap::Input& b) {
   EXPECT_EQ(a.cycle_strategy, b.cycle_strategy);
   EXPECT_EQ(a.validate_mesh, b.validate_mesh);
   EXPECT_EQ(a.time_solve, b.time_solve);
+  EXPECT_EQ(a.sweep_exchange, b.sweep_exchange);
 }
 
 TEST(ProblemBuilderAdapter, BuilderLowersToTheHandFilledInput) {
@@ -86,7 +87,19 @@ TEST(ProblemBuilderAdapter, FromInputToInputRoundTrips) {
   input.boundary[4] = snap::Input::Bc::Reflective;
   input.layout = snap::FluxLayout::AngleGroupElement;
   input.time_solve = true;
+  input.sweep_exchange = snap::SweepExchange::Pipelined;
   expect_inputs_equal(ProblemBuilder::from_input(input).to_input(), input);
+}
+
+TEST(ProblemBuilderAdapter, DecompositionSpecLowersTheExchange) {
+  ProblemBuilder builder = reference_builder();
+  builder.decomposition(
+      {.px = 2, .py = 3, .exchange = snap::SweepExchange::Pipelined});
+  EXPECT_EQ(builder.decomposition().px, 2);
+  EXPECT_EQ(builder.decomposition().py, 3);
+  EXPECT_EQ(builder.to_input().sweep_exchange,
+            snap::SweepExchange::Pipelined);
+  EXPECT_THROW(builder.decomposition({.px = 0, .py = 1}), InvalidInput);
 }
 
 TEST(ProblemBuilderAdapter, ToInputRejectsCustomData) {

@@ -72,6 +72,25 @@ TEST(InputStrings, UnknownIterationSchemeThrows) {
   EXPECT_THROW((void)iteration_scheme_from_string(""), InvalidInput);
 }
 
+TEST(InputStrings, SweepExchangeRoundTrips) {
+  for (const SweepExchange exchange :
+       {SweepExchange::BlockJacobi, SweepExchange::Pipelined})
+    EXPECT_EQ(sweep_exchange_from_string(to_string(exchange)), exchange);
+}
+
+TEST(InputStrings, SweepExchangeNamesAreStable) {
+  EXPECT_EQ(to_string(SweepExchange::BlockJacobi), "jacobi");
+  EXPECT_EQ(to_string(SweepExchange::Pipelined), "pipelined");
+  EXPECT_EQ(sweep_exchange_from_string("block-jacobi"),
+            SweepExchange::BlockJacobi);
+}
+
+TEST(InputStrings, UnknownSweepExchangeThrows) {
+  EXPECT_THROW((void)sweep_exchange_from_string("kba"), InvalidInput);
+  EXPECT_THROW((void)sweep_exchange_from_string("Pipelined"), InvalidInput);
+  EXPECT_THROW((void)sweep_exchange_from_string(""), InvalidInput);
+}
+
 TEST(InputStrings, UnknownLayoutThrows) {
   EXPECT_THROW(layout_from_string("gae"), InvalidInput);
   EXPECT_THROW(layout_from_string(""), InvalidInput);

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo docs.
+
+Scans the given markdown files (or the repo's standard doc set) for
+inline links/images `[text](target)` and reference definitions
+`[label]: target`, and fails on any *intra-repo* target that does not
+exist on disk. External links (http/https/mailto) are not fetched —
+this guards the docs cross-references, not the internet.
+
+Usage: tools/check_links.py [file.md ...]
+Exit code 0 = all intra-repo links resolve, 1 = dead links (listed).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_DOCS = ["README.md", "ROADMAP.md", "CHANGES.md", "PAPER.md"]
+
+# Inline [text](target) — skipping images is pointless, same rule applies.
+INLINE = re.compile(r"\[[^\]\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Reference-style definitions: [label]: target
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def strip_code(text: str) -> str:
+    """Drop fenced and inline code spans so example snippets don't trip
+    the matcher."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def check_file(md: Path) -> list[str]:
+    text = strip_code(md.read_text(encoding="utf-8"))
+    errors = []
+    for target in INLINE.findall(text) + REFDEF.findall(text):
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        resolved = (md.parent / path_part).resolve()
+        if not resolved.exists():
+            try:
+                shown = md.relative_to(REPO_ROOT)
+            except ValueError:
+                shown = md
+            errors.append(f"{shown}: dead link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(a).resolve() for a in argv]
+    else:
+        files = [REPO_ROOT / name for name in DEFAULT_DOCS]
+        files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    files = [f for f in files if f.exists()]
+    if not files:
+        print("check_links: no markdown files found", file=sys.stderr)
+        return 1
+
+    errors = []
+    for md in files:
+        errors.extend(check_file(md))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"check_links: {len(files)} files, "
+          f"{'OK' if not errors else f'{len(errors)} dead link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
