@@ -15,11 +15,13 @@
 #include <string>
 #include <vector>
 
-#include "api/problem_builder.hpp"
+#include "api/run.hpp"
+#include "api/version.hpp"
 #include "linalg/gauss_elim.hpp"
 #include "linalg/invert.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -146,40 +148,55 @@ BENCHMARK(BM_PreInvertedApply)->Apply(table_sizes);
 // ---- SI vs GMRES across scattering ratios --------------------------------
 
 // A 20 mfp homogeneous scattering cube: source iteration's sweep count
-// grows like 1/(1 - c) here, GMRES's stays O(10). One shared
-// discretisation; each run gets a fresh solver.
+// grows like 1/(1 - c) here, GMRES's stays O(10). The study runs through
+// the deck-driven api::Run facade and dumps every RunRecord into
+// BENCH_solvers.json, so the perf trajectory is machine-readable (the
+// printed table is derived from the very same records).
 void run_iteration_scheme_study() {
-  api::ProblemBuilder builder;
-  builder
-      .mesh({.dims = {6, 6, 6}, .extent = {20.0, 20.0, 20.0},
-             .twist = 0.001, .shuffle_seed = 1})
-      .angular({.nang = 4})
-      .source({.src_opt = 0});
+  api::RunConfig config;
+  config.mesh = {.dims = {6, 6, 6},
+                 .extent = {20.0, 20.0, 20.0},
+                 .twist = 0.001,
+                 .shuffle_seed = 1};
+  config.angular.nang = 4;
+  config.materials.num_groups = 1;
+  config.materials.mat_opt = 0;
+  config.source.src_opt = 0;
+  config.output.report = false;
 
   unsnap::Table table({"c", "si sweeps", "si s", "gmres sweeps", "krylov",
                        "gmres s", "sweep ratio", "speedup"});
-  std::shared_ptr<const core::Discretization> disc;
+  util::JsonWriter json;
+  json.begin_object();
+  json.kv("bench", "bench_solvers: SI vs sweep-preconditioned GMRES, "
+                   "20 mfp cube, epsi 1e-6");
+  json.kv("unsnap", api::version_info().summary());
+  json.key("runs").begin_array();
+
   for (const double c : {0.5, 0.9, 0.99, 0.999}) {
-    core::IterationResult results[2];
+    api::RunRecord records[2];
     for (const snap::IterationScheme scheme :
          {snap::IterationScheme::SourceIteration,
           snap::IterationScheme::Gmres}) {
-      builder
-          .materials(
-              {.num_groups = 1, .mat_opt = 0, .scattering_ratio = c})
-          .iteration({.epsi = 1e-6,
-                      .iitm = 3000,
-                      .oitm = 4,
-                      .fixed_iterations = false,
-                      .scheme = scheme});
-      const api::Problem problem =
-          disc ? builder.build(disc) : builder.build();
-      if (!disc) disc = problem.discretization_ptr();
-      results[scheme == snap::IterationScheme::Gmres ? 1 : 0] =
-          problem.make_solver()->run();
+      config.materials.scattering_ratio = c;
+      config.iteration = {.epsi = 1e-6,
+                          .iitm = 3000,
+                          .oitm = 4,
+                          .fixed_iterations = false,
+                          .scheme = scheme};
+      char title[64];
+      std::snprintf(title, sizeof(title), "c = %g, %s inners", c,
+                    snap::to_string(scheme).c_str());
+      config.title = title;
+      api::Run run(config);
+      records[scheme == snap::IterationScheme::Gmres ? 1 : 0] =
+          run.execute();
     }
-    const core::IterationResult& si = results[0];
-    const core::IterationResult& gm = results[1];
+    for (const api::RunRecord& record : records)
+      json.raw(api::to_json(record));
+
+    const core::IterationResult& si = *records[0].iteration;
+    const core::IterationResult& gm = *records[1].iteration;
     table.add_row(
         {c,
          std::string(std::to_string(si.sweeps) +
@@ -189,9 +206,22 @@ void run_iteration_scheme_study() {
          static_cast<double>(gm.sweeps) / si.sweeps,
          si.total_seconds / gm.total_seconds});
   }
+  json.end_array();
+  json.end_object();
+
   std::printf("\n");
   table.print("iteration schemes: SI vs sweep-preconditioned GMRES "
               "(20 mfp cube, epsi 1e-6)");
+
+  const char* out_path = "BENCH_solvers.json";
+  if (std::FILE* out = std::fopen(out_path, "w")) {
+    std::fputs(json.str().c_str(), out);
+    std::fputc('\n', out);
+    std::fclose(out);
+    std::printf("\nwrote %s (one RunRecord per study cell)\n", out_path);
+  } else {
+    std::printf("\ncould not write %s\n", out_path);
+  }
 }
 
 }  // namespace

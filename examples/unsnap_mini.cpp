@@ -8,6 +8,7 @@
 
 #include "api/problem_builder.hpp"
 #include "api/report.hpp"
+#include "api/run.hpp"
 #include "api/scenario.hpp"
 
 namespace {
@@ -37,7 +38,7 @@ void declare_options(Cli& cli) {
              "inner iteration scheme: si (source iteration) | gmres");
   cli.option("gmres-restart", "20", "GMRES restart length");
   cli.option("gmres-iters", "100", "max Krylov iterations per inner solve");
-  cli.flag("verbose", "print the per-inner change/residual histories");
+  cli.flag("verbose", "trace inner/Krylov progress live (observer events)");
   cli.option("layout", "aeg", "flux layout: aeg | age");
   cli.option("scheme", "elements-groups",
              "concurrency: serial | elements | groups | elements-groups | "
@@ -116,11 +117,14 @@ int run(const Cli& cli) {
                                   sizeof(double)) /
                   (1 << 20));
 
+  // Verbose progress hangs off the solver's iteration events (the
+  // api::IterationObserver seam) instead of a printf path inside run().
+  api::ProgressObserver progress;
+  if (cli.get_flag("verbose")) solver->set_observer(&progress);
   const core::IterationResult result = solver->run();
 
   std::printf("\n");
-  api::print_iteration_report(result, input.time_solve,
-                              cli.get_flag("verbose"));
+  api::print_iteration_report(result, input.time_solve);
   std::printf("\n");
   api::print_balance_report(solver->balance());
   return 0;

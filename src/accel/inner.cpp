@@ -87,7 +87,10 @@ core::IterationResult run_gmres(core::TransportSolver& solver,
   const int krylov_applies =
       std::max(input.iitm - 2, 2);
 
+  core::IterationObserver* const observer = solver.observer();
+
   for (int outer = 0; outer < input.oitm; ++outer) {
+    if (observer != nullptr) observer->on_outer_begin(outer);
     solver.update_outer_source();
     gather_flux(solver, phi_outer);
     x = phi_outer;  // warm start from the current iterate
@@ -118,6 +121,10 @@ core::IterationResult run_gmres(core::TransportSolver& solver,
       const double change =
           rmax(max_pointwise_change(r.first(nphi), xk.first(nphi)));
       result.inner_history.push_back(change);
+      if (observer != nullptr)
+        observer->on_inner(
+            static_cast<int>(result.inner_history.size()) - 1,
+            result.sweeps + sweeps, change);
       return !input.fixed_iterations && change < input.epsi;
     };
 
@@ -134,8 +141,13 @@ core::IterationResult run_gmres(core::TransportSolver& solver,
     const KrylovResult inner = workspace.solve(op, b, x, options);
     result.krylov_iters += inner.iterations;
     const double bnorm = nrm(b);
-    for (const double r : inner.residual_history)
+    for (const double r : inner.residual_history) {
       result.residual_history.push_back(bnorm > 0.0 ? r / bnorm : r);
+      if (observer != nullptr)
+        observer->on_krylov(
+            static_cast<int>(result.residual_history.size()) - 1,
+            result.residual_history.back());
+    }
 
     // Closing physical sweep: psi consistent with the Krylov solution, the
     // lagged couplings re-anchored on it — the gmres twin of sweep()'s
@@ -155,19 +167,21 @@ core::IterationResult run_gmres(core::TransportSolver& solver,
     result.inners += sweeps;
     result.sweeps += sweeps;
     ++result.outers;
+    if (observer != nullptr)
+      observer->on_inner(static_cast<int>(result.inner_history.size()) - 1,
+                         result.sweeps, result.final_inner_change);
 
     for (std::size_t i = 0; i < nphi; ++i) diff[i] = fx[i] - phi_outer[i];
     result.final_outer_change = rmax(max_pointwise_change(
         std::span<const double>(diff).first(nphi),
         std::span<const double>(phi_outer).first(nphi)));
     // Same tests as the SI loop: SNAP's outer test is 100x looser.
-    if (result.final_outer_change < 100.0 * input.epsi &&
-        result.final_inner_change < input.epsi) {
-      result.converged = true;
-      if (!input.fixed_iterations) break;
-    } else {
-      result.converged = false;
-    }
+    result.converged = result.final_outer_change < 100.0 * input.epsi &&
+                       result.final_inner_change < input.epsi;
+    if (observer != nullptr)
+      observer->on_outer_end(outer, result.final_outer_change,
+                             result.converged);
+    if (result.converged && !input.fixed_iterations) break;
   }
 
   result.total_seconds = total.stop();

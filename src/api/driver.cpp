@@ -1,10 +1,15 @@
 #include "api/driver.hpp"
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "api/run.hpp"
+#include "api/run_config.hpp"
 #include "api/scenario.hpp"
+#include "api/version.hpp"
 #include "util/assert.hpp"
 
 namespace unsnap::api {
@@ -13,12 +18,19 @@ namespace {
 
 void print_usage() {
   std::printf(
-      "unsnap — declarative scenario driver for the UnSNAP mini-app\n\n"
+      "unsnap — declarative scenario and deck driver for the UnSNAP "
+      "mini-app\n\n"
       "usage:\n"
+      "  unsnap --deck run.inp [--json out.json] [--quiet] [--verbose]\n"
+      "                                     run a SNAP-style input deck\n"
+      "  unsnap --dump-deck [--deck run.inp]\n"
+      "                                     print the (default) deck,\n"
+      "                                     normalised, without running\n"
       "  unsnap --list                      list registered scenarios\n"
       "  unsnap --scenario <name> [opts]    run one scenario\n"
       "  unsnap --scenario <name> --help    show a scenario's options\n"
-      "\nthe catalog with decks and expected output: docs/SCENARIOS.md\n");
+      "  unsnap --version                   build provenance\n"
+      "\ndeck format: docs/DECKS.md; scenario catalog: docs/SCENARIOS.md\n");
 }
 
 void list_scenarios() {
@@ -26,7 +38,8 @@ void list_scenarios() {
   std::printf("registered scenarios (%zu):\n", scenarios.size());
   for (const Scenario* s : scenarios)
     std::printf("  %-22s %s\n", s->name.c_str(), s->summary.c_str());
-  std::printf("\nrun one with: unsnap --scenario <name> [--help]\n");
+  std::printf("\nrun one with: unsnap --scenario <name> [--help]\n"
+              "or a deck with: unsnap --deck decks/<name>.inp\n");
 }
 
 int run_scenario(const std::string& name,
@@ -38,11 +51,93 @@ int run_scenario(const std::string& name,
   return scenario.run(cli);
 }
 
+struct DeckRequest {
+  std::string deck_path;
+  std::string json_path;
+  bool dump_only = false;
+  bool quiet = false;
+  bool verbose = false;
+};
+
+int run_deck(const DeckRequest& request) {
+  RunConfig config = request.deck_path.empty()
+                         ? RunConfig{}
+                         : read_deck_file(request.deck_path);
+  if (request.dump_only) {
+    std::fputs(write_deck(config).c_str(), stdout);
+    return 0;
+  }
+  if (!request.json_path.empty()) config.output.json_path = request.json_path;
+  if (request.quiet) config.output.report = false;
+  if (request.verbose) config.output.verbose = true;
+
+  // Probe the JSON destination up front: a long solve must not be the
+  // thing that discovers an unwritable path. Append mode leaves an
+  // existing file's content alone; a file the probe itself created is
+  // removed again so an aborted run leaves nothing behind.
+  if (const std::string& path = config.output.json_path;
+      !path.empty() && path != "-") {
+    const bool existed = std::filesystem::exists(path);
+    const bool writable = std::ofstream(path, std::ios::app).good();
+    if (!existed && !writable) std::remove(path.c_str());
+    require(writable, "cannot write JSON to '" + path + "'");
+    if (!existed) std::remove(path.c_str());
+  }
+
+  Run run(std::move(config));
+  ProgressObserver progress;
+  if (run.config().output.verbose) run.set_observer(&progress);
+  const RunRecord record = run.execute();
+
+  if (run.config().output.report) {
+    if (run.config().output.verbose) std::printf("\n");
+    print_run_report(record);
+  }
+  if (!run.config().output.json_path.empty()) {
+    const std::string& path = run.config().output.json_path;
+    if (path == "-") {
+      std::fputs(to_json(record).c_str(), stdout);
+      std::printf("\n");
+    } else {
+      std::ofstream out(path);
+      require(out.good(), "cannot write JSON to '" + path + "'");
+      out << to_json(record) << "\n";
+      require(out.good(), "failed writing JSON to '" + path + "'");
+      if (run.config().output.report)
+        std::printf("\nwrote %s\n", path.c_str());
+    }
+  }
+  const bool solved = record.iteration.has_value() &&
+                      record.mode != to_string(RunMode::Schedule);
+  if (solved && !record.iteration->converged &&
+      !run.config().iteration.fixed_iterations)
+    return 1;  // converge-to-epsi decks that ran out of budget
+  return 0;
+}
+
+/// `--key value` / `--key=value` extraction for the driver's own flags.
+bool take_value(const std::string& arg, const std::string& key, int argc,
+                const char* const* argv, int& i, std::string& out) {
+  if (arg == key) {
+    require(i + 1 < argc, key + " requires a value");
+    out = argv[++i];
+    return true;
+  }
+  if (arg.rfind(key + "=", 0) == 0) {
+    out = arg.substr(key.size() + 1);
+    require(!out.empty(), key + " requires a value");
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int run_driver(int argc, const char* const* argv) {
   try {
     std::string scenario_name;
+    DeckRequest deck;
+    bool deck_mode = false;
     // Scenario args are forwarded verbatim; args[0] stands in for argv[0].
     std::vector<const char*> forwarded{"unsnap"};
     for (int i = 1; i < argc; ++i) {
@@ -50,6 +145,36 @@ int run_driver(int argc, const char* const* argv) {
       if (arg == "--list" || arg == "--list-scenarios") {
         list_scenarios();
         return 0;
+      }
+      if (arg == "--version") {
+        std::printf("%s\n", version_info().summary().c_str());
+        return 0;
+      }
+      if (take_value(arg, "--deck", argc, argv, i, deck.deck_path)) {
+        deck_mode = true;
+        continue;
+      }
+      if (take_value(arg, "--json", argc, argv, i, deck.json_path)) {
+        deck_mode = true;
+        continue;
+      }
+      if (arg == "--dump-deck") {
+        deck.dump_only = true;
+        deck_mode = true;
+        continue;
+      }
+      // Deck-only flags: claiming deck mode here means a misplaced
+      // `--verbose --scenario x` errors loudly instead of being
+      // silently swallowed (a scenario's own flags go after its name).
+      if (arg == "--quiet") {
+        deck.quiet = true;
+        deck_mode = true;
+        continue;
+      }
+      if (arg == "--verbose") {
+        deck.verbose = true;
+        deck_mode = true;
+        continue;
       }
       if (arg == "--scenario" || arg.rfind("--scenario=", 0) == 0) {
         if (arg == "--scenario") {
@@ -67,7 +192,15 @@ int run_driver(int argc, const char* const* argv) {
         return 0;
       }
       throw InvalidInput("unexpected argument: " + arg +
-                         " (expected --list or --scenario)");
+                         " (expected --list, --deck, --dump-deck, "
+                         "--version or --scenario)");
+    }
+    if (deck_mode) {
+      require(scenario_name.empty(),
+              "--deck and --scenario are mutually exclusive");
+      require(deck.dump_only || !deck.deck_path.empty(),
+              "--json/--quiet/--verbose need --deck <file>");
+      return run_deck(deck);
     }
     if (scenario_name.empty()) {
       print_usage();

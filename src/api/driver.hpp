@@ -2,16 +2,18 @@
 
 namespace unsnap::api {
 
-/// The unified `unsnap` CLI: lists, configures and runs any registered
-/// scenario.
+/// The unified `unsnap` CLI: runs SNAP-style input decks through the
+/// api::Run facade, and lists/configures/runs any registered scenario.
 ///
+///   unsnap --deck decks/quickstart.inp --json out.json
+///   unsnap --dump-deck
 ///   unsnap --list-scenarios
 ///   unsnap --scenario quickstart --nx 8 --order 2
-///   unsnap --scenario shielding --help
+///   unsnap --version
 ///
 /// Everything after `--scenario <name>` is parsed by the scenario's own
-/// option set. Returns a process exit code (0 success, 2 usage/input
-/// error, 3 numerical failure).
+/// option set. Returns a process exit code (0 success, 1 unconverged
+/// converge-to-epsi deck, 2 usage/input error, 3 numerical failure).
 int run_driver(int argc, const char* const* argv);
 
 }  // namespace unsnap::api

@@ -33,6 +33,8 @@ struct MeshSpec {
   /// Sweep cycle handling on strongly twisted meshes (see sweep::
   /// CycleStrategy): abort, lag-greedy or lag-scc.
   sweep::CycleStrategy cycle_strategy = sweep::CycleStrategy::Abort;
+
+  [[nodiscard]] bool operator==(const MeshSpec&) const = default;
 };
 
 /// Angular discretisation. nmom rides here because the flux-moment count
@@ -41,6 +43,8 @@ struct AngularSpec {
   int nang = 8;  // angles per octant
   angular::QuadratureKind quadrature = angular::QuadratureKind::SnapLike;
   int nmom = 1;  // Legendre scattering orders carried (1 = isotropic)
+
+  [[nodiscard]] bool operator==(const AngularSpec&) const = default;
 };
 
 /// Materials and cross sections. Two routes:
@@ -71,6 +75,8 @@ struct BoundarySpec {
   using Bc = snap::Input::Bc;
   std::array<Bc, 6> sides{Bc::Vacuum, Bc::Vacuum, Bc::Vacuum,
                           Bc::Vacuum, Bc::Vacuum, Bc::Vacuum};
+
+  [[nodiscard]] bool operator==(const BoundarySpec&) const = default;
 };
 
 /// Iteration control (SNAP's epsi / iitm / oitm) and the inner scheme.
@@ -85,6 +91,8 @@ struct IterationSpec {
   snap::IterationScheme scheme = snap::IterationScheme::SourceIteration;
   int gmres_restart = 20;     // Arnoldi vectors per GMRES cycle
   int gmres_max_iters = 100;  // Krylov iterations per inner solve
+
+  [[nodiscard]] bool operator==(const IterationSpec&) const = default;
 };
 
 /// KBA rank decomposition for the distributed (simulated-MPI) drivers in
@@ -97,6 +105,8 @@ struct DecompositionSpec {
   int px = 1;
   int py = 1;
   snap::SweepExchange exchange = snap::SweepExchange::BlockJacobi;
+
+  [[nodiscard]] bool operator==(const DecompositionSpec&) const = default;
 };
 
 /// Execution configuration: the performance-study axes of the paper.
@@ -106,6 +116,8 @@ struct ExecutionSpec {
   linalg::SolverKind solver = linalg::SolverKind::GaussianElimination;
   int num_threads = 0;  // 0 = OpenMP default
   bool time_solve = false;
+
+  [[nodiscard]] bool operator==(const ExecutionSpec&) const = default;
 };
 
 /// Domain side index for the boundary array (same numbering as

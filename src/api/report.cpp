@@ -1,27 +1,19 @@
 #include "api/report.hpp"
 
-#include <omp.h>
-
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 
+#include "api/run.hpp"
+
 namespace unsnap::api {
 
+// The solver-shaped entry points are adapters: they build the matching
+// RunRecord fragment and hand it to the pure renderers in run.cpp, so a
+// printed report and a serialised record can never drift apart.
+
 void print_configuration(const core::TransportSolver& solver) {
-  const snap::Input& input = solver.input();
-  const core::Discretization& disc = solver.discretization();
-  std::printf("config: %dx%dx%d hexes, order %d (%d nodes/elem), "
-              "%d angles/octant x 8, %d groups, nmom %d\n",
-              input.dims[0], input.dims[1], input.dims[2], input.order,
-              disc.num_nodes(), input.nang, input.ng, input.nmom);
-  std::printf("        layout %s, scheme %s, solver %s, inners %s, "
-              "twist %.4g, %d unique sweep schedules\n",
-              snap::to_string(input.layout).c_str(),
-              snap::to_string(input.scheme).c_str(),
-              linalg::to_string(input.solver).c_str(),
-              snap::to_string(input.iteration_scheme).c_str(), input.twist,
-              disc.schedules().unique_count());
+  print_configuration(make_configuration(solver));
 }
 
 double sweeps_per_digit(const core::IterationResult& result) {
@@ -85,63 +77,15 @@ void print_balance_report(const core::BalanceReport& balance) {
 }
 
 void print_schedule_report(const core::TransportSolver& solver) {
-  const snap::Input& input = solver.input();
-  const sweep::ScheduleSet& set = solver.discretization().schedules();
-  const int threads =
-      input.num_threads > 0 ? input.num_threads : omp_get_max_threads();
-  const sweep::ScheduleSetStats stats =
-      sweep::schedule_set_stats(set, threads);
-  std::printf("sweep schedules (%s):\n"
-              "  unique        %d (of %d directions)\n"
-              "  buckets       %d..%d per schedule\n"
-              "  occupancy     mean %.1f, largest bucket %d\n",
-              sweep::to_string(set.strategy()).c_str(), stats.unique,
-              angular::kOctants * input.nang, stats.min_buckets,
-              stats.max_buckets, stats.mean_bucket, stats.max_bucket);
-  std::printf("  lagged faces  %d cycle-broken (over unique schedules)\n",
-              stats.total_lagged);
-  std::printf("  parallelism   %.0f%% modelled efficiency at %d threads\n",
-              100.0 * stats.parallel_efficiency, threads);
+  print_schedule_report(make_schedule_stats(solver));
 }
 
 void print_decomposition_report(const comm::DistributedSweepSolver& solver,
                                 const comm::DistributedSweepResult& result) {
   const mesh::Partition& part = solver.partition();
-  std::printf("distributed sweep: %dx%d KBA ranks, %s exchange\n",
-              part.px, part.py,
-              snap::to_string(solver.exchange()).c_str());
-  std::printf("  %s after %d inners / %d outers "
-              "(last inner change %.3e), %.4f s\n",
-              result.converged ? "converged" : "NOT converged",
-              result.inners, result.outers, result.final_inner_change,
-              result.total_seconds);
-  if (result.krylov_iters > 0)
-    std::printf("  gmres: %d Krylov iters over %d sweeps per rank\n",
-                result.krylov_iters, result.sweeps);
-  if (solver.exchange() != snap::SweepExchange::Pipelined) return;
-
-  std::printf("  pipeline      %d stage%s deep (worst octant), "
-              "%d lagged rank edge%s\n",
-              result.pipeline_stages, result.pipeline_stages == 1 ? "" : "s",
-              result.lagged_rank_edges,
-              result.lagged_rank_edges == 1 ? "" : "s");
-  std::printf("  modelled      %.0f%% pipeline efficiency "
-              "(unit-time rank sweeps)\n",
-              100.0 * result.modelled_pipeline_efficiency);
-  double worst = 0.0, sum_idle = 0.0, sum_busy = 0.0;
-  for (std::size_t r = 0; r < result.rank_idle_seconds.size(); ++r) {
-    const double idle = result.rank_idle_seconds[r];
-    const double busy = result.rank_sweep_seconds[r];
-    sum_idle += idle;
-    sum_busy += busy;
-    if (idle + busy > 0.0) worst = std::max(worst, idle / (idle + busy));
-  }
-  const double mean = sum_idle + sum_busy > 0.0
-                          ? sum_idle / (sum_idle + sum_busy)
-                          : 0.0;
-  std::printf("  measured idle mean %.0f%%, worst rank %.0f%% "
-              "(halo waits / (waits + sweep))\n",
-              100.0 * mean, 100.0 * worst);
+  print_decomposition_report(
+      make_decomposition_stats(part.px, part.py, solver.exchange(), result),
+      to_iteration_result(result));
 }
 
 void print_standard_report(const core::TransportSolver& solver,

@@ -1,0 +1,573 @@
+#include "api/run.hpp"
+
+#include <omp.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "util/assert.hpp"
+
+#include "api/report.hpp"
+#include "core/manufactured.hpp"
+#include "sweep/schedule.hpp"
+#include "util/json.hpp"
+
+namespace unsnap::api {
+
+// --- record builders ------------------------------------------------------
+
+namespace {
+
+RunRecord::Configuration make_configuration_from(
+    const snap::Input& input, const core::Discretization* disc) {
+  RunRecord::Configuration c;
+  c.dims = input.dims;
+  c.order = input.order;
+  c.nodes_per_element =
+      disc != nullptr ? disc->num_nodes()
+                      : (input.order + 1) * (input.order + 1) *
+                            (input.order + 1);
+  c.elements = disc != nullptr ? disc->num_elements()
+                               : input.dims[0] * input.dims[1] * input.dims[2];
+  c.nang = input.nang;
+  c.ng = input.ng;
+  c.nmom = input.nmom;
+  c.twist = input.twist;
+  c.layout = snap::to_string(input.layout);
+  c.scheme = snap::to_string(input.scheme);
+  c.solver = linalg::to_string(input.solver);
+  c.inners = snap::to_string(input.iteration_scheme);
+  c.unique_schedules =
+      disc != nullptr ? disc->schedules().unique_count() : 0;
+  c.directions = angular::kOctants * input.nang;
+  return c;
+}
+
+RunRecord::ScheduleStats make_schedule_stats_from(
+    const sweep::ScheduleSet& set, int num_threads, int directions) {
+  const int threads =
+      num_threads > 0 ? num_threads : omp_get_max_threads();
+  const sweep::ScheduleSetStats stats =
+      sweep::schedule_set_stats(set, threads);
+  RunRecord::ScheduleStats out;
+  out.strategy = sweep::to_string(set.strategy());
+  out.unique = stats.unique;
+  out.directions = directions;
+  out.min_buckets = stats.min_buckets;
+  out.max_buckets = stats.max_buckets;
+  out.mean_bucket = stats.mean_bucket;
+  out.max_bucket = stats.max_bucket;
+  out.total_lagged = stats.total_lagged;
+  out.parallel_efficiency = stats.parallel_efficiency;
+  out.threads = threads;
+  return out;
+}
+
+/// Per-group volume integrals and the shared volume of one solver's
+/// domain slice, for combining flux digests across ranks.
+void accumulate_digest(const core::Discretization& disc,
+                       const core::NodalField& phi,
+                       std::vector<double>& integrals, double& volume,
+                       double& min, double& max) {
+  const int ng = phi.num_groups();
+  for (int e = 0; e < disc.num_elements(); ++e) {
+    const double* w = disc.integrals().node_weights(e);
+    for (int g = 0; g < ng; ++g) {
+      const double* ph = phi.at(e, g);
+      double integral = 0.0;
+      for (int i = 0; i < disc.num_nodes(); ++i) {
+        integral += w[i] * ph[i];
+        min = std::min(min, ph[i]);
+        max = std::max(max, ph[i]);
+      }
+      integrals[static_cast<std::size_t>(g)] += integral;
+    }
+    volume += disc.integrals().volume(e);
+  }
+}
+
+RunRecord::FluxDigest finish_digest(const std::vector<double>& integrals,
+                                    double volume, double min, double max) {
+  RunRecord::FluxDigest digest;
+  digest.min = min;
+  digest.max = max;
+  for (const double integral : integrals) {
+    digest.group_averages.push_back(volume > 0.0 ? integral / volume : 0.0);
+    digest.total += integral;
+  }
+  return digest;
+}
+
+}  // namespace
+
+core::IterationResult to_iteration_result(
+    const comm::DistributedSweepResult& r) {
+  core::IterationResult out;
+  out.converged = r.converged;
+  out.outers = r.outers;
+  out.inners = r.inners;
+  out.sweeps = r.sweeps;
+  out.krylov_iters = r.krylov_iters;
+  out.final_inner_change = r.final_inner_change;
+  out.final_outer_change = r.final_outer_change;
+  out.total_seconds = r.total_seconds;
+  out.inner_history = r.inner_history;
+  return out;
+}
+
+RunRecord::DecompositionStats make_decomposition_stats(
+    int px, int py, snap::SweepExchange exchange,
+    const comm::DistributedSweepResult& result) {
+  RunRecord::DecompositionStats stats;
+  stats.px = px;
+  stats.py = py;
+  stats.exchange = snap::to_string(exchange);
+  stats.pipeline_stages = result.pipeline_stages;
+  stats.lagged_rank_edges = result.lagged_rank_edges;
+  stats.modelled_pipeline_efficiency = result.modelled_pipeline_efficiency;
+  stats.rank_idle_seconds = result.rank_idle_seconds;
+  stats.rank_sweep_seconds = result.rank_sweep_seconds;
+  double sum_idle = 0.0, sum_busy = 0.0, worst = 0.0;
+  for (std::size_t r = 0; r < result.rank_idle_seconds.size(); ++r) {
+    const double idle = result.rank_idle_seconds[r];
+    const double busy = result.rank_sweep_seconds[r];
+    sum_idle += idle;
+    sum_busy += busy;
+    if (idle + busy > 0.0) worst = std::max(worst, idle / (idle + busy));
+  }
+  stats.mean_idle_fraction =
+      sum_idle + sum_busy > 0.0 ? sum_idle / (sum_idle + sum_busy) : 0.0;
+  stats.max_idle_fraction = worst;
+  return stats;
+}
+
+RunRecord::Configuration make_configuration(
+    const core::TransportSolver& solver) {
+  return make_configuration_from(solver.input(), &solver.discretization());
+}
+
+RunRecord::ScheduleStats make_schedule_stats(
+    const core::TransportSolver& solver) {
+  return make_schedule_stats_from(
+      solver.discretization().schedules(), solver.input().num_threads,
+      angular::kOctants * solver.input().nang);
+}
+
+RunRecord::FluxDigest make_flux_digest(const core::Discretization& disc,
+                                       const core::NodalField& phi) {
+  std::vector<double> integrals(
+      static_cast<std::size_t>(phi.num_groups()), 0.0);
+  double volume = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  accumulate_digest(disc, phi, integrals, volume, min, max);
+  return finish_digest(integrals, volume, min, max);
+}
+
+// --- Run ------------------------------------------------------------------
+
+Run::Run(RunConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+RunRecord Run::execute() {
+  RunRecord record;
+  record.provenance = version_info();
+  record.title = config_.title;
+  record.mode = to_string(config_.mode);
+  record.deck = write_deck(config_);
+  switch (config_.mode) {
+    case RunMode::Solve:
+      return config_.decomposition.px * config_.decomposition.py > 1
+                 ? execute_distributed(std::move(record))
+                 : execute_solve(std::move(record));
+    case RunMode::Schedule: return execute_schedule(std::move(record));
+    case RunMode::Mms: return execute_mms(std::move(record));
+    case RunMode::Time: return execute_time(std::move(record));
+  }
+  UNSNAP_ASSERT(false);
+  return record;
+}
+
+RunRecord Run::execute_solve(RunRecord record) {
+  problem_.emplace(config_.builder().build());
+  solver_ = problem_->make_solver();
+  solver_->set_observer(observer_);
+  record.config = make_configuration(*solver_);
+  record.schedule = make_schedule_stats(*solver_);
+  record.iteration = solver_->run();
+  record.balance = solver_->balance();
+  record.flux =
+      make_flux_digest(solver_->discretization(), solver_->scalar_flux());
+  return record;
+}
+
+RunRecord Run::execute_distributed(RunRecord record) {
+  const snap::Input input = config_.builder().to_input();
+  const int px = config_.decomposition.px, py = config_.decomposition.py;
+  distributed_ = std::make_unique<comm::DistributedSweepSolver>(input, px, py);
+  distributed_->set_observer(observer_);
+  const comm::DistributedSweepResult result = distributed_->run();
+
+  record.config = make_configuration_from(input, nullptr);
+  record.config.elements = distributed_->global_mesh().num_elements();
+  record.config.unique_schedules =
+      distributed_->rank_solver(0).discretization().schedules().unique_count();
+  record.iteration = to_iteration_result(result);
+  record.decomposition = make_decomposition_stats(
+      px, py, distributed_->exchange(), result);
+
+  // Volume-weighted digest over the rank slices (a disjoint partition of
+  // the global mesh), rank-major so the combination is deterministic.
+  std::vector<double> integrals(static_cast<std::size_t>(input.ng), 0.0);
+  double volume = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  for (int rank = 0; rank < distributed_->num_ranks(); ++rank) {
+    const core::TransportSolver& rs = distributed_->rank_solver(rank);
+    accumulate_digest(rs.discretization(), rs.scalar_flux(), integrals,
+                      volume, min, max);
+  }
+  record.flux = finish_digest(integrals, volume, min, max);
+  return record;
+}
+
+RunRecord Run::execute_schedule(RunRecord record) {
+  // Materials/sources are irrelevant to schedule structure; lower a
+  // generated-route copy of the config so custom regions never block a
+  // schedule study.
+  RunConfig plain = config_;
+  plain.materials = MaterialModel{};
+  plain.materials.num_groups = config_.materials.num_groups;
+  plain.source = SourceModel{};
+  const snap::Input input = plain.builder().to_input();
+  const auto disc = std::make_shared<const core::Discretization>(input);
+  record.config = make_configuration_from(input, disc.get());
+  record.schedule = make_schedule_stats_from(
+      disc->schedules(), input.num_threads,
+      angular::kOctants * input.nang);
+  return record;
+}
+
+RunRecord Run::execute_mms(RunRecord record) {
+  problem_.emplace(config_.builder().build());
+  solver_ = problem_->make_solver();
+  solver_->set_observer(observer_);
+  const auto ms = core::ManufacturedSolution::trigonometric();
+  core::apply_manufactured(*solver_, ms);
+  record.config = make_configuration(*solver_);
+  record.schedule = make_schedule_stats(*solver_);
+  record.iteration = solver_->run();
+  record.balance = solver_->balance();
+  record.flux =
+      make_flux_digest(solver_->discretization(), solver_->scalar_flux());
+  record.mms_l2_error = core::l2_error(*solver_, ms);
+  return record;
+}
+
+RunRecord Run::execute_time(RunRecord record) {
+  const snap::Input input = config_.builder().to_input();
+  const auto disc = std::make_shared<const core::Discretization>(input);
+  time_solver_ = std::make_unique<core::TimeDependentSolver>(
+      disc, input, core::TimeDependentSolver::snap_velocities(input.ng),
+      config_.time.dt);
+  core::TransportSolver& inner = time_solver_->solver();
+  inner.set_observer(observer_);
+  if (config_.time.zero_source) inner.problem().qext.fill(0.0);
+  time_solver_->set_initial_condition(config_.time.initial);
+
+  record.config = make_configuration(inner);
+  record.schedule = make_schedule_stats(inner);
+  record.initial_density = time_solver_->total_density();
+
+  core::IterationResult folded;
+  for (int n = 0; n < config_.time.steps; ++n) {
+    const core::TimeDependentSolver::StepResult step = time_solver_->step();
+    record.steps.push_back(
+        {step.time, step.total_density, step.iteration.inners});
+    folded.converged = step.iteration.converged;
+    folded.outers += step.iteration.outers;
+    folded.inners += step.iteration.inners;
+    folded.sweeps += step.iteration.sweeps;
+    folded.final_inner_change = step.iteration.final_inner_change;
+    folded.final_outer_change = step.iteration.final_outer_change;
+    folded.total_seconds += step.iteration.total_seconds;
+    folded.assemble_solve_seconds = step.iteration.assemble_solve_seconds;
+    folded.solve_seconds = step.iteration.solve_seconds;
+  }
+  record.iteration = std::move(folded);
+  record.flux =
+      make_flux_digest(inner.discretization(), inner.scalar_flux());
+  return record;
+}
+
+// --- JSON -----------------------------------------------------------------
+
+std::string to_json(const RunRecord& record) {
+  util::JsonWriter json;
+  json.begin_object();
+
+  json.key("unsnap").begin_object();
+  json.kv("version", record.provenance.version);
+  json.kv("git_describe", record.provenance.git_describe);
+  json.kv("build_type", record.provenance.build_type);
+  json.kv("compiler", record.provenance.compiler);
+  json.end_object();
+
+  json.kv("title", record.title);
+  json.kv("mode", record.mode);
+  json.kv("deck", record.deck);
+
+  const RunRecord::Configuration& c = record.config;
+  json.key("configuration").begin_object();
+  json.key("dims").begin_array();
+  for (const int d : c.dims) json.value(d);
+  json.end_array();
+  json.kv("order", c.order);
+  json.kv("nodes_per_element", c.nodes_per_element);
+  json.kv("elements", c.elements);
+  json.kv("nang", c.nang);
+  json.kv("ng", c.ng);
+  json.kv("nmom", c.nmom);
+  json.kv("twist", c.twist);
+  json.kv("layout", c.layout);
+  json.kv("scheme", c.scheme);
+  json.kv("solver", c.solver);
+  json.kv("inners", c.inners);
+  json.kv("unique_schedules", c.unique_schedules);
+  json.kv("directions", c.directions);
+  json.end_object();
+
+  if (record.schedule) {
+    const RunRecord::ScheduleStats& s = *record.schedule;
+    json.key("schedule").begin_object();
+    json.kv("strategy", s.strategy);
+    json.kv("unique", s.unique);
+    json.kv("directions", s.directions);
+    json.kv("min_buckets", s.min_buckets);
+    json.kv("max_buckets", s.max_buckets);
+    json.kv("mean_bucket", s.mean_bucket);
+    json.kv("max_bucket", s.max_bucket);
+    json.kv("total_lagged", s.total_lagged);
+    json.kv("parallel_efficiency", s.parallel_efficiency);
+    json.kv("threads", s.threads);
+    json.end_object();
+  }
+
+  if (record.iteration) {
+    const core::IterationResult& it = *record.iteration;
+    json.key("iteration").begin_object();
+    json.kv("converged", it.converged);
+    json.kv("outers", it.outers);
+    json.kv("inners", it.inners);
+    json.kv("sweeps", it.sweeps);
+    json.kv("krylov_iters", it.krylov_iters);
+    json.kv("final_inner_change", it.final_inner_change);
+    json.kv("final_outer_change", it.final_outer_change);
+    json.kv("sweeps_per_digit", sweeps_per_digit(it));
+    json.key("timers").begin_object();
+    json.kv("total_seconds", it.total_seconds);
+    json.kv("assemble_solve_seconds", it.assemble_solve_seconds);
+    json.kv("solve_seconds", it.solve_seconds);
+    json.end_object();
+    json.key("inner_history")
+        .value(std::span<const double>(it.inner_history));
+    json.key("residual_history")
+        .value(std::span<const double>(it.residual_history));
+    json.end_object();
+  }
+
+  if (record.balance) {
+    const core::BalanceReport& b = *record.balance;
+    json.key("balance").begin_object();
+    json.kv("source", b.source);
+    json.kv("inflow", b.inflow);
+    json.kv("absorption", b.absorption);
+    json.kv("leakage", b.leakage);
+    json.kv("residual", b.residual());
+    json.kv("relative", b.relative());
+    json.end_object();
+  }
+
+  if (record.flux) {
+    const RunRecord::FluxDigest& f = *record.flux;
+    json.key("flux").begin_object();
+    json.key("group_averages")
+        .value(std::span<const double>(f.group_averages));
+    json.kv("min", f.min);
+    json.kv("max", f.max);
+    json.kv("total", f.total);
+    json.end_object();
+  }
+
+  if (record.decomposition) {
+    const RunRecord::DecompositionStats& d = *record.decomposition;
+    json.key("decomposition").begin_object();
+    json.kv("px", d.px);
+    json.kv("py", d.py);
+    json.kv("exchange", d.exchange);
+    json.kv("pipeline_stages", d.pipeline_stages);
+    json.kv("lagged_rank_edges", d.lagged_rank_edges);
+    json.kv("modelled_pipeline_efficiency", d.modelled_pipeline_efficiency);
+    json.kv("mean_idle_fraction", d.mean_idle_fraction);
+    json.kv("max_idle_fraction", d.max_idle_fraction);
+    json.key("rank_idle_seconds")
+        .value(std::span<const double>(d.rank_idle_seconds));
+    json.key("rank_sweep_seconds")
+        .value(std::span<const double>(d.rank_sweep_seconds));
+    json.end_object();
+  }
+
+  if (record.initial_density || !record.steps.empty()) {
+    json.key("time").begin_object();
+    if (record.initial_density)
+      json.kv("initial_density", *record.initial_density);
+    json.key("steps").begin_array();
+    for (const RunRecord::TimeStep& s : record.steps) {
+      json.begin_object();
+      json.kv("time", s.time);
+      json.kv("total_density", s.total_density);
+      json.kv("inners", s.inners);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+
+  if (record.mms_l2_error) {
+    json.key("mms").begin_object();
+    json.kv("l2_error", *record.mms_l2_error);
+    json.end_object();
+  }
+
+  json.end_object();
+  return json.str();
+}
+
+// --- renderers ------------------------------------------------------------
+
+void print_configuration(const RunRecord::Configuration& config) {
+  std::printf("config: %dx%dx%d hexes, order %d (%d nodes/elem), "
+              "%d angles/octant x 8, %d groups, nmom %d\n",
+              config.dims[0], config.dims[1], config.dims[2], config.order,
+              config.nodes_per_element, config.nang, config.ng,
+              config.nmom);
+  std::printf("        layout %s, scheme %s, solver %s, inners %s, "
+              "twist %.4g, %d unique sweep schedules\n",
+              config.layout.c_str(), config.scheme.c_str(),
+              config.solver.c_str(), config.inners.c_str(), config.twist,
+              config.unique_schedules);
+}
+
+void print_schedule_report(const RunRecord::ScheduleStats& stats) {
+  std::printf("sweep schedules (%s):\n"
+              "  unique        %d (of %d directions)\n"
+              "  buckets       %d..%d per schedule\n"
+              "  occupancy     mean %.1f, largest bucket %d\n",
+              stats.strategy.c_str(), stats.unique, stats.directions,
+              stats.min_buckets, stats.max_buckets, stats.mean_bucket,
+              stats.max_bucket);
+  std::printf("  lagged faces  %d cycle-broken (over unique schedules)\n",
+              stats.total_lagged);
+  std::printf("  parallelism   %.0f%% modelled efficiency at %d threads\n",
+              100.0 * stats.parallel_efficiency, stats.threads);
+}
+
+void print_decomposition_report(const RunRecord::DecompositionStats& stats,
+                                const core::IterationResult& result) {
+  std::printf("distributed sweep: %dx%d KBA ranks, %s exchange\n", stats.px,
+              stats.py, stats.exchange.c_str());
+  std::printf("  %s after %d inners / %d outers "
+              "(last inner change %.3e), %.4f s\n",
+              result.converged ? "converged" : "NOT converged",
+              result.inners, result.outers, result.final_inner_change,
+              result.total_seconds);
+  if (result.krylov_iters > 0)
+    std::printf("  gmres: %d Krylov iters over %d sweeps per rank\n",
+                result.krylov_iters, result.sweeps);
+  if (stats.exchange != snap::to_string(snap::SweepExchange::Pipelined))
+    return;
+
+  std::printf("  pipeline      %d stage%s deep (worst octant), "
+              "%d lagged rank edge%s\n",
+              stats.pipeline_stages, stats.pipeline_stages == 1 ? "" : "s",
+              stats.lagged_rank_edges,
+              stats.lagged_rank_edges == 1 ? "" : "s");
+  std::printf("  modelled      %.0f%% pipeline efficiency "
+              "(unit-time rank sweeps)\n",
+              100.0 * stats.modelled_pipeline_efficiency);
+  std::printf("  measured idle mean %.0f%%, worst rank %.0f%% "
+              "(halo waits / (waits + sweep))\n",
+              100.0 * stats.mean_idle_fraction,
+              100.0 * stats.max_idle_fraction);
+}
+
+void print_run_report(const RunRecord& record) {
+  std::printf("%s\n", record.provenance.summary().c_str());
+  if (!record.title.empty())
+    std::printf("run: %s (mode %s)\n", record.title.c_str(),
+                record.mode.c_str());
+  else
+    std::printf("run mode: %s\n", record.mode.c_str());
+  std::printf("\n");
+  print_configuration(record.config);
+  if (record.schedule) {
+    std::printf("\n");
+    print_schedule_report(*record.schedule);
+  }
+  if (record.iteration && record.mode != to_string(RunMode::Schedule)) {
+    std::printf("\n");
+    print_iteration_report(*record.iteration,
+                           record.iteration->solve_seconds > 0.0);
+  }
+  if (record.decomposition) {
+    std::printf("\n");
+    print_decomposition_report(*record.decomposition, *record.iteration);
+  }
+  if (record.balance) {
+    std::printf("\n");
+    print_balance_report(*record.balance);
+  }
+  if (record.flux) {
+    std::printf("\ngroup   <phi> (volume average)\n");
+    for (std::size_t g = 0; g < record.flux->group_averages.size(); ++g)
+      std::printf("  %2zu    %.6e\n", g, record.flux->group_averages[g]);
+    std::printf("  flux min %.6e, max %.6e, total %.6e\n",
+                record.flux->min, record.flux->max, record.flux->total);
+  }
+  if (record.initial_density) {
+    std::printf("\n  time    density     inners\n");
+    std::printf("  %5.2f   %.4e   --\n", 0.0, *record.initial_density);
+    for (const RunRecord::TimeStep& s : record.steps)
+      std::printf("  %5.2f   %.4e   %d\n", s.time, s.total_density,
+                  s.inners);
+  }
+  if (record.mms_l2_error)
+    std::printf("\nmanufactured-solution L2 error: %.6e\n",
+                *record.mms_l2_error);
+}
+
+// --- live progress observer -----------------------------------------------
+
+void ProgressObserver::on_outer_begin(int outer) {
+  std::printf("outer %d:\n", outer);
+}
+
+void ProgressObserver::on_inner(int inner, int sweeps, double change) {
+  std::printf("  inner %4d  sweeps %4d  dfmxi %.6e\n", inner, sweeps,
+              change);
+}
+
+void ProgressObserver::on_krylov(int iteration, double residual) {
+  std::printf("    krylov %4d  rel residual %.6e\n", iteration, residual);
+}
+
+void ProgressObserver::on_outer_end(int outer, double change,
+                                    bool converged) {
+  std::printf("outer %d done: dfmxo %.6e%s\n", outer, change,
+              converged ? " (converged)" : "");
+}
+
+}  // namespace unsnap::api

@@ -1,0 +1,196 @@
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/problem.hpp"
+#include "api/run_config.hpp"
+#include "api/version.hpp"
+#include "comm/distributed.hpp"
+#include "core/observer.hpp"
+#include "core/time_dependent.hpp"
+#include "core/transport_solver.hpp"
+
+namespace unsnap::api {
+
+/// The structured, machine-readable outcome of one deck-driven run:
+/// everything the scenarios used to print, as data. The human reports
+/// (print_* in report.hpp / print_run_report below) are pure renderers
+/// over this record, and to_json() serialises it for golden tests,
+/// benches and CI. Blocks that do not apply to the run's mode stay
+/// unset (std::optional) / empty.
+struct RunRecord {
+  VersionInfo provenance;  // who produced this record
+  std::string title;       // the deck's [run] title
+  std::string mode;        // to_string(RunMode)
+  std::string deck;        // normalised config echo: write_deck(config)
+
+  /// The configuration line: problem shape and execution config.
+  struct Configuration {
+    std::array<int, 3> dims{};
+    int order = 1;
+    int nodes_per_element = 8;
+    int elements = 0;
+    int nang = 0;  // per octant
+    int ng = 0;
+    int nmom = 1;
+    double twist = 0.0;
+    std::string layout, scheme, solver, inners;
+    int unique_schedules = 0;
+    int directions = 0;
+  };
+  Configuration config;
+
+  /// Sweep-schedule structure (absent for distributed runs, which build
+  /// per-rank schedule sets).
+  struct ScheduleStats {
+    std::string strategy;
+    int unique = 0;
+    int directions = 0;
+    int min_buckets = 0, max_buckets = 0;
+    double mean_bucket = 0.0;
+    int max_bucket = 0;
+    int total_lagged = 0;
+    double parallel_efficiency = 0.0;
+    int threads = 1;
+  };
+  std::optional<ScheduleStats> schedule;
+
+  /// Iteration outcome + histories (distributed runs fold the global
+  /// DistributedSweepResult counts into the same vocabulary).
+  std::optional<core::IterationResult> iteration;
+
+  std::optional<core::BalanceReport> balance;
+
+  /// Scalar-flux digest: per-group volume averages plus the min/max nodal
+  /// values and the volume integral summed over groups — the frozen
+  /// quantities of the golden battery.
+  struct FluxDigest {
+    std::vector<double> group_averages;
+    double min = 0.0, max = 0.0;
+    double total = 0.0;  // sum_g Int phi_g dV
+  };
+  std::optional<FluxDigest> flux;
+
+  /// Distributed-sweep block (decomposition px * py > 1).
+  struct DecompositionStats {
+    int px = 1, py = 1;
+    std::string exchange;
+    int pipeline_stages = 1;
+    int lagged_rank_edges = 0;
+    double modelled_pipeline_efficiency = 1.0;
+    double mean_idle_fraction = 0.0, max_idle_fraction = 0.0;
+    std::vector<double> rank_idle_seconds, rank_sweep_seconds;
+  };
+  std::optional<DecompositionStats> decomposition;
+
+  /// Time mode: the population history.
+  struct TimeStep {
+    double time = 0.0;
+    double total_density = 0.0;
+    int inners = 0;
+  };
+  std::optional<double> initial_density;
+  std::vector<TimeStep> steps;
+
+  /// Mms mode: L2 error against the manufactured solution.
+  std::optional<double> mms_l2_error;
+};
+
+/// JSON serialisation of the whole record (schema checked in CI by
+/// tools/check_run_json.py).
+[[nodiscard]] std::string to_json(const RunRecord& record);
+
+// --- record builders (shared with the report adapters) --------------------
+
+[[nodiscard]] RunRecord::Configuration make_configuration(
+    const core::TransportSolver& solver);
+[[nodiscard]] RunRecord::ScheduleStats make_schedule_stats(
+    const core::TransportSolver& solver);
+[[nodiscard]] RunRecord::FluxDigest make_flux_digest(
+    const core::Discretization& disc, const core::NodalField& phi);
+[[nodiscard]] RunRecord::DecompositionStats make_decomposition_stats(
+    int px, int py, snap::SweepExchange exchange,
+    const comm::DistributedSweepResult& result);
+/// Fold a distributed result into the shared iteration vocabulary.
+[[nodiscard]] core::IterationResult to_iteration_result(
+    const comm::DistributedSweepResult& result);
+
+// --- renderers over record data -------------------------------------------
+
+void print_configuration(const RunRecord::Configuration& config);
+void print_schedule_report(const RunRecord::ScheduleStats& stats);
+void print_decomposition_report(const RunRecord::DecompositionStats& stats,
+                                const core::IterationResult& result);
+/// The full human report of a deck-driven run (every block the record
+/// carries, in the standard order).
+void print_run_report(const RunRecord& record);
+
+/// Live progress tracing over the observer events — what `--verbose` used
+/// to print from inside the solvers.
+class ProgressObserver : public core::IterationObserver {
+ public:
+  void on_outer_begin(int outer) override;
+  void on_inner(int inner, int sweeps, double change) override;
+  void on_krylov(int iteration, double residual) override;
+  void on_outer_end(int outer, double change, bool converged) override;
+};
+
+/// The single entry point lowering a RunConfig to the right solver stack:
+///
+///   mode solve, px*py == 1  -> core::TransportSolver (either scheme)
+///   mode solve, px*py  > 1  -> comm::DistributedSweepSolver
+///   mode schedule           -> discretisation + schedule stats, no solve
+///   mode mms                -> manufactured solve + L2 error
+///   mode time               -> core::TimeDependentSolver steps
+///
+/// and returning a RunRecord instead of printing. The built solver stack
+/// stays alive on the Run for post-execute inspection (detector regions,
+/// gathered fluxes, ...).
+class Run {
+ public:
+  /// Validates the config (throws InvalidInput on a bad deck).
+  explicit Run(RunConfig config);
+
+  /// Subscribe iteration events (progress tracing, dashboards). Must be
+  /// set before execute(); not owned.
+  void set_observer(core::IterationObserver* observer) {
+    observer_ = observer;
+  }
+
+  [[nodiscard]] const RunConfig& config() const { return config_; }
+
+  /// Run the configured stack and return the structured record.
+  RunRecord execute();
+
+  // --- post-execute state, mode-dependent (nullptr where not built) ----
+  [[nodiscard]] const Problem* problem() const { return problem_ ? &*problem_ : nullptr; }
+  [[nodiscard]] const core::TransportSolver* solver() const {
+    return solver_.get();
+  }
+  [[nodiscard]] const comm::DistributedSweepSolver* distributed() const {
+    return distributed_.get();
+  }
+  [[nodiscard]] const core::TimeDependentSolver* time_solver() const {
+    return time_solver_.get();
+  }
+
+ private:
+  RunConfig config_;
+  core::IterationObserver* observer_ = nullptr;
+  std::optional<Problem> problem_;
+  std::unique_ptr<core::TransportSolver> solver_;
+  std::unique_ptr<comm::DistributedSweepSolver> distributed_;
+  std::unique_ptr<core::TimeDependentSolver> time_solver_;
+
+  RunRecord execute_solve(RunRecord record);
+  RunRecord execute_distributed(RunRecord record);
+  RunRecord execute_schedule(RunRecord record);
+  RunRecord execute_mms(RunRecord record);
+  RunRecord execute_time(RunRecord record);
+};
+
+}  // namespace unsnap::api

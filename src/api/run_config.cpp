@@ -1,0 +1,605 @@
+#include "api/run_config.hpp"
+
+#include <cctype>
+#include <map>
+#include <utility>
+
+#include "snap/deck.hpp"
+#include "util/assert.hpp"
+
+namespace unsnap::api {
+
+std::string to_string(RunMode mode) {
+  switch (mode) {
+    case RunMode::Solve: return "solve";
+    case RunMode::Schedule: return "schedule";
+    case RunMode::Mms: return "mms";
+    case RunMode::Time: return "time";
+  }
+  UNSNAP_ASSERT(false);
+  return {};
+}
+
+RunMode run_mode_from_string(const std::string& name) {
+  if (name == "solve") return RunMode::Solve;
+  if (name == "schedule") return RunMode::Schedule;
+  if (name == "mms") return RunMode::Mms;
+  if (name == "time") return RunMode::Time;
+  throw InvalidInput("unknown run mode '" + name +
+                     "' (expected solve, schedule, mms or time)");
+}
+
+snap::CrossSections MaterialModel::cross_sections() const {
+  UNSNAP_ASSERT(custom());
+  snap::CrossSections xs;
+  xs.num_materials = static_cast<int>(sigt.size());
+  xs.ng = num_groups;
+  const auto nm = sigt.size();
+  const auto g_count = static_cast<std::size_t>(num_groups);
+  xs.sigt.resize({nm, g_count});
+  xs.sigs.resize({nm, g_count});
+  xs.siga.resize({nm, g_count});
+  xs.slgg.resize({nm, g_count, g_count}, 0.0);
+  for (std::size_t m = 0; m < nm; ++m)
+    for (std::size_t g = 0; g < g_count; ++g) {
+      xs.sigt(m, g) = sigt[m];
+      xs.sigs(m, g) = scattering[m] * sigt[m];
+      xs.siga(m, g) = xs.sigt(m, g) - xs.sigs(m, g);
+      xs.slgg(m, g, g) = xs.sigs(m, g);  // isotropic, in-group only
+    }
+  return xs;
+}
+
+void RunConfig::validate() const {
+  if (materials.custom()) {
+    require(materials.sigt.size() == materials.scattering.size(),
+            "materials: sigt lists " + std::to_string(materials.sigt.size()) +
+                " materials but scattering lists " +
+                std::to_string(materials.scattering.size()));
+    const int nm = static_cast<int>(materials.sigt.size());
+    for (const double s : materials.sigt)
+      require(s > 0.0, "materials: sigt entries must be positive");
+    for (const double c : materials.scattering)
+      require(c >= 0.0 && c < 1.0,
+              "materials: scattering ratios must be in [0, 1)");
+    require(materials.default_material >= 0 &&
+                materials.default_material < nm,
+            "materials: default_material outside 0.." +
+                std::to_string(nm - 1));
+    for (const MaterialRegion& r : materials.regions)
+      require(r.material >= 0 && r.material < nm,
+              "materials: region material id " +
+                  std::to_string(r.material) + " outside 0.." +
+                  std::to_string(nm - 1));
+  } else {
+    require(materials.regions.empty() && materials.scattering.empty(),
+            "materials: region/scattering lists need a sigt list (the "
+            "custom route)");
+  }
+  for (const SourceRegion& r : source.regions)
+    require(r.group >= -1 && r.group < materials.num_groups,
+            "source: region group " + std::to_string(r.group) +
+                " outside the " + std::to_string(materials.num_groups) +
+                " groups");
+  const bool custom = materials.custom() || source.custom();
+  const int ranks = decomposition.px * decomposition.py;
+  if (mode == RunMode::Time) {
+    require(time.dt > 0.0, "time: dt must be positive");
+    require(time.steps >= 1, "time: steps must be >= 1");
+    require(ranks == 1, "time: the time integrator is single-domain");
+    require(!custom,
+            "time: the time integrator consumes the flat snap::Input deck "
+            "(no custom material/source regions)");
+  }
+  if (mode == RunMode::Mms)
+    require(ranks == 1, "mms: manufactured runs are single-domain");
+  if (ranks > 1)
+    require(!custom,
+            "decomposition: the distributed drivers consume the flat "
+            "snap::Input deck (no custom material/source regions)");
+  // The per-spec (setter) and cross-spec checks of the builder layer.
+  builder().validate();
+}
+
+ProblemBuilder RunConfig::builder() const {
+  ProblemBuilder b;
+  b.mesh(mesh).angular(angular).boundaries(boundary).iteration(iteration);
+  b.execution(execution).decomposition(decomposition);
+
+  MaterialSpec mat;
+  mat.num_groups = materials.num_groups;
+  mat.mat_opt = materials.mat_opt;
+  mat.scattering_ratio = materials.scattering_ratio;
+  if (materials.custom()) {
+    mat.cross_sections = materials.cross_sections();
+    const MaterialModel model = materials;  // owned copy for the closure
+    mat.material_map = [model](const fem::Vec3& c) {
+      for (const MaterialRegion& r : model.regions)
+        if (r.box.contains(c)) return r.material;
+      return model.default_material;
+    };
+  }
+  b.materials(std::move(mat));
+
+  SourceSpec src;
+  src.src_opt = source.src_opt;
+  if (source.custom()) {
+    const SourceModel model = source;
+    src.profile = [model](const fem::Vec3& c, int g) {
+      for (const SourceRegion& r : model.regions)
+        if ((r.group < 0 || r.group == g) && r.box.contains(c))
+          return r.strength;
+      return 0.0;
+    };
+  }
+  b.source(std::move(src));
+  return b;
+}
+
+bool RunConfig::operator==(const RunConfig& o) const {
+  return title == o.title && mode == o.mode && mesh == o.mesh &&
+         angular == o.angular && materials == o.materials &&
+         source == o.source && boundary == o.boundary &&
+         iteration == o.iteration && decomposition == o.decomposition &&
+         execution == o.execution && time == o.time && output == o.output;
+}
+
+// --- deck binding ---------------------------------------------------------
+
+namespace {
+
+using snap::DeckEntry;
+using snap::DeckFile;
+using snap::DeckSection;
+
+[[noreturn]] void fail_at(const DeckFile& deck, const DeckEntry& entry,
+                          const std::string& message) {
+  throw InvalidInput(deck.at(entry.line, entry.column) + message);
+}
+
+/// Re-prefix from_string / range errors with the entry's location.
+template <typename F>
+auto located(const DeckFile& deck, const DeckEntry& entry, F&& f) {
+  try {
+    return f();
+  } catch (const InvalidInput& err) {
+    throw InvalidInput(deck.at(entry.line, entry.column) + err.what());
+  }
+}
+
+/// Binds one DeckFile onto a RunConfig: section dispatch, per-key typed
+/// parses, duplicate-scalar-key and unknown-section/key rejection, all
+/// reported with the offending line (and column for values).
+class Binder {
+ public:
+  explicit Binder(const DeckFile& deck) : deck_(deck) {}
+
+  RunConfig bind() {
+    for (const DeckSection& section : deck_.sections) {
+      if (section.name == "run") bind_section(section, &Binder::run_key);
+      else if (section.name == "mesh")
+        bind_section(section, &Binder::mesh_key);
+      else if (section.name == "angular")
+        bind_section(section, &Binder::angular_key);
+      else if (section.name == "materials")
+        bind_section(section, &Binder::materials_key);
+      else if (section.name == "source")
+        bind_section(section, &Binder::source_key);
+      else if (section.name == "boundary")
+        bind_section(section, &Binder::boundary_key);
+      else if (section.name == "iteration")
+        bind_section(section, &Binder::iteration_key);
+      else if (section.name == "decomposition")
+        bind_section(section, &Binder::decomposition_key);
+      else if (section.name == "execution")
+        bind_section(section, &Binder::execution_key);
+      else if (section.name == "time")
+        bind_section(section, &Binder::time_key);
+      else if (section.name == "output")
+        bind_section(section, &Binder::output_key);
+      else
+        throw InvalidInput(
+            deck_.at(section.line) + "unknown section [" + section.name +
+            "] (known: run, mesh, angular, materials, source, boundary, "
+            "iteration, decomposition, execution, time, output)");
+    }
+    try {
+      config_.validate();
+    } catch (const InvalidInput& err) {
+      throw InvalidInput(deck_.source + ": " + err.what());
+    }
+    return config_;
+  }
+
+ private:
+  const DeckFile& deck_;
+  RunConfig config_;
+  std::map<std::string, int> seen_;  // "section.key" -> first line
+
+  using KeyHandler = bool (Binder::*)(const DeckEntry&);
+
+  void bind_section(const DeckSection& section, KeyHandler handler) {
+    for (const DeckEntry& entry : section.entries) {
+      // Region lists repeat by design; every other key is scalar.
+      if (entry.key != "region") {
+        const std::string id = section.name + "." + entry.key;
+        const auto [it, inserted] = seen_.emplace(id, entry.line);
+        if (!inserted)
+          throw InvalidInput(deck_.at(entry.line) + "duplicate key '" +
+                             entry.key + "' in [" + section.name +
+                             "] (first at line " +
+                             std::to_string(it->second) + ")");
+      }
+      if (!(this->*handler)(entry))
+        throw InvalidInput(deck_.at(entry.line) + "unknown key '" +
+                           entry.key + "' in [" + section.name + "]");
+    }
+  }
+
+  [[nodiscard]] int get_int(const DeckEntry& e) {
+    return snap::entry_int(deck_, e);
+  }
+  [[nodiscard]] double get_double(const DeckEntry& e) {
+    return snap::entry_double(deck_, e);
+  }
+  [[nodiscard]] bool get_bool(const DeckEntry& e) {
+    return snap::entry_bool(deck_, e);
+  }
+
+  [[nodiscard]] Box parse_box(const DeckEntry& e,
+                              const std::vector<double>& v,
+                              std::size_t offset) {
+    UNSNAP_ASSERT(v.size() >= offset + 6);
+    Box box;
+    for (std::size_t axis = 0; axis < 3; ++axis) {
+      box.lo[axis] = v[offset + 2 * axis];
+      box.hi[axis] = v[offset + 2 * axis + 1];
+      if (!(box.lo[axis] < box.hi[axis]))
+        fail_at(deck_, e, "region box bounds must satisfy lo < hi per axis");
+    }
+    return box;
+  }
+
+  bool run_key(const DeckEntry& e) {
+    if (e.key == "title") config_.title = e.value;
+    else if (e.key == "mode")
+      config_.mode =
+          located(deck_, e, [&] { return run_mode_from_string(e.value); });
+    else return false;
+    return true;
+  }
+
+  bool mesh_key(const DeckEntry& e) {
+    MeshSpec& m = config_.mesh;
+    if (e.key == "dims") {
+      const auto v = snap::entry_doubles(deck_, e);
+      if (v.size() != 3) fail_at(deck_, e, "dims needs three integers");
+      for (int i = 0; i < 3; ++i) {
+        m.dims[static_cast<std::size_t>(i)] =
+            static_cast<int>(v[static_cast<std::size_t>(i)]);
+        if (m.dims[static_cast<std::size_t>(i)] !=
+            v[static_cast<std::size_t>(i)])
+          fail_at(deck_, e, "dims needs three integers");
+      }
+    } else if (e.key == "extent") {
+      const auto v = snap::entry_doubles(deck_, e);
+      if (v.size() != 3) fail_at(deck_, e, "extent needs three numbers");
+      for (std::size_t i = 0; i < 3; ++i) m.extent[i] = v[i];
+    } else if (e.key == "twist") m.twist = get_double(e);
+    else if (e.key == "shuffle_seed")
+      m.shuffle_seed = static_cast<std::uint64_t>(snap::entry_long(deck_, e));
+    else if (e.key == "order") m.order = get_int(e);
+    else if (e.key == "validate") m.validate = get_bool(e);
+    else if (e.key == "cycles")
+      m.cycle_strategy = located(
+          deck_, e, [&] { return sweep::cycle_strategy_from_string(e.value); });
+    else return false;
+    return true;
+  }
+
+  bool angular_key(const DeckEntry& e) {
+    AngularSpec& a = config_.angular;
+    if (e.key == "nang") a.nang = get_int(e);
+    else if (e.key == "quadrature")
+      a.quadrature = located(
+          deck_, e, [&] { return angular::quadrature_from_string(e.value); });
+    else if (e.key == "nmom") a.nmom = get_int(e);
+    else return false;
+    return true;
+  }
+
+  bool materials_key(const DeckEntry& e) {
+    MaterialModel& m = config_.materials;
+    if (e.key == "ng") m.num_groups = get_int(e);
+    else if (e.key == "mat_opt") m.mat_opt = get_int(e);
+    else if (e.key == "scattering_ratio") m.scattering_ratio = get_double(e);
+    else if (e.key == "sigt") m.sigt = snap::entry_doubles(deck_, e);
+    else if (e.key == "scattering")
+      m.scattering = snap::entry_doubles(deck_, e);
+    else if (e.key == "default_material") m.default_material = get_int(e);
+    else if (e.key == "region") {
+      const auto v = snap::entry_doubles(deck_, e);
+      if (v.size() != 7)
+        fail_at(deck_, e,
+                "material region needs 7 values: <material> "
+                "<x0> <x1> <y0> <y1> <z0> <z1>");
+      MaterialRegion r;
+      r.material = static_cast<int>(v[0]);
+      if (r.material != v[0])
+        fail_at(deck_, e, "region material id must be an integer");
+      r.box = parse_box(e, v, 1);
+      m.regions.push_back(r);
+    } else return false;
+    return true;
+  }
+
+  bool source_key(const DeckEntry& e) {
+    SourceModel& s = config_.source;
+    if (e.key == "src_opt") s.src_opt = get_int(e);
+    else if (e.key == "region") {
+      const auto v = snap::entry_doubles(deck_, e);
+      if (v.size() != 7 && v.size() != 8)
+        fail_at(deck_, e,
+                "source region needs 7 or 8 values: <strength> "
+                "<x0> <x1> <y0> <y1> <z0> <z1> [group]");
+      SourceRegion r;
+      r.strength = v[0];
+      r.box = parse_box(e, v, 1);
+      if (v.size() == 8) {
+        r.group = static_cast<int>(v[7]);
+        if (r.group != v[7])
+          fail_at(deck_, e, "source region group must be an integer");
+      }
+      s.regions.push_back(r);
+    } else return false;
+    return true;
+  }
+
+  bool boundary_key(const DeckEntry& e) {
+    const auto bc = [&] {
+      return located(deck_, e, [&] { return bc_from_string(e.value); });
+    };
+    if (e.key == "all") {
+      config_.boundary.sides.fill(bc());
+      return true;
+    }
+    // One of the six side names; anything else is unknown.
+    try {
+      const int side = side_from_string(e.key);
+      config_.boundary.sides[static_cast<std::size_t>(side)] = bc();
+      return true;
+    } catch (const InvalidInput&) {
+      return false;
+    }
+  }
+
+  bool iteration_key(const DeckEntry& e) {
+    IterationSpec& it = config_.iteration;
+    if (e.key == "epsi") it.epsi = get_double(e);
+    else if (e.key == "iitm") it.iitm = get_int(e);
+    else if (e.key == "oitm") it.oitm = get_int(e);
+    else if (e.key == "fixed_iterations") it.fixed_iterations = get_bool(e);
+    else if (e.key == "scheme")
+      it.scheme = located(deck_, e, [&] {
+        return snap::iteration_scheme_from_string(e.value);
+      });
+    else if (e.key == "gmres_restart") it.gmres_restart = get_int(e);
+    else if (e.key == "gmres_max_iters") it.gmres_max_iters = get_int(e);
+    else return false;
+    return true;
+  }
+
+  bool decomposition_key(const DeckEntry& e) {
+    DecompositionSpec& d = config_.decomposition;
+    if (e.key == "px") d.px = get_int(e);
+    else if (e.key == "py") d.py = get_int(e);
+    else if (e.key == "exchange")
+      d.exchange = located(
+          deck_, e, [&] { return snap::sweep_exchange_from_string(e.value); });
+    else return false;
+    return true;
+  }
+
+  bool execution_key(const DeckEntry& e) {
+    ExecutionSpec& x = config_.execution;
+    if (e.key == "layout")
+      x.layout =
+          located(deck_, e, [&] { return snap::layout_from_string(e.value); });
+    else if (e.key == "scheme")
+      x.scheme =
+          located(deck_, e, [&] { return snap::scheme_from_string(e.value); });
+    else if (e.key == "solver")
+      x.solver =
+          located(deck_, e, [&] { return linalg::solver_from_string(e.value); });
+    else if (e.key == "threads") x.num_threads = get_int(e);
+    else if (e.key == "time_solve") x.time_solve = get_bool(e);
+    else return false;
+    return true;
+  }
+
+  bool time_key(const DeckEntry& e) {
+    TimeSpec& t = config_.time;
+    if (e.key == "dt") t.dt = get_double(e);
+    else if (e.key == "steps") t.steps = get_int(e);
+    else if (e.key == "initial") t.initial = get_double(e);
+    else if (e.key == "zero_source") t.zero_source = get_bool(e);
+    else return false;
+    return true;
+  }
+
+  bool output_key(const DeckEntry& e) {
+    OutputSpec& o = config_.output;
+    if (e.key == "report") o.report = get_bool(e);
+    else if (e.key == "verbose") o.verbose = get_bool(e);
+    else if (e.key == "json") o.json_path = e.value;
+    else return false;
+    return true;
+  }
+};
+
+}  // namespace
+
+RunConfig read_deck(std::istream& in, const std::string& source) {
+  return Binder(snap::read_deck(in, source)).bind();
+}
+
+RunConfig read_deck_text(const std::string& text, const std::string& source) {
+  return Binder(snap::read_deck_text(text, source)).bind();
+}
+
+RunConfig read_deck_file(const std::string& path) {
+  return Binder(snap::read_deck_file(path)).bind();
+}
+
+namespace {
+
+/// The deck format cannot express every string: comments start at
+/// '#'/'!', values are single-line and end-trimmed. Reject (rather than
+/// silently mangle) free-form values the reader could not round-trip.
+void require_deck_encodable(const std::string& key,
+                            const std::string& value) {
+  for (const char c : value)
+    require(c != '#' && c != '!' && c != '\n' && c != '\r',
+            "write_deck: " + key +
+                " contains a character the deck format cannot represent "
+                "('#', '!' or a line break)");
+  require(value.empty() || (!std::isspace(static_cast<unsigned char>(
+                                value.front())) &&
+                            !std::isspace(static_cast<unsigned char>(
+                                value.back()))),
+          "write_deck: " + key +
+              " has leading/trailing whitespace, which deck values drop");
+}
+
+}  // namespace
+
+std::string write_deck(const RunConfig& config) {
+  require_deck_encodable("title", config.title);
+  require_deck_encodable("output json path", config.output.json_path);
+  snap::DeckWriter w;
+  w.comment("UnSNAP run deck (see docs/DECKS.md for the format)");
+
+  w.section("run");
+  if (!config.title.empty()) w.entry("title", config.title);
+  w.entry("mode", to_string(config.mode));
+
+  const MeshSpec& m = config.mesh;
+  w.section("mesh");
+  w.entry("dims", std::vector<double>{static_cast<double>(m.dims[0]),
+                                      static_cast<double>(m.dims[1]),
+                                      static_cast<double>(m.dims[2])});
+  w.entry("extent",
+          std::vector<double>{m.extent[0], m.extent[1], m.extent[2]});
+  w.entry("twist", m.twist);
+  w.entry("shuffle_seed", static_cast<long long>(m.shuffle_seed));
+  w.entry("order", m.order);
+  w.entry("validate", m.validate);
+  w.entry("cycles", sweep::to_string(m.cycle_strategy));
+
+  const AngularSpec& a = config.angular;
+  w.section("angular");
+  w.entry("nang", a.nang);
+  w.entry("quadrature", angular::to_string(a.quadrature));
+  w.entry("nmom", a.nmom);
+
+  const MaterialModel& mat = config.materials;
+  w.section("materials");
+  w.entry("ng", mat.num_groups);
+  if (!mat.custom()) {
+    w.entry("mat_opt", mat.mat_opt);
+    w.entry("scattering_ratio", mat.scattering_ratio);
+  } else {
+    // The generated-route knobs still round-trip when a deck set both.
+    if (mat.mat_opt != MaterialModel{}.mat_opt)
+      w.entry("mat_opt", mat.mat_opt);
+    if (mat.scattering_ratio != MaterialModel{}.scattering_ratio)
+      w.entry("scattering_ratio", mat.scattering_ratio);
+    w.entry("sigt", mat.sigt);
+    w.entry("scattering", mat.scattering);
+    w.entry("default_material", mat.default_material);
+    for (const MaterialRegion& r : mat.regions)
+      w.entry("region",
+              std::to_string(r.material) + " " +
+                  snap::deck_double(r.box.lo[0]) + " " +
+                  snap::deck_double(r.box.hi[0]) + " " +
+                  snap::deck_double(r.box.lo[1]) + " " +
+                  snap::deck_double(r.box.hi[1]) + " " +
+                  snap::deck_double(r.box.lo[2]) + " " +
+                  snap::deck_double(r.box.hi[2]));
+  }
+
+  const SourceModel& src = config.source;
+  w.section("source");
+  if (!src.custom()) {
+    w.entry("src_opt", src.src_opt);
+  } else {
+    if (src.src_opt != SourceModel{}.src_opt)
+      w.entry("src_opt", src.src_opt);
+    for (const SourceRegion& r : src.regions) {
+      std::string line = snap::deck_double(r.strength) + " " +
+                         snap::deck_double(r.box.lo[0]) + " " +
+                         snap::deck_double(r.box.hi[0]) + " " +
+                         snap::deck_double(r.box.lo[1]) + " " +
+                         snap::deck_double(r.box.hi[1]) + " " +
+                         snap::deck_double(r.box.lo[2]) + " " +
+                         snap::deck_double(r.box.hi[2]);
+      if (r.group >= 0) line += " " + std::to_string(r.group);
+      w.entry("region", line);
+    }
+  }
+
+  w.section("boundary");
+  bool uniform = true;
+  for (const auto bc : config.boundary.sides)
+    uniform = uniform && bc == config.boundary.sides[0];
+  if (uniform) {
+    w.entry("all", to_string(config.boundary.sides[0]));
+  } else {
+    for (int side = 0; side < 6; ++side)
+      w.entry(side_to_string(side),
+              to_string(config.boundary.sides[static_cast<std::size_t>(side)]));
+  }
+
+  const IterationSpec& it = config.iteration;
+  w.section("iteration");
+  w.entry("epsi", it.epsi);
+  w.entry("iitm", it.iitm);
+  w.entry("oitm", it.oitm);
+  w.entry("fixed_iterations", it.fixed_iterations);
+  w.entry("scheme", snap::to_string(it.scheme));
+  w.entry("gmres_restart", it.gmres_restart);
+  w.entry("gmres_max_iters", it.gmres_max_iters);
+
+  const DecompositionSpec& d = config.decomposition;
+  w.section("decomposition");
+  w.entry("px", d.px);
+  w.entry("py", d.py);
+  w.entry("exchange", snap::to_string(d.exchange));
+
+  const ExecutionSpec& x = config.execution;
+  w.section("execution");
+  w.entry("layout", snap::to_string(x.layout));
+  w.entry("scheme", snap::to_string(x.scheme));
+  w.entry("solver", linalg::to_string(x.solver));
+  w.entry("threads", x.num_threads);
+  w.entry("time_solve", x.time_solve);
+
+  if (config.mode == RunMode::Time || !(config.time == TimeSpec{})) {
+    const TimeSpec& t = config.time;
+    w.section("time");
+    w.entry("dt", t.dt);
+    w.entry("steps", t.steps);
+    w.entry("initial", t.initial);
+    w.entry("zero_source", t.zero_source);
+  }
+
+  const OutputSpec& o = config.output;
+  w.section("output");
+  w.entry("report", o.report);
+  w.entry("verbose", o.verbose);
+  if (!o.json_path.empty()) w.entry("json", o.json_path);
+
+  return w.str();
+}
+
+}  // namespace unsnap::api

@@ -1,0 +1,164 @@
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "api/options.hpp"
+#include "api/problem_builder.hpp"
+
+namespace unsnap::api {
+
+/// What a deck asks the Run facade to do. Solve is the standard
+/// stationary transport solve (serial, or distributed when the
+/// decomposition spec names more than one rank); Schedule builds the
+/// discretisation and reports sweep-schedule structure without solving;
+/// Mms overwrites materials/sources with the trigonometric manufactured
+/// solution and records the L2 error; Time runs the backward-Euler time
+/// integrator over the [time] section's steps.
+enum class RunMode { Solve, Schedule, Mms, Time };
+
+[[nodiscard]] std::string to_string(RunMode mode);
+[[nodiscard]] RunMode run_mode_from_string(const std::string& name);
+
+/// Axis-aligned open box used by the deck's material/source region lists:
+/// a centroid is inside when lo[i] < c[i] < hi[i] on every axis, matching
+/// the strict `<` threshold tests of the scenario lambdas it replaces.
+/// Unbounded sides are +-inf (spelled `inf` / `-inf` in decks).
+struct Box {
+  std::array<double, 3> lo{-std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()};
+  std::array<double, 3> hi{std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::infinity()};
+
+  [[nodiscard]] bool contains(const fem::Vec3& c) const {
+    for (int i = 0; i < 3; ++i)
+      if (!(lo[static_cast<std::size_t>(i)] < c[i] &&
+            c[i] < hi[static_cast<std::size_t>(i)]))
+        return false;
+    return true;
+  }
+  [[nodiscard]] bool operator==(const Box&) const = default;
+};
+
+/// Deck-expressible materials: either SNAP's generated route (mat_opt /
+/// scattering_ratio over make_cross_sections) or the custom route every
+/// bespoke scenario in this repo uses — per-material total cross sections
+/// with a per-material scattering ratio (isotropic, in-group only,
+/// constant across groups) assigned to elements by an ordered
+/// first-match-wins region list over centroids. Setting `sigt` switches
+/// to the custom route.
+struct MaterialRegion {
+  int material = 0;
+  Box box;
+  [[nodiscard]] bool operator==(const MaterialRegion&) const = default;
+};
+
+struct MaterialModel {
+  int num_groups = 4;
+  int mat_opt = 1;
+  double scattering_ratio = 0.5;
+  // --- custom route (active when sigt is non-empty) --------------------
+  std::vector<double> sigt;        // per-material totals
+  std::vector<double> scattering;  // per-material ratios c = sigs/sigt
+  int default_material = 0;        // id where no region matches
+  std::vector<MaterialRegion> regions;  // evaluated in order, first wins
+
+  [[nodiscard]] bool custom() const { return !sigt.empty(); }
+  /// The diagonal in-group cross-section set of the custom route.
+  [[nodiscard]] snap::CrossSections cross_sections() const;
+  [[nodiscard]] bool operator==(const MaterialModel&) const = default;
+};
+
+/// Deck-expressible external source: SNAP's src_opt placements or a
+/// first-match-wins region list of constant strengths (strength 0 outside
+/// every region). `group` restricts a region to one energy group
+/// (-1 = all groups, the scenarios' behaviour).
+struct SourceRegion {
+  double strength = 1.0;
+  Box box;
+  int group = -1;
+  [[nodiscard]] bool operator==(const SourceRegion&) const = default;
+};
+
+struct SourceModel {
+  int src_opt = 1;
+  std::vector<SourceRegion> regions;  // active when non-empty
+
+  [[nodiscard]] bool custom() const { return !regions.empty(); }
+  [[nodiscard]] bool operator==(const SourceModel&) const = default;
+};
+
+/// The [time] section (RunMode::Time): backward-Euler steps with SNAP's
+/// generated group speeds. `initial` is the uniform isotropic initial
+/// angular flux; `zero_source` drops the deck's external source so the
+/// pulse decays freely (the pulse_decay scenario).
+struct TimeSpec {
+  double dt = 0.1;
+  int steps = 8;
+  double initial = 1.0;
+  bool zero_source = true;
+  [[nodiscard]] bool operator==(const TimeSpec&) const = default;
+};
+
+/// Output routing for a deck-driven run. `json_path` is normally injected
+/// by the driver's --json flag rather than the deck itself.
+struct OutputSpec {
+  bool report = true;    // render the human report after the run
+  bool verbose = false;  // attach the live progress observer
+  std::string json_path;
+  [[nodiscard]] bool operator==(const OutputSpec&) const = default;
+};
+
+/// The unified declarative run description: everything `unsnap --deck`
+/// can express, aggregating the existing option structs plus the
+/// deck-only material/source/time models. Loads from and saves to
+/// SNAP-style deck files with full round-trip fidelity
+/// (read_deck_text(write_deck(cfg)) == cfg), and lowers onto a
+/// ProblemBuilder for the api::Run facade.
+struct RunConfig {
+  std::string title;  // free-form run label (config echo / JSON)
+  RunMode mode = RunMode::Solve;
+  MeshSpec mesh;
+  AngularSpec angular;
+  MaterialModel materials;
+  SourceModel source;
+  BoundarySpec boundary;
+  IterationSpec iteration;
+  DecompositionSpec decomposition;
+  ExecutionSpec execution;
+  TimeSpec time;
+  OutputSpec output;
+
+  /// Cross-field validation beyond what the builder setters check
+  /// (custom-route array shapes, region material ids, mode constraints).
+  void validate() const;
+
+  /// Lower onto the builder vocabulary: generated routes pass through,
+  /// custom material/source models become centroid callbacks over the
+  /// region lists. The result builds bitwise the same problem a scenario
+  /// composing the equivalent specs by hand would.
+  [[nodiscard]] ProblemBuilder builder() const;
+
+  [[nodiscard]] bool operator==(const RunConfig&) const;
+};
+
+/// Parse a RunConfig from deck text/stream/file. Errors (unknown section,
+/// unknown key, duplicate scalar key, bad enum, type mismatch, out-of-
+/// range value) throw InvalidInput prefixed `source:line[:column]:`.
+[[nodiscard]] RunConfig read_deck(std::istream& in,
+                                  const std::string& source);
+[[nodiscard]] RunConfig read_deck_text(const std::string& text,
+                                       const std::string& source = "<deck>");
+[[nodiscard]] RunConfig read_deck_file(const std::string& path);
+
+/// Serialise to deck text: every field in a stable section/key order,
+/// defaults included (a dumped deck is a complete, self-documenting
+/// record of the run). read_deck_text(write_deck(c)) == c exactly.
+[[nodiscard]] std::string write_deck(const RunConfig& config);
+
+}  // namespace unsnap::api

@@ -1,0 +1,47 @@
+#include "api/version.hpp"
+
+namespace unsnap::api {
+
+// The git describe / build type land here as compile definitions from
+// CMake (the "build provenance" block in CMakeLists.txt, captured at
+// configure time; .git/HEAD and .git/index are configure dependencies,
+// so a new commit re-stamps on the next build — uncommitted worktree
+// edits can still leave a stale "-dirty" suffix). The compiler
+// identifies itself.
+#ifndef UNSNAP_GIT_DESCRIBE
+#define UNSNAP_GIT_DESCRIBE "unknown"
+#endif
+#ifndef UNSNAP_BUILD_TYPE
+#define UNSNAP_BUILD_TYPE "unknown"
+#endif
+
+namespace {
+
+std::string compiler_string() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+std::string VersionInfo::summary() const {
+  return "unsnap " + version + " (" + git_describe + ", " + build_type +
+         ", " + compiler + ")";
+}
+
+const VersionInfo& version_info() {
+  static const VersionInfo info{
+      "0.5.0",  // PR sequence: 0.<PR>.0
+      UNSNAP_GIT_DESCRIBE,
+      UNSNAP_BUILD_TYPE,
+      compiler_string(),
+  };
+  return info;
+}
+
+}  // namespace unsnap::api

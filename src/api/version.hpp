@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+namespace unsnap::api {
+
+/// Build provenance: stamped into `unsnap --version` and the RunRecord
+/// provenance block so every machine-readable result names the code that
+/// produced it.
+struct VersionInfo {
+  std::string version;       // semantic version of the mini-app
+  std::string git_describe;  // `git describe` at configure time, or "unknown"
+  std::string build_type;    // CMAKE_BUILD_TYPE, or "unknown"
+  std::string compiler;      // compiler id + version string
+
+  /// One line: "unsnap <version> (<git>, <build_type>, <compiler>)".
+  [[nodiscard]] std::string summary() const;
+};
+
+[[nodiscard]] const VersionInfo& version_info();
+
+}  // namespace unsnap::api

@@ -215,6 +215,8 @@ DistributedSweepResult DistributedSweepSolver::run_jacobi() {
     core::NodalField phi_outer = solver->scalar_flux();
 
     for (int outer = 0; outer < input_.oitm; ++outer) {
+      if (rank == 0 && observer_ != nullptr)
+        observer_->on_outer_begin(outer);
       solver->update_outer_source();
       phi_outer = solver->scalar_flux();
       for (int inner = 0; inner < input_.iitm; ++inner) {
@@ -223,7 +225,11 @@ DistributedSweepResult DistributedSweepSolver::run_jacobi() {
         exchange(net, rank, *solver, tag++);
         final_inner = net.allreduce_max(solver->inner_change());
         ++inners;
-        if (rank == 0) result.inner_history.push_back(final_inner);
+        if (rank == 0) {
+          result.inner_history.push_back(final_inner);
+          if (observer_ != nullptr)
+            observer_->on_inner(inners - 1, inners, final_inner);
+        }
         if (!input_.fixed_iterations && final_inner < input_.epsi) break;
       }
       ++outers;
@@ -231,6 +237,8 @@ DistributedSweepResult DistributedSweepSolver::run_jacobi() {
           core::max_relative_change(solver->scalar_flux(), phi_outer));
       converged =
           final_outer < 100.0 * input_.epsi && final_inner < input_.epsi;
+      if (rank == 0 && observer_ != nullptr)
+        observer_->on_outer_end(outer, final_outer, converged);
       if (!input_.fixed_iterations && converged) break;
     }
 
@@ -363,6 +371,10 @@ DistributedSweepResult DistributedSweepSolver::run_pipelined() {
       };
       hooks.reduce_max = [&](double v) { return net.allreduce_max(v); };
 
+      // Rank 0's inner driver sees the globally-reduced changes/residuals,
+      // so its events are the global iteration trace.
+      if (rank == 0 && observer_ != nullptr)
+        solver->set_observer(observer_);
       const core::IterationResult it = accel::run_gmres(*solver, &hooks);
       if (rank == 0) {
         result.converged = it.converged;
@@ -383,6 +395,8 @@ DistributedSweepResult DistributedSweepSolver::run_pipelined() {
       core::NodalField phi_outer = solver->scalar_flux();
 
       for (int outer = 0; outer < input_.oitm; ++outer) {
+        if (rank == 0 && observer_ != nullptr)
+          observer_->on_outer_begin(outer);
         solver->update_outer_source();
         phi_outer = solver->scalar_flux();
         for (int inner = 0; inner < input_.iitm; ++inner) {
@@ -390,7 +404,11 @@ DistributedSweepResult DistributedSweepSolver::run_pipelined() {
           pipelined_sweep(false);
           final_inner = net.allreduce_max(solver->inner_change());
           ++inners;
-          if (rank == 0) result.inner_history.push_back(final_inner);
+          if (rank == 0) {
+            result.inner_history.push_back(final_inner);
+            if (observer_ != nullptr)
+              observer_->on_inner(inners - 1, inners, final_inner);
+          }
           if (!input_.fixed_iterations && final_inner < input_.epsi) break;
         }
         ++outers;
@@ -398,6 +416,8 @@ DistributedSweepResult DistributedSweepSolver::run_pipelined() {
             core::max_relative_change(solver->scalar_flux(), phi_outer));
         converged =
             final_outer < 100.0 * input_.epsi && final_inner < input_.epsi;
+        if (rank == 0 && observer_ != nullptr)
+          observer_->on_outer_end(outer, final_outer, converged);
         if (!input_.fixed_iterations && converged) break;
       }
 

@@ -70,6 +70,13 @@ class DistributedSweepSolver {
 
   DistributedSweepResult run();
 
+  /// Subscribe an observer to the global iteration events. Events fire on
+  /// rank 0's worker thread with globally-reduced values (the numbers the
+  /// result records); per-rank local changes are not observable.
+  void set_observer(core::IterationObserver* observer) {
+    observer_ = observer;
+  }
+
   [[nodiscard]] int num_ranks() const { return partition_.num_ranks(); }
   [[nodiscard]] snap::SweepExchange exchange() const {
     return input_.sweep_exchange;
@@ -114,6 +121,7 @@ class DistributedSweepSolver {
   std::vector<HaloPlan> plans_;
   std::unique_ptr<RankDag> dag_;  // pipelined exchange only
   std::vector<std::unique_ptr<core::TransportSolver>> solvers_;
+  core::IterationObserver* observer_ = nullptr;
 
   void build_halo_plans();
 

@@ -1,0 +1,47 @@
+#pragma once
+
+namespace unsnap::core {
+
+/// Iteration-event callback interface threaded through the solver stacks
+/// (core::TransportSolver, accel::run_gmres, comm::DistributedSweepSolver).
+/// Progress printing, convergence tracing and live dashboards subscribe to
+/// events instead of growing `--verbose` printf paths inside the solvers;
+/// the solvers themselves stay output-free.
+///
+/// Contract: every handler is a no-op by default, so observers override
+/// only what they need. Events fire on the thread driving the iteration —
+/// for the distributed drivers that is rank 0's worker thread, with
+/// globally-reduced values (the same numbers the result records). The
+/// observer must not mutate the solver; it sees state, it does not steer.
+class IterationObserver {
+ public:
+  virtual ~IterationObserver() = default;
+
+  /// An outer (group-coupling Jacobi) iteration is starting; `outer` is
+  /// 0-based.
+  virtual void on_outer_begin(int outer) { (void)outer; }
+
+  /// One inner iteration finished. `inner` counts from 0 within the run,
+  /// `sweeps` is the cumulative transport-sweep count and `change` the
+  /// pointwise max relative flux change (SNAP's dfmxi). Under gmres inners
+  /// this fires once per recorded inner-history entry (restart-cycle
+  /// checks plus the closing change), mirroring IterationResult.
+  virtual void on_inner(int inner, int sweeps, double change) {
+    (void)inner, (void)sweeps, (void)change;
+  }
+
+  /// One Krylov iteration inside a gmres inner solve. `residual` is the
+  /// 2-norm residual relative to the inner right-hand side (the same
+  /// normalisation IterationResult::residual_history records).
+  virtual void on_krylov(int iteration, double residual) {
+    (void)iteration, (void)residual;
+  }
+
+  /// An outer iteration finished. `change` is the outer flux change
+  /// (SNAP's dfmxo); `converged` reflects SNAP's combined outer test.
+  virtual void on_outer_end(int outer, double change, bool converged) {
+    (void)outer, (void)change, (void)converged;
+  }
+};
+
+}  // namespace unsnap::core

@@ -241,6 +241,7 @@ IterationResult TransportSolver::run() {
 
   NodalField phi_outer = phi_;
   for (int outer = 0; outer < input_.oitm; ++outer) {
+    if (observer_ != nullptr) observer_->on_outer_begin(outer);
     update_outer_source();
     phi_outer = phi_;
     for (int inner = 0; inner < input_.iitm; ++inner) {
@@ -250,6 +251,9 @@ IterationResult TransportSolver::run() {
       ++result.sweeps;
       result.final_inner_change = inner_change();
       result.inner_history.push_back(result.final_inner_change);
+      if (observer_ != nullptr)
+        observer_->on_inner(result.inners - 1, result.sweeps,
+                            result.final_inner_change);
       if (!input_.fixed_iterations &&
           result.final_inner_change < input_.epsi)
         break;
@@ -260,10 +264,13 @@ IterationResult TransportSolver::run() {
     if (result.final_outer_change < 100.0 * input_.epsi &&
         result.final_inner_change < input_.epsi) {
       result.converged = true;
-      if (!input_.fixed_iterations) break;
     } else {
       result.converged = false;
     }
+    if (observer_ != nullptr)
+      observer_->on_outer_end(outer, result.final_outer_change,
+                              result.converged);
+    if (result.converged && !input_.fixed_iterations) break;
   }
 
   result.total_seconds = total.stop();

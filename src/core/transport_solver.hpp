@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "core/balance.hpp"
+#include "core/observer.hpp"
 #include "core/preassembly.hpp"
 #include "core/source.hpp"
 #include "core/sweeper.hpp"
@@ -129,6 +130,12 @@ class TransportSolver {
   [[nodiscard]] BalanceReport balance() const;
   [[nodiscard]] const snap::Input& input() const { return input_; }
 
+  /// Subscribe an observer to the iteration events of run() (both
+  /// schemes). Not owned; nullptr unsubscribes. See core::IterationObserver
+  /// for the event contract.
+  void set_observer(IterationObserver* observer) { observer_ = observer; }
+  [[nodiscard]] IterationObserver* observer() const { return observer_; }
+
   /// Cumulative sweep timings since construction.
   [[nodiscard]] double assemble_solve_seconds() const {
     return assemble_solve_seconds_;
@@ -153,6 +160,7 @@ class TransportSolver {
   LagSnapshot lag_;
   std::unique_ptr<AngularFlux> qang_;
   std::unique_ptr<PreassembledOperator> pre_;
+  IterationObserver* observer_ = nullptr;
   double assemble_solve_seconds_ = 0.0;
   double solve_seconds_ = 0.0;
 

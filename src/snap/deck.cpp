@@ -1,0 +1,264 @@
+#include "snap/deck.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace unsnap::snap {
+
+namespace {
+
+[[nodiscard]] bool is_space(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+/// [first, last) of the non-whitespace span of `s`, comment stripped.
+void trim_span(const std::string& s, std::size_t& first, std::size_t& last) {
+  last = s.size();
+  for (std::size_t i = 0; i < s.size(); ++i)
+    if (s[i] == '#' || s[i] == '!') {
+      last = i;
+      break;
+    }
+  first = 0;
+  while (first < last && is_space(s[first])) ++first;
+  while (last > first && is_space(s[last - 1])) --last;
+}
+
+[[noreturn]] void fail(const std::string& source, int line, int column,
+                       const std::string& message) {
+  std::string where = source + ":" + std::to_string(line);
+  if (column > 0) where += ":" + std::to_string(column);
+  throw InvalidInput(where + ": " + message);
+}
+
+[[noreturn]] void fail_entry(const DeckFile& deck, const DeckEntry& entry,
+                             const std::string& message) {
+  fail(deck.source, entry.line, entry.column, message);
+}
+
+}  // namespace
+
+std::string DeckFile::at(int line, int column) const {
+  std::string where = source + ":" + std::to_string(line);
+  if (column > 0) where += ":" + std::to_string(column);
+  return where + ": ";
+}
+
+DeckFile read_deck(std::istream& in, std::string source) {
+  DeckFile deck;
+  deck.source = std::move(source);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    if (!raw.empty() && raw.back() == '\r') raw.pop_back();
+    std::size_t first = 0, last = 0;
+    trim_span(raw, first, last);
+    if (first == last) continue;  // blank / comment-only line
+
+    if (raw[first] == '[') {
+      if (raw[last - 1] != ']')
+        fail(deck.source, line_no, static_cast<int>(first) + 1,
+             "malformed section header (expected [name])");
+      std::string name = raw.substr(first + 1, last - first - 2);
+      std::size_t nf = 0, nl = 0;
+      trim_span(name, nf, nl);
+      name = name.substr(nf, nl - nf);
+      if (name.empty())
+        fail(deck.source, line_no, static_cast<int>(first) + 1,
+             "empty section name");
+      for (const DeckSection& s : deck.sections)
+        if (s.name == name)
+          fail(deck.source, line_no, static_cast<int>(first) + 1,
+               "section [" + name + "] already opened at line " +
+                   std::to_string(s.line) +
+                   " (each section appears once)");
+      deck.sections.push_back({name, line_no, {}});
+      continue;
+    }
+
+    const std::size_t eq = raw.find('=', first);
+    if (eq == std::string::npos || eq >= last)
+      fail(deck.source, line_no, static_cast<int>(first) + 1,
+           "expected 'key = value' (no '=' on this line)");
+    if (deck.sections.empty())
+      fail(deck.source, line_no, static_cast<int>(first) + 1,
+           "key before any [section] header");
+
+    std::size_t kf = first, kl = eq;
+    while (kl > kf && is_space(raw[kl - 1])) --kl;
+    if (kf == kl)
+      fail(deck.source, line_no, static_cast<int>(first) + 1,
+           "empty key before '='");
+    std::size_t vf = eq + 1;
+    while (vf < last && is_space(raw[vf])) ++vf;
+    if (vf >= last)
+      fail(deck.source, line_no, static_cast<int>(eq) + 1,
+           "empty value for key '" + raw.substr(kf, kl - kf) + "'");
+
+    DeckEntry entry;
+    entry.key = raw.substr(kf, kl - kf);
+    entry.value = raw.substr(vf, last - vf);
+    entry.line = line_no;
+    entry.column = static_cast<int>(vf) + 1;
+    deck.sections.back().entries.push_back(std::move(entry));
+  }
+  return deck;
+}
+
+DeckFile read_deck_text(const std::string& text, std::string source) {
+  std::istringstream in(text);
+  return read_deck(in, std::move(source));
+}
+
+DeckFile read_deck_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot read deck file '" + path + "'");
+  return read_deck(in, path);
+}
+
+namespace {
+
+template <typename T>
+T parse_number(const DeckFile& deck, const DeckEntry& entry,
+               const std::string& token, const char* kind, T (*conv)(
+                   const std::string&, std::size_t*)) {
+  try {
+    std::size_t consumed = 0;
+    const T v = conv(token, &consumed);
+    if (consumed != token.size()) throw std::invalid_argument(token);
+    return v;
+  } catch (const std::exception&) {
+    fail_entry(deck, entry,
+               "key '" + entry.key + "': '" + token + "' is not " + kind);
+  }
+}
+
+int to_int(const std::string& s, std::size_t* consumed) {
+  return std::stoi(s, consumed);
+}
+long long to_longlong(const std::string& s, std::size_t* consumed) {
+  return std::stoll(s, consumed);
+}
+double to_double(const std::string& s, std::size_t* consumed) {
+  if (s == "inf") return std::numeric_limits<double>::infinity();
+  if (s == "-inf") return -std::numeric_limits<double>::infinity();
+  return std::stod(s, consumed);
+}
+
+void expect_single_token(const DeckFile& deck, const DeckEntry& entry) {
+  for (const char c : entry.value)
+    if (is_space(c))
+      fail_entry(deck, entry,
+                 "key '" + entry.key + "': expected one value, got '" +
+                     entry.value + "'");
+}
+
+}  // namespace
+
+int entry_int(const DeckFile& deck, const DeckEntry& entry) {
+  expect_single_token(deck, entry);
+  return parse_number<int>(deck, entry, entry.value, "an integer", to_int);
+}
+
+long long entry_long(const DeckFile& deck, const DeckEntry& entry) {
+  expect_single_token(deck, entry);
+  return parse_number<long long>(deck, entry, entry.value, "an integer",
+                                 to_longlong);
+}
+
+double entry_double(const DeckFile& deck, const DeckEntry& entry) {
+  expect_single_token(deck, entry);
+  if (entry.value == "inf" || entry.value == "-inf")
+    return to_double(entry.value, nullptr);
+  return parse_number<double>(deck, entry, entry.value, "a number",
+                              to_double);
+}
+
+bool entry_bool(const DeckFile& deck, const DeckEntry& entry) {
+  expect_single_token(deck, entry);
+  const std::string& v = entry.value;
+  if (v == "true" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "off" || v == "0") return false;
+  fail_entry(deck, entry,
+             "key '" + entry.key + "': '" + v +
+                 "' is not a boolean (true/false/on/off/1/0)");
+}
+
+std::vector<std::string> entry_tokens(const DeckEntry& entry) {
+  std::vector<std::string> tokens;
+  std::istringstream in(entry.value);
+  std::string t;
+  while (in >> t) tokens.push_back(t);
+  return tokens;
+}
+
+std::vector<double> entry_doubles(const DeckFile& deck,
+                                  const DeckEntry& entry) {
+  std::vector<double> values;
+  for (const std::string& t : entry_tokens(entry)) {
+    if (t == "inf" || t == "-inf") {
+      values.push_back(to_double(t, nullptr));
+      continue;
+    }
+    values.push_back(
+        parse_number<double>(deck, entry, t, "a number", to_double));
+  }
+  return values;
+}
+
+std::string deck_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void DeckWriter::comment(const std::string& text) {
+  out_ += "# " + text + "\n";
+}
+
+void DeckWriter::section(const std::string& name) {
+  if (!out_.empty()) out_ += "\n";
+  out_ += "[" + name + "]\n";
+  in_section_ = true;
+}
+
+void DeckWriter::entry(const std::string& key, const std::string& value) {
+  UNSNAP_ASSERT(in_section_);
+  out_ += key + " = " + value + "\n";
+}
+
+void DeckWriter::entry(const std::string& key, int v) {
+  entry(key, std::to_string(v));
+}
+
+void DeckWriter::entry(const std::string& key, long long v) {
+  entry(key, std::to_string(v));
+}
+
+void DeckWriter::entry(const std::string& key, bool v) {
+  entry(key, std::string(v ? "true" : "false"));
+}
+
+void DeckWriter::entry(const std::string& key, double v) {
+  entry(key, deck_double(v));
+}
+
+void DeckWriter::entry(const std::string& key,
+                       const std::vector<double>& v) {
+  std::string joined;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) joined += " ";
+    joined += deck_double(v[i]);
+  }
+  entry(key, joined);
+}
+
+}  // namespace unsnap::snap

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace unsnap::snap {
+
+/// SNAP-style input-deck text layer: the format is line-oriented
+/// `key = value` pairs grouped under `[section]` headers, with `#` and `!`
+/// comments (SNAP's deck comment character is `!`). This layer is purely
+/// lexical — it knows sections, keys, values and where they live in the
+/// file — and is shared by anything that wants deck-shaped configuration;
+/// the binding onto api::RunConfig (section/key vocabulary, types,
+/// defaults) lives in api/run_config.*.
+///
+///   # quickstart deck
+///   [mesh]
+///   dims = 8 8 8          ! elements per axis
+///   twist = 0.001
+///
+/// Every entry carries its 1-based line and column so the binder can
+/// report errors as `deck.inp:12:7: ...`. Values keep interior whitespace
+/// (multi-token lists) but are trimmed at both ends, with any trailing
+/// comment stripped.
+
+struct DeckEntry {
+  std::string key;
+  std::string value;
+  int line = 0;    // 1-based line of the key
+  int column = 0;  // 1-based column of the value (for type errors)
+};
+
+struct DeckSection {
+  std::string name;
+  int line = 0;  // 1-based line of the [section] header
+  std::vector<DeckEntry> entries;  // file order; duplicates preserved
+};
+
+struct DeckFile {
+  std::string source;  // file name (or "<deck>") used in error messages
+  std::vector<DeckSection> sections;  // file order
+
+  /// `source:line[:column]: message` — the uniform error prefix.
+  [[nodiscard]] std::string at(int line, int column = 0) const;
+};
+
+/// Parse deck text. Throws InvalidInput with a `source:line:column:`
+/// prefix on lexical errors (text before the first section header, a
+/// malformed header, a line without `=`, an empty key, a repeated section
+/// name). Repeated *keys* are allowed here — list-valued keys (`region`)
+/// repeat by design — and the binder rejects scalar duplicates with both
+/// line numbers in hand.
+[[nodiscard]] DeckFile read_deck(std::istream& in, std::string source);
+[[nodiscard]] DeckFile read_deck_text(const std::string& text,
+                                      std::string source = "<deck>");
+/// Reads from the filesystem; throws InvalidInput if unreadable.
+[[nodiscard]] DeckFile read_deck_file(const std::string& path);
+
+/// Typed accessors over one entry: parse the whole value as one token of
+/// the requested type, throwing InvalidInput with the entry's location
+/// and key on mismatch. Booleans accept true/false/on/off/1/0.
+[[nodiscard]] int entry_int(const DeckFile& deck, const DeckEntry& entry);
+[[nodiscard]] long long entry_long(const DeckFile& deck,
+                                   const DeckEntry& entry);
+[[nodiscard]] double entry_double(const DeckFile& deck,
+                                  const DeckEntry& entry);
+[[nodiscard]] bool entry_bool(const DeckFile& deck, const DeckEntry& entry);
+/// Whitespace-split value tokens (never empty; the parser rejects empty
+/// values).
+[[nodiscard]] std::vector<std::string> entry_tokens(const DeckEntry& entry);
+/// All tokens parsed as doubles; `inf` / `-inf` are accepted (region
+/// boxes use them for unbounded sides).
+[[nodiscard]] std::vector<double> entry_doubles(const DeckFile& deck,
+                                                const DeckEntry& entry);
+
+/// Deck writer: emits sections and `key = value` lines in insertion
+/// order, producing text read_deck parses back to the identical structure.
+class DeckWriter {
+ public:
+  /// Optional full-line comments before anything else.
+  void comment(const std::string& text);
+  void section(const std::string& name);
+  void entry(const std::string& key, const std::string& value);
+  void entry(const std::string& key, int v);
+  void entry(const std::string& key, long long v);
+  void entry(const std::string& key, bool v);
+  /// Doubles print via %.17g so read->write->read is bit-exact.
+  void entry(const std::string& key, double v);
+  void entry(const std::string& key, const std::vector<double>& v);
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  std::string out_;
+  bool in_section_ = false;
+};
+
+/// %.17g rendering of one double with inf/-inf spelled as tokens
+/// entry_doubles() accepts.
+[[nodiscard]] std::string deck_double(double v);
+
+}  // namespace unsnap::snap

@@ -1,0 +1,176 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace unsnap::util {
+
+JsonWriter::JsonWriter(int indent) : indent_(indent) {}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void JsonWriter::newline() {
+  if (indent_ <= 0) return;
+  out_ += '\n';
+  out_.append(stack_.size() * static_cast<std::size_t>(indent_), ' ');
+}
+
+void JsonWriter::prepare_value() {
+  if (stack_.empty()) {
+    UNSNAP_ASSERT(out_.empty());  // exactly one top-level value
+    return;
+  }
+  Level& top = stack_.back();
+  if (top.scope == Scope::Object) {
+    UNSNAP_ASSERT(key_pending_);  // object members need a key() first
+    key_pending_ = false;
+    return;
+  }
+  if (top.has_members) out_ += ',';
+  top.has_members = true;
+  newline();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prepare_value();
+  out_ += '{';
+  stack_.push_back({Scope::Object});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  UNSNAP_ASSERT(!stack_.empty() && stack_.back().scope == Scope::Object &&
+                !key_pending_);
+  const bool had = stack_.back().has_members;
+  stack_.pop_back();
+  if (had) newline();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prepare_value();
+  out_ += '[';
+  stack_.push_back({Scope::Array});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  UNSNAP_ASSERT(!stack_.empty() && stack_.back().scope == Scope::Array);
+  const bool had = stack_.back().has_members;
+  stack_.pop_back();
+  if (had) newline();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  UNSNAP_ASSERT(!stack_.empty() && stack_.back().scope == Scope::Object &&
+                !key_pending_);
+  Level& top = stack_.back();
+  if (top.has_members) out_ += ',';
+  top.has_members = true;
+  newline();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += indent_ > 0 ? "\": " : "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  prepare_value();
+  out_ += number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) { return value(static_cast<long long>(v)); }
+JsonWriter& JsonWriter::value(long v) {
+  return value(static_cast<long long>(v));
+}
+
+JsonWriter& JsonWriter::value(long long v) {
+  prepare_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::size_t v) {
+  prepare_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  prepare_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  prepare_value();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string(v));
+}
+
+JsonWriter& JsonWriter::null() {
+  prepare_value();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(const std::string& json) {
+  prepare_value();
+  out_ += json;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::span<const double> v) {
+  begin_array();
+  for (const double x : v) value(x);
+  return end_array();
+}
+
+std::string JsonWriter::str() const {
+  UNSNAP_ASSERT(stack_.empty() && !key_pending_);
+  return out_;
+}
+
+}  // namespace unsnap::util

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace unsnap::util {
+
+/// Minimal streaming JSON writer for the machine-readable run records
+/// (api::RunRecord) and benchmark outputs. Hand-rolled on purpose: the
+/// container ships no JSON dependency and the write-only subset is ~100
+/// lines. Doubles are printed with %.17g so every finite value round-trips
+/// bit-exactly through a standard parser; NaN/Inf (which JSON cannot
+/// represent) become null.
+///
+///   util::JsonWriter json;
+///   json.begin_object();
+///   json.key("inners").value(12);
+///   json.key("history").begin_array();
+///   for (double h : history) json.value(h);
+///   json.end_array();
+///   json.end_object();
+///   std::string text = json.str();
+///
+/// The writer validates nesting as it goes (keys only inside objects,
+/// values only where a value may appear) via UNSNAP_ASSERT, so a malformed
+/// emitter fails at the write site instead of producing broken output.
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 writes compact single-line JSON.
+  explicit JsonWriter(int indent = 2);
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Member key inside an object; must be followed by exactly one value
+  /// (or container).
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(double v);
+  JsonWriter& value(int v);
+  JsonWriter& value(long v);
+  JsonWriter& value(long long v);
+  JsonWriter& value(std::size_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& null();
+
+  /// Whole array of numbers in one call (the history vectors).
+  JsonWriter& value(std::span<const double> v);
+
+  /// Splice pre-serialised JSON in as one value (nesting a finished
+  /// api::to_json record inside an envelope document). The caller
+  /// guarantees `json` is a valid JSON value; its own line breaks are
+  /// kept verbatim, so nested indentation is not re-aligned.
+  JsonWriter& raw(const std::string& json);
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& kv(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// Finished document (all containers must be closed).
+  [[nodiscard]] std::string str() const;
+
+  /// Escape a string for embedding in JSON (quotes not included).
+  [[nodiscard]] static std::string escape(const std::string& s);
+  /// Round-trippable rendering of one double (%.17g; NaN/Inf -> "null").
+  [[nodiscard]] static std::string number(double v);
+
+ private:
+  enum class Scope { Object, Array };
+  struct Level {
+    Scope scope;
+    bool has_members = false;
+  };
+  int indent_;
+  std::string out_;
+  std::vector<Level> stack_;
+  bool key_pending_ = false;
+
+  void prepare_value();
+  void newline();
+};
+
+}  // namespace unsnap::util

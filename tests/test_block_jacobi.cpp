@@ -3,7 +3,7 @@
 #include <cmath>
 #include <vector>
 
-#include "comm/block_jacobi.hpp"
+#include "comm/distributed.hpp"
 #include "core/transport_solver.hpp"
 
 namespace unsnap::comm {

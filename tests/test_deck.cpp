@@ -1,0 +1,246 @@
+// SNAP-style deck layer: the lexical parser (snap/deck.*), the RunConfig
+// binding (api/run_config.*), golden error messages with line/column
+// positions, and bit-exact round-trips of every shipped deck.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "api/run_config.hpp"
+#include "snap/deck.hpp"
+#include "util/assert.hpp"
+
+namespace unsnap {
+namespace {
+
+// --- lexical layer --------------------------------------------------------
+
+TEST(DeckParser, SectionsEntriesAndComments) {
+  const snap::DeckFile deck = snap::read_deck_text(
+      "# header comment\n"
+      "\n"
+      "[mesh]\n"
+      "dims = 4 4 4   ! trailing comment\n"
+      "twist = 0.5\n"
+      "\n"
+      "[angular]\n"
+      "nang = 8\n",
+      "t.inp");
+  ASSERT_EQ(deck.sections.size(), 2u);
+  EXPECT_EQ(deck.sections[0].name, "mesh");
+  EXPECT_EQ(deck.sections[0].line, 3);
+  ASSERT_EQ(deck.sections[0].entries.size(), 2u);
+  EXPECT_EQ(deck.sections[0].entries[0].key, "dims");
+  EXPECT_EQ(deck.sections[0].entries[0].value, "4 4 4");
+  EXPECT_EQ(deck.sections[0].entries[0].line, 4);
+  EXPECT_EQ(deck.sections[0].entries[0].column, 8);
+  EXPECT_EQ(deck.sections[1].entries[0].key, "nang");
+  EXPECT_EQ(deck.sections[1].entries[0].line, 8);
+}
+
+void expect_parse_error(const std::string& text, const std::string& needle) {
+  try {
+    (void)snap::read_deck_text(text, "t.inp");
+    FAIL() << "expected InvalidInput containing: " << needle;
+  } catch (const InvalidInput& err) {
+    EXPECT_NE(std::string(err.what()).find(needle), std::string::npos)
+        << "got: " << err.what();
+  }
+}
+
+TEST(DeckParser, GoldenErrorMessages) {
+  expect_parse_error("x = 1\n", "t.inp:1:1: key before any [section] header");
+  expect_parse_error("[mesh\n", "t.inp:1:1: malformed section header");
+  expect_parse_error("[mesh]\nnonsense\n",
+                     "t.inp:2:1: expected 'key = value'");
+  expect_parse_error("[mesh]\ntwist =\n", "t.inp:2:7: empty value");
+  expect_parse_error("[mesh]\n[other]\n[mesh]\n",
+                     "t.inp:3:1: section [mesh] already opened at line 1");
+  expect_parse_error("[mesh]\n = 3\n", "t.inp:2:2: empty key");
+}
+
+TEST(DeckParser, TypedAccessors) {
+  const snap::DeckFile deck = snap::read_deck_text(
+      "[s]\n"
+      "i = 42\n"
+      "d = 2.5\n"
+      "neg = -inf\n"
+      "b = on\n"
+      "list = 1 -2.5 inf\n",
+      "t.inp");
+  const auto& e = deck.sections[0].entries;
+  EXPECT_EQ(snap::entry_int(deck, e[0]), 42);
+  EXPECT_EQ(snap::entry_double(deck, e[1]), 2.5);
+  EXPECT_EQ(snap::entry_double(deck, e[2]),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(snap::entry_bool(deck, e[3]));
+  const std::vector<double> list = snap::entry_doubles(deck, e[4]);
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], 1.0);
+  EXPECT_EQ(list[1], -2.5);
+  EXPECT_EQ(list[2], std::numeric_limits<double>::infinity());
+}
+
+// --- RunConfig binding ----------------------------------------------------
+
+void expect_bind_error(const std::string& text, const std::string& needle) {
+  try {
+    (void)api::read_deck_text(text, "t.inp");
+    FAIL() << "expected InvalidInput containing: " << needle;
+  } catch (const InvalidInput& err) {
+    EXPECT_NE(std::string(err.what()).find(needle), std::string::npos)
+        << "got: " << err.what();
+  }
+}
+
+TEST(DeckBinding, GoldenMalformedDeckMessages) {
+  // Unknown section, with the header's line number.
+  expect_bind_error("[mesh]\ndims = 4 4 4\n\n[materialz]\nng = 2\n",
+                    "t.inp:4: unknown section [materialz]");
+  // Unknown key, with its line number.
+  expect_bind_error("[mesh]\ntwists = 0.5\n",
+                    "t.inp:2: unknown key 'twists' in [mesh]");
+  // Duplicate scalar key, naming both lines.
+  expect_bind_error("[angular]\nnang = 4\nnmom = 1\nnang = 8\n",
+                    "t.inp:4: duplicate key 'nang' in [angular] (first at "
+                    "line 2)");
+  // Bad enum value, with line and value column.
+  expect_bind_error("[execution]\nlayout = eag\n",
+                    "t.inp:2:10: unknown layout 'eag'");
+  expect_bind_error("[run]\nmode = schedules\n",
+                    "t.inp:2:8: unknown run mode 'schedules'");
+  // Type mismatches, with line and value column.
+  expect_bind_error("[angular]\nnang = four\n",
+                    "t.inp:2:8: key 'nang': 'four' is not an integer");
+  expect_bind_error("[mesh]\ntwist = 0.5 rad\n",
+                    "t.inp:2:9: key 'twist': expected one value");
+  expect_bind_error("[iteration]\nfixed_iterations = yes\n",
+                    "t.inp:2:20: key 'fixed_iterations': 'yes' is not a "
+                    "boolean");
+  // Malformed region lists.
+  expect_bind_error("[materials]\nsigt = 1 2\nscattering = 0 0\n"
+                    "region = 1 0 1 0 1\n",
+                    "t.inp:4:10: material region needs 7 values");
+  expect_bind_error("[materials]\nsigt = 1 2\nscattering = 0 0\n"
+                    "region = 1 1 0 -inf inf -inf inf\n",
+                    "t.inp:4:10: region box bounds must satisfy lo < hi");
+  // Semantic validation failures carry the deck name.
+  expect_bind_error("[materials]\nsigt = 1 2\nscattering = 0.5\n",
+                    "t.inp: materials: sigt lists 2 materials but "
+                    "scattering lists 1");
+  expect_bind_error("[materials]\nregion = 0 -inf inf -inf inf -inf inf\n",
+                    "t.inp: materials: region/scattering lists need a sigt "
+                    "list");
+}
+
+TEST(DeckBinding, RepeatedRegionsAllowed) {
+  const api::RunConfig config = api::read_deck_text(
+      "[materials]\n"
+      "ng = 1\n"
+      "sigt = 1 2 3\n"
+      "scattering = 0 0.5 0.2\n"
+      "region = 1 -inf inf -inf inf -inf 1\n"
+      "region = 2 -inf inf -inf inf -inf 1.8\n");
+  ASSERT_EQ(config.materials.regions.size(), 2u);
+  EXPECT_EQ(config.materials.regions[0].material, 1);
+  EXPECT_EQ(config.materials.regions[1].box.hi[2], 1.8);
+  // First-match-wins over the open boxes.
+  EXPECT_TRUE(config.materials.regions[0].box.contains({0.5, 0.5, 0.5}));
+  EXPECT_FALSE(config.materials.regions[0].box.contains({0.5, 0.5, 1.0}));
+}
+
+TEST(DeckBinding, BoundarySides) {
+  const api::RunConfig config = api::read_deck_text(
+      "[mesh]\ntwist = 0.001\n"
+      "[boundary]\nall = reflective\n+z = vacuum\n");
+  using Bc = snap::Input::Bc;
+  EXPECT_EQ(config.boundary.sides[0], Bc::Reflective);
+  EXPECT_EQ(config.boundary.sides[5], Bc::Vacuum);
+}
+
+TEST(DeckBinding, EmptyDeckIsTheDefaultConfig) {
+  EXPECT_TRUE(api::read_deck_text("") == api::RunConfig{});
+}
+
+// --- round-trips ----------------------------------------------------------
+
+TEST(DeckRoundTrip, DefaultConfig) {
+  const api::RunConfig config;
+  const std::string text = api::write_deck(config);
+  EXPECT_TRUE(api::read_deck_text(text) == config);
+}
+
+TEST(DeckRoundTrip, CustomEverything) {
+  api::RunConfig config;
+  config.title = "bespoke run";
+  config.mode = api::RunMode::Time;
+  config.mesh = {.dims = {5, 4, 3},
+                 .extent = {2.0, 1.0, 0.5},
+                 .twist = 0.01 / 3.0,  // not representable in short decimal
+                                       // (and small enough for reflection)
+                 .shuffle_seed = 123456789012345ull,
+                 .order = 3,
+                 .validate = true,
+                 .cycle_strategy = sweep::CycleStrategy::LagScc};
+  config.angular = {.nang = 6,
+                    .quadrature = angular::QuadratureKind::Product,
+                    .nmom = 2};
+  config.materials.num_groups = 2;
+  config.boundary.sides[2] = snap::Input::Bc::Reflective;
+  config.iteration = {.epsi = 1e-7,
+                      .iitm = 33,
+                      .oitm = 7,
+                      .fixed_iterations = false,
+                      .scheme = snap::IterationScheme::Gmres,
+                      .gmres_restart = 11,
+                      .gmres_max_iters = 44};
+  config.execution.layout = snap::FluxLayout::AngleGroupElement;
+  config.execution.num_threads = 2;
+  config.time = {.dt = 0.125, .steps = 5, .initial = 2.0,
+                 .zero_source = false};
+  config.output.verbose = true;
+
+  const std::string text = api::write_deck(config);
+  const api::RunConfig reread = api::read_deck_text(text);
+  EXPECT_TRUE(reread == config);
+  // Write -> read -> write is a fixed point.
+  EXPECT_EQ(api::write_deck(reread), text);
+}
+
+TEST(DeckRoundTrip, WriteRejectsUnencodableText) {
+  // '#'/'!'/newlines start comments / break lines on the read side, so
+  // writing them would silently violate read(write(cfg)) == cfg.
+  api::RunConfig config;
+  config.title = "variant # 2";
+  EXPECT_THROW((void)api::write_deck(config), InvalidInput);
+  config.title = "trailing space ";
+  EXPECT_THROW((void)api::write_deck(config), InvalidInput);
+  config.title = "two\nlines";
+  EXPECT_THROW((void)api::write_deck(config), InvalidInput);
+  config.title = "fine title, c = 0.99";
+  EXPECT_NO_THROW((void)api::write_deck(config));
+}
+
+TEST(DeckRoundTrip, EveryShippedDeckBitIdentically) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> decks;
+  for (const char* dir : {UNSNAP_DECK_DIR, UNSNAP_DECK_DIR "/golden"})
+    for (const fs::directory_entry& entry : fs::directory_iterator(dir))
+      if (entry.path().extension() == ".inp") decks.push_back(entry.path());
+  ASSERT_GE(decks.size(), 21u);  // 10 scenario decks + 11 golden decks
+
+  for (const fs::path& path : decks) {
+    SCOPED_TRACE(path.string());
+    const api::RunConfig config = api::read_deck_file(path.string());
+    config.validate();
+    const std::string text = api::write_deck(config);
+    const api::RunConfig reread = api::read_deck_text(text, path.string());
+    EXPECT_TRUE(reread == config);
+    EXPECT_EQ(api::write_deck(reread), text);
+  }
+}
+
+}  // namespace
+}  // namespace unsnap

@@ -4,6 +4,13 @@
 // binary labelled `golden` (ctest -L golden), so scheduler/sweeper
 // refactors can be checked against frozen answers in one command.
 //
+// The problem definitions live in decks/golden/*.inp and are loaded
+// through the deck-driven api::Run facade — the very path `unsnap --deck`
+// exercises — so the battery freezes the deck parser and the run layer
+// together with the physics. (The digests predate the deck port and were
+// produced by the builder-configured path; the deck path reproducing them
+// is the deck-equivalence acceptance test.)
+//
 // The digests were produced by this code at the PR that introduced it;
 // they are compared with a relative tolerance wide enough for
 // platform/compiler rounding differences (5e-7) but far tighter than any
@@ -29,15 +36,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <numeric>
+#include <string>
 #include <vector>
 
-#include "api/problem_builder.hpp"
 #include "api/report.hpp"
-#include "comm/block_jacobi.hpp"
-#include "diffusive_deck.hpp"
-#include "core/manufactured.hpp"
-#include "core/time_dependent.hpp"
-#include "core/transport_solver.hpp"
+#include "api/run.hpp"
+#include "comm/distributed.hpp"
 #include "mesh/mesh_builder.hpp"
 #include "sweep/schedule.hpp"
 
@@ -54,6 +58,15 @@ snap::IterationScheme golden_scheme() {
 
 bool gmres_mode() {
   return golden_scheme() == snap::IterationScheme::Gmres;
+}
+
+/// Load decks/golden/<name>.inp and pin the battery's iteration scheme.
+api::RunConfig golden_config(const std::string& name) {
+  api::RunConfig config = api::read_deck_file(
+      std::string(UNSNAP_DECK_DIR) + "/golden/" + name + ".inp");
+  config.iteration.scheme = golden_scheme();
+  config.output.report = false;
+  return config;
 }
 
 void check_digest(const char* name, const std::vector<double>& actual,
@@ -81,114 +94,50 @@ void check_digest(const char* name, const std::vector<double>& actual,
   check_digest(name, actual, gmres_mode() ? gmres_expected : si_expected);
 }
 
-std::vector<double> solve_digest(const api::Problem& problem) {
-  const auto solver = problem.make_solver();
-  solver->run();
-  const core::BalanceReport balance = solver->balance();
+/// Balance terms + per-group volume averages of a solved single-domain
+/// run (the standard solving-deck digest).
+std::vector<double> solve_digest(api::Run& run) {
+  (void)run.execute();
+  const core::TransportSolver& solver = *run.solver();
+  const core::BalanceReport balance = solver.balance();
   std::vector<double> digest{balance.source, balance.absorption,
                              balance.leakage};
   const std::vector<double> averages = api::group_volume_averages(
-      problem.discretization(), solver->scalar_flux());
+      solver.discretization(), solver.scalar_flux());
   digest.insert(digest.end(), averages.begin(), averages.end());
   return digest;
+}
+
+std::vector<double> solve_digest(const std::string& deck) {
+  api::Run run(golden_config(deck));
+  return solve_digest(run);
 }
 
 // ---- quickstart ----------------------------------------------------------
 
 TEST(Golden, Quickstart) {
-  const api::Problem problem =
-      api::ProblemBuilder()
-          .mesh({.dims = {4, 4, 4}, .twist = 0.001, .shuffle_seed = 42})
-          .angular({.nang = 4})
-          .materials(
-              {.num_groups = 2, .mat_opt = 1, .scattering_ratio = 0.5})
-          .source({.src_opt = 1})
-          .iteration({.iitm = 20,
-                      .oitm = 4,
-                      .fixed_iterations = true,
-                      .scheme = golden_scheme()})
-          .build();
-  check_digest("quickstart", solve_digest(problem),
+  check_digest("quickstart", solve_digest("quickstart"),
                {2.499999973958e-01, 8.038235669206e-02, 1.696163177132e-01, 6.189049784585e-02, 6.619177270897e-02},
                {2.499999973958e-01, 8.038235669206e-02, 1.696163177132e-01, 6.189049784585e-02, 6.619177270897e-02});
 }
 
-// ---- unsnap_mini (full deck: high order, anisotropic scattering) ---------
+// ---- mini (full deck: high order, anisotropic scattering) ----------------
 
 TEST(Golden, UnsnapMini) {
-  const api::Problem problem =
-      api::ProblemBuilder()
-          .mesh({.dims = {4, 3, 3},
-                 .extent = {1.0, 0.75, 0.75},
-                 .twist = 0.001,
-                 .shuffle_seed = 1,
-                 .order = 2})
-          .angular({.nang = 4, .nmom = 2})
-          .materials(
-              {.num_groups = 3, .mat_opt = 2, .scattering_ratio = 0.7})
-          .source({.src_opt = 2})
-          .iteration({.iitm = 3,
-                      .oitm = 2,
-                      .fixed_iterations = true,
-                      .scheme = golden_scheme()})
-          .build();
-  check_digest("unsnap_mini", solve_digest(problem),
+  check_digest("unsnap_mini", solve_digest("mini"),
                {9.374999826389e-02, 1.452594027320e-02, 7.861852935613e-02, 2.578226640787e-02, 2.599790424144e-02, 2.766821587587e-02},
                {9.374999826389e-02, 1.451728798334e-02, 7.854713348656e-02, 2.577750354482e-02, 2.598554836986e-02, 2.764361072483e-02});
 }
 
-// ---- shielding (custom cross sections + centroid maps) -------------------
-
-snap::CrossSections shield_xs(int ng, double shield_sigt) {
-  snap::CrossSections xs;
-  xs.num_materials = 3;
-  xs.ng = ng;
-  const auto nm = static_cast<std::size_t>(xs.num_materials);
-  const auto g_count = static_cast<std::size_t>(ng);
-  xs.sigt.resize({nm, g_count});
-  xs.sigs.resize({nm, g_count});
-  xs.siga.resize({nm, g_count});
-  xs.slgg.resize({nm, g_count, g_count}, 0.0);
-  const double sigt[3] = {0.05, 1.0, shield_sigt};
-  const double ratio[3] = {0.1, 0.5, 0.2};
-  for (int m = 0; m < 3; ++m)
-    for (int g = 0; g < ng; ++g) {
-      xs.sigt(m, g) = sigt[m];
-      xs.sigs(m, g) = ratio[m] * sigt[m];
-      xs.siga(m, g) = xs.sigt(m, g) - xs.sigs(m, g);
-      xs.slgg(m, g, g) = xs.sigs(m, g);
-    }
-  return xs;
-}
+// ---- shielding (custom cross sections + centroid regions) ----------------
 
 TEST(Golden, Shielding) {
-  const api::Problem problem =
-      api::ProblemBuilder()
-          .mesh({.dims = {4, 4, 9},
-                 .extent = {1.0, 1.0, 3.0},
-                 .twist = 0.001,
-                 .shuffle_seed = 7})
-          .angular({.nang = 4,
-                    .quadrature = angular::QuadratureKind::Product})
-          .materials({.cross_sections = shield_xs(2, 4.0),
-                      .material_map =
-                          [](const fem::Vec3& c) {
-                            if (c[2] < 1.0) return 1;  // source medium
-                            if (c[2] < 1.8) return 2;  // shield
-                            return 0;                  // near-void
-                          }})
-          .source({.profile = [](const fem::Vec3& c,
-                                 int) { return c[2] < 1.0 ? 1.0 : 0.0; }})
-          .iteration({.iitm = 25,
-                      .oitm = 5,
-                      .fixed_iterations = true,
-                      .scheme = golden_scheme()})
-          .build();
-  const auto solver = problem.make_solver();
-  solver->run();
-  const core::BalanceReport balance = solver->balance();
+  api::Run run(golden_config("shielding"));
+  (void)run.execute();
+  const core::TransportSolver& solver = *run.solver();
+  const core::BalanceReport balance = solver.balance();
   const double detector = api::region_average_flux(
-      problem.discretization(), solver->scalar_flux(), 0,
+      solver.discretization(), solver.scalar_flux(), 0,
       [](const fem::Vec3& c) { return c[2] > 1.8; });
   check_digest(
       "shielding",
@@ -199,64 +148,23 @@ TEST(Golden, Shielding) {
 
 // ---- duct_streaming (near-void channel through an absorber) --------------
 
-snap::CrossSections duct_xs(int ng) {
-  snap::CrossSections xs;
-  xs.num_materials = 2;
-  xs.ng = ng;
-  const auto g_count = static_cast<std::size_t>(ng);
-  xs.sigt.resize({2, g_count});
-  xs.sigs.resize({2, g_count});
-  xs.siga.resize({2, g_count});
-  xs.slgg.resize({2, g_count, g_count}, 0.0);
-  const double sigt[2] = {0.02, 5.0};
-  const double ratio[2] = {0.0, 0.05};
-  for (int m = 0; m < 2; ++m)
-    for (int g = 0; g < ng; ++g) {
-      xs.sigt(m, g) = sigt[m];
-      xs.sigs(m, g) = ratio[m] * sigt[m];
-      xs.siga(m, g) = xs.sigt(m, g) - xs.sigs(m, g);
-      xs.slgg(m, g, g) = xs.sigs(m, g);
-    }
-  return xs;
-}
-
-// The example's duct scaled to the coarse golden mesh (4 elements across:
-// the central 2x2 column of elements is the duct).
+// The deck's duct on the coarse golden mesh (4 elements across: the
+// central 2x2 column of elements is the duct).
 bool in_duct(const fem::Vec3& c) {
   return std::fabs(c[1] - 0.5) < 0.26 && std::fabs(c[2] - 0.5) < 0.26;
 }
 
 TEST(Golden, DuctStreaming) {
-  const api::Problem problem =
-      api::ProblemBuilder()
-          .mesh({.dims = {8, 4, 4},
-                 .extent = {2.0, 1.0, 1.0},
-                 .twist = 0.001,
-                 .shuffle_seed = 3})
-          .angular({.nang = 6})
-          .materials({.cross_sections = duct_xs(1),
-                      .material_map =
-                          [](const fem::Vec3& c) {
-                            return in_duct(c) ? 0 : 1;
-                          }})
-          .source({.profile =
-                       [](const fem::Vec3& c, int) {
-                         return (c[0] < 0.25 && in_duct(c)) ? 1.0 : 0.0;
-                       }})
-          .iteration({.iitm = 25,
-                      .oitm = 5,
-                      .fixed_iterations = true,
-                      .scheme = golden_scheme()})
-          .build();
-  const auto solver = problem.make_solver();
-  solver->run();
+  api::Run run(golden_config("duct_streaming"));
+  (void)run.execute();
+  const core::TransportSolver& solver = *run.solver();
   const double duct_exit = api::region_average_flux(
-      problem.discretization(), solver->scalar_flux(), 0,
+      solver.discretization(), solver.scalar_flux(), 0,
       [](const fem::Vec3& c) { return c[0] > 1.75 && in_duct(c); });
   const double absorber = api::region_average_flux(
-      problem.discretization(), solver->scalar_flux(), 0,
+      solver.discretization(), solver.scalar_flux(), 0,
       [](const fem::Vec3& c) { return !in_duct(c); });
-  const core::BalanceReport balance = solver->balance();
+  const core::BalanceReport balance = solver.balance();
   check_digest("duct_streaming",
                {balance.source, balance.absorption, balance.leakage,
                 duct_exit, absorber},
@@ -264,27 +172,15 @@ TEST(Golden, DuctStreaming) {
                {6.249999934896e-02, 3.704301024310e-02, 2.545698910586e-02, 4.146819252934e-05, 5.155401185224e-03});
 }
 
-// ---- convergence_order (MMS infrastructure) ------------------------------
+// ---- convergence_order (MMS infrastructure, mode mms) --------------------
 
 TEST(Golden, ConvergenceOrder) {
-  const api::Problem problem =
-      api::ProblemBuilder()
-          .mesh({.dims = {3, 3, 3},
-                 .twist = 0.01,
-                 .shuffle_seed = 5,
-                 .order = 2})
-          .angular({.nang = 4})
-          .materials(
-              {.num_groups = 1, .mat_opt = 0, .scattering_ratio = 0.0})
-          .iteration({.iitm = 1, .oitm = 1, .scheme = golden_scheme()})
-          .build();
-  const auto solver = problem.make_solver();
-  const auto ms = core::ManufacturedSolution::trigonometric();
-  core::apply_manufactured(*solver, ms);
-  solver->run();
+  api::Run run(golden_config("convergence_order"));
+  const api::RunRecord record = run.execute();
+  ASSERT_TRUE(record.mms_l2_error.has_value());
   // Scattering-free: the within-group operator is the identity, so both
   // schemes land on the single-sweep answer and share one digest.
-  check_digest("convergence_order", {core::l2_error(*solver, ms)},
+  check_digest("convergence_order", {*record.mms_l2_error},
                {1.707221212791e-03});
 }
 
@@ -294,23 +190,12 @@ TEST(Golden, PulseDecay) {
   if (gmres_mode())
     GTEST_SKIP() << "digest exercises the time integrator, not the inner "
                     "scheme (the gmres battery covers the fast decks)";
-  const snap::Input input =
-      api::ProblemBuilder()
-          .mesh({.dims = {3, 3, 3}, .twist = 0.001, .shuffle_seed = 21})
-          .angular({.nang = 4})
-          .materials(
-              {.num_groups = 2, .mat_opt = 0, .scattering_ratio = 0.6})
-          .source({.src_opt = 0})
-          .iteration({.iitm = 15, .oitm = 3, .fixed_iterations = true})
-          .to_input();
-  const auto disc = std::make_shared<const core::Discretization>(input);
-  core::TimeDependentSolver td(
-      disc, input, core::TimeDependentSolver::snap_velocities(input.ng),
-      0.1);
-  td.solver().problem().qext.fill(0.0);  // pure decay
-  td.set_initial_condition(1.0);
-  std::vector<double> digest{td.total_density()};
-  for (int n = 0; n < 3; ++n) digest.push_back(td.step().total_density);
+  api::Run run(golden_config("pulse_decay"));
+  const api::RunRecord record = run.execute();
+  ASSERT_TRUE(record.initial_density.has_value());
+  std::vector<double> digest{*record.initial_density};
+  for (const api::RunRecord::TimeStep& step : record.steps)
+    digest.push_back(step.total_density);
   check_digest("pulse_decay", digest,
                {2.499999953704e+00, 2.159140992263e+00, 1.857687069687e+00, 1.592031024932e+00});
 }
@@ -321,26 +206,19 @@ TEST(Golden, DomainDecomposition) {
   if (gmres_mode())
     GTEST_SKIP() << "block Jacobi interleaves halo exchanges with its own "
                     "source-iteration loop";
-  const snap::Input input =
-      api::ProblemBuilder()
-          .mesh({.dims = {6, 6, 6}, .twist = 0.001, .shuffle_seed = 17})
-          .angular({.nang = 4})
-          .materials(
-              {.num_groups = 1, .mat_opt = 1, .scattering_ratio = 0.6})
-          .source({.src_opt = 1})
-          .iteration({.iitm = 30, .oitm = 3, .fixed_iterations = true})
-          .execution({.scheme = snap::ConcurrencyScheme::Serial,
-                      .num_threads = 1})
-          .to_input();
-  comm::BlockJacobiSolver bj(input, 2, 2);
-  bj.run();
-  const std::vector<double> flux = bj.gather_scalar_flux();
+  api::Run run(golden_config("domain_decomposition"));
+  (void)run.execute();
+  const std::vector<double> flux = run.distributed()->gather_scalar_flux();
   const double total = std::accumulate(flux.begin(), flux.end(), 0.0);
   check_digest("domain_decomposition", {total},
                {1.035049522300e+02});
 }
 
 // ---- sweep_explorer (schedule structure, no solve) -----------------------
+//
+// Stays below the deck layer on purpose: the digest freezes two schedule
+// sets at once (acyclic + SCC-broken), which one deck cannot express; the
+// deck-driven schedule mode is frozen separately in tests/test_run.cpp.
 
 TEST(Golden, SweepExplorer) {
   if (gmres_mode()) GTEST_SKIP() << "schedule structure only, no solve";
@@ -374,56 +252,27 @@ TEST(Golden, SweepExplorer) {
 // ---- twisted (the SCC cycle-breaking scenario) ---------------------------
 
 TEST(Golden, Twisted) {
-  const api::Problem problem =
-      api::ProblemBuilder()
-          .mesh({.dims = {6, 6, 3},
-                 .twist = 2.5,
-                 .shuffle_seed = 0,
-                 .cycle_strategy = sweep::CycleStrategy::LagScc})
-          .angular({.nang = 9,
-                    .quadrature = angular::QuadratureKind::Product})
-          .materials(
-              {.num_groups = 2, .mat_opt = 0, .scattering_ratio = 0.3})
-          .source({.src_opt = 1})
-          .iteration({.iitm = 12,
-                      .oitm = 3,
-                      .fixed_iterations = true,
-                      .scheme = golden_scheme()})
-          .build();
-  check_digest("twisted", solve_digest(problem),
+  check_digest("twisted", solve_digest("twisted"),
                {1.979564625247e-01, 6.541542890052e-02, 1.325398553462e-01, 5.161305255374e-02, 5.276520531246e-02},
                {1.979564625247e-01, 6.539549567810e-02, 1.322142899222e-01, 5.160413207776e-02, 5.274238730756e-02});
 }
 
 // ---- diffusive family (scattering-dominated shield, c -> 1) --------------
 
-// The diffusive scenario's deck (tests/diffusive_deck.hpp) on a coarse
-// mesh; SI cannot converge these inside the frozen budget, which is the
-// point — the digest freezes each scheme's own trajectory.
-std::vector<double> diffusive_digest(double c) {
-  const api::Problem problem = testing::diffusive_builder(c, 4, 9)
-                                   .iteration({.iitm = 25,
-                                               .oitm = 2,
-                                               .fixed_iterations = true,
-                                               .scheme = golden_scheme()})
-                                   .build();
-  return solve_digest(problem);
-}
-
 TEST(Golden, DiffusiveC90) {
-  check_digest("diffusive_c90", diffusive_digest(0.9),
+  check_digest("diffusive_c90", solve_digest("diffusive_c90"),
                {1.999999995885e+00, 6.757418148921e-01, 1.323993420005e+00, 1.910998991150e-01, 1.910998991150e-01},
                {1.999999995885e+00, 6.759436615560e-01, 1.324056334329e+00, 1.911220583663e-01, 1.911220583663e-01});
 }
 
 TEST(Golden, DiffusiveC99) {
-  check_digest("diffusive_c99", diffusive_digest(0.99),
+  check_digest("diffusive_c99", solve_digest("diffusive_c99"),
                {1.999999995885e+00, 1.211408691347e-01, 1.847779374691e+00, 2.973387539195e-01, 2.973387539195e-01},
                {1.999999995885e+00, 1.290193524727e-01, 1.870980643407e+00, 3.056578301138e-01, 3.056578301138e-01});
 }
 
 TEST(Golden, DiffusiveC999) {
-  check_digest("diffusive_c999", diffusive_digest(0.999),
+  check_digest("diffusive_c999", solve_digest("diffusive_c999"),
                {1.999999995885e+00, 1.327204998702e-02, 1.937863692790e+00, 3.177073840811e-01, 3.177073840811e-01},
                {1.999999995885e+00, 1.517356083155e-02, 1.984826435027e+00, 3.346108749721e-01, 3.346108749721e-01});
 }

@@ -1,0 +1,80 @@
+// util::JsonWriter: structure, escaping and number round-trip of the
+// hand-rolled writer behind api::to_json(RunRecord).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace unsnap {
+namespace {
+
+TEST(Json, CompactObject) {
+  util::JsonWriter json(0);
+  json.begin_object();
+  json.kv("a", 1);
+  json.kv("b", true);
+  json.kv("c", std::string("x"));
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"a":1,"b":true,"c":"x"})");
+}
+
+TEST(Json, IndentedNesting) {
+  util::JsonWriter json(2);
+  json.begin_object();
+  json.key("outer").begin_object();
+  json.kv("n", 2);
+  json.end_object();
+  json.key("list").begin_array();
+  json.value(1);
+  json.value(2);
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            "{\n  \"outer\": {\n    \"n\": 2\n  },\n  \"list\": [\n    1,\n"
+            "    2\n  ]\n}");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(util::JsonWriter::escape("a\"b\\c\nd\te"),
+            "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(util::JsonWriter::escape(std::string("\x01")), "\\u0001");
+}
+
+TEST(Json, NumberRoundTrip) {
+  // %.17g must reproduce the exact bits through strtod.
+  for (const double v : {1.0 / 3.0, 6.189049784585e-02, 1e-300, -0.0,
+                         3.141592653589793, 2.2250738585072014e-308}) {
+    const std::string text = util::JsonWriter::number(v);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+  }
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  EXPECT_EQ(util::JsonWriter::number(std::nan("")), "null");
+  EXPECT_EQ(util::JsonWriter::number(INFINITY), "null");
+}
+
+TEST(Json, DoubleSpanArray) {
+  const std::vector<double> v{1.5, 2.5};
+  util::JsonWriter json(0);
+  json.begin_object();
+  json.key("v").value(std::span<const double>(v));
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"v":[1.5,2.5]})");
+}
+
+TEST(Json, EmptyContainers) {
+  util::JsonWriter json(2);
+  json.begin_object();
+  json.key("o").begin_object().end_object();
+  json.key("a").begin_array().end_array();
+  json.end_object();
+  EXPECT_EQ(json.str(), "{\n  \"o\": {},\n  \"a\": []\n}");
+}
+
+}  // namespace
+}  // namespace unsnap

@@ -1,0 +1,371 @@
+// api::Run facade: deck-driven runs must be bitwise-identical to the
+// builder-configured path for every lowering route (generated materials,
+// custom region materials, distributed, mms, time), the RunRecord must
+// serialise to schema-shaped JSON, and the observer hooks must fire in
+// lockstep with the recorded histories.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "api/problem_builder.hpp"
+#include "api/report.hpp"
+#include "api/run.hpp"
+#include "api/version.hpp"
+#include "comm/distributed.hpp"
+#include "core/manufactured.hpp"
+#include "core/time_dependent.hpp"
+
+namespace unsnap {
+namespace {
+
+void expect_bitwise_equal_flux(const core::NodalField& a,
+                               const core::NodalField& b) {
+  ASSERT_EQ(a.size(), b.size());
+  const double* pa = a.data();
+  const double* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(pa[i], pb[i]) << "flux entry " << i;
+}
+
+// --- deck path == builder path, per lowering route ------------------------
+
+TEST(Run, GeneratedRouteMatchesBuilderBitwise) {
+  const std::string deck =
+      "[mesh]\ndims = 4 4 4\ntwist = 0.001\nshuffle_seed = 42\n"
+      "[angular]\nnang = 4\n"
+      "[materials]\nng = 2\nmat_opt = 1\nscattering_ratio = 0.5\n"
+      "[source]\nsrc_opt = 1\n"
+      "[iteration]\niitm = 10\noitm = 2\nfixed_iterations = true\n";
+  api::Run run(api::read_deck_text(deck));
+  const api::RunRecord record = run.execute();
+
+  const api::Problem problem =
+      api::ProblemBuilder()
+          .mesh({.dims = {4, 4, 4}, .twist = 0.001, .shuffle_seed = 42})
+          .angular({.nang = 4})
+          .materials(
+              {.num_groups = 2, .mat_opt = 1, .scattering_ratio = 0.5})
+          .source({.src_opt = 1})
+          .iteration({.iitm = 10, .oitm = 2, .fixed_iterations = true})
+          .build();
+  const auto solver = problem.make_solver();
+  const core::IterationResult result = solver->run();
+
+  expect_bitwise_equal_flux(run.solver()->scalar_flux(),
+                            solver->scalar_flux());
+  ASSERT_TRUE(record.iteration.has_value());
+  EXPECT_EQ(record.iteration->inners, result.inners);
+  EXPECT_EQ(record.iteration->outers, result.outers);
+  EXPECT_EQ(record.iteration->final_inner_change,
+            result.final_inner_change);
+}
+
+TEST(Run, CustomRegionRouteMatchesBuilderBitwise) {
+  // The diffusive geometry: custom cross sections assigned by z-threshold
+  // regions, source in the z < 1 slab — deck regions vs C++ lambdas.
+  const std::string deck =
+      "[mesh]\ndims = 4 4 9\nextent = 1 1 3\ntwist = 0.001\n"
+      "shuffle_seed = 7\n"
+      "[angular]\nnang = 4\nquadrature = product\n"
+      "[materials]\nng = 2\nsigt = 0.1 5 20\nscattering = 0.5 0.9 0.9\n"
+      "default_material = 0\n"
+      "region = 1 -inf inf -inf inf -inf 1\n"
+      "region = 2 -inf inf -inf inf -inf 1.8\n"
+      "[source]\nregion = 1 -inf inf -inf inf -inf 1\n"
+      "[iteration]\niitm = 8\noitm = 1\nfixed_iterations = true\n";
+  api::Run run(api::read_deck_text(deck));
+  (void)run.execute();
+
+  snap::CrossSections xs;
+  xs.num_materials = 3;
+  xs.ng = 2;
+  xs.sigt.resize({3, 2});
+  xs.sigs.resize({3, 2});
+  xs.siga.resize({3, 2});
+  xs.slgg.resize({3, 2, 2}, 0.0);
+  const double sigt[3] = {0.1, 5.0, 20.0};
+  const double ratio[3] = {0.5, 0.9, 0.9};
+  for (int m = 0; m < 3; ++m)
+    for (int g = 0; g < 2; ++g) {
+      xs.sigt(m, g) = sigt[m];
+      xs.sigs(m, g) = ratio[m] * sigt[m];
+      xs.siga(m, g) = xs.sigt(m, g) - xs.sigs(m, g);
+      xs.slgg(m, g, g) = xs.sigs(m, g);
+    }
+  const api::Problem problem =
+      api::ProblemBuilder()
+          .mesh({.dims = {4, 4, 9},
+                 .extent = {1.0, 1.0, 3.0},
+                 .twist = 0.001,
+                 .shuffle_seed = 7})
+          .angular({.nang = 4,
+                    .quadrature = angular::QuadratureKind::Product})
+          .materials({.cross_sections = xs,
+                      .material_map =
+                          [](const fem::Vec3& c) {
+                            if (c[2] < 1.0) return 1;
+                            if (c[2] < 1.8) return 2;
+                            return 0;
+                          }})
+          .source({.profile = [](const fem::Vec3& c,
+                                 int) { return c[2] < 1.0 ? 1.0 : 0.0; }})
+          .iteration({.iitm = 8, .oitm = 1, .fixed_iterations = true})
+          .build();
+  const auto solver = problem.make_solver();
+  (void)solver->run();
+
+  // Same material assignment element for element, then same flux bits.
+  for (int e = 0; e < problem.discretization().num_elements(); ++e)
+    ASSERT_EQ(run.problem()->data().material[static_cast<std::size_t>(e)],
+              problem.data().material[static_cast<std::size_t>(e)]);
+  expect_bitwise_equal_flux(run.solver()->scalar_flux(),
+                            solver->scalar_flux());
+}
+
+TEST(Run, DistributedRouteMatchesBlockJacobiBitwise) {
+  const std::string deck =
+      "[mesh]\ndims = 6 6 6\ntwist = 0.001\nshuffle_seed = 17\n"
+      "[angular]\nnang = 4\n"
+      "[materials]\nng = 1\nmat_opt = 1\nscattering_ratio = 0.6\n"
+      "[source]\nsrc_opt = 1\n"
+      "[iteration]\niitm = 10\noitm = 1\nfixed_iterations = true\n"
+      "[decomposition]\npx = 2\npy = 2\nexchange = jacobi\n"
+      "[execution]\nscheme = serial\nthreads = 1\n";
+  api::Run run(api::read_deck_text(deck));
+  const api::RunRecord record = run.execute();
+
+  const snap::Input input =
+      api::ProblemBuilder()
+          .mesh({.dims = {6, 6, 6}, .twist = 0.001, .shuffle_seed = 17})
+          .angular({.nang = 4})
+          .materials(
+              {.num_groups = 1, .mat_opt = 1, .scattering_ratio = 0.6})
+          .source({.src_opt = 1})
+          .iteration({.iitm = 10, .oitm = 1, .fixed_iterations = true})
+          .execution({.scheme = snap::ConcurrencyScheme::Serial,
+                      .num_threads = 1})
+          .to_input();
+  comm::BlockJacobiSolver reference(input, 2, 2);
+  const comm::DistributedSweepResult ref_result = reference.run();
+
+  const std::vector<double> mine = run.distributed()->gather_scalar_flux();
+  const std::vector<double> theirs = reference.gather_scalar_flux();
+  ASSERT_EQ(mine.size(), theirs.size());
+  for (std::size_t i = 0; i < mine.size(); ++i)
+    ASSERT_EQ(mine[i], theirs[i]);
+  ASSERT_TRUE(record.decomposition.has_value());
+  EXPECT_EQ(record.decomposition->px, 2);
+  EXPECT_EQ(record.decomposition->exchange, "jacobi");
+  EXPECT_EQ(record.iteration->inners, ref_result.inners);
+}
+
+TEST(Run, MmsRouteMatchesDirectBitwise) {
+  const std::string deck =
+      "[run]\nmode = mms\n"
+      "[mesh]\ndims = 3 3 3\ntwist = 0.01\nshuffle_seed = 5\norder = 2\n"
+      "[angular]\nnang = 4\n"
+      "[materials]\nng = 1\nmat_opt = 0\nscattering_ratio = 0\n"
+      "[iteration]\niitm = 1\noitm = 1\n";
+  api::Run run(api::read_deck_text(deck));
+  const api::RunRecord record = run.execute();
+  ASSERT_TRUE(record.mms_l2_error.has_value());
+
+  const api::Problem problem =
+      api::ProblemBuilder()
+          .mesh({.dims = {3, 3, 3},
+                 .twist = 0.01,
+                 .shuffle_seed = 5,
+                 .order = 2})
+          .angular({.nang = 4})
+          .materials(
+              {.num_groups = 1, .mat_opt = 0, .scattering_ratio = 0.0})
+          .iteration({.iitm = 1, .oitm = 1})
+          .build();
+  const auto solver = problem.make_solver();
+  const auto ms = core::ManufacturedSolution::trigonometric();
+  core::apply_manufactured(*solver, ms);
+  (void)solver->run();
+  EXPECT_EQ(*record.mms_l2_error, core::l2_error(*solver, ms));
+}
+
+TEST(Run, TimeRouteMatchesDirectBitwise) {
+  const std::string deck =
+      "[run]\nmode = time\n"
+      "[mesh]\ndims = 3 3 3\ntwist = 0.001\nshuffle_seed = 21\n"
+      "[angular]\nnang = 4\n"
+      "[materials]\nng = 2\nmat_opt = 0\nscattering_ratio = 0.6\n"
+      "[source]\nsrc_opt = 0\n"
+      "[iteration]\niitm = 8\noitm = 2\nfixed_iterations = true\n"
+      "[time]\ndt = 0.1\nsteps = 2\ninitial = 1\nzero_source = true\n";
+  api::Run run(api::read_deck_text(deck));
+  const api::RunRecord record = run.execute();
+
+  const snap::Input input =
+      api::ProblemBuilder()
+          .mesh({.dims = {3, 3, 3}, .twist = 0.001, .shuffle_seed = 21})
+          .angular({.nang = 4})
+          .materials(
+              {.num_groups = 2, .mat_opt = 0, .scattering_ratio = 0.6})
+          .source({.src_opt = 0})
+          .iteration({.iitm = 8, .oitm = 2, .fixed_iterations = true})
+          .to_input();
+  const auto disc = std::make_shared<const core::Discretization>(input);
+  core::TimeDependentSolver td(
+      disc, input, core::TimeDependentSolver::snap_velocities(input.ng),
+      0.1);
+  td.solver().problem().qext.fill(0.0);
+  td.set_initial_condition(1.0);
+  ASSERT_TRUE(record.initial_density.has_value());
+  EXPECT_EQ(*record.initial_density, td.total_density());
+  ASSERT_EQ(record.steps.size(), 2u);
+  for (const api::RunRecord::TimeStep& step : record.steps) {
+    const auto direct = td.step();
+    EXPECT_EQ(step.time, direct.time);
+    EXPECT_EQ(step.total_density, direct.total_density);
+    EXPECT_EQ(step.inners, direct.iteration.inners);
+  }
+}
+
+TEST(Run, ScheduleModeRecordsStructure) {
+  // The sweep_explorer golden mesh (6^3, twist 0.3, seed 9, nang 8) has
+  // 24 unique schedules and no cycles — frozen here for the deck path.
+  const std::string deck =
+      "[run]\nmode = schedule\n"
+      "[mesh]\ndims = 6 6 6\ntwist = 0.3\nshuffle_seed = 9\n"
+      "[angular]\nnang = 8\n";
+  api::Run run(api::read_deck_text(deck));
+  const api::RunRecord record = run.execute();
+  ASSERT_TRUE(record.schedule.has_value());
+  EXPECT_EQ(record.schedule->unique, 24);
+  EXPECT_EQ(record.schedule->directions, 64);
+  EXPECT_EQ(record.schedule->total_lagged, 0);
+  EXPECT_GT(record.schedule->max_bucket, 0);
+  EXPECT_FALSE(record.iteration.has_value());
+  EXPECT_FALSE(record.flux.has_value());
+}
+
+// --- RunRecord content ----------------------------------------------------
+
+TEST(Run, RecordDigestMatchesReportHelpers) {
+  api::RunConfig config;
+  config.mesh.dims = {3, 3, 3};
+  config.materials.num_groups = 2;
+  config.angular.nang = 2;
+  config.iteration = {.iitm = 4, .oitm = 1};
+  api::Run run(config);
+  const api::RunRecord record = run.execute();
+  ASSERT_TRUE(record.flux.has_value());
+  const std::vector<double> averages = api::group_volume_averages(
+      run.solver()->discretization(), run.solver()->scalar_flux());
+  ASSERT_EQ(record.flux->group_averages.size(), averages.size());
+  for (std::size_t g = 0; g < averages.size(); ++g)
+    EXPECT_NEAR(record.flux->group_averages[g], averages[g],
+                1e-12 * std::fabs(averages[g]));
+  EXPECT_GE(record.flux->max, record.flux->min);
+  // Config echo round-trips to the very config that ran.
+  EXPECT_TRUE(api::read_deck_text(record.deck) == run.config());
+}
+
+TEST(Run, JsonContainsSchemaBlocks) {
+  api::RunConfig config;
+  config.title = "json check";
+  config.mesh.dims = {3, 3, 3};
+  config.materials.num_groups = 1;
+  config.angular.nang = 2;
+  config.iteration = {.iitm = 3, .oitm = 1};
+  api::Run run(config);
+  const std::string json = api::to_json(run.execute());
+  for (const char* needle :
+       {"\"unsnap\"", "\"version\"", "\"git_describe\"", "\"build_type\"",
+        "\"compiler\"", "\"title\": \"json check\"", "\"mode\": \"solve\"",
+        "\"deck\"", "\"configuration\"", "\"schedule\"", "\"iteration\"",
+        "\"inner_history\"", "\"timers\"", "\"balance\"", "\"flux\"",
+        "\"group_averages\""})
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  EXPECT_EQ(json.find("\"decomposition\""), std::string::npos);
+}
+
+TEST(Run, VersionInfoIsPopulated) {
+  const api::VersionInfo& info = api::version_info();
+  EXPECT_FALSE(info.version.empty());
+  EXPECT_FALSE(info.git_describe.empty());
+  EXPECT_FALSE(info.compiler.empty());
+  EXPECT_NE(info.summary().find("unsnap"), std::string::npos);
+}
+
+// --- observer hooks -------------------------------------------------------
+
+struct CountingObserver : core::IterationObserver {
+  int outers_begun = 0, outers_ended = 0, inners = 0, krylov = 0;
+  double last_change = -1.0;
+  void on_outer_begin(int) override { ++outers_begun; }
+  void on_inner(int, int, double change) override {
+    ++inners;
+    last_change = change;
+  }
+  void on_krylov(int, double) override { ++krylov; }
+  void on_outer_end(int, double, bool) override { ++outers_ended; }
+};
+
+TEST(Run, ObserverSeesEverySourceIterationEvent) {
+  api::RunConfig config;
+  config.mesh.dims = {3, 3, 3};
+  config.materials.num_groups = 1;
+  config.angular.nang = 2;
+  config.iteration = {.iitm = 4, .oitm = 2};
+  CountingObserver observer;
+  api::Run run(config);
+  run.set_observer(&observer);
+  const api::RunRecord record = run.execute();
+  EXPECT_EQ(observer.outers_begun, record.iteration->outers);
+  EXPECT_EQ(observer.outers_ended, record.iteration->outers);
+  EXPECT_EQ(observer.inners,
+            static_cast<int>(record.iteration->inner_history.size()));
+  EXPECT_EQ(observer.krylov, 0);
+  EXPECT_EQ(observer.last_change, record.iteration->final_inner_change);
+}
+
+TEST(Run, ObserverSeesEveryKrylovIteration) {
+  api::RunConfig config;
+  config.mesh.dims = {3, 3, 3};
+  config.materials.num_groups = 1;
+  config.angular.nang = 2;
+  config.iteration = {.iitm = 8,
+                      .oitm = 2,
+                      .scheme = snap::IterationScheme::Gmres};
+  CountingObserver observer;
+  api::Run run(config);
+  run.set_observer(&observer);
+  const api::RunRecord record = run.execute();
+  EXPECT_EQ(observer.krylov,
+            static_cast<int>(record.iteration->residual_history.size()));
+  EXPECT_EQ(observer.inners,
+            static_cast<int>(record.iteration->inner_history.size()));
+  EXPECT_EQ(observer.outers_begun, record.iteration->outers);
+}
+
+TEST(Run, ObserverSeesDistributedGlobalEvents) {
+  api::RunConfig config;
+  config.mesh.dims = {4, 4, 4};
+  config.materials.num_groups = 1;
+  config.angular.nang = 2;
+  config.iteration = {.iitm = 5, .oitm = 1};
+  config.decomposition = {.px = 2, .py = 1};
+  config.execution.scheme = snap::ConcurrencyScheme::Serial;
+  config.execution.num_threads = 1;
+  CountingObserver observer;
+  api::Run run(config);
+  run.set_observer(&observer);
+  const api::RunRecord record = run.execute();
+  EXPECT_EQ(observer.inners, record.iteration->inners);
+  EXPECT_EQ(observer.outers_ended, record.iteration->outers);
+  EXPECT_EQ(observer.last_change, record.iteration->final_inner_change);
+}
+
+}  // namespace
+}  // namespace unsnap

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Schema check for `unsnap --deck ... --json out.json` run records.
+
+Usage: check_run_json.py out.json [out2.json ...]
+
+Validates the structural contract of api::to_json(RunRecord) — required
+blocks, field types, and cross-field consistency (history lengths vs
+counts, balance closure identity) — so CI catches a silently malformed or
+truncated record, not just invalid JSON. Exits non-zero on the first
+violation, printing what and where.
+"""
+
+import json
+import numbers
+import sys
+
+FAILURES = []
+
+
+def fail(path, message):
+    FAILURES.append(f"{path}: {message}")
+
+
+def expect(cond, path, message):
+    if not cond:
+        fail(path, message)
+    return cond
+
+
+def is_num(v):
+    # bool is an int subclass in Python; a number field holding true/false
+    # is a serialisation bug. null encodes NaN/Inf (JSON has no literal).
+    return (isinstance(v, numbers.Number) and not isinstance(v, bool)) or v is None
+
+
+def check_fields(obj, spec, path):
+    if not expect(isinstance(obj, dict), path, f"expected object, got {type(obj).__name__}"):
+        return False
+    ok = True
+    for key, kind in spec.items():
+        if not expect(key in obj, path, f"missing required field '{key}'"):
+            ok = False
+            continue
+        v = obj[key]
+        if kind == "str":
+            ok &= expect(isinstance(v, str), f"{path}.{key}", "expected a string")
+        elif kind == "num":
+            ok &= expect(is_num(v), f"{path}.{key}", "expected a number")
+        elif kind == "int":
+            ok &= expect(isinstance(v, int) and not isinstance(v, bool),
+                         f"{path}.{key}", "expected an integer")
+        elif kind == "bool":
+            ok &= expect(isinstance(v, bool), f"{path}.{key}", "expected a boolean")
+        elif kind == "numlist":
+            ok &= expect(isinstance(v, list) and all(is_num(x) for x in v),
+                         f"{path}.{key}", "expected an array of numbers")
+        else:
+            raise AssertionError(kind)
+    return ok
+
+
+def check_record(record, path):
+    check_fields(record, {"title": "str", "mode": "str", "deck": "str"}, path)
+    mode = record.get("mode")
+    expect(mode in ("solve", "schedule", "mms", "time"), f"{path}.mode",
+           f"unknown mode {mode!r}")
+    expect("[mesh]" in record.get("deck", ""), f"{path}.deck",
+           "config echo does not look like a deck")
+
+    check_fields(record.get("unsnap", {}), {
+        "version": "str", "git_describe": "str",
+        "build_type": "str", "compiler": "str",
+    }, f"{path}.unsnap")
+
+    check_fields(record.get("configuration", {}), {
+        "dims": "numlist", "order": "int", "nodes_per_element": "int",
+        "elements": "int", "nang": "int", "ng": "int", "nmom": "int",
+        "twist": "num", "layout": "str", "scheme": "str", "solver": "str",
+        "inners": "str", "unique_schedules": "int", "directions": "int",
+    }, f"{path}.configuration")
+
+    if "schedule" in record:
+        check_fields(record["schedule"], {
+            "strategy": "str", "unique": "int", "directions": "int",
+            "min_buckets": "int", "max_buckets": "int", "mean_bucket": "num",
+            "max_bucket": "int", "total_lagged": "int",
+            "parallel_efficiency": "num", "threads": "int",
+        }, f"{path}.schedule")
+
+    solving = mode in ("solve", "mms", "time")
+    if solving:
+        expect("iteration" in record, path, f"mode {mode} requires an iteration block")
+        expect("flux" in record, path, f"mode {mode} requires a flux block")
+    if mode == "schedule":
+        expect("schedule" in record, path, "mode schedule requires a schedule block")
+        expect("iteration" not in record, path, "mode schedule must not solve")
+
+    if "iteration" in record:
+        it = record["iteration"]
+        if check_fields(it, {
+            "converged": "bool", "outers": "int", "inners": "int",
+            "sweeps": "int", "krylov_iters": "int",
+            "final_inner_change": "num", "final_outer_change": "num",
+            "sweeps_per_digit": "num", "inner_history": "numlist",
+            "residual_history": "numlist",
+        }, f"{path}.iteration"):
+            check_fields(it.get("timers", {}), {
+                "total_seconds": "num", "assemble_solve_seconds": "num",
+                "solve_seconds": "num",
+            }, f"{path}.iteration.timers")
+            expect(it["krylov_iters"] == 0 or len(it["residual_history"]) > 0,
+                   f"{path}.iteration", "krylov iterations without a residual history")
+
+    if "balance" in record:
+        b = record["balance"]
+        if check_fields(b, {
+            "source": "num", "inflow": "num", "absorption": "num",
+            "leakage": "num", "residual": "num", "relative": "num",
+        }, f"{path}.balance") and all(is_num(b[k]) and b[k] is not None for k in
+                                      ("source", "inflow", "absorption", "leakage", "residual")):
+            closure = b["source"] + b["inflow"] - b["absorption"] - b["leakage"]
+            expect(abs(closure - b["residual"]) <= 1e-12 * max(1.0, abs(b["source"])),
+                   f"{path}.balance", "residual does not match source+inflow-absorption-leakage")
+
+    if "flux" in record:
+        f = record["flux"]
+        if check_fields(f, {"group_averages": "numlist", "min": "num",
+                            "max": "num", "total": "num"}, f"{path}.flux"):
+            ng = record.get("configuration", {}).get("ng")
+            expect(len(f["group_averages"]) == ng, f"{path}.flux.group_averages",
+                   f"expected {ng} group averages, got {len(f['group_averages'])}")
+
+    if "decomposition" in record:
+        d = record["decomposition"]
+        if check_fields(d, {
+            "px": "int", "py": "int", "exchange": "str",
+            "pipeline_stages": "int", "lagged_rank_edges": "int",
+            "modelled_pipeline_efficiency": "num",
+            "mean_idle_fraction": "num", "max_idle_fraction": "num",
+            "rank_idle_seconds": "numlist", "rank_sweep_seconds": "numlist",
+        }, f"{path}.decomposition"):
+            ranks = d["px"] * d["py"]
+            expect(len(d["rank_idle_seconds"]) in (0, ranks),
+                   f"{path}.decomposition.rank_idle_seconds",
+                   f"expected 0 or {ranks} entries")
+
+    if mode == "time":
+        if expect("time" in record, path, "mode time requires a time block"):
+            t = record["time"]
+            check_fields(t, {"initial_density": "num"}, f"{path}.time")
+            steps = t.get("steps", [])
+            expect(isinstance(steps, list) and len(steps) > 0,
+                   f"{path}.time.steps", "expected a non-empty step array")
+            for i, step in enumerate(steps):
+                check_fields(step, {"time": "num", "total_density": "num",
+                                    "inners": "int"}, f"{path}.time.steps[{i}]")
+
+    if mode == "mms":
+        if expect("mms" in record, path, "mode mms requires an mms block"):
+            check_fields(record["mms"], {"l2_error": "num"}, f"{path}.mms")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    for filename in argv[1:]:
+        try:
+            with open(filename, encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"check_run_json: {filename}: {err}")
+            return 1
+        check_record(record, filename)
+    if FAILURES:
+        for failure in FAILURES:
+            print(f"check_run_json: {failure}")
+        print(f"check_run_json: {len(FAILURES)} violation(s)")
+        return 1
+    print(f"check_run_json: {len(argv) - 1} record(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
