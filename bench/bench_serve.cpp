@@ -1,0 +1,255 @@
+// Load generator for the unsnapd run service: replays a mixed battery of
+// small decks (a handful of problem families, so most submissions are
+// duplicates) against an in-process Server over a Unix-domain socket,
+// measuring submit-to-done latency per run and service throughput, plus
+// the lowering-cache hit rate the duplicate traffic earns. Results land
+// in BENCH_serve.json in the same RunRecord-embedding shape as
+// BENCH_solvers.json ({"bench", "unsnap", "runs": [...]} plus the serve
+// metrics block), so the perf trajectory is machine-readable.
+//
+//   bench_serve [--runs N] [--clients N] [--workers N] [--families N]
+//               [--decks <dir>]   replay the shipped decks/ instead of
+//                                 the embedded tiny families
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/version.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/json.hpp"
+#include "util/json_parse.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace unsnap;
+
+/// The deck mix: `families` distinct tiny problems (cycled over by
+/// submission index), so a battery of N submissions carries N - families
+/// cache hits once every family has been lowered.
+std::string family_deck(int family) {
+  const int dims = 4 + family % 3;       // 4..6 per side
+  const int nang = 2 + family % 2;       // 2..3 angles/octant
+  const char* mode = family % 4 == 3 ? "mms" : "solve";
+  std::string deck = "[run]\nmode = " + std::string(mode) + "\n";
+  deck += "[mesh]\ndims = " + std::to_string(dims) + " " +
+          std::to_string(dims) + " " + std::to_string(dims) + "\n";
+  deck += "[angular]\nnang = " + std::to_string(nang) + "\n";
+  deck += "[materials]\nng = 1\n";
+  deck += "[iteration]\niitm = 2\noitm = 1\nfixed_iterations = true\n";
+  return deck;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+int arg_int(int argc, char** argv, const char* flag, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return std::atoi(argv[i + 1]);
+  return fallback;
+}
+
+const char* arg_str(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  return nullptr;
+}
+
+/// Deck texts from a directory of .inp files (the shipped decks/), for a
+/// replay that exercises the full problem mix instead of the embedded
+/// tiny families.
+std::vector<std::string> load_deck_dir(const std::string& dir) {
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.is_regular_file() && entry.path().extension() == ".inp")
+      paths.push_back(entry.path());
+  std::sort(paths.begin(), paths.end());
+  std::vector<std::string> decks;
+  for (const auto& path : paths) {
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    decks.push_back(text.str());
+  }
+  return decks;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int total_runs = arg_int(argc, argv, "--runs", 120);
+  const int clients = arg_int(argc, argv, "--clients", 8);
+  const int workers = arg_int(argc, argv, "--workers", 2);
+  int families = arg_int(argc, argv, "--families", 6);
+
+  std::vector<std::string> deck_pool;
+  if (const char* deck_dir = arg_str(argc, argv, "--decks")) {
+    deck_pool = load_deck_dir(deck_dir);
+    if (deck_pool.empty()) {
+      std::fprintf(stderr, "bench_serve: no .inp decks under %s\n", deck_dir);
+      return 1;
+    }
+    families = static_cast<int>(deck_pool.size());
+  } else {
+    for (int f = 0; f < families; ++f) deck_pool.push_back(family_deck(f));
+  }
+  const auto deck_at = [&](int index) -> const std::string& {
+    return deck_pool[static_cast<std::size_t>(index) % deck_pool.size()];
+  };
+
+  const std::string socket_path =
+      "/tmp/unsnapd-bench-" + std::to_string(::getpid()) + ".sock";
+  serve::ServerOptions options;
+  options.unix_path = socket_path;
+  options.workers = workers;
+  options.conn_threads = std::max(2, clients / 2);
+  serve::Server server(options);
+  server.start();
+
+  std::printf("bench_serve: %d submissions, %d client threads, %d workers, "
+              "%d-thread budget, %d deck families\n",
+              total_runs, clients, workers, server.thread_budget(),
+              families);
+
+  // Each client thread replays its slice of the battery: submit, block
+  // until terminal, record the submit-to-done latency. Deck family is
+  // chosen by global submission index so duplicates interleave across
+  // connections the way a shared service would see them.
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c)
+    threads.emplace_back([&, c] {
+      serve::Client client = serve::Client::connect_unix(socket_path);
+      for (int i = c; i < total_runs; i += clients) {
+        const auto begin = std::chrono::steady_clock::now();
+        const std::string id = client.submit(deck_at(i));
+        if (client.await_terminal(id) != serve::RunState::Done) {
+          std::fprintf(stderr, "bench_serve: run %s did not complete\n",
+                       id.c_str());
+          std::exit(1);
+        }
+        latencies[static_cast<std::size_t>(c)].push_back(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          begin)
+                .count());
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Metrics snapshot first: the sample-record probes below would
+  // otherwise pollute the battery's hit/miss ledger.
+  const serve::Scheduler::Stats sched = server.scheduler_stats();
+  const serve::LoweringCache::Stats cache = server.cache_stats();
+
+  // One sample result envelope per family for the records array (fresh
+  // connection; the battery's own connections are gone).
+  serve::Client probe = serve::Client::connect_unix(socket_path);
+  std::vector<std::string> sample_records;
+  for (int f = 0; f < families; ++f) {
+    const std::string id = probe.submit(deck_at(f));
+    (void)probe.await_terminal(id);
+    const util::JsonValue result = probe.result(id);
+    sample_records.push_back(result.at("record").dump());
+  }
+
+  server.stop();
+
+  std::vector<double> all;
+  for (const std::vector<double>& per_client : latencies)
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  std::sort(all.begin(), all.end());
+  double sum = 0.0;
+  for (const double s : all) sum += s;
+  const double mean = all.empty() ? 0.0 : sum / static_cast<double>(all.size());
+  const double hit_rate =
+      cache.hits + cache.misses > 0
+          ? static_cast<double>(cache.hits) /
+                static_cast<double>(cache.hits + cache.misses)
+          : 0.0;
+
+  unsnap::Table table({"metric", "value"});
+  table.add_row({std::string("completed runs"),
+                 static_cast<long>(all.size())});
+  table.add_row({std::string("throughput (runs/s)"),
+                 static_cast<double>(all.size()) / wall});
+  table.add_row({std::string("latency p50 (s)"), percentile(all, 0.50)});
+  table.add_row({std::string("latency p95 (s)"), percentile(all, 0.95)});
+  table.add_row({std::string("latency p99 (s)"), percentile(all, 0.99)});
+  table.add_row({std::string("latency mean (s)"), mean});
+  table.add_row({std::string("cache hit rate"), hit_rate});
+  table.add_row({std::string("peak budget threads"),
+                 static_cast<long>(sched.peak_threads)});
+  table.print("unsnapd service under mixed deck replay");
+
+  util::JsonWriter json;
+  json.begin_object();
+  json.kv("bench",
+          "bench_serve: unsnapd mixed-deck replay (submit->done latency, "
+          "throughput, lowering-cache hit rate)");
+  json.kv("unsnap", api::version_info().summary());
+  json.key("config").begin_object();
+  json.kv("submissions", total_runs);
+  json.kv("clients", clients);
+  json.kv("workers", workers);
+  json.kv("thread_budget", server.thread_budget());
+  json.kv("deck_families", families);
+  json.end_object();
+  json.kv("wall_seconds", wall);
+  json.kv("throughput_runs_per_s",
+          static_cast<double>(all.size()) / wall);
+  json.key("latency_s").begin_object();
+  json.kv("p50", percentile(all, 0.50));
+  json.kv("p95", percentile(all, 0.95));
+  json.kv("p99", percentile(all, 0.99));
+  json.kv("mean", mean);
+  json.kv("max", all.empty() ? 0.0 : all.back());
+  json.end_object();
+  json.key("scheduler").begin_object();
+  json.kv("peak_threads", sched.peak_threads);
+  json.kv("total_threads", sched.total_threads);
+  json.end_object();
+  json.key("cache").begin_object();
+  json.kv("hits", cache.hits);
+  json.kv("misses", cache.misses);
+  json.kv("hit_rate", hit_rate);
+  json.kv("entries", static_cast<long>(cache.entries));
+  json.end_object();
+  // One RunRecord per deck family, same embedding as BENCH_solvers.json.
+  json.key("runs").begin_array();
+  for (const std::string& record : sample_records) json.raw(record);
+  json.end_array();
+  json.end_object();
+
+  const char* out_path = "BENCH_serve.json";
+  if (std::FILE* out = std::fopen(out_path, "w")) {
+    std::fputs(json.str().c_str(), out);
+    std::fputc('\n', out);
+    std::fclose(out);
+    std::printf("\nwrote %s (one RunRecord per deck family)\n", out_path);
+  } else {
+    std::printf("\ncould not write %s\n", out_path);
+    return 1;
+  }
+  return 0;
+}

@@ -84,14 +84,19 @@ int run_deck(const DeckRequest& request) {
     if (!existed) std::remove(path.c_str());
   }
 
+  // Output hygiene: when the record JSON owns stdout (`--json -`), every
+  // human line — progress tracing, the report, the trailing notes — goes
+  // to stderr so `unsnap --deck d.inp --json - | jq` always parses.
+  std::FILE* log = config.output.json_path == "-" ? stderr : stdout;
+
   Run run(std::move(config));
-  ProgressObserver progress;
+  ProgressObserver progress(log);
   if (run.config().output.verbose) run.set_observer(&progress);
   const RunRecord record = run.execute();
 
   if (run.config().output.report) {
-    if (run.config().output.verbose) std::printf("\n");
-    print_run_report(record);
+    if (run.config().output.verbose) std::fprintf(log, "\n");
+    print_run_report(record, log);
   }
   if (!run.config().output.json_path.empty()) {
     const std::string& path = run.config().output.json_path;
@@ -104,7 +109,7 @@ int run_deck(const DeckRequest& request) {
       out << to_json(record) << "\n";
       require(out.good(), "failed writing JSON to '" + path + "'");
       if (run.config().output.report)
-        std::printf("\nwrote %s\n", path.c_str());
+        std::fprintf(log, "\nwrote %s\n", path.c_str());
     }
   }
   const bool solved = record.iteration.has_value() &&

@@ -29,46 +29,48 @@ double sweeps_per_digit(const core::IterationResult& result) {
 }
 
 void print_iteration_report(const core::IterationResult& result,
-                            bool time_solve, bool verbose) {
-  std::printf("%s after %d inners / %d outers (last inner change %.3e)\n",
+                            bool time_solve, bool verbose,
+                            std::FILE* out) {
+  std::fprintf(out, "%s after %d inners / %d outers (last inner change %.3e)\n",
               result.converged ? "converged" : "NOT converged",
               result.inners, result.outers, result.final_inner_change);
   const double spd = sweeps_per_digit(result);
   if (result.krylov_iters > 0) {
-    std::printf("gmres: %d Krylov iters over %d sweeps, final rel residual "
+    std::fprintf(out, "gmres: %d Krylov iters over %d sweeps, final rel residual "
                 "%.3e",
                 result.krylov_iters, result.sweeps,
                 result.residual_history.empty()
                     ? 0.0
                     : result.residual_history.back());
-    if (spd > 0.0) std::printf(", %.1f sweeps/digit", spd);
-    std::printf("\n");
+    if (spd > 0.0) std::fprintf(out, ", %.1f sweeps/digit", spd);
+    std::fprintf(out, "\n");
   } else if (spd > 0.0) {
-    std::printf("source iteration: %d sweeps, %.1f sweeps/digit\n",
+    std::fprintf(out, "source iteration: %d sweeps, %.1f sweeps/digit\n",
                 result.sweeps, spd);
   }
-  std::printf("total %.4f s, %.4f s in assemble/solve sweeps",
+  std::fprintf(out, "total %.4f s, %.4f s in assemble/solve sweeps",
               result.total_seconds, result.assemble_solve_seconds);
   if (time_solve && result.assemble_solve_seconds > 0.0)
-    std::printf(" (%.0f%% in solve)",
+    std::fprintf(out, " (%.0f%% in solve)",
                 100.0 * result.solve_seconds / result.assemble_solve_seconds);
-  std::printf("\n");
+  std::fprintf(out, "\n");
   if (verbose) {
-    std::printf("inner change history (%zu inners):\n",
+    std::fprintf(out, "inner change history (%zu inners):\n",
                 result.inner_history.size());
     for (std::size_t i = 0; i < result.inner_history.size(); ++i)
-      std::printf("  %4zu  %.6e\n", i, result.inner_history[i]);
+      std::fprintf(out, "  %4zu  %.6e\n", i, result.inner_history[i]);
     if (!result.residual_history.empty()) {
-      std::printf("krylov residual history (%zu entries, relative):\n",
+      std::fprintf(out, "krylov residual history (%zu entries, relative):\n",
                   result.residual_history.size());
       for (std::size_t i = 0; i < result.residual_history.size(); ++i)
-        std::printf("  %4zu  %.6e\n", i, result.residual_history[i]);
+        std::fprintf(out, "  %4zu  %.6e\n", i, result.residual_history[i]);
     }
   }
 }
 
-void print_balance_report(const core::BalanceReport& balance) {
-  std::printf("particle balance:\n"
+void print_balance_report(const core::BalanceReport& balance,
+                          std::FILE* out) {
+  std::fprintf(out, "particle balance:\n"
               "  source      %.6e\n  inflow      %.6e\n"
               "  absorption  %.6e\n  leakage     %.6e\n"
               "  residual    %.3e (relative %.3e)\n",

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdio>
 #include <functional>
 #include <vector>
 
@@ -24,8 +25,11 @@ void print_configuration(const core::TransportSolver& solver);
 /// change history, so the two schemes compare directly). With `verbose`
 /// the full per-inner change history — and, for gmres, the per-Krylov-
 /// iteration residual history — is dumped.
+/// Writes to `out` (default stdout) so callers routing the human report
+/// to stderr — the driver under `--json -` — can redirect it wholesale.
 void print_iteration_report(const core::IterationResult& result,
-                            bool time_solve = false, bool verbose = false);
+                            bool time_solve = false, bool verbose = false,
+                            std::FILE* out = stdout);
 
 /// Sweeps per decimal digit of error reduction, measured from the
 /// per-inner change history (the one consistently-normalised series both
@@ -34,7 +38,8 @@ void print_iteration_report(const core::IterationResult& result,
 [[nodiscard]] double sweeps_per_digit(const core::IterationResult& result);
 
 /// Source / absorption / leakage / residual block.
-void print_balance_report(const core::BalanceReport& balance);
+void print_balance_report(const core::BalanceReport& balance,
+                          std::FILE* out = stdout);
 
 /// Sweep-schedule block: unique schedules, wavefront/bucket occupancy,
 /// cycle-broken (lagged) faces and the modelled parallel efficiency of

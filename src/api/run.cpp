@@ -192,7 +192,9 @@ RunRecord Run::execute() {
 }
 
 RunRecord Run::execute_solve(RunRecord record) {
-  problem_.emplace(config_.builder().build());
+  problem_.emplace(shared_disc_ ? config_.builder().build(shared_disc_)
+                                : config_.builder().build());
+  shared_disc_ = problem_->discretization_ptr();
   solver_ = problem_->make_solver();
   solver_->set_observer(observer_);
   record.config = make_configuration(*solver_);
@@ -243,7 +245,10 @@ RunRecord Run::execute_schedule(RunRecord record) {
   plain.materials.num_groups = config_.materials.num_groups;
   plain.source = SourceModel{};
   const snap::Input input = plain.builder().to_input();
-  const auto disc = std::make_shared<const core::Discretization>(input);
+  const auto disc = shared_disc_
+                        ? shared_disc_
+                        : std::make_shared<const core::Discretization>(input);
+  shared_disc_ = disc;
   record.config = make_configuration_from(input, disc.get());
   record.schedule = make_schedule_stats_from(
       disc->schedules(), input.num_threads,
@@ -252,7 +257,9 @@ RunRecord Run::execute_schedule(RunRecord record) {
 }
 
 RunRecord Run::execute_mms(RunRecord record) {
-  problem_.emplace(config_.builder().build());
+  problem_.emplace(shared_disc_ ? config_.builder().build(shared_disc_)
+                                : config_.builder().build());
+  shared_disc_ = problem_->discretization_ptr();
   solver_ = problem_->make_solver();
   solver_->set_observer(observer_);
   const auto ms = core::ManufacturedSolution::trigonometric();
@@ -269,7 +276,10 @@ RunRecord Run::execute_mms(RunRecord record) {
 
 RunRecord Run::execute_time(RunRecord record) {
   const snap::Input input = config_.builder().to_input();
-  const auto disc = std::make_shared<const core::Discretization>(input);
+  const auto disc = shared_disc_
+                        ? shared_disc_
+                        : std::make_shared<const core::Discretization>(input);
+  shared_disc_ = disc;
   time_solver_ = std::make_unique<core::TimeDependentSolver>(
       disc, input, core::TimeDependentSolver::snap_velocities(input.ng),
       config_.time.dt);
@@ -448,125 +458,130 @@ std::string to_json(const RunRecord& record) {
 
 // --- renderers ------------------------------------------------------------
 
-void print_configuration(const RunRecord::Configuration& config) {
-  std::printf("config: %dx%dx%d hexes, order %d (%d nodes/elem), "
+void print_configuration(const RunRecord::Configuration& config,
+                         std::FILE* out) {
+  std::fprintf(out, "config: %dx%dx%d hexes, order %d (%d nodes/elem), "
               "%d angles/octant x 8, %d groups, nmom %d\n",
               config.dims[0], config.dims[1], config.dims[2], config.order,
               config.nodes_per_element, config.nang, config.ng,
               config.nmom);
-  std::printf("        layout %s, scheme %s, solver %s, inners %s, "
+  std::fprintf(out, "        layout %s, scheme %s, solver %s, inners %s, "
               "twist %.4g, %d unique sweep schedules\n",
               config.layout.c_str(), config.scheme.c_str(),
               config.solver.c_str(), config.inners.c_str(), config.twist,
               config.unique_schedules);
 }
 
-void print_schedule_report(const RunRecord::ScheduleStats& stats) {
-  std::printf("sweep schedules (%s):\n"
+void print_schedule_report(const RunRecord::ScheduleStats& stats,
+                           std::FILE* out) {
+  std::fprintf(out, "sweep schedules (%s):\n"
               "  unique        %d (of %d directions)\n"
               "  buckets       %d..%d per schedule\n"
               "  occupancy     mean %.1f, largest bucket %d\n",
               stats.strategy.c_str(), stats.unique, stats.directions,
               stats.min_buckets, stats.max_buckets, stats.mean_bucket,
               stats.max_bucket);
-  std::printf("  lagged faces  %d cycle-broken (over unique schedules)\n",
+  std::fprintf(out, "  lagged faces  %d cycle-broken (over unique schedules)\n",
               stats.total_lagged);
-  std::printf("  parallelism   %.0f%% modelled efficiency at %d threads\n",
+  std::fprintf(out, "  parallelism   %.0f%% modelled efficiency at %d threads\n",
               100.0 * stats.parallel_efficiency, stats.threads);
 }
 
 void print_decomposition_report(const RunRecord::DecompositionStats& stats,
-                                const core::IterationResult& result) {
-  std::printf("distributed sweep: %dx%d KBA ranks, %s exchange\n", stats.px,
+                                const core::IterationResult& result,
+                                std::FILE* out) {
+  std::fprintf(out, "distributed sweep: %dx%d KBA ranks, %s exchange\n", stats.px,
               stats.py, stats.exchange.c_str());
-  std::printf("  %s after %d inners / %d outers "
+  std::fprintf(out, "  %s after %d inners / %d outers "
               "(last inner change %.3e), %.4f s\n",
               result.converged ? "converged" : "NOT converged",
               result.inners, result.outers, result.final_inner_change,
               result.total_seconds);
   if (result.krylov_iters > 0)
-    std::printf("  gmres: %d Krylov iters over %d sweeps per rank\n",
+    std::fprintf(out, "  gmres: %d Krylov iters over %d sweeps per rank\n",
                 result.krylov_iters, result.sweeps);
   if (stats.exchange != snap::to_string(snap::SweepExchange::Pipelined))
     return;
 
-  std::printf("  pipeline      %d stage%s deep (worst octant), "
+  std::fprintf(out, "  pipeline      %d stage%s deep (worst octant), "
               "%d lagged rank edge%s\n",
               stats.pipeline_stages, stats.pipeline_stages == 1 ? "" : "s",
               stats.lagged_rank_edges,
               stats.lagged_rank_edges == 1 ? "" : "s");
-  std::printf("  modelled      %.0f%% pipeline efficiency "
+  std::fprintf(out, "  modelled      %.0f%% pipeline efficiency "
               "(unit-time rank sweeps)\n",
               100.0 * stats.modelled_pipeline_efficiency);
-  std::printf("  measured idle mean %.0f%%, worst rank %.0f%% "
+  std::fprintf(out, "  measured idle mean %.0f%%, worst rank %.0f%% "
               "(halo waits / (waits + sweep))\n",
               100.0 * stats.mean_idle_fraction,
               100.0 * stats.max_idle_fraction);
 }
 
-void print_run_report(const RunRecord& record) {
-  std::printf("%s\n", record.provenance.summary().c_str());
+void print_run_report(const RunRecord& record, std::FILE* out) {
+  std::fprintf(out, "%s\n", record.provenance.summary().c_str());
   if (!record.title.empty())
-    std::printf("run: %s (mode %s)\n", record.title.c_str(),
+    std::fprintf(out, "run: %s (mode %s)\n", record.title.c_str(),
                 record.mode.c_str());
   else
-    std::printf("run mode: %s\n", record.mode.c_str());
-  std::printf("\n");
-  print_configuration(record.config);
+    std::fprintf(out, "run mode: %s\n", record.mode.c_str());
+  std::fprintf(out, "\n");
+  print_configuration(record.config, out);
   if (record.schedule) {
-    std::printf("\n");
-    print_schedule_report(*record.schedule);
+    std::fprintf(out, "\n");
+    print_schedule_report(*record.schedule, out);
   }
   if (record.iteration && record.mode != to_string(RunMode::Schedule)) {
-    std::printf("\n");
+    std::fprintf(out, "\n");
     print_iteration_report(*record.iteration,
-                           record.iteration->solve_seconds > 0.0);
+                           record.iteration->solve_seconds > 0.0,
+                           /*verbose=*/false, out);
   }
   if (record.decomposition) {
-    std::printf("\n");
-    print_decomposition_report(*record.decomposition, *record.iteration);
+    std::fprintf(out, "\n");
+    print_decomposition_report(*record.decomposition, *record.iteration,
+                               out);
   }
   if (record.balance) {
-    std::printf("\n");
-    print_balance_report(*record.balance);
+    std::fprintf(out, "\n");
+    print_balance_report(*record.balance, out);
   }
   if (record.flux) {
-    std::printf("\ngroup   <phi> (volume average)\n");
+    std::fprintf(out, "\ngroup   <phi> (volume average)\n");
     for (std::size_t g = 0; g < record.flux->group_averages.size(); ++g)
-      std::printf("  %2zu    %.6e\n", g, record.flux->group_averages[g]);
-    std::printf("  flux min %.6e, max %.6e, total %.6e\n",
+      std::fprintf(out, "  %2zu    %.6e\n", g, record.flux->group_averages[g]);
+    std::fprintf(out, "  flux min %.6e, max %.6e, total %.6e\n",
                 record.flux->min, record.flux->max, record.flux->total);
   }
   if (record.initial_density) {
-    std::printf("\n  time    density     inners\n");
-    std::printf("  %5.2f   %.4e   --\n", 0.0, *record.initial_density);
+    std::fprintf(out, "\n  time    density     inners\n");
+    std::fprintf(out, "  %5.2f   %.4e   --\n", 0.0, *record.initial_density);
     for (const RunRecord::TimeStep& s : record.steps)
-      std::printf("  %5.2f   %.4e   %d\n", s.time, s.total_density,
+      std::fprintf(out, "  %5.2f   %.4e   %d\n", s.time, s.total_density,
                   s.inners);
   }
   if (record.mms_l2_error)
-    std::printf("\nmanufactured-solution L2 error: %.6e\n",
+    std::fprintf(out, "\nmanufactured-solution L2 error: %.6e\n",
                 *record.mms_l2_error);
 }
 
 // --- live progress observer -----------------------------------------------
 
 void ProgressObserver::on_outer_begin(int outer) {
-  std::printf("outer %d:\n", outer);
+  std::fprintf(out_, "outer %d:\n", outer);
 }
 
 void ProgressObserver::on_inner(int inner, int sweeps, double change) {
-  std::printf("  inner %4d  sweeps %4d  dfmxi %.6e\n", inner, sweeps,
+  std::fprintf(out_, "  inner %4d  sweeps %4d  dfmxi %.6e\n", inner, sweeps,
               change);
 }
 
 void ProgressObserver::on_krylov(int iteration, double residual) {
-  std::printf("    krylov %4d  rel residual %.6e\n", iteration, residual);
+  std::fprintf(out_, "    krylov %4d  rel residual %.6e\n", iteration, residual);
 }
 
 void ProgressObserver::on_outer_end(int outer, double change,
                                     bool converged) {
-  std::printf("outer %d done: dfmxo %.6e%s\n", outer, change,
+  std::fprintf(out_, "outer %d done: dfmxo %.6e%s\n", outer, change,
               converged ? " (converged)" : "");
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <cstdio>
 #include <memory>
 #include <optional>
 #include <string>
@@ -121,22 +122,33 @@ struct RunRecord {
 
 // --- renderers over record data -------------------------------------------
 
-void print_configuration(const RunRecord::Configuration& config);
-void print_schedule_report(const RunRecord::ScheduleStats& stats);
+/// All renderers write to an explicit stream (default stdout) so the
+/// driver can route the human report to stderr when the record JSON owns
+/// stdout (`--json -`): piped JSON must stay parseable.
+void print_configuration(const RunRecord::Configuration& config,
+                         std::FILE* out = stdout);
+void print_schedule_report(const RunRecord::ScheduleStats& stats,
+                           std::FILE* out = stdout);
 void print_decomposition_report(const RunRecord::DecompositionStats& stats,
-                                const core::IterationResult& result);
+                                const core::IterationResult& result,
+                                std::FILE* out = stdout);
 /// The full human report of a deck-driven run (every block the record
 /// carries, in the standard order).
-void print_run_report(const RunRecord& record);
+void print_run_report(const RunRecord& record, std::FILE* out = stdout);
 
 /// Live progress tracing over the observer events — what `--verbose` used
-/// to print from inside the solvers.
+/// to print from inside the solvers. Writes to `out` (default stdout;
+/// the driver passes stderr when stdout carries the record JSON).
 class ProgressObserver : public core::IterationObserver {
  public:
+  explicit ProgressObserver(std::FILE* out = stdout) : out_(out) {}
   void on_outer_begin(int outer) override;
   void on_inner(int inner, int sweeps, double change) override;
   void on_krylov(int iteration, double residual) override;
   void on_outer_end(int outer, double change, bool converged) override;
+
+ private:
+  std::FILE* out_;
 };
 
 /// The single entry point lowering a RunConfig to the right solver stack:
@@ -161,6 +173,25 @@ class Run {
     observer_ = observer;
   }
 
+  /// Share a prebuilt discretisation (mesh + integrals + quadrature +
+  /// sweep schedules) instead of lowering one from the config — the
+  /// serve layer's problem cache injects here on a deck-digest hit. Must
+  /// describe the same mesh/angular/cycle configuration as the config
+  /// (builder().build(disc) asserts compatibility). Single-domain modes
+  /// only; distributed runs build per-rank discretisations and ignore it.
+  void set_shared_discretization(
+      std::shared_ptr<const core::Discretization> disc) {
+    shared_disc_ = std::move(disc);
+  }
+
+  /// The discretisation the executed run used (built or injected);
+  /// nullptr before execute() and for distributed runs. This is what the
+  /// serve layer stores back into its cache after a cold run.
+  [[nodiscard]] std::shared_ptr<const core::Discretization>
+  shared_discretization() const {
+    return shared_disc_;
+  }
+
   [[nodiscard]] const RunConfig& config() const { return config_; }
 
   /// Run the configured stack and return the structured record.
@@ -181,6 +212,7 @@ class Run {
  private:
   RunConfig config_;
   core::IterationObserver* observer_ = nullptr;
+  std::shared_ptr<const core::Discretization> shared_disc_;
   std::optional<Problem> problem_;
   std::unique_ptr<core::TransportSolver> solver_;
   std::unique_ptr<comm::DistributedSweepSolver> distributed_;

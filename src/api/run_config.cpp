@@ -6,6 +6,7 @@
 
 #include "snap/deck.hpp"
 #include "util/assert.hpp"
+#include "util/threads.hpp"
 
 namespace unsnap::api {
 
@@ -51,6 +52,11 @@ snap::CrossSections MaterialModel::cross_sections() const {
 }
 
 void RunConfig::validate() const {
+  // A deck asking for more threads than the machine has would silently
+  // oversubscribe under OpenMP; reject it here so the error carries the
+  // deck's source location (the binder wraps validate() failures). The
+  // daemon reuses this same check against its worker thread budget.
+  util::require_thread_budget(execution.num_threads, "execution: threads");
   if (materials.custom()) {
     require(materials.sigt.size() == materials.scattering.size(),
             "materials: sigt lists " + std::to_string(materials.sigt.size()) +

@@ -1,0 +1,75 @@
+#include "serve/cache.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace unsnap::serve {
+
+std::string normalized_deck(const api::RunConfig& config) {
+  api::RunConfig canonical = config;
+  canonical.title.clear();
+  canonical.output = api::OutputSpec{};
+  return api::write_deck(canonical);
+}
+
+std::uint64_t fnv1a64(const std::string& text) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::uint64_t deck_digest(const api::RunConfig& config) {
+  return fnv1a64(normalized_deck(config));
+}
+
+std::string digest_hex(std::uint64_t digest) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+LoweringCache::LoweringCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const core::Discretization> LoweringCache::lookup(
+    std::uint64_t digest) {
+  std::lock_guard lock(mu_);
+  const auto it = index_.find(digest);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->disc;
+}
+
+void LoweringCache::insert(std::uint64_t digest,
+                           std::shared_ptr<const core::Discretization> disc) {
+  std::lock_guard lock(mu_);
+  const auto it = index_.find(digest);
+  if (it != index_.end()) {
+    it->second->disc = std::move(disc);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{digest, std::move(disc)});
+  index_[digest] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().digest);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+LoweringCache::Stats LoweringCache::stats() const {
+  std::lock_guard lock(mu_);
+  Stats out = stats_;
+  out.entries = lru_.size();
+  return out;
+}
+
+}  // namespace unsnap::serve

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "api/run_config.hpp"
+#include "core/discretization.hpp"
+
+namespace unsnap::serve {
+
+/// Canonical deck text for cache keying: the config rewritten through
+/// api::write_deck (which fixes section order, key order, spacing and
+/// drops comments) with the presentation-only fields — [run] title and
+/// the whole [output] section — cleared. Two decks that differ only in
+/// comments, whitespace, key order, title or output routing normalise to
+/// the same text and therefore share one cache entry.
+[[nodiscard]] std::string normalized_deck(const api::RunConfig& config);
+
+/// FNV-1a 64-bit over the normalized deck text.
+[[nodiscard]] std::uint64_t deck_digest(const api::RunConfig& config);
+[[nodiscard]] std::uint64_t fnv1a64(const std::string& text);
+/// 16-hex-digit rendering used in protocol messages and logs.
+[[nodiscard]] std::string digest_hex(std::uint64_t digest);
+
+/// Thread-safe LRU cache of lowered problems: the immutable, shareable
+/// setup product (core::Discretization — mesh, element integrals,
+/// quadrature and the full sweep-schedule set) keyed by deck digest.
+/// Repeated submissions of the same problem family skip meshing and
+/// schedule construction entirely; the solve itself still runs, so a
+/// cache hit changes setup time only, never results (the golden contract:
+/// hit and miss produce bitwise-identical flux digests).
+class LoweringCache {
+ public:
+  /// `capacity` entries; least-recently-used beyond that are evicted.
+  explicit LoweringCache(std::size_t capacity = 64);
+
+  struct Stats {
+    long hits = 0;
+    long misses = 0;
+    long evictions = 0;
+    std::size_t entries = 0;
+  };
+
+  /// nullptr on miss (counted); a hit refreshes LRU recency.
+  [[nodiscard]] std::shared_ptr<const core::Discretization> lookup(
+      std::uint64_t digest);
+
+  /// Insert (or refresh) the lowering for a digest.
+  void insert(std::uint64_t digest,
+              std::shared_ptr<const core::Discretization> disc);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Entry {
+    std::uint64_t digest;
+    std::shared_ptr<const core::Discretization> disc;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace unsnap::serve

@@ -1,0 +1,85 @@
+#include "serve/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace unsnap::serve {
+
+Client Client::connect_unix(const std::string& path) {
+  return Client(util::Socket::connect_unix(path));
+}
+
+Client Client::connect_tcp(int port) {
+  return Client(util::Socket::connect_tcp(port));
+}
+
+util::JsonValue Client::request(const std::string& frame, bool check) {
+  socket_.send_frame(frame);
+  std::optional<std::string> reply = socket_.recv_frame();
+  require(reply.has_value(), "client: daemon closed the connection");
+  util::JsonValue response = parse_message(*reply);
+  if (check)
+    require(response.get_bool("ok"),
+            "daemon: " + response.get_string("error", "request failed"));
+  return response;
+}
+
+bool Client::ping() {
+  try {
+    return request(make_request("ping")).get_bool("ok");
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::string Client::submit(const std::string& deck_text, int priority) {
+  const util::JsonValue response =
+      request(make_submit_request(deck_text, priority));
+  const std::string id = response.get_string("id");
+  require(!id.empty(), "client: submit response carried no run id");
+  return id;
+}
+
+util::JsonValue Client::status(const std::string& id) {
+  return request(make_request_id("status", id));
+}
+
+util::JsonValue Client::result(const std::string& id) {
+  return request(make_request_id("result", id));
+}
+
+std::string Client::result_text(const std::string& id) {
+  socket_.send_frame(make_request_id("result", id));
+  std::optional<std::string> reply = socket_.recv_frame();
+  require(reply.has_value(), "client: daemon closed the connection");
+  const util::JsonValue response = parse_message(*reply);
+  require(response.get_bool("ok"),
+          "daemon: " + response.get_string("error", "request failed"));
+  return *reply;
+}
+
+util::JsonValue Client::stats() { return request(make_request("stats")); }
+
+bool Client::cancel(const std::string& id) {
+  return request(make_request_id("cancel", id)).get_bool("cancelled");
+}
+
+RunState Client::await_terminal(const std::string& id) {
+  // 1 ms -> 100 ms backoff: tight enough that short runs return almost
+  // immediately, idle enough not to hammer the daemon during long ones.
+  auto delay = std::chrono::milliseconds(1);
+  while (true) {
+    const util::JsonValue response = status(id);
+    const RunState state = run_state_from_string(response.get_string("state"));
+    if (is_terminal(state)) return state;
+    std::this_thread::sleep_for(delay);
+    delay = std::min(delay * 2, std::chrono::milliseconds(100));
+  }
+}
+
+void Client::shutdown_server() { (void)request(make_request("shutdown")); }
+
+}  // namespace unsnap::serve

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "util/json_parse.hpp"
+#include "util/socket.hpp"
+
+namespace unsnap::serve {
+
+/// One protocol connection to an unsnapd daemon, with a typed method per
+/// op. Methods are synchronous request/response; a Client is not safe to
+/// share across threads (open one per thread — connections are cheap and
+/// the daemon pools handlers).
+class Client {
+ public:
+  [[nodiscard]] static Client connect_unix(const std::string& path);
+  [[nodiscard]] static Client connect_tcp(int port);
+
+  /// True when the daemon answers the liveness probe.
+  [[nodiscard]] bool ping();
+
+  /// Submit deck text; returns the run id. Throws InvalidInput with the
+  /// daemon's message when the deck is rejected.
+  [[nodiscard]] std::string submit(const std::string& deck_text,
+                                   int priority = 0);
+
+  /// Parsed status / result / stats responses (the protocol envelopes;
+  /// result throws while the run is still queued or running).
+  [[nodiscard]] util::JsonValue status(const std::string& id);
+  [[nodiscard]] util::JsonValue result(const std::string& id);
+  /// The raw result frame, byte-exact as the daemon sent it (what the
+  /// CLI writes to disk so downstream tooling sees unmodified JSON).
+  [[nodiscard]] std::string result_text(const std::string& id);
+  [[nodiscard]] util::JsonValue stats();
+
+  /// True when the run was still queued and is now cancelled.
+  [[nodiscard]] bool cancel(const std::string& id);
+
+  /// Poll status until the run reaches a terminal state, with a short
+  /// adaptive backoff (the protocol has no blocking wait op — polling
+  /// keeps daemon handlers stateless). Returns the terminal state.
+  RunState await_terminal(const std::string& id);
+
+  /// Ask the daemon to stop (it finishes running jobs first).
+  void shutdown_server();
+
+ private:
+  explicit Client(util::Socket socket) : socket_(std::move(socket)) {}
+
+  /// One round trip; throws InvalidInput on a dropped connection, and —
+  /// when `check` — on an {"ok": false} response (with the daemon's
+  /// error text).
+  util::JsonValue request(const std::string& frame, bool check = true);
+
+  util::Socket socket_;
+};
+
+}  // namespace unsnap::serve

@@ -1,0 +1,76 @@
+#include "serve/protocol.hpp"
+
+#include "util/assert.hpp"
+#include "util/json.hpp"
+
+namespace unsnap::serve {
+
+std::string to_string(RunState state) {
+  switch (state) {
+    case RunState::Queued: return "queued";
+    case RunState::Running: return "running";
+    case RunState::Done: return "done";
+    case RunState::Failed: return "failed";
+    case RunState::Cancelled: return "cancelled";
+  }
+  UNSNAP_ASSERT(false);
+  return {};
+}
+
+RunState run_state_from_string(const std::string& name) {
+  if (name == "queued") return RunState::Queued;
+  if (name == "running") return RunState::Running;
+  if (name == "done") return RunState::Done;
+  if (name == "failed") return RunState::Failed;
+  if (name == "cancelled") return RunState::Cancelled;
+  throw InvalidInput("unknown run state '" + name + "'");
+}
+
+bool is_terminal(RunState state) {
+  return state == RunState::Done || state == RunState::Failed ||
+         state == RunState::Cancelled;
+}
+
+std::string make_request(const std::string& op) {
+  util::JsonWriter json(0);
+  json.begin_object();
+  json.kv("op", op);
+  json.end_object();
+  return json.str();
+}
+
+std::string make_request_id(const std::string& op, const std::string& id) {
+  util::JsonWriter json(0);
+  json.begin_object();
+  json.kv("op", op);
+  json.kv("id", id);
+  json.end_object();
+  return json.str();
+}
+
+std::string make_submit_request(const std::string& deck_text, int priority) {
+  util::JsonWriter json(0);
+  json.begin_object();
+  json.kv("op", "submit");
+  json.kv("deck", deck_text);
+  json.kv("priority", priority);
+  json.end_object();
+  return json.str();
+}
+
+std::string make_error_response(const std::string& message) {
+  util::JsonWriter json(0);
+  json.begin_object();
+  json.kv("ok", false);
+  json.kv("error", message);
+  json.end_object();
+  return json.str();
+}
+
+util::JsonValue parse_message(const std::string& frame) {
+  util::JsonValue message = util::json_parse(frame);
+  require(message.is_object(), "protocol: message is not a JSON object");
+  return message;
+}
+
+}  // namespace unsnap::serve

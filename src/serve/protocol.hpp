@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+
+#include "util/json_parse.hpp"
+
+namespace unsnap::serve {
+
+/// The unsnapd wire protocol: length-prefixed JSON frames (util::Socket
+/// framing) carrying one request object per frame, answered by exactly one
+/// response object on the same connection. A connection may issue any
+/// number of requests back to back; either side closing between frames
+/// ends the conversation.
+///
+/// Requests ({"op": ..., ...}):
+///   ping                      liveness probe
+///   submit   deck, priority?  enqueue a deck text; returns id + digest
+///   status   id               state + live IterationObserver progress
+///   result   id               terminal-state envelope with the RunRecord
+///   cancel   id               dequeue a still-queued run
+///   stats                     scheduler / cache / budget counters
+///   shutdown                  stop accepting, cancel queued, drain running
+///
+/// Responses are {"ok": true, ...} or {"ok": false, "error": "..."}; the
+/// per-op payloads are documented in docs/SERVICE.md.
+
+/// Lifecycle of one submitted run. Queued -> Running -> Done|Failed;
+/// Queued -> Cancelled (running runs are not interruptible — the solver
+/// has no abort seam — so cancel only catches runs still in the queue).
+enum class RunState { Queued, Running, Done, Failed, Cancelled };
+
+[[nodiscard]] std::string to_string(RunState state);
+[[nodiscard]] RunState run_state_from_string(const std::string& name);
+[[nodiscard]] bool is_terminal(RunState state);
+
+/// Request builders (client side).
+[[nodiscard]] std::string make_request(const std::string& op);
+[[nodiscard]] std::string make_request_id(const std::string& op,
+                                          const std::string& id);
+[[nodiscard]] std::string make_submit_request(const std::string& deck_text,
+                                              int priority);
+
+/// Response builders (server side).
+[[nodiscard]] std::string make_error_response(const std::string& message);
+
+/// Parse one frame into a JSON object; throws InvalidInput when the frame
+/// is not a JSON object (the error text is safe to echo back to the peer).
+[[nodiscard]] util::JsonValue parse_message(const std::string& frame);
+
+}  // namespace unsnap::serve

@@ -1,0 +1,129 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace unsnap::serve {
+
+void Job::finish(RunState terminal_state, std::string record_or_error) {
+  UNSNAP_ASSERT(is_terminal(terminal_state));
+  {
+    std::lock_guard lock(mu);
+    if (terminal_state == RunState::Done)
+      record_json = std::move(record_or_error);
+    else
+      error = std::move(record_or_error);
+    // Publish the payload before the state flip: a reader that observes a
+    // terminal state then takes `mu` is guaranteed to see the payload.
+    state.store(terminal_state);
+  }
+  terminal_cv.notify_all();
+}
+
+void Job::wait_terminal() const {
+  std::unique_lock lock(mu);
+  terminal_cv.wait(lock, [this] { return terminal(); });
+}
+
+Scheduler::Scheduler(int total_threads) : total_threads_(total_threads) {
+  UNSNAP_ASSERT(total_threads >= 1);
+}
+
+void Scheduler::submit(std::shared_ptr<Job> job) {
+  UNSNAP_ASSERT(job != nullptr);
+  require(job->threads >= 1,
+          "scheduler: job thread request must be >= 1");
+  require(job->threads <= total_threads_,
+          "scheduler: run requests " + std::to_string(job->threads) +
+              " threads but the daemon budget is " +
+              std::to_string(total_threads_) +
+              " (lower [execution] threads or raise --thread-budget)");
+  {
+    std::lock_guard lock(mu_);
+    require(!shutdown_, "scheduler: daemon is shutting down");
+    // Keep the queue sorted (priority desc, sequence asc) at insert so
+    // acquire() is a linear first-fit scan in dispatch order.
+    const auto pos = std::find_if(
+        queue_.begin(), queue_.end(), [&](const std::shared_ptr<Job>& other) {
+          return other->priority < job->priority ||
+                 (other->priority == job->priority &&
+                  other->sequence > job->sequence);
+        });
+    queue_.insert(pos, std::move(job));
+  }
+  dispatch_cv_.notify_all();
+}
+
+std::shared_ptr<Job> Scheduler::acquire() {
+  std::unique_lock lock(mu_);
+  while (true) {
+    // First fit in dispatch order: strict priority/FIFO except that a
+    // job too wide for the remaining budget is bypassed, not waited on.
+    const int remaining = total_threads_ - threads_in_use_;
+    const auto fit = std::find_if(
+        queue_.begin(), queue_.end(),
+        [&](const std::shared_ptr<Job>& job) {
+          return job->threads <= remaining;
+        });
+    if (fit != queue_.end()) {
+      std::shared_ptr<Job> job = *fit;
+      queue_.erase(fit);
+      threads_in_use_ += job->threads;
+      peak_threads_ = std::max(peak_threads_, threads_in_use_);
+      job->state.store(RunState::Running);
+      return job;
+    }
+    if (shutdown_) return nullptr;
+    dispatch_cv_.wait(lock);
+  }
+}
+
+void Scheduler::release(const Job& job) {
+  {
+    std::lock_guard lock(mu_);
+    threads_in_use_ -= job.threads;
+    UNSNAP_ASSERT(threads_in_use_ >= 0);
+  }
+  dispatch_cv_.notify_all();
+}
+
+bool Scheduler::cancel(const std::string& id) {
+  std::shared_ptr<Job> cancelled;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = std::find_if(
+        queue_.begin(), queue_.end(),
+        [&](const std::shared_ptr<Job>& job) { return job->id == id; });
+    if (it == queue_.end()) return false;
+    cancelled = *it;
+    queue_.erase(it);
+  }
+  cancelled->finish(RunState::Cancelled, "cancelled while queued");
+  return true;
+}
+
+void Scheduler::shutdown() {
+  std::deque<std::shared_ptr<Job>> drained;
+  {
+    std::lock_guard lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    drained.swap(queue_);
+  }
+  dispatch_cv_.notify_all();
+  for (const std::shared_ptr<Job>& job : drained)
+    job->finish(RunState::Cancelled, "cancelled by daemon shutdown");
+}
+
+Scheduler::Stats Scheduler::stats() const {
+  std::lock_guard lock(mu_);
+  Stats out;
+  out.queued = static_cast<int>(queue_.size());
+  out.threads_in_use = threads_in_use_;
+  out.peak_threads = peak_threads_;
+  out.total_threads = total_threads_;
+  return out;
+}
+
+}  // namespace unsnap::serve

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "api/run_config.hpp"
+#include "core/observer.hpp"
+#include "serve/protocol.hpp"
+
+namespace unsnap::serve {
+
+/// Bridges core::IterationObserver events out of a running solve into
+/// atomics a status request can read from another thread mid-iteration —
+/// the "streamed progress" of the serve layer. Writers are the one worker
+/// thread driving the solve; readers are connection handlers.
+class ProgressBridge : public core::IterationObserver {
+ public:
+  struct Snapshot {
+    int outers = 0;
+    int inners = 0;
+    int sweeps = 0;
+    int krylov = 0;
+    double last_change = 0.0;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const {
+    return {outers_.load(std::memory_order_relaxed),
+            inners_.load(std::memory_order_relaxed),
+            sweeps_.load(std::memory_order_relaxed),
+            krylov_.load(std::memory_order_relaxed),
+            last_change_.load(std::memory_order_relaxed)};
+  }
+
+  void on_outer_begin(int outer) override {
+    outers_.store(outer + 1, std::memory_order_relaxed);
+  }
+  void on_inner(int inner, int sweeps, double change) override {
+    inners_.store(inner + 1, std::memory_order_relaxed);
+    sweeps_.store(sweeps, std::memory_order_relaxed);
+    last_change_.store(change, std::memory_order_relaxed);
+  }
+  void on_krylov(int iteration, double residual) override {
+    krylov_.store(iteration, std::memory_order_relaxed);
+    last_change_.store(residual, std::memory_order_relaxed);
+  }
+  void on_outer_end(int outer, double change, bool converged) override {
+    (void)converged;
+    outers_.store(outer + 1, std::memory_order_relaxed);
+    last_change_.store(change, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int> outers_{0}, inners_{0}, sweeps_{0}, krylov_{0};
+  std::atomic<double> last_change_{0.0};
+};
+
+/// One submitted run, shared between the submitting connection handler,
+/// the scheduler, the executing worker and any number of status/result
+/// readers. `state` flips Queued -> Running -> Done|Failed (or Queued ->
+/// Cancelled); the terminal payload (record_json / error) is guarded by
+/// `mu` and published before the state flips to a terminal value.
+struct Job {
+  std::string id;
+  long sequence = 0;  // submit order, the FIFO tie-break
+  int priority = 0;   // higher dispatches first
+  api::RunConfig config;
+  std::uint64_t digest = 0;
+  int threads = 1;  // thread budget charged while running
+
+  std::atomic<RunState> state{RunState::Queued};
+  ProgressBridge progress;
+  std::atomic<bool> cache_hit{false};
+
+  mutable std::mutex mu;
+  mutable std::condition_variable terminal_cv;
+  std::string record_json;  // to_json(RunRecord) once Done
+  std::string error;        // what() once Failed
+  std::chrono::steady_clock::time_point submitted{};  // set at submit
+  double queued_seconds = 0.0;  // time spent waiting for dispatch
+  double run_seconds = 0.0;     // worker wall time executing
+
+  [[nodiscard]] bool terminal() const { return is_terminal(state.load()); }
+
+  /// Publish a terminal state and wake waiters (worker side).
+  void finish(RunState terminal_state, std::string record_or_error);
+  /// Block until terminal (in-process callers; the wire protocol polls).
+  void wait_terminal() const;
+};
+
+/// Priority scheduler over a fixed thread budget: jobs are dispatched to
+/// workers in (priority desc, submit order asc) order, except that a job
+/// whose thread request does not fit the remaining budget is skipped and
+/// the first fitting job runs instead (small jobs may bypass a large one
+/// rather than idling the pool; the large job keeps its place). The
+/// total budget is what makes concurrent runs not oversubscribe the
+/// machine: a worker only receives a job when the sum of running jobs'
+/// thread counts plus the job's own stays within the budget.
+class Scheduler {
+ public:
+  /// `total_threads` is the concurrent thread budget across running jobs
+  /// (validated against the hardware by the daemon before construction).
+  explicit Scheduler(int total_threads);
+
+  /// Enqueue; rejects (InvalidInput) a job whose thread request exceeds
+  /// the total budget — it could never be dispatched.
+  void submit(std::shared_ptr<Job> job);
+
+  /// Blocks until a job fits the remaining budget (charging it and
+  /// flipping the job to Running) or shutdown() drains the queue —
+  /// then returns nullptr forever.
+  [[nodiscard]] std::shared_ptr<Job> acquire();
+
+  /// Return a finished job's threads to the budget.
+  void release(const Job& job);
+
+  /// Dequeue a still-queued job (flips it to Cancelled). False when the
+  /// job is unknown to the queue (already dispatched or terminal).
+  bool cancel(const std::string& id);
+
+  /// Cancel everything queued and make acquire() return nullptr.
+  void shutdown();
+
+  struct Stats {
+    int queued = 0;
+    int threads_in_use = 0;
+    int peak_threads = 0;
+    int total_threads = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  const int total_threads_;
+  mutable std::mutex mu_;
+  std::condition_variable dispatch_cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  int threads_in_use_ = 0;
+  int peak_threads_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace unsnap::serve

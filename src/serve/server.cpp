@@ -1,0 +1,382 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "api/run.hpp"
+#include "util/assert.hpp"
+#include "util/json.hpp"
+#include "util/threads.hpp"
+
+namespace unsnap::serve {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void write_progress(util::JsonWriter& json,
+                    const ProgressBridge::Snapshot& progress) {
+  json.key("progress").begin_object();
+  json.kv("outers", progress.outers);
+  json.kv("inners", progress.inners);
+  json.kv("sweeps", progress.sweeps);
+  json.kv("krylov", progress.krylov);
+  json.kv("last_change", progress.last_change);
+  json.end_object();
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      // Handlers park accepted sockets here; a small bound is plenty —
+      // producers (acceptors) block when the handler pool is saturated.
+      connections_(64),
+      cache_(options_.cache_capacity) {
+  require(!options_.unix_path.empty() || options_.tcp_port >= 0,
+          "unsnapd: no listener configured (need a socket path or a "
+          "TCP port)");
+  require(options_.workers >= 1, "unsnapd: workers must be >= 1");
+  require(options_.conn_threads >= 1,
+          "unsnapd: connection threads must be >= 1");
+  // The daemon's budget passes the same hardware check a deck's
+  // [execution] threads does: a budget the machine cannot supply is a
+  // configuration error, not something to discover under load.
+  util::require_thread_budget(options_.thread_budget,
+                              "unsnapd: --thread-budget");
+  thread_budget_ = options_.thread_budget > 0 ? options_.thread_budget
+                                              : util::hardware_threads();
+  scheduler_ = std::make_unique<Scheduler>(thread_budget_);
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (!options_.unix_path.empty()) {
+    unix_listener_ = util::Socket::listen_unix(options_.unix_path);
+    acceptors_.emplace_back([this] { accept_loop(unix_listener_); });
+    log("listening on " + options_.unix_path);
+  }
+  if (options_.tcp_port >= 0) {
+    tcp_listener_ = util::Socket::listen_tcp(options_.tcp_port);
+    acceptors_.emplace_back([this] { accept_loop(tcp_listener_); });
+    log("listening on 127.0.0.1:" + std::to_string(tcp_listener_.bound_port()));
+  }
+  for (int i = 0; i < options_.conn_threads; ++i)
+    handlers_.emplace_back([this] {
+      while (std::optional<util::Socket> socket = connections_.pop())
+        handle_connection(std::move(*socket));
+    });
+  for (int i = 0; i < options_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  log("serving: " + std::to_string(options_.workers) + " workers, " +
+      std::to_string(thread_budget_) + "-thread budget");
+}
+
+void Server::wait() {
+  std::unique_lock lock(stop_mu_);
+  stop_cv_.wait(lock, [this] { return stop_requested_; });
+}
+
+void Server::request_stop() {
+  {
+    std::lock_guard lock(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+}
+
+void Server::stop() {
+  if (stopped_.exchange(true)) return;
+  request_stop();
+  // Order matters: stop intake first (no new connections or requests),
+  // then drain the run queue, then unblock handlers parked in recv so
+  // everything joins. Running jobs finish normally — workers observe the
+  // scheduler shutdown only when they come back to acquire().
+  if (unix_listener_.valid()) unix_listener_.shutdown_listener();
+  if (tcp_listener_.valid()) tcp_listener_.shutdown_listener();
+  connections_.close();
+  scheduler_->shutdown();
+  {
+    std::lock_guard lock(conns_mu_);
+    for (const int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : acceptors_) t.join();
+  for (std::thread& t : handlers_) t.join();
+  for (std::thread& t : workers_) t.join();
+  acceptors_.clear();
+  handlers_.clear();
+  workers_.clear();
+  log("stopped");
+}
+
+int Server::port() const {
+  return tcp_listener_.valid() ? tcp_listener_.bound_port() : -1;
+}
+
+void Server::accept_loop(util::Socket& listener) {
+  while (std::optional<util::Socket> socket = listener.accept_connection()) {
+    if (!connections_.push(std::move(*socket))) return;  // shutting down
+  }
+}
+
+void Server::handle_connection(util::Socket socket) {
+  {
+    std::lock_guard lock(conns_mu_);
+    live_fds_.push_back(socket.fd());
+  }
+  const int fd = socket.fd();
+  try {
+    while (std::optional<std::string> frame = socket.recv_frame())
+      socket.send_frame(handle_message(*frame));
+  } catch (const std::exception&) {
+    // Torn frame or dead peer mid-reply: drop the connection; the
+    // daemon's own state is untouched.
+  }
+  std::lock_guard lock(conns_mu_);
+  live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), fd),
+                  live_fds_.end());
+}
+
+std::string Server::handle_message(const std::string& frame) {
+  try {
+    const util::JsonValue request = parse_message(frame);
+    const std::string op = request.get_string("op");
+    if (op == "ping") {
+      util::JsonWriter json(0);
+      json.begin_object();
+      json.kv("ok", true);
+      json.kv("service", std::string("unsnapd"));
+      json.end_object();
+      return json.str();
+    }
+    if (op == "submit") return handle_submit(request);
+    if (op == "status") return handle_status(request);
+    if (op == "result") return handle_result(request);
+    if (op == "cancel") return handle_cancel(request);
+    if (op == "stats") return handle_stats();
+    if (op == "shutdown") {
+      log("shutdown requested");
+      request_stop();
+      util::JsonWriter json(0);
+      json.begin_object();
+      json.kv("ok", true);
+      json.kv("stopping", true);
+      json.end_object();
+      return json.str();
+    }
+    return make_error_response(
+        "unknown op '" + op +
+        "' (expected ping, submit, status, result, cancel, stats or "
+        "shutdown)");
+  } catch (const std::exception& err) {
+    return make_error_response(err.what());
+  }
+}
+
+std::string Server::handle_submit(const util::JsonValue& request) {
+  const util::JsonValue* deck = request.find("deck");
+  require(deck != nullptr && deck->is_string(),
+          "submit: missing string field 'deck'");
+  const int priority = static_cast<int>(request.get_int("priority", 0));
+
+  // Parsing validates the deck (including its [execution] threads against
+  // the hardware); errors carry the submit-side deck location.
+  api::RunConfig config = api::read_deck_text(deck->as_string(), "<submit>");
+  // A run always charges at least one budget thread; resolving the
+  // "OpenMP default" of 0 here keeps the ledger honest and makes
+  // threads=0 and threads=1 decks share one cache entry.
+  if (config.execution.num_threads == 0) config.execution.num_threads = 1;
+
+  auto job = std::make_shared<Job>();
+  job->priority = priority;
+  job->config = std::move(config);
+  job->digest = deck_digest(job->config);
+  job->threads = job->config.execution.num_threads;
+  job->submitted = std::chrono::steady_clock::now();
+  {
+    std::lock_guard lock(jobs_mu_);
+    job->sequence = next_sequence_++;
+    char id[32];
+    std::snprintf(id, sizeof(id), "run-%04ld", job->sequence);
+    job->id = id;
+    jobs_[job->id] = job;
+  }
+  scheduler_->submit(job);  // throws if the request exceeds the budget
+  log("submit " + job->id + " digest " + digest_hex(job->digest) +
+      " priority " + std::to_string(priority) + " threads " +
+      std::to_string(job->threads));
+
+  util::JsonWriter json(0);
+  json.begin_object();
+  json.kv("ok", true);
+  json.kv("id", job->id);
+  json.kv("digest", digest_hex(job->digest));
+  json.kv("state", to_string(job->state.load()));
+  json.end_object();
+  return json.str();
+}
+
+std::string Server::handle_status(const util::JsonValue& request) {
+  const std::shared_ptr<Job> job = find_job(request.get_string("id"));
+  const RunState state = job->state.load();
+  util::JsonWriter json(0);
+  json.begin_object();
+  json.kv("ok", true);
+  json.kv("id", job->id);
+  json.kv("state", to_string(state));
+  json.kv("terminal", is_terminal(state));
+  json.kv("cache_hit", job->cache_hit.load());
+  json.kv("priority", job->priority);
+  json.kv("threads", job->threads);
+  write_progress(json, job->progress.snapshot());
+  json.end_object();
+  return json.str();
+}
+
+std::string Server::handle_result(const util::JsonValue& request) {
+  const std::shared_ptr<Job> job = find_job(request.get_string("id"));
+  const RunState state = job->state.load();
+  if (!is_terminal(state))
+    return make_error_response("run " + job->id + " is not finished (state " +
+                               to_string(state) + "); poll status first");
+  // Terminal state published -> the payload is stable under `mu`.
+  std::lock_guard lock(job->mu);
+  util::JsonWriter json(0);
+  json.begin_object();
+  json.kv("ok", true);
+  json.kv("id", job->id);
+  json.kv("state", to_string(state));
+  json.kv("cache_hit", job->cache_hit.load());
+  json.kv("digest", digest_hex(job->digest));
+  json.kv("queued_seconds", job->queued_seconds);
+  json.kv("run_seconds", job->run_seconds);
+  if (state == RunState::Done)
+    json.key("record").raw(job->record_json);
+  else
+    json.kv("error", job->error);
+  json.end_object();
+  return json.str();
+}
+
+std::string Server::handle_cancel(const util::JsonValue& request) {
+  const std::shared_ptr<Job> job = find_job(request.get_string("id"));
+  const bool cancelled = scheduler_->cancel(job->id);
+  if (cancelled) {
+    std::lock_guard lock(jobs_mu_);
+    ++cancelled_;
+  }
+  util::JsonWriter json(0);
+  json.begin_object();
+  json.kv("ok", true);
+  json.kv("id", job->id);
+  json.kv("cancelled", cancelled);
+  json.kv("state", to_string(job->state.load()));
+  json.end_object();
+  return json.str();
+}
+
+std::string Server::handle_stats() {
+  const Scheduler::Stats sched = scheduler_->stats();
+  const LoweringCache::Stats cache = cache_.stats();
+  long submitted, completed, failed, cancelled;
+  {
+    std::lock_guard lock(jobs_mu_);
+    submitted = next_sequence_;
+    completed = completed_;
+    failed = failed_;
+    cancelled = cancelled_;
+  }
+  util::JsonWriter json(0);
+  json.begin_object();
+  json.kv("ok", true);
+  json.key("scheduler").begin_object();
+  json.kv("queued", sched.queued);
+  json.kv("threads_in_use", sched.threads_in_use);
+  json.kv("peak_threads", sched.peak_threads);
+  json.kv("total_threads", sched.total_threads);
+  json.kv("workers", options_.workers);
+  json.end_object();
+  json.key("cache").begin_object();
+  json.kv("hits", cache.hits);
+  json.kv("misses", cache.misses);
+  json.kv("evictions", cache.evictions);
+  json.kv("entries", static_cast<long>(cache.entries));
+  json.kv("capacity", static_cast<long>(options_.cache_capacity));
+  json.end_object();
+  json.key("runs").begin_object();
+  json.kv("submitted", submitted);
+  json.kv("completed", completed);
+  json.kv("failed", failed);
+  json.kv("cancelled", cancelled);
+  json.end_object();
+  json.end_object();
+  return json.str();
+}
+
+std::shared_ptr<Job> Server::find_job(const std::string& id) const {
+  require(!id.empty(), "missing field 'id'");
+  std::lock_guard lock(jobs_mu_);
+  const auto it = jobs_.find(id);
+  require(it != jobs_.end(), "unknown run id '" + id + "'");
+  return it->second;
+}
+
+void Server::worker_loop() {
+  while (const std::shared_ptr<Job> job = scheduler_->acquire()) {
+    job->queued_seconds = seconds_since(job->submitted);
+    execute_job(*job);
+    scheduler_->release(*job);
+    {
+      std::lock_guard lock(jobs_mu_);
+      if (job->state.load() == RunState::Done)
+        ++completed_;
+      else
+        ++failed_;
+    }
+  }
+}
+
+void Server::execute_job(Job& job) {
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    api::Run run(job.config);
+    run.set_observer(&job.progress);
+    // Only single-domain runs share a lowering: distributed runs build
+    // per-rank discretisations the cache does not model.
+    const bool cacheable = job.config.decomposition.px *
+                               job.config.decomposition.py ==
+                           1;
+    if (cacheable) {
+      if (auto disc = cache_.lookup(job.digest)) {
+        run.set_shared_discretization(std::move(disc));
+        job.cache_hit.store(true);
+      }
+    }
+    api::RunRecord record = run.execute();
+    if (cacheable && !job.cache_hit.load())
+      if (auto disc = run.shared_discretization())
+        cache_.insert(job.digest, std::move(disc));
+    job.run_seconds = seconds_since(t0);
+    log("done " + job.id + (job.cache_hit.load() ? " (cache hit)" : "") +
+        " in " + std::to_string(job.run_seconds) + " s");
+    job.finish(RunState::Done, api::to_json(record));
+  } catch (const std::exception& err) {
+    job.run_seconds = seconds_since(t0);
+    log("failed " + job.id + ": " + err.what());
+    job.finish(RunState::Failed, err.what());
+  }
+}
+
+void Server::log(const std::string& line) const {
+  if (options_.verbose) std::fprintf(stderr, "unsnapd: %s\n", line.c_str());
+}
+
+}  // namespace unsnap::serve

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "serve/scheduler.hpp"
+#include "util/mpmc_queue.hpp"
+#include "util/socket.hpp"
+
+namespace unsnap::serve {
+
+/// How unsnapd listens and how much it runs at once.
+struct ServerOptions {
+  /// Listen on this Unix-domain socket path when non-empty; and/or on
+  /// 127.0.0.1:tcp_port when tcp_port >= 0 (0 = kernel-assigned, read it
+  /// back with Server::port()). At least one must be enabled.
+  std::string unix_path;
+  int tcp_port = -1;
+
+  /// Worker threads executing runs. Each dispatched run charges its
+  /// [execution] threads against `thread_budget` (0 = the machine's
+  /// hardware concurrency), so workers never oversubscribe: the sum of
+  /// running runs' thread counts stays within the budget.
+  int workers = 2;
+  int thread_budget = 0;
+
+  /// Connection-handler threads (requests are cheap; runs are not —
+  /// handlers only parse, enqueue and answer).
+  int conn_threads = 2;
+
+  /// LoweringCache capacity (distinct deck digests kept).
+  std::size_t cache_capacity = 64;
+
+  /// Log accept/submit/finish lines to stderr.
+  bool verbose = false;
+};
+
+/// The unsnapd run service: accepts protocol connections, schedules
+/// submitted decks onto the worker pool under the thread budget, reuses
+/// lowered discretisations through the LoweringCache, and serves live
+/// progress out of each run's ProgressBridge.
+///
+/// Threads: 1 acceptor per listener -> MpmcQueue<Socket> -> conn_threads
+/// handlers (request/response loops) ; workers x (acquire -> execute ->
+/// release). stop() is idempotent and joins everything.
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind listeners and launch the thread pools. Throws InvalidInput on
+  /// a bad configuration (no listener, budget over hardware, ...).
+  void start();
+
+  /// Block until a client's shutdown request (or stop()) ends service.
+  void wait();
+
+  /// Stop accepting, cancel queued runs, let running runs finish, join
+  /// all threads. Safe to call twice; called by the destructor.
+  void stop();
+
+  /// The TCP port actually bound (after start(), tcp_port >= 0 only).
+  [[nodiscard]] int port() const;
+
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+
+  /// Resolved thread budget (options.thread_budget or the hardware count).
+  [[nodiscard]] int thread_budget() const { return thread_budget_; }
+
+  [[nodiscard]] Scheduler::Stats scheduler_stats() const {
+    return scheduler_->stats();
+  }
+  [[nodiscard]] LoweringCache::Stats cache_stats() const {
+    return cache_.stats();
+  }
+
+ private:
+  ServerOptions options_;
+  int thread_budget_ = 1;
+
+  util::Socket unix_listener_;
+  util::Socket tcp_listener_;
+  util::MpmcQueue<util::Socket> connections_;
+  std::unique_ptr<Scheduler> scheduler_;
+  LoweringCache cache_;
+
+  std::vector<std::thread> acceptors_;
+  std::vector<std::thread> handlers_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex jobs_mu_;
+  std::unordered_map<std::string, std::shared_ptr<Job>> jobs_;
+  long next_sequence_ = 0;
+  long completed_ = 0, failed_ = 0, cancelled_ = 0;
+
+  // Live connection fds, so stop() can unblock handlers mid-recv.
+  std::mutex conns_mu_;
+  std::vector<int> live_fds_;
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  std::atomic<bool> stopped_{false};
+
+  void accept_loop(util::Socket& listener);
+  void handle_connection(util::Socket socket);
+  void worker_loop();
+  void execute_job(Job& job);
+
+  [[nodiscard]] std::string handle_message(const std::string& frame);
+  [[nodiscard]] std::string handle_submit(const util::JsonValue& request);
+  [[nodiscard]] std::string handle_status(const util::JsonValue& request);
+  [[nodiscard]] std::string handle_result(const util::JsonValue& request);
+  [[nodiscard]] std::string handle_cancel(const util::JsonValue& request);
+  [[nodiscard]] std::string handle_stats();
+
+  [[nodiscard]] std::shared_ptr<Job> find_job(const std::string& id) const;
+  void request_stop();
+  void log(const std::string& line) const;
+};
+
+}  // namespace unsnap::serve

@@ -1,0 +1,155 @@
+// `unsnap-client` — the CLI for a running unsnapd daemon. Machine-facing
+// output (run ids, response JSON) goes to stdout so shells can capture
+// it; everything human (status lines, errors) goes to stderr.
+//
+//   unsnap-client --socket /tmp/unsnapd.sock submit deck.inp
+//   unsnap-client --socket /tmp/unsnapd.sock await run-0000 [--json out]
+//   unsnap-client --port 7777 status run-0000
+//   unsnap-client --socket ... stats | cancel run-0001 | ping | shutdown
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+
+namespace {
+
+using unsnap::serve::Client;
+using unsnap::serve::RunState;
+
+void print_usage() {
+  std::printf(
+      "unsnap-client — submit decks to and query a running unsnapd\n\n"
+      "usage: unsnap-client (--socket <path> | --port <n>) <command>\n"
+      "  submit <deck.inp> [--priority <n>]   enqueue; prints the run id\n"
+      "  await <id> [--json <file|->]         block until terminal, then\n"
+      "                                       fetch the result envelope\n"
+      "  status <id>                          one status response (JSON)\n"
+      "  result <id>                          result envelope (JSON)\n"
+      "  cancel <id>                          dequeue a queued run\n"
+      "  stats                                scheduler/cache counters\n"
+      "  ping                                 liveness probe\n"
+      "  shutdown                             stop the daemon\n\n"
+      "protocol: docs/SERVICE.md\n");
+}
+
+[[noreturn]] void fail(const std::string& message) {
+  std::fprintf(stderr, "unsnap-client: %s\n", message.c_str());
+  std::exit(2);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) fail("cannot read deck '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+void write_output(const std::string& text, const std::string& path) {
+  if (path.empty() || path == "-") {
+    std::printf("%s\n", text.c_str());
+    return;
+  }
+  std::ofstream out(path);
+  if (!out.good()) fail("cannot write '" + path + "'");
+  out << text << "\n";
+  std::fprintf(stderr, "unsnap-client: wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path, json_path;
+  int port = -1, priority = 0;
+  std::vector<std::string> words;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) fail(std::string(flag) + " requires a value");
+      return argv[++i];
+    };
+    if (arg == "--socket")
+      socket_path = value("--socket");
+    else if (arg == "--port")
+      port = std::atoi(value("--port").c_str());
+    else if (arg == "--priority")
+      priority = std::atoi(value("--priority").c_str());
+    else if (arg == "--json")
+      json_path = value("--json");
+    else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else
+      words.push_back(arg);
+  }
+  if (words.empty()) {
+    print_usage();
+    return 2;
+  }
+  if (socket_path.empty() && port < 0)
+    fail("need --socket <path> or --port <n> to reach the daemon");
+
+  try {
+    Client client = socket_path.empty() ? Client::connect_tcp(port)
+                                        : Client::connect_unix(socket_path);
+    const std::string& command = words[0];
+    const auto arg_at = [&](std::size_t i, const char* what) {
+      if (words.size() <= i) fail(command + " requires " + what);
+      return words[i];
+    };
+
+    if (command == "ping") {
+      if (!client.ping()) fail("daemon did not answer");
+      std::fprintf(stderr, "unsnap-client: daemon is alive\n");
+      return 0;
+    }
+    if (command == "submit") {
+      const std::string id =
+          client.submit(read_file(arg_at(1, "a deck path")), priority);
+      std::printf("%s\n", id.c_str());  // bare id: `id=$(... submit d.inp)`
+      return 0;
+    }
+    if (command == "status") {
+      write_output(client.status(arg_at(1, "a run id")).dump(2), json_path);
+      return 0;
+    }
+    if (command == "result") {
+      write_output(client.result_text(arg_at(1, "a run id")), json_path);
+      return 0;
+    }
+    if (command == "await") {
+      const std::string id = arg_at(1, "a run id");
+      const RunState state = client.await_terminal(id);
+      std::fprintf(stderr, "unsnap-client: %s is %s\n", id.c_str(),
+                   unsnap::serve::to_string(state).c_str());
+      write_output(client.result_text(id), json_path);
+      return state == RunState::Done ? 0 : 1;
+    }
+    if (command == "cancel") {
+      const bool cancelled = client.cancel(arg_at(1, "a run id"));
+      std::fprintf(stderr, "unsnap-client: %s\n",
+                   cancelled ? "cancelled" : "not cancellable (already "
+                                             "dispatched or finished)");
+      return cancelled ? 0 : 1;
+    }
+    if (command == "stats") {
+      write_output(client.stats().dump(2), json_path);
+      return 0;
+    }
+    if (command == "shutdown") {
+      client.shutdown_server();
+      std::fprintf(stderr, "unsnap-client: daemon stopping\n");
+      return 0;
+    }
+    fail("unknown command '" + command + "' (see --help)");
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "unsnap-client: %s\n", err.what());
+    return 2;
+  }
+}

@@ -1,0 +1,423 @@
+#include "util/json_parse.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <string_view>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/json.hpp"
+
+namespace unsnap::util {
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue j;
+  j.kind_ = Kind::Bool;
+  j.bool_ = v;
+  return j;
+}
+
+JsonValue JsonValue::make_number(double v) {
+  JsonValue j;
+  j.kind_ = Kind::Number;
+  j.number_ = v;
+  return j;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue j;
+  j.kind_ = Kind::String;
+  j.string_ = std::move(v);
+  return j;
+}
+
+JsonValue JsonValue::make_array() {
+  JsonValue j;
+  j.kind_ = Kind::Array;
+  return j;
+}
+
+JsonValue JsonValue::make_object() {
+  JsonValue j;
+  j.kind_ = Kind::Object;
+  return j;
+}
+
+namespace {
+
+const char* kind_name(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::Null: return "null";
+    case JsonValue::Kind::Bool: return "bool";
+    case JsonValue::Kind::Number: return "number";
+    case JsonValue::Kind::String: return "string";
+    case JsonValue::Kind::Array: return "array";
+    case JsonValue::Kind::Object: return "object";
+  }
+  UNSNAP_ASSERT(false);
+  return "";
+}
+
+[[noreturn]] void kind_mismatch(const char* wanted, JsonValue::Kind got) {
+  throw InvalidInput(std::string("json: expected ") + wanted + ", got " +
+                     kind_name(got));
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::Bool) kind_mismatch("bool", kind_);
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::Number) kind_mismatch("number", kind_);
+  return number_;
+}
+
+long long JsonValue::as_int() const {
+  const double v = as_number();
+  const auto n = static_cast<long long>(v);
+  if (static_cast<double>(n) != v)
+    throw InvalidInput("json: expected an integer, got " +
+                       JsonWriter::number(v));
+  return n;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::String) kind_mismatch("string", kind_);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::Array) kind_mismatch("array", kind_);
+  return items_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  if (kind_ != Kind::Object) kind_mismatch("object", kind_);
+  return members_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::Object) kind_mismatch("object", kind_);
+  for (const Member& m : members_)
+    if (m.first == key) return &m.second;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr)
+    throw InvalidInput("json: missing required member '" + key + "'");
+  return *v;
+}
+
+std::string JsonValue::get_string(const std::string& key,
+                                  const std::string& fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_string() ? v->string_ : fallback;
+}
+
+double JsonValue::get_number(const std::string& key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->number_ : fallback;
+}
+
+long long JsonValue::get_int(const std::string& key, long long fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_int() : fallback;
+}
+
+bool JsonValue::get_bool(const std::string& key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_bool() ? v->bool_ : fallback;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  if (kind_ != Kind::Array) kind_mismatch("array", kind_);
+  items_.push_back(std::move(v));
+}
+
+void JsonValue::set(std::string key, JsonValue v) {
+  if (kind_ != Kind::Object) kind_mismatch("object", kind_);
+  for (Member& m : members_)
+    if (m.first == key) {
+      m.second = std::move(v);
+      return;
+    }
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+namespace {
+
+void dump_value(const JsonValue& v, JsonWriter& out) {
+  switch (v.kind()) {
+    case JsonValue::Kind::Null: out.null(); return;
+    case JsonValue::Kind::Bool: out.value(v.as_bool()); return;
+    case JsonValue::Kind::Number: out.value(v.as_number()); return;
+    case JsonValue::Kind::String: out.value(v.as_string()); return;
+    case JsonValue::Kind::Array:
+      out.begin_array();
+      for (const JsonValue& item : v.items()) dump_value(item, out);
+      out.end_array();
+      return;
+    case JsonValue::Kind::Object:
+      out.begin_object();
+      for (const auto& [key, member] : v.members()) {
+        out.key(key);
+        dump_value(member, out);
+      }
+      out.end_object();
+      return;
+  }
+  UNSNAP_ASSERT(false);
+}
+
+}  // namespace
+
+std::string JsonValue::dump(int indent) const {
+  JsonWriter out(indent);
+  dump_value(*this, out);
+  return out.str();
+}
+
+// --- parser ---------------------------------------------------------------
+
+namespace {
+
+constexpr int kMaxDepth = 128;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    int line = 1, column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw InvalidInput("json:" + std::to_string(line) + ":" +
+                       std::to_string(column) + ": " + message);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of document");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t n = std::string_view(literal).size();
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue value(int depth) {
+    if (depth > kMaxDepth) fail("nesting deeper than 128 levels");
+    switch (peek()) {
+      case '{': return object(depth);
+      case '[': return array(depth);
+      case '"': return JsonValue::make_string(string());
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        return JsonValue::make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        return JsonValue::make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        return JsonValue{};
+      default: return number();
+    }
+  }
+
+  JsonValue object(int depth) {
+    expect('{');
+    JsonValue obj = JsonValue::make_object();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      if (peek() != '"') fail("expected a member key string");
+      std::string key = string();
+      expect(':');
+      obj.set(std::move(key), value(depth + 1));
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue array(int depth) {
+    expect('[');
+    JsonValue arr = JsonValue::make_array();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(value(depth + 1));
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_unicode(out); break;
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  unsigned hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid \\u escape digit");
+    }
+    return code;
+  }
+
+  void append_unicode(std::string& out) {
+    unsigned code = hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      // High surrogate: a low surrogate must follow for codepoints above
+      // the BMP.
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u')
+        fail("high surrogate without a following \\u low surrogate");
+      pos_ += 2;
+      const unsigned low = hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("unexpected low surrogate");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  JsonValue number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const std::size_t digits = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0))
+      ++pos_;
+    if (pos_ == digits) fail("invalid number");
+    // JSON forbids leading zeros: 0, 0.5 and 10 parse, 01 does not.
+    if (text_[digits] == '0' && pos_ > digits + 1)
+      fail("invalid number: leading zero");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      const std::size_t frac = pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0))
+        ++pos_;
+      if (pos_ == frac) fail("invalid number: missing fraction digits");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      const std::size_t exp = pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0))
+        ++pos_;
+      if (pos_ == exp) fail("invalid number: missing exponent digits");
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("invalid number");
+    if (!std::isfinite(v)) fail("number out of range");
+    return JsonValue::make_number(v);
+  }
+};
+
+}  // namespace
+
+JsonValue json_parse(const std::string& text) {
+  return Parser(text).parse();
+}
+
+}  // namespace unsnap::util

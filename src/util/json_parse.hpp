@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace unsnap::util {
+
+/// Parsed JSON document tree — the read-side twin of util::JsonWriter.
+/// Hand-rolled for the same reason the writer is: the container ships no
+/// JSON dependency and the serve protocol plus the record tooling need
+/// only this small, strict subset. Objects preserve insertion order (so
+/// parse -> dump round-trips key order) and numbers are kept as doubles
+/// (%.17g dumps reproduce every finite value bit-exactly).
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;  // null
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array();
+  static JsonValue make_object();
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::Number; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::String; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+
+  /// Typed accessors; throw InvalidInput on a kind mismatch (protocol
+  /// messages are untrusted input, not internal invariants).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  /// as_number, additionally requiring an exact integer value.
+  [[nodiscard]] long long as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+  [[nodiscard]] const std::vector<Member>& members() const;
+
+  /// Object lookup: find returns nullptr when absent, at throws.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  /// Convenience over find: the value when present and of the right
+  /// kind, the fallback otherwise.
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback = {}) const;
+  [[nodiscard]] double get_number(const std::string& key,
+                                  double fallback = 0.0) const;
+  [[nodiscard]] long long get_int(const std::string& key,
+                                  long long fallback = 0) const;
+  [[nodiscard]] bool get_bool(const std::string& key,
+                              bool fallback = false) const;
+
+  /// Mutators for building protocol messages in code.
+  void push_back(JsonValue v);
+  void set(std::string key, JsonValue v);
+
+  /// Serialise (JsonWriter formatting: %.17g numbers, 2-space indent;
+  /// indent = 0 gives compact one-line output).
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  [[nodiscard]] bool operator==(const JsonValue&) const = default;
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+/// Strict JSON parse of a complete document. Throws InvalidInput with a
+/// 1-based line:column prefix on malformed input, trailing garbage, or
+/// nesting deeper than 128 levels.
+[[nodiscard]] JsonValue json_parse(const std::string& text);
+
+}  // namespace unsnap::util

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace unsnap::util {
+
+/// Bounded multi-producer/multi-consumer queue with explicit shutdown
+/// semantics, shared by the serve layer (accepted connections feeding the
+/// handler pool). Mutex + two condition variables: simple, correct, and
+/// nowhere near hot enough here to justify lock-free machinery.
+///
+/// Shutdown contract (`close()`):
+///  - producers: push() returns false immediately, items are not enqueued;
+///  - consumers: pop() drains the items already queued, then returns
+///    std::nullopt — so nothing accepted before the close is lost;
+///  - close() is idempotent and wakes every blocked producer and consumer.
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t capacity) : capacity_(capacity) {
+    UNSNAP_ASSERT(capacity > 0);
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Blocks while full; returns false (dropping the item) once closed.
+  bool push(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty; drains queued items after close(), then returns
+  /// std::nullopt forever.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop; std::nullopt when nothing is queued.
+  std::optional<T> try_pop() {
+    std::unique_lock lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace unsnap::util

@@ -1,0 +1,212 @@
+#include "util/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace unsnap::util {
+
+namespace {
+
+constexpr std::size_t kMaxFrameBytes = 64u << 20;  // 64 MiB
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw InvalidInput("socket: " + what + ": " + std::strerror(errno));
+}
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  require(path.size() < sizeof(addr.sun_path),
+          "socket: unix path '" + path + "' longer than " +
+              std::to_string(sizeof(addr.sun_path) - 1) + " bytes");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in loopback_address(int port) {
+  require(port >= 0 && port <= 65535,
+          "socket: port " + std::to_string(port) + " outside 0..65535");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+int make_socket(int family) {
+  const int fd = ::socket(family, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket()");
+  return fd;
+}
+
+}  // namespace
+
+Socket::~Socket() { close_fd(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close_fd();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close_fd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::listen_unix(const std::string& path) {
+  const sockaddr_un addr = unix_address(path);
+  Socket sock(make_socket(AF_UNIX));
+  ::unlink(path.c_str());  // a stale socket file from a dead daemon
+  if (::bind(sock.fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    fail_errno("bind('" + path + "')");
+  if (::listen(sock.fd_, 64) != 0) fail_errno("listen('" + path + "')");
+  return sock;
+}
+
+Socket Socket::listen_tcp(int port) {
+  sockaddr_in addr = loopback_address(port);
+  Socket sock(make_socket(AF_INET));
+  const int one = 1;
+  ::setsockopt(sock.fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(sock.fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    fail_errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+  if (::listen(sock.fd_, 64) != 0)
+    fail_errno("listen(127.0.0.1:" + std::to_string(port) + ")");
+  return sock;
+}
+
+Socket Socket::connect_unix(const std::string& path) {
+  const sockaddr_un addr = unix_address(path);
+  Socket sock(make_socket(AF_UNIX));
+  if (::connect(sock.fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0)
+    fail_errno("connect('" + path + "')");
+  return sock;
+}
+
+Socket Socket::connect_tcp(int port) {
+  const sockaddr_in addr = loopback_address(port);
+  Socket sock(make_socket(AF_INET));
+  if (::connect(sock.fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0)
+    fail_errno("connect(127.0.0.1:" + std::to_string(port) + ")");
+  return sock;
+}
+
+std::optional<Socket> Socket::accept_connection() {
+  UNSNAP_ASSERT(valid());
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    // shutdown_listener() surfaces as EINVAL (or EBADF if already
+    // closed); both mean "stop accepting", not an error.
+    if (errno == EINVAL || errno == EBADF) return std::nullopt;
+    fail_errno("accept()");
+  }
+}
+
+void Socket::shutdown_listener() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+int Socket::bound_port() const {
+  UNSNAP_ASSERT(valid());
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    fail_errno("getsockname()");
+  return ntohs(addr.sin_port);
+}
+
+namespace {
+
+void write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t wrote = ::write(fd, data, n);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("write()");
+    }
+    data += wrote;
+    n -= static_cast<std::size_t>(wrote);
+  }
+}
+
+/// false on EOF before the first byte; throws mid-buffer (truncation).
+bool read_all(int fd, char* data, std::size_t n, bool eof_ok) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, data + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("read()");
+    }
+    if (r == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw InvalidInput("socket: peer closed mid-frame (" +
+                         std::to_string(got) + " of " + std::to_string(n) +
+                         " bytes)");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+void Socket::send_frame(const std::string& payload) {
+  UNSNAP_ASSERT(valid());
+  require(payload.size() <= kMaxFrameBytes,
+          "socket: frame of " + std::to_string(payload.size()) +
+              " bytes exceeds the 64 MiB limit");
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  const unsigned char prefix[4] = {
+      static_cast<unsigned char>(n >> 24),
+      static_cast<unsigned char>(n >> 16),
+      static_cast<unsigned char>(n >> 8),
+      static_cast<unsigned char>(n),
+  };
+  write_all(fd_, reinterpret_cast<const char*>(prefix), sizeof(prefix));
+  write_all(fd_, payload.data(), payload.size());
+}
+
+std::optional<std::string> Socket::recv_frame() {
+  UNSNAP_ASSERT(valid());
+  unsigned char prefix[4];
+  if (!read_all(fd_, reinterpret_cast<char*>(prefix), sizeof(prefix),
+                /*eof_ok=*/true))
+    return std::nullopt;
+  const std::uint32_t n = (static_cast<std::uint32_t>(prefix[0]) << 24) |
+                          (static_cast<std::uint32_t>(prefix[1]) << 16) |
+                          (static_cast<std::uint32_t>(prefix[2]) << 8) |
+                          static_cast<std::uint32_t>(prefix[3]);
+  require(n <= kMaxFrameBytes,
+          "socket: incoming frame of " + std::to_string(n) +
+              " bytes exceeds the 64 MiB limit");
+  std::string payload(n, '\0');
+  if (n > 0) read_all(fd_, payload.data(), n, /*eof_ok=*/false);
+  return payload;
+}
+
+}  // namespace unsnap::util

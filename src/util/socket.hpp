@@ -1,0 +1,59 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace unsnap::util {
+
+/// Thin RAII wrapper over POSIX stream sockets (Unix domain and loopback
+/// TCP) with the serve protocol's length-prefixed framing: every message
+/// is a 4-byte big-endian payload length followed by that many bytes of
+/// UTF-8 JSON. The wrapper owns exactly one file descriptor and is
+/// move-only; errors throw InvalidInput with the failing call and errno
+/// text (a dead peer during recv is reported as a clean EOF instead).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Listening sockets. listen_unix unlinks a stale socket file first;
+  /// listen_tcp binds 127.0.0.1 (port 0 = kernel-assigned, read it back
+  /// with bound_port()).
+  [[nodiscard]] static Socket listen_unix(const std::string& path);
+  [[nodiscard]] static Socket listen_tcp(int port);
+
+  [[nodiscard]] static Socket connect_unix(const std::string& path);
+  [[nodiscard]] static Socket connect_tcp(int port);
+
+  /// Blocking accept. Returns std::nullopt when the listener has been
+  /// shut down (shutdown_listener()) instead of throwing, so accept
+  /// loops terminate cleanly.
+  [[nodiscard]] std::optional<Socket> accept_connection();
+
+  /// Wake a blocked accept_connection() from another thread.
+  void shutdown_listener();
+
+  /// The TCP port this listener is bound to.
+  [[nodiscard]] int bound_port() const;
+
+  /// Framed I/O. send_frame writes the length prefix + payload fully;
+  /// recv_frame returns std::nullopt on a clean EOF at a frame boundary
+  /// and throws on a truncated frame or one larger than 64 MiB.
+  void send_frame(const std::string& payload);
+  [[nodiscard]] std::optional<std::string> recv_frame();
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  void close_fd();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace unsnap::util

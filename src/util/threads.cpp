@@ -1,0 +1,25 @@
+#include "util/threads.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace unsnap::util {
+
+int hardware_threads() {
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+void require_thread_budget(int threads, const std::string& what) {
+  require(threads >= 0, what + ": thread count must be >= 0 (0 = default)");
+  const int hardware = hardware_threads();
+  require(threads <= hardware,
+          what + ": " + std::to_string(threads) +
+              " threads requested but only " + std::to_string(hardware) +
+              " hardware thread" + (hardware == 1 ? "" : "s") +
+              " available (use 0 for the default, or at most " +
+              std::to_string(hardware) + ")");
+}
+
+}  // namespace unsnap::util

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+namespace unsnap::util {
+
+/// Usable hardware thread count: std::thread::hardware_concurrency(),
+/// clamped to at least 1 (the standard allows it to report 0).
+[[nodiscard]] int hardware_threads();
+
+/// Validate a requested thread count against the hardware: 0 (the OpenMP
+/// default) and 1..hardware_threads() pass; negative counts and silent
+/// oversubscription are rejected with an InvalidInput naming `what` (the
+/// deck key or daemon flag), the requested count and the hardware limit.
+/// Shared by the deck layer ([execution] threads) and the unsnapd worker
+/// budget so both fail the same way.
+void require_thread_budget(int threads, const std::string& what);
+
+}  // namespace unsnap::util

@@ -1,0 +1,146 @@
+// util:: concurrency primitives behind the serve layer: the bounded
+// MPMC queue (shutdown semantics included) and the hardware thread-budget
+// validation shared by deck parsing and the daemon.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/mpmc_queue.hpp"
+#include "util/threads.hpp"
+
+namespace unsnap {
+namespace {
+
+TEST(MpmcQueue, FifoSingleThread) {
+  util::MpmcQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(MpmcQueue, TryPushRespectsCapacity) {
+  util::MpmcQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(MpmcQueue, PushBlocksUntilSpace) {
+  util::MpmcQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.push(2));  // blocks until the consumer pops
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(MpmcQueue, CloseDrainsThenStops) {
+  util::MpmcQueue<int> q(8);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  // Producers are refused immediately; consumers drain what was accepted
+  // before the close, then see nullopt forever.
+  EXPECT_FALSE(q.push(3));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(MpmcQueue, CloseWakesBlockedConsumers) {
+  util::MpmcQueue<int> q(4);
+  std::vector<std::thread> consumers;
+  std::atomic<int> woke{0};
+  for (int i = 0; i < 3; ++i)
+    consumers.emplace_back([&] {
+      while (q.pop().has_value()) {
+      }
+      woke.fetch_add(1);
+    });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(woke.load(), 3);
+}
+
+TEST(MpmcQueue, ProducersConsumersLoseNothing) {
+  // 4 producers x 250 items through a tight (capacity 3) queue into 3
+  // consumers: every item arrives exactly once.
+  constexpr int kProducers = 4, kConsumers = 3, kEach = 250;
+  util::MpmcQueue<int> q(3);
+  std::vector<std::atomic<int>> seen(kProducers * kEach);
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p)
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kEach; ++i)
+        ASSERT_TRUE(q.push(p * kEach + i));
+    });
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c)
+    consumers.emplace_back([&] {
+      while (std::optional<int> item = q.pop())
+        seen[static_cast<std::size_t>(*item)].fetch_add(1);
+    });
+  for (std::thread& t : threads) t.join();
+  q.close();
+  for (std::thread& t : consumers) t.join();
+  for (const std::atomic<int>& count : seen) EXPECT_EQ(count.load(), 1);
+}
+
+// --- thread-budget validation ---------------------------------------------
+
+TEST(Threads, HardwareCountIsPositive) {
+  EXPECT_GE(util::hardware_threads(), 1);
+}
+
+TEST(Threads, BudgetAcceptsDefaultAndHardware) {
+  EXPECT_NO_THROW(util::require_thread_budget(0, "t"));  // 0 = default
+  EXPECT_NO_THROW(util::require_thread_budget(1, "t"));
+  EXPECT_NO_THROW(
+      util::require_thread_budget(util::hardware_threads(), "t"));
+}
+
+TEST(Threads, BudgetRejectsOversubscriptionWithContext) {
+  const int over = util::hardware_threads() + 1;
+  try {
+    util::require_thread_budget(over, "execution: threads");
+    FAIL() << "expected InvalidInput";
+  } catch (const InvalidInput& err) {
+    const std::string what = err.what();
+    // The message must name the offending key, the request and the
+    // hardware limit — it surfaces verbatim in deck errors.
+    EXPECT_NE(what.find("execution: threads"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(over)), std::string::npos) << what;
+    EXPECT_NE(what.find("hardware"), std::string::npos) << what;
+  }
+}
+
+TEST(Threads, BudgetRejectsNegative) {
+  EXPECT_THROW(util::require_thread_budget(-1, "t"), InvalidInput);
+}
+
+}  // namespace
+}  // namespace unsnap

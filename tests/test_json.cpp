@@ -1,5 +1,6 @@
-// util::JsonWriter: structure, escaping and number round-trip of the
-// hand-rolled writer behind api::to_json(RunRecord).
+// util::JsonWriter / util::json_parse: structure, escaping and number
+// round-trip of the hand-rolled JSON layer behind api::to_json(RunRecord)
+// and the serve protocol.
 
 #include <gtest/gtest.h>
 
@@ -7,7 +8,9 @@
 #include <cstdlib>
 #include <vector>
 
+#include "util/assert.hpp"
 #include "util/json.hpp"
+#include "util/json_parse.hpp"
 
 namespace unsnap {
 namespace {
@@ -74,6 +77,97 @@ TEST(Json, EmptyContainers) {
   json.key("a").begin_array().end_array();
   json.end_object();
   EXPECT_EQ(json.str(), "{\n  \"o\": {},\n  \"a\": []\n}");
+}
+
+
+// --- json_parse: the read side --------------------------------------------
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(util::json_parse("null").is_null());
+  EXPECT_EQ(util::json_parse("true").as_bool(), true);
+  EXPECT_EQ(util::json_parse("false").as_bool(), false);
+  EXPECT_EQ(util::json_parse("-12.5e2").as_number(), -1250.0);
+  EXPECT_EQ(util::json_parse("42").as_int(), 42);
+  EXPECT_EQ(util::json_parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, NestedDocument) {
+  const util::JsonValue doc = util::json_parse(
+      R"({"a": [1, 2, {"b": "c"}], "d": {"e": true}, "f": null})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("a").items().size(), 3u);
+  EXPECT_EQ(doc.at("a").items()[2].at("b").as_string(), "c");
+  EXPECT_TRUE(doc.at("d").at("e").as_bool());
+  EXPECT_TRUE(doc.at("f").is_null());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_EQ(doc.get_string("missing", "fb"), "fb");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(util::json_parse(R"("a\"b\\c\nd\te")").as_string(),
+            "a\"b\\c\nd\te");
+  // \uXXXX incl. a surrogate pair -> UTF-8.
+  EXPECT_EQ(util::json_parse(R"("\u0041\u00e9")").as_string(),
+            "A\xc3\xa9");
+  EXPECT_EQ(util::json_parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, NumberRoundTripThroughDump) {
+  // Writer numbers (%.17g) must survive parse -> dump byte-exactly: the
+  // serve layer's cache-hit contract compares record JSON this way.
+  for (const double v : {1.0 / 3.0, 6.189049784585e-02, 1e-300,
+                         3.141592653589793, 2.2250738585072014e-308}) {
+    const std::string text = util::JsonWriter::number(v);
+    EXPECT_EQ(util::json_parse(text).as_number(), v) << text;
+    EXPECT_EQ(util::json_parse(text).dump(), text);
+  }
+}
+
+TEST(JsonParse, RoundTripPreservesKeyOrder) {
+  const std::string text = R"({"z":1,"a":[true,null],"m":{"k":"v"}})";
+  EXPECT_EQ(util::json_parse(text).dump(), text);
+}
+
+TEST(JsonParse, ErrorsCarryLineAndColumn) {
+  try {
+    (void)util::json_parse("{\n  \"a\": 1,\n  oops\n}");
+    FAIL() << "expected InvalidInput";
+  } catch (const InvalidInput& err) {
+    EXPECT_NE(std::string(err.what()).find("3:3"), std::string::npos)
+        << err.what();
+  }
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "01", "1 2", "nul", "\"unterminated",
+        "{\"a\" 1}", "+1", "[1,2,]", "{1: 2}"}) {
+    EXPECT_THROW((void)util::json_parse(bad), InvalidInput) << bad;
+  }
+}
+
+TEST(JsonParse, RejectsRunawayNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_THROW((void)util::json_parse(deep), InvalidInput);
+}
+
+TEST(JsonParse, KindMismatchThrows) {
+  const util::JsonValue v = util::json_parse("[1]");
+  EXPECT_THROW((void)v.as_string(), InvalidInput);
+  EXPECT_THROW((void)v.at("k"), InvalidInput);
+  EXPECT_THROW((void)util::json_parse("1.5").as_int(), InvalidInput);
+}
+
+TEST(JsonParse, BuildersMirrorParse) {
+  util::JsonValue obj = util::JsonValue::make_object();
+  obj.set("n", util::JsonValue::make_number(2.0));
+  util::JsonValue arr = util::JsonValue::make_array();
+  arr.push_back(util::JsonValue::make_string("x"));
+  arr.push_back(util::JsonValue::make_bool(true));
+  obj.set("a", std::move(arr));
+  EXPECT_EQ(obj, util::json_parse(R"({"n":2,"a":["x",true]})"));
 }
 
 }  // namespace

@@ -1,0 +1,373 @@
+// The serve subsystem: deck-digest normalization, the LRU lowering
+// cache, the thread-budget scheduler, and the unsnapd server + client
+// end to end over a Unix-domain socket.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/run.hpp"
+#include "api/run_config.hpp"
+#include "serve/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/server.hpp"
+#include "util/assert.hpp"
+#include "util/json_parse.hpp"
+#include "util/threads.hpp"
+
+namespace unsnap {
+namespace {
+
+/// A deck small enough (4^3 x 2 angles x 1 group, fixed 2+1 iterations)
+/// that a serialised battery of them finishes in well under a second.
+std::string tiny_deck(int dims, int nang, const std::string& extra = {}) {
+  return "[mesh]\ndims = " + std::to_string(dims) + " " +
+         std::to_string(dims) + " " + std::to_string(dims) +
+         "\n[angular]\nnang = " + std::to_string(nang) +
+         "\n[materials]\nng = 1\n"
+         "[iteration]\niitm = 2\noitm = 1\nfixed_iterations = true\n" +
+         extra;
+}
+
+// --- deck digest normalization --------------------------------------------
+
+TEST(DeckDigest, CommentWhitespaceAndKeyOrderInvariant) {
+  const std::string canonical =
+      "[mesh]\ndims = 4 4 4\norder = 1\n[angular]\nnang = 2\n";
+  const std::string noisy =
+      "# a comment\n"
+      "[mesh]\n"
+      "order   =  1      ! trailing comment\n"
+      "dims=4   4 4\n"
+      "\n"
+      "[angular]\n"
+      "nang = 2\n";
+  const auto a = api::read_deck_text(canonical);
+  const auto b = api::read_deck_text(noisy);
+  EXPECT_EQ(serve::normalized_deck(a), serve::normalized_deck(b));
+  EXPECT_EQ(serve::deck_digest(a), serve::deck_digest(b));
+}
+
+TEST(DeckDigest, TitleAndOutputRoutingDoNotChangeTheKey) {
+  const auto plain = api::read_deck_text(tiny_deck(4, 2));
+  const auto dressed = api::read_deck_text(
+      tiny_deck(4, 2,
+                "[run]\ntitle = same physics, different label\n"
+                "[output]\nverbose = true\nreport = false\n"));
+  EXPECT_EQ(serve::deck_digest(plain), serve::deck_digest(dressed));
+}
+
+TEST(DeckDigest, PhysicsChangesChangeTheKey) {
+  const auto base = api::read_deck_text(tiny_deck(4, 2));
+  EXPECT_NE(serve::deck_digest(base),
+            serve::deck_digest(api::read_deck_text(tiny_deck(5, 2))));
+  EXPECT_NE(serve::deck_digest(base),
+            serve::deck_digest(api::read_deck_text(tiny_deck(4, 3))));
+  EXPECT_NE(serve::deck_digest(base),
+            serve::deck_digest(api::read_deck_text(
+                tiny_deck(4, 2, "[run]\nmode = schedule\n"))));
+}
+
+TEST(DeckDigest, HexRendersAllSixteenDigits) {
+  EXPECT_EQ(serve::digest_hex(0x1ull), "0000000000000001");
+  EXPECT_EQ(serve::digest_hex(0xdeadbeefcafef00dull), "deadbeefcafef00d");
+  EXPECT_EQ(serve::fnv1a64(""), 0xcbf29ce484222325ull);
+}
+
+// --- lowering cache --------------------------------------------------------
+
+std::shared_ptr<const core::Discretization> lower(const std::string& deck) {
+  return std::make_shared<const core::Discretization>(
+      api::read_deck_text(deck).builder().to_input());
+}
+
+TEST(LoweringCache, HitMissAndLruEviction) {
+  serve::LoweringCache cache(2);
+  const auto d1 = lower(tiny_deck(4, 2));
+  EXPECT_EQ(cache.lookup(1), nullptr);  // miss
+  cache.insert(1, d1);
+  EXPECT_EQ(cache.lookup(1), d1);  // hit
+  cache.insert(2, d1);
+  (void)cache.lookup(1);  // refresh 1: now 2 is least recent
+  cache.insert(3, d1);    // evicts 2
+  EXPECT_NE(cache.lookup(1), nullptr);
+  EXPECT_EQ(cache.lookup(2), nullptr);
+  EXPECT_NE(cache.lookup(3), nullptr);
+  // Counted lookups: miss(1), hit(1), refresh hit(1), post-eviction
+  // probes hit(1) + miss(2) + hit(3)... -> 4 hits, 2 misses in total.
+  const serve::LoweringCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 4);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+// --- scheduler -------------------------------------------------------------
+
+std::shared_ptr<serve::Job> make_job(const std::string& id, int threads,
+                                     int priority, long sequence) {
+  auto job = std::make_shared<serve::Job>();
+  job->id = id;
+  job->threads = threads;
+  job->priority = priority;
+  job->sequence = sequence;
+  return job;
+}
+
+TEST(Scheduler, BudgetNeverOversubscribedAndSmallJobsBypass) {
+  serve::Scheduler sched(4);
+  const auto a = make_job("a", 3, 0, 0);
+  const auto b = make_job("b", 3, 0, 1);
+  const auto c = make_job("c", 1, 0, 2);
+  sched.submit(a);
+  sched.submit(b);
+  sched.submit(c);
+  // a dispatches first (FIFO); b does not fit the remaining single
+  // thread, so c bypasses it rather than idling the pool.
+  EXPECT_EQ(sched.acquire(), a);
+  EXPECT_EQ(sched.acquire(), c);
+  serve::Scheduler::Stats stats = sched.stats();
+  EXPECT_EQ(stats.threads_in_use, 4);
+  EXPECT_EQ(stats.peak_threads, 4);
+  EXPECT_EQ(stats.queued, 1);
+  sched.release(*a);
+  sched.release(*c);
+  EXPECT_EQ(sched.acquire(), b);  // kept its place, dispatches when it fits
+  sched.release(*b);
+  stats = sched.stats();
+  EXPECT_EQ(stats.threads_in_use, 0);
+  EXPECT_EQ(stats.peak_threads, 4);  // never above the budget
+}
+
+TEST(Scheduler, PriorityBeatsSubmitOrder) {
+  serve::Scheduler sched(1);
+  const auto low = make_job("low", 1, 0, 0);
+  const auto high = make_job("high", 1, 5, 1);
+  const auto mid = make_job("mid", 1, 1, 2);
+  sched.submit(low);
+  sched.submit(high);
+  sched.submit(mid);
+  for (const auto& expected : {high, mid, low}) {
+    const auto job = sched.acquire();
+    EXPECT_EQ(job, expected);
+    EXPECT_EQ(job->state.load(), serve::RunState::Running);
+    sched.release(*job);
+  }
+}
+
+TEST(Scheduler, RejectsJobsWiderThanTheBudget) {
+  serve::Scheduler sched(2);
+  EXPECT_THROW(sched.submit(make_job("wide", 3, 0, 0)), InvalidInput);
+}
+
+TEST(Scheduler, CancelDequeuesOnlyQueuedJobs) {
+  serve::Scheduler sched(1);
+  const auto a = make_job("a", 1, 0, 0);
+  const auto b = make_job("b", 1, 0, 1);
+  sched.submit(a);
+  sched.submit(b);
+  EXPECT_EQ(sched.acquire(), a);  // a is running now
+  EXPECT_FALSE(sched.cancel("a"));
+  EXPECT_TRUE(sched.cancel("b"));
+  EXPECT_EQ(b->state.load(), serve::RunState::Cancelled);
+  b->wait_terminal();  // already terminal: returns immediately
+  EXPECT_FALSE(sched.cancel("b"));
+  sched.release(*a);
+}
+
+TEST(Scheduler, ShutdownCancelsQueueAndStopsWorkers) {
+  serve::Scheduler sched(1);
+  const auto a = make_job("a", 1, 0, 0);
+  sched.submit(a);
+  sched.shutdown();
+  EXPECT_EQ(a->state.load(), serve::RunState::Cancelled);
+  EXPECT_EQ(sched.acquire(), nullptr);
+  EXPECT_THROW(sched.submit(make_job("late", 1, 0, 1)), InvalidInput);
+}
+
+// --- server + client end to end -------------------------------------------
+
+std::string test_socket_path(const char* name) {
+  return testing::TempDir() + "unsnapd-" + name + "-" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+TEST(Server, ConcurrentMixedDecksAllCompleteWithinBudget) {
+  const std::string path = test_socket_path("mixed");
+  serve::ServerOptions options;
+  options.unix_path = path;
+  options.workers = 2;
+  options.conn_threads = 2;
+  serve::Server server(options);
+  server.start();
+
+  // Eight concurrent submissions from four client threads, mixing three
+  // problem families (two of each -> at least one duplicate per family).
+  const std::vector<std::string> decks = {
+      tiny_deck(4, 2), tiny_deck(5, 2), tiny_deck(4, 2, "[run]\nmode = mms\n"),
+      tiny_deck(4, 3)};
+  std::vector<std::thread> clients;
+  std::vector<serve::RunState> states(8, serve::RunState::Queued);
+  for (int t = 0; t < 4; ++t)
+    clients.emplace_back([&, t] {
+      serve::Client client = serve::Client::connect_unix(path);
+      for (int i = 0; i < 2; ++i) {
+        const int slot = t * 2 + i;
+        const std::string id =
+            client.submit(decks[static_cast<std::size_t>(slot % 4)]);
+        states[static_cast<std::size_t>(slot)] = client.await_terminal(id);
+      }
+    });
+  for (std::thread& t : clients) t.join();
+  for (const serve::RunState state : states)
+    EXPECT_EQ(state, serve::RunState::Done);
+
+  const serve::Scheduler::Stats sched = server.scheduler_stats();
+  EXPECT_LE(sched.peak_threads, server.thread_budget());
+  EXPECT_EQ(sched.threads_in_use, 0);
+  // Four problem families over eight runs: the cache holds one lowering
+  // per family. (Exact hit counts depend on how duplicates interleave on
+  // wider machines; the dedicated duplicate test pins them down.)
+  const serve::LoweringCache::Stats cache = server.cache_stats();
+  EXPECT_EQ(cache.entries, 4u);
+  EXPECT_EQ(cache.hits + cache.misses, 8);
+  EXPECT_GE(cache.misses, 4);
+  server.stop();
+}
+
+TEST(Server, DuplicateSubmissionHitsCacheWithIdenticalFlux) {
+  const std::string path = test_socket_path("dup");
+  serve::ServerOptions options;
+  options.unix_path = path;
+  options.workers = 1;
+  serve::Server server(options);
+  server.start();
+
+  serve::Client client = serve::Client::connect_unix(path);
+  const std::string deck = tiny_deck(4, 2);
+  const std::string first = client.submit(deck);
+  ASSERT_EQ(client.await_terminal(first), serve::RunState::Done);
+  const std::string second = client.submit(deck);
+  ASSERT_EQ(client.await_terminal(second), serve::RunState::Done);
+
+  const util::JsonValue r1 = client.result(first);
+  const util::JsonValue r2 = client.result(second);
+  EXPECT_FALSE(r1.get_bool("cache_hit"));
+  EXPECT_TRUE(r2.get_bool("cache_hit"));
+  EXPECT_EQ(r1.get_string("digest"), r2.get_string("digest"));
+  // The golden contract: a cache hit changes setup time only, never the
+  // answer — bitwise-identical flux digests (doubles compare exactly).
+  ASSERT_NE(r1.at("record").find("flux"), nullptr);
+  EXPECT_EQ(r1.at("record").at("flux"), r2.at("record").at("flux"));
+  EXPECT_EQ(r1.at("record").at("flux").dump(),
+            r2.at("record").at("flux").dump());
+  server.stop();
+}
+
+TEST(Server, StatusResultAndStatsEnvelopes) {
+  const std::string path = test_socket_path("env");
+  serve::ServerOptions options;
+  options.unix_path = path;
+  options.workers = 1;
+  serve::Server server(options);
+  server.start();
+
+  serve::Client client = serve::Client::connect_unix(path);
+  EXPECT_TRUE(client.ping());
+  const std::string id = client.submit(tiny_deck(4, 2), 3);
+  ASSERT_EQ(client.await_terminal(id), serve::RunState::Done);
+
+  const util::JsonValue status = client.status(id);
+  EXPECT_EQ(status.get_string("id"), id);
+  EXPECT_EQ(status.get_string("state"), "done");
+  EXPECT_TRUE(status.get_bool("terminal"));
+  EXPECT_EQ(status.get_int("priority"), 3);
+  EXPECT_GE(status.at("progress").get_int("inners"), 1);
+
+  const util::JsonValue result = client.result(id);
+  EXPECT_GE(result.get_number("run_seconds"), 0.0);
+  EXPECT_GE(result.get_number("queued_seconds"), 0.0);
+  const util::JsonValue& record = result.at("record");
+  EXPECT_EQ(record.get_string("mode"), "solve");
+  EXPECT_NE(record.find("iteration"), nullptr);
+
+  const util::JsonValue stats = client.stats();
+  EXPECT_EQ(stats.at("runs").get_int("submitted"), 1);
+  EXPECT_EQ(stats.at("runs").get_int("completed"), 1);
+  EXPECT_EQ(stats.at("scheduler").get_int("total_threads"),
+            server.thread_budget());
+  EXPECT_EQ(stats.at("cache").get_int("misses"), 1);
+  server.stop();
+}
+
+TEST(Server, RejectsBadDecksUnknownIdsAndWideThreadRequests) {
+  const std::string path = test_socket_path("rej");
+  serve::ServerOptions options;
+  options.unix_path = path;
+  serve::Server server(options);
+  server.start();
+
+  serve::Client client = serve::Client::connect_unix(path);
+  // Deck errors surface with the submit-side location prefix.
+  EXPECT_THROW((void)client.submit("[mesh]\ndims = 0 0 0\n"), InvalidInput);
+  EXPECT_THROW((void)client.status("run-9999"), InvalidInput);
+  // A deck over the hardware thread count is rejected at validation.
+  const int over = util::hardware_threads() + 1;
+  EXPECT_THROW(
+      (void)client.submit(tiny_deck(
+          4, 2, "[execution]\nthreads = " + std::to_string(over) + "\n")),
+      InvalidInput);
+  // The connection survives rejected requests.
+  EXPECT_TRUE(client.ping());
+  server.stop();
+}
+
+TEST(Server, ResultBeforeTerminalIsRejected) {
+  const std::string path = test_socket_path("early");
+  serve::ServerOptions options;
+  options.unix_path = path;
+  serve::Server server(options);
+  server.start();
+
+  serve::Client client = serve::Client::connect_unix(path);
+  const std::string id = client.submit(tiny_deck(6, 4));
+  // Fetching the result while the run is queued or running is a protocol
+  // error ("poll status first"), not a blocking wait.
+  EXPECT_THROW((void)client.result(id), InvalidInput);
+  ASSERT_EQ(client.await_terminal(id), serve::RunState::Done);
+  EXPECT_TRUE(client.result(id).get_bool("ok"));
+  server.stop();
+}
+
+// --- FILE*-parameterised renderers ----------------------------------------
+
+TEST(RunReport, RenderersWriteToTheGivenStream) {
+  api::RunConfig config = api::read_deck_text(tiny_deck(4, 2));
+  api::Run run(std::move(config));
+  const api::RunRecord record = run.execute();
+
+  char* buffer = nullptr;
+  std::size_t size = 0;
+  std::FILE* stream = open_memstream(&buffer, &size);
+  ASSERT_NE(stream, nullptr);
+  api::print_run_report(record, stream);
+  std::fclose(stream);
+  const std::string text(buffer, size);
+  free(buffer);
+  EXPECT_NE(text.find("config:"), std::string::npos);
+  EXPECT_NE(text.find("sweep schedules"), std::string::npos);
+  EXPECT_NE(text.find("particle balance"), std::string::npos);
+  EXPECT_NE(text.find("group   <phi>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace unsnap

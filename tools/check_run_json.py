@@ -8,6 +8,11 @@ blocks, field types, and cross-field consistency (history lengths vs
 counts, balance closure identity) — so CI catches a silently malformed or
 truncated record, not just invalid JSON. Exits non-zero on the first
 violation, printing what and where.
+
+Also accepts unsnapd result envelopes (`unsnap-client await ... --json`):
+a file whose top level carries "id"/"state" is checked as an envelope —
+service fields first, then the embedded "record" against the full record
+schema.
 """
 
 import json
@@ -160,6 +165,28 @@ def check_record(record, path):
             check_fields(record["mms"], {"l2_error": "num"}, f"{path}.mms")
 
 
+def check_serve_envelope(envelope, path):
+    """An unsnapd result envelope: service metadata wrapping the record."""
+    check_fields(envelope, {
+        "ok": "bool", "id": "str", "state": "str", "cache_hit": "bool",
+        "digest": "str", "queued_seconds": "num", "run_seconds": "num",
+    }, path)
+    state = envelope.get("state")
+    expect(state in ("done", "failed", "cancelled"), f"{path}.state",
+           f"result envelopes are terminal, got {state!r}")
+    digest = envelope.get("digest", "")
+    expect(isinstance(digest, str) and len(digest) == 16 and
+           all(c in "0123456789abcdef" for c in digest),
+           f"{path}.digest", "expected 16 lowercase hex digits")
+    if state == "done":
+        if expect("record" in envelope, path,
+                  "state done requires an embedded record"):
+            check_record(envelope["record"], f"{path}.record")
+    else:
+        expect("error" in envelope, path,
+               f"state {state} requires an error field")
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__.strip())
@@ -171,7 +198,10 @@ def main(argv):
         except (OSError, json.JSONDecodeError) as err:
             print(f"check_run_json: {filename}: {err}")
             return 1
-        check_record(record, filename)
+        if isinstance(record, dict) and "id" in record and "state" in record:
+            check_serve_envelope(record, filename)
+        else:
+            check_record(record, filename)
     if FAILURES:
         for failure in FAILURES:
             print(f"check_run_json: {failure}")
