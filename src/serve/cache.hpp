@@ -33,6 +33,12 @@ namespace unsnap::serve {
 /// schedule construction entirely; the solve itself still runs, so a
 /// cache hit changes setup time only, never results (the golden contract:
 /// hit and miss produce bitwise-identical flux digests).
+///
+/// The digest only routes to an entry; each entry also stores the full
+/// normalized deck text, compared on every lookup. A 64-bit FNV-1a
+/// collision (accidental, or crafted by a hostile local client) therefore
+/// degrades to a cache miss instead of silently reusing the wrong
+/// problem's discretization.
 class LoweringCache {
  public:
   /// `capacity` entries; least-recently-used beyond that are evicted.
@@ -45,12 +51,16 @@ class LoweringCache {
     std::size_t entries = 0;
   };
 
-  /// nullptr on miss (counted); a hit refreshes LRU recency.
+  /// nullptr on miss (counted); a hit refreshes LRU recency. An entry
+  /// under `digest` whose stored deck text differs from `key` is a miss
+  /// (digest collision), never a hit.
   [[nodiscard]] std::shared_ptr<const core::Discretization> lookup(
-      std::uint64_t digest);
+      std::uint64_t digest, const std::string& key);
 
-  /// Insert (or refresh) the lowering for a digest.
-  void insert(std::uint64_t digest,
+  /// Insert (or refresh) the lowering for a digest + normalized deck. A
+  /// colliding entry (same digest, different deck) is replaced — counted
+  /// as an eviction.
+  void insert(std::uint64_t digest, const std::string& key,
               std::shared_ptr<const core::Discretization> disc);
 
   [[nodiscard]] Stats stats() const;
@@ -58,6 +68,7 @@ class LoweringCache {
  private:
   struct Entry {
     std::uint64_t digest;
+    std::string key;  // normalized deck text, verified on lookup
     std::shared_ptr<const core::Discretization> disc;
   };
 

@@ -70,8 +70,9 @@ struct Job {
   long sequence = 0;  // submit order, the FIFO tie-break
   int priority = 0;   // higher dispatches first
   api::RunConfig config;
-  std::uint64_t digest = 0;
-  int threads = 1;  // thread budget charged while running
+  std::string normalized;    // normalized deck text (the true cache key)
+  std::uint64_t digest = 0;  // fnv1a64(normalized), for routing and logs
+  int threads = 1;           // thread budget charged while running
 
   std::atomic<RunState> state{RunState::Queued};
   ProgressBridge progress;

@@ -46,6 +46,8 @@ Server::Server(ServerOptions options)
   require(options_.workers >= 1, "unsnapd: workers must be >= 1");
   require(options_.conn_threads >= 1,
           "unsnapd: connection threads must be >= 1");
+  require(options_.history_capacity >= 1,
+          "unsnapd: history capacity must be >= 1");
   // The daemon's budget passes the same hardware check a deck's
   // [execution] threads does: a budget the machine cannot supply is a
   // configuration error, not something to discover under load.
@@ -104,11 +106,17 @@ void Server::stop() {
   if (tcp_listener_.valid()) tcp_listener_.shutdown_listener();
   connections_.close();
   scheduler_->shutdown();
+  for (std::thread& t : acceptors_) t.join();
+  // Acceptors are gone, so nothing pushes any more — but pop() drains
+  // items queued before close(), and a handler picking one up after the
+  // SHUT_RDWR pass below would block in recv on an idle client forever.
+  // Drop the still-parked sockets here instead (destructor closes them).
+  while (connections_.try_pop()) {
+  }
   {
     std::lock_guard lock(conns_mu_);
     for (const int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
   }
-  for (std::thread& t : acceptors_) t.join();
   for (std::thread& t : handlers_) t.join();
   for (std::thread& t : workers_) t.join();
   acceptors_.clear();
@@ -132,10 +140,20 @@ void Server::handle_connection(util::Socket socket) {
     std::lock_guard lock(conns_mu_);
     live_fds_.push_back(socket.fd());
   }
+  // stop() flips stopped_ before its SHUT_RDWR pass over live_fds_; a
+  // socket registered after that pass would be missed and leave this
+  // handler parked in recv, so re-run the shutdown for it here.
+  if (stopped_.load()) ::shutdown(socket.fd(), SHUT_RDWR);
   const int fd = socket.fd();
   try {
-    while (std::optional<std::string> frame = socket.recv_frame())
-      socket.send_frame(handle_message(*frame));
+    while (std::optional<std::string> frame = socket.recv_frame()) {
+      bool stop_after_reply = false;
+      socket.send_frame(handle_message(*frame, stop_after_reply));
+      // A shutdown request is acknowledged on the wire *before* the stop
+      // begins — stop() SHUT_RDWRs every live connection, including this
+      // one, so triggering it first would race the reply away.
+      if (stop_after_reply) request_stop();
+    }
   } catch (const std::exception&) {
     // Torn frame or dead peer mid-reply: drop the connection; the
     // daemon's own state is untouched.
@@ -145,7 +163,8 @@ void Server::handle_connection(util::Socket socket) {
                   live_fds_.end());
 }
 
-std::string Server::handle_message(const std::string& frame) {
+std::string Server::handle_message(const std::string& frame,
+                                   bool& stop_after_reply) {
   try {
     const util::JsonValue request = parse_message(frame);
     const std::string op = request.get_string("op");
@@ -164,7 +183,7 @@ std::string Server::handle_message(const std::string& frame) {
     if (op == "stats") return handle_stats();
     if (op == "shutdown") {
       log("shutdown requested");
-      request_stop();
+      stop_after_reply = true;  // the caller stops after sending the ack
       util::JsonWriter json(0);
       json.begin_object();
       json.kv("ok", true);
@@ -198,7 +217,8 @@ std::string Server::handle_submit(const util::JsonValue& request) {
   auto job = std::make_shared<Job>();
   job->priority = priority;
   job->config = std::move(config);
-  job->digest = deck_digest(job->config);
+  job->normalized = normalized_deck(job->config);
+  job->digest = fnv1a64(job->normalized);
   job->threads = job->config.execution.num_threads;
   job->submitted = std::chrono::steady_clock::now();
   {
@@ -209,7 +229,17 @@ std::string Server::handle_submit(const util::JsonValue& request) {
     job->id = id;
     jobs_[job->id] = job;
   }
-  scheduler_->submit(job);  // throws if the request exceeds the budget
+  try {
+    scheduler_->submit(job);  // throws if the request exceeds the budget
+    std::lock_guard lock(jobs_mu_);
+    ++submitted_;
+  } catch (...) {
+    // A rejected job (budget exceeded, daemon shutting down) never runs
+    // and never turns terminal: drop it or it sits in jobs_ forever.
+    std::lock_guard lock(jobs_mu_);
+    jobs_.erase(job->id);
+    throw;
+  }
   log("submit " + job->id + " digest " + digest_hex(job->digest) +
       " priority " + std::to_string(priority) + " threads " +
       std::to_string(job->threads));
@@ -272,6 +302,7 @@ std::string Server::handle_cancel(const util::JsonValue& request) {
   if (cancelled) {
     std::lock_guard lock(jobs_mu_);
     ++cancelled_;
+    retire_job_locked(job->id);
   }
   util::JsonWriter json(0);
   json.begin_object();
@@ -289,7 +320,7 @@ std::string Server::handle_stats() {
   long submitted, completed, failed, cancelled;
   {
     std::lock_guard lock(jobs_mu_);
-    submitted = next_sequence_;
+    submitted = submitted_;
     completed = completed_;
     failed = failed_;
     cancelled = cancelled_;
@@ -321,6 +352,17 @@ std::string Server::handle_stats() {
   return json.str();
 }
 
+void Server::retire_job_locked(const std::string& id) {
+  history_.push_back(id);
+  // Terminal payloads (full RunRecord JSON) dominate a job's footprint:
+  // keep only the newest history_capacity of them resolvable so a
+  // long-lived daemon does not grow without bound.
+  while (history_.size() > options_.history_capacity) {
+    jobs_.erase(history_.front());
+    history_.pop_front();
+  }
+}
+
 std::shared_ptr<Job> Server::find_job(const std::string& id) const {
   require(!id.empty(), "missing field 'id'");
   std::lock_guard lock(jobs_mu_);
@@ -340,6 +382,7 @@ void Server::worker_loop() {
         ++completed_;
       else
         ++failed_;
+      retire_job_locked(job->id);
     }
   }
 }
@@ -355,7 +398,7 @@ void Server::execute_job(Job& job) {
                                job.config.decomposition.py ==
                            1;
     if (cacheable) {
-      if (auto disc = cache_.lookup(job.digest)) {
+      if (auto disc = cache_.lookup(job.digest, job.normalized)) {
         run.set_shared_discretization(std::move(disc));
         job.cache_hit.store(true);
       }
@@ -363,7 +406,7 @@ void Server::execute_job(Job& job) {
     api::RunRecord record = run.execute();
     if (cacheable && !job.cache_hit.load())
       if (auto disc = run.shared_discretization())
-        cache_.insert(job.digest, std::move(disc));
+        cache_.insert(job.digest, job.normalized, std::move(disc));
     job.run_seconds = seconds_since(t0);
     log("done " + job.id + (job.cache_hit.load() ? " (cache hit)" : "") +
         " in " + std::to_string(job.run_seconds) + " s");

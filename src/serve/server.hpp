@@ -3,6 +3,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -38,6 +39,11 @@ struct ServerOptions {
 
   /// LoweringCache capacity (distinct deck digests kept).
   std::size_t cache_capacity = 64;
+
+  /// Terminal runs (and their RunRecord payloads) kept resolvable by id.
+  /// Beyond this many, the oldest terminal runs are evicted so a
+  /// long-lived daemon's memory stays bounded; fetch results promptly.
+  std::size_t history_capacity = 1024;
 
   /// Log accept/submit/finish lines to stderr.
   bool verbose = false;
@@ -101,7 +107,11 @@ class Server {
 
   mutable std::mutex jobs_mu_;
   std::unordered_map<std::string, std::shared_ptr<Job>> jobs_;
+  // Terminal job ids, oldest first; beyond options_.history_capacity the
+  // front is evicted from jobs_ (bounds daemon memory — see retire_job).
+  std::deque<std::string> history_;
   long next_sequence_ = 0;
+  long submitted_ = 0;  // accepted by the scheduler (rejects excluded)
   long completed_ = 0, failed_ = 0, cancelled_ = 0;
 
   // Live connection fds, so stop() can unblock handlers mid-recv.
@@ -118,7 +128,12 @@ class Server {
   void worker_loop();
   void execute_job(Job& job);
 
-  [[nodiscard]] std::string handle_message(const std::string& frame);
+  /// Dispatch one request frame to its op handler and return the reply.
+  /// Sets `stop_after_reply` for a shutdown request: the connection loop
+  /// triggers the stop only after the ack is on the wire (stop() shuts
+  /// down live connections, which would otherwise race the reply away).
+  [[nodiscard]] std::string handle_message(const std::string& frame,
+                                           bool& stop_after_reply);
   [[nodiscard]] std::string handle_submit(const util::JsonValue& request);
   [[nodiscard]] std::string handle_status(const util::JsonValue& request);
   [[nodiscard]] std::string handle_result(const util::JsonValue& request);
@@ -126,6 +141,9 @@ class Server {
   [[nodiscard]] std::string handle_stats();
 
   [[nodiscard]] std::shared_ptr<Job> find_job(const std::string& id) const;
+  /// Record a job as terminal and evict the oldest terminal jobs beyond
+  /// options_.history_capacity. Caller must hold jobs_mu_.
+  void retire_job_locked(const std::string& id);
   void request_stop();
   void log(const std::string& line) const;
 };

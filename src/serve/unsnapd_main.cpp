@@ -26,6 +26,8 @@ void print_usage() {
       "                        running jobs (default: hardware threads)\n"
       "  --conn-threads <n>    connection handler threads (default 2)\n"
       "  --cache <n>           lowering-cache capacity (default 64)\n"
+      "  --history <n>         terminal runs kept resolvable by id before\n"
+      "                        the oldest are evicted (default 1024)\n"
       "  --quiet               suppress the stderr service log\n"
       "  --version             build provenance\n\n"
       "at least one of --socket / --port is required; stop the daemon\n"
@@ -73,6 +75,9 @@ int main(int argc, char** argv) {
     else if (arg == "--cache")
       options.cache_capacity = static_cast<std::size_t>(
           parse_int(need_value(argc, argv, i), "--cache"));
+    else if (arg == "--history")
+      options.history_capacity = static_cast<std::size_t>(
+          parse_int(need_value(argc, argv, i), "--history"));
     else if (arg == "--quiet")
       options.verbose = false;
     else if (arg == "--version") {

@@ -143,10 +143,13 @@ namespace {
 
 void write_all(int fd, const char* data, std::size_t n) {
   while (n > 0) {
-    const ssize_t wrote = ::write(fd, data, n);
+    // MSG_NOSIGNAL: a peer that vanished mid-reply must surface as EPIPE
+    // (-> InvalidInput, handled per connection), not as a process-killing
+    // SIGPIPE — the daemon shares this path with every client and bench.
+    const ssize_t wrote = ::send(fd, data, n, MSG_NOSIGNAL);
     if (wrote < 0) {
       if (errno == EINTR) continue;
-      fail_errno("write()");
+      fail_errno("send()");
     }
     data += wrote;
     n -= static_cast<std::size_t>(wrote);

@@ -6,6 +6,7 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -22,6 +23,7 @@
 #include "serve/server.hpp"
 #include "util/assert.hpp"
 #include "util/json_parse.hpp"
+#include "util/socket.hpp"
 #include "util/threads.hpp"
 
 namespace unsnap {
@@ -93,15 +95,15 @@ std::shared_ptr<const core::Discretization> lower(const std::string& deck) {
 TEST(LoweringCache, HitMissAndLruEviction) {
   serve::LoweringCache cache(2);
   const auto d1 = lower(tiny_deck(4, 2));
-  EXPECT_EQ(cache.lookup(1), nullptr);  // miss
-  cache.insert(1, d1);
-  EXPECT_EQ(cache.lookup(1), d1);  // hit
-  cache.insert(2, d1);
-  (void)cache.lookup(1);  // refresh 1: now 2 is least recent
-  cache.insert(3, d1);    // evicts 2
-  EXPECT_NE(cache.lookup(1), nullptr);
-  EXPECT_EQ(cache.lookup(2), nullptr);
-  EXPECT_NE(cache.lookup(3), nullptr);
+  EXPECT_EQ(cache.lookup(1, "k1"), nullptr);  // miss
+  cache.insert(1, "k1", d1);
+  EXPECT_EQ(cache.lookup(1, "k1"), d1);  // hit
+  cache.insert(2, "k2", d1);
+  (void)cache.lookup(1, "k1");  // refresh 1: now 2 is least recent
+  cache.insert(3, "k3", d1);    // evicts 2
+  EXPECT_NE(cache.lookup(1, "k1"), nullptr);
+  EXPECT_EQ(cache.lookup(2, "k2"), nullptr);
+  EXPECT_NE(cache.lookup(3, "k3"), nullptr);
   // Counted lookups: miss(1), hit(1), refresh hit(1), post-eviction
   // probes hit(1) + miss(2) + hit(3)... -> 4 hits, 2 misses in total.
   const serve::LoweringCache::Stats stats = cache.stats();
@@ -109,6 +111,25 @@ TEST(LoweringCache, HitMissAndLruEviction) {
   EXPECT_EQ(stats.misses, 2);
   EXPECT_EQ(stats.evictions, 1);
   EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(LoweringCache, DigestCollisionIsAMissNeverAWrongHit) {
+  serve::LoweringCache cache(2);
+  const auto d1 = lower(tiny_deck(4, 2));
+  const auto d2 = lower(tiny_deck(5, 2));
+  cache.insert(7, "deck-a", d1);
+  // Same digest, different normalized deck (an FNV-1a collision): the
+  // stored key is verified on lookup, so this is a miss — the wrong
+  // discretization is never handed out. The original entry is intact.
+  EXPECT_EQ(cache.lookup(7, "deck-b"), nullptr);
+  EXPECT_EQ(cache.lookup(7, "deck-a"), d1);
+  // Inserting the collider replaces the entry (counted as an eviction).
+  cache.insert(7, "deck-b", d2);
+  EXPECT_EQ(cache.lookup(7, "deck-a"), nullptr);
+  EXPECT_EQ(cache.lookup(7, "deck-b"), d2);
+  const serve::LoweringCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.entries, 1u);
 }
 
 // --- scheduler -------------------------------------------------------------
@@ -346,6 +367,90 @@ TEST(Server, ResultBeforeTerminalIsRejected) {
   ASSERT_EQ(client.await_terminal(id), serve::RunState::Done);
   EXPECT_TRUE(client.result(id).get_bool("ok"));
   server.stop();
+}
+
+TEST(Server, RejectedSubmitLeavesNoZombieJob) {
+  if (util::hardware_threads() < 2)
+    GTEST_SKIP() << "needs a deck wider than a 1-thread budget yet within "
+                    "the hardware";
+  const std::string path = test_socket_path("zombie");
+  serve::ServerOptions options;
+  options.unix_path = path;
+  options.thread_budget = 1;
+  serve::Server server(options);
+  server.start();
+
+  serve::Client client = serve::Client::connect_unix(path);
+  // threads = 2 passes deck validation (within the hardware) but exceeds
+  // the daemon's 1-thread budget: the scheduler rejects it at submit.
+  EXPECT_THROW(
+      (void)client.submit(tiny_deck(4, 2, "[execution]\nthreads = 2\n")),
+      InvalidInput);
+  // The rejected job (it took id run-0000) is deregistered — no
+  // never-terminal zombie resolvable by id, no phantom submitted count.
+  EXPECT_THROW((void)client.status("run-0000"), InvalidInput);
+  EXPECT_EQ(client.stats().at("runs").get_int("submitted"), 0);
+  const std::string id = client.submit(tiny_deck(4, 2));
+  EXPECT_EQ(id, "run-0001");
+  ASSERT_EQ(client.await_terminal(id), serve::RunState::Done);
+  EXPECT_EQ(client.stats().at("runs").get_int("submitted"), 1);
+  server.stop();
+}
+
+TEST(Server, TerminalRunsAreEvictedBeyondTheHistoryCapacity) {
+  const std::string path = test_socket_path("hist");
+  serve::ServerOptions options;
+  options.unix_path = path;
+  options.workers = 1;
+  options.history_capacity = 1;
+  serve::Server server(options);
+  server.start();
+
+  serve::Client client = serve::Client::connect_unix(path);
+  const std::string first = client.submit(tiny_deck(4, 2));
+  ASSERT_EQ(client.await_terminal(first), serve::RunState::Done);
+  EXPECT_TRUE(client.result(first).get_bool("ok"));
+  const std::string second = client.submit(tiny_deck(5, 2));
+  ASSERT_EQ(client.await_terminal(second), serve::RunState::Done);
+  // The completed counter and the history eviction are published under
+  // one lock: once stats shows both runs complete, the older id is gone.
+  while (client.stats().at("runs").get_int("completed") < 2)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_THROW((void)client.status(first), InvalidInput);
+  EXPECT_TRUE(client.result(second).get_bool("ok"));
+  server.stop();
+}
+
+TEST(Server, StopDoesNotHangOnIdleQueuedConnections) {
+  const std::string path = test_socket_path("idle");
+  serve::ServerOptions options;
+  options.unix_path = path;
+  options.conn_threads = 1;
+  serve::Server server(options);
+  server.start();
+  // Park idle connections: the single handler blocks in recv on the
+  // first; the rest sit accepted-but-unhandled in the connection queue.
+  // stop() must drop the queued ones and unblock the handled one — a
+  // handler that picked a queued socket up after the live-fd shutdown
+  // pass would otherwise block on its idle client forever.
+  std::vector<util::Socket> idle;
+  for (int i = 0; i < 8; ++i)
+    idle.push_back(util::Socket::connect_unix(path));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.stop();
+}
+
+// --- socket framing --------------------------------------------------------
+
+TEST(SocketFraming, SendingToAClosedPeerThrowsInsteadOfRaisingSigpipe) {
+  const std::string path = test_socket_path("pipe");
+  util::Socket listener = util::Socket::listen_unix(path);
+  util::Socket client = util::Socket::connect_unix(path);
+  (void)listener.accept_connection();  // accepted socket dropped -> closed
+  // Without MSG_NOSIGNAL this send raises SIGPIPE, whose default action
+  // kills the whole process (the daemon, were this its reply path). It
+  // must instead surface as EPIPE -> InvalidInput on this connection.
+  EXPECT_THROW(client.send_frame("{\"op\":\"ping\"}"), InvalidInput);
 }
 
 // --- FILE*-parameterised renderers ----------------------------------------
