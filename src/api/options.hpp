@@ -115,6 +115,11 @@ struct ExecutionSpec {
   snap::ConcurrencyScheme scheme = snap::ConcurrencyScheme::ElementsGroups;
   linalg::SolverKind solver = linalg::SolverKind::GaussianElimination;
   int num_threads = 0;  // 0 = OpenMP default
+  /// Pre-assembled operator mode (paper §IV-B-1): factor or invert every
+  /// per-(angle, element, group) system once up front, trading memory
+  /// (see the run report's preassembly_bytes) for per-sweep speed.
+  /// Single-domain solve/mms/time modes only.
+  snap::PreassemblyMode preassembly = snap::PreassemblyMode::None;
   bool time_solve = false;
 
   [[nodiscard]] bool operator==(const ExecutionSpec&) const = default;

@@ -107,8 +107,8 @@ ProblemBuilder ProblemBuilder::from_input(const snap::Input& input) {
                   input.oitm,          input.fixed_iterations,
                   input.iteration_scheme, input.gmres_restart,
                   input.gmres_max_iters};
-  b.execution_ = {input.layout, input.scheme, input.solver,
-                  input.num_threads, input.time_solve};
+  b.execution_ = {input.layout,      input.scheme,      input.solver,
+                  input.num_threads, input.preassembly, input.time_solve};
   b.decomposition_.exchange = input.sweep_exchange;
   return b;
 }
@@ -160,6 +160,7 @@ snap::Input ProblemBuilder::lower() const {
   input.scheme = execution_.scheme;
   input.solver = execution_.solver;
   input.num_threads = execution_.num_threads;
+  input.preassembly = execution_.preassembly;
   input.time_solve = execution_.time_solve;
   input.sweep_exchange = decomposition_.exchange;
   return input;

@@ -145,7 +145,15 @@ RunRecord::DecompositionStats make_decomposition_stats(
 
 RunRecord::Configuration make_configuration(
     const core::TransportSolver& solver) {
-  return make_configuration_from(solver.input(), &solver.discretization());
+  RunRecord::Configuration c =
+      make_configuration_from(solver.input(), &solver.discretization());
+  // Report the operator actually live on the solver (built or injected),
+  // not just the deck's request — mode plus the storage footprint.
+  if (const core::PreassembledOperator* pre = solver.preassembly()) {
+    c.preassembly = core::PreassembledOperator::to_string(pre->mode());
+    c.preassembly_bytes = pre->bytes();
+  }
+  return c;
 }
 
 RunRecord::ScheduleStats make_schedule_stats(
@@ -172,6 +180,24 @@ Run::Run(RunConfig config) : config_(std::move(config)) {
   config_.validate();
 }
 
+void Run::configure_preassembly(core::TransportSolver& solver) {
+  const snap::PreassemblyMode mode = config_.execution.preassembly;
+  if (mode == snap::PreassemblyMode::None) {
+    shared_pre_.reset();
+    return;
+  }
+  const auto core_mode =
+      mode == snap::PreassemblyMode::FactoredLu
+          ? core::PreassembledOperator::Mode::FactoredLu
+          : core::PreassembledOperator::Mode::ExplicitInverse;
+  if (shared_pre_ != nullptr && shared_pre_->mode() == core_mode) {
+    solver.set_preassembly(shared_pre_);  // cache hit: skip factorization
+  } else {
+    solver.enable_preassembly(core_mode);
+    shared_pre_ = solver.shared_preassembly();
+  }
+}
+
 RunRecord Run::execute() {
   RunRecord record;
   record.provenance = version_info();
@@ -196,6 +222,7 @@ RunRecord Run::execute_solve(RunRecord record) {
                                 : config_.builder().build());
   shared_disc_ = problem_->discretization_ptr();
   solver_ = problem_->make_solver();
+  configure_preassembly(*solver_);
   solver_->set_observer(observer_);
   record.config = make_configuration(*solver_);
   record.schedule = make_schedule_stats(*solver_);
@@ -261,6 +288,7 @@ RunRecord Run::execute_mms(RunRecord record) {
                                 : config_.builder().build());
   shared_disc_ = problem_->discretization_ptr();
   solver_ = problem_->make_solver();
+  configure_preassembly(*solver_);
   solver_->set_observer(observer_);
   const auto ms = core::ManufacturedSolution::trigonometric();
   core::apply_manufactured(*solver_, ms);
@@ -284,6 +312,10 @@ RunRecord Run::execute_time(RunRecord record) {
       disc, input, core::TimeDependentSolver::snap_velocities(input.ng),
       config_.time.dt);
   core::TransportSolver& inner = time_solver_->solver();
+  // Valid after construction only: the TimeDependentSolver ctor has
+  // already folded 1/(v dt) into sigma_t, and the matrices stay constant
+  // across steps, so the operators are factored against the final data.
+  configure_preassembly(inner);
   inner.set_observer(observer_);
   if (config_.time.zero_source) inner.problem().qext.fill(0.0);
   time_solver_->set_initial_condition(config_.time.initial);
@@ -346,6 +378,8 @@ std::string to_json(const RunRecord& record) {
   json.kv("scheme", c.scheme);
   json.kv("solver", c.solver);
   json.kv("inners", c.inners);
+  json.kv("preassembly", c.preassembly);
+  json.kv("preassembly_bytes", c.preassembly_bytes);
   json.kv("unique_schedules", c.unique_schedules);
   json.kv("directions", c.directions);
   json.end_object();
@@ -470,6 +504,11 @@ void print_configuration(const RunRecord::Configuration& config,
               config.layout.c_str(), config.scheme.c_str(),
               config.solver.c_str(), config.inners.c_str(), config.twist,
               config.unique_schedules);
+  if (config.preassembly != "none")
+    std::fprintf(out, "        preassembly %s (%.1f MiB of stored operators)\n",
+                config.preassembly.c_str(),
+                static_cast<double>(config.preassembly_bytes) /
+                    (1024.0 * 1024.0));
 }
 
 void print_schedule_report(const RunRecord::ScheduleStats& stats,

@@ -40,6 +40,10 @@ struct RunRecord {
     int nmom = 1;
     double twist = 0.0;
     std::string layout, scheme, solver, inners;
+    /// Pre-assembled operator mode ("none" unless enabled) and its
+    /// storage footprint — the memory cost the paper warns about.
+    std::string preassembly = "none";
+    std::size_t preassembly_bytes = 0;
     int unique_schedules = 0;
     int directions = 0;
   };
@@ -192,6 +196,22 @@ class Run {
     return shared_disc_;
   }
 
+  /// Share a pre-assembled operator built by a previous run of the same
+  /// normalized deck (the serve layer's lowering-cache companion to
+  /// set_shared_discretization). Only consumed when the config asks for
+  /// the same preassembly mode; dimensions are checked at injection.
+  void set_shared_preassembly(
+      std::shared_ptr<const core::PreassembledOperator> pre) {
+    shared_pre_ = std::move(pre);
+  }
+
+  /// The pre-assembled operator the executed run used (built or
+  /// injected); nullptr when the config ran with preassembly = none.
+  [[nodiscard]] std::shared_ptr<const core::PreassembledOperator>
+  shared_preassembly() const {
+    return shared_pre_;
+  }
+
   [[nodiscard]] const RunConfig& config() const { return config_; }
 
   /// Run the configured stack and return the structured record.
@@ -213,10 +233,16 @@ class Run {
   RunConfig config_;
   core::IterationObserver* observer_ = nullptr;
   std::shared_ptr<const core::Discretization> shared_disc_;
+  std::shared_ptr<const core::PreassembledOperator> shared_pre_;
   std::optional<Problem> problem_;
   std::unique_ptr<core::TransportSolver> solver_;
   std::unique_ptr<comm::DistributedSweepSolver> distributed_;
   std::unique_ptr<core::TimeDependentSolver> time_solver_;
+
+  /// Lower config_.execution.preassembly onto a built solver: reuse the
+  /// injected shared operator when its mode matches, otherwise build one
+  /// and keep the shared handle for post-execute harvesting.
+  void configure_preassembly(core::TransportSolver& solver);
 
   RunRecord execute_solve(RunRecord record);
   RunRecord execute_distributed(RunRecord record);

@@ -99,10 +99,17 @@ void RunConfig::validate() const {
   }
   if (mode == RunMode::Mms)
     require(ranks == 1, "mms: manufactured runs are single-domain");
-  if (ranks > 1)
+  if (ranks > 1) {
     require(!custom,
             "decomposition: the distributed drivers consume the flat "
             "snap::Input deck (no custom material/source regions)");
+    // The distributed drivers build per-rank solvers over per-rank
+    // subdomain meshes; a global pre-assembled operator has no meaning
+    // there and silently ignoring the knob would misreport the run.
+    require(execution.preassembly == snap::PreassemblyMode::None,
+            "execution: preassembly requires a single-domain run "
+            "(decomposition px * py == 1)");
+  }
   // The per-spec (setter) and cross-spec checks of the builder layer.
   builder().validate();
 }
@@ -418,6 +425,9 @@ class Binder {
       x.solver =
           located(deck_, e, [&] { return linalg::solver_from_string(e.value); });
     else if (e.key == "threads") x.num_threads = get_int(e);
+    else if (e.key == "preassembly")
+      x.preassembly = located(
+          deck_, e, [&] { return snap::preassembly_from_string(e.value); });
     else if (e.key == "time_solve") x.time_solve = get_bool(e);
     else return false;
     return true;
@@ -588,6 +598,7 @@ std::string write_deck(const RunConfig& config) {
   w.entry("scheme", snap::to_string(x.scheme));
   w.entry("solver", linalg::to_string(x.solver));
   w.entry("threads", x.num_threads);
+  w.entry("preassembly", snap::to_string(x.preassembly));
   w.entry("time_solve", x.time_solve);
 
   if (config.mode == RunMode::Time || !(config.time == TimeSpec{})) {

@@ -164,32 +164,29 @@ void Assembler::process(AssemblyContext& ctx, const SweepState& state,
                         bool atomic_phi, bool time_solve) const {
   const int n = disc_->num_nodes();
   assemble_rhs(ctx, state, oct, a, e, g, omega);
-  double* rhs = ctx.rhs.data();
 
+  const double* psi;
   if (state.pre != nullptr) {
-    state.pre->apply(ctx, oct, a, e, g);
+    psi = state.pre->apply(ctx, oct, a, e, g);
   } else {
+    double* rhs = ctx.rhs.data();
     assemble_matrix(ctx.a.data(), e, g, omega);
-    if (time_solve) {
-      ctx.solve_watch.start();
-      linalg::solve_in_place(solver, ctx.a.view(), {rhs, ctx.rhs.size()},
-                             ctx.workspace);
-      ctx.solve_seconds += ctx.solve_watch.peek();
-    } else {
-      linalg::solve_in_place(solver, ctx.a.view(), {rhs, ctx.rhs.size()},
-                             ctx.workspace);
-    }
+    if (time_solve) ctx.solve_watch.start();
+    linalg::solve_in_place(solver, ctx.a.view(), {rhs, ctx.rhs.size()},
+                           ctx.workspace);
+    if (time_solve) ctx.solve_seconds += ctx.solve_watch.peek();
+    psi = rhs;
   }
 
   double* out = state.psi->at(oct, a, e, g);
 #pragma omp simd
-  for (int i = 0; i < n; ++i) out[i] = rhs[i];
+  for (int i = 0; i < n; ++i) out[i] = psi[i];
 
   double* ph = state.phi->at(e, g);
   if (atomic_phi) {
     for (int i = 0; i < n; ++i) {
 #pragma omp atomic
-      ph[i] += weight * rhs[i];
+      ph[i] += weight * psi[i];
     }
     if (state.phi_hi != nullptr) {
       for (int m = 1; m < state.moment_count; ++m) {
@@ -197,19 +194,19 @@ void Assembler::process(AssemblyContext& ctx, const SweepState& state,
         double* pm = (*state.phi_hi)[m - 1].at(e, g);
         for (int i = 0; i < n; ++i) {
 #pragma omp atomic
-          pm[i] += c * rhs[i];
+          pm[i] += c * psi[i];
         }
       }
     }
   } else {
 #pragma omp simd
-    for (int i = 0; i < n; ++i) ph[i] += weight * rhs[i];
+    for (int i = 0; i < n; ++i) ph[i] += weight * psi[i];
     if (state.phi_hi != nullptr) {
       for (int m = 1; m < state.moment_count; ++m) {
         const double c = weight * state.ylm_acc[m];
         double* pm = (*state.phi_hi)[m - 1].at(e, g);
 #pragma omp simd
-        for (int i = 0; i < n; ++i) pm[i] += c * rhs[i];
+        for (int i = 0; i < n; ++i) pm[i] += c * psi[i];
       }
     }
   }

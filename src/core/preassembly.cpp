@@ -52,8 +52,8 @@ PreassembledOperator::PreassembledOperator(const Assembler& assembler,
   }
 }
 
-void PreassembledOperator::apply(AssemblyContext& ctx, int oct, int a, int e,
-                                 int g) const {
+const double* PreassembledOperator::apply(AssemblyContext& ctx, int oct,
+                                          int a, int e, int g) const {
   const std::size_t idx = index(oct, a, e, g);
   const double* stored = &mats_(idx, 0);
   double* rhs = ctx.rhs.data();
@@ -62,14 +62,21 @@ void PreassembledOperator::apply(AssemblyContext& ctx, int oct, int a, int e,
         linalg::ConstMatrixView(stored, n_, n_),
         {&pivots_(idx, 0), static_cast<std::size_t>(n_)},
         {rhs, static_cast<std::size_t>(n_)});
-  } else {
-    double* tmp = ctx.qtmp.data();  // reuse staging scratch for the matvec
-    linalg::matvec(linalg::ConstMatrixView(stored, n_, n_),
-                   {rhs, static_cast<std::size_t>(n_)},
-                   {tmp, static_cast<std::size_t>(n_)});
-#pragma omp simd
-    for (int i = 0; i < n_; ++i) rhs[i] = tmp[i];
+    return rhs;
   }
+  // ExplicitInverse: psi = A^{-1} b, one dense matvec over the contiguous
+  // stored inverse into the staging scratch (left there — the caller reads
+  // the result row directly instead of paying a copy back into rhs).
+  double* out = ctx.qtmp.data();
+  const int n = n_;
+  for (int i = 0; i < n; ++i) {
+    const double* row = stored + static_cast<std::size_t>(i) * n;
+    double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+    for (int j = 0; j < n; ++j) acc += row[j] * rhs[j];
+    out[i] = acc;
+  }
+  return out;
 }
 
 std::size_t PreassembledOperator::bytes() const {

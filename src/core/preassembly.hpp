@@ -20,12 +20,23 @@ class PreassembledOperator {
 
   PreassembledOperator(const Assembler& assembler, Mode mode);
 
-  /// Solve in place: ctx.rhs holds b on entry and psi on return.
-  void apply(AssemblyContext& ctx, int oct, int a, int e, int g) const;
+  /// Solve the system for ctx.rhs and return a pointer to the solution.
+  /// FactoredLu solves in place (returns ctx.rhs); ExplicitInverse runs a
+  /// contiguous matvec into ctx.qtmp and returns that — no copy-back, the
+  /// caller scatters psi/phi straight from the returned row.
+  const double* apply(AssemblyContext& ctx, int oct, int a, int e,
+                      int g) const;
 
   [[nodiscard]] Mode mode() const { return mode_; }
   /// Total storage, the memory-footprint cost the paper warns about.
   [[nodiscard]] std::size_t bytes() const;
+
+  // Dimensions of the discretisation the operator was built for, so a
+  // shared operator can be validated before injection into another solver.
+  [[nodiscard]] int nang() const { return nang_; }
+  [[nodiscard]] int num_elements() const { return ne_; }
+  [[nodiscard]] int num_groups() const { return ng_; }
+  [[nodiscard]] int num_nodes() const { return n_; }
 
   [[nodiscard]] static std::string to_string(Mode mode) {
     return mode == Mode::FactoredLu ? "factored-lu" : "explicit-inverse";

@@ -2,8 +2,11 @@
 
 #include <omp.h>
 
+#include <algorithm>
+
 #include "angular/harmonics.hpp"
 #include "util/assert.hpp"
+#include "util/threads.hpp"
 #include "util/timer.hpp"
 
 namespace unsnap::core {
@@ -14,7 +17,13 @@ Sweeper::Sweeper(const Assembler& assembler, SweepConfig config)
   require(config_.nmom >= 1, "SweepConfig: nmom must be positive");
   const int n = assembler.discretization().num_nodes();
   const int nf = assembler.discretization().nodes_per_face();
-  contexts_.resize(static_cast<std::size_t>(omp_get_max_threads()));
+  // Size the per-thread scratch from a stable upper bound, not just the
+  // current omp_get_max_threads(): callers may raise the OpenMP thread
+  // count after construction, and contexts_[omp_get_thread_num()] must
+  // never index out of bounds (ensure_contexts() re-checks per sweep as a
+  // backstop for counts above even the hardware concurrency).
+  contexts_.resize(static_cast<std::size_t>(
+      std::max(omp_get_max_threads(), util::hardware_threads())));
   for (auto& ctx : contexts_) ctx.resize(n, nf);
 
   if (config_.nmom > 1) {
@@ -140,6 +149,28 @@ void Sweeper::sweep_octant_batched(const SweepState& state, int oct) {
   for (const std::vector<int>& batch : schedules.batches(oct)) {
     const sweep::SweepSchedule& schedule = schedules.get(oct, batch[0]);
     const int na = static_cast<int>(batch.size());
+    // Build the per-angle table once per batch: the SweepState copy (with
+    // schedule and ylm rows bound), direction and weight of every batched
+    // angle. The hot element loop below then just walks the table —
+    // without this, each of the |bucket| x |batch| inner iterations
+    // re-copied the SweepState and re-derived the quadrature lookups.
+    batch_angles_.clear();
+    batch_angles_.reserve(static_cast<std::size_t>(na));
+    for (int k = 0; k < na; ++k) {
+      const int a = batch[k];
+      BatchAngle ba;
+      ba.state = state;  // per-angle coefficient rows
+      ba.state.schedule = &schedule;
+      if (config_.nmom > 1) {
+        ba.state.moment_count = config_.nmom * config_.nmom;
+        ba.state.ylm_acc = &ylm_acc_(oct, a, 0);
+        ba.state.ylm_src = &ylm_src_(oct, a, 0);
+      }
+      ba.omega = disc.quadrature().direction(oct, a);
+      ba.weight = disc.quadrature().weight(a);
+      ba.a = a;
+      batch_angles_.push_back(ba);
+    }
     for (int b = 0; b < schedule.num_buckets(); ++b) {
       const std::span<const int> bucket = schedule.bucket(b);
       const int nb = static_cast<int>(bucket.size());
@@ -147,20 +178,10 @@ void Sweeper::sweep_octant_batched(const SweepState& state, int oct) {
       for (int i = 0; i < nb; ++i) {
         AssemblyContext& ctx = contexts_[omp_get_thread_num()];
         const int e = bucket[i];
-        for (int k = 0; k < na; ++k) {
-          const int a = batch[k];
-          SweepState local = state;  // per-angle coefficient rows
-          local.schedule = &schedule;
-          if (config_.nmom > 1) {
-            local.moment_count = config_.nmom * config_.nmom;
-            local.ylm_acc = &ylm_acc_(oct, a, 0);
-            local.ylm_src = &ylm_src_(oct, a, 0);
-          }
-          const Vec3 omega = disc.quadrature().direction(oct, a);
-          const double weight = disc.quadrature().weight(a);
+        for (const BatchAngle& ba : batch_angles_) {
           for (int g = 0; g < ng; ++g)
-            assembler.process(ctx, local, oct, a, e, g, omega, weight,
-                              solver, false, time_solve);
+            assembler.process(ctx, ba.state, oct, ba.a, e, g, ba.omega,
+                              ba.weight, solver, false, time_solve);
         }
       }
     }
@@ -199,9 +220,20 @@ void Sweeper::sweep_octant_angles_atomic(const SweepState& state, int oct) {
   }
 }
 
+void Sweeper::ensure_contexts() {
+  const auto needed = static_cast<std::size_t>(omp_get_max_threads());
+  if (needed <= contexts_.size()) return;
+  const int n = assembler_->discretization().num_nodes();
+  const int nf = assembler_->discretization().nodes_per_face();
+  contexts_.resize(needed);
+  for (auto& ctx : contexts_)
+    if (ctx.rhs.size() != static_cast<std::size_t>(n)) ctx.resize(n, nf);
+}
+
 void Sweeper::sweep_begin(SweepState& state) {
   UNSNAP_ASSERT(state.psi != nullptr && state.phi != nullptr &&
                 state.qin != nullptr);
+  ensure_contexts();
   state.phi->fill(0.0);
   if (state.phi_hi != nullptr)
     for (auto& field : *state.phi_hi) field.fill(0.0);

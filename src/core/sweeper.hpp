@@ -52,9 +52,20 @@ class Sweeper {
   [[nodiscard]] const SweepConfig& config() const { return config_; }
 
  private:
+  /// Everything the batched kernel needs per batched angle, precomputed
+  /// once per batch outside the parallel region: the angle's SweepState
+  /// (schedule + ylm rows bound), its direction and quadrature weight.
+  struct BatchAngle {
+    SweepState state;
+    Vec3 omega{};
+    double weight = 0.0;
+    int a = 0;
+  };
+
   const Assembler* assembler_;
   SweepConfig config_;
   std::vector<AssemblyContext> contexts_;  // one per OpenMP thread
+  std::vector<BatchAngle> batch_angles_;   // per-batch scratch (AngleBatch)
   double sweep_seconds_ = 0.0;
   double solve_seconds_ = 0.0;
   /// Spherical-harmonic coefficient tables per (octant, angle):
@@ -65,6 +76,10 @@ class Sweeper {
   void sweep_angle(SweepState state, int oct, int a);
   void sweep_octant_angles_atomic(const SweepState& state, int oct);
   void sweep_octant_batched(const SweepState& state, int oct);
+  /// Grow the per-thread scratch if the OpenMP thread count was raised
+  /// after construction (contexts_[omp_get_thread_num()] must never be
+  /// out of bounds).
+  void ensure_contexts();
 };
 
 }  // namespace unsnap::core

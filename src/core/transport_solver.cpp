@@ -297,10 +297,23 @@ AngularFlux& TransportSolver::angular_source() {
 }
 
 void TransportSolver::enable_preassembly(PreassembledOperator::Mode mode) {
-  pre_ = std::make_unique<PreassembledOperator>(assembler_, mode);
+  pre_ = std::make_shared<const PreassembledOperator>(assembler_, mode);
 }
 
 void TransportSolver::disable_preassembly() { pre_.reset(); }
+
+void TransportSolver::set_preassembly(
+    std::shared_ptr<const PreassembledOperator> pre) {
+  if (pre != nullptr) {
+    require(pre->nang() == disc_->nang() &&
+                pre->num_elements() == disc_->num_elements() &&
+                pre->num_groups() == problem_.xs.ng &&
+                pre->num_nodes() == disc_->num_nodes(),
+            "set_preassembly: operator dimensions do not match this "
+            "solver's discretisation");
+  }
+  pre_ = std::move(pre);
+}
 
 BalanceReport TransportSolver::balance() const {
   return compute_balance(*disc_, problem_, psi_, phi_,

@@ -123,8 +123,19 @@ class TransportSolver {
   /// Switch the sweep kernel to pre-assembled operators (paper §IV-B-1).
   void enable_preassembly(PreassembledOperator::Mode mode);
   void disable_preassembly();
+  /// Adopt an operator built by another solver over the same
+  /// discretisation/problem (the daemon's lowering cache injects here so
+  /// digest-identical submissions skip factorization). Dimensions are
+  /// checked; a null pointer disables preassembly.
+  void set_preassembly(std::shared_ptr<const PreassembledOperator> pre);
   [[nodiscard]] const PreassembledOperator* preassembly() const {
     return pre_.get();
+  }
+  /// Shared handle for caching the built operator alongside the
+  /// discretisation (what the serve layer stores after a cold run).
+  [[nodiscard]] std::shared_ptr<const PreassembledOperator>
+  shared_preassembly() const {
+    return pre_;
   }
 
   [[nodiscard]] BalanceReport balance() const;
@@ -159,7 +170,7 @@ class TransportSolver {
   /// schemes and thread counts.
   LagSnapshot lag_;
   std::unique_ptr<AngularFlux> qang_;
-  std::unique_ptr<PreassembledOperator> pre_;
+  std::shared_ptr<const PreassembledOperator> pre_;
   IterationObserver* observer_ = nullptr;
   double assemble_solve_seconds_ = 0.0;
   double solve_seconds_ = 0.0;

@@ -34,34 +34,34 @@ std::string digest_hex(std::uint64_t digest) {
 
 LoweringCache::LoweringCache(std::size_t capacity) : capacity_(capacity) {}
 
-std::shared_ptr<const core::Discretization> LoweringCache::lookup(
-    std::uint64_t digest, const std::string& key) {
+std::optional<Lowering> LoweringCache::lookup(std::uint64_t digest,
+                                              const std::string& key) {
   std::lock_guard lock(mu_);
   const auto it = index_.find(digest);
   // A digest match with a different deck text is an FNV-1a collision:
   // treat it as a miss so a colliding submission can never be handed
-  // another problem's discretization.
+  // another problem's lowering.
   if (it == index_.end() || it->second->key != key) {
     ++stats_.misses;
-    return nullptr;
+    return std::nullopt;
   }
   ++stats_.hits;
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-  return it->second->disc;
+  return it->second->lowering;
 }
 
 void LoweringCache::insert(std::uint64_t digest, const std::string& key,
-                           std::shared_ptr<const core::Discretization> disc) {
+                           Lowering lowering) {
   std::lock_guard lock(mu_);
   const auto it = index_.find(digest);
   if (it != index_.end()) {
     if (it->second->key != key) ++stats_.evictions;  // collision: replace
     it->second->key = key;
-    it->second->disc = std::move(disc);
+    it->second->lowering = std::move(lowering);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.push_front(Entry{digest, key, std::move(disc)});
+  lru_.push_front(Entry{digest, key, std::move(lowering)});
   index_[digest] = lru_.begin();
   if (lru_.size() > capacity_) {
     index_.erase(lru_.back().digest);

@@ -4,11 +4,16 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "api/run_config.hpp"
 #include "core/discretization.hpp"
+
+namespace unsnap::core {
+class PreassembledOperator;
+}
 
 namespace unsnap::serve {
 
@@ -26,19 +31,29 @@ namespace unsnap::serve {
 /// 16-hex-digit rendering used in protocol messages and logs.
 [[nodiscard]] std::string digest_hex(std::uint64_t digest);
 
-/// Thread-safe LRU cache of lowered problems: the immutable, shareable
-/// setup product (core::Discretization — mesh, element integrals,
-/// quadrature and the full sweep-schedule set) keyed by deck digest.
-/// Repeated submissions of the same problem family skip meshing and
-/// schedule construction entirely; the solve itself still runs, so a
-/// cache hit changes setup time only, never results (the golden contract:
-/// hit and miss produce bitwise-identical flux digests).
+/// The immutable, shareable setup product of one normalized deck: the
+/// discretisation (mesh, element integrals, quadrature and the full
+/// sweep-schedule set) plus, when the deck asked for `[execution]
+/// preassembly`, the pre-assembled per-(angle, element, group) operators —
+/// by far the most expensive part of setup on preassembled decks.
+struct Lowering {
+  std::shared_ptr<const core::Discretization> disc;
+  /// Null when the deck ran with preassembly = none (or never solved).
+  std::shared_ptr<const core::PreassembledOperator> pre;
+};
+
+/// Thread-safe LRU cache of lowered problems keyed by deck digest.
+/// Repeated submissions of the same problem family skip meshing, schedule
+/// construction and (for preassembled decks) the whole factorization
+/// pass; the solve itself still runs, so a cache hit changes setup time
+/// only, never results (the golden contract: hit and miss produce
+/// bitwise-identical flux digests).
 ///
 /// The digest only routes to an entry; each entry also stores the full
 /// normalized deck text, compared on every lookup. A 64-bit FNV-1a
 /// collision (accidental, or crafted by a hostile local client) therefore
 /// degrades to a cache miss instead of silently reusing the wrong
-/// problem's discretization.
+/// problem's lowering.
 class LoweringCache {
  public:
   /// `capacity` entries; least-recently-used beyond that are evicted.
@@ -51,17 +66,17 @@ class LoweringCache {
     std::size_t entries = 0;
   };
 
-  /// nullptr on miss (counted); a hit refreshes LRU recency. An entry
+  /// nullopt on miss (counted); a hit refreshes LRU recency. An entry
   /// under `digest` whose stored deck text differs from `key` is a miss
   /// (digest collision), never a hit.
-  [[nodiscard]] std::shared_ptr<const core::Discretization> lookup(
-      std::uint64_t digest, const std::string& key);
+  [[nodiscard]] std::optional<Lowering> lookup(std::uint64_t digest,
+                                               const std::string& key);
 
   /// Insert (or refresh) the lowering for a digest + normalized deck. A
   /// colliding entry (same digest, different deck) is replaced — counted
   /// as an eviction.
   void insert(std::uint64_t digest, const std::string& key,
-              std::shared_ptr<const core::Discretization> disc);
+              Lowering lowering);
 
   [[nodiscard]] Stats stats() const;
 
@@ -69,7 +84,7 @@ class LoweringCache {
   struct Entry {
     std::uint64_t digest;
     std::string key;  // normalized deck text, verified on lookup
-    std::shared_ptr<const core::Discretization> disc;
+    Lowering lowering;
   };
 
   const std::size_t capacity_;

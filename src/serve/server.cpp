@@ -398,15 +398,19 @@ void Server::execute_job(Job& job) {
                                job.config.decomposition.py ==
                            1;
     if (cacheable) {
-      if (auto disc = cache_.lookup(job.digest, job.normalized)) {
-        run.set_shared_discretization(std::move(disc));
+      if (auto lowering = cache_.lookup(job.digest, job.normalized)) {
+        run.set_shared_discretization(std::move(lowering->disc));
+        // Preassembled decks also skip the whole factorization pass —
+        // Run only consumes the operator when the config's mode matches.
+        run.set_shared_preassembly(std::move(lowering->pre));
         job.cache_hit.store(true);
       }
     }
     api::RunRecord record = run.execute();
     if (cacheable && !job.cache_hit.load())
       if (auto disc = run.shared_discretization())
-        cache_.insert(job.digest, job.normalized, std::move(disc));
+        cache_.insert(job.digest, job.normalized,
+                      Lowering{std::move(disc), run.shared_preassembly()});
     job.run_seconds = seconds_since(t0);
     log("done " + job.id + (job.cache_hit.load() ? " (cache hit)" : "") +
         " in " + std::to_string(job.run_seconds) + " s");

@@ -41,6 +41,24 @@ std::string to_string(SweepExchange exchange) {
   return {};
 }
 
+std::string to_string(PreassemblyMode mode) {
+  switch (mode) {
+    case PreassemblyMode::None: return "none";
+    case PreassemblyMode::FactoredLu: return "factored-lu";
+    case PreassemblyMode::ExplicitInverse: return "explicit-inverse";
+  }
+  UNSNAP_ASSERT(false);
+  return {};
+}
+
+PreassemblyMode preassembly_from_string(const std::string& name) {
+  if (name == "none") return PreassemblyMode::None;
+  if (name == "factored-lu") return PreassemblyMode::FactoredLu;
+  if (name == "explicit-inverse") return PreassemblyMode::ExplicitInverse;
+  throw InvalidInput("unknown preassembly mode '" + name +
+                     "' (expected none, factored-lu or explicit-inverse)");
+}
+
 FluxLayout layout_from_string(const std::string& name) {
   if (name == "aeg") return FluxLayout::AngleElementGroup;
   if (name == "age") return FluxLayout::AngleGroupElement;

@@ -49,6 +49,20 @@ enum class SweepExchange {
   Pipelined,
 };
 
+/// Pre-assembled operator mode (paper §IV-B-1): the per-(angle, element,
+/// group) system matrices depend only on the discretisation and cross
+/// sections, so they can be factored (or explicitly inverted) once up
+/// front and reused every sweep. FactoredLu stores LU factors + pivots
+/// (apply = two triangular solves); ExplicitInverse stores A^{-1} (apply
+/// = one matvec) — faster per solve, but numerically a different rounding
+/// path and double the setup cost. Both trade a large memory footprint
+/// (octants x nang x elements x ng dense matrices) for per-sweep speed.
+enum class PreassemblyMode {
+  None,
+  FactoredLu,
+  ExplicitInverse,
+};
+
 /// Within-group (inner) iteration scheme. Source iteration is SNAP's
 /// plain fixed-point sweep loop; its error contracts by the scattering
 /// ratio c per sweep, so it stalls on diffusive problems (c -> 1). Gmres
@@ -63,8 +77,12 @@ enum class IterationScheme {
 [[nodiscard]] std::string to_string(ConcurrencyScheme scheme);
 [[nodiscard]] std::string to_string(IterationScheme scheme);
 [[nodiscard]] std::string to_string(SweepExchange exchange);
+[[nodiscard]] std::string to_string(PreassemblyMode mode);
 [[nodiscard]] FluxLayout layout_from_string(const std::string& name);
 [[nodiscard]] ConcurrencyScheme scheme_from_string(const std::string& name);
+/// Accepts "none", "factored-lu" and "explicit-inverse".
+[[nodiscard]] PreassemblyMode preassembly_from_string(
+    const std::string& name);
 /// Accepts "source-iteration" (alias "si") and "gmres".
 [[nodiscard]] IterationScheme iteration_scheme_from_string(
     const std::string& name);
@@ -146,6 +164,12 @@ struct Input {
   /// behaviour), lag-greedy (legacy stall-time heuristic) or lag-scc
   /// (Tarjan SCC condensation with per-component feedback-arc breaking).
   sweep::CycleStrategy cycle_strategy = sweep::CycleStrategy::Abort;
+  /// Pre-assembled operator mode for the sweep kernel. Consumed by the
+  /// api::Run facade (and explicit TransportSolver::enable_preassembly
+  /// callers); the TransportSolver constructor itself leaves the kernel
+  /// on the assemble-and-solve path so a prebuilt operator can be
+  /// injected (the daemon's lowering cache) without a wasted build.
+  PreassemblyMode preassembly = PreassemblyMode::None;
   bool validate_mesh = false;
   /// Record pure-solve time inside the kernel (Table II's "% in solve").
   /// Off by default: the per-solve timer calls perturb the measurement,

@@ -109,6 +109,8 @@ TEST(DeckBinding, GoldenMalformedDeckMessages) {
   // Bad enum value, with line and value column.
   expect_bind_error("[execution]\nlayout = eag\n",
                     "t.inp:2:10: unknown layout 'eag'");
+  expect_bind_error("[execution]\npreassembly = lu\n",
+                    "t.inp:2:15: unknown preassembly mode 'lu'");
   expect_bind_error("[run]\nmode = schedules\n",
                     "t.inp:2:8: unknown run mode 'schedules'");
   // Type mismatches, with line and value column.
@@ -133,6 +135,10 @@ TEST(DeckBinding, GoldenMalformedDeckMessages) {
   expect_bind_error("[materials]\nregion = 0 -inf inf -inf inf -inf inf\n",
                     "t.inp: materials: region/scattering lists need a sigt "
                     "list");
+  expect_bind_error("[decomposition]\npx = 2\n"
+                    "[execution]\npreassembly = factored-lu\n",
+                    "t.inp: execution: preassembly requires a single-domain "
+                    "run");
 }
 
 TEST(DeckBinding, RepeatedRegionsAllowed) {
@@ -200,6 +206,7 @@ TEST(DeckRoundTrip, CustomEverything) {
   // 1 (not the default 0) so the round trip exercises the key while
   // staying within any machine's hardware-thread validation limit.
   config.execution.num_threads = 1;
+  config.execution.preassembly = snap::PreassemblyMode::ExplicitInverse;
   config.time = {.dt = 0.125, .steps = 5, .initial = 2.0,
                  .zero_source = false};
   config.output.verbose = true;

@@ -16,6 +16,8 @@
 
 #include "api/run.hpp"
 #include "api/run_config.hpp"
+#include "core/preassembly.hpp"
+#include "core/transport_solver.hpp"
 #include "serve/cache.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
@@ -95,15 +97,18 @@ std::shared_ptr<const core::Discretization> lower(const std::string& deck) {
 TEST(LoweringCache, HitMissAndLruEviction) {
   serve::LoweringCache cache(2);
   const auto d1 = lower(tiny_deck(4, 2));
-  EXPECT_EQ(cache.lookup(1, "k1"), nullptr);  // miss
-  cache.insert(1, "k1", d1);
-  EXPECT_EQ(cache.lookup(1, "k1"), d1);  // hit
-  cache.insert(2, "k2", d1);
-  (void)cache.lookup(1, "k1");  // refresh 1: now 2 is least recent
-  cache.insert(3, "k3", d1);    // evicts 2
-  EXPECT_NE(cache.lookup(1, "k1"), nullptr);
-  EXPECT_EQ(cache.lookup(2, "k2"), nullptr);
-  EXPECT_NE(cache.lookup(3, "k3"), nullptr);
+  EXPECT_FALSE(cache.lookup(1, "k1").has_value());  // miss
+  cache.insert(1, "k1", {d1, nullptr});
+  const auto hit = cache.lookup(1, "k1");  // hit
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->disc, d1);
+  EXPECT_EQ(hit->pre, nullptr);
+  cache.insert(2, "k2", {d1, nullptr});
+  (void)cache.lookup(1, "k1");       // refresh 1: now 2 is least recent
+  cache.insert(3, "k3", {d1, nullptr});  // evicts 2
+  EXPECT_TRUE(cache.lookup(1, "k1").has_value());
+  EXPECT_FALSE(cache.lookup(2, "k2").has_value());
+  EXPECT_TRUE(cache.lookup(3, "k3").has_value());
   // Counted lookups: miss(1), hit(1), refresh hit(1), post-eviction
   // probes hit(1) + miss(2) + hit(3)... -> 4 hits, 2 misses in total.
   const serve::LoweringCache::Stats stats = cache.stats();
@@ -117,19 +122,42 @@ TEST(LoweringCache, DigestCollisionIsAMissNeverAWrongHit) {
   serve::LoweringCache cache(2);
   const auto d1 = lower(tiny_deck(4, 2));
   const auto d2 = lower(tiny_deck(5, 2));
-  cache.insert(7, "deck-a", d1);
+  cache.insert(7, "deck-a", {d1, nullptr});
   // Same digest, different normalized deck (an FNV-1a collision): the
   // stored key is verified on lookup, so this is a miss — the wrong
-  // discretization is never handed out. The original entry is intact.
-  EXPECT_EQ(cache.lookup(7, "deck-b"), nullptr);
-  EXPECT_EQ(cache.lookup(7, "deck-a"), d1);
+  // lowering is never handed out. The original entry is intact.
+  EXPECT_FALSE(cache.lookup(7, "deck-b").has_value());
+  EXPECT_EQ(cache.lookup(7, "deck-a")->disc, d1);
   // Inserting the collider replaces the entry (counted as an eviction).
-  cache.insert(7, "deck-b", d2);
-  EXPECT_EQ(cache.lookup(7, "deck-a"), nullptr);
-  EXPECT_EQ(cache.lookup(7, "deck-b"), d2);
+  cache.insert(7, "deck-b", {d2, nullptr});
+  EXPECT_FALSE(cache.lookup(7, "deck-a").has_value());
+  EXPECT_EQ(cache.lookup(7, "deck-b")->disc, d2);
   const serve::LoweringCache::Stats stats = cache.stats();
   EXPECT_EQ(stats.evictions, 1);
   EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(LoweringCache, BundleCarriesThePreassembledOperator) {
+  serve::LoweringCache cache(1);
+  const auto config = api::read_deck_text(tiny_deck(4, 2));
+  const auto disc = lower(tiny_deck(4, 2));
+  core::TransportSolver solver(disc, config.builder().to_input());
+  solver.enable_preassembly(core::PreassembledOperator::Mode::FactoredLu);
+  const auto pre = solver.shared_preassembly();
+  ASSERT_NE(pre, nullptr);
+
+  cache.insert(1, "k1", {disc, pre});
+  const auto hit = cache.lookup(1, "k1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->disc, disc);
+  EXPECT_EQ(hit->pre, pre);  // the exact operator, not a rebuild
+
+  // LRU eviction (capacity 1) releases the bundle's reference to the
+  // operator along with the discretisation's.
+  const long before = pre.use_count();
+  cache.insert(2, "k2", {disc, nullptr});
+  EXPECT_FALSE(cache.lookup(1, "k1").has_value());
+  EXPECT_LT(pre.use_count(), before);
 }
 
 // --- scheduler -------------------------------------------------------------

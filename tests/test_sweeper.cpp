@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <omp.h>
+
 #include <cmath>
+#include <vector>
 
 #include "core/transport_solver.hpp"
+#include "util/threads.hpp"
 
 namespace unsnap::core {
 namespace {
@@ -121,6 +125,30 @@ TEST(Sweeper, SolveTimerZeroWhenDisabled) {
   input.time_solve = false;
   TransportSolver solver(input);
   EXPECT_DOUBLE_EQ(solver.run().solve_seconds, 0.0);
+}
+
+TEST(Sweeper, SurvivesThreadCountRaisedAfterConstruction) {
+  // The per-thread scratch is sized at construction; raising the OpenMP
+  // thread count afterwards (even past the hardware concurrency) must
+  // grow it rather than index contexts_[] out of bounds. The sanitizer
+  // job turns a regression here into a hard failure; everywhere else the
+  // flux comparison against a pre-raise reference run pins the answer.
+  const int before = omp_get_max_threads();
+  snap::Input input = sweep_input();
+  input.num_threads = 1;
+  TransportSolver reference(input);
+  reference.run();
+  const std::vector<double> expected(
+      reference.scalar_flux().data(),
+      reference.scalar_flux().data() + reference.scalar_flux().size());
+
+  TransportSolver solver(input);  // constructed while omp max threads = 1
+  omp_set_num_threads(util::hardware_threads() + 3);
+  solver.run();
+  const double* flux = solver.scalar_flux().data();
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_NEAR(flux[i], expected[i], 1e-12 * (1.0 + std::fabs(expected[i])));
+  omp_set_num_threads(before);
 }
 
 TEST(Sweeper, ScalarFluxIsWeightedAngularSum) {

@@ -13,6 +13,11 @@ Also accepts unsnapd result envelopes (`unsnap-client await ... --json`):
 a file whose top level carries "id"/"state" is checked as an envelope —
 service fields first, then the embedded "record" against the full record
 schema.
+
+Benchmark artifacts (BENCH_*.json: a top-level "bench" description with
+a "runs" array of embedded records) are checked record by record, plus a
+provenance gate: a committed benchmark file must come from a clean
+build, so any "-dirty" git describe anywhere in the file is a failure.
 """
 
 import json
@@ -77,12 +82,26 @@ def check_record(record, path):
         "build_type": "str", "compiler": "str",
     }, f"{path}.unsnap")
 
-    check_fields(record.get("configuration", {}), {
+    configuration = record.get("configuration", {})
+    check_fields(configuration, {
         "dims": "numlist", "order": "int", "nodes_per_element": "int",
         "elements": "int", "nang": "int", "ng": "int", "nmom": "int",
         "twist": "num", "layout": "str", "scheme": "str", "solver": "str",
-        "inners": "str", "unique_schedules": "int", "directions": "int",
+        "inners": "str", "preassembly": "str", "preassembly_bytes": "int",
+        "unique_schedules": "int", "directions": "int",
     }, f"{path}.configuration")
+    preassembly = configuration.get("preassembly")
+    expect(preassembly in ("none", "factored-lu", "explicit-inverse", None),
+           f"{path}.configuration.preassembly",
+           f"unknown preassembly mode {preassembly!r}")
+    if preassembly == "none":
+        expect(configuration.get("preassembly_bytes") == 0,
+               f"{path}.configuration.preassembly_bytes",
+               "mode none must not report stored operators")
+    elif preassembly is not None:
+        expect(configuration.get("preassembly_bytes", 0) > 0,
+               f"{path}.configuration.preassembly_bytes",
+               f"mode {preassembly} requires a non-zero footprint")
 
     if "schedule" in record:
         check_fields(record["schedule"], {
@@ -187,6 +206,28 @@ def check_serve_envelope(envelope, path):
                f"state {state} requires an error field")
 
 
+def check_bench_file(bench, path):
+    """A BENCH_*.json artifact: provenance + a runs array of records."""
+    check_fields(bench, {"bench": "str", "unsnap": "str"}, path)
+    runs = bench.get("runs", [])
+    if expect(isinstance(runs, list) and len(runs) > 0, f"{path}.runs",
+              "expected a non-empty array of embedded records"):
+        for i, record in enumerate(runs):
+            check_record(record, f"{path}.runs[{i}]")
+    # Committed benchmark numbers must be reproducible from the named
+    # commit: a "-dirty" describe means the tree that produced them was
+    # never committed at all.
+    expect("-dirty" not in bench.get("unsnap", ""), f"{path}.unsnap",
+           "benchmark produced by a dirty tree (rebuild from a clean "
+           "checkout and regenerate)")
+    for i, record in enumerate(runs):
+        if isinstance(record, dict):
+            describe = record.get("unsnap", {}).get("git_describe", "")
+            expect("-dirty" not in describe,
+                   f"{path}.runs[{i}].unsnap.git_describe",
+                   "record produced by a dirty tree")
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__.strip())
@@ -200,6 +241,8 @@ def main(argv):
             return 1
         if isinstance(record, dict) and "id" in record and "state" in record:
             check_serve_envelope(record, filename)
+        elif isinstance(record, dict) and "bench" in record:
+            check_bench_file(record, filename)
         else:
             check_record(record, filename)
     if FAILURES:
