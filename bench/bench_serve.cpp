@@ -173,6 +173,27 @@ int main(int argc, char** argv) {
     sample_records.push_back(result.at("record").dump());
   }
 
+  // Daemon-side latency ledger (the obs histograms behind the `stats`
+  // op). Every executed job — the battery plus the probes above — makes
+  // exactly one queue-wait and one run-seconds observation, so the counts
+  // cross-check the client-side tally: a mismatch means jobs ran
+  // unaccounted (or were counted twice) and the benchmark is lying.
+  const util::JsonValue daemon_stats = probe.stats();
+  const util::JsonValue& daemon_latency = daemon_stats.at("latency");
+  const long executed = static_cast<long>(total_runs) + families;
+  const long queue_count =
+      static_cast<long>(daemon_latency.at("queue_wait").get_int("count"));
+  const long run_count =
+      static_cast<long>(daemon_latency.at("run_seconds").get_int("count"));
+  if (queue_count != executed || run_count != executed) {
+    std::fprintf(stderr,
+                 "bench_serve: daemon latency ledger disagrees with the "
+                 "battery: %ld executed, queue_wait.count=%ld, "
+                 "run_seconds.count=%ld\n",
+                 executed, queue_count, run_count);
+    return 1;
+  }
+
   server.stop();
 
   std::vector<double> all;
@@ -235,6 +256,11 @@ int main(int argc, char** argv) {
   json.kv("hit_rate", hit_rate);
   json.kv("entries", static_cast<long>(cache.entries));
   json.end_object();
+  // The daemon's own view of the same battery (queue-wait and in-run
+  // histograms from the stats envelope), count-checked above against the
+  // client-side tally. queue_wait p95 vs latency_s p95 separates "slow
+  // because queued" from "slow because solving" in the trajectory.
+  json.key("daemon_latency_s").raw(daemon_latency.dump());
   // One RunRecord per deck family, same embedding as BENCH_solvers.json.
   json.key("runs").begin_array();
   for (const std::string& record : sample_records) json.raw(record);

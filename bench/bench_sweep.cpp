@@ -10,6 +10,7 @@
 // any layout/scheme/solver/preassembly combination fails the run with a
 // non-zero exit, which is what the sweep-bench-smoke CI job checks.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -19,6 +20,7 @@
 #include "api/run.hpp"
 #include "api/version.hpp"
 #include "bench_common.hpp"
+#include "obs/trace.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -179,6 +181,88 @@ int main(int argc, char** argv) {
                          cell.elements_per_second / 1e6,
                          cell.per_thread / 1e6});
         }
+
+  // --- tracing overhead ---------------------------------------------------
+  // The acceptance bar for the obs layer: enabling the tracer on the most
+  // span-exposed kernel (angle-batch opens one span per thread per bucket)
+  // must stay within ~2% of untraced throughput, measured as the median
+  // over alternating-order traced/untraced pairs.
+  config.execution.layout = kernels[1].layout;
+  config.execution.scheme = kernels[1].scheme;
+  config.execution.solver = solvers[0];
+  config.execution.preassembly = modes[0];
+  config.execution.num_threads = thread_axis.back();
+  // Longer runs than the battery cells: a 2% question cannot be answered
+  // by 20 ms samples on a shared machine, so give the probe enough
+  // sweeps that scheduler noise amortises below the bar being checked.
+  config.iteration.iitm = std::max(cli.get_int("inners") * 16, 64);
+  config.title = "obs-overhead probe";
+  long probe_sweeps = 0;
+  double probe_solves = 0.0;
+  const auto timed_run = [&]() -> double {
+    api::Run run(config);
+    if (shared) run.set_shared_discretization(shared);
+    const api::RunRecord record = run.execute();
+    probe_sweeps = record.iteration->sweeps;
+    probe_solves = static_cast<double>(record.config.elements) *
+                   record.config.directions * record.config.ng *
+                   probe_sweeps;
+    return record.iteration->assemble_solve_seconds;
+  };
+  (void)timed_run();  // warm-up: fault in the probe's working set
+  // Back-to-back pairs, median of the per-pair ratios: clock-speed drift
+  // between reps moves both sides of a pair together, so it cancels out
+  // of the ratio instead of landing on whichever mode ran in the fast
+  // window (which is what min-of-N per side gets wrong). The order
+  // within a pair alternates per rep so a load ramp across the probe
+  // cannot systematically charge one side, and the median over 15 pairs
+  // shrugs off steal-time bursts on shared machines.
+  double untraced_seconds = 1e300, traced_seconds = 1e300;
+  std::vector<double> ratios;
+  const auto traced_run = [&]() -> double {
+    obs::Tracer::instance().enable();
+    const double seconds = timed_run();
+    obs::Tracer::instance().disable();
+    return seconds;
+  };
+  for (int rep = 0; rep < 15; ++rep) {
+    double off, on;
+    if (rep % 2 == 0) {
+      off = timed_run();
+      on = traced_run();
+    } else {
+      on = traced_run();
+      off = timed_run();
+    }
+    untraced_seconds = std::min(untraced_seconds, off);
+    traced_seconds = std::min(traced_seconds, on);
+    ratios.push_back(off / on);
+  }
+  obs::Tracer::instance().clear();
+  std::sort(ratios.begin(), ratios.end());
+  const double median_ratio = ratios[ratios.size() / 2];  // traced/untraced
+  const double untraced_eps =
+      probe_solves / std::max(untraced_seconds, 1e-12);
+  const double traced_eps = untraced_eps * median_ratio;
+  const double overhead_percent = (1.0 - median_ratio) * 100.0;
+  std::printf("obs overhead (%s, %d threads, %ld sweeps): "
+              "%.2f Melem/s untraced, %.2f Melem/s traced (%+.2f%%)\n",
+              config.title.c_str(), thread_axis.back(), probe_sweeps,
+              untraced_eps / 1e6, traced_eps / 1e6, overhead_percent);
+  if (overhead_percent > 2.0)
+    std::fprintf(stderr,
+                 "bench_sweep: WARNING — tracing overhead %.2f%% exceeds "
+                 "the 2%% budget\n",
+                 overhead_percent);
+
+  json.key("obs_overhead").begin_object();
+  json.kv("scheme", snap::to_string(kernels[1].scheme));
+  json.kv("threads", static_cast<long>(thread_axis.back()));
+  json.kv("sweeps", probe_sweeps);
+  json.kv("untraced_elements_per_second", untraced_eps);
+  json.kv("traced_elements_per_second", traced_eps);
+  json.kv("overhead_percent", overhead_percent);
+  json.end_object();
 
   json.key("kernels").begin_array();
   for (const Cell& cell : cells) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/blas_like.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
 
@@ -130,6 +131,7 @@ core::IterationResult run_gmres(core::TransportSolver& solver,
 
     const LinearOperator op = [&](std::span<const double> v,
                                   std::span<double> y) {
+      OBS_SPAN("gmres.apply", "outer", outer);
       scatter_flux(solver, v);
       solver.update_inner_source();
       sweep_frozen();

@@ -10,6 +10,7 @@
 #include "api/run_config.hpp"
 #include "api/scenario.hpp"
 #include "api/version.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace unsnap::api {
@@ -21,8 +22,11 @@ void print_usage() {
       "unsnap — declarative scenario and deck driver for the UnSNAP "
       "mini-app\n\n"
       "usage:\n"
-      "  unsnap --deck run.inp [--json out.json] [--quiet] [--verbose]\n"
+      "  unsnap --deck run.inp [--json out.json] [--trace trace.json]\n"
+      "                        [--quiet] [--verbose]\n"
       "                                     run a SNAP-style input deck\n"
+      "                                     (--trace writes a Chrome-trace\n"
+      "                                     timeline; docs/OBSERVABILITY.md)\n"
       "  unsnap --dump-deck [--deck run.inp]\n"
       "                                     print the (default) deck,\n"
       "                                     normalised, without running\n"
@@ -54,10 +58,22 @@ int run_scenario(const std::string& name,
 struct DeckRequest {
   std::string deck_path;
   std::string json_path;
+  std::string trace_path;  // Chrome-trace export; empty = tracing off
   bool dump_only = false;
   bool quiet = false;
   bool verbose = false;
 };
+
+/// Probe that `path` is creatable/appendable without clobbering it, so a
+/// long solve is not the thing that discovers an unwritable destination.
+void require_writable(const std::string& path, const char* what) {
+  const bool existed = std::filesystem::exists(path);
+  const bool writable = std::ofstream(path, std::ios::app).good();
+  if (!existed && !writable) std::remove(path.c_str());
+  require(writable, std::string("cannot write ") + what + " to '" + path +
+                        "'");
+  if (!existed) std::remove(path.c_str());
+}
 
 int run_deck(const DeckRequest& request) {
   RunConfig config = request.deck_path.empty()
@@ -71,28 +87,46 @@ int run_deck(const DeckRequest& request) {
   if (request.quiet) config.output.report = false;
   if (request.verbose) config.output.verbose = true;
 
-  // Probe the JSON destination up front: a long solve must not be the
+  // Probe the output destinations up front: a long solve must not be the
   // thing that discovers an unwritable path. Append mode leaves an
   // existing file's content alone; a file the probe itself created is
   // removed again so an aborted run leaves nothing behind.
   if (const std::string& path = config.output.json_path;
-      !path.empty() && path != "-") {
-    const bool existed = std::filesystem::exists(path);
-    const bool writable = std::ofstream(path, std::ios::app).good();
-    if (!existed && !writable) std::remove(path.c_str());
-    require(writable, "cannot write JSON to '" + path + "'");
-    if (!existed) std::remove(path.c_str());
-  }
+      !path.empty() && path != "-")
+    require_writable(path, "JSON");
+  if (!request.trace_path.empty())
+    require_writable(request.trace_path, "trace");
 
   // Output hygiene: when the record JSON owns stdout (`--json -`), every
   // human line — progress tracing, the report, the trailing notes — goes
   // to stderr so `unsnap --deck d.inp --json - | jq` always parses.
   std::FILE* log = config.output.json_path == "-" ? stderr : stdout;
 
+  // --trace is a driver concern, not a deck key: the deck describes the
+  // problem, and keeping tracing out of RunConfig keeps traced and
+  // untraced runs byte-identical at the config/digest level (the serve
+  // cache and the golden battery both normalise decks).
+  if (!request.trace_path.empty()) obs::Tracer::instance().enable();
+
   Run run(std::move(config));
   ProgressObserver progress(log);
   if (run.config().output.verbose) run.set_observer(&progress);
   const RunRecord record = run.execute();
+
+  if (!request.trace_path.empty()) {
+    obs::Tracer& tracer = obs::Tracer::instance();
+    tracer.disable();
+    const std::vector<obs::TraceEvent> events = tracer.snapshot();
+    std::ofstream out(request.trace_path);
+    require(out.good(),
+            "cannot write trace to '" + request.trace_path + "'");
+    out << obs::to_chrome_trace(events) << "\n";
+    require(out.good(),
+            "failed writing trace to '" + request.trace_path + "'");
+    std::fprintf(log, "wrote %s (%zu spans, %llu dropped)\n",
+                 request.trace_path.c_str(), events.size(),
+                 static_cast<unsigned long long>(tracer.dropped()));
+  }
 
   if (run.config().output.report) {
     if (run.config().output.verbose) std::fprintf(log, "\n");
@@ -163,6 +197,10 @@ int run_driver(int argc, const char* const* argv) {
         deck_mode = true;
         continue;
       }
+      if (take_value(arg, "--trace", argc, argv, i, deck.trace_path)) {
+        deck_mode = true;
+        continue;
+      }
       if (arg == "--dump-deck") {
         deck.dump_only = true;
         deck_mode = true;
@@ -204,7 +242,7 @@ int run_driver(int argc, const char* const* argv) {
       require(scenario_name.empty(),
               "--deck and --scenario are mutually exclusive");
       require(deck.dump_only || !deck.deck_path.empty(),
-              "--json/--quiet/--verbose need --deck <file>");
+              "--json/--trace/--quiet/--verbose need --deck <file>");
       return run_deck(deck);
     }
     if (scenario_name.empty()) {

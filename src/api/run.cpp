@@ -206,27 +206,46 @@ RunRecord Run::execute() {
   record.deck = write_deck(config_);
   switch (config_.mode) {
     case RunMode::Solve:
-      return config_.decomposition.px * config_.decomposition.py > 1
-                 ? execute_distributed(std::move(record))
-                 : execute_solve(std::move(record));
-    case RunMode::Schedule: return execute_schedule(std::move(record));
-    case RunMode::Mms: return execute_mms(std::move(record));
-    case RunMode::Time: return execute_time(std::move(record));
+      record = config_.decomposition.px * config_.decomposition.py > 1
+                   ? execute_distributed(std::move(record))
+                   : execute_solve(std::move(record));
+      break;
+    case RunMode::Schedule:
+      record = execute_schedule(std::move(record));
+      break;
+    case RunMode::Mms: record = execute_mms(std::move(record)); break;
+    case RunMode::Time: record = execute_time(std::move(record)); break;
   }
-  UNSNAP_ASSERT(false);
+  // Summarise whatever the tracer collected during this execution. Only
+  // when tracing is on: an untraced record must stay byte-identical to
+  // the pre-obs schema (golden comparisons diff the JSON).
+  if (obs::Tracer::enabled()) {
+    const obs::Tracer& tracer = obs::Tracer::instance();
+    record.observability =
+        obs::summarize(tracer.snapshot(), tracer.dropped());
+  }
   return record;
 }
 
 RunRecord Run::execute_solve(RunRecord record) {
-  problem_.emplace(shared_disc_ ? config_.builder().build(shared_disc_)
-                                : config_.builder().build());
-  shared_disc_ = problem_->discretization_ptr();
-  solver_ = problem_->make_solver();
-  configure_preassembly(*solver_);
+  {
+    OBS_SPAN("run.lower");
+    problem_.emplace(shared_disc_ ? config_.builder().build(shared_disc_)
+                                  : config_.builder().build());
+    shared_disc_ = problem_->discretization_ptr();
+    solver_ = problem_->make_solver();
+  }
+  {
+    OBS_SPAN("run.preassembly");
+    configure_preassembly(*solver_);
+  }
   solver_->set_observer(observer_);
   record.config = make_configuration(*solver_);
   record.schedule = make_schedule_stats(*solver_);
-  record.iteration = solver_->run();
+  {
+    OBS_SPAN("run.solve");
+    record.iteration = solver_->run();
+  }
   record.balance = solver_->balance();
   record.flux =
       make_flux_digest(solver_->discretization(), solver_->scalar_flux());
@@ -238,7 +257,10 @@ RunRecord Run::execute_distributed(RunRecord record) {
   const int px = config_.decomposition.px, py = config_.decomposition.py;
   distributed_ = std::make_unique<comm::DistributedSweepSolver>(input, px, py);
   distributed_->set_observer(observer_);
-  const comm::DistributedSweepResult result = distributed_->run();
+  const comm::DistributedSweepResult result = [&] {
+    OBS_SPAN("run.solve");
+    return distributed_->run();
+  }();
 
   record.config = make_configuration_from(input, nullptr);
   record.config.elements = distributed_->global_mesh().num_elements();
@@ -284,17 +306,26 @@ RunRecord Run::execute_schedule(RunRecord record) {
 }
 
 RunRecord Run::execute_mms(RunRecord record) {
-  problem_.emplace(shared_disc_ ? config_.builder().build(shared_disc_)
-                                : config_.builder().build());
-  shared_disc_ = problem_->discretization_ptr();
-  solver_ = problem_->make_solver();
-  configure_preassembly(*solver_);
+  {
+    OBS_SPAN("run.lower");
+    problem_.emplace(shared_disc_ ? config_.builder().build(shared_disc_)
+                                  : config_.builder().build());
+    shared_disc_ = problem_->discretization_ptr();
+    solver_ = problem_->make_solver();
+  }
+  {
+    OBS_SPAN("run.preassembly");
+    configure_preassembly(*solver_);
+  }
   solver_->set_observer(observer_);
   const auto ms = core::ManufacturedSolution::trigonometric();
   core::apply_manufactured(*solver_, ms);
   record.config = make_configuration(*solver_);
   record.schedule = make_schedule_stats(*solver_);
-  record.iteration = solver_->run();
+  {
+    OBS_SPAN("run.solve");
+    record.iteration = solver_->run();
+  }
   record.balance = solver_->balance();
   record.flux =
       make_flux_digest(solver_->discretization(), solver_->scalar_flux());
@@ -304,9 +335,13 @@ RunRecord Run::execute_mms(RunRecord record) {
 
 RunRecord Run::execute_time(RunRecord record) {
   const snap::Input input = config_.builder().to_input();
-  const auto disc = shared_disc_
-                        ? shared_disc_
-                        : std::make_shared<const core::Discretization>(input);
+  OBS_SPAN("run.solve");
+  const auto disc = [&] {
+    OBS_SPAN("run.lower");
+    return shared_disc_
+               ? shared_disc_
+               : std::make_shared<const core::Discretization>(input);
+  }();
   shared_disc_ = disc;
   time_solver_ = std::make_unique<core::TimeDependentSolver>(
       disc, input, core::TimeDependentSolver::snap_velocities(input.ng),
@@ -315,7 +350,10 @@ RunRecord Run::execute_time(RunRecord record) {
   // Valid after construction only: the TimeDependentSolver ctor has
   // already folded 1/(v dt) into sigma_t, and the matrices stay constant
   // across steps, so the operators are factored against the final data.
-  configure_preassembly(inner);
+  {
+    OBS_SPAN("run.preassembly");
+    configure_preassembly(inner);
+  }
   inner.set_observer(observer_);
   if (config_.time.zero_source) inner.problem().qext.fill(0.0);
   time_solver_->set_initial_condition(config_.time.initial);
@@ -483,6 +521,29 @@ std::string to_json(const RunRecord& record) {
   if (record.mms_l2_error) {
     json.key("mms").begin_object();
     json.kv("l2_error", *record.mms_l2_error);
+    json.end_object();
+  }
+
+  if (record.observability) {
+    const obs::TraceSummary& o = *record.observability;
+    json.key("observability").begin_object();
+    json.kv("events", o.events);
+    json.kv("dropped", o.dropped);
+    json.kv("threads", o.threads);
+    json.key("phases").begin_array();
+    for (const obs::PhaseSummary& p : o.phases) {
+      json.begin_object();
+      json.kv("name", p.name);
+      json.kv("count", p.count);
+      json.kv("total_seconds", p.total_seconds);
+      json.kv("min_seconds", p.min_seconds);
+      json.kv("max_seconds", p.max_seconds);
+      json.kv("p50_seconds", p.p50_seconds);
+      json.kv("p95_seconds", p.p95_seconds);
+      json.kv("p99_seconds", p.p99_seconds);
+      json.end_object();
+    }
+    json.end_array();
     json.end_object();
   }
 

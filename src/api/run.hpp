@@ -14,6 +14,7 @@
 #include "core/observer.hpp"
 #include "core/time_dependent.hpp"
 #include "core/transport_solver.hpp"
+#include "obs/trace.hpp"
 
 namespace unsnap::api {
 
@@ -103,6 +104,11 @@ struct RunRecord {
 
   /// Mms mode: L2 error against the manufactured solution.
   std::optional<double> mms_l2_error;
+
+  /// Trace aggregate (per-phase span totals and quantiles) when the run
+  /// executed with the obs tracer enabled (`unsnap --trace`); absent —
+  /// and the record byte-identical to an untraced run — otherwise.
+  std::optional<obs::TraceSummary> observability;
 };
 
 /// JSON serialisation of the whole record (schema checked in CI by

@@ -8,6 +8,7 @@
 #include "linalg/blas_like.hpp"
 #include "mesh/mesh_builder.hpp"
 #include "mesh/mesh_checks.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
 
@@ -288,6 +289,7 @@ DistributedSweepResult DistributedSweepSolver::run_pipelined() {
     const auto drain_upstream = [&](const std::vector<int>& srcs, int oct,
                                     int tag) {
       if (srcs.empty()) return;
+      OBS_SPAN("exchange.wait", "rank", rank, "oct", oct);
       std::vector<std::pair<int, int>> pending;
       pending.reserve(srcs.size());
       for (const int u : srcs) pending.emplace_back(u, tag);
@@ -317,14 +319,17 @@ DistributedSweepResult DistributedSweepSolver::run_pipelined() {
         drain_upstream(g.upstream[static_cast<std::size_t>(rank)], oct,
                        pipe_tag(sweep_index, oct));
         solver->sweep_octant(oct);
-        for (const int d : g.downstream[static_cast<std::size_t>(rank)])
-          send_halo(net, rank, *solver, d, oct, oct + 1,
-                    pipe_tag(sweep_index, oct));
-        if (!frozen)
-          for (const int d :
-               g.lagged_downstream[static_cast<std::size_t>(rank)])
+        {
+          OBS_SPAN("exchange.send", "rank", rank, "oct", oct);
+          for (const int d : g.downstream[static_cast<std::size_t>(rank)])
             send_halo(net, rank, *solver, d, oct, oct + 1,
-                      lag_tag(lag_epoch, oct));
+                      pipe_tag(sweep_index, oct));
+          if (!frozen)
+            for (const int d :
+                 g.lagged_downstream[static_cast<std::size_t>(rank)])
+              send_halo(net, rank, *solver, d, oct, oct + 1,
+                        lag_tag(lag_epoch, oct));
+        }
       }
       solver->sweep_end(frozen);
       ++sweep_index;

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "angular/harmonics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/threads.hpp"
 #include "util/timer.hpp"
@@ -174,14 +175,24 @@ void Sweeper::sweep_octant_batched(const SweepState& state, int oct) {
     for (int b = 0; b < schedule.num_buckets(); ++b) {
       const std::span<const int> bucket = schedule.bucket(b);
       const int nb = static_cast<int>(bucket.size());
-#pragma omp parallel for schedule(static)
-      for (int i = 0; i < nb; ++i) {
+      // Explicit parallel region (not `parallel for`) so every worker can
+      // open its own "sweep.batch" span — the per-thread timeline is the
+      // whole point of the trace. The `for schedule(static)` inside hands
+      // out the identical iteration blocks a combined `parallel for
+      // schedule(static)` would, so flux accumulation order (and thus the
+      // golden digests) is unchanged.
+#pragma omp parallel
+      {
+        OBS_SPAN("sweep.batch", "bucket", b, "elements", nb);
         AssemblyContext& ctx = contexts_[omp_get_thread_num()];
-        const int e = bucket[i];
-        for (const BatchAngle& ba : batch_angles_) {
-          for (int g = 0; g < ng; ++g)
-            assembler.process(ctx, ba.state, oct, ba.a, e, g, ba.omega,
-                              ba.weight, solver, false, time_solve);
+#pragma omp for schedule(static)
+        for (int i = 0; i < nb; ++i) {
+          const int e = bucket[i];
+          for (const BatchAngle& ba : batch_angles_) {
+            for (int g = 0; g < ng; ++g)
+              assembler.process(ctx, ba.state, oct, ba.a, e, g, ba.omega,
+                                ba.weight, solver, false, time_solve);
+          }
         }
       }
     }
@@ -242,6 +253,8 @@ void Sweeper::sweep_begin(SweepState& state) {
 }
 
 void Sweeper::sweep_octant(SweepState& state, int oct) {
+  OBS_SPAN("sweep.octant", "oct", oct, "elements",
+           assembler_->discretization().num_elements());
   Stopwatch watch;
   watch.start();
   const int nang = assembler_->discretization().nang();

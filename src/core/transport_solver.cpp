@@ -4,12 +4,27 @@
 
 #include "accel/inner.hpp"
 #include "mesh/mesh_builder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
 
 namespace unsnap::core {
 
 namespace {
+
+// One observation per full-domain sweep (8 octants), not per element:
+// cheap enough to stay on unconditionally, so `unsnap-client metrics`
+// sees solver activity even for untraced runs.
+void count_sweep(double seconds) {
+  static obs::Counter& total = obs::MetricsRegistry::global().counter(
+      "unsnap_sweeps_total", "Full-domain transport sweeps executed");
+  static obs::Histogram& latency = obs::MetricsRegistry::global().histogram(
+      "unsnap_sweep_seconds", "Wall time of one full-domain sweep",
+      obs::Histogram::latency_bounds());
+  total.inc();
+  latency.observe(seconds);
+}
 
 mesh::HexMesh build_mesh(const snap::Input& input) {
   input.validate();
@@ -120,11 +135,13 @@ SweepState TransportSolver::make_state() {
 }
 
 void TransportSolver::update_outer_source() {
+  OBS_SPAN("source.outer");
   sources_.update_outer(phi_, qout_);
   if (input_.nmom > 1) sources_.update_outer_moments(phi_mom_, qout_mom_);
 }
 
 void TransportSolver::update_inner_source() {
+  OBS_SPAN("source.inner");
   sources_.update_inner(phi_, qout_, qin_);
   if (input_.nmom > 1)
     sources_.update_inner_moments(phi_mom_, qout_mom_, qin_mom_);
@@ -152,20 +169,24 @@ void TransportSolver::capture_lag_snapshot() {
 }
 
 void TransportSolver::sweep() {
+  OBS_SPAN("solver.sweep", "elements", disc_->num_elements());
   phi_old_ = phi_;
   if (lag_.active()) capture_lag_snapshot();
   SweepState state = make_state();
   sweeper_.sweep(state);
   assemble_solve_seconds_ += sweeper_.last_sweep_seconds();
   solve_seconds_ += sweeper_.last_solve_seconds();
+  count_sweep(sweeper_.last_sweep_seconds());
   if (input_.any_reflective()) apply_reflective_boundaries();
 }
 
 void TransportSolver::sweep_frozen_coupling() {
+  OBS_SPAN("solver.sweep", "elements", disc_->num_elements());
   SweepState state = make_state();
   sweeper_.sweep(state);
   assemble_solve_seconds_ += sweeper_.last_sweep_seconds();
   solve_seconds_ += sweeper_.last_solve_seconds();
+  count_sweep(sweeper_.last_sweep_seconds());
 }
 
 void TransportSolver::sweep_begin(bool frozen_coupling) {

@@ -1,0 +1,225 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+#include "util/json.hpp"
+
+namespace unsnap::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  // Bounds must be ascending for lower_bound bucket selection.
+  UNSNAP_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.cumulative.resize(buckets_.size());
+  long running = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    running += buckets_[i].load(std::memory_order_relaxed);
+    snap.cumulative[i] = running;
+  }
+  snap.count = running;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  const double target = q * static_cast<double>(count);
+  for (std::size_t i = 0; i < cumulative.size(); ++i) {
+    if (static_cast<double>(cumulative[i]) < target) continue;
+    const long below = i == 0 ? 0 : cumulative[i - 1];
+    const long in_bucket = cumulative[i] - below;
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    if (i >= bounds.size()) return lo;  // +Inf bucket: report its floor
+    const double hi = bounds[i];
+    if (in_bucket == 0) return hi;
+    const double frac =
+        (target - static_cast<double>(below)) / static_cast<double>(in_bucket);
+    return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+std::vector<double> Histogram::latency_bounds() {
+  return {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+          5e-2, 1e-1,   0.25, 0.5,  1.0,    2.5,  5.0,  10.0,
+          25.0, 50.0,   100.0};
+}
+
+std::vector<double> Histogram::frame_size_bounds() {
+  std::vector<double> bounds;
+  for (double b = 64.0; b <= 16.0 * 1024.0 * 1024.0; b *= 4.0) {
+    bounds.push_back(b);
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::depth_bounds() {
+  return {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0};
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // leaky singleton
+  return *reg;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family(const std::string& name,
+                                                 const std::string& help,
+                                                 Kind kind) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = kind;
+    it->second.help = help;
+  } else {
+    UNSNAP_ASSERT(it->second.kind == kind);
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family(name, help, Kind::kCounter);
+  auto [it, inserted] = fam.counters.try_emplace(labels);
+  if (inserted) it->second = std::make_unique<Counter>();
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family(name, help, Kind::kGauge);
+  auto [it, inserted] = fam.gauges.try_emplace(labels);
+  if (inserted) it->second = std::make_unique<Gauge>();
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<double> bounds,
+                                      const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family(name, help, Kind::kHistogram);
+  auto [it, inserted] = fam.histograms.try_emplace(labels);
+  if (inserted) it->second = std::make_unique<Histogram>(std::move(bounds));
+  return *it->second;
+}
+
+namespace {
+
+std::string render_number(double v) {
+  // Prometheus accepts plain decimal/exponent floats; reuse the writer's
+  // round-trippable rendering but map the JSON-only "null" to +Inf-safe 0.
+  std::string s = util::JsonWriter::number(v);
+  return s == "null" ? "0" : s;
+}
+
+std::string render_bound(double v) {
+  // Bucket bounds are exact configured values, not measurements: %g keeps
+  // the label readable (le="0.00025", not le="0.00025000000000000001").
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+void append_series(std::string& out, const std::string& name,
+                   const std::string& labels, const std::string& value) {
+  out += name;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+std::string with_le(const std::string& labels, const std::string& le) {
+  std::string merged = labels;
+  if (!merged.empty()) merged += ',';
+  merged += "le=\"" + le + "\"";
+  return merged;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, fam] : families_) {
+    out += "# HELP " + name + " " + fam.help + "\n";
+    switch (fam.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        for (const auto& [labels, metric] : fam.counters) {
+          append_series(out, name, labels, std::to_string(metric->value()));
+        }
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        for (const auto& [labels, metric] : fam.gauges) {
+          append_series(out, name, labels, render_number(metric->value()));
+        }
+        break;
+      case Kind::kHistogram:
+        out += "# TYPE " + name + " histogram\n";
+        for (const auto& [labels, metric] : fam.histograms) {
+          const Histogram::Snapshot snap = metric->snapshot();
+          for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+            append_series(out, name + "_bucket",
+                          with_le(labels, render_bound(snap.bounds[i])),
+                          std::to_string(snap.cumulative[i]));
+          }
+          append_series(out, name + "_bucket", with_le(labels, "+Inf"),
+                        std::to_string(snap.count));
+          append_series(out, name + "_sum", labels, render_number(snap.sum));
+          append_series(out, name + "_count", labels,
+                        std::to_string(snap.count));
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+int MetricsRegistry::series_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int series = 0;
+  for (const auto& [name, fam] : families_) {
+    series += static_cast<int>(fam.counters.size());
+    series += static_cast<int>(fam.gauges.size());
+    for (const auto& [labels, metric] : fam.histograms) {
+      (void)labels;
+      series +=
+          static_cast<int>(metric->snapshot().bounds.size()) + 1 + 2;
+    }
+  }
+  return series;
+}
+
+void MetricsRegistry::reset_for_test() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  families_.clear();
+}
+
+}  // namespace unsnap::obs

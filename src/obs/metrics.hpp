@@ -1,0 +1,130 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace unsnap::obs {
+
+/// Monotonic event count (requests served, sweeps executed). Lock-free
+/// increments; readable while written.
+class Counter {
+ public:
+  void inc(long delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  [[nodiscard]] long value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<long> value_{0};
+};
+
+/// Point-in-time value (queue depth, threads in use, cache bytes).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bound bucket histogram (Prometheus cumulative-`le` semantics).
+/// Bounds are set at registration and never change; observe() is two
+/// relaxed atomic adds plus a CAS loop for the double sum, so it is safe
+/// from any thread including sweep workers.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  struct Snapshot {
+    std::vector<double> bounds;       // upper bounds, ascending; +Inf implicit
+    std::vector<long> cumulative;     // counts <= bounds[i]; last == count
+    long count = 0;
+    double sum = 0.0;
+    /// Quantile estimate by linear interpolation inside the landing
+    /// bucket (the same model promtool applies to `_bucket` series).
+    [[nodiscard]] double quantile(double q) const;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Bucket presets shared by solver and daemon so dashboards line up.
+  static std::vector<double> latency_bounds();     // 100µs .. ~100s
+  static std::vector<double> frame_size_bounds();  // 64B .. 16MiB
+  static std::vector<double> depth_bounds();       // 1 .. 1024
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<long>> buckets_;  // one per bound, plus +Inf
+  std::atomic<long> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Process-wide named metric families with Prometheus text exposition.
+/// Registration (first lookup of a name+labels) takes the registry mutex;
+/// the returned references are stable for the process lifetime, so hot
+/// paths cache them (`static auto& c = ...counter(...)`) and update
+/// lock-free. Labels are pre-rendered strings (`op="ping"`), keeping the
+/// registry dependency-free.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name, const std::string& help,
+                   const std::string& labels = "");
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const std::string& labels = "");
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       std::vector<double> bounds,
+                       const std::string& labels = "");
+
+  /// Full registry in Prometheus text exposition format 0.0.4:
+  /// `# HELP`/`# TYPE` headers, families sorted by name, label sets
+  /// sorted within a family, histograms expanded to
+  /// `_bucket{le=...}`/`_sum`/`_count`.
+  [[nodiscard]] std::string prometheus_text() const;
+
+  /// Series count as a scrape of prometheus_text() would see it (each
+  /// labelled counter/gauge line and each histogram bucket/sum/count
+  /// line is one series).
+  [[nodiscard]] int series_count() const;
+
+  /// Drop every family (tests only; references handed out before a reset
+  /// dangle, so production code never calls this).
+  void reset_for_test();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Family {
+    Kind kind;
+    std::string help;
+    // label string -> metric (one entry with "" for unlabelled families)
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+  mutable std::mutex mutex_;
+  std::map<std::string, Family> families_;
+
+  Family& family(const std::string& name, const std::string& help, Kind kind);
+};
+
+}  // namespace unsnap::obs

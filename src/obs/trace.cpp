@@ -1,0 +1,299 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "util/json.hpp"
+
+namespace unsnap::obs {
+
+// One ring per thread that ever traced. The owning thread appends through
+// a thread_local shared_ptr without touching the global registry; the
+// per-buffer mutex is only contended while a snapshot/clear walks the
+// registry, so the hot path is an uncontended lock + vector store.
+struct Tracer::ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> ring;
+  std::size_t capacity = Tracer::kDefaultRingCapacity;
+  std::size_t head = 0;  // index of the oldest event when full
+  std::size_t size = 0;
+  std::uint64_t dropped = 0;
+
+  void push(const TraceEvent& event) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (capacity == 0) return;
+    if (ring.size() < capacity) {
+      ring.push_back(event);
+      ++size;
+      return;
+    }
+    // Full: overwrite the oldest slot (drop-oldest keeps the most recent
+    // window of the run, which is the part a hung job's trace explains).
+    ring[head] = event;
+    head = (head + 1) % capacity;
+    ++dropped;
+  }
+};
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Tracer::ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+  std::size_t capacity = Tracer::kDefaultRingCapacity;
+};
+
+Registry& registry() {
+  static Registry* reg = new Registry();  // leaky: outlives thread exits
+  return *reg;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer* tracer = new Tracer();  // leaky singleton
+  (void)trace_epoch();                   // pin the epoch early
+  return *tracer;
+}
+
+std::uint64_t Tracer::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+std::uint32_t Tracer::thread_id() {
+  static thread_local std::uint32_t tid = [] {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    return reg.next_tid++;
+  }();
+  return tid;
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  static thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    fresh->capacity = reg.capacity;
+    reg.buffers.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+void Tracer::push(const TraceEvent& event) { local_buffer().push(event); }
+
+void Tracer::enable(std::size_t ring_capacity) {
+  Registry& reg = registry();
+  {
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.capacity = ring_capacity;
+    for (auto& buffer : reg.buffers) {
+      std::lock_guard<std::mutex> inner(buffer->mutex);
+      buffer->ring.clear();
+      buffer->capacity = ring_capacity;
+      buffer->head = 0;
+      buffer->size = 0;
+      buffer->dropped = 0;
+    }
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::clear() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& buffer : reg.buffers) {
+    std::lock_guard<std::mutex> inner(buffer->mutex);
+    buffer->ring.clear();
+    buffer->head = 0;
+    buffer->size = 0;
+    buffer->dropped = 0;
+  }
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> merged;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& buffer : reg.buffers) {
+    std::lock_guard<std::mutex> inner(buffer->mutex);
+    // Oldest-first: [head, end) then [0, head) when the ring has wrapped.
+    const std::size_t n = buffer->ring.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      merged.push_back(buffer->ring[(buffer->head + i) % n]);
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.t0_ns < b.t0_ns;
+                   });
+  return merged;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t total = 0;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& buffer : reg.buffers) {
+    std::lock_guard<std::mutex> inner(buffer->mutex);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+void Tracer::record(TraceEvent event) {
+  if (!enabled()) return;
+  if (event.tid == 0) event.tid = thread_id();
+  push(event);
+}
+
+const char* intern_name(const std::string& name) {
+  // std::set nodes are stable: the returned c_str() survives later
+  // insertions. Leaky for the same reason the Tracer is — events holding
+  // these pointers may be exported after any particular caller is gone.
+  static std::mutex* mutex = new std::mutex();
+  static std::set<std::string>* pool = new std::set<std::string>();
+  std::lock_guard<std::mutex> lock(*mutex);
+  return pool->insert(name).first->c_str();
+}
+
+void SpanGuard::open(const char* name) {
+  event_.name = name;
+  event_.tid = Tracer::thread_id();
+  event_.t0_ns = Tracer::now_ns();
+  open_ = true;
+}
+
+void SpanGuard::close() {
+  event_.t1_ns = Tracer::now_ns();
+  // A span that outlived a disable() is still recorded: its begin was
+  // accepted, and dropping the end would leave the B/E export unbalanced.
+  Tracer::instance().push(event_);
+}
+
+namespace {
+
+void write_chrome_event(util::JsonWriter& w, const TraceEvent& e, char phase,
+                        std::uint64_t ts_ns) {
+  w.begin_object();
+  w.kv("name", e.name != nullptr ? e.name : "?");
+  w.kv("ph", std::string(1, phase));
+  // Chrome trace timestamps are microseconds; keep sub-µs resolution as a
+  // fractional part.
+  w.kv("ts", static_cast<double>(ts_ns) / 1000.0);
+  w.kv("pid", 1);
+  w.kv("tid", static_cast<long>(e.tid));
+  if (phase == 'B' && e.arg_key[0] != nullptr) {
+    w.key("args");
+    w.begin_object();
+    for (int i = 0; i < 2; ++i) {
+      if (e.arg_key[i] != nullptr) w.kv(e.arg_key[i], e.arg_val[i]);
+    }
+    w.end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::string to_chrome_trace(std::span<const TraceEvent> events) {
+  // Group by thread, then emit each thread's spans as properly nested
+  // B/E pairs. RAII guarantees spans on one thread either nest or are
+  // disjoint, so sorting by (t0 asc, t1 desc) and popping ended parents
+  // reconstructs the begin/end interleaving exactly.
+  std::map<std::uint32_t, std::vector<TraceEvent>> by_tid;
+  for (const TraceEvent& e : events) by_tid[e.tid].push_back(e);
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (auto& [tid, spans] : by_tid) {
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       if (a.t0_ns != b.t0_ns) return a.t0_ns < b.t0_ns;
+                       return a.t1_ns > b.t1_ns;
+                     });
+    std::vector<const TraceEvent*> stack;
+    for (const TraceEvent& e : spans) {
+      while (!stack.empty() && stack.back()->t1_ns <= e.t0_ns) {
+        write_chrome_event(w, *stack.back(), 'E', stack.back()->t1_ns);
+        stack.pop_back();
+      }
+      write_chrome_event(w, e, 'B', e.t0_ns);
+      stack.push_back(&e);
+    }
+    while (!stack.empty()) {
+      write_chrome_event(w, *stack.back(), 'E', stack.back()->t1_ns);
+      stack.pop_back();
+    }
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  return w.str();
+}
+
+namespace {
+
+double nearest_rank(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+TraceSummary summarize(std::span<const TraceEvent> events,
+                       std::uint64_t dropped) {
+  TraceSummary summary;
+  summary.events = static_cast<long>(events.size());
+  summary.dropped = static_cast<long>(dropped);
+
+  std::map<std::string, std::vector<double>> durations;
+  std::vector<std::uint32_t> tids;
+  for (const TraceEvent& e : events) {
+    const double seconds =
+        static_cast<double>(e.t1_ns - e.t0_ns) * 1e-9;
+    durations[e.name != nullptr ? e.name : "?"].push_back(seconds);
+    tids.push_back(e.tid);
+  }
+  std::sort(tids.begin(), tids.end());
+  summary.threads = static_cast<int>(
+      std::unique(tids.begin(), tids.end()) - tids.begin());
+
+  for (auto& [name, samples] : durations) {
+    std::sort(samples.begin(), samples.end());
+    PhaseSummary phase;
+    phase.name = name;
+    phase.count = static_cast<long>(samples.size());
+    for (double s : samples) phase.total_seconds += s;
+    phase.min_seconds = samples.front();
+    phase.max_seconds = samples.back();
+    phase.p50_seconds = nearest_rank(samples, 0.50);
+    phase.p95_seconds = nearest_rank(samples, 0.95);
+    phase.p99_seconds = nearest_rank(samples, 0.99);
+    summary.phases.push_back(std::move(phase));
+  }
+  return summary;
+}
+
+}  // namespace unsnap::obs

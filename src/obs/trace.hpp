@@ -1,0 +1,183 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace unsnap::obs {
+
+/// One closed span: a named [t0, t1) interval on one thread, with up to
+/// two integer annotations (octant index, element count, ...). Names and
+/// argument keys must be string literals (or otherwise outlive the
+/// Tracer) — events store the pointers, never copies, so the hot path
+/// does no allocation.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t t0_ns = 0;  // steady-clock ns since the trace epoch
+  std::uint64_t t1_ns = 0;
+  std::uint32_t tid = 0;  // small per-thread registration id (1-based)
+  const char* arg_key[2] = {nullptr, nullptr};
+  long arg_val[2] = {0, 0};
+};
+
+/// Low-overhead span collector: per-thread ring buffers behind one global
+/// on/off flag. Disabled (the default), OBS_SPAN costs a single relaxed
+/// atomic load — no clock read, no allocation — which is what keeps the
+/// golden digests and sweep throughput bitwise/within-noise identical
+/// whether the binary was built with tracing wired in or not (the paper's
+/// warning about per-solve timers perturbing the measurement).
+///
+/// Enabled, each closing span pushes one TraceEvent into the calling
+/// thread's fixed-capacity ring. A full ring drops the *oldest* event
+/// (the trace keeps the most recent window) and counts the drop, so a
+/// long run degrades to a bounded tail instead of unbounded memory.
+///
+/// Buffers register themselves on first use and live for the process
+/// lifetime (one per thread that ever traced), so enable/disable/snapshot
+/// may race with worker threads safely.
+class Tracer {
+ public:
+  /// The process-wide collector (leaky singleton: never destroyed, so
+  /// thread-exit destructors and late spans cannot touch a dead object).
+  static Tracer& instance();
+
+  /// Start collecting; (re)sizes every thread ring to `ring_capacity`
+  /// events and clears previous contents + drop counters.
+  void enable(std::size_t ring_capacity = kDefaultRingCapacity);
+  void disable();
+  [[nodiscard]] static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Merged copy of every thread's ring, sorted by t0 (stable across
+  /// calls; non-destructive so a RunRecord summary and a later file
+  /// export see the same events).
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Events evicted ring-wide since the last enable()/clear().
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Drop all buffered events and reset the drop counters (capacity and
+  /// the enabled flag are untouched).
+  void clear();
+
+  /// Record a manually-timed span (cross-thread lifecycles like a serve
+  /// job's queued interval, which begins on a handler thread and ends on
+  /// a worker). Attributed to the calling thread unless `event.tid` is
+  /// already set. No-op when disabled.
+  void record(TraceEvent event);
+
+  /// Steady-clock ns since the trace epoch (process start).
+  [[nodiscard]] static std::uint64_t now_ns();
+  /// Registration id of the calling thread (registers it on first use).
+  [[nodiscard]] static std::uint32_t thread_id();
+
+  static constexpr std::size_t kDefaultRingCapacity = 1 << 16;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  struct ThreadBuffer;  // defined in trace.cpp (registry needs the type)
+
+ private:
+  Tracer() = default;
+  friend class SpanGuard;
+
+  [[nodiscard]] ThreadBuffer& local_buffer();
+  void push(const TraceEvent& event);
+
+  static inline std::atomic<bool> enabled_{false};
+};
+
+/// RAII span: opens on construction when tracing is enabled, pushes the
+/// closed TraceEvent on destruction. The enabled test happens once, at
+/// construction, so a disable() mid-span tears nothing. Use through
+/// OBS_SPAN, which names the guard uniquely per line.
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name) {
+    if (Tracer::enabled()) open(name);
+  }
+  SpanGuard(const char* name, const char* key0, long val0) {
+    if (Tracer::enabled()) {
+      open(name);
+      event_.arg_key[0] = key0;
+      event_.arg_val[0] = val0;
+    }
+  }
+  SpanGuard(const char* name, const char* key0, long val0, const char* key1,
+            long val1) {
+    if (Tracer::enabled()) {
+      open(name);
+      event_.arg_key[0] = key0;
+      event_.arg_val[0] = val0;
+      event_.arg_key[1] = key1;
+      event_.arg_val[1] = val1;
+    }
+  }
+  ~SpanGuard() {
+    if (open_) close();
+  }
+
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  bool open_ = false;
+  TraceEvent event_;
+
+  void open(const char* name);
+  void close();
+};
+
+/// Process-lifetime copy of `name`, for spans whose name is built at
+/// runtime (TraceEvent stores pointers, and the ring buffers keep them
+/// long after the caller's string is gone). Interned strings are never
+/// freed; intended for a small, bounded set of names (timer labels),
+/// not per-event payloads.
+[[nodiscard]] const char* intern_name(const std::string& name);
+
+#define UNSNAP_OBS_CONCAT_(a, b) a##b
+#define UNSNAP_OBS_CONCAT(a, b) UNSNAP_OBS_CONCAT_(a, b)
+/// OBS_SPAN("sweep.octant") or OBS_SPAN("sweep.octant", "oct", oct,
+/// "elements", n): scoped span over the rest of the enclosing block.
+#define OBS_SPAN(...)                                        \
+  ::unsnap::obs::SpanGuard UNSNAP_OBS_CONCAT(obs_span_at_, \
+                                             __LINE__)(__VA_ARGS__)
+
+// --- export / aggregation --------------------------------------------------
+
+/// Chrome-trace-event JSON ({"traceEvents": [...]}) of the events:
+/// matched "B"/"E" pairs per thread (derived from the closed spans, which
+/// nest properly per thread by RAII), microsecond timestamps, pid 1,
+/// span args under "args". Loads directly in chrome://tracing and
+/// Perfetto (ui.perfetto.dev).
+[[nodiscard]] std::string to_chrome_trace(std::span<const TraceEvent> events);
+
+/// Aggregate view of one trace, for the RunRecord observability block.
+struct PhaseSummary {
+  std::string name;
+  long count = 0;
+  double total_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  // Exact quantiles over the phase's span durations (nearest-rank on the
+  // sorted samples — these summarise the captured window, not a model).
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+};
+
+struct TraceSummary {
+  long events = 0;
+  long dropped = 0;
+  int threads = 0;  // distinct tids among the events
+  std::vector<PhaseSummary> phases;  // sorted by name (deterministic)
+};
+
+[[nodiscard]] TraceSummary summarize(std::span<const TraceEvent> events,
+                                     std::uint64_t dropped);
+
+}  // namespace unsnap::obs

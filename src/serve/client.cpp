@@ -63,6 +63,14 @@ std::string Client::result_text(const std::string& id) {
 
 util::JsonValue Client::stats() { return request(make_request("stats")); }
 
+std::string Client::metrics() {
+  return request(make_request("metrics")).get_string("metrics");
+}
+
+util::JsonValue Client::metrics_envelope() {
+  return request(make_request("metrics"));
+}
+
 bool Client::cancel(const std::string& id) {
   return request(make_request_id("cancel", id)).get_bool("cancelled");
 }

@@ -34,6 +34,12 @@ class Client {
   [[nodiscard]] std::string result_text(const std::string& id);
   [[nodiscard]] util::JsonValue stats();
 
+  /// The daemon's Prometheus text exposition (the `metrics` op's payload,
+  /// ready to pipe to promtool or a scrape file).
+  [[nodiscard]] std::string metrics();
+  /// The full `metrics` envelope (ok/uptime_seconds/series/metrics).
+  [[nodiscard]] util::JsonValue metrics_envelope();
+
   /// True when the run was still queued and is now cancelled.
   [[nodiscard]] bool cancel(const std::string& id);
 

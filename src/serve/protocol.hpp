@@ -18,7 +18,10 @@ namespace unsnap::serve {
 ///   status   id               state + live IterationObserver progress
 ///   result   id               terminal-state envelope with the RunRecord
 ///   cancel   id               dequeue a still-queued run
-///   stats                     scheduler / cache / budget counters
+///   stats                     scheduler / cache / budget counters, uptime,
+///                             per-op request tallies, latency summaries
+///   metrics                   Prometheus text exposition of the daemon's
+///                             metric catalog (see docs/OBSERVABILITY.md)
 ///   shutdown                  stop accepting, cancel queued, drain running
 ///
 /// Responses are {"ok": true, ...} or {"ok": false, "error": "..."}; the

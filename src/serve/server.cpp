@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "api/run.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/json.hpp"
 #include "util/threads.hpp"
@@ -19,6 +20,54 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+// Global metric names + help strings (constants so every registration
+// site agrees; the registry keeps the first help it sees per family).
+constexpr const char* kRequestsName = "unsnapd_requests_total";
+constexpr const char* kRequestsHelp = "Protocol requests handled, by op";
+constexpr const char* kErrorsName = "unsnapd_request_errors_total";
+constexpr const char* kErrorsHelp = "Protocol requests that failed, by op";
+constexpr const char* kQueueWaitName = "unsnapd_scheduler_queue_wait_seconds";
+constexpr const char* kQueueWaitHelp =
+    "Time jobs spent queued before a worker acquired them";
+constexpr const char* kRunName = "unsnapd_run_seconds";
+constexpr const char* kRunHelp = "Wall time of executed runs";
+constexpr const char* kFrameName = "unsnapd_socket_frame_bytes";
+constexpr const char* kFrameHelp = "Received protocol frame sizes";
+
+std::string op_label(const std::string& op) {
+  return "op=\"" + op + "\"";
+}
+
+obs::Histogram& global_queue_wait() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      kQueueWaitName, kQueueWaitHelp, obs::Histogram::latency_bounds());
+  return h;
+}
+
+obs::Histogram& global_run_seconds() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      kRunName, kRunHelp, obs::Histogram::latency_bounds());
+  return h;
+}
+
+obs::Histogram& global_frame_bytes() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      kFrameName, kFrameHelp, obs::Histogram::frame_size_bounds());
+  return h;
+}
+
+void write_latency_summary(util::JsonWriter& json, const std::string& key,
+                           const obs::Histogram& hist) {
+  const obs::Histogram::Snapshot snap = hist.snapshot();
+  json.key(key).begin_object();
+  json.kv("count", snap.count);
+  json.kv("sum_seconds", snap.sum);
+  json.kv("p50_seconds", snap.quantile(0.50));
+  json.kv("p95_seconds", snap.quantile(0.95));
+  json.kv("p99_seconds", snap.quantile(0.99));
+  json.end_object();
 }
 
 void write_progress(util::JsonWriter& json,
@@ -56,7 +105,32 @@ Server::Server(ServerOptions options)
   thread_budget_ = options_.thread_budget > 0 ? options_.thread_budget
                                               : util::hardware_threads();
   scheduler_ = std::make_unique<Scheduler>(thread_budget_);
+
+  // Pre-register the full metric catalog so a scrape of a fresh daemon
+  // exposes every series at zero instead of families appearing as they
+  // are first hit (dashboards and the >= 10-series smoke both rely on a
+  // stable catalog).
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  for (const char* op : kOps) {
+    reg.counter(kRequestsName, kRequestsHelp, op_label(op));
+    reg.counter(kErrorsName, kErrorsHelp, op_label(op));
+  }
+  reg.gauge("unsnapd_uptime_seconds", "Seconds since the daemon started");
+  reg.gauge("unsnapd_scheduler_queue_depth", "Jobs waiting for a worker");
+  reg.gauge("unsnapd_scheduler_threads_in_use",
+            "Budget threads charged by running jobs");
+  reg.gauge("unsnapd_cache_entries", "Lowering-cache entries resident");
+  reg.gauge("unsnapd_cache_hits", "Lowering-cache hits since start");
+  reg.gauge("unsnapd_cache_misses", "Lowering-cache misses since start");
+  for (const char* state : {"submitted", "completed", "failed", "cancelled"})
+    reg.gauge("unsnapd_runs", "Runs by terminal state",
+              std::string("state=\"") + state + "\"");
+  global_queue_wait();
+  global_run_seconds();
+  global_frame_bytes();
 }
+
+double Server::uptime_seconds() const { return seconds_since(started_); }
 
 Server::~Server() { stop(); }
 
@@ -147,6 +221,8 @@ void Server::handle_connection(util::Socket socket) {
   const int fd = socket.fd();
   try {
     while (std::optional<std::string> frame = socket.recv_frame()) {
+      frame_bytes_hist_.observe(static_cast<double>(frame->size()));
+      global_frame_bytes().observe(static_cast<double>(frame->size()));
       bool stop_after_reply = false;
       socket.send_frame(handle_message(*frame, stop_after_reply));
       // A shutdown request is acknowledged on the wire *before* the stop
@@ -163,11 +239,28 @@ void Server::handle_connection(util::Socket socket) {
                   live_fds_.end());
 }
 
+void Server::count_op(const std::string& op, bool error) {
+  for (std::size_t i = 0; i < kOps.size(); ++i) {
+    if (op != kOps[i]) continue;
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    if (error) {
+      op_counters_[i].errors.fetch_add(1, std::memory_order_relaxed);
+      reg.counter(kErrorsName, kErrorsHelp, op_label(op)).inc();
+    } else {
+      op_counters_[i].requests.fetch_add(1, std::memory_order_relaxed);
+      reg.counter(kRequestsName, kRequestsHelp, op_label(op)).inc();
+    }
+    return;
+  }
+}
+
 std::string Server::handle_message(const std::string& frame,
                                    bool& stop_after_reply) {
+  std::string op;
   try {
     const util::JsonValue request = parse_message(frame);
-    const std::string op = request.get_string("op");
+    op = request.get_string("op");
+    count_op(op, /*error=*/false);
     if (op == "ping") {
       util::JsonWriter json(0);
       json.begin_object();
@@ -181,6 +274,7 @@ std::string Server::handle_message(const std::string& frame,
     if (op == "result") return handle_result(request);
     if (op == "cancel") return handle_cancel(request);
     if (op == "stats") return handle_stats();
+    if (op == "metrics") return handle_metrics();
     if (op == "shutdown") {
       log("shutdown requested");
       stop_after_reply = true;  // the caller stops after sending the ack
@@ -193,9 +287,10 @@ std::string Server::handle_message(const std::string& frame,
     }
     return make_error_response(
         "unknown op '" + op +
-        "' (expected ping, submit, status, result, cancel, stats or "
-        "shutdown)");
+        "' (expected ping, submit, status, result, cancel, stats, metrics "
+        "or shutdown)");
   } catch (const std::exception& err) {
+    count_op(op, /*error=*/true);
     return make_error_response(err.what());
   }
 }
@@ -328,12 +423,25 @@ std::string Server::handle_stats() {
   util::JsonWriter json(0);
   json.begin_object();
   json.kv("ok", true);
+  json.kv("uptime_seconds", uptime_seconds());
   json.key("scheduler").begin_object();
   json.kv("queued", sched.queued);
   json.kv("threads_in_use", sched.threads_in_use);
   json.kv("peak_threads", sched.peak_threads);
   json.kv("total_threads", sched.total_threads);
   json.kv("workers", options_.workers);
+  json.end_object();
+  json.key("requests").begin_object();
+  for (std::size_t i = 0; i < kOps.size(); ++i)
+    json.kv(kOps[i], op_counters_[i].requests.load());
+  json.end_object();
+  json.key("request_errors").begin_object();
+  for (std::size_t i = 0; i < kOps.size(); ++i)
+    json.kv(kOps[i], op_counters_[i].errors.load());
+  json.end_object();
+  json.key("latency").begin_object();
+  write_latency_summary(json, "queue_wait", queue_wait_hist_);
+  write_latency_summary(json, "run_seconds", run_seconds_hist_);
   json.end_object();
   json.key("cache").begin_object();
   json.kv("hits", cache.hits);
@@ -348,6 +456,46 @@ std::string Server::handle_stats() {
   json.kv("failed", failed);
   json.kv("cancelled", cancelled);
   json.end_object();
+  json.end_object();
+  return json.str();
+}
+
+std::string Server::handle_metrics() {
+  // Point-in-time values are set at scrape (the counters and histograms
+  // update live); with several in-process servers sharing the global
+  // registry the gauges reflect the last scraped server, the counters
+  // aggregate — both documented in docs/OBSERVABILITY.md.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  const Scheduler::Stats sched = scheduler_->stats();
+  const LoweringCache::Stats cache = cache_.stats();
+  long submitted, completed, failed, cancelled;
+  {
+    std::lock_guard lock(jobs_mu_);
+    submitted = submitted_;
+    completed = completed_;
+    failed = failed_;
+    cancelled = cancelled_;
+  }
+  reg.gauge("unsnapd_uptime_seconds", "").set(uptime_seconds());
+  reg.gauge("unsnapd_scheduler_queue_depth", "").set(sched.queued);
+  reg.gauge("unsnapd_scheduler_threads_in_use", "")
+      .set(sched.threads_in_use);
+  reg.gauge("unsnapd_cache_entries", "")
+      .set(static_cast<double>(cache.entries));
+  reg.gauge("unsnapd_cache_hits", "").set(static_cast<double>(cache.hits));
+  reg.gauge("unsnapd_cache_misses", "")
+      .set(static_cast<double>(cache.misses));
+  reg.gauge("unsnapd_runs", "", "state=\"submitted\"").set(submitted);
+  reg.gauge("unsnapd_runs", "", "state=\"completed\"").set(completed);
+  reg.gauge("unsnapd_runs", "", "state=\"failed\"").set(failed);
+  reg.gauge("unsnapd_runs", "", "state=\"cancelled\"").set(cancelled);
+
+  util::JsonWriter json(0);
+  json.begin_object();
+  json.kv("ok", true);
+  json.kv("uptime_seconds", uptime_seconds());
+  json.kv("series", reg.series_count());
+  json.kv("metrics", reg.prometheus_text());
   json.end_object();
   return json.str();
 }
@@ -374,7 +522,26 @@ std::shared_ptr<Job> Server::find_job(const std::string& id) const {
 void Server::worker_loop() {
   while (const std::shared_ptr<Job> job = scheduler_->acquire()) {
     job->queued_seconds = seconds_since(job->submitted);
-    execute_job(*job);
+    queue_wait_hist_.observe(job->queued_seconds);
+    global_queue_wait().observe(job->queued_seconds);
+    if (obs::Tracer::enabled()) {
+      // The queued interval straddles threads (submitted on a handler,
+      // acquired here), so it is recorded manually rather than via RAII:
+      // back-date the begin by the measured wait on this worker's lane.
+      obs::TraceEvent queued;
+      queued.name = "job.queued";
+      queued.t1_ns = obs::Tracer::now_ns();
+      const auto waited =
+          static_cast<std::uint64_t>(job->queued_seconds * 1e9);
+      queued.t0_ns = queued.t1_ns > waited ? queued.t1_ns - waited : 0;
+      obs::Tracer::instance().record(queued);
+    }
+    {
+      OBS_SPAN("job.run", "threads", job->threads);
+      execute_job(*job);
+    }
+    run_seconds_hist_.observe(job->run_seconds);
+    global_run_seconds().observe(job->run_seconds);
     scheduler_->release(*job);
     {
       std::lock_guard lock(jobs_mu_);

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -11,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/cache.hpp"
 #include "serve/scheduler.hpp"
 #include "util/mpmc_queue.hpp"
@@ -91,6 +94,14 @@ class Server {
     return cache_.stats();
   }
 
+  /// Seconds since construction (the `stats`/`metrics` uptime).
+  [[nodiscard]] double uptime_seconds() const;
+
+  /// Every protocol op, in dispatch order (per-op counters index this).
+  static constexpr std::array<const char*, 8> kOps = {
+      "ping",   "submit", "status",  "result",
+      "cancel", "stats",  "metrics", "shutdown"};
+
  private:
   ServerOptions options_;
   int thread_budget_ = 1;
@@ -113,6 +124,22 @@ class Server {
   long next_sequence_ = 0;
   long submitted_ = 0;  // accepted by the scheduler (rejects excluded)
   long completed_ = 0, failed_ = 0, cancelled_ = 0;
+
+  // Observability state: construction instant (uptime), per-op
+  // request/error tallies, and this server's own latency/frame-size
+  // histograms. The histograms back both the `stats` summaries and the
+  // Prometheus `metrics` exposition, so bench_serve's client-side
+  // percentiles can be cross-checked against the daemon's view.
+  std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
+  struct OpCounters {
+    std::atomic<long> requests{0};
+    std::atomic<long> errors{0};
+  };
+  std::array<OpCounters, kOps.size()> op_counters_;
+  obs::Histogram queue_wait_hist_{obs::Histogram::latency_bounds()};
+  obs::Histogram run_seconds_hist_{obs::Histogram::latency_bounds()};
+  obs::Histogram frame_bytes_hist_{obs::Histogram::frame_size_bounds()};
 
   // Live connection fds, so stop() can unblock handlers mid-recv.
   std::mutex conns_mu_;
@@ -139,6 +166,11 @@ class Server {
   [[nodiscard]] std::string handle_result(const util::JsonValue& request);
   [[nodiscard]] std::string handle_cancel(const util::JsonValue& request);
   [[nodiscard]] std::string handle_stats();
+  [[nodiscard]] std::string handle_metrics();
+
+  /// Tally a request (and optionally an error) against a known op, both
+  /// on this server and in the global metrics registry.
+  void count_op(const std::string& op, bool error);
 
   [[nodiscard]] std::shared_ptr<Job> find_job(const std::string& id) const;
   /// Record a job as terminal and evict the oldest terminal jobs beyond

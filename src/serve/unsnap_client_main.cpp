@@ -33,6 +33,7 @@ void print_usage() {
       "  result <id>                          result envelope (JSON)\n"
       "  cancel <id>                          dequeue a queued run\n"
       "  stats                                scheduler/cache counters\n"
+      "  metrics                              Prometheus text exposition\n"
       "  ping                                 liveness probe\n"
       "  shutdown                             stop the daemon\n\n"
       "protocol: docs/SERVICE.md\n");
@@ -140,6 +141,12 @@ int main(int argc, char** argv) {
     }
     if (command == "stats") {
       write_output(client.stats().dump(2), json_path);
+      return 0;
+    }
+    if (command == "metrics") {
+      // Raw exposition text (not JSON): pipe straight into promtool or a
+      // node_exporter textfile; --json still redirects it to a file.
+      write_output(client.metrics(), json_path);
       return 0;
     }
     if (command == "shutdown") {

@@ -6,15 +6,25 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace unsnap {
 
-/// Monotonic wall-clock stopwatch.
+/// Monotonic wall-clock stopwatch. stop()/peek() before start() (or a
+/// second stop() without a restart) return 0 instead of measuring against
+/// a default-constructed time_point — an unstarted watch reads as "no
+/// time elapsed", never as decades of garbage.
 class Stopwatch {
  public:
-  void start() { begin_ = Clock::now(); }
+  void start() {
+    begin_ = Clock::now();
+    running_ = true;
+  }
 
   /// Stops and returns the elapsed seconds since start().
   double stop() {
+    if (!running_) return 0.0;
+    running_ = false;
     const auto end = Clock::now();
     last_ = std::chrono::duration<double>(end - begin_).count();
     total_ += last_;
@@ -25,10 +35,16 @@ class Stopwatch {
   [[nodiscard]] double last() const { return last_; }
   [[nodiscard]] double total() const { return total_; }
   [[nodiscard]] long count() const { return count_; }
-  void reset() { total_ = last_ = 0.0, count_ = 0; }
+  void reset() {
+    total_ = 0.0;
+    last_ = 0.0;
+    count_ = 0;
+    running_ = false;
+  }
 
   /// Seconds elapsed since start() without stopping.
   [[nodiscard]] double peek() const {
+    if (!running_) return 0.0;
     return std::chrono::duration<double>(Clock::now() - begin_).count();
   }
 
@@ -38,11 +54,17 @@ class Stopwatch {
   double total_ = 0.0;
   double last_ = 0.0;
   long count_ = 0;
+  bool running_ = false;
 };
 
 /// Named accumulating timers for a solver run. Thread-safe on add();
 /// the hot path accumulates locally and adds once per sweep, mirroring the
 /// paper's observation that per-solve timer calls perturb the measurement.
+///
+/// This is the legacy aggregate view (name -> total/count); the obs layer
+/// (src/obs/trace.hpp) carries the per-span timelines. ScopedTimer feeds
+/// both, so code still reporting through a registry shows up in traces
+/// without a second set of probes.
 class TimerRegistry {
  public:
   void add(const std::string& name, double seconds);
@@ -60,11 +82,17 @@ class TimerRegistry {
   std::map<std::string, Entry> entries_;
 };
 
-/// RAII timer adding its lifetime to a registry entry on destruction.
+/// RAII timer adding its lifetime to a registry entry on destruction —
+/// and, when tracing is enabled, emitting the same interval as an obs
+/// span (one timing path: registry timings appear on trace timelines).
 class ScopedTimer {
  public:
   ScopedTimer(TimerRegistry& registry, std::string name)
-      : registry_(registry), name_(std::move(name)) {
+      : registry_(registry),
+        name_(std::move(name)),
+        // TraceEvents outlive this object, so the span name must too:
+        // intern it. Only paid when tracing is live.
+        span_(obs::Tracer::enabled() ? obs::intern_name(name_) : nullptr) {
     watch_.start();
   }
   ~ScopedTimer() { registry_.add(name_, watch_.peek()); }
@@ -75,6 +103,7 @@ class ScopedTimer {
   TimerRegistry& registry_;
   std::string name_;
   Stopwatch watch_;
+  obs::SpanGuard span_;
 };
 
 }  // namespace unsnap

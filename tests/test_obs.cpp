@@ -1,0 +1,330 @@
+// The obs subsystem: the span tracer (ring buffers, nesting, drops,
+// Chrome-trace export), the metrics registry (bucket math, Prometheus
+// text), the timer adapters over both — and the property the whole layer
+// exists to protect: tracing a solve changes no physics output.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/run.hpp"
+#include "api/run_config.hpp"
+#include "core/transport_solver.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/json_parse.hpp"
+#include "util/timer.hpp"
+
+namespace unsnap {
+namespace {
+
+/// Tracer state is process-global; every test that enables it must leave
+/// it disabled and empty for whoever runs next.
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::Tracer::instance().enable(); }
+  void TearDown() override {
+    obs::Tracer::instance().disable();
+    obs::Tracer::instance().clear();
+  }
+};
+
+const obs::TraceEvent* find_span(const std::vector<obs::TraceEvent>& events,
+                                 const char* name) {
+  for (const obs::TraceEvent& e : events) {
+    if (e.name != nullptr && std::strcmp(e.name, name) == 0) return &e;
+  }
+  return nullptr;
+}
+
+TEST_F(TracerTest, SpansNestAndCarryThreadIds) {
+  {
+    OBS_SPAN("obs_test.outer", "k", 7);
+    { OBS_SPAN("obs_test.inner"); }
+  }
+  std::thread worker([] { OBS_SPAN("obs_test.worker"); });
+  worker.join();
+
+  const std::vector<obs::TraceEvent> events =
+      obs::Tracer::instance().snapshot();
+  ASSERT_EQ(events.size(), 3u);
+
+  const obs::TraceEvent* outer = find_span(events, "obs_test.outer");
+  const obs::TraceEvent* inner = find_span(events, "obs_test.inner");
+  const obs::TraceEvent* remote = find_span(events, "obs_test.worker");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(remote, nullptr);
+
+  // RAII nesting: the inner interval sits inside the outer one.
+  EXPECT_GE(inner->t0_ns, outer->t0_ns);
+  EXPECT_LE(inner->t1_ns, outer->t1_ns);
+  EXPECT_LE(outer->t0_ns, outer->t1_ns);
+
+  // Same thread for the nested pair, a different registration id for the
+  // worker thread's span.
+  EXPECT_EQ(inner->tid, outer->tid);
+  EXPECT_NE(remote->tid, outer->tid);
+
+  // Annotations ride along on the event.
+  ASSERT_NE(outer->arg_key[0], nullptr);
+  EXPECT_STREQ(outer->arg_key[0], "k");
+  EXPECT_EQ(outer->arg_val[0], 7);
+
+  // snapshot() is sorted by start time and non-destructive.
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LE(events[i - 1].t0_ns, events[i].t0_ns);
+  EXPECT_EQ(obs::Tracer::instance().snapshot().size(), events.size());
+}
+
+TEST_F(TracerTest, FullRingDropsOldestAndCountsTheDrops) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.enable(/*ring_capacity=*/4);
+  for (long i = 0; i < 10; ++i) {
+    obs::TraceEvent e;
+    e.name = "obs_test.ring";
+    e.t0_ns = obs::Tracer::now_ns();
+    e.t1_ns = e.t0_ns + 1;
+    e.arg_key[0] = "i";
+    e.arg_val[0] = i;
+    tracer.record(e);
+  }
+  const std::vector<obs::TraceEvent> events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  // Drop-oldest: the survivors are the last four recorded.
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(events[i].arg_val[0], static_cast<long>(6 + i));
+
+  tracer.clear();
+  EXPECT_EQ(tracer.snapshot().size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST_F(TracerTest, DisabledSpansRecordNothing) {
+  obs::Tracer::instance().disable();
+  { OBS_SPAN("obs_test.ghost"); }
+  EXPECT_EQ(obs::Tracer::instance().snapshot().size(), 0u);
+}
+
+TEST_F(TracerTest, ChromeTraceExportIsWellFormedAndBalanced) {
+  {
+    OBS_SPAN("obs_test.parent", "elements", 64);
+    { OBS_SPAN("obs_test.child"); }
+  }
+  { OBS_SPAN("obs_test.sibling"); }
+
+  const std::string json =
+      obs::to_chrome_trace(obs::Tracer::instance().snapshot());
+  const util::JsonValue doc = util::json_parse(json);
+  const util::JsonValue& trace_events = doc.at("traceEvents");
+  ASSERT_TRUE(trace_events.is_array());
+  // Three spans -> three B + three E.
+  ASSERT_EQ(trace_events.items().size(), 6u);
+
+  int begins = 0, ends = 0;
+  double last_ts = 0.0;
+  for (const util::JsonValue& e : trace_events.items()) {
+    const std::string ph = e.get_string("ph");
+    ph == "B" ? ++begins : ++ends;
+    EXPECT_TRUE(ph == "B" || ph == "E");
+    EXPECT_FALSE(e.get_string("name").empty());
+    EXPECT_EQ(e.get_int("pid"), 1);
+    EXPECT_GE(e.get_int("tid"), 1);
+    // One thread here, so the emitted stream is time-ordered.
+    EXPECT_GE(e.get_number("ts"), last_ts);
+    last_ts = e.get_number("ts");
+  }
+  EXPECT_EQ(begins, 3);
+  EXPECT_EQ(ends, 3);
+
+  // The parent's begin event carries its args.
+  for (const util::JsonValue& e : trace_events.items()) {
+    if (e.get_string("name") == "obs_test.parent" &&
+        e.get_string("ph") == "B") {
+      ASSERT_NE(e.find("args"), nullptr);
+      EXPECT_EQ(e.at("args").get_int("elements"), 64);
+    }
+  }
+}
+
+TEST_F(TracerTest, SummaryAggregatesPerPhase) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  // Three 1µs "sweep" spans and one 5µs "solve" span, hand-timed so the
+  // aggregate is exact.
+  for (int i = 0; i < 3; ++i) {
+    obs::TraceEvent e;
+    e.name = "obs_test.sweep";
+    e.t0_ns = 1000 * static_cast<std::uint64_t>(i);
+    e.t1_ns = e.t0_ns + 1000;
+    tracer.record(e);
+  }
+  obs::TraceEvent solve;
+  solve.name = "obs_test.solve";
+  solve.t0_ns = 0;
+  solve.t1_ns = 5000;
+  tracer.record(solve);
+
+  const obs::TraceSummary summary =
+      obs::summarize(tracer.snapshot(), tracer.dropped());
+  EXPECT_EQ(summary.events, 4);
+  EXPECT_EQ(summary.dropped, 0);
+  EXPECT_EQ(summary.threads, 1);
+  ASSERT_EQ(summary.phases.size(), 2u);
+  // Phases are name-sorted: solve before sweep.
+  EXPECT_EQ(summary.phases[0].name, "obs_test.solve");
+  EXPECT_EQ(summary.phases[1].name, "obs_test.sweep");
+  const obs::PhaseSummary& sweep = summary.phases[1];
+  EXPECT_EQ(sweep.count, 3);
+  EXPECT_DOUBLE_EQ(sweep.total_seconds, 3e-6);
+  EXPECT_DOUBLE_EQ(sweep.min_seconds, 1e-6);
+  EXPECT_DOUBLE_EQ(sweep.max_seconds, 1e-6);
+  EXPECT_DOUBLE_EQ(sweep.p50_seconds, 1e-6);
+  EXPECT_DOUBLE_EQ(summary.phases[0].total_seconds, 5e-6);
+}
+
+// --- timer adapters -------------------------------------------------------
+
+TEST(Timer, StopwatchGuardsUseBeforeStart) {
+  Stopwatch w;
+  EXPECT_DOUBLE_EQ(w.stop(), 0.0);  // never started: no garbage interval
+  EXPECT_DOUBLE_EQ(w.peek(), 0.0);
+  EXPECT_EQ(w.count(), 0);
+
+  w.start();
+  EXPECT_GE(w.stop(), 0.0);
+  EXPECT_EQ(w.count(), 1);
+  EXPECT_DOUBLE_EQ(w.stop(), 0.0);  // double-stop does not double-count
+  EXPECT_EQ(w.count(), 1);
+
+  w.reset();
+  EXPECT_DOUBLE_EQ(w.total(), 0.0);
+  EXPECT_EQ(w.count(), 0);
+}
+
+TEST(Timer, ScopedTimerFeedsRegistryAndTrace) {
+  obs::Tracer::instance().enable();
+  TimerRegistry registry;
+  {
+    // Runtime-built name: exercises the intern path (the ring keeps the
+    // event's name pointer long after this string is gone).
+    ScopedTimer t(registry, std::string("obs_test.") + "scoped");
+  }
+  obs::Tracer::instance().disable();
+
+  EXPECT_EQ(registry.count("obs_test.scoped"), 1);
+  EXPECT_GE(registry.total("obs_test.scoped"), 0.0);
+  const std::vector<obs::TraceEvent> events =
+      obs::Tracer::instance().snapshot();
+  EXPECT_NE(find_span(events, "obs_test.scoped"), nullptr);
+  obs::Tracer::instance().clear();
+}
+
+// --- metrics registry -----------------------------------------------------
+
+TEST(Metrics, HistogramBucketsCumulateAndQuantilesInterpolate) {
+  obs::Histogram hist({1.0, 2.0, 4.0});
+  hist.observe(0.5);
+  hist.observe(1.0);  // le is inclusive: lands in the first bucket
+  hist.observe(3.0);
+  hist.observe(10.0);  // beyond the last bound: +Inf bucket
+
+  const obs::Histogram::Snapshot snap = hist.snapshot();
+  ASSERT_EQ(snap.cumulative.size(), 4u);
+  EXPECT_EQ(snap.cumulative[0], 2);
+  EXPECT_EQ(snap.cumulative[1], 2);
+  EXPECT_EQ(snap.cumulative[2], 3);
+  EXPECT_EQ(snap.cumulative[3], 4);
+  EXPECT_EQ(snap.count, 4);
+  EXPECT_DOUBLE_EQ(snap.sum, 14.5);
+
+  // Median: target rank 2 lands at the top of the first bucket.
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 1.0);
+  // p99 lands in the +Inf bucket, which reports its floor (no upper
+  // bound to interpolate toward).
+  EXPECT_DOUBLE_EQ(snap.quantile(0.99), 4.0);
+
+  const obs::Histogram::Snapshot empty = obs::Histogram({1.0}).snapshot();
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+}
+
+TEST(Metrics, PrometheusTextExposesEveryFamily) {
+  obs::MetricsRegistry reg;  // local: the global one belongs to the daemon
+  reg.counter("unsnap_test_requests_total", "requests", "op=\"ping\"").inc(3);
+  reg.counter("unsnap_test_requests_total", "requests", "op=\"submit\"")
+      .inc(1);
+  reg.gauge("unsnap_test_depth", "queue depth").set(2.5);
+  reg.histogram("unsnap_test_seconds", "latency", {0.00025, 1.0})
+      .observe(0.5);
+
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# HELP unsnap_test_requests_total requests\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE unsnap_test_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("unsnap_test_requests_total{op=\"ping\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("unsnap_test_requests_total{op=\"submit\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE unsnap_test_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("unsnap_test_depth 2.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE unsnap_test_seconds histogram\n"),
+            std::string::npos);
+  // Bucket bounds render as configured, not as 17-digit round-trips.
+  EXPECT_NE(text.find("unsnap_test_seconds_bucket{le=\"0.00025\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("unsnap_test_seconds_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("unsnap_test_seconds_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("unsnap_test_seconds_sum 0.5\n"), std::string::npos);
+  EXPECT_NE(text.find("unsnap_test_seconds_count 1\n"), std::string::npos);
+
+  // 2 counters + 1 gauge + (2 bounds + Inf + sum + count) = 8 series.
+  EXPECT_EQ(reg.series_count(), 8);
+
+  // Registration is idempotent: same name+labels returns the same metric.
+  reg.counter("unsnap_test_requests_total", "requests", "op=\"ping\"").inc(1);
+  EXPECT_NE(
+      reg.prometheus_text().find("unsnap_test_requests_total{op=\"ping\"} 4"),
+      std::string::npos);
+}
+
+// --- the invariant: tracing must not perturb the physics ------------------
+
+TEST(ObsInvariant, TracedSolveMatchesUntracedBitwise) {
+  const std::string deck =
+      "[mesh]\ndims = 4 4 4\n[angular]\nnang = 2\n[materials]\nng = 1\n"
+      "[iteration]\niitm = 2\noitm = 2\nfixed_iterations = true\n";
+  const auto solve = [&] {
+    api::Run run(api::read_deck_text(deck, "obs-invariant"));
+    const api::RunRecord record = run.execute();
+    std::vector<double> digest;
+    const api::RunRecord::FluxDigest& flux = record.flux.value();
+    digest.insert(digest.end(), flux.group_averages.begin(),
+                  flux.group_averages.end());
+    digest.push_back(flux.min);
+    digest.push_back(flux.max);
+    digest.push_back(flux.total);
+    return digest;
+  };
+
+  const std::vector<double> untraced = solve();
+  obs::Tracer::instance().enable();
+  const std::vector<double> traced = solve();
+  obs::Tracer::instance().disable();
+  EXPECT_GT(obs::Tracer::instance().snapshot().size(), 0u);
+  obs::Tracer::instance().clear();
+
+  ASSERT_EQ(traced.size(), untraced.size());
+  for (std::size_t i = 0; i < traced.size(); ++i) {
+    // Bitwise, not approximate: the tracer must be an observer only.
+    EXPECT_EQ(traced[i], untraced[i]) << "digest[" << i << "]";
+  }
+}
+
+}  // namespace
+}  // namespace unsnap

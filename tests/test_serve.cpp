@@ -358,6 +358,79 @@ TEST(Server, StatusResultAndStatsEnvelopes) {
   server.stop();
 }
 
+TEST(Server, StatsCarriesUptimeAndPerOpCounters) {
+  const std::string path = test_socket_path("ops");
+  serve::ServerOptions options;
+  options.unix_path = path;
+  options.workers = 1;
+  serve::Server server(options);
+  server.start();
+
+  serve::Client client = serve::Client::connect_unix(path);
+  EXPECT_TRUE(client.ping());
+  const std::string id = client.submit(tiny_deck(4, 2));
+  ASSERT_EQ(client.await_terminal(id), serve::RunState::Done);
+  EXPECT_THROW((void)client.status("run-9999"), InvalidInput);
+
+  const util::JsonValue stats = client.stats();
+  EXPECT_GE(stats.get_number("uptime_seconds"), 0.0);
+  // Everything this test sent is accounted per op, including the failed
+  // status lookup — as an error, not a request.
+  EXPECT_EQ(stats.at("requests").get_int("ping"), 1);
+  EXPECT_EQ(stats.at("requests").get_int("submit"), 1);
+  EXPECT_GE(stats.at("requests").get_int("status"), 1);
+  EXPECT_EQ(stats.at("requests").get_int("shutdown"), 0);
+  EXPECT_EQ(stats.at("request_errors").get_int("status"), 1);
+  EXPECT_EQ(stats.at("request_errors").get_int("submit"), 0);
+  // One completed run -> one queue-wait and one run-seconds observation.
+  const util::JsonValue& latency = stats.at("latency");
+  EXPECT_EQ(latency.at("queue_wait").get_int("count"), 1);
+  EXPECT_GE(latency.at("queue_wait").get_number("p95_seconds"), 0.0);
+  EXPECT_EQ(latency.at("run_seconds").get_int("count"), 1);
+  EXPECT_GE(latency.at("run_seconds").get_number("sum_seconds"), 0.0);
+  server.stop();
+}
+
+TEST(Server, MetricsOpReturnsPrometheusText) {
+  const std::string path = test_socket_path("prom");
+  serve::ServerOptions options;
+  options.unix_path = path;
+  options.workers = 1;
+  serve::Server server(options);
+  server.start();
+
+  serve::Client client = serve::Client::connect_unix(path);
+  const std::string id = client.submit(tiny_deck(4, 2));
+  ASSERT_EQ(client.await_terminal(id), serve::RunState::Done);
+
+  const std::string text = client.metrics();
+  // A real exposition: HELP/TYPE headers, per-op counter series, scrape
+  // time gauges, histogram buckets with cumulative-le labels.
+  EXPECT_NE(text.find("# HELP unsnapd_requests_total"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE unsnapd_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("unsnapd_requests_total{op=\"submit\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE unsnapd_uptime_seconds gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("unsnapd_runs{state=\"completed\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("unsnapd_scheduler_queue_wait_seconds_bucket{le=\""),
+            std::string::npos);
+  EXPECT_NE(text.find("unsnapd_run_seconds_count"), std::string::npos);
+  EXPECT_NE(text.find("unsnapd_socket_frame_bytes_sum"), std::string::npos);
+  // The solver's own instruments flow into the same registry.
+  EXPECT_NE(text.find("unsnap_sweeps_total"), std::string::npos);
+
+  // The envelope self-reports its series count; the acceptance floor for
+  // a useful exposition is >= 10 series.
+  const util::JsonValue response = client.metrics_envelope();
+  EXPECT_TRUE(response.get_bool("ok"));
+  EXPECT_GE(response.get_int("series"), 10);
+  EXPECT_GE(response.get_number("uptime_seconds"), 0.0);
+  server.stop();
+}
+
 TEST(Server, RejectsBadDecksUnknownIdsAndWideThreadRequests) {
   const std::string path = test_socket_path("rej");
   serve::ServerOptions options;

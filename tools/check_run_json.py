@@ -183,6 +183,44 @@ def check_record(record, path):
         if expect("mms" in record, path, "mode mms requires an mms block"):
             check_fields(record["mms"], {"l2_error": "num"}, f"{path}.mms")
 
+    # Traced runs (`unsnap --trace`) embed a summary of the span trace.
+    # The block is optional — an untraced record must simply not have it.
+    if "observability" in record:
+        o = record["observability"]
+        if check_fields(o, {"events": "int", "dropped": "int",
+                            "threads": "int"}, f"{path}.observability"):
+            expect(o["events"] >= 0 and o["dropped"] >= 0,
+                   f"{path}.observability", "negative event/drop counts")
+            expect((o["threads"] > 0) == (o["events"] > 0),
+                   f"{path}.observability",
+                   "thread count inconsistent with event count")
+        phases = o.get("phases", [])
+        expect(isinstance(phases, list), f"{path}.observability.phases",
+               "expected an array of phase summaries")
+        total_events = 0
+        for i, phase in enumerate(phases):
+            ppath = f"{path}.observability.phases[{i}]"
+            if not check_fields(phase, {
+                "name": "str", "count": "int", "total_seconds": "num",
+                "min_seconds": "num", "max_seconds": "num",
+                "p50_seconds": "num", "p95_seconds": "num",
+                "p99_seconds": "num",
+            }, ppath):
+                continue
+            total_events += phase["count"]
+            expect(phase["count"] >= 1, ppath, "empty phase in the summary")
+            quantiles = [phase["min_seconds"], phase["p50_seconds"],
+                         phase["p95_seconds"], phase["p99_seconds"],
+                         phase["max_seconds"]]
+            expect(all(a <= b for a, b in zip(quantiles, quantiles[1:])),
+                   ppath, "quantiles are not monotone (min<=p50<=p95<=p99<=max)")
+            expect(phase["total_seconds"] >= phase["max_seconds"] - 1e-12,
+                   ppath, "total below the maximum sample")
+        if isinstance(o.get("events"), int):
+            expect(total_events == o["events"], f"{path}.observability",
+                   f"phase counts sum to {total_events}, "
+                   f"events says {o['events']}")
+
 
 def check_serve_envelope(envelope, path):
     """An unsnapd result envelope: service metadata wrapping the record."""
@@ -214,6 +252,33 @@ def check_bench_file(bench, path):
               "expected a non-empty array of embedded records"):
         for i, record in enumerate(runs):
             check_record(record, f"{path}.runs[{i}]")
+    # bench_sweep records its traced-vs-untraced throughput probe; when
+    # the block is there, the numbers must be internally consistent.
+    if "obs_overhead" in bench:
+        o = bench["obs_overhead"]
+        if check_fields(o, {
+            "scheme": "str", "threads": "int", "sweeps": "int",
+            "untraced_elements_per_second": "num",
+            "traced_elements_per_second": "num",
+            "overhead_percent": "num",
+        }, f"{path}.obs_overhead"):
+            expect(o["untraced_elements_per_second"] > 0 and
+                   o["traced_elements_per_second"] > 0,
+                   f"{path}.obs_overhead", "non-positive throughput")
+            ratio = 1.0 - (o["traced_elements_per_second"] /
+                           o["untraced_elements_per_second"])
+            expect(abs(ratio * 100.0 - o["overhead_percent"]) < 1e-6,
+                   f"{path}.obs_overhead",
+                   "overhead_percent does not match the throughputs")
+
+    # bench_serve embeds the daemon's own latency ledger.
+    if "daemon_latency_s" in bench:
+        for which in ("queue_wait", "run_seconds"):
+            check_fields(bench["daemon_latency_s"].get(which, {}), {
+                "count": "int", "sum_seconds": "num", "p50_seconds": "num",
+                "p95_seconds": "num", "p99_seconds": "num",
+            }, f"{path}.daemon_latency_s.{which}")
+
     # Committed benchmark numbers must be reproducible from the named
     # commit: a "-dirty" describe means the tree that produced them was
     # never committed at all.

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Structural check for `unsnap --trace out.json` Chrome-trace files.
+
+Usage: check_trace_json.py trace.json [trace2.json ...]
+       check_trace_json.py --min-threads 2 trace.json
+
+Validates the contract of obs::to_chrome_trace():
+
+- top level is {"traceEvents": [...]} (the object form Perfetto and
+  chrome://tracing both accept),
+- every event carries name (non-empty string), ph ("B" or "E"),
+  ts (non-negative number, microseconds), pid, tid (positive ints),
+- per tid, the event stream is time-ordered and "B"/"E" nest like
+  parentheses — every begin is closed by a matching end, LIFO order,
+  names agreeing — so the file renders as a proper flame graph rather
+  than overlapping half-open spans,
+- args, when present, appear on "B" events and are flat objects.
+
+--min-threads N additionally requires spans from at least N distinct
+threads (the CI smoke test uses this to prove a threaded sweep actually
+traced from its worker threads).
+
+Exit code 0 = all files pass, 1 = violations (listed), 2 = usage.
+"""
+
+import json
+import numbers
+import sys
+
+FAILURES = []
+
+
+def fail(path, message):
+    FAILURES.append(f"{path}: {message}")
+
+
+def expect(cond, path, message):
+    if not cond:
+        fail(path, message)
+    return cond
+
+
+def is_num(v):
+    return isinstance(v, numbers.Number) and not isinstance(v, bool)
+
+
+def check_event(event, path):
+    if not expect(isinstance(event, dict), path, "event is not an object"):
+        return False
+    ok = True
+    name = event.get("name")
+    ok &= expect(bool(isinstance(name, str) and name), f"{path}.name",
+                 "expected a non-empty string")
+    ok &= expect(event.get("ph") in ("B", "E"), f"{path}.ph",
+                 f"expected 'B' or 'E', got {event.get('ph')!r}")
+    ok &= expect(is_num(event.get("ts")) and event.get("ts") >= 0,
+                 f"{path}.ts", "expected a non-negative number (microseconds)")
+    ok &= expect(isinstance(event.get("pid"), int) and
+                 not isinstance(event.get("pid"), bool),
+                 f"{path}.pid", "expected an integer")
+    ok &= expect(isinstance(event.get("tid"), int) and
+                 not isinstance(event.get("tid"), bool) and
+                 event.get("tid", 0) >= 1,
+                 f"{path}.tid", "expected a positive integer")
+    if "args" in event:
+        ok &= expect(event.get("ph") == "B", f"{path}.args",
+                     "args belong on the begin event")
+        args = event["args"]
+        ok &= expect(isinstance(args, dict) and
+                     all(is_num(v) or isinstance(v, str)
+                         for v in args.values()),
+                     f"{path}.args", "expected a flat object of scalars")
+    return ok
+
+
+def check_trace(doc, path):
+    if not expect(isinstance(doc, dict) and "traceEvents" in doc, path,
+                  "top level must be an object with a traceEvents array"):
+        return set()
+    events = doc["traceEvents"]
+    if not expect(isinstance(events, list), f"{path}.traceEvents",
+                  "expected an array"):
+        return set()
+    expect(len(events) > 0, f"{path}.traceEvents", "trace is empty")
+
+    tids = set()
+    stacks = {}     # tid -> [(name, ts), ...] of open begins
+    last_ts = {}    # tid -> previous event ts (monotonicity per thread)
+    for i, event in enumerate(events):
+        epath = f"{path}.traceEvents[{i}]"
+        if not check_event(event, epath):
+            continue
+        tid = event["tid"]
+        tids.add(tid)
+        expect(event["ts"] >= last_ts.get(tid, 0.0), epath,
+               f"timestamps regress on tid {tid}")
+        last_ts[tid] = event["ts"]
+        stack = stacks.setdefault(tid, [])
+        if event["ph"] == "B":
+            stack.append((event["name"], event["ts"]))
+        else:
+            if not expect(stack, epath,
+                          f"'E' for {event['name']!r} with no open span "
+                          f"on tid {tid}"):
+                continue
+            open_name, open_ts = stack.pop()
+            expect(open_name == event["name"], epath,
+                   f"'E' for {event['name']!r} closes {open_name!r} "
+                   f"(spans must nest LIFO)")
+            expect(event["ts"] >= open_ts, epath,
+                   f"span {event['name']!r} ends before it begins")
+    for tid, stack in sorted(stacks.items()):
+        expect(not stack, path,
+               f"tid {tid} ends with {len(stack)} unclosed span(s): "
+               + ", ".join(name for name, _ in stack))
+    return tids
+
+
+def main(argv):
+    args = argv[1:]
+    min_threads = 1
+    if args and args[0] == "--min-threads":
+        if len(args) < 2 or not args[1].isdigit():
+            print(__doc__.strip())
+            return 2
+        min_threads = int(args[1])
+        args = args[2:]
+    if not args:
+        print(__doc__.strip())
+        return 2
+    for filename in args:
+        try:
+            with open(filename, encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"check_trace_json: {filename}: {err}")
+            return 1
+        tids = check_trace(doc, filename)
+        expect(len(tids) >= min_threads, filename,
+               f"spans from {len(tids)} thread(s), need >= {min_threads}")
+    if FAILURES:
+        for failure in FAILURES:
+            print(f"check_trace_json: {failure}")
+        print(f"check_trace_json: {len(FAILURES)} violation(s)")
+        return 1
+    print(f"check_trace_json: {len(args)} trace(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
