@@ -1,0 +1,136 @@
+// Modelled strong-scaling study of the sweep pipeline at simulated scale:
+// schedule-mode runs over a ladder of px*py*pz virtual rank grids (8 up
+// to 4096 ranks), each evaluating the comm::simulate_sweep_scale model
+// for both octant orderings — parallel efficiency, pipeline fill/drain
+// and rank occupancy — without instantiating a single submesh. Results
+// land in BENCH_scale.json in the RunRecord-embedding shape of the other
+// BENCH artifacts ({"bench", "unsnap", "runs": [...]}), plus a compact
+// "scaling" table of efficiency vs rank count per ordering.
+//
+//   bench_scale [--dims N] [--out path]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/run.hpp"
+#include "api/version.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace unsnap;
+
+int arg_int(int argc, char** argv, const char* flag, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return std::atoi(argv[i + 1]);
+  return fallback;
+}
+
+const char* arg_str(int argc, char** argv, const char* flag,
+                    const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  return fallback;
+}
+
+struct GridPoint {
+  int px, py, pz;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int dims = arg_int(argc, argv, "--dims", 16);
+  const char* out_path = arg_str(argc, argv, "--out", "BENCH_scale.json");
+
+  // The rank ladder of the scaling study: volumetric grids from 8 to
+  // dims^3 ranks (4096 on the default 16^3 mesh; one rank per cell at the
+  // top, the finest decomposition the mesh admits).
+  const std::vector<GridPoint> grids = {
+      {2, 2, 2},   {4, 4, 2},    {4, 4, 4},
+      {8, 8, 4},   {16, 16, 4},  {16, 16, 16},
+  };
+
+  std::vector<std::string> records;
+  std::vector<api::RunRecord::ScaleStats> stats;
+  for (const GridPoint& g : grids) {
+    if (g.px > dims || g.py > dims || g.pz > dims) {
+      std::printf("skipping %dx%dx%d: exceeds the %d^3 mesh\n", g.px, g.py,
+                  g.pz, dims);
+      continue;
+    }
+    api::RunConfig config;
+    config.title = "scale " + std::to_string(g.px) + "x" +
+                   std::to_string(g.py) + "x" + std::to_string(g.pz);
+    config.mode = api::RunMode::Schedule;
+    config.mesh.dims = {dims, dims, dims};
+    config.angular.nang = 2;
+    config.materials.num_groups = 1;
+    config.decomposition.px = g.px;
+    config.decomposition.py = g.py;
+    config.decomposition.pz = g.pz;
+    api::Run run(config);
+    const api::RunRecord record = run.execute();
+    records.push_back(api::to_json(record));
+    stats.push_back(*record.scale);
+  }
+
+  Table table({"ranks", "grid", "ordering", "stages", "makespan",
+                     "fill", "drain", "efficiency"});
+  for (const api::RunRecord::ScaleStats& s : stats)
+    for (const api::RunRecord::ScaleStats::Ordering& o : s.orderings)
+      table.add_row({static_cast<long>(s.ranks),
+                     std::to_string(s.px) + "x" + std::to_string(s.py) + "x" +
+                         std::to_string(s.pz),
+                     o.ordering, static_cast<long>(o.pipeline_stages),
+                     o.makespan, o.fill_time, o.drain_time, o.efficiency});
+  table.print("modelled sweep scaling (virtual ranks, unit rank work)");
+
+  util::JsonWriter json;
+  json.begin_object();
+  json.kv("bench",
+          "bench_scale: modelled sweep pipeline efficiency vs virtual rank "
+          "count (fill/drain/occupancy per octant ordering, no submeshes)");
+  json.kv("unsnap", api::version_info().summary());
+  json.key("config").begin_object();
+  json.kv("dims", dims);
+  json.kv("rank_work", 1.0);
+  json.kv("hop_latency", 0.0);
+  json.end_object();
+  json.key("scaling").begin_array();
+  for (const api::RunRecord::ScaleStats& s : stats)
+    for (const api::RunRecord::ScaleStats::Ordering& o : s.orderings) {
+      json.begin_object();
+      json.kv("ranks", s.ranks);
+      json.kv("px", s.px);
+      json.kv("py", s.py);
+      json.kv("pz", s.pz);
+      json.kv("ordering", o.ordering);
+      json.kv("pipeline_stages", o.pipeline_stages);
+      json.kv("makespan", o.makespan);
+      json.kv("fill_time", o.fill_time);
+      json.kv("drain_time", o.drain_time);
+      json.kv("efficiency", o.efficiency);
+      json.kv("peak_occupancy", o.peak_occupancy);
+      json.end_object();
+    }
+  json.end_array();
+  json.key("runs").begin_array();
+  for (const std::string& record : records) json.raw(record);
+  json.end_array();
+  json.end_object();
+
+  if (std::FILE* out = std::fopen(out_path, "w")) {
+    std::fputs(json.str().c_str(), out);
+    std::fclose(out);
+    std::printf("\nwrote %s\n", out_path);
+  } else {
+    std::fprintf(stderr, "bench_scale: cannot write %s\n", out_path);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Simulated-scale scenario: the sweep pipeline modelled on virtual rank
+// grids far beyond what the simulated-MPI Network can instantiate. For a
+// ladder of px*py*pz decompositions (up to thousands of ranks, no
+// submeshes, no threads) the comm::simulate_sweep_scale model reports the
+// per-octant-ordering pipeline economics — fill, drain, makespan,
+// parallel efficiency and occupancy — the regime where Vermaak et al.'s
+// volumetric decompositions live. A small real distributed solve at the
+// bottom of the ladder cross-checks the model against measured pipeline
+// idle fractions.
+
+#include <cstdio>
+
+#include "api/problem_builder.hpp"
+#include "api/report.hpp"
+#include "api/run.hpp"
+#include "api/scenario.hpp"
+#include "comm/distributed.hpp"
+#include "comm/scale_model.hpp"
+
+namespace {
+
+using namespace unsnap;
+
+void declare_options(Cli& cli) {
+  cli.option("max_ranks", "4096", "stop the ladder at this many ranks");
+  cli.option("rank_work", "1.0", "time units per rank per octant sweep");
+  cli.option("hop_latency", "0.0", "time units per cross-rank hand-off");
+  cli.option("verify_nx", "8", "mesh extent of the real cross-check solve");
+}
+
+int run(const Cli& cli) {
+  const int max_ranks = cli.get_int("max_ranks");
+  const double rank_work = cli.get_double("rank_work");
+  const double hop_latency = cli.get_double("hop_latency");
+
+  const int ladder[][3] = {{2, 2, 1},   {2, 2, 2},   {4, 4, 2},
+                           {4, 4, 4},   {8, 8, 4},   {16, 16, 4},
+                           {16, 16, 16}};
+  std::printf("Virtual-rank sweep pipeline model "
+              "(rank_work %.2f, hop latency %.2f)\n\n",
+              rank_work, hop_latency);
+  for (const auto& g : ladder) {
+    const int ranks = g[0] * g[1] * g[2];
+    if (ranks > max_ranks) break;
+    const api::RunRecord::ScaleStats stats =
+        api::make_scale_stats(g[0], g[1], g[2], rank_work, hop_latency);
+    api::print_scale_report(stats);
+    std::printf("\n");
+  }
+
+  // Cross-check the bottom of the ladder against a real distributed
+  // solve: the measured pipeline idle fraction should agree in shape with
+  // the modelled one (the model assumes unit-time uniform rank sweeps).
+  const int nx = cli.get_int("verify_nx");
+  std::printf("cross-check: real 2x2x2 pipelined solve on a %d^3 mesh\n",
+              nx);
+  const snap::Input input =
+      api::ProblemBuilder()
+          .mesh({.dims = {nx, nx, nx}})
+          .angular({.nang = 2})
+          .materials({.num_groups = 1, .mat_opt = 1, .scattering_ratio = 0.5})
+          .source({.src_opt = 1})
+          .iteration({.epsi = 1e-6, .iitm = 50, .oitm = 4,
+                      .fixed_iterations = false})
+          .execution({.scheme = snap::ConcurrencyScheme::Serial,
+                      .num_threads = 1})
+          .decomposition({.px = 2, .py = 2, .pz = 2,
+                          .exchange = snap::SweepExchange::Pipelined})
+          .to_input();
+  comm::DistributedSweepSolver solver(input, 2, 2, 2);
+  const comm::DistributedSweepResult result = solver.run();
+  api::print_decomposition_report(solver, result);
+
+  std::printf(
+      "\nReading: efficiency falls as fill and drain grow with the rank\n"
+      "grid's diagonal; interleaving octant wavefronts (each rank serving\n"
+      "whichever octant it is shallowest in) recovers part of the loss.\n"
+      "The model costs microseconds per grid, so thousand-rank designs\n"
+      "can be screened before ever building a submesh.\n");
+  return 0;
+}
+
+const api::ScenarioRegistrar registrar{{
+    .name = "scale_study",
+    .summary = "modelled sweep pipelines on thousands of virtual ranks",
+    .declare_options = declare_options,
+    .run = run,
+}};
+
+}  // namespace

@@ -96,15 +96,19 @@ struct IterationSpec {
 };
 
 /// KBA rank decomposition for the distributed (simulated-MPI) drivers in
-/// src/comm/: px * py rank columns over the x-y plane, plus the
-/// halo-exchange discipline (the paper's stale-halo block Jacobi schedule
-/// or the pipelined exchange with single-domain iteration counts).
-/// Single-domain scenarios ignore px/py; the exchange choice is lowered
-/// onto snap::Input::sweep_exchange either way.
+/// src/comm/: px * py * pz volumetric rank blocks (pz = 1 is the classic
+/// KBA column layout over the x-y plane), plus the halo-exchange
+/// discipline (the paper's stale-halo block Jacobi schedule or the
+/// pipelined exchange with single-domain iteration counts).
+/// Single-domain scenarios ignore px/py/pz; the exchange choice is
+/// lowered onto snap::Input::sweep_exchange either way.
 struct DecompositionSpec {
   int px = 1;
   int py = 1;
+  int pz = 1;
   snap::SweepExchange exchange = snap::SweepExchange::BlockJacobi;
+
+  [[nodiscard]] int ranks() const { return px * py * pz; }
 
   [[nodiscard]] bool operator==(const DecompositionSpec&) const = default;
 };

@@ -85,8 +85,8 @@ ProblemBuilder& ProblemBuilder::execution(ExecutionSpec spec) {
 }
 
 ProblemBuilder& ProblemBuilder::decomposition(DecompositionSpec spec) {
-  require(spec.px >= 1 && spec.py >= 1,
-          "decomposition: px and py must be positive");
+  require(spec.px >= 1 && spec.py >= 1 && spec.pz >= 1,
+          "decomposition: px, py and pz must be positive");
   decomposition_ = spec;
   return *this;
 }

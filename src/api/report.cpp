@@ -86,7 +86,8 @@ void print_decomposition_report(const comm::DistributedSweepSolver& solver,
                                 const comm::DistributedSweepResult& result) {
   const mesh::Partition& part = solver.partition();
   print_decomposition_report(
-      make_decomposition_stats(part.px, part.py, solver.exchange(), result),
+      make_decomposition_stats(part.px, part.py, part.pz, solver.exchange(),
+                               result),
       to_iteration_result(result));
 }
 

@@ -10,6 +10,7 @@
 #include "util/assert.hpp"
 
 #include "api/report.hpp"
+#include "comm/scale_model.hpp"
 #include "core/manufactured.hpp"
 #include "sweep/schedule.hpp"
 #include "util/json.hpp"
@@ -118,11 +119,12 @@ core::IterationResult to_iteration_result(
 }
 
 RunRecord::DecompositionStats make_decomposition_stats(
-    int px, int py, snap::SweepExchange exchange,
+    int px, int py, int pz, snap::SweepExchange exchange,
     const comm::DistributedSweepResult& result) {
   RunRecord::DecompositionStats stats;
   stats.px = px;
   stats.py = py;
+  stats.pz = pz;
   stats.exchange = snap::to_string(exchange);
   stats.pipeline_stages = result.pipeline_stages;
   stats.lagged_rank_edges = result.lagged_rank_edges;
@@ -140,6 +142,41 @@ RunRecord::DecompositionStats make_decomposition_stats(
   stats.mean_idle_fraction =
       sum_idle + sum_busy > 0.0 ? sum_idle / (sum_idle + sum_busy) : 0.0;
   stats.max_idle_fraction = worst;
+  return stats;
+}
+
+RunRecord::ScaleStats make_scale_stats(int px, int py, int pz,
+                                       double rank_work, double hop_latency) {
+  RunRecord::ScaleStats stats;
+  stats.px = px;
+  stats.py = py;
+  stats.pz = pz;
+  stats.ranks = px * py * pz;
+  stats.rank_work = rank_work;
+  stats.hop_latency = hop_latency;
+  for (const comm::OctantOrdering ordering :
+       {comm::OctantOrdering::Sequential, comm::OctantOrdering::Interleaved}) {
+    comm::ScaleModelConfig config;
+    config.px = px;
+    config.py = py;
+    config.pz = pz;
+    config.rank_work = rank_work;
+    config.hop_latency = hop_latency;
+    config.ordering = ordering;
+    const comm::ScaleModelResult r = comm::simulate_sweep_scale(config);
+    RunRecord::ScaleStats::Ordering o;
+    o.ordering = comm::to_string(ordering);
+    o.pipeline_stages = r.pipeline_stages;
+    o.makespan = r.makespan;
+    o.fill_time = r.fill_time;
+    o.drain_time = r.drain_time;
+    o.efficiency = r.efficiency;
+    o.mean_occupancy = r.mean_occupancy;
+    o.peak_occupancy = r.peak_occupancy;
+    o.mean_idle_fraction = r.mean_idle_fraction;
+    o.max_idle_fraction = r.max_idle_fraction;
+    stats.orderings.push_back(o);
+  }
   return stats;
 }
 
@@ -206,7 +243,7 @@ RunRecord Run::execute() {
   record.deck = write_deck(config_);
   switch (config_.mode) {
     case RunMode::Solve:
-      record = config_.decomposition.px * config_.decomposition.py > 1
+      record = config_.decomposition.ranks() > 1
                    ? execute_distributed(std::move(record))
                    : execute_solve(std::move(record));
       break;
@@ -254,8 +291,10 @@ RunRecord Run::execute_solve(RunRecord record) {
 
 RunRecord Run::execute_distributed(RunRecord record) {
   const snap::Input input = config_.builder().to_input();
-  const int px = config_.decomposition.px, py = config_.decomposition.py;
-  distributed_ = std::make_unique<comm::DistributedSweepSolver>(input, px, py);
+  const int px = config_.decomposition.px, py = config_.decomposition.py,
+            pz = config_.decomposition.pz;
+  distributed_ =
+      std::make_unique<comm::DistributedSweepSolver>(input, px, py, pz);
   distributed_->set_observer(observer_);
   const comm::DistributedSweepResult result = [&] {
     OBS_SPAN("run.solve");
@@ -268,7 +307,7 @@ RunRecord Run::execute_distributed(RunRecord record) {
       distributed_->rank_solver(0).discretization().schedules().unique_count();
   record.iteration = to_iteration_result(result);
   record.decomposition = make_decomposition_stats(
-      px, py, distributed_->exchange(), result);
+      px, py, pz, distributed_->exchange(), result);
 
   // Volume-weighted digest over the rank slices (a disjoint partition of
   // the global mesh), rank-major so the combination is deterministic.
@@ -302,6 +341,16 @@ RunRecord Run::execute_schedule(RunRecord record) {
   record.schedule = make_schedule_stats_from(
       disc->schedules(), input.num_threads,
       angular::kOctants * input.nang);
+  // A decomposed schedule study additionally evaluates the virtual-rank
+  // pipeline model: fill/drain/occupancy on the deck's px*py*pz grid,
+  // without building any submesh (so pz-deep thousand-rank grids are
+  // cheap to study).
+  if (config_.decomposition.ranks() > 1) {
+    OBS_SPAN("run.scale_model");
+    record.scale =
+        make_scale_stats(config_.decomposition.px, config_.decomposition.py,
+                         config_.decomposition.pz, 1.0, 0.0);
+  }
   return record;
 }
 
@@ -489,6 +538,7 @@ std::string to_json(const RunRecord& record) {
     json.key("decomposition").begin_object();
     json.kv("px", d.px);
     json.kv("py", d.py);
+    json.kv("pz", d.pz);
     json.kv("exchange", d.exchange);
     json.kv("pipeline_stages", d.pipeline_stages);
     json.kv("lagged_rank_edges", d.lagged_rank_edges);
@@ -499,6 +549,34 @@ std::string to_json(const RunRecord& record) {
         .value(std::span<const double>(d.rank_idle_seconds));
     json.key("rank_sweep_seconds")
         .value(std::span<const double>(d.rank_sweep_seconds));
+    json.end_object();
+  }
+
+  if (record.scale) {
+    const RunRecord::ScaleStats& s = *record.scale;
+    json.key("scale").begin_object();
+    json.kv("px", s.px);
+    json.kv("py", s.py);
+    json.kv("pz", s.pz);
+    json.kv("ranks", s.ranks);
+    json.kv("rank_work", s.rank_work);
+    json.kv("hop_latency", s.hop_latency);
+    json.key("orderings").begin_array();
+    for (const RunRecord::ScaleStats::Ordering& o : s.orderings) {
+      json.begin_object();
+      json.kv("ordering", o.ordering);
+      json.kv("pipeline_stages", o.pipeline_stages);
+      json.kv("makespan", o.makespan);
+      json.kv("fill_time", o.fill_time);
+      json.kv("drain_time", o.drain_time);
+      json.kv("efficiency", o.efficiency);
+      json.kv("mean_occupancy", o.mean_occupancy);
+      json.kv("peak_occupancy", o.peak_occupancy);
+      json.kv("mean_idle_fraction", o.mean_idle_fraction);
+      json.kv("max_idle_fraction", o.max_idle_fraction);
+      json.end_object();
+    }
+    json.end_array();
     json.end_object();
   }
 
@@ -590,8 +668,8 @@ void print_schedule_report(const RunRecord::ScheduleStats& stats,
 void print_decomposition_report(const RunRecord::DecompositionStats& stats,
                                 const core::IterationResult& result,
                                 std::FILE* out) {
-  std::fprintf(out, "distributed sweep: %dx%d KBA ranks, %s exchange\n", stats.px,
-              stats.py, stats.exchange.c_str());
+  std::fprintf(out, "distributed sweep: %dx%dx%d KBA ranks, %s exchange\n",
+              stats.px, stats.py, stats.pz, stats.exchange.c_str());
   std::fprintf(out, "  %s after %d inners / %d outers "
               "(last inner change %.3e), %.4f s\n",
               result.converged ? "converged" : "NOT converged",
@@ -617,6 +695,22 @@ void print_decomposition_report(const RunRecord::DecompositionStats& stats,
               100.0 * stats.max_idle_fraction);
 }
 
+void print_scale_report(const RunRecord::ScaleStats& stats, std::FILE* out) {
+  std::fprintf(out,
+              "scale model: %dx%dx%d grid, %d virtual ranks "
+              "(rank_work %.2f, hop latency %.2f)\n",
+              stats.px, stats.py, stats.pz, stats.ranks, stats.rank_work,
+              stats.hop_latency);
+  for (const RunRecord::ScaleStats::Ordering& o : stats.orderings)
+    std::fprintf(out,
+                "  %-11s %3d stages, makespan %7.1f "
+                "(fill %6.1f, drain %6.1f), efficiency %3.0f%%, "
+                "occupancy mean %3.0f%% peak %3.0f%%\n",
+                o.ordering.c_str(), o.pipeline_stages, o.makespan,
+                o.fill_time, o.drain_time, 100.0 * o.efficiency,
+                100.0 * o.mean_occupancy, 100.0 * o.peak_occupancy);
+}
+
 void print_run_report(const RunRecord& record, std::FILE* out) {
   std::fprintf(out, "%s\n", record.provenance.summary().c_str());
   if (!record.title.empty())
@@ -640,6 +734,10 @@ void print_run_report(const RunRecord& record, std::FILE* out) {
     std::fprintf(out, "\n");
     print_decomposition_report(*record.decomposition, *record.iteration,
                                out);
+  }
+  if (record.scale) {
+    std::fprintf(out, "\n");
+    print_scale_report(*record.scale, out);
   }
   if (record.balance) {
     std::fprintf(out, "\n");

@@ -81,9 +81,9 @@ struct RunRecord {
   };
   std::optional<FluxDigest> flux;
 
-  /// Distributed-sweep block (decomposition px * py > 1).
+  /// Distributed-sweep block (decomposition px * py * pz > 1).
   struct DecompositionStats {
-    int px = 1, py = 1;
+    int px = 1, py = 1, pz = 1;
     std::string exchange;
     int pipeline_stages = 1;
     int lagged_rank_edges = 0;
@@ -92,6 +92,32 @@ struct RunRecord {
     std::vector<double> rank_idle_seconds, rank_sweep_seconds;
   };
   std::optional<DecompositionStats> decomposition;
+
+  /// Schedule mode with decomposition ranks > 1: the virtual-rank sweep
+  /// pipeline model (comm::simulate_sweep_scale) evaluated on the deck's
+  /// px * py * pz grid, one entry per octant ordering. Pure arithmetic on
+  /// the rank grid — no submeshes are built, so thousands of virtual
+  /// ranks are fine.
+  struct ScaleStats {
+    int px = 1, py = 1, pz = 1;
+    int ranks = 1;
+    double rank_work = 1.0;
+    double hop_latency = 0.0;
+    struct Ordering {
+      std::string ordering;  // sequential | interleaved
+      int pipeline_stages = 1;
+      double makespan = 0.0;
+      double fill_time = 0.0;
+      double drain_time = 0.0;
+      double efficiency = 0.0;
+      double mean_occupancy = 0.0;
+      double peak_occupancy = 0.0;
+      double mean_idle_fraction = 0.0;
+      double max_idle_fraction = 0.0;
+    };
+    std::vector<Ordering> orderings;
+  };
+  std::optional<ScaleStats> scale;
 
   /// Time mode: the population history.
   struct TimeStep {
@@ -124,8 +150,12 @@ struct RunRecord {
 [[nodiscard]] RunRecord::FluxDigest make_flux_digest(
     const core::Discretization& disc, const core::NodalField& phi);
 [[nodiscard]] RunRecord::DecompositionStats make_decomposition_stats(
-    int px, int py, snap::SweepExchange exchange,
+    int px, int py, int pz, snap::SweepExchange exchange,
     const comm::DistributedSweepResult& result);
+/// Evaluate the virtual-rank scale model for both octant orderings.
+[[nodiscard]] RunRecord::ScaleStats make_scale_stats(int px, int py, int pz,
+                                                     double rank_work,
+                                                     double hop_latency);
 /// Fold a distributed result into the shared iteration vocabulary.
 [[nodiscard]] core::IterationResult to_iteration_result(
     const comm::DistributedSweepResult& result);
@@ -142,6 +172,8 @@ void print_schedule_report(const RunRecord::ScheduleStats& stats,
 void print_decomposition_report(const RunRecord::DecompositionStats& stats,
                                 const core::IterationResult& result,
                                 std::FILE* out = stdout);
+void print_scale_report(const RunRecord::ScaleStats& stats,
+                        std::FILE* out = stdout);
 /// The full human report of a deck-driven run (every block the record
 /// carries, in the standard order).
 void print_run_report(const RunRecord& record, std::FILE* out = stdout);
@@ -163,9 +195,11 @@ class ProgressObserver : public core::IterationObserver {
 
 /// The single entry point lowering a RunConfig to the right solver stack:
 ///
-///   mode solve, px*py == 1  -> core::TransportSolver (either scheme)
-///   mode solve, px*py  > 1  -> comm::DistributedSweepSolver
-///   mode schedule           -> discretisation + schedule stats, no solve
+///   mode solve, px*py*pz == 1 -> core::TransportSolver (either scheme)
+///   mode solve, px*py*pz  > 1 -> comm::DistributedSweepSolver
+///   mode schedule             -> discretisation + schedule stats (plus
+///                                the virtual-rank scale model when the
+///                                deck decomposes), no solve
 ///   mode mms                -> manufactured solve + L2 error
 ///   mode time               -> core::TimeDependentSolver steps
 ///

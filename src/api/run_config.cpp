@@ -88,7 +88,18 @@ void RunConfig::validate() const {
                 " outside the " + std::to_string(materials.num_groups) +
                 " groups");
   const bool custom = materials.custom() || source.custom();
-  const int ranks = decomposition.px * decomposition.py;
+  const int ranks = decomposition.ranks();
+  // Reject over-decomposition here (not only in make_kba_partition) so a
+  // deck gets a located "<file>: ..." message before any mesh is built.
+  const char axis[3] = {'x', 'y', 'z'};
+  const int blocks[3] = {decomposition.px, decomposition.py,
+                         decomposition.pz};
+  for (int a = 0; a < 3; ++a)
+    require(blocks[a] <= mesh.dims[static_cast<std::size_t>(a)],
+            std::string("decomposition: p") + axis[a] + " = " +
+                std::to_string(blocks[a]) + " exceeds the " +
+                std::to_string(mesh.dims[static_cast<std::size_t>(a)]) +
+                " cells along " + axis[a]);
   if (mode == RunMode::Time) {
     require(time.dt > 0.0, "time: dt must be positive");
     require(time.steps >= 1, "time: steps must be >= 1");
@@ -108,7 +119,7 @@ void RunConfig::validate() const {
     // there and silently ignoring the knob would misreport the run.
     require(execution.preassembly == snap::PreassemblyMode::None,
             "execution: preassembly requires a single-domain run "
-            "(decomposition px * py == 1)");
+            "(decomposition px * py * pz == 1)");
   }
   // The per-spec (setter) and cross-spec checks of the builder layer.
   builder().validate();
@@ -406,6 +417,7 @@ class Binder {
     DecompositionSpec& d = config_.decomposition;
     if (e.key == "px") d.px = get_int(e);
     else if (e.key == "py") d.py = get_int(e);
+    else if (e.key == "pz") d.pz = get_int(e);
     else if (e.key == "exchange")
       d.exchange = located(
           deck_, e, [&] { return snap::sweep_exchange_from_string(e.value); });
@@ -590,6 +602,7 @@ std::string write_deck(const RunConfig& config) {
   w.section("decomposition");
   w.entry("px", d.px);
   w.entry("py", d.py);
+  w.entry("pz", d.pz);
   w.entry("exchange", snap::to_string(d.exchange));
 
   const ExecutionSpec& x = config.execution;

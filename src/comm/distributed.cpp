@@ -39,10 +39,10 @@ int lag_tag(int epoch, int oct) {
 }  // namespace
 
 DistributedSweepSolver::DistributedSweepSolver(const snap::Input& input,
-                                               int px, int py)
+                                               int px, int py, int pz)
     : input_(input),
       global_mesh_(build_global_mesh(input)),
-      partition_(mesh::make_kba_partition(global_mesh_, px, py)) {
+      partition_(mesh::make_kba_partition(global_mesh_, px, py, pz)) {
   // Flat-MPI style per rank: serial sweeps, one OpenMP thread each (ranks
   // are already threads).
   input_.scheme = snap::ConcurrencyScheme::Serial;
@@ -490,7 +490,8 @@ snap::Input force_jacobi(snap::Input input) {
 
 }  // namespace
 
-BlockJacobiSolver::BlockJacobiSolver(const snap::Input& input, int px, int py)
-    : DistributedSweepSolver(force_jacobi(input), px, py) {}
+BlockJacobiSolver::BlockJacobiSolver(const snap::Input& input, int px, int py,
+                                     int pz)
+    : DistributedSweepSolver(force_jacobi(input), px, py, pz) {}
 
 }  // namespace unsnap::comm

@@ -42,7 +42,8 @@ struct DistributedSweepResult {
 using BlockJacobiResult = DistributedSweepResult;
 
 /// Distributed-memory sweep driver over the simulated-MPI Network: the
-/// global brick is KBA-partitioned into px * py rank columns (paper §III),
+/// global brick is KBA-partitioned into px * py * pz rank blocks (paper
+/// §III; pz = 1 recovers the classic column layout),
 /// each rank runs a self-contained TransportSolver on its submesh in
 /// flat-MPI style (serial sweeps, matching the paper's Table II
 /// configuration), and halo traffic follows input.sweep_exchange:
@@ -58,7 +59,7 @@ using BlockJacobiResult = DistributedSweepResult;
 ///    (comm::RankDag), ranks consuming same-iteration upstream traces
 ///    before sweeping the octant and forwarding downstream after. The
 ///    distributed sweep is then an exact global transport sweep, so
-///    iteration counts match the single domain for any px * py and the
+///    iteration counts match the single domain for any px * py * pz and the
 ///    GMRES inner scheme (src/accel/) composes unchanged across ranks —
 ///    at the price of pipeline fill/drain idling, which the result's
 ///    per-rank idle fractions quantify. Rank-granularity cycles on
@@ -66,7 +67,8 @@ using BlockJacobiResult = DistributedSweepResult;
 ///    (RankDag), which fall back to block-Jacobi staleness.
 class DistributedSweepSolver {
  public:
-  DistributedSweepSolver(const snap::Input& input, int px, int py);
+  DistributedSweepSolver(const snap::Input& input, int px, int py,
+                         int pz = 1);
 
   DistributedSweepResult run();
 
@@ -149,7 +151,7 @@ class DistributedSweepSolver {
 /// of the deck's sweep_exchange field.
 class BlockJacobiSolver : public DistributedSweepSolver {
  public:
-  BlockJacobiSolver(const snap::Input& input, int px, int py);
+  BlockJacobiSolver(const snap::Input& input, int px, int py, int pz = 1);
 };
 
 }  // namespace unsnap::comm

@@ -20,6 +20,12 @@ namespace unsnap::comm {
 /// distributed sweep drivers need: blocking send/recv, the nonblocking
 /// probe/try_recv pair the pipelined schedule polls with, barrier and
 /// max/sum allreduce.
+///
+/// A Network instantiates one thread (and, in the sweep drivers, one
+/// submesh) per rank, which is practical up to a few dozen ranks. For
+/// sweep pipelines on thousands of virtual ranks use the analytic
+/// companion comm::simulate_sweep_scale (scale_model.hpp), which models
+/// fill/drain/occupancy on the rank grid without building any of this.
 class Network {
  public:
   explicit Network(int num_ranks);

@@ -11,12 +11,16 @@ namespace unsnap::comm {
 
 /// Rank-level dependency DAG of the distributed sweep: one directed graph
 /// per octant over the KBA ranks, derived from the cross-rank faces of a
-/// mesh::Partition. An edge u -> v means some (face, angle) of the octant
-/// carries upwind flux from u's elements into v's, so a pipelined exchange
-/// must deliver u's octant traces before v sweeps that octant.
+/// mesh::Partition — the 2D column layout and 3D volumetric px*py*pz
+/// grids alike (the construction only sees owners and faces). An edge
+/// u -> v means some (face, angle) of the octant carries upwind flux from
+/// u's elements into v's, so a pipelined exchange must deliver u's octant
+/// traces before v sweeps that octant.
 ///
 /// On brick decks every octant graph is the acyclic diagonal wavefront of
-/// the rank grid. On strongly twisted decks faces can rotate far enough
+/// the rank grid (planes of constant Manhattan distance from the octant's
+/// inflow corner; with pz > 1 the wavefront is a 3D diagonal and the z
+/// mirror octants no longer share a graph). On strongly twisted decks faces can rotate far enough
 /// that the two directions of a rank pair both carry flow under one octant
 /// — a rank-granularity cycle, the same pathology the element-level SCC
 /// machinery (sweep::scc) handles inside a domain. Those cycles are broken

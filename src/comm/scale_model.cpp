@@ -1,0 +1,196 @@
+#include "comm/scale_model.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+#include "angular/quadrature.hpp"
+#include "util/assert.hpp"
+
+namespace unsnap::comm {
+
+std::string to_string(OctantOrdering ordering) {
+  return ordering == OctantOrdering::Sequential ? "sequential"
+                                                : "interleaved";
+}
+
+OctantOrdering octant_ordering_from_string(const std::string& name) {
+  if (name == "sequential") return OctantOrdering::Sequential;
+  if (name == "interleaved") return OctantOrdering::Interleaved;
+  throw InvalidInput("unknown octant ordering '" + name +
+                     "' (expected sequential | interleaved)");
+}
+
+namespace {
+
+struct Grid {
+  int px, py, pz;
+  [[nodiscard]] int ranks() const { return px * py * pz; }
+  [[nodiscard]] int rank(int ix, int iy, int iz) const {
+    return ix + px * (iy + py * iz);
+  }
+  /// Wavefront depth of rank (ix,iy,iz) in `octant`: Manhattan distance
+  /// from that octant's inflow corner on the virtual rank grid.
+  [[nodiscard]] int depth(int ix, int iy, int iz, int octant) const {
+    const auto s = angular::octant_signs(octant);
+    const int dx = s[0] > 0 ? ix : px - 1 - ix;
+    const int dy = s[1] > 0 ? iy : py - 1 - iy;
+    const int dz = s[2] > 0 ? iz : pz - 1 - iz;
+    return dx + dy + dz;
+  }
+};
+
+struct Task {
+  int rank;
+  int octant;
+  int deps_left;      // unfinished upwind-neighbour tasks (same octant)
+  double ready_time;  // latest upstream finish + hop latency
+  int priority;       // smaller runs first among a rank's ready tasks
+};
+
+}  // namespace
+
+ScaleModelResult simulate_sweep_scale(const ScaleModelConfig& config) {
+  require(config.px >= 1 && config.py >= 1 && config.pz >= 1,
+          "scale model: px, py and pz must be positive");
+  require(config.rank_work > 0.0, "scale model: rank_work must be positive");
+  require(config.hop_latency >= 0.0,
+          "scale model: hop_latency must be non-negative");
+  const Grid grid{config.px, config.py, config.pz};
+  const int nr = grid.ranks();
+  const int no = angular::kOctants;
+
+  // Task table: (rank, octant) -> dependency count, ready time, priority.
+  std::vector<Task> tasks(static_cast<std::size_t>(nr) * no);
+  for (int iz = 0; iz < grid.pz; ++iz)
+    for (int iy = 0; iy < grid.py; ++iy)
+      for (int ix = 0; ix < grid.px; ++ix) {
+        const int r = grid.rank(ix, iy, iz);
+        for (int o = 0; o < no; ++o) {
+          const auto s = angular::octant_signs(o);
+          int deps = 0;
+          if ((s[0] > 0 && ix > 0) || (s[0] < 0 && ix < grid.px - 1)) ++deps;
+          if ((s[1] > 0 && iy > 0) || (s[1] < 0 && iy < grid.py - 1)) ++deps;
+          if ((s[2] > 0 && iz > 0) || (s[2] < 0 && iz < grid.pz - 1)) ++deps;
+          const int priority = config.ordering == OctantOrdering::Sequential
+                                   ? o
+                                   : grid.depth(ix, iy, iz, o) * no + o;
+          tasks[static_cast<std::size_t>(r) * no + o] = {r, o, deps, 0.0,
+                                                         priority};
+        }
+      }
+
+  // Per-rank ready sets ordered by (priority, octant); one task in flight
+  // per rank models the contention of a rank sweeping one octant at a time.
+  std::vector<std::priority_queue<std::pair<int, int>,
+                                  std::vector<std::pair<int, int>>,
+                                  std::greater<>>>
+      ready(static_cast<std::size_t>(nr));  // (priority, octant)
+  std::vector<bool> busy(static_cast<std::size_t>(nr), false);
+  std::vector<double> rank_free(static_cast<std::size_t>(nr), 0.0);
+  std::vector<double> first_start(static_cast<std::size_t>(nr), -1.0);
+  std::vector<double> last_finish(static_cast<std::size_t>(nr), 0.0);
+
+  // Completion events: (finish time, rank, octant). Starts/finishes are
+  // also logged for the occupancy profile.
+  using Event = std::tuple<double, int, int>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::vector<std::pair<double, int>> profile;  // (time, +1 start / -1 end)
+  profile.reserve(tasks.size() * 2);
+
+  auto start_next = [&](int r, double now) {
+    if (busy[static_cast<std::size_t>(r)] ||
+        ready[static_cast<std::size_t>(r)].empty())
+      return;
+    const int o = ready[static_cast<std::size_t>(r)].top().second;
+    ready[static_cast<std::size_t>(r)].pop();
+    const Task& t = tasks[static_cast<std::size_t>(r) * no + o];
+    const double start =
+        std::max({now, rank_free[static_cast<std::size_t>(r)], t.ready_time});
+    if (first_start[static_cast<std::size_t>(r)] < 0.0)
+      first_start[static_cast<std::size_t>(r)] = start;
+    busy[static_cast<std::size_t>(r)] = true;
+    profile.emplace_back(start, +1);
+    profile.emplace_back(start + config.rank_work, -1);
+    events.emplace(start + config.rank_work, r, o);
+  };
+
+  for (int r = 0; r < nr; ++r) {
+    for (int o = 0; o < no; ++o) {
+      const Task& t = tasks[static_cast<std::size_t>(r) * no + o];
+      if (t.deps_left == 0)
+        ready[static_cast<std::size_t>(r)].emplace(t.priority, o);
+    }
+    start_next(r, 0.0);
+  }
+
+  int completed = 0;
+  double makespan = 0.0;
+  while (!events.empty()) {
+    const auto [t_fin, r, o] = events.top();
+    events.pop();
+    ++completed;
+    makespan = std::max(makespan, t_fin);
+    busy[static_cast<std::size_t>(r)] = false;
+    rank_free[static_cast<std::size_t>(r)] = t_fin;
+    last_finish[static_cast<std::size_t>(r)] = t_fin;
+
+    // Release the downwind neighbours of (r, o).
+    const int ix = r % grid.px;
+    const int iy = (r / grid.px) % grid.py;
+    const int iz = r / (grid.px * grid.py);
+    const auto s = angular::octant_signs(o);
+    const int step[3][4] = {{static_cast<int>(s[0]), ix, grid.px, 1},
+                            {static_cast<int>(s[1]), iy, grid.py, grid.px},
+                            {static_cast<int>(s[2]), iz, grid.pz,
+                             grid.px * grid.py}};
+    for (const auto& [sign, idx, extent, stride] : step) {
+      const int next = idx + sign;
+      if (next < 0 || next >= extent) continue;
+      const int nbr = r + sign * stride;
+      Task& d = tasks[static_cast<std::size_t>(nbr) * no + o];
+      d.ready_time = std::max(d.ready_time, t_fin + config.hop_latency);
+      if (--d.deps_left == 0) {
+        ready[static_cast<std::size_t>(nbr)].emplace(d.priority, o);
+        start_next(nbr, t_fin);
+      }
+    }
+    start_next(r, t_fin);
+  }
+  require(completed == nr * no, "scale model: schedule did not complete");
+
+  ScaleModelResult result;
+  result.ranks = nr;
+  result.pipeline_stages = (grid.px - 1) + (grid.py - 1) + (grid.pz - 1) + 1;
+  result.makespan = makespan;
+  result.fill_time = *std::max_element(first_start.begin(), first_start.end());
+  result.drain_time =
+      makespan - *std::min_element(last_finish.begin(), last_finish.end());
+  const double work = static_cast<double>(nr) * no * config.rank_work;
+  result.efficiency = work / (static_cast<double>(nr) * makespan);
+  result.mean_occupancy = result.efficiency;
+
+  // Peak occupancy from the start/finish profile.
+  std::sort(profile.begin(), profile.end());
+  int concurrent = 0, peak = 0;
+  for (const auto& [time, delta] : profile) {
+    concurrent += delta;
+    peak = std::max(peak, concurrent);
+  }
+  result.peak_occupancy = static_cast<double>(peak) / nr;
+
+  double idle_sum = 0.0, idle_max = 0.0;
+  for (int r = 0; r < nr; ++r) {
+    const double window = last_finish[static_cast<std::size_t>(r)] -
+                          first_start[static_cast<std::size_t>(r)];
+    const double idle = window - no * config.rank_work;
+    const double frac = window > 0.0 ? idle / window : 0.0;
+    idle_sum += frac;
+    idle_max = std::max(idle_max, frac);
+  }
+  result.mean_idle_fraction = idle_sum / nr;
+  result.max_idle_fraction = idle_max;
+  return result;
+}
+
+}  // namespace unsnap::comm

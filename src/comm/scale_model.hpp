@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace unsnap::comm {
+
+/// Overlap-aware idle/occupancy model for sweeps on virtual rank grids:
+/// the analytic companion to comm::Network. Where Network instantiates
+/// one thread and one submesh per rank (practical up to a few dozen),
+/// this model schedules the px*py*pz brick's per-octant rank tasks through
+/// a discrete-event list scheduler — no submeshes, no threads — so sweep
+/// pipelines on 1000–4096 virtual ranks cost microseconds to evaluate.
+/// Per-octant dependencies are the upwind face neighbours of each rank
+/// block (up to three, one per negative-flow axis); contention is modelled
+/// by letting each rank execute one octant task at a time. The outputs are
+/// the quantities the paper's scaling study cares about: pipeline fill and
+/// drain windows, makespan, parallel efficiency, and rank occupancy.
+
+/// How a rank picks among its ready octant tasks.
+enum class OctantOrdering {
+  /// All ranks prefer octants in fixed index order: octant o+1 starts on a
+  /// rank only once its octant o is done. Pipelines still overlap across
+  /// ranks, but each rank fills and drains once per octant ordering front.
+  Sequential,
+  /// Ranks prefer the octant they are shallowest in (closest to that
+  /// octant's inflow corner), overlapping the fill of one octant with the
+  /// drain of another — the wavefront-interleaved schedule of Vermaak et
+  /// al.'s massively parallel sweeps.
+  Interleaved,
+};
+
+[[nodiscard]] std::string to_string(OctantOrdering ordering);
+[[nodiscard]] OctantOrdering octant_ordering_from_string(
+    const std::string& name);
+
+struct ScaleModelConfig {
+  int px = 1;
+  int py = 1;
+  int pz = 1;
+  /// Time for one rank to sweep one octant across its block (the unit of
+  /// useful work; uniform blocks, matching the balanced KBA split).
+  double rank_work = 1.0;
+  /// Latency added to each cross-rank dependency hand-off.
+  double hop_latency = 0.0;
+  OctantOrdering ordering = OctantOrdering::Sequential;
+};
+
+struct ScaleModelResult {
+  int ranks = 1;
+  /// Deepest per-octant rank pipeline: (px-1)+(py-1)+(pz-1)+1 stages.
+  int pipeline_stages = 1;
+  double makespan = 0.0;
+  /// Time until every rank has started its first octant task (pipeline
+  /// fill) and the trailing window in which ranks are already finished
+  /// for good (pipeline drain).
+  double fill_time = 0.0;
+  double drain_time = 0.0;
+  /// Useful work / (ranks * makespan): the modelled parallel efficiency.
+  double efficiency = 0.0;
+  /// Time-averaged and peak fraction of ranks busy at once.
+  double mean_occupancy = 0.0;
+  double peak_occupancy = 0.0;
+  /// Idle statistics inside each rank's active window
+  /// [first start, last finish]: idle / (idle + busy).
+  double mean_idle_fraction = 0.0;
+  double max_idle_fraction = 0.0;
+};
+
+/// Run the discrete-event schedule for one configuration. Pure arithmetic
+/// on the virtual grid: cost O(ranks * octants * log), no meshes built.
+[[nodiscard]] ScaleModelResult simulate_sweep_scale(
+    const ScaleModelConfig& config);
+
+}  // namespace unsnap::comm

@@ -6,17 +6,20 @@
 
 namespace unsnap::mesh {
 
-Partition make_kba_partition(const HexMesh& mesh, int px, int py) {
+Partition make_kba_partition(const HexMesh& mesh, int px, int py, int pz) {
   const auto& dims = mesh.grid_dims();
-  require(px >= 1 && py >= 1, "partition: px and py must be positive");
-  require(px <= dims[0] && py <= dims[1],
-          "partition: more blocks than cells in x/y");
+  require(px >= 1 && py >= 1 && pz >= 1,
+          "partition: px, py and pz must be positive");
+  require(px <= dims[0], "partition: more blocks than cells in x");
+  require(py <= dims[1], "partition: more blocks than cells in y");
+  require(pz <= dims[2], "partition: more blocks than cells in z");
 
   Partition part;
   part.px = px;
   part.py = py;
+  part.pz = pz;
   part.owner.resize(static_cast<std::size_t>(mesh.num_elements()));
-  part.ranks.resize(static_cast<std::size_t>(px) * py);
+  part.ranks.resize(static_cast<std::size_t>(px) * py * pz);
 
   auto block = [](int i, int n, int p) {
     // Largest b with b*n/p <= i  <=>  b = floor(((i+1)*p - 1) / n).
@@ -27,7 +30,8 @@ Partition make_kba_partition(const HexMesh& mesh, int px, int py) {
     const auto& ijk = mesh.provenance_ijk(e);
     const int rx = block(ijk[0], dims[0], px);
     const int ry = block(ijk[1], dims[1], py);
-    const int rank = rx + px * ry;
+    const int rz = block(ijk[2], dims[2], pz);
+    const int rank = rx + px * (ry + py * rz);
     part.owner[e] = rank;
     part.ranks[rank].push_back(e);
   }

@@ -6,22 +6,26 @@
 
 namespace unsnap::mesh {
 
-/// KBA-style 2-D decomposition of the 3-D domain (paper §III): the x-y
-/// plane is split into px * py blocks and every rank owns full z columns,
-/// which Pautz/Bailey found near-optimal for sweeping unstructured meshes.
-/// Built from the structured provenance of the brick, exactly as UnSNAP
-/// derives its decomposition during mesh construction.
+/// KBA-style decomposition of the 3-D domain (paper §III): the domain is
+/// split into px * py * pz volumetric blocks. With pz = 1 this is the
+/// classic KBA column layout (every rank owns full z columns), which
+/// Pautz/Bailey found near-optimal for sweeping unstructured meshes;
+/// pz > 1 gives the volumetric decompositions of Vermaak et al. where
+/// per-octant rank DAGs deepen in z. Built from the structured provenance
+/// of the brick, exactly as UnSNAP derives its decomposition during mesh
+/// construction.
 struct Partition {
   int px = 1;
   int py = 1;
+  int pz = 1;
   std::vector<int> owner;                 // element -> rank
   std::vector<std::vector<int>> ranks;    // rank -> owned global elements
 
-  [[nodiscard]] int num_ranks() const { return px * py; }
+  [[nodiscard]] int num_ranks() const { return px * py * pz; }
 };
 
 [[nodiscard]] Partition make_kba_partition(const HexMesh& mesh, int px,
-                                           int py);
+                                           int py, int pz = 1);
 
 /// One rank's view of the global mesh: a self-contained HexMesh whose
 /// cross-rank faces are boundaries of kind BoundaryInfo::kRemote, plus the

@@ -561,9 +561,7 @@ void Server::execute_job(Job& job) {
     run.set_observer(&job.progress);
     // Only single-domain runs share a lowering: distributed runs build
     // per-rank discretisations the cache does not model.
-    const bool cacheable = job.config.decomposition.px *
-                               job.config.decomposition.py ==
-                           1;
+    const bool cacheable = job.config.decomposition.ranks() == 1;
     if (cacheable) {
       if (auto lowering = cache_.lookup(job.digest, job.normalized)) {
         run.set_shared_discretization(std::move(lowering->disc));

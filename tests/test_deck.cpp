@@ -139,6 +139,14 @@ TEST(DeckBinding, GoldenMalformedDeckMessages) {
                     "[execution]\npreassembly = factored-lu\n",
                     "t.inp: execution: preassembly requires a single-domain "
                     "run");
+  // Over-decomposition (more rank blocks than cells on an axis) is caught
+  // at deck validation with the deck named, not deep in the partitioner.
+  expect_bind_error("[mesh]\ndims = 8 8 4\n[decomposition]\npz = 5\n",
+                    "t.inp: decomposition: pz = 5 exceeds the 4 cells "
+                    "along z");
+  expect_bind_error("[mesh]\ndims = 4 8 8\n[decomposition]\npx = 9\n",
+                    "t.inp: decomposition: px = 9 exceeds the 4 cells "
+                    "along x");
 }
 
 TEST(DeckBinding, RepeatedRegionsAllowed) {
@@ -238,7 +246,7 @@ TEST(DeckRoundTrip, EveryShippedDeckBitIdentically) {
   for (const char* dir : {UNSNAP_DECK_DIR, UNSNAP_DECK_DIR "/golden"})
     for (const fs::directory_entry& entry : fs::directory_iterator(dir))
       if (entry.path().extension() == ".inp") decks.push_back(entry.path());
-  ASSERT_GE(decks.size(), 21u);  // 10 scenario decks + 11 golden decks
+  ASSERT_GE(decks.size(), 23u);  // 11 scenario decks + 12 golden decks
 
   for (const fs::path& path : decks) {
     SCOPED_TRACE(path.string());

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstdlib>
 #include <map>
 #include <set>
 #include <tuple>
+#include <vector>
 
 #include "mesh/mesh_builder.hpp"
 #include "mesh/mesh_checks.hpp"
@@ -80,6 +84,179 @@ TEST(PartitionEdge, RejectsTooManyBlocks) {
   const HexMesh mesh = make_mesh({2, 2, 2});
   EXPECT_THROW(make_kba_partition(mesh, 3, 1), InvalidInput);
   EXPECT_THROW(make_kba_partition(mesh, 0, 1), InvalidInput);
+}
+
+// --- 3D volumetric battery ------------------------------------------------
+
+struct Grid3 {
+  int px, py, pz;
+};
+class PartitionGrid3 : public ::testing::TestWithParam<Grid3> {};
+
+// Deliberately awkward extents: a prime (7), a non-multiple (6 vs px=4),
+// and a short z axis the degenerate 1*1*pz grids slice to single slabs.
+constexpr std::array<int, 3> kDims3{7, 6, 5};
+
+TEST_P(PartitionGrid3, EveryElementOwnedExactlyOnce) {
+  const HexMesh mesh = make_mesh(kDims3);
+  const auto [px, py, pz] = GetParam();
+  const Partition part = make_kba_partition(mesh, px, py, pz);
+  EXPECT_EQ(part.num_ranks(), px * py * pz);
+  std::set<int> seen;
+  for (int r = 0; r < part.num_ranks(); ++r)
+    for (const int e : part.ranks[r]) {
+      EXPECT_TRUE(seen.insert(e).second) << "element owned twice";
+      EXPECT_EQ(part.owner[e], r);
+    }
+  EXPECT_EQ(static_cast<int>(seen.size()), mesh.num_elements());
+}
+
+TEST_P(PartitionGrid3, BlockBoundsTileTheMesh) {
+  // Every rank's cells form one contiguous ijk box, the boxes are
+  // pairwise disjoint (ownership is unique), and per axis the box edges
+  // form a monotone chain of cuts covering [0, dims) — the blocks tile
+  // the mesh with no slivers and no overlaps.
+  const HexMesh mesh = make_mesh(kDims3);
+  const auto [px, py, pz] = GetParam();
+  const Partition part = make_kba_partition(mesh, px, py, pz);
+  struct Box {
+    std::array<int, 3> lo{1 << 30, 1 << 30, 1 << 30};
+    std::array<int, 3> hi{-1, -1, -1};
+    [[nodiscard]] long volume() const {
+      return static_cast<long>(hi[0] - lo[0] + 1) * (hi[1] - lo[1] + 1) *
+             (hi[2] - lo[2] + 1);
+    }
+  };
+  std::vector<Box> boxes(static_cast<std::size_t>(part.num_ranks()));
+  for (int e = 0; e < mesh.num_elements(); ++e) {
+    Box& box = boxes[static_cast<std::size_t>(part.owner[e])];
+    const auto& ijk = mesh.provenance_ijk(e);
+    for (int a = 0; a < 3; ++a) {
+      box.lo[a] = std::min(box.lo[a], ijk[a]);
+      box.hi[a] = std::max(box.hi[a], ijk[a]);
+    }
+  }
+  long total = 0;
+  for (int r = 0; r < part.num_ranks(); ++r) {
+    const Box& box = boxes[static_cast<std::size_t>(r)];
+    // Contiguity: the bounding box holds exactly the owned cells.
+    EXPECT_EQ(box.volume(), static_cast<long>(part.ranks[r].size()))
+        << "rank " << r << " owns a non-contiguous block";
+    total += box.volume();
+    // Grid consistency: rank (rx, ry, rz) spans the same axis interval as
+    // every other rank with the same block coordinate on that axis.
+    const int rx = r % px, ry = (r / px) % py, rz = r / (px * py);
+    const Box& x_peer = boxes[static_cast<std::size_t>(rx)];
+    const Box& y_peer = boxes[static_cast<std::size_t>(px * ry)];
+    const Box& z_peer = boxes[static_cast<std::size_t>(px * py * rz)];
+    EXPECT_EQ(box.lo[0], x_peer.lo[0]);
+    EXPECT_EQ(box.hi[0], x_peer.hi[0]);
+    EXPECT_EQ(box.lo[1], y_peer.lo[1]);
+    EXPECT_EQ(box.hi[1], y_peer.hi[1]);
+    EXPECT_EQ(box.lo[2], z_peer.lo[2]);
+    EXPECT_EQ(box.hi[2], z_peer.hi[2]);
+  }
+  // Disjoint boxes summing to the mesh volume == a tiling.
+  EXPECT_EQ(total, static_cast<long>(mesh.num_elements()));
+  // Per axis: the first block starts at 0, the last ends at dims-1, and
+  // consecutive blocks abut.
+  const std::array<int, 3> blocks{px, py, pz};
+  for (int a = 0; a < 3; ++a) {
+    int stride = a == 0 ? 1 : a == 1 ? px : px * py;
+    int prev_hi = -1;
+    for (int b = 0; b < blocks[static_cast<std::size_t>(a)]; ++b) {
+      const Box& box = boxes[static_cast<std::size_t>(b * stride)];
+      EXPECT_EQ(box.lo[a], prev_hi + 1);
+      prev_hi = box.hi[a];
+    }
+    EXPECT_EQ(prev_hi, kDims3[static_cast<std::size_t>(a)] - 1);
+  }
+}
+
+TEST_P(PartitionGrid3, FaceNeighbourMapsAreSymmetric) {
+  // The rank-level face adjacency (who shares a cross-rank face with
+  // whom) must be symmetric, and neighbours must differ by exactly one
+  // block coordinate step — the brick grid has no diagonal face contacts.
+  const HexMesh mesh = make_mesh(kDims3);
+  const auto [px, py, pz] = GetParam();
+  const Partition part = make_kba_partition(mesh, px, py, pz);
+  std::set<std::pair<int, int>> contacts;
+  for (int e = 0; e < mesh.num_elements(); ++e)
+    for (int f = 0; f < fem::kFacesPerHex; ++f) {
+      const int nbr = mesh.neighbor(e, f);
+      if (nbr == kNoNeighbor) continue;
+      if (part.owner[e] != part.owner[nbr])
+        contacts.insert({part.owner[e], part.owner[nbr]});
+    }
+  for (const auto& [u, v] : contacts) {
+    EXPECT_TRUE(contacts.count({v, u})) << u << " -> " << v;
+    const std::array<int, 3> cu{u % px, (u / px) % py, u / (px * py)};
+    const std::array<int, 3> cv{v % px, (v / px) % py, v / (px * py)};
+    int steps = 0;
+    for (int a = 0; a < 3; ++a) steps += std::abs(cu[a] - cv[a]);
+    EXPECT_EQ(steps, 1) << "ranks " << u << " and " << v
+                        << " share a face but are not grid neighbours";
+  }
+}
+
+TEST_P(PartitionGrid3, SubmeshesAreValidAndMirrored) {
+  const HexMesh mesh = make_mesh(kDims3);
+  const auto [px, py, pz] = GetParam();
+  const Partition part = make_kba_partition(mesh, px, py, pz);
+  const fem::HexReferenceElement ref(1);
+  std::vector<SubMesh> subs;
+  for (int r = 0; r < part.num_ranks(); ++r) {
+    subs.push_back(extract_submesh(mesh, part, r));
+    EXPECT_TRUE(check_mesh(subs.back().mesh, ref).ok()) << "rank " << r;
+  }
+  for (int r = 0; r < part.num_ranks(); ++r)
+    for (const auto& rf : subs[static_cast<std::size_t>(r)].remote_faces) {
+      bool found = false;
+      for (const auto& other :
+           subs[static_cast<std::size_t>(rf.nbr_rank)].remote_faces)
+        if (subs[static_cast<std::size_t>(rf.nbr_rank)]
+                    .global_elem[other.local_elem] == rf.nbr_global_elem &&
+            other.local_face == rf.nbr_face) {
+          found = true;
+          break;
+        }
+      EXPECT_TRUE(found);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, PartitionGrid3,
+    ::testing::Values(Grid3{1, 1, 1}, Grid3{1, 1, 5},  // degenerate z slabs
+                      Grid3{2, 2, 2}, Grid3{4, 2, 3},
+                      Grid3{7, 1, 1},                  // prime extent, 1 cell/block
+                      Grid3{3, 2, 5}, Grid3{7, 6, 5}   // one cell per rank
+                      ));
+
+TEST(PartitionEdge3, ZSlabsOwnWholePlanes) {
+  // 1*1*pz: the degenerate volumetric grid is a z-slab layout — the rank
+  // of a cell depends on k alone and slabs are ordered bottom-up.
+  const HexMesh mesh = make_mesh({4, 4, 6});
+  const Partition part = make_kba_partition(mesh, 1, 1, 3);
+  for (int e = 0; e < mesh.num_elements(); ++e) {
+    const auto& ijk = mesh.provenance_ijk(e);
+    EXPECT_EQ(part.owner[e], ijk[2] / 2);
+  }
+}
+
+TEST(PartitionEdge3, RejectsMoreBlocksThanCellsPerAxis) {
+  const HexMesh mesh = make_mesh({4, 3, 2});
+  EXPECT_THROW(make_kba_partition(mesh, 5, 1, 1), InvalidInput);
+  EXPECT_THROW(make_kba_partition(mesh, 1, 4, 1), InvalidInput);
+  EXPECT_THROW(make_kba_partition(mesh, 1, 1, 3), InvalidInput);
+  EXPECT_THROW(make_kba_partition(mesh, 1, 1, 0), InvalidInput);
+  // The message names the offending axis.
+  try {
+    (void)make_kba_partition(mesh, 1, 1, 3);
+    FAIL() << "expected InvalidInput";
+  } catch (const InvalidInput& err) {
+    EXPECT_NE(std::string(err.what()).find("cells in z"), std::string::npos)
+        << err.what();
+  }
 }
 
 class SubmeshGrid : public ::testing::TestWithParam<Grid> {};

@@ -95,6 +95,42 @@ TEST(RankDag, BrickDeckIsAcyclicDiagonalWavefront) {
   EXPECT_LT(dag.modelled_efficiency(), 1.0);
 }
 
+TEST(RankDag, VolumetricDeckIsDiagonalWavefront3D) {
+  // With pz > 1 ranks own bricks, not columns: the per-octant DAG becomes
+  // a 3D diagonal wavefront and the z-sign octant pair no longer shares a
+  // graph.
+  const int px = 2, py = 2, pz = 2;
+  snap::Input input = pipe_input();
+  DistributedSweepSolver solver(input, px, py, pz);
+  const RankDag dag = solver.rank_dag();
+  ASSERT_EQ(dag.num_ranks, px * py * pz);
+  EXPECT_EQ(dag.total_lagged_edges(), 0);
+
+  for (int oct = 0; oct < angular::kOctants; ++oct) {
+    const RankDag::OctantGraph& g = dag.octants[oct];
+    for (int rz = 0; rz < pz; ++rz)
+      for (int ry = 0; ry < py; ++ry)
+        for (int rx = 0; rx < px; ++rx) {
+          const int rank = rx + px * (ry + py * rz);
+          const int sx = (oct & 1) ? px - 1 - rx : rx;
+          const int sy = (oct & 2) ? py - 1 - ry : ry;
+          const int sz = (oct & 4) ? pz - 1 - rz : rz;
+          // Stage = 3D Manhattan distance from the octant inflow corner.
+          EXPECT_EQ(g.stage[rank], sx + sy + sz) << "octant " << oct;
+          // Upstream = up to three brick neighbours toward that corner.
+          EXPECT_EQ(static_cast<int>(g.upstream[rank].size()),
+                    (sx > 0 ? 1 : 0) + (sy > 0 ? 1 : 0) + (sz > 0 ? 1 : 0));
+        }
+    EXPECT_EQ(g.num_stages, px + py + pz - 2);
+    // The z mirror flips the sz term, so the column-decomposition identity
+    // stage[oct] == stage[oct ^ 4] must break for volumetric blocks.
+    EXPECT_NE(g.stage, dag.octants[oct ^ 4].stage);
+  }
+  EXPECT_EQ(dag.max_stages(), px + py + pz - 2);
+  EXPECT_GT(dag.modelled_efficiency(), 0.0);
+  EXPECT_LT(dag.modelled_efficiency(), 1.0);
+}
+
 TEST(RankDag, SingleRankIsTrivial) {
   const RankDag dag = brick_dag(1, 1);
   EXPECT_EQ(dag.max_stages(), 1);
@@ -158,6 +194,39 @@ INSTANTIATE_TEST_SUITE_P(Grids, PipelinedGrid,
                          ::testing::Values(Grid{1, 1}, Grid{2, 2},
                                            Grid{4, 2}, Grid{3, 2}));
 
+// Volumetric grids: the z axis is now split too. The same acceptance bar
+// applies — the distributed sweep must stay an exact global L^-1 apply,
+// bitwise against the single domain at any px*py*pz.
+struct Grid3 {
+  int px, py, pz;
+};
+class PipelinedGrid3 : public ::testing::TestWithParam<Grid3> {};
+
+TEST_P(PipelinedGrid3, ReproducesSingleDomainFluxAndIterationCounts) {
+  const auto [px, py, pz] = GetParam();
+  snap::Input input = pipe_input();
+  input.fixed_iterations = false;
+  input.epsi = 1e-6;
+  input.iitm = 300;
+  input.oitm = 10;
+
+  core::IterationResult reference;
+  const std::vector<double> phi_ref = single_domain_phi(input, &reference);
+
+  DistributedSweepSolver solver(input, px, py, pz);
+  const DistributedSweepResult result = solver.run();
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.outers, reference.outers);
+  EXPECT_EQ(result.inners, reference.inners);
+  const double diff = max_diff(phi_ref, solver.gather_scalar_flux());
+  EXPECT_LT(diff, input.epsi);
+  EXPECT_LT(diff, 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, PipelinedGrid3,
+                         ::testing::Values(Grid3{1, 1, 4}, Grid3{2, 2, 2},
+                                           Grid3{4, 2, 3}, Grid3{2, 2, 4}));
+
 TEST(Pipelined, FixedIterationCountsMatchInput) {
   snap::Input input = pipe_input();
   input.iitm = 3;
@@ -192,6 +261,29 @@ TEST(Pipelined, GmresMatchesSingleDomain) {
   // The distributed inner products reduce per-rank partial dots, so the
   // iterates agree to rounding (not bitwise) with the serial recurrence.
   EXPECT_LT(max_diff(phi_ref, solver.gather_scalar_flux()), 1e-8);
+}
+
+TEST(Pipelined, GmresMatchesSingleDomainVolumetric) {
+  // GMRES composing unchanged must survive the z split as well.
+  snap::Input input = pipe_input();
+  input.iteration_scheme = snap::IterationScheme::Gmres;
+  input.scattering_ratio = 0.9;
+  input.fixed_iterations = true;
+  input.iitm = 12;
+  input.oitm = 2;
+
+  core::IterationResult reference;
+  const std::vector<double> phi_ref = single_domain_phi(input, &reference);
+
+  for (const auto& [px, py, pz] : {Grid3{2, 2, 2}, Grid3{4, 2, 3}}) {
+    SCOPED_TRACE(::testing::Message() << px << "x" << py << "x" << pz);
+    DistributedSweepSolver solver(input, px, py, pz);
+    const DistributedSweepResult result = solver.run();
+    EXPECT_EQ(result.outers, reference.outers);
+    EXPECT_EQ(result.sweeps, reference.sweeps);
+    EXPECT_EQ(result.krylov_iters, reference.krylov_iters);
+    EXPECT_LT(max_diff(phi_ref, solver.gather_scalar_flux()), 1e-8);
+  }
 }
 
 TEST(Pipelined, GmresSingleRankMatchesSerialClosely) {

@@ -1,0 +1,174 @@
+// The virtual-rank sweep scale model (comm/scale_model.*): closed-form
+// checks on small grids, consistency invariants, both octant orderings,
+// and the headline property — thousands of ranks modelled in milliseconds
+// without building a single submesh.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "angular/quadrature.hpp"
+#include "comm/scale_model.hpp"
+#include "util/assert.hpp"
+
+namespace unsnap::comm {
+namespace {
+
+ScaleModelResult simulate(int px, int py, int pz,
+                          OctantOrdering ordering = OctantOrdering::Sequential,
+                          double rank_work = 1.0, double hop_latency = 0.0) {
+  return simulate_sweep_scale({.px = px,
+                               .py = py,
+                               .pz = pz,
+                               .rank_work = rank_work,
+                               .hop_latency = hop_latency,
+                               .ordering = ordering});
+}
+
+void expect_consistent(const ScaleModelResult& r) {
+  // Invariants every schedule must satisfy, regardless of grid/ordering.
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_GE(r.fill_time, 0.0);
+  EXPECT_GE(r.drain_time, 0.0);
+  EXPECT_LE(r.fill_time, r.makespan);
+  EXPECT_LE(r.drain_time, r.makespan);
+  EXPECT_GT(r.efficiency, 0.0);
+  EXPECT_LE(r.efficiency, 1.0 + 1e-12);
+  EXPECT_GT(r.mean_occupancy, 0.0);
+  EXPECT_LE(r.mean_occupancy, r.peak_occupancy + 1e-12);
+  EXPECT_LE(r.peak_occupancy, 1.0 + 1e-12);
+  EXPECT_GE(r.mean_idle_fraction, 0.0);
+  EXPECT_LE(r.mean_idle_fraction, r.max_idle_fraction + 1e-12);
+  EXPECT_LE(r.max_idle_fraction, 1.0);
+  // Mean occupancy integrates the same busy time efficiency normalises.
+  EXPECT_NEAR(r.mean_occupancy, r.efficiency, 1e-12);
+}
+
+TEST(ScaleModel, SingleRankIsPerfect) {
+  for (const OctantOrdering ordering :
+       {OctantOrdering::Sequential, OctantOrdering::Interleaved}) {
+    const ScaleModelResult r = simulate(1, 1, 1, ordering);
+    EXPECT_EQ(r.ranks, 1);
+    EXPECT_EQ(r.pipeline_stages, 1);
+    // One rank, eight octant sweeps back to back: no fill, no drain.
+    EXPECT_DOUBLE_EQ(r.makespan, angular::kOctants * 1.0);
+    EXPECT_DOUBLE_EQ(r.fill_time, 0.0);
+    EXPECT_DOUBLE_EQ(r.drain_time, 0.0);
+    EXPECT_DOUBLE_EQ(r.efficiency, 1.0);
+    EXPECT_DOUBLE_EQ(r.mean_idle_fraction, 0.0);
+    expect_consistent(r);
+  }
+}
+
+TEST(ScaleModel, ClosedFormTwoCubedGrid) {
+  // 2x2x2, unit work: each octant pipeline is 4 stages deep.
+  const ScaleModelResult seq = simulate(2, 2, 2, OctantOrdering::Sequential);
+  EXPECT_EQ(seq.ranks, 8);
+  EXPECT_EQ(seq.pipeline_stages, 4);
+  // Sequential: between consecutive octants the same corner rank is the
+  // bottleneck, so the 8 octants pipeline into 8 + (4 - 1) - 1 = 10 units.
+  EXPECT_DOUBLE_EQ(seq.makespan, 10.0);
+  EXPECT_DOUBLE_EQ(seq.efficiency, 8.0 * 8.0 / (8.0 * 10.0));
+  expect_consistent(seq);
+
+  // Interleaved: every rank is the depth-0 corner of exactly one octant,
+  // so all 8 ranks start at t=0 and stay busy — a perfect schedule.
+  const ScaleModelResult il = simulate(2, 2, 2, OctantOrdering::Interleaved);
+  EXPECT_DOUBLE_EQ(il.makespan, 8.0);
+  EXPECT_DOUBLE_EQ(il.efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(il.fill_time, 0.0);
+  EXPECT_DOUBLE_EQ(il.drain_time, 0.0);
+  expect_consistent(il);
+}
+
+TEST(ScaleModel, RankWorkScalesTimesNotEfficiency) {
+  const ScaleModelResult unit = simulate(4, 2, 3);
+  const ScaleModelResult scaled =
+      simulate(4, 2, 3, OctantOrdering::Sequential, /*rank_work=*/2.5);
+  EXPECT_DOUBLE_EQ(scaled.makespan, 2.5 * unit.makespan);
+  EXPECT_DOUBLE_EQ(scaled.fill_time, 2.5 * unit.fill_time);
+  EXPECT_DOUBLE_EQ(scaled.drain_time, 2.5 * unit.drain_time);
+  EXPECT_DOUBLE_EQ(scaled.efficiency, unit.efficiency);
+}
+
+TEST(ScaleModel, HopLatencyOnlyHurts) {
+  const ScaleModelResult free = simulate(4, 4, 2);
+  const ScaleModelResult laggy =
+      simulate(4, 4, 2, OctantOrdering::Sequential, 1.0, /*hop_latency=*/0.25);
+  EXPECT_GT(laggy.makespan, free.makespan);
+  EXPECT_LT(laggy.efficiency, free.efficiency);
+  expect_consistent(laggy);
+}
+
+TEST(ScaleModel, InterleavingNeverLosesToSequential) {
+  // The interleaved wavefront overlaps one octant's drain with another's
+  // fill; on every grid it should do at least as well as the sequential
+  // front (and strictly better once the pipeline is deep).
+  const int grids[][3] = {{2, 2, 2}, {4, 2, 3}, {4, 4, 4}, {8, 8, 4}};
+  for (const auto& g : grids) {
+    const ScaleModelResult seq =
+        simulate(g[0], g[1], g[2], OctantOrdering::Sequential);
+    const ScaleModelResult il =
+        simulate(g[0], g[1], g[2], OctantOrdering::Interleaved);
+    EXPECT_GE(il.efficiency + 1e-12, seq.efficiency)
+        << g[0] << "x" << g[1] << "x" << g[2];
+    expect_consistent(seq);
+    expect_consistent(il);
+  }
+}
+
+TEST(ScaleModel, ThousandsOfRanksWithoutSubmeshes) {
+  // The acceptance bar of the tentpole: >= 1024 virtual ranks modelled
+  // directly. The schedule is pure arithmetic, so even 4096 ranks (32768
+  // tasks) must complete in interactive time.
+  const auto start = std::chrono::steady_clock::now();
+  const ScaleModelResult k1 = simulate(16, 16, 4, OctantOrdering::Sequential);
+  const ScaleModelResult k4 = simulate(16, 16, 16, OctantOrdering::Interleaved);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(k1.ranks, 1024);
+  EXPECT_EQ(k4.ranks, 4096);
+  EXPECT_EQ(k1.pipeline_stages, 16 + 16 + 4 - 2);
+  EXPECT_EQ(k4.pipeline_stages, 16 + 16 + 16 - 2);
+  expect_consistent(k1);
+  expect_consistent(k4);
+  // Deep pipelines: efficiency well below 1 but far from collapse.
+  EXPECT_LT(k1.efficiency, 0.5);
+  EXPECT_GT(k1.efficiency, 0.05);
+  // Generous wall-clock bound (CI machines vary); typical runs are < 50 ms.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
+}
+
+TEST(ScaleModel, DegenerateColumnGridMatchesKba) {
+  // pz = 1 reduces to the classic column KBA pipeline.
+  const ScaleModelResult r = simulate(4, 4, 1);
+  EXPECT_EQ(r.ranks, 16);
+  EXPECT_EQ(r.pipeline_stages, 4 + 4 - 1);
+  expect_consistent(r);
+}
+
+TEST(ScaleModel, OrderingNamesRoundTrip) {
+  EXPECT_EQ(to_string(OctantOrdering::Sequential), "sequential");
+  EXPECT_EQ(to_string(OctantOrdering::Interleaved), "interleaved");
+  EXPECT_EQ(octant_ordering_from_string("sequential"),
+            OctantOrdering::Sequential);
+  EXPECT_EQ(octant_ordering_from_string("interleaved"),
+            OctantOrdering::Interleaved);
+  EXPECT_THROW((void)octant_ordering_from_string("diagonal"), InvalidInput);
+}
+
+TEST(ScaleModel, RejectsInvalidConfigs) {
+  EXPECT_THROW((void)simulate(0, 1, 1), InvalidInput);
+  EXPECT_THROW((void)simulate(1, -2, 1), InvalidInput);
+  EXPECT_THROW((void)simulate(1, 1, 0), InvalidInput);
+  EXPECT_THROW((void)simulate(2, 2, 2, OctantOrdering::Sequential,
+                              /*rank_work=*/0.0),
+               InvalidInput);
+  EXPECT_THROW((void)simulate(2, 2, 2, OctantOrdering::Sequential, 1.0,
+                              /*hop_latency=*/-0.5),
+               InvalidInput);
+}
+
+}  // namespace
+}  // namespace unsnap::comm

@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -231,6 +233,73 @@ TEST(Scheduler, CancelDequeuesOnlyQueuedJobs) {
   b->wait_terminal();  // already terminal: returns immediately
   EXPECT_FALSE(sched.cancel("b"));
   sched.release(*a);
+}
+
+TEST(Scheduler, SoakMixedPrioritiesAndWidthsNeverOversubscribeOrStarve) {
+  // Several hundred mixed submissions through real worker threads: the
+  // ledger must never exceed the budget, every job must reach a terminal
+  // state (no starvation even for priority-0 one-thread jobs behind
+  // higher-priority wide ones), and cancel-during-queue is always
+  // terminal.
+  constexpr int kBudget = 4;
+  constexpr int kJobs = 320;
+  serve::Scheduler sched(kBudget);
+
+  std::atomic<int> executed{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kBudget; ++w)
+    workers.emplace_back([&] {
+      while (const auto job = sched.acquire()) {
+        EXPECT_EQ(job->state.load(), serve::RunState::Running);
+        EXPECT_LE(sched.stats().threads_in_use, kBudget);
+        job->finish(serve::RunState::Done, "{}");
+        sched.release(*job);
+        executed.fetch_add(1);
+      }
+    });
+
+  // Deterministic mixed battery: priorities 0..4, widths 1..kBudget,
+  // every 7th job cancelled immediately after submission.
+  std::vector<std::shared_ptr<serve::Job>> jobs;
+  std::vector<bool> cancelled(kJobs, false);
+  for (int i = 0; i < kJobs; ++i) {
+    const auto job = make_job("soak-" + std::to_string(i),
+                              1 + (i * 3) % kBudget, (i * 5) % 5, i);
+    jobs.push_back(job);
+    sched.submit(job);
+    if (i % 7 == 0) {
+      // cancel() returns false if the job already dispatched; when it
+      // returns true the job must be terminally Cancelled at once.
+      cancelled[static_cast<std::size_t>(i)] = sched.cancel(job->id);
+      if (cancelled[static_cast<std::size_t>(i)]) {
+        EXPECT_EQ(job->state.load(), serve::RunState::Cancelled);
+        EXPECT_TRUE(job->terminal());
+        // A second cancel of a terminal job is a no-op, never a revival.
+        EXPECT_FALSE(sched.cancel(job->id));
+      }
+    }
+  }
+
+  // Every surviving job drains: wait_terminal returning IS the
+  // no-starvation assertion (a starved job would hang the test).
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i]->wait_terminal();
+    EXPECT_EQ(jobs[i]->state.load(), cancelled[i]
+                                         ? serve::RunState::Cancelled
+                                         : serve::RunState::Done)
+        << jobs[i]->id;
+  }
+  sched.shutdown();
+  for (std::thread& t : workers) t.join();
+
+  const serve::Scheduler::Stats stats = sched.stats();
+  EXPECT_LE(stats.peak_threads, kBudget);
+  EXPECT_EQ(stats.threads_in_use, 0);
+  EXPECT_EQ(stats.queued, 0);
+  int expected = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    if (!cancelled[i]) ++expected;
+  EXPECT_EQ(executed.load(), expected);
 }
 
 TEST(Scheduler, ShutdownCancelsQueueAndStopsWorkers) {
@@ -538,6 +607,117 @@ TEST(Server, StopDoesNotHangOnIdleQueuedConnections) {
   for (int i = 0; i < 8; ++i)
     idle.push_back(util::Socket::connect_unix(path));
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.stop();
+}
+
+TEST(Server, ScheduleModeVolumetricDeckCarriesTheScaleModel) {
+  const std::string path = test_socket_path("scale");
+  serve::ServerOptions options;
+  options.unix_path = path;
+  options.workers = 1;
+  serve::Server server(options);
+  server.start();
+
+  serve::Client client = serve::Client::connect_unix(path);
+  const std::string id = client.submit(
+      tiny_deck(4, 2,
+                "[run]\nmode = schedule\n"
+                "[decomposition]\npx = 2\npy = 2\npz = 2\n"));
+  ASSERT_EQ(client.await_terminal(id), serve::RunState::Done);
+
+  // A schedule-mode deck with a volumetric decomposition returns the
+  // simulated pipeline/idle model in its envelope: both octant orderings
+  // with the fill/drain/efficiency economics, no solve, no submeshes.
+  const util::JsonValue result = client.result(id);
+  const util::JsonValue& record = result.at("record");
+  EXPECT_EQ(record.get_string("mode"), "schedule");
+  EXPECT_EQ(record.find("iteration"), nullptr);
+  const util::JsonValue* scale = record.find("scale");
+  ASSERT_NE(scale, nullptr);
+  EXPECT_EQ(scale->get_int("ranks"), 8);
+  EXPECT_EQ(scale->get_int("pz"), 2);
+  const std::vector<util::JsonValue>& orderings =
+      scale->at("orderings").items();
+  ASSERT_EQ(orderings.size(), 2u);
+  for (const util::JsonValue& o : orderings) {
+    EXPECT_EQ(o.get_int("pipeline_stages"), 4);
+    EXPECT_GT(o.get_number("makespan"), 0.0);
+    EXPECT_GT(o.get_number("efficiency"), 0.0);
+    EXPECT_LE(o.get_number("efficiency"), 1.0);
+  }
+  server.stop();
+}
+
+// --- frame fuzzing: hostile bytes on the wire ------------------------------
+
+/// Write raw bytes (no framing) straight onto a connected socket.
+void send_raw(const util::Socket& sock, const void* data, std::size_t len) {
+  ASSERT_EQ(::send(sock.fd(), data, len, MSG_NOSIGNAL),
+            static_cast<ssize_t>(len));
+}
+
+TEST(ServerFuzz, MalformedFramesNeverWedgeOrKillTheDaemon) {
+  const std::string path = test_socket_path("fuzz");
+  serve::ServerOptions options;
+  options.unix_path = path;
+  options.workers = 1;
+  options.conn_threads = 2;
+  serve::Server server(options);
+  server.start();
+
+  // 1. Truncated length prefix: two of the four header bytes, then gone.
+  {
+    util::Socket sock = util::Socket::connect_unix(path);
+    const unsigned char half[2] = {0x00, 0x00};
+    send_raw(sock, half, sizeof half);
+  }
+  // 2. Declared length over the 64 MiB frame cap: the connection must be
+  //    dropped before any allocation of that size.
+  {
+    util::Socket sock = util::Socket::connect_unix(path);
+    const unsigned char huge[4] = {0x7f, 0xff, 0xff, 0xff};
+    send_raw(sock, huge, sizeof huge);
+    EXPECT_EQ(sock.recv_frame(), std::nullopt);  // closed, no reply
+  }
+  // 3. Garbage non-JSON payload in a well-formed frame: a clean error
+  //    envelope on THIS connection, which stays usable afterwards.
+  {
+    util::Socket sock = util::Socket::connect_unix(path);
+    sock.send_frame("\x01\x02 this is not json {{{");
+    const std::optional<std::string> reply = sock.recv_frame();
+    ASSERT_TRUE(reply.has_value());
+    const util::JsonValue envelope = util::json_parse(*reply);
+    EXPECT_FALSE(envelope.get_bool("ok"));
+    EXPECT_FALSE(envelope.get_string("error").empty());
+    sock.send_frame("{\"op\":\"ping\"}");
+    const std::optional<std::string> pong = sock.recv_frame();
+    ASSERT_TRUE(pong.has_value());
+    EXPECT_TRUE(util::json_parse(*pong).get_bool("ok"));
+  }
+  // 4. Mid-frame disconnect: a plausible header, a fraction of the
+  //    payload, then a vanished peer.
+  {
+    util::Socket sock = util::Socket::connect_unix(path);
+    const unsigned char header[4] = {0x00, 0x00, 0x01, 0x00};  // 256 bytes
+    send_raw(sock, header, sizeof header);
+    send_raw(sock, "{\"op\":\"sub", 10);
+  }
+  // 5. Zero-length frame: an empty payload is a parse error, not a crash.
+  {
+    util::Socket sock = util::Socket::connect_unix(path);
+    const unsigned char zero[4] = {0x00, 0x00, 0x00, 0x00};
+    send_raw(sock, zero, sizeof zero);
+    const std::optional<std::string> reply = sock.recv_frame();
+    if (reply.has_value())
+      EXPECT_FALSE(util::json_parse(*reply).get_bool("ok"));
+  }
+
+  // After every abuse pattern the daemon still serves real work on a
+  // fresh connection — nothing wedged, nothing died.
+  serve::Client client = serve::Client::connect_unix(path);
+  EXPECT_TRUE(client.ping());
+  const std::string id = client.submit(tiny_deck(4, 2));
+  EXPECT_EQ(client.await_terminal(id), serve::RunState::Done);
   server.stop();
 }
 

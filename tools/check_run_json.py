@@ -157,16 +157,45 @@ def check_record(record, path):
     if "decomposition" in record:
         d = record["decomposition"]
         if check_fields(d, {
-            "px": "int", "py": "int", "exchange": "str",
+            "px": "int", "py": "int", "pz": "int", "exchange": "str",
             "pipeline_stages": "int", "lagged_rank_edges": "int",
             "modelled_pipeline_efficiency": "num",
             "mean_idle_fraction": "num", "max_idle_fraction": "num",
             "rank_idle_seconds": "numlist", "rank_sweep_seconds": "numlist",
         }, f"{path}.decomposition"):
-            ranks = d["px"] * d["py"]
+            ranks = d["px"] * d["py"] * d["pz"]
             expect(len(d["rank_idle_seconds"]) in (0, ranks),
                    f"{path}.decomposition.rank_idle_seconds",
                    f"expected 0 or {ranks} entries")
+
+    if "scale" in record:
+        s = record["scale"]
+        if check_fields(s, {
+            "px": "int", "py": "int", "pz": "int", "ranks": "int",
+            "rank_work": "num", "hop_latency": "num",
+        }, f"{path}.scale"):
+            expect(s["ranks"] == s["px"] * s["py"] * s["pz"],
+                   f"{path}.scale.ranks", "ranks != px*py*pz")
+            orderings = s.get("orderings", [])
+            if expect(isinstance(orderings, list) and len(orderings) > 0,
+                      f"{path}.scale.orderings",
+                      "expected a non-empty ordering array"):
+                for i, o in enumerate(orderings):
+                    if not check_fields(o, {
+                        "ordering": "str", "pipeline_stages": "int",
+                        "makespan": "num", "fill_time": "num",
+                        "drain_time": "num", "efficiency": "num",
+                        "mean_occupancy": "num", "peak_occupancy": "num",
+                        "mean_idle_fraction": "num",
+                        "max_idle_fraction": "num",
+                    }, f"{path}.scale.orderings[{i}]"):
+                        continue
+                    expect(o["ordering"] in ("sequential", "interleaved"),
+                           f"{path}.scale.orderings[{i}].ordering",
+                           f"unknown ordering {o['ordering']!r}")
+                    expect(0.0 < o["efficiency"] <= 1.0,
+                           f"{path}.scale.orderings[{i}].efficiency",
+                           "efficiency outside (0, 1]")
 
     if mode == "time":
         if expect("time" in record, path, "mode time requires a time block"):
