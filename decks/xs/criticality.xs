@@ -1,0 +1,29 @@
+# UnSNAP multigroup cross-section library: a two-group fuel/water pair
+# for the criticality deck (decks/criticality.inp). Group 0 is the fast
+# group, group 1 thermal; scattering is pure downscatter, so mode = keff
+# splits the solve into one groupset per group by default.
+#
+# The fuel's infinite-medium eigenvalue is exactly 1:
+#   removal_0   = sigt_0 - s(0->0)             = 2.0 - 1.2 = 0.8
+#   phi_1/phi_0 = s(0->1) / (sigt_1 - s(1->1)) = 0.4 / 1.2 = 1/3
+#   k_inf       = (nu_sigf_0 + nu_sigf_1 * phi_1/phi_0) / removal_0
+#               = (0.48 + 0.96/3) / 0.8        = 1
+
+groups 2
+velocities 2.0 1.0
+
+material fuel
+  sigt 2.0 3.2
+  nu_sigf 0.48 0.96
+  chi 1 0
+  scatter 0 0 0 1.2
+  scatter 0 0 1 0.4
+  scatter 0 1 1 2.0
+end
+
+material water
+  sigt 2.4 4.8
+  scatter 0 0 0 1.8
+  scatter 0 0 1 0.56
+  scatter 0 1 1 4.2
+end

@@ -71,11 +71,30 @@ void print_iteration_report(const core::IterationResult& result,
 void print_balance_report(const core::BalanceReport& balance,
                           std::FILE* out) {
   std::fprintf(out, "particle balance:\n"
-              "  source      %.6e\n  inflow      %.6e\n"
+              "  source      %.6e\n  inflow      %.6e\n",
+              balance.source, balance.inflow);
+  if (balance.fission != 0.0)
+    std::fprintf(out, "  fission     %.6e (production / k)\n",
+                balance.fission);
+  std::fprintf(out,
               "  absorption  %.6e\n  leakage     %.6e\n"
               "  residual    %.3e (relative %.3e)\n",
-              balance.source, balance.inflow, balance.absorption,
-              balance.leakage, balance.residual(), balance.relative());
+              balance.absorption, balance.leakage, balance.residual(),
+              balance.relative());
+  // The per-group ledger table only renders for the keff mode's
+  // fission-extended reports (and only when there is more than one group
+  // to split over).
+  if (balance.fission != 0.0 && balance.num_groups() > 1) {
+    std::fprintf(out,
+                "  group       source        fission       absorption"
+                "    leakage\n");
+    for (int g = 0; g < balance.num_groups(); ++g) {
+      const auto i = static_cast<std::size_t>(g);
+      std::fprintf(out, "  %5d   %.6e  %.6e  %.6e  %.6e\n", g,
+                  balance.group_source[i], balance.group_fission[i],
+                  balance.group_absorption[i], balance.group_leakage[i]);
+    }
+  }
 }
 
 void print_schedule_report(const core::TransportSolver& solver) {

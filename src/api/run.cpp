@@ -252,6 +252,7 @@ RunRecord Run::execute() {
       break;
     case RunMode::Mms: record = execute_mms(std::move(record)); break;
     case RunMode::Time: record = execute_time(std::move(record)); break;
+    case RunMode::Keff: record = execute_keff(std::move(record)); break;
   }
   // Summarise whatever the tracer collected during this execution. Only
   // when tracing is on: an untraced record must stay byte-identical to
@@ -383,18 +384,33 @@ RunRecord Run::execute_mms(RunRecord record) {
 }
 
 RunRecord Run::execute_time(RunRecord record) {
-  const snap::Input input = config_.builder().to_input();
   OBS_SPAN("run.solve");
-  const auto disc = [&] {
-    OBS_SPAN("run.lower");
-    return shared_disc_
-               ? shared_disc_
-               : std::make_shared<const core::Discretization>(input);
-  }();
-  shared_disc_ = disc;
-  time_solver_ = std::make_unique<core::TimeDependentSolver>(
-      disc, input, core::TimeDependentSolver::snap_velocities(input.ng),
-      config_.time.dt);
+  if (config_.xs.active()) {
+    // Library route: the lowered ProblemData carries the library's cross
+    // sections; the library's group velocities replace the generated ones.
+    {
+      OBS_SPAN("run.lower");
+      problem_.emplace(shared_disc_ ? config_.builder().build(shared_disc_)
+                                    : config_.builder().build());
+      shared_disc_ = problem_->discretization_ptr();
+    }
+    const xs::Library lib = xs::read_library_file(config_.xs.file);
+    time_solver_ = std::make_unique<core::TimeDependentSolver>(
+        shared_disc_, problem_->input(), problem_->data(), lib.velocity,
+        config_.time.dt);
+  } else {
+    const snap::Input input = config_.builder().to_input();
+    const auto disc = [&] {
+      OBS_SPAN("run.lower");
+      return shared_disc_
+                 ? shared_disc_
+                 : std::make_shared<const core::Discretization>(input);
+    }();
+    shared_disc_ = disc;
+    time_solver_ = std::make_unique<core::TimeDependentSolver>(
+        disc, input, core::TimeDependentSolver::snap_velocities(input.ng),
+        config_.time.dt);
+  }
   core::TransportSolver& inner = time_solver_->solver();
   // Valid after construction only: the TimeDependentSolver ctor has
   // already folded 1/(v dt) into sigma_t, and the matrices stay constant
@@ -429,6 +445,84 @@ RunRecord Run::execute_time(RunRecord record) {
   record.iteration = std::move(folded);
   record.flux =
       make_flux_digest(inner.discretization(), inner.scalar_flux());
+  return record;
+}
+
+RunRecord Run::execute_keff(RunRecord record) {
+  {
+    OBS_SPAN("run.lower");
+    problem_.emplace(shared_disc_ ? config_.builder().build(shared_disc_)
+                                  : config_.builder().build());
+    shared_disc_ = problem_->discretization_ptr();
+  }
+  xs::KeffOptions options;
+  if (!config_.xs.groupsets.empty())
+    options.groupsets =
+        xs::parse_groupsets(config_.xs.groupsets, problem_->input().ng);
+  options.k_tol = config_.xs.k_tol;
+  options.fission_tol = config_.xs.fission_tol;
+  options.max_outers = config_.xs.max_outers;
+  options.extrapolate = config_.xs.extrapolate;
+  keff_ = std::make_unique<xs::KeffSolver>(shared_disc_, problem_->input(),
+                                           problem_->data(), options);
+  keff_->set_observer(observer_);
+  // The serve layer's single-slot operator cache holds one global
+  // operator; the per-groupset operators here are built fresh per run.
+  shared_pre_.reset();
+  if (config_.execution.preassembly != snap::PreassemblyMode::None) {
+    OBS_SPAN("run.preassembly");
+    keff_->enable_preassembly(
+        config_.execution.preassembly == snap::PreassemblyMode::FactoredLu
+            ? core::PreassembledOperator::Mode::FactoredLu
+            : core::PreassembledOperator::Mode::ExplicitInverse);
+  }
+
+  // The groupset solvers each span only their own groups; the config line
+  // reports the global problem and the summed preassembly footprint.
+  record.config =
+      make_configuration_from(problem_->input(), shared_disc_.get());
+  if (config_.execution.preassembly != snap::PreassemblyMode::None) {
+    record.config.preassembly =
+        snap::to_string(config_.execution.preassembly);
+    record.config.preassembly_bytes = keff_->preassembly_bytes();
+  }
+  record.schedule = make_schedule_stats_from(
+      shared_disc_->schedules(), problem_->input().num_threads,
+      angular::kOctants * problem_->input().nang);
+
+  xs::KeffResult result;
+  {
+    OBS_SPAN("run.solve");
+    result = keff_->run();
+  }
+
+  core::IterationResult folded;
+  folded.converged = result.converged;
+  folded.outers = result.outers;
+  folded.inners = result.inners;
+  folded.sweeps = result.sweeps;
+  folded.krylov_iters = result.krylov_iters;
+  folded.final_inner_change = result.final_fission_change;
+  folded.final_outer_change = result.final_k_change;
+  folded.total_seconds = result.total_seconds;
+  record.iteration = std::move(folded);
+
+  record.balance = keff_->balance();
+  record.flux = make_flux_digest(*shared_disc_, keff_->scalar_flux());
+
+  RunRecord::KeffStats stats;
+  stats.k = result.k;
+  stats.converged = result.converged;
+  stats.outers = result.outers;
+  stats.dominance_ratio = result.dominance_ratio;
+  stats.final_k_change = result.final_k_change;
+  stats.final_fission_change = result.final_fission_change;
+  stats.k_history = result.k_history;
+  for (const xs::GroupRange& set : keff_->groupsets())
+    stats.groupsets.push_back({set.lo, set.hi});
+  stats.groupset_sweeps = result.groupset_sweeps;
+  stats.extrapolated = config_.xs.extrapolate;
+  record.keff = std::move(stats);
   return record;
 }
 
@@ -515,10 +609,24 @@ std::string to_json(const RunRecord& record) {
     json.key("balance").begin_object();
     json.kv("source", b.source);
     json.kv("inflow", b.inflow);
+    // The fission term and per-group ledgers only appear for keff runs:
+    // records of the pre-keff modes stay byte-identical to the original
+    // schema (golden comparisons and cache-hit equality diff the JSON).
+    if (record.keff) json.kv("fission", b.fission);
     json.kv("absorption", b.absorption);
     json.kv("leakage", b.leakage);
     json.kv("residual", b.residual());
     json.kv("relative", b.relative());
+    if (record.keff) {
+      json.key("group_source").value(std::span<const double>(b.group_source));
+      json.key("group_inflow").value(std::span<const double>(b.group_inflow));
+      json.key("group_fission")
+          .value(std::span<const double>(b.group_fission));
+      json.key("group_absorption")
+          .value(std::span<const double>(b.group_absorption));
+      json.key("group_leakage")
+          .value(std::span<const double>(b.group_leakage));
+    }
     json.end_object();
   }
 
@@ -599,6 +707,31 @@ std::string to_json(const RunRecord& record) {
   if (record.mms_l2_error) {
     json.key("mms").begin_object();
     json.kv("l2_error", *record.mms_l2_error);
+    json.end_object();
+  }
+
+  if (record.keff) {
+    const RunRecord::KeffStats& k = *record.keff;
+    json.key("keff").begin_object();
+    json.kv("k", k.k);
+    json.kv("converged", k.converged);
+    json.kv("outers", k.outers);
+    json.kv("dominance_ratio", k.dominance_ratio);
+    json.kv("final_k_change", k.final_k_change);
+    json.kv("final_fission_change", k.final_fission_change);
+    json.kv("extrapolated", k.extrapolated);
+    json.key("k_history").value(std::span<const double>(k.k_history));
+    json.key("groupsets").begin_array();
+    for (std::size_t s = 0; s < k.groupsets.size(); ++s) {
+      json.begin_object();
+      json.kv("lo", k.groupsets[s][0]);
+      json.kv("hi", k.groupsets[s][1]);
+      json.kv("sweeps", s < k.groupset_sweeps.size()
+                            ? k.groupset_sweeps[s]
+                            : static_cast<long long>(0));
+      json.end_object();
+    }
+    json.end_array();
     json.end_object();
   }
 
@@ -711,6 +844,23 @@ void print_scale_report(const RunRecord::ScaleStats& stats, std::FILE* out) {
                 100.0 * o.mean_occupancy, 100.0 * o.peak_occupancy);
 }
 
+void print_keff_report(const RunRecord::KeffStats& stats, std::FILE* out) {
+  std::fprintf(out, "k-eigenvalue: k = %.9f (%s after %d outers%s)\n",
+              stats.k, stats.converged ? "converged" : "NOT converged",
+              stats.outers,
+              stats.extrapolated ? ", extrapolated" : "");
+  std::fprintf(out,
+              "  dominance ratio ~ %.4f, last dk %.3e, "
+              "last fission change %.3e\n",
+              stats.dominance_ratio, stats.final_k_change,
+              stats.final_fission_change);
+  for (std::size_t s = 0; s < stats.groupsets.size(); ++s)
+    std::fprintf(out, "  groupset %zu: groups %d..%d, %lld sweeps\n", s,
+                stats.groupsets[s][0], stats.groupsets[s][1],
+                s < stats.groupset_sweeps.size() ? stats.groupset_sweeps[s]
+                                                 : 0LL);
+}
+
 void print_run_report(const RunRecord& record, std::FILE* out) {
   std::fprintf(out, "%s\n", record.provenance.summary().c_str());
   if (!record.title.empty())
@@ -738,6 +888,10 @@ void print_run_report(const RunRecord& record, std::FILE* out) {
   if (record.scale) {
     std::fprintf(out, "\n");
     print_scale_report(*record.scale, out);
+  }
+  if (record.keff) {
+    std::fprintf(out, "\n");
+    print_keff_report(*record.keff, out);
   }
   if (record.balance) {
     std::fprintf(out, "\n");
@@ -781,6 +935,13 @@ void ProgressObserver::on_outer_end(int outer, double change,
                                     bool converged) {
   std::fprintf(out_, "outer %d done: dfmxo %.6e%s\n", outer, change,
               converged ? " (converged)" : "");
+}
+
+void ProgressObserver::on_keff_outer(int outer, double k, double k_change,
+                                     double fission_change) {
+  std::fprintf(out_,
+              "keff outer %d: k %.9f  dk %.3e  fission change %.3e\n",
+              outer, k, k_change, fission_change);
 }
 
 }  // namespace unsnap::api

@@ -15,6 +15,7 @@
 #include "core/time_dependent.hpp"
 #include "core/transport_solver.hpp"
 #include "obs/trace.hpp"
+#include "xs/keff.hpp"
 
 namespace unsnap::api {
 
@@ -131,6 +132,23 @@ struct RunRecord {
   /// Mms mode: L2 error against the manufactured solution.
   std::optional<double> mms_l2_error;
 
+  /// Keff mode: the power-iteration outcome. `groupsets` lists the block
+  /// Gauss-Seidel partition as inclusive [lo, hi] group ranges, paired
+  /// index-wise with the cumulative per-set sweep counts.
+  struct KeffStats {
+    double k = 1.0;
+    bool converged = false;
+    int outers = 0;
+    double dominance_ratio = 0.0;
+    double final_k_change = 0.0;
+    double final_fission_change = 0.0;
+    std::vector<double> k_history;  // k after each outer
+    std::vector<std::array<int, 2>> groupsets;
+    std::vector<long long> groupset_sweeps;
+    bool extrapolated = false;  // the deck's extrapolation toggle
+  };
+  std::optional<KeffStats> keff;
+
   /// Trace aggregate (per-phase span totals and quantiles) when the run
   /// executed with the obs tracer enabled (`unsnap --trace`); absent —
   /// and the record byte-identical to an untraced run — otherwise.
@@ -174,6 +192,8 @@ void print_decomposition_report(const RunRecord::DecompositionStats& stats,
                                 std::FILE* out = stdout);
 void print_scale_report(const RunRecord::ScaleStats& stats,
                         std::FILE* out = stdout);
+void print_keff_report(const RunRecord::KeffStats& stats,
+                       std::FILE* out = stdout);
 /// The full human report of a deck-driven run (every block the record
 /// carries, in the standard order).
 void print_run_report(const RunRecord& record, std::FILE* out = stdout);
@@ -188,6 +208,8 @@ class ProgressObserver : public core::IterationObserver {
   void on_inner(int inner, int sweeps, double change) override;
   void on_krylov(int iteration, double residual) override;
   void on_outer_end(int outer, double change, bool converged) override;
+  void on_keff_outer(int outer, double k, double k_change,
+                     double fission_change) override;
 
  private:
   std::FILE* out_;
@@ -202,6 +224,7 @@ class ProgressObserver : public core::IterationObserver {
 ///                                deck decomposes), no solve
 ///   mode mms                -> manufactured solve + L2 error
 ///   mode time               -> core::TimeDependentSolver steps
+///   mode keff               -> xs::KeffSolver power iteration
 ///
 /// and returning a RunRecord instead of printing. The built solver stack
 /// stays alive on the Run for post-execute inspection (detector regions,
@@ -268,6 +291,9 @@ class Run {
   [[nodiscard]] const core::TimeDependentSolver* time_solver() const {
     return time_solver_.get();
   }
+  [[nodiscard]] const xs::KeffSolver* keff_solver() const {
+    return keff_.get();
+  }
 
  private:
   RunConfig config_;
@@ -278,6 +304,7 @@ class Run {
   std::unique_ptr<core::TransportSolver> solver_;
   std::unique_ptr<comm::DistributedSweepSolver> distributed_;
   std::unique_ptr<core::TimeDependentSolver> time_solver_;
+  std::unique_ptr<xs::KeffSolver> keff_;
 
   /// Lower config_.execution.preassembly onto a built solver: reuse the
   /// injected shared operator when its mode matches, otherwise build one
@@ -289,6 +316,7 @@ class Run {
   RunRecord execute_schedule(RunRecord record);
   RunRecord execute_mms(RunRecord record);
   RunRecord execute_time(RunRecord record);
+  RunRecord execute_keff(RunRecord record);
 };
 
 }  // namespace unsnap::api

@@ -2,13 +2,20 @@
 
 #include <cctype>
 #include <map>
+#include <optional>
+#include <sstream>
 #include <utility>
 
 #include "snap/deck.hpp"
 #include "util/assert.hpp"
 #include "util/threads.hpp"
+#include "xs/library.hpp"
 
 namespace unsnap::api {
+
+// RunConfig's `xs` member shadows the xs:: namespace inside member
+// functions; alias it for the library route.
+namespace libxs = ::unsnap::xs;
 
 std::string to_string(RunMode mode) {
   switch (mode) {
@@ -16,6 +23,7 @@ std::string to_string(RunMode mode) {
     case RunMode::Schedule: return "schedule";
     case RunMode::Mms: return "mms";
     case RunMode::Time: return "time";
+    case RunMode::Keff: return "keff";
   }
   UNSNAP_ASSERT(false);
   return {};
@@ -26,8 +34,9 @@ RunMode run_mode_from_string(const std::string& name) {
   if (name == "schedule") return RunMode::Schedule;
   if (name == "mms") return RunMode::Mms;
   if (name == "time") return RunMode::Time;
+  if (name == "keff") return RunMode::Keff;
   throw InvalidInput("unknown run mode '" + name +
-                     "' (expected solve, schedule, mms or time)");
+                     "' (expected solve, schedule, mms, time or keff)");
 }
 
 snap::CrossSections MaterialModel::cross_sections() const {
@@ -57,7 +66,32 @@ void RunConfig::validate() const {
   // deck's source location (the binder wraps validate() failures). The
   // daemon reuses this same check against its worker thread budget.
   util::require_thread_budget(execution.num_threads, "execution: threads");
+  // The [xs] library is loaded once up front: the material-route, mode
+  // and groupset checks below all need its shape.
+  std::optional<libxs::Library> lib;
+  if (xs.active()) {
+    lib = libxs::read_library_file(xs.file);
+    require(xs.k_tol > 0.0, "xs: k_tol must be positive");
+    require(xs.fission_tol > 0.0, "xs: fission_tol must be positive");
+    require(xs.max_outers >= 1, "xs: max_outers must be at least 1");
+    require(materials.num_groups == lib->ng,
+            "materials: ng = " + std::to_string(materials.num_groups) +
+                " disagrees with the [xs] library '" + xs.file +
+                "', which carries " + std::to_string(lib->ng) + " groups");
+    require(lib->nmom >= angular.nmom,
+            "xs: library '" + xs.file + "' carries " +
+                std::to_string(lib->nmom) +
+                " scattering orders but [angular] nmom = " +
+                std::to_string(angular.nmom));
+    if (!xs.groupsets.empty())
+      (void)libxs::parse_groupsets(xs.groupsets, lib->ng);
+  }
   if (materials.custom()) {
+    require(!xs.active(),
+            "materials: the custom sigt route and an [xs] library are "
+            "mutually exclusive");
+    require(materials.material_names.empty(),
+            "materials: material name bindings need an [xs] library");
     require(materials.sigt.size() == materials.scattering.size(),
             "materials: sigt lists " + std::to_string(materials.sigt.size()) +
                 " materials but scattering lists " +
@@ -77,10 +111,33 @@ void RunConfig::validate() const {
               "materials: region material id " +
                   std::to_string(r.material) + " outside 0.." +
                   std::to_string(nm - 1));
+  } else if (xs.active()) {
+    require(materials.scattering.empty(),
+            "materials: scattering lists need a sigt list (the custom "
+            "route)");
+    for (const std::string& name : materials.material_names)
+      require(lib->index_of(name) >= 0,
+              "materials: material '" + name +
+                  "' is not in the [xs] library '" + xs.file + "'");
+    const int nm = materials.material_names.empty()
+                       ? static_cast<int>(lib->materials.size())
+                       : static_cast<int>(materials.material_names.size());
+    require(materials.default_material >= 0 &&
+                materials.default_material < nm,
+            "materials: default_material outside 0.." +
+                std::to_string(nm - 1));
+    for (const MaterialRegion& r : materials.regions)
+      require(r.material >= 0 && r.material < nm,
+              "materials: region material id " +
+                  std::to_string(r.material) + " outside 0.." +
+                  std::to_string(nm - 1));
   } else {
     require(materials.regions.empty() && materials.scattering.empty(),
             "materials: region/scattering lists need a sigt list (the "
             "custom route)");
+    require(materials.material_names.empty(),
+            "materials: material name bindings need an [xs] library "
+            "([xs] file = ...)");
   }
   for (const SourceRegion& r : source.regions)
     require(r.group >= -1 && r.group < materials.num_groups,
@@ -108,9 +165,29 @@ void RunConfig::validate() const {
             "time: the time integrator consumes the flat snap::Input deck "
             "(no custom material/source regions)");
   }
-  if (mode == RunMode::Mms)
+  if (mode == RunMode::Time && xs.active())
+    require(!lib->velocity.empty(),
+            "time: the [xs] library '" + xs.file +
+                "' carries no group velocities");
+  if (mode == RunMode::Mms) {
     require(ranks == 1, "mms: manufactured runs are single-domain");
+    require(!xs.active(),
+            "mms: manufactured runs overwrite materials (no [xs] library)");
+  }
+  if (mode == RunMode::Keff) {
+    require(xs.active(),
+            "keff: mode = keff needs an [xs] library ([xs] file = ...)");
+    require(lib->has_fission(),
+            "keff: the [xs] library '" + xs.file +
+                "' carries no fission data (nu_sigf)");
+    require(!source.custom(),
+            "keff: k-eigenvalue runs are source-free (no [source] regions)");
+    require(ranks == 1, "keff: the k-eigenvalue driver is single-domain");
+  }
   if (ranks > 1) {
+    require(!xs.active(),
+            "decomposition: the distributed drivers consume the flat "
+            "snap::Input deck (no [xs] library)");
     require(!custom,
             "decomposition: the distributed drivers consume the flat "
             "snap::Input deck (no custom material/source regions)");
@@ -142,6 +219,16 @@ ProblemBuilder RunConfig::builder() const {
         if (r.box.contains(c)) return r.material;
       return model.default_material;
     };
+  } else if (xs.active()) {
+    const libxs::Library lib = libxs::read_library_file(xs.file);
+    mat.cross_sections =
+        lib.cross_sections(materials.material_names, angular.nmom);
+    const MaterialModel model = materials;
+    mat.material_map = [model](const fem::Vec3& c) {
+      for (const MaterialRegion& r : model.regions)
+        if (r.box.contains(c)) return r.material;
+      return model.default_material;
+    };
   }
   b.materials(std::move(mat));
 
@@ -162,7 +249,7 @@ ProblemBuilder RunConfig::builder() const {
 
 bool RunConfig::operator==(const RunConfig& o) const {
   return title == o.title && mode == o.mode && mesh == o.mesh &&
-         angular == o.angular && materials == o.materials &&
+         angular == o.angular && materials == o.materials && xs == o.xs &&
          source == o.source && boundary == o.boundary &&
          iteration == o.iteration && decomposition == o.decomposition &&
          execution == o.execution && time == o.time && output == o.output;
@@ -207,6 +294,8 @@ class Binder {
         bind_section(section, &Binder::angular_key);
       else if (section.name == "materials")
         bind_section(section, &Binder::materials_key);
+      else if (section.name == "xs")
+        bind_section(section, &Binder::xs_key);
       else if (section.name == "source")
         bind_section(section, &Binder::source_key);
       else if (section.name == "boundary")
@@ -224,9 +313,10 @@ class Binder {
       else
         throw InvalidInput(
             deck_.at(section.line) + "unknown section [" + section.name +
-            "] (known: run, mesh, angular, materials, source, boundary, "
+            "] (known: run, mesh, angular, materials, xs, source, boundary, "
             "iteration, decomposition, execution, time, output)");
     }
+    if (config_.xs.active()) resolve_library();
     try {
       config_.validate();
     } catch (const InvalidInput& err) {
@@ -239,6 +329,42 @@ class Binder {
   const DeckFile& deck_;
   RunConfig config_;
   std::map<std::string, int> seen_;  // "section.key" -> first line
+  const DeckEntry* ng_entry_ = nullptr;       // materials ng, if the deck set it
+  const DeckEntry* xs_file_entry_ = nullptr;  // [xs] file entry
+
+  /// Resolve the [xs] library path against the deck's directory, load it,
+  /// and reconcile its group count with the deck: an explicit `ng` that
+  /// disagrees is rejected at its own line; an absent one adopts the
+  /// library's. Runs before validate() so shape errors carry the deck
+  /// location rather than the generic `source:` prefix.
+  void resolve_library() {
+    std::string path = config_.xs.file;
+    if (path.front() != '/') {
+      const auto slash = deck_.source.rfind('/');
+      if (slash != std::string::npos)
+        path = deck_.source.substr(0, slash + 1) + path;
+    }
+    config_.xs.file = path;  // echoed by write_deck, so round-trip holds
+    libxs::Library lib;
+    try {
+      lib = libxs::read_library_file(path);
+    } catch (const InvalidInput& err) {
+      // Parser errors already carry their own "path:line:col:" location;
+      // anything else (unreadable file) points at the `file =` entry.
+      const std::string what = err.what();
+      if (what.rfind(path + ":", 0) == 0) throw;
+      UNSNAP_ASSERT(xs_file_entry_ != nullptr);
+      fail_at(deck_, *xs_file_entry_, what);
+    }
+    if (ng_entry_ == nullptr) {
+      config_.materials.num_groups = lib.ng;
+    } else if (config_.materials.num_groups != lib.ng) {
+      fail_at(deck_, *ng_entry_,
+              "ng = " + std::to_string(config_.materials.num_groups) +
+                  " disagrees with the [xs] library '" + path +
+                  "', which carries " + std::to_string(lib.ng) + " groups");
+    }
+  }
 
   using KeyHandler = bool (Binder::*)(const DeckEntry&);
 
@@ -334,8 +460,16 @@ class Binder {
 
   bool materials_key(const DeckEntry& e) {
     MaterialModel& m = config_.materials;
-    if (e.key == "ng") m.num_groups = get_int(e);
-    else if (e.key == "mat_opt") m.mat_opt = get_int(e);
+    if (e.key == "ng") {
+      m.num_groups = get_int(e);
+      ng_entry_ = &e;
+    } else if (e.key == "material") {
+      std::istringstream names(e.value);
+      std::string name;
+      while (names >> name) m.material_names.push_back(name);
+      if (m.material_names.empty())
+        fail_at(deck_, e, "material needs at least one library material name");
+    } else if (e.key == "mat_opt") m.mat_opt = get_int(e);
     else if (e.key == "scattering_ratio") m.scattering_ratio = get_double(e);
     else if (e.key == "sigt") m.sigt = snap::entry_doubles(deck_, e);
     else if (e.key == "scattering")
@@ -354,6 +488,20 @@ class Binder {
       r.box = parse_box(e, v, 1);
       m.regions.push_back(r);
     } else return false;
+    return true;
+  }
+
+  bool xs_key(const DeckEntry& e) {
+    XsSpec& x = config_.xs;
+    if (e.key == "file") {
+      x.file = e.value;
+      xs_file_entry_ = &e;
+    } else if (e.key == "groupsets") x.groupsets = e.value;
+    else if (e.key == "k_tol") x.k_tol = get_double(e);
+    else if (e.key == "fission_tol") x.fission_tol = get_double(e);
+    else if (e.key == "max_outers") x.max_outers = get_int(e);
+    else if (e.key == "extrapolate") x.extrapolate = get_bool(e);
+    else return false;
     return true;
   }
 
@@ -531,21 +679,8 @@ std::string write_deck(const RunConfig& config) {
   w.entry("nmom", a.nmom);
 
   const MaterialModel& mat = config.materials;
-  w.section("materials");
-  w.entry("ng", mat.num_groups);
-  if (!mat.custom()) {
-    w.entry("mat_opt", mat.mat_opt);
-    w.entry("scattering_ratio", mat.scattering_ratio);
-  } else {
-    // The generated-route knobs still round-trip when a deck set both.
-    if (mat.mat_opt != MaterialModel{}.mat_opt)
-      w.entry("mat_opt", mat.mat_opt);
-    if (mat.scattering_ratio != MaterialModel{}.scattering_ratio)
-      w.entry("scattering_ratio", mat.scattering_ratio);
-    w.entry("sigt", mat.sigt);
-    w.entry("scattering", mat.scattering);
-    w.entry("default_material", mat.default_material);
-    for (const MaterialRegion& r : mat.regions)
+  const auto write_regions = [&w](const std::vector<MaterialRegion>& regions) {
+    for (const MaterialRegion& r : regions)
       w.entry("region",
               std::to_string(r.material) + " " +
                   snap::deck_double(r.box.lo[0]) + " " +
@@ -554,6 +689,59 @@ std::string write_deck(const RunConfig& config) {
                   snap::deck_double(r.box.hi[1]) + " " +
                   snap::deck_double(r.box.lo[2]) + " " +
                   snap::deck_double(r.box.hi[2]));
+  };
+  w.section("materials");
+  w.entry("ng", mat.num_groups);
+  if (mat.custom()) {
+    // The generated-route knobs still round-trip when a deck set both.
+    if (mat.mat_opt != MaterialModel{}.mat_opt)
+      w.entry("mat_opt", mat.mat_opt);
+    if (mat.scattering_ratio != MaterialModel{}.scattering_ratio)
+      w.entry("scattering_ratio", mat.scattering_ratio);
+    w.entry("sigt", mat.sigt);
+    w.entry("scattering", mat.scattering);
+    w.entry("default_material", mat.default_material);
+    write_regions(mat.regions);
+  } else if (config.xs.active()) {
+    if (mat.mat_opt != MaterialModel{}.mat_opt)
+      w.entry("mat_opt", mat.mat_opt);
+    if (mat.scattering_ratio != MaterialModel{}.scattering_ratio)
+      w.entry("scattering_ratio", mat.scattering_ratio);
+    if (!mat.material_names.empty()) {
+      std::string names;
+      for (const std::string& name : mat.material_names) {
+        require_deck_encodable("material name", name);
+        require(!name.empty() &&
+                    name.find_first_of(" \t") == std::string::npos,
+                "write_deck: material names must be non-empty and free of "
+                "whitespace");
+        if (!names.empty()) names += ' ';
+        names += name;
+      }
+      w.entry("material", names);
+    }
+    w.entry("default_material", mat.default_material);
+    write_regions(mat.regions);
+  } else {
+    w.entry("mat_opt", mat.mat_opt);
+    w.entry("scattering_ratio", mat.scattering_ratio);
+  }
+
+  if (!(config.xs == XsSpec{})) {
+    const XsSpec& lib = config.xs;
+    w.section("xs");
+    if (!lib.file.empty()) {
+      require_deck_encodable("xs file", lib.file);
+      w.entry("file", lib.file);
+    }
+    if (!lib.groupsets.empty()) {
+      require_deck_encodable("xs groupsets", lib.groupsets);
+      w.entry("groupsets", lib.groupsets);
+    }
+    w.entry("k_tol", lib.k_tol);
+    w.entry("fission_tol", lib.fission_tol);
+    w.entry("max_outers", lib.max_outers);
+    w.entry("extrapolate", lib.extrapolate);
   }
 
   const SourceModel& src = config.source;

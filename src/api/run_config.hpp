@@ -17,8 +17,9 @@ namespace unsnap::api {
 /// discretisation and reports sweep-schedule structure without solving;
 /// Mms overwrites materials/sources with the trigonometric manufactured
 /// solution and records the L2 error; Time runs the backward-Euler time
-/// integrator over the [time] section's steps.
-enum class RunMode { Solve, Schedule, Mms, Time };
+/// integrator over the [time] section's steps; Keff runs the k-eigenvalue
+/// power iteration over an [xs] library's fission data (xs::KeffSolver).
+enum class RunMode { Solve, Schedule, Mms, Time, Keff };
 
 [[nodiscard]] std::string to_string(RunMode mode);
 [[nodiscard]] RunMode run_mode_from_string(const std::string& name);
@@ -67,11 +68,36 @@ struct MaterialModel {
   std::vector<double> scattering;  // per-material ratios c = sigs/sigt
   int default_material = 0;        // id where no region matches
   std::vector<MaterialRegion> regions;  // evaluated in order, first wins
+  // --- library route ([xs] section active) -----------------------------
+  /// `material = <name> <name> ...`: the i-th library material name
+  /// becomes deck material id i, referenced by `region` / a
+  /// `default_material` exactly like the custom route. Empty = every
+  /// library material in library order.
+  std::vector<std::string> material_names;
 
   [[nodiscard]] bool custom() const { return !sigt.empty(); }
   /// The diagonal in-group cross-section set of the custom route.
   [[nodiscard]] snap::CrossSections cross_sections() const;
   [[nodiscard]] bool operator==(const MaterialModel&) const = default;
+};
+
+/// The [xs] section: a multigroup cross-section library file
+/// (xs::read_library_file format) plus the k-eigenvalue controls of
+/// `mode = keff`. With `file` set, the deck's materials lower through the
+/// library instead of the generated/custom routes; relative paths resolve
+/// against the deck file's directory.
+struct XsSpec {
+  std::string file;       // library path; empty = section inactive
+  /// Groupset partition "a:b,c:d,..." for the keff block Gauss-Seidel;
+  /// empty = the maximal downscatter partition (xs::default_groupsets).
+  std::string groupsets;
+  double k_tol = 1e-6;        // |k_new - k| convergence criterion
+  double fission_tol = 1e-5;  // max relative fission-source change
+  int max_outers = 100;       // power-iteration outer cap
+  bool extrapolate = false;   // shifted fission-source extrapolation
+
+  [[nodiscard]] bool active() const { return !file.empty(); }
+  [[nodiscard]] bool operator==(const XsSpec&) const = default;
 };
 
 /// Deck-expressible external source: SNAP's src_opt placements or a
@@ -126,6 +152,7 @@ struct RunConfig {
   MeshSpec mesh;
   AngularSpec angular;
   MaterialModel materials;
+  XsSpec xs;
   SourceModel source;
   BoundarySpec boundary;
   IterationSpec iteration;

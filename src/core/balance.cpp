@@ -17,17 +17,29 @@ BalanceReport compute_balance(const Discretization& disc,
   const int nang = quad.per_octant();
 
   BalanceReport report;
+  const auto gc = static_cast<std::size_t>(ng);
+  report.group_source.assign(gc, 0.0);
+  report.group_inflow.assign(gc, 0.0);
+  report.group_fission.assign(gc, 0.0);
+  report.group_absorption.assign(gc, 0.0);
+  report.group_leakage.assign(gc, 0.0);
 
   // Volume terms: external source and absorption, contracted against the
-  // nodal integration weights w_j = Int phi_j dV.
+  // nodal integration weights w_j = Int phi_j dV. Totals accumulate
+  // directly (not from the group buckets) so they match the historical
+  // single-ledger values bitwise.
   for (int e = 0; e < ne; ++e) {
     const double* w = ints.node_weights(e);
     for (int g = 0; g < ng; ++g) {
-      report.source += problem.qext(e, g) * ints.volume(e);
+      const double src = problem.qext(e, g) * ints.volume(e);
+      report.source += src;
+      report.group_source[static_cast<std::size_t>(g)] += src;
       const double* ph = phi.at(e, g);
       double acc = 0.0;
       for (int i = 0; i < n; ++i) acc += w[i] * ph[i];
-      report.absorption += problem.siga_eg(e, g) * acc;
+      const double abs = problem.siga_eg(e, g) * acc;
+      report.absorption += abs;
+      report.group_absorption[static_cast<std::size_t>(g)] += abs;
     }
   }
 
@@ -43,6 +55,7 @@ BalanceReport compute_balance(const Discretization& disc,
             double acc = 0.0;
             for (int i = 0; i < n; ++i) acc += w[i] * q[i];
             report.source += wa * acc;
+            report.group_source[static_cast<std::size_t>(g)] += wa * acc;
           }
         }
       }
@@ -74,6 +87,8 @@ BalanceReport compute_balance(const Discretization& disc,
                           omega[2] * lz[j]) *
                          ps[fn[j]];
             report.leakage += wa * current;
+            report.group_leakage[static_cast<std::size_t>(g)] +=
+                wa * current;
           } else if (bc != nullptr && bc->active()) {
             const double* vals = bc->at(bface, oct, a, g);
             for (int j = 0; j < nf; ++j)
@@ -81,6 +96,8 @@ BalanceReport compute_balance(const Discretization& disc,
                           omega[2] * lz[j]) *
                          vals[j];
             report.inflow -= wa * current;  // s < 0 => current < 0 => gain
+            report.group_inflow[static_cast<std::size_t>(g)] -=
+                wa * current;
           }
         }
       }

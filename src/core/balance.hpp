@@ -1,5 +1,7 @@
 #pragma once
 
+#include <vector>
+
 #include "core/discretization.hpp"
 #include "core/flux_storage.hpp"
 #include "core/problem_data.hpp"
@@ -8,21 +10,39 @@ namespace unsnap::core {
 
 /// Global neutron balance at the current iterate. At convergence of the
 /// source iterations, production must equal removal:
-///   external source + boundary inflow = absorption + boundary leakage,
+///   external source + inflow + fission/k = absorption + leakage,
 /// because the within-group and group-transfer scattering cancel exactly
 /// (the transfer rows sum to sigs). The residual is the standard
-/// end-to-end correctness diagnostic for transport codes.
+/// end-to-end correctness diagnostic for transport codes. The fission
+/// term is zero outside `mode = keff`, where the k-eigenvalue driver
+/// fills it with the normalised production (1/k) Int nu sigf phi dV.
+///
+/// Each ledger entry also carries its per-group breakdown (same
+/// accumulation, bucketed by energy group) so a multigroup balance is
+/// auditable group by group — the group totals are accumulated directly,
+/// not by summing the buckets, so their values are unchanged from the
+/// historical single-ledger report.
 struct BalanceReport {
   double source = 0.0;       // Int q_ext dV (+ angular MMS source if any)
   double inflow = 0.0;       // gain through prescribed boundary flux
+  double fission = 0.0;      // (1/k) Int nu sigf phi dV (keff mode)
   double absorption = 0.0;   // Int sigma_a phi dV
   double leakage = 0.0;      // outflow through the domain boundary
 
+  std::vector<double> group_source;      // [g]
+  std::vector<double> group_inflow;      // [g]
+  std::vector<double> group_fission;     // [g]
+  std::vector<double> group_absorption;  // [g]
+  std::vector<double> group_leakage;     // [g]
+
+  [[nodiscard]] int num_groups() const {
+    return static_cast<int>(group_source.size());
+  }
   [[nodiscard]] double residual() const {
-    return source + inflow - absorption - leakage;
+    return source + inflow + fission - absorption - leakage;
   }
   [[nodiscard]] double relative() const {
-    const double scale = source + inflow;
+    const double scale = source + inflow + fission;
     return scale > 0.0 ? residual() / scale : residual();
   }
 };

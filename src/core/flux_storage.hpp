@@ -121,6 +121,8 @@ class BoundaryAngularFlux {
   }
   void fill(double v) { data_.assign(data_.size(), v); }
   [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
 
  private:
   std::size_t nang_ = 0, ng_ = 0, nf_ = 0;

@@ -42,6 +42,16 @@ class IterationObserver {
   virtual void on_outer_end(int outer, double change, bool converged) {
     (void)outer, (void)change, (void)converged;
   }
+
+  /// One power-iteration outer of the k-eigenvalue driver (xs::KeffSolver)
+  /// finished: `k` is the current eigenvalue estimate, `k_change` the
+  /// absolute change in k and `fission_change` the pointwise max relative
+  /// change of the normalised fission source. The per-groupset transport
+  /// solves in between fire the events above as usual.
+  virtual void on_keff_outer(int outer, double k, double k_change,
+                             double fission_change) {
+    (void)outer, (void)k, (void)k_change, (void)fission_change;
+  }
 };
 
 }  // namespace unsnap::core

@@ -21,13 +21,30 @@ TimeDependentSolver::TimeDependentSolver(
     require(v > 0.0, "TimeDependentSolver: velocities must be positive");
 
   solver_ = std::make_unique<TransportSolver>(std::move(disc), input);
+  fold_time_absorption(input.ng);
+}
 
+TimeDependentSolver::TimeDependentSolver(
+    std::shared_ptr<const Discretization> disc, const snap::Input& input,
+    const ProblemData& problem, std::vector<double> velocities, double dt)
+    : velocities_(std::move(velocities)), dt_(dt) {
+  require(dt > 0.0, "TimeDependentSolver: dt must be positive");
+  require(static_cast<int>(velocities_.size()) == input.ng,
+          "TimeDependentSolver: one velocity per group required");
+  for (const double v : velocities_)
+    require(v > 0.0, "TimeDependentSolver: velocities must be positive");
+
+  solver_ = std::make_unique<TransportSolver>(std::move(disc), input, problem);
+  fold_time_absorption(input.ng);
+}
+
+void TimeDependentSolver::fold_time_absorption(int ng) {
   // sigt' = sigt + 1/(v_g dt). The absorption table stays untouched so
   // balance diagnostics keep reporting the physical absorption.
   ProblemData& problem = solver_->problem();
   const int ne = solver_->discretization().num_elements();
   for (int e = 0; e < ne; ++e)
-    for (int g = 0; g < input.ng; ++g)
+    for (int g = 0; g < ng; ++g)
       problem.sigt_eg(e, g) += 1.0 / (velocities_[g] * dt_);
 
   solver_->angular_source();  // allocate; refreshed before every step

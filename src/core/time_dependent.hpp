@@ -30,6 +30,14 @@ class TimeDependentSolver {
                       const snap::Input& input,
                       std::vector<double> velocities, double dt);
 
+  /// Pre-built problem data (the [xs] library route): same integration,
+  /// but the cross sections/source come from `problem` instead of the
+  /// generated snap::Input tables. Library group velocities pair with this
+  /// overload.
+  TimeDependentSolver(std::shared_ptr<const Discretization> disc,
+                      const snap::Input& input, const ProblemData& problem,
+                      std::vector<double> velocities, double dt);
+
   /// SNAP-style generated speeds, fastest group first: v_g = 1 / (1 + g/2).
   [[nodiscard]] static std::vector<double> snap_velocities(int ng);
 
@@ -54,6 +62,7 @@ class TimeDependentSolver {
   double time_ = 0.0;
   std::unique_ptr<TransportSolver> solver_;
 
+  void fold_time_absorption(int ng);
   void refresh_time_source();
 };
 

@@ -138,6 +138,35 @@ void TransportSolver::update_outer_source() {
   OBS_SPAN("source.outer");
   sources_.update_outer(phi_, qout_);
   if (input_.nmom > 1) sources_.update_outer_moments(phi_mom_, qout_mom_);
+  if (coupling_.size() != 0) {
+    double* q = qout_.data();
+    const double* c = coupling_.data();
+    const auto count = static_cast<std::ptrdiff_t>(qout_.size());
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t i = 0; i < count; ++i) q[i] += c[i];
+    for (std::size_t m = 0; m < coupling_mom_.size(); ++m) {
+      double* qm = qout_mom_[m].data();
+      const double* cm = coupling_mom_[m].data();
+#pragma omp parallel for schedule(static)
+      for (std::ptrdiff_t i = 0; i < count; ++i) qm[i] += cm[i];
+    }
+  }
+}
+
+NodalField& TransportSolver::coupling_source() {
+  if (coupling_.size() == 0)
+    coupling_ = NodalField(input_.layout, disc_->num_elements(), input_.ng,
+                           disc_->num_nodes());
+  return coupling_;
+}
+
+std::vector<NodalField>& TransportSolver::coupling_source_moments() {
+  const int extra = input_.nmom * input_.nmom - 1;
+  if (coupling_mom_.empty() && extra > 0)
+    coupling_mom_.assign(static_cast<std::size_t>(extra),
+                         NodalField(input_.layout, disc_->num_elements(),
+                                    input_.ng, disc_->num_nodes()));
+  return coupling_mom_;
 }
 
 void TransportSolver::update_inner_source() {

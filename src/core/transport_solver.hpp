@@ -120,6 +120,23 @@ class TransportSolver {
   /// Per-angle (manufactured) source; allocated on first access.
   AngularFlux& angular_source();
 
+  /// Additive isotropic coupling source over (element, group), folded on
+  /// top of the scattering outer source at every update_outer_source().
+  /// This is the seam the k-eigenvalue driver feeds: each groupset block
+  /// writes its fission + cross-groupset scattering source here before
+  /// running the block's solve, so both iteration schemes, preassembly
+  /// and every concurrency scheme see it without modification (GMRES
+  /// freezes the outer source per outer, exactly as for qext). Allocated
+  /// on first access; inactive (absent) otherwise.
+  NodalField& coupling_source();
+  [[nodiscard]] bool has_coupling_source() const {
+    return coupling_.size() != 0;
+  }
+  /// Moment-space companions of coupling_source(): nmom^2 - 1 fields,
+  /// entry m feeding the outer source of flat harmonic index m + 1.
+  /// Allocated on first access (nmom > 1 only; empty otherwise).
+  std::vector<NodalField>& coupling_source_moments();
+
   /// Switch the sweep kernel to pre-assembled operators (paper §IV-B-1).
   void enable_preassembly(PreassembledOperator::Mode mode);
   void disable_preassembly();
@@ -163,6 +180,8 @@ class TransportSolver {
   AngularFlux psi_;
   NodalField phi_, phi_old_, qout_, qin_;
   std::vector<NodalField> phi_mom_, qout_mom_, qin_mom_;  // nmom > 1 only
+  NodalField coupling_;                        // keff groupset coupling
+  std::vector<NodalField> coupling_mom_;       // its nmom > 1 companions
   BoundaryAngularFlux bc_;
   /// Previous-iterate lagged-face traces, sized (and captured per sweep)
   /// only when the schedule set broke sweep cycles: lagged faces read

@@ -35,9 +35,10 @@ bool Client::ping() {
   }
 }
 
-std::string Client::submit(const std::string& deck_text, int priority) {
+std::string Client::submit(const std::string& deck_text, int priority,
+                           const std::string& source) {
   const util::JsonValue response =
-      request(make_submit_request(deck_text, priority));
+      request(make_submit_request(deck_text, priority, source));
   const std::string id = response.get_string("id");
   require(!id.empty(), "client: submit response carried no run id");
   return id;

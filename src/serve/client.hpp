@@ -22,8 +22,12 @@ class Client {
 
   /// Submit deck text; returns the run id. Throws InvalidInput with the
   /// daemon's message when the deck is rejected.
+  /// `source` names the deck on the shared filesystem (empty = the
+  /// anonymous "<submit>"): the daemon parses under that name, which
+  /// also anchors relative [xs] library paths.
   [[nodiscard]] std::string submit(const std::string& deck_text,
-                                   int priority = 0);
+                                   int priority = 0,
+                                   const std::string& source = "");
 
   /// Parsed status / result / stats responses (the protocol envelopes;
   /// result throws while the run is still queued or running).

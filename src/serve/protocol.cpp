@@ -48,12 +48,14 @@ std::string make_request_id(const std::string& op, const std::string& id) {
   return json.str();
 }
 
-std::string make_submit_request(const std::string& deck_text, int priority) {
+std::string make_submit_request(const std::string& deck_text, int priority,
+                                const std::string& source) {
   util::JsonWriter json(0);
   json.begin_object();
   json.kv("op", "submit");
   json.kv("deck", deck_text);
   json.kv("priority", priority);
+  if (!source.empty()) json.kv("source", source);
   json.end_object();
   return json.str();
 }

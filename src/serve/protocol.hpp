@@ -40,8 +40,13 @@ enum class RunState { Queued, Running, Done, Failed, Cancelled };
 [[nodiscard]] std::string make_request(const std::string& op);
 [[nodiscard]] std::string make_request_id(const std::string& op,
                                           const std::string& id);
+/// `source` (optional) is the client-side deck path: the server parses
+/// the deck under that name, so error messages point at the real file
+/// and relative [xs] library paths resolve against the deck's directory
+/// (client and daemon share a filesystem over the local socket).
 [[nodiscard]] std::string make_submit_request(const std::string& deck_text,
-                                              int priority);
+                                              int priority,
+                                              const std::string& source = "");
 
 /// Response builders (server side).
 [[nodiscard]] std::string make_error_response(const std::string& message);

@@ -302,8 +302,15 @@ std::string Server::handle_submit(const util::JsonValue& request) {
   const int priority = static_cast<int>(request.get_int("priority", 0));
 
   // Parsing validates the deck (including its [execution] threads against
-  // the hardware); errors carry the submit-side deck location.
-  api::RunConfig config = api::read_deck_text(deck->as_string(), "<submit>");
+  // the hardware); errors carry the submit-side deck location. Clients
+  // that name the deck file (the "source" field) get their relative [xs]
+  // library paths resolved against the deck's directory.
+  const util::JsonValue* source = request.find("source");
+  const std::string source_name =
+      source != nullptr && source->is_string() && !source->as_string().empty()
+          ? source->as_string()
+          : "<submit>";
+  api::RunConfig config = api::read_deck_text(deck->as_string(), source_name);
   // A run always charges at least one budget thread; resolving the
   // "OpenMP default" of 0 here keeps the ledger honest and makes
   // threads=0 and threads=1 decks share one cache entry.

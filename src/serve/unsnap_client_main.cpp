@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -111,8 +112,14 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (command == "submit") {
+      // The absolute path travels with the text: the daemon parses under
+      // the real file name (better errors) and resolves relative [xs]
+      // library paths against the deck's directory, independent of the
+      // daemon's working directory.
+      const std::string deck_path = arg_at(1, "a deck path");
       const std::string id =
-          client.submit(read_file(arg_at(1, "a deck path")), priority);
+          client.submit(read_file(deck_path), priority,
+                        std::filesystem::absolute(deck_path).string());
       std::printf("%s\n", id.c_str());  // bare id: `id=$(... submit d.inp)`
       return 0;
     }

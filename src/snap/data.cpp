@@ -3,80 +3,18 @@
 #include <cmath>
 
 #include "util/assert.hpp"
+#include "xs/library.hpp"
 
 namespace unsnap::snap {
 
 CrossSections make_cross_sections(int ng, double scattering_ratio,
                                   int nmom) {
-  require(ng >= 1, "cross sections: ng must be positive");
-  require(scattering_ratio >= 0.0 && scattering_ratio < 1.0,
-          "cross sections: scattering ratio must be in [0, 1)");
-  require(nmom >= 1 && nmom <= 6, "cross sections: nmom must be in 1..6");
-  CrossSections xs;
-  xs.num_materials = 2;
-  xs.ng = ng;
-  xs.nmom = nmom;
-  const auto nm = static_cast<std::size_t>(xs.num_materials);
-  const auto g_count = static_cast<std::size_t>(ng);
-  xs.sigt.resize({nm, g_count});
-  xs.sigs.resize({nm, g_count});
-  xs.siga.resize({nm, g_count});
-  xs.slgg.resize({nm, g_count, g_count}, 0.0);
-
-  // Material base data in the SNAP style: material 0 has sigt 1.0 with the
-  // requested scattering ratio; material 1 is denser and slightly more
-  // scattering (SNAP: sigt 2.0, c 0.6 when material 0 has c 0.5).
-  const double base_sigt[2] = {1.0, 2.0};
-  const double ratio[2] = {scattering_ratio,
-                           std::min(0.95, scattering_ratio + 0.1)};
-
-  for (int m = 0; m < xs.num_materials; ++m) {
-    for (int g = 0; g < ng; ++g) {
-      // SNAP increments the totals by 0.01 per group.
-      xs.sigt(m, g) = base_sigt[m] + 0.01 * g;
-      xs.sigs(m, g) = ratio[m] * xs.sigt(m, g);
-      xs.siga(m, g) = xs.sigt(m, g) - xs.sigs(m, g);
-    }
-
-    // Transfer profile per source group: 70% in-group, 20% downscatter
-    // spread geometrically over lower-energy groups (higher index), 10%
-    // upscatter to the next higher-energy group. Edge groups fold the
-    // missing components back in-group so rows always sum to sigs.
-    for (int g = 0; g < ng; ++g) {
-      double w_in = 0.7, w_down = 0.2, w_up = 0.1;
-      if (g == 0) {
-        w_in += w_up;
-        w_up = 0.0;
-      }
-      if (g == ng - 1) {
-        w_in += w_down;
-        w_down = 0.0;
-      }
-      const double total = xs.sigs(m, g);
-      xs.slgg(m, g, g) += w_in * total;
-      if (w_up > 0.0) xs.slgg(m, g, g - 1) += w_up * total;
-      if (w_down > 0.0) {
-        // Geometric decay with ratio 1/2 over groups g+1..ng-1, normalised.
-        double norm = 0.0;
-        for (int gp = g + 1; gp < ng; ++gp)
-          norm += std::pow(0.5, gp - g);
-        for (int gp = g + 1; gp < ng; ++gp)
-          xs.slgg(m, g, gp) += w_down * total * std::pow(0.5, gp - g) / norm;
-      }
-    }
-  }
-
-  if (nmom > 1) {
-    xs.slgg_hi.resize({nm, static_cast<std::size_t>(nmom - 1), g_count,
-                       g_count});
-    for (int m = 0; m < xs.num_materials; ++m)
-      for (int l = 1; l < nmom; ++l)
-        for (int g = 0; g < ng; ++g)
-          for (int gp = 0; gp < ng; ++gp)
-            xs.slgg_hi(m, l - 1, g, gp) =
-                std::pow(0.4, l) * xs.slgg(m, g, gp);
-  }
-  return xs;
+  // The generation loops live in xs::Library::synthetic — SNAP's
+  // artificial data is one instance of the library model, lowered through
+  // the same path a file-loaded library takes. The library carries sigs
+  // as an explicit per-group total (not a row sum), so this delegation is
+  // bit-identical to the historical in-place generation.
+  return xs::Library::synthetic(ng, scattering_ratio, nmom).cross_sections();
 }
 
 namespace {

@@ -28,6 +28,14 @@ struct CrossSections {
   /// property (rows sum to sigs) applies only to slgg; higher orders shape
   /// the angular emission without creating or destroying particles.
   NDArray<double, 4> slgg_hi;
+  /// Fission production nu * sigf and spectrum chi, [mat][g]. Both empty
+  /// for fixed-source data (the generated sets and plain-material decks);
+  /// populated when an xs::Library with fissile materials lowers here.
+  /// Non-fissile materials inside a fissile set carry zero rows.
+  NDArray<double, 2> nu_sigf;
+  NDArray<double, 2> chi;
+
+  [[nodiscard]] bool has_fission() const { return nu_sigf.size() != 0; }
 };
 
 /// Build the two-material set. `scattering_ratio` is material 1's

@@ -98,6 +98,31 @@ TEST(Balance, DirichletInflowCounted) {
   EXPECT_LT(std::fabs(report.relative()), 1e-10);
 }
 
+TEST(Balance, PerGroupBucketsSumToTotals) {
+  snap::Input input = balance_input();
+  input.scattering_ratio = 0.6;
+  input.fixed_iterations = false;
+  input.epsi = 1e-8;
+  input.iitm = 200;
+  input.oitm = 50;
+  TransportSolver solver(input);
+  solver.run();
+  const BalanceReport report = solver.balance();
+  ASSERT_EQ(report.num_groups(), input.ng);
+  auto sum = [](const std::vector<double>& v) {
+    double total = 0.0;
+    for (const double x : v) total += x;
+    return total;
+  };
+  EXPECT_NEAR(sum(report.group_source), report.source, 1e-12);
+  EXPECT_NEAR(sum(report.group_inflow), report.inflow, 1e-12);
+  EXPECT_NEAR(sum(report.group_absorption), report.absorption, 1e-12);
+  EXPECT_NEAR(sum(report.group_leakage), report.leakage, 1e-12);
+  // No fission ledger outside keff mode.
+  EXPECT_EQ(report.fission, 0.0);
+  EXPECT_EQ(sum(report.group_fission), 0.0);
+}
+
 TEST(Balance, MoreAbsorptionLessLeakage) {
   auto leak_fraction = [](double c) {
     snap::Input input = balance_input();

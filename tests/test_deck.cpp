@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -178,6 +179,87 @@ TEST(DeckBinding, EmptyDeckIsTheDefaultConfig) {
   EXPECT_TRUE(api::read_deck_text("") == api::RunConfig{});
 }
 
+// --- the [xs] section -----------------------------------------------------
+
+std::string shipped_xs() {
+  return std::string(UNSNAP_DECK_DIR) + "/xs/criticality.xs";
+}
+
+TEST(DeckBinding, XsLibraryAdoptsItsGroupCount) {
+  // A deck without an explicit ng takes the library's group count; the
+  // `material` key binds library names to deck material ids in order.
+  const api::RunConfig config = api::read_deck_text(
+      "[materials]\nmaterial = fuel water\ndefault_material = 1\n"
+      "[xs]\nfile = " +
+      shipped_xs() + "\n");
+  EXPECT_EQ(config.materials.num_groups, 2);
+  ASSERT_EQ(config.materials.material_names.size(), 2u);
+  EXPECT_EQ(config.materials.material_names[0], "fuel");
+  EXPECT_EQ(config.materials.material_names[1], "water");
+  EXPECT_TRUE(config.xs.active());
+}
+
+TEST(DeckBinding, GoldenXsDeckMessages) {
+  const std::string lib = shipped_xs();
+  // An explicit ng that disagrees with the library is rejected at its
+  // own line, naming both group counts.
+  expect_bind_error(
+      "[materials]\nng = 3\nmaterial = fuel\n[xs]\nfile = " + lib + "\n",
+      "t.inp:2:6: ng = 3 disagrees with the [xs] library '" + lib +
+          "', which carries 2 groups");
+  // An unreadable library points at the `file =` entry.
+  expect_bind_error("[xs]\nfile = /no/such/library.xs\n",
+                    "t.inp:2:8: cannot open cross-section library "
+                    "'/no/such/library.xs'");
+  expect_bind_error("[xs]\nfile = " + lib + "\ngroupsets = 0:3\n",
+                    "groupsets: range '0:3' outside groups 0..1");
+  expect_bind_error("[xs]\nfilename = " + lib + "\n",
+                    "t.inp:2: unknown key 'filename' in [xs]");
+  // Route mixing and name binding failures.
+  expect_bind_error("[materials]\nng = 2\nmaterial = fuel\n",
+                    "t.inp: materials: material name bindings need an [xs] "
+                    "library");
+  expect_bind_error(
+      "[materials]\nmaterial = plutonium\n[xs]\nfile = " + lib + "\n",
+      "t.inp: materials: material 'plutonium' is not in the [xs] library");
+  expect_bind_error(
+      "[materials]\nsigt = 1 1\nscattering = 0 0\n[xs]\nfile = " + lib +
+          "\n",
+      "t.inp: materials: the custom sigt route and an [xs] library are "
+      "mutually exclusive");
+  // keff mode preconditions.
+  expect_bind_error("[run]\nmode = keff\n",
+                    "t.inp: keff: mode = keff needs an [xs] library");
+  expect_bind_error("[run]\nmode = keff\n[materials]\nmaterial = fuel\n"
+                    "[xs]\nfile = " +
+                        lib +
+                        "\n[source]\nregion = 1 -inf inf -inf inf -inf 1\n",
+                    "t.inp: keff: k-eigenvalue runs are source-free");
+}
+
+TEST(DeckBinding, LibraryParserErrorsKeepTheirOwnLocation) {
+  // A malformed library file fails with the library's path:line:column,
+  // not the deck's — the deck only lent it the `file =` entry.
+  const std::string path = ::testing::TempDir() + "truncated.xs";
+  {
+    std::ofstream out(path);
+    out << "groups 2\nmaterial m\nsigt 1\nend\n";
+  }
+  expect_bind_error("[xs]\nfile = " + path + "\n",
+                    path + ":3:1: 'sigt' needs 2 values (got 1)");
+}
+
+TEST(DeckBinding, KeffNeedsFissionData) {
+  const std::string path = ::testing::TempDir() + "inert.xs";
+  {
+    std::ofstream out(path);
+    out << "groups 1\nmaterial iron\nsigt 1.0\nsigs 0.3\nend\n";
+  }
+  expect_bind_error("[run]\nmode = keff\n[xs]\nfile = " + path + "\n",
+                    "keff: the [xs] library '" + path +
+                        "' carries no fission data (nu_sigf)");
+}
+
 // --- round-trips ----------------------------------------------------------
 
 TEST(DeckRoundTrip, DefaultConfig) {
@@ -226,6 +308,26 @@ TEST(DeckRoundTrip, CustomEverything) {
   EXPECT_EQ(api::write_deck(reread), text);
 }
 
+TEST(DeckRoundTrip, XsAndKeffConfig) {
+  api::RunConfig config;
+  config.mode = api::RunMode::Keff;
+  config.materials.num_groups = 2;
+  config.materials.material_names = {"fuel", "water"};
+  config.materials.default_material = 1;
+  config.xs.file = shipped_xs();
+  config.xs.groupsets = "0,1";
+  config.xs.k_tol = 2e-7;
+  config.xs.fission_tol = 3e-6;
+  config.xs.max_outers = 42;
+  config.xs.extrapolate = true;
+  config.validate();
+
+  const std::string text = api::write_deck(config);
+  const api::RunConfig reread = api::read_deck_text(text);
+  EXPECT_TRUE(reread == config);
+  EXPECT_EQ(api::write_deck(reread), text);
+}
+
 TEST(DeckRoundTrip, WriteRejectsUnencodableText) {
   // '#'/'!'/newlines start comments / break lines on the read side, so
   // writing them would silently violate read(write(cfg)) == cfg.
@@ -246,7 +348,7 @@ TEST(DeckRoundTrip, EveryShippedDeckBitIdentically) {
   for (const char* dir : {UNSNAP_DECK_DIR, UNSNAP_DECK_DIR "/golden"})
     for (const fs::directory_entry& entry : fs::directory_iterator(dir))
       if (entry.path().extension() == ".inp") decks.push_back(entry.path());
-  ASSERT_GE(decks.size(), 23u);  // 11 scenario decks + 12 golden decks
+  ASSERT_GE(decks.size(), 25u);  // 12 scenario decks + 13 golden decks
 
   for (const fs::path& path : decks) {
     SCOPED_TRACE(path.string());

@@ -298,6 +298,29 @@ TEST(Golden, VolumetricDecomposition) {
                {1.100233180413e+02});
 }
 
+// ---- criticality (mode = keff through the [xs] library) ------------------
+
+TEST(Golden, Criticality) {
+  api::Run run(golden_config("criticality"));
+  const api::RunRecord record = run.execute();
+  ASSERT_TRUE(record.keff.has_value());
+  ASSERT_TRUE(record.balance.has_value());
+  // The deck pins exactly 12 outers (see its header); the digest freezes
+  // the eigenvalue, the fission-extended balance and the flux spectrum.
+  ASSERT_EQ(record.keff->outers, 12);
+  const xs::KeffSolver* solver = run.keff_solver();
+  ASSERT_NE(solver, nullptr);
+  std::vector<double> digest{record.keff->k, record.balance->fission,
+                             record.balance->absorption,
+                             record.balance->leakage};
+  const std::vector<double> averages = api::group_volume_averages(
+      *run.shared_discretization(), solver->scalar_flux());
+  digest.insert(digest.end(), averages.begin(), averages.end());
+  check_digest("criticality", digest,
+               {6.212454589850e-01, 1.609669713536e+00, 1.327295098437e+00, 2.823746150960e-01, 3.069584867289e-02, 1.426462496927e-02},
+               {6.212454590289e-01, 1.609669713422e+00, 1.327295098404e+00, 2.823746150183e-01, 3.069584867145e-02, 1.426462496852e-02});
+}
+
 // ---- sweep_explorer (schedule structure, no solve) -----------------------
 //
 // Stays below the deck layer on purpose: the digest freezes two schedule

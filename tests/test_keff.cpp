@@ -1,0 +1,258 @@
+// The k-eigenvalue driver (src/xs/keff.*): analytic infinite-medium
+// eigenvalues through reflective boundaries, groupset-partition
+// invariance, bitwise-reproducible k histories across thread counts,
+// and the fission-extended balance ledger.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "api/problem_builder.hpp"
+#include "xs/keff.hpp"
+#include "xs/library.hpp"
+
+namespace unsnap::xs {
+namespace {
+
+/// One fissile group: k_inf = nu_sigf / (sigt - sigs) = 0.6 / 0.5 = 1.2.
+Library one_group_library() {
+  Library lib;
+  lib.ng = 1;
+  Material fuel;
+  fuel.name = "fuel";
+  fuel.sigt = {1.0};
+  fuel.nu_sigf = {0.6};
+  fuel.chi = {1.0};
+  fuel.sigs.resize({1, 1, 1}, 0.0);
+  fuel.sigs(0, 0, 0) = 0.5;
+  lib.materials.push_back(fuel);
+  lib.validate();
+  return lib;
+}
+
+/// The criticality-deck fuel (decks/xs/criticality.xs) alone: two groups,
+/// pure downscatter, tuned so k_inf is exactly 1 (see the deck header for
+/// the closed form).
+Library two_group_fuel() {
+  Library lib;
+  lib.ng = 2;
+  Material fuel;
+  fuel.name = "fuel";
+  fuel.sigt = {2.0, 3.2};
+  fuel.nu_sigf = {0.48, 0.96};
+  fuel.chi = {1.0, 0.0};
+  fuel.sigs.resize({1, 2, 2}, 0.0);
+  fuel.sigs(0, 0, 0) = 1.2;
+  fuel.sigs(0, 0, 1) = 0.4;
+  fuel.sigs(0, 1, 1) = 2.0;
+  lib.materials.push_back(fuel);
+  lib.validate();
+  return lib;
+}
+
+/// Homogeneous cube of `lib`'s material 0 with reflective boundaries
+/// everywhere: the transport solution is the infinite-medium one, so k
+/// must hit the closed form to solver precision.
+api::Problem reflective_problem(const Library& lib, int num_threads = 0) {
+  api::ProblemBuilder builder;
+  builder.mesh({.dims = {2, 2, 2}, .extent = {1.0, 1.0, 1.0}})
+      .angular({.nang = 2})
+      .materials({.num_groups = lib.ng, .cross_sections = lib.cross_sections()})
+      .all_boundaries(snap::Input::Bc::Reflective)
+      .iteration({.epsi = 1e-12,
+                  .iitm = 100,
+                  .oitm = 10,
+                  .fixed_iterations = false})
+      .execution({.num_threads = num_threads});
+  return builder.build();
+}
+
+KeffOptions tight_options() {
+  KeffOptions options;
+  options.k_tol = 1e-12;
+  options.fission_tol = 1e-11;
+  options.max_outers = 200;
+  return options;
+}
+
+TEST(Keff, OneGroupInfiniteMediumAnalytic) {
+  const Library lib = one_group_library();
+  const api::Problem problem = reflective_problem(lib);
+  KeffSolver solver(problem.discretization_ptr(), problem.input(),
+                    problem.data(), tight_options());
+  const KeffResult result = solver.run();
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.k, 1.2, 1e-10);
+  EXPECT_EQ(solver.num_groupsets(), 1);
+  EXPECT_EQ(result.k_history.size(), static_cast<std::size_t>(result.outers));
+}
+
+TEST(Keff, TwoGroupDownscatterClosedForm) {
+  // k_inf = (nu0 + nu1 * s01 / (sigt1 - s11)) / (sigt0 - s00) = 1 exactly,
+  // under both the per-group split (the pure-downscatter default) and the
+  // fused single-set partition.
+  const Library lib = two_group_fuel();
+  const api::Problem problem = reflective_problem(lib);
+  for (const bool fused : {false, true}) {
+    KeffOptions options = tight_options();
+    if (fused) options.groupsets = {{0, 1}};
+    KeffSolver solver(problem.discretization_ptr(), problem.input(),
+                      problem.data(), options);
+    const KeffResult result = solver.run();
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.k, 1.0, 1e-10) << (fused ? "fused" : "split");
+    EXPECT_EQ(solver.num_groupsets(), fused ? 1 : 2);
+    // Infinite-medium spectrum: phi1/phi0 = s01 / (sigt1 - s11) = 1/3.
+    const core::NodalField& phi = solver.scalar_flux();
+    EXPECT_NEAR(phi.at(0, 1)[0] / phi.at(0, 0)[0], 1.0 / 3.0, 1e-9);
+  }
+}
+
+TEST(Keff, DefaultGroupsetsSplitPureDownscatter) {
+  const Library lib = two_group_fuel();
+  const api::Problem problem = reflective_problem(lib);
+  KeffSolver solver(problem.discretization_ptr(), problem.input(),
+                    problem.data(), tight_options());
+  ASSERT_EQ(solver.groupsets().size(), 2u);
+  EXPECT_EQ(solver.groupsets()[0].lo, 0);
+  EXPECT_EQ(solver.groupsets()[1].hi, 1);
+}
+
+/// A leaky two-material configuration (fuel cube in a pure absorber
+/// jacket) exercising the spatially varying fission source.
+api::Problem leaky_problem(const Library& lib, int num_threads) {
+  api::ProblemBuilder builder;
+  builder.mesh({.dims = {4, 4, 4}, .extent = {4.0, 4.0, 4.0}})
+      .angular({.nang = 2})
+      .materials({.num_groups = lib.ng,
+                  .cross_sections = lib.cross_sections(),
+                  .material_map =
+                      [](const fem::Vec3& c) {
+                        const bool fuel = 1.0 < c[0] && c[0] < 3.0 &&
+                                          1.0 < c[1] && c[1] < 3.0 &&
+                                          1.0 < c[2] && c[2] < 3.0;
+                        return fuel ? 0 : 1;
+                      }})
+      .iteration({.epsi = 1e-8,
+                  .iitm = 30,
+                  .oitm = 5,
+                  .fixed_iterations = false})
+      .execution({.num_threads = num_threads});
+  return builder.build();
+}
+
+/// Fuel + water pair of the criticality deck.
+Library fuel_water_library() {
+  Library lib = two_group_fuel();
+  Material water;
+  water.name = "water";
+  water.sigt = {2.4, 4.8};
+  water.sigs.resize({1, 2, 2}, 0.0);
+  water.sigs(0, 0, 0) = 1.8;
+  water.sigs(0, 0, 1) = 0.56;
+  water.sigs(0, 1, 1) = 4.2;
+  lib.materials.push_back(water);
+  lib.validate();
+  return lib;
+}
+
+std::vector<double> run_history(
+    int num_threads,
+    std::optional<core::PreassembledOperator::Mode> mode = std::nullopt) {
+  const Library lib = fuel_water_library();
+  const api::Problem problem = leaky_problem(lib, num_threads);
+  KeffOptions options;
+  options.k_tol = 1e-8;
+  options.fission_tol = 1e-7;
+  options.max_outers = 60;
+  KeffSolver solver(problem.discretization_ptr(), problem.input(),
+                    problem.data(), options);
+  if (mode) solver.enable_preassembly(*mode);
+  const KeffResult result = solver.run();
+  EXPECT_TRUE(result.converged);
+  return result.k_history;
+}
+
+TEST(Keff, KHistoryBitwiseInvariantAcrossThreadCounts) {
+  // Serial element-ordered reductions: the entire convergence history,
+  // not just the converged k, is bitwise-reproducible under threading.
+  const std::vector<double> serial = run_history(1);
+  const std::vector<double> threaded = run_history(4);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(serial[i], threaded[i]) << "outer " << i;
+}
+
+TEST(Keff, KHistoryMatchesUnderPreassembly) {
+  // The preassembled kernels reassociate the per-system eliminations, so
+  // the history agrees to round-off (the same tolerance the fixed-source
+  // preassembly tests pin), outer by outer — same length, same path.
+  for (const auto mode : {core::PreassembledOperator::Mode::FactoredLu,
+                          core::PreassembledOperator::Mode::ExplicitInverse}) {
+    const std::vector<double> assembled = run_history(2);
+    const std::vector<double> pre = run_history(2, mode);
+    ASSERT_EQ(assembled.size(), pre.size());
+    for (std::size_t i = 0; i < assembled.size(); ++i)
+      EXPECT_NEAR(assembled[i], pre[i], 1e-10 * (1.0 + assembled[i]))
+          << "outer " << i;
+  }
+}
+
+TEST(Keff, BalanceLedgerClosesAndBucketsSum) {
+  const Library lib = fuel_water_library();
+  const api::Problem problem = leaky_problem(lib, 2);
+  KeffOptions options;
+  options.k_tol = 1e-9;
+  options.fission_tol = 1e-8;
+  options.max_outers = 80;
+  KeffSolver solver(problem.discretization_ptr(), problem.input(),
+                    problem.data(), options);
+  const KeffResult result = solver.run();
+  ASSERT_TRUE(result.converged);
+
+  const core::BalanceReport report = solver.balance();
+  // Eigenvalue balance: fission production / k = absorption + leakage.
+  EXPECT_GT(report.fission, 0.0);
+  EXPECT_DOUBLE_EQ(report.source, 0.0);  // no external source
+  EXPECT_LT(std::fabs(report.relative()), 1e-6);
+
+  ASSERT_EQ(report.num_groups(), 2);
+  auto sum = [](const std::vector<double>& v) {
+    return std::accumulate(v.begin(), v.end(), 0.0);
+  };
+  EXPECT_NEAR(sum(report.group_fission), report.fission, 1e-12);
+  EXPECT_NEAR(sum(report.group_absorption), report.absorption, 1e-12);
+  EXPECT_NEAR(sum(report.group_leakage), report.leakage, 1e-12);
+  // The ledger bins production by the group it occurs in: downscatter
+  // feeds the thermal flux, so both groups produce.
+  EXPECT_GT(report.group_absorption[1], 0.0);
+  EXPECT_GT(report.group_fission[1], 0.0);
+  EXPECT_GT(report.group_fission[0], report.group_fission[1]);
+}
+
+TEST(Keff, ExtrapolationReachesTheSameEigenvalue) {
+  const Library lib = fuel_water_library();
+  const api::Problem problem = leaky_problem(lib, 2);
+  KeffOptions plain;
+  plain.k_tol = 1e-9;
+  plain.fission_tol = 1e-8;
+  plain.max_outers = 80;
+  KeffOptions shifted = plain;
+  shifted.extrapolate = true;
+
+  KeffSolver a(problem.discretization_ptr(), problem.input(), problem.data(),
+               plain);
+  KeffSolver b(problem.discretization_ptr(), problem.input(), problem.data(),
+               shifted);
+  const KeffResult ra = a.run();
+  const KeffResult rb = b.run();
+  ASSERT_TRUE(ra.converged);
+  ASSERT_TRUE(rb.converged);
+  EXPECT_NEAR(ra.k, rb.k, 1e-7);
+}
+
+}  // namespace
+}  // namespace unsnap::xs

@@ -72,7 +72,7 @@ def check_fields(obj, spec, path):
 def check_record(record, path):
     check_fields(record, {"title": "str", "mode": "str", "deck": "str"}, path)
     mode = record.get("mode")
-    expect(mode in ("solve", "schedule", "mms", "time"), f"{path}.mode",
+    expect(mode in ("solve", "schedule", "mms", "time", "keff"), f"{path}.mode",
            f"unknown mode {mode!r}")
     expect("[mesh]" in record.get("deck", ""), f"{path}.deck",
            "config echo does not look like a deck")
@@ -111,7 +111,7 @@ def check_record(record, path):
             "parallel_efficiency": "num", "threads": "int",
         }, f"{path}.schedule")
 
-    solving = mode in ("solve", "mms", "time")
+    solving = mode in ("solve", "mms", "time", "keff")
     if solving:
         expect("iteration" in record, path, f"mode {mode} requires an iteration block")
         expect("flux" in record, path, f"mode {mode} requires a flux block")
@@ -142,9 +142,36 @@ def check_record(record, path):
             "leakage": "num", "residual": "num", "relative": "num",
         }, f"{path}.balance") and all(is_num(b[k]) and b[k] is not None for k in
                                       ("source", "inflow", "absorption", "leakage", "residual")):
-            closure = b["source"] + b["inflow"] - b["absorption"] - b["leakage"]
-            expect(abs(closure - b["residual"]) <= 1e-12 * max(1.0, abs(b["source"])),
-                   f"{path}.balance", "residual does not match source+inflow-absorption-leakage")
+            # The fission term only exists in keff records (older records
+            # omit it entirely, keeping their bytes frozen).
+            fission = b.get("fission", 0.0)
+            expect(is_num(fission) and fission is not None,
+                   f"{path}.balance.fission", "expected a number")
+            closure = (b["source"] + b["inflow"] + fission
+                       - b["absorption"] - b["leakage"])
+            expect(abs(closure - b["residual"]) <= 1e-12 * max(1.0, abs(b["source"]), abs(fission)),
+                   f"{path}.balance",
+                   "residual does not match source+inflow+fission-absorption-leakage")
+        if mode == "keff":
+            ng = record.get("configuration", {}).get("ng")
+            expect("fission" in b, f"{path}.balance",
+                   "keff records carry the fission ledger")
+            for key, total in (("group_source", "source"),
+                               ("group_inflow", "inflow"),
+                               ("group_fission", "fission"),
+                               ("group_absorption", "absorption"),
+                               ("group_leakage", "leakage")):
+                groups = b.get(key)
+                if not expect(isinstance(groups, list) and all(is_num(x) for x in groups),
+                              f"{path}.balance.{key}", "expected an array of numbers"):
+                    continue
+                expect(len(groups) == ng, f"{path}.balance.{key}",
+                       f"expected {ng} per-group entries, got {len(groups)}")
+                if all(x is not None for x in groups) and is_num(b.get(total)) \
+                        and b.get(total) is not None:
+                    expect(abs(sum(groups) - b[total]) <= 1e-9 * max(1.0, abs(b[total])),
+                           f"{path}.balance.{key}",
+                           f"per-group entries do not sum to {total}")
 
     if "flux" in record:
         f = record["flux"]
@@ -211,6 +238,55 @@ def check_record(record, path):
     if mode == "mms":
         if expect("mms" in record, path, "mode mms requires an mms block"):
             check_fields(record["mms"], {"l2_error": "num"}, f"{path}.mms")
+
+    if mode == "keff":
+        expect("keff" in record, path, "mode keff requires a keff block")
+    if "keff" in record:
+        k = record["keff"]
+        if check_fields(k, {
+            "k": "num", "converged": "bool", "outers": "int",
+            "dominance_ratio": "num", "final_k_change": "num",
+            "final_fission_change": "num", "extrapolated": "bool",
+            "k_history": "numlist",
+        }, f"{path}.keff"):
+            expect(mode == "keff", f"{path}.keff",
+                   f"keff block in a mode {mode!r} record")
+            expect(k["k"] is not None and k["k"] > 0, f"{path}.keff.k",
+                   "non-positive eigenvalue")
+            history = k["k_history"]
+            expect(len(history) == k["outers"], f"{path}.keff.k_history",
+                   f"{len(history)} entries for {k['outers']} outers")
+            expect(len(history) > 0 and history[-1] == k["k"],
+                   f"{path}.keff.k_history",
+                   "history does not end at the reported k")
+            # Monotone-tail sanity: the power iteration contracts, so the
+            # largest k step must not sit in the back half of the history.
+            changes = [abs(b - a) for a, b in zip(history, history[1:])
+                       if a is not None and b is not None]
+            if len(changes) >= 4:
+                half = len(changes) // 2
+                expect(max(changes[half:]) <= max(changes[:half]) + 1e-30,
+                       f"{path}.keff.k_history",
+                       "k steps grow in the tail (diverging power iteration?)")
+        groupsets = k.get("groupsets")
+        if expect(isinstance(groupsets, list) and len(groupsets) > 0,
+                  f"{path}.keff.groupsets",
+                  "expected a non-empty groupset array"):
+            ng = record.get("configuration", {}).get("ng")
+            next_lo = 0
+            for i, s in enumerate(groupsets):
+                if not check_fields(s, {"lo": "int", "hi": "int",
+                                        "sweeps": "int"},
+                                    f"{path}.keff.groupsets[{i}]"):
+                    continue
+                expect(s["lo"] == next_lo, f"{path}.keff.groupsets[{i}].lo",
+                       f"sets must tile the groups (expected lo {next_lo})")
+                expect(s["hi"] >= s["lo"], f"{path}.keff.groupsets[{i}].hi",
+                       "hi below lo")
+                next_lo = s["hi"] + 1
+            expect(next_lo == ng, f"{path}.keff.groupsets",
+                   f"sets end at group {next_lo - 1}, configuration says "
+                   f"ng = {ng}")
 
     # Traced runs (`unsnap --trace`) embed a summary of the span trace.
     # The block is optional — an untraced record must simply not have it.
